@@ -1,0 +1,92 @@
+// Command tabby-bench regenerates the paper's evaluation tables:
+//
+//	tabby-bench -table 8          CPG generation efficiency (Table VIII)
+//	tabby-bench -table 9          tool comparison (Table IX)
+//	tabby-bench -table 10         development scenes (Table X)
+//	tabby-bench -table 11         Spring-scene chains (Table XI)
+//	tabby-bench -table rq4        the §IV-E aggregate
+//	tabby-bench -table ablation   §III-C design-choice ablations
+//	tabby-bench -table all        everything
+//
+// The Table VIII run defaults to scale 1.0 (the paper's full class and
+// method counts, which takes minutes); use -scale 0.1 for a quick pass.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"tabby/internal/bench"
+)
+
+func main() {
+	var (
+		table = flag.String("table", "all", "which table to regenerate: 8, 9, 10, 11, rq4, all")
+		scale = flag.Float64("scale", 1.0, "Table VIII corpus scale factor (1.0 = paper-size)")
+		runs  = flag.Int("runs", 3, "Table VIII repetitions per row (min/max trimmed when >2)")
+	)
+	flag.Parse()
+	if err := run(*table, *scale, *runs); err != nil {
+		fmt.Fprintln(os.Stderr, "tabby-bench:", err)
+		os.Exit(1)
+	}
+}
+
+func run(table string, scale float64, runs int) error {
+	switch table {
+	case "8", "9", "10", "11", "rq4", "ablation", "all":
+	default:
+		return fmt.Errorf("unknown table %q (want 8, 9, 10, 11, rq4, ablation or all)", table)
+	}
+	want := func(t string) bool { return table == t || table == "all" }
+	if want("8") {
+		fmt.Println("=== Table VIII: CPG generation efficiency ===")
+		t, err := bench.RunTable8(scale, runs)
+		if err != nil {
+			return err
+		}
+		fmt.Println(t.Format())
+	}
+	if want("9") {
+		fmt.Println("=== Table IX: comparison with state-of-the-art tools ===")
+		t, err := bench.RunTable9(bench.EvalOptions{})
+		if err != nil {
+			return err
+		}
+		fmt.Println(t.Format())
+	}
+	if want("10") {
+		fmt.Println("=== Table X: development-scene detection ===")
+		t, err := bench.RunTable10()
+		if err != nil {
+			return err
+		}
+		fmt.Println(t.Format())
+	}
+	if want("11") {
+		fmt.Println("=== Table XI: Spring framework gadget chains ===")
+		out, err := bench.Table11()
+		if err != nil {
+			return err
+		}
+		fmt.Println(out)
+	}
+	if want("rq4") {
+		fmt.Println("=== RQ4 aggregate ===")
+		r, err := bench.RunRQ4(bench.EvalOptions{})
+		if err != nil {
+			return err
+		}
+		fmt.Println(r.Format())
+	}
+	if want("ablation") {
+		fmt.Println("=== Ablation: §III-C design choices over the Table IX corpus ===")
+		results, err := bench.RunAblationSuite()
+		if err != nil {
+			return err
+		}
+		fmt.Println(bench.FormatAblation(results))
+	}
+	return nil
+}

@@ -1,0 +1,20 @@
+package main
+
+import (
+	"testing"
+
+	"tabby/internal/bench"
+)
+
+// TestShowTable9 prints the reproduced comparison table when run with
+// -v; it doubles as a smoke test of the full pipeline.
+func TestShowTable9(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full comparison run")
+	}
+	table, err := bench.RunTable9(bench.EvalOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("\n%s", table.Format())
+}

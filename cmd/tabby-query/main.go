@@ -1,0 +1,92 @@
+// Command tabby-query runs Cypher-lite queries against a code property
+// graph previously saved by `tabby -save` — the "store once, query many
+// times" workflow the paper builds on Neo4j (§II-B, RQ4).
+//
+//	tabby-query -graph cpg.tgraph -query 'MATCH (m:Method {IS_SINK: true}) RETURN m.NAME'
+//	tabby-query -graph cpg.tgraph            # interactive REPL on stdin
+//
+// Example queries:
+//
+//	MATCH (m:Method {IS_SOURCE: true}) RETURN m.NAME LIMIT 20
+//	MATCH (a:Method)-[:CALL]->(b:Method {METHOD_NAME: "exec"}) RETURN a.NAME
+//	MATCH (c:Class)-[:HAS]->(m:Method) WHERE c.NAME CONTAINS "HashMap" RETURN m.NAME
+//	MATCH (m:Method) RETURN m.IS_SINK, COUNT(*)
+//	CALL tabby.findGadgetChains(12)
+//	CALL tabby.sinks()
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"tabby/internal/cypher"
+	"tabby/internal/graphdb"
+)
+
+func main() {
+	var (
+		graphPath = flag.String("graph", "", "graph file written by `tabby -save`")
+		query     = flag.String("query", "", "one-shot query; omit for a REPL")
+	)
+	flag.Parse()
+	if err := run(*graphPath, *query); err != nil {
+		fmt.Fprintln(os.Stderr, "tabby-query:", err)
+		os.Exit(1)
+	}
+}
+
+func run(graphPath, query string) error {
+	if graphPath == "" {
+		return fmt.Errorf("missing -graph (write one with `tabby -save cpg.tgraph`)")
+	}
+	f, err := os.Open(graphPath)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	db, err := graphdb.Load(f)
+	if err != nil {
+		return err
+	}
+	stats := db.Stats()
+	fmt.Fprintf(os.Stderr, "loaded %d nodes, %d relationships\n", stats.Nodes, stats.Rels)
+
+	if query != "" {
+		return execute(db, query)
+	}
+	return repl(db)
+}
+
+func execute(db *graphdb.DB, query string) error {
+	res, err := cypher.RunAny(db, query)
+	if err != nil {
+		return err
+	}
+	fmt.Print(res.Format())
+	return nil
+}
+
+func repl(db *graphdb.DB) error {
+	scanner := bufio.NewScanner(os.Stdin)
+	scanner.Buffer(make([]byte, 1<<20), 1<<20)
+	fmt.Fprintln(os.Stderr, `enter Cypher-lite queries, "quit" to exit`)
+	for {
+		fmt.Fprint(os.Stderr, "tabby> ")
+		if !scanner.Scan() {
+			return scanner.Err()
+		}
+		line := strings.TrimSpace(scanner.Text())
+		switch line {
+		case "":
+			continue
+		case "quit", "exit":
+			return nil
+		}
+		if err := execute(db, line); err != nil {
+			fmt.Fprintln(os.Stderr, "error:", err)
+		}
+	}
+}

@@ -1,0 +1,57 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"tabby/internal/core"
+	"tabby/internal/corpus"
+	"tabby/internal/javasrc"
+)
+
+func buildGraphFile(t *testing.T) string {
+	t.Helper()
+	engine := core.New(core.Options{})
+	rep, err := engine.AnalyzeSources([]javasrc.ArchiveSource{corpus.RT()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "cpg.tgraph")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	if err := rep.Graph.DB.Save(f); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestRunOneShotQuery(t *testing.T) {
+	path := buildGraphFile(t)
+	queries := []string{
+		`MATCH (m:Method {IS_SINK: true}) RETURN m.NAME LIMIT 3`,
+		`CALL tabby.findGadgetChains(12)`,
+		`CALL tabby.sources()`,
+	}
+	for _, q := range queries {
+		if err := run(path, q); err != nil {
+			t.Errorf("run(%q): %v", q, err)
+		}
+	}
+}
+
+func TestRunValidatesInput(t *testing.T) {
+	if err := run("", "MATCH (m) RETURN m"); err == nil {
+		t.Error("missing graph path must error")
+	}
+	if err := run("/nonexistent/graph.tgraph", "MATCH (m) RETURN m"); err == nil {
+		t.Error("missing file must error")
+	}
+	path := buildGraphFile(t)
+	if err := run(path, "NOT A QUERY"); err == nil {
+		t.Error("bad query must error")
+	}
+}

@@ -1,0 +1,249 @@
+// Command tabby runs the full gadget-chain detection pipeline (paper
+// Fig. 2): semantic information extraction → code property graph
+// construction with controllability analysis → storage → gadget chain
+// finding.
+//
+// Inputs are mini-Java source trees (see internal/javasrc), bundled
+// evaluation components, or development scenes:
+//
+//	tabby -dir ./myproject                analyze every .java under ./myproject
+//	tabby -component C3P0                 analyze a bundled Table IX component
+//	tabby -scene Spring                   analyze a bundled Table X scene
+//	tabby -urldns                         the built-in URLDNS demonstration
+//	tabby -list                           list bundled components and scenes
+//
+// Output options:
+//
+//	-stats          print CPG node/edge statistics
+//	-chains         print discovered gadget chains (default true)
+//	-save FILE      persist the graph for later tabby-query sessions
+//	-max-depth N    Evaluator depth bound (default 12)
+//	-confirm        concretely execute each chain (payload construction +
+//	                jimple interpretation — the paper's §V-C future work)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"tabby/internal/core"
+	"tabby/internal/corpus"
+	"tabby/internal/cpg"
+	"tabby/internal/interp"
+	"tabby/internal/javasrc"
+	"tabby/internal/sinks"
+)
+
+func main() {
+	var (
+		dir       = flag.String("dir", "", "directory of .java files to analyze (recursive)")
+		component = flag.String("component", "", "bundled Table IX component name")
+		scene     = flag.String("scene", "", "bundled Table X scene name")
+		urldns    = flag.Bool("urldns", false, "run the built-in URLDNS demonstration")
+		list      = flag.Bool("list", false, "list bundled components and scenes")
+		withRT    = flag.Bool("rt", true, "include the modeled Java runtime (rt.jar)")
+		stats     = flag.Bool("stats", false, "print CPG statistics")
+		chains    = flag.Bool("chains", true, "print discovered gadget chains")
+		save      = flag.String("save", "", "persist the built graph to this file")
+		maxDepth  = flag.Int("max-depth", 0, "maximum chain length (0 = default 12)")
+		mechanism = flag.String("mechanism", "native", "deserialization mechanism: native or xstream")
+		confirm   = flag.Bool("confirm", false, "concretely execute each chain to confirm it fires (§V-C extension)")
+		dot       = flag.String("dot", "", "write a Graphviz DOT rendering of the CPG (filtered to chain classes) to this file")
+	)
+	flag.Parse()
+	if err := run(options{
+		dir: *dir, component: *component, scene: *scene,
+		urldns: *urldns, list: *list, withRT: *withRT,
+		stats: *stats, chains: *chains, save: *save, maxDepth: *maxDepth,
+		mechanism: *mechanism, confirm: *confirm, dot: *dot,
+	}); err != nil {
+		fmt.Fprintln(os.Stderr, "tabby:", err)
+		os.Exit(1)
+	}
+}
+
+type options struct {
+	dir, component, scene string
+	urldns, list, withRT  bool
+	stats, chains         bool
+	save                  string
+	maxDepth              int
+	mechanism             string
+	confirm               bool
+	dot                   string
+}
+
+func run(o options) error {
+	if o.list {
+		return printBundled()
+	}
+	archives, err := collectArchives(o)
+	if err != nil {
+		return err
+	}
+	if len(archives) == 0 {
+		return fmt.Errorf("nothing to analyze: pass -dir, -component, -scene or -urldns (see -h)")
+	}
+
+	var sources sinks.SourceConfig
+	switch o.mechanism {
+	case "", "native":
+		// engine default
+	case "xstream":
+		sources = sinks.XStreamSources()
+	default:
+		return fmt.Errorf("unknown mechanism %q (want native or xstream)", o.mechanism)
+	}
+	engine := core.New(core.Options{MaxDepth: o.maxDepth, Sources: sources})
+	rep, err := engine.AnalyzeSources(archives)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("extracted %d archives in %s; CPG built in %s; search took %s\n",
+		len(archives), rep.Timings.Compile.Round(1e6), rep.Timings.BuildCPG.Round(1e6), rep.Timings.Search.Round(1e6))
+
+	if o.stats {
+		s := rep.Graph.Stats
+		fmt.Printf("classes=%d methods=%d edges=%d (EXTEND=%d INTERFACE=%d HAS=%d CALL=%d ALIAS=%d, pruned calls=%d)\n",
+			s.ClassNodes, s.MethodNodes, s.TotalEdges(),
+			s.ExtendEdges, s.InterfaceEdges, s.HasEdges, s.CallEdges, s.AliasEdges, s.PrunedCalls)
+	}
+	if o.chains {
+		if len(rep.Chains) == 0 {
+			fmt.Println("no gadget chains found")
+		}
+		for i, c := range rep.Chains {
+			fmt.Printf("--- chain %d (%s) ---\n%s\n", i+1, c.SinkType, c)
+			if o.confirm {
+				res, err := interp.Confirm(rep.Graph.Program, c.Names, interp.Options{})
+				switch {
+				case err != nil:
+					fmt.Printf("confirmation error: %v\n", err)
+				case res.Confirmed:
+					fmt.Printf("CONFIRMED: sink fired in %s with %v (%d payloads tried)\n",
+						res.Hit.Caller, res.Hit.Args, res.PayloadsTried)
+				default:
+					fmt.Printf("NOT CONFIRMED after %d payloads (%v) — likely a conditional-guard false positive\n",
+						res.PayloadsTried, res.FailureModes)
+				}
+			}
+		}
+		if rep.Truncated {
+			fmt.Println("(search truncated by budget; raise -max-depth/-budget options)")
+		}
+	}
+	if o.dot != "" {
+		prefixes := make(map[string]bool)
+		for _, c := range rep.Chains {
+			for _, n := range c.Names {
+				if i := strings.IndexByte(n, '#'); i > 0 {
+					prefixes[n[:i]] = true
+				}
+			}
+		}
+		var list []string
+		for p := range prefixes {
+			list = append(list, p)
+		}
+		sort.Strings(list)
+		f, err := os.Create(o.dot)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := cpg.WriteDOT(f, rep.Graph.DB, cpg.DOTOptions{ClassPrefixes: list}); err != nil {
+			return fmt.Errorf("dot export: %w", err)
+		}
+		fmt.Printf("DOT graph written to %s (render with: dot -Tsvg %s)\n", o.dot, o.dot)
+	}
+	if o.save != "" {
+		f, err := os.Create(o.save)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := rep.Graph.DB.Save(f); err != nil {
+			return fmt.Errorf("save graph: %w", err)
+		}
+		fmt.Printf("graph saved to %s\n", o.save)
+	}
+	return nil
+}
+
+func collectArchives(o options) ([]javasrc.ArchiveSource, error) {
+	var archives []javasrc.ArchiveSource
+	if o.withRT {
+		archives = append(archives, corpus.RT())
+	}
+	switch {
+	case o.urldns:
+		// URLDNS lives entirely in the modeled runtime.
+		if !o.withRT {
+			archives = append(archives, corpus.RT())
+		}
+	case o.component != "":
+		comp, err := corpus.ComponentByName(o.component)
+		if err != nil {
+			return nil, err
+		}
+		archives = append(archives, comp.Archives...)
+	case o.scene != "":
+		scene, err := corpus.SceneByName(o.scene)
+		if err != nil {
+			return nil, err
+		}
+		archives = append(archives, scene.Archives...)
+	case o.dir != "":
+		ar, err := archiveFromDir(o.dir)
+		if err != nil {
+			return nil, err
+		}
+		archives = append(archives, ar)
+	default:
+		return nil, nil
+	}
+	return archives, nil
+}
+
+// archiveFromDir loads every .java file below dir into one archive.
+func archiveFromDir(dir string) (javasrc.ArchiveSource, error) {
+	ar := javasrc.ArchiveSource{Name: filepath.Base(dir) + ".jar"}
+	err := filepath.Walk(dir, func(path string, info os.FileInfo, err error) error {
+		if err != nil {
+			return err
+		}
+		if info.IsDir() || !strings.HasSuffix(path, ".java") {
+			return nil
+		}
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return err
+		}
+		ar.Files = append(ar.Files, javasrc.File{Name: path, Source: string(data)})
+		return nil
+	})
+	if err != nil {
+		return ar, err
+	}
+	if len(ar.Files) == 0 {
+		return ar, fmt.Errorf("no .java files under %s", dir)
+	}
+	sort.Slice(ar.Files, func(i, j int) bool { return ar.Files[i].Name < ar.Files[j].Name })
+	return ar, nil
+}
+
+func printBundled() error {
+	fmt.Println("Components (Table IX):")
+	for _, c := range corpus.Components() {
+		fmt.Printf("  %-30s %d known chain(s) in dataset, package %s\n", c.Name, c.DatasetChains, c.Package)
+	}
+	fmt.Println("Scenes (Table X):")
+	for _, s := range corpus.Scenes() {
+		fmt.Printf("  %-30s version %s, %d jar(s)\n", s.Name, s.Version, len(s.Archives))
+	}
+	return nil
+}

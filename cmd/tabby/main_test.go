@@ -1,0 +1,110 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"tabby/internal/graphdb"
+)
+
+const testAppSource = `
+package app;
+
+public class Job implements java.io.Serializable {
+    public String cmd;
+    private void readObject(java.io.ObjectInputStream in) {
+        Launcher.launch(this.cmd);
+    }
+}
+
+class Launcher {
+    static void launch(String c) {
+        java.lang.Process p = java.lang.Runtime.getRuntime().exec(c);
+    }
+}
+`
+
+func writeTestProject(t *testing.T) string {
+	t.Helper()
+	dir := t.TempDir()
+	sub := filepath.Join(dir, "src", "app")
+	if err := os.MkdirAll(sub, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(sub, "Job.java"), []byte(testAppSource), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	// A non-java file that must be ignored.
+	if err := os.WriteFile(filepath.Join(sub, "README.txt"), []byte("ignore me"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return dir
+}
+
+func TestRunDirModeAndSave(t *testing.T) {
+	dir := writeTestProject(t)
+	savePath := filepath.Join(t.TempDir(), "cpg.tgraph")
+	err := run(options{dir: dir, withRT: true, chains: true, stats: true, save: savePath})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.Open(savePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	db, err := graphdb.Load(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The saved graph must contain the app's entry method.
+	if ids := db.FindNodes("Method", "NAME", "app.Job#readObject(java.io.ObjectInputStream)"); len(ids) != 1 {
+		t.Errorf("saved graph missing app method: %v", ids)
+	}
+}
+
+func TestArchiveFromDir(t *testing.T) {
+	dir := writeTestProject(t)
+	ar, err := archiveFromDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ar.Files) != 1 || !strings.HasSuffix(ar.Files[0].Name, "Job.java") {
+		t.Fatalf("files = %+v", ar.Files)
+	}
+	if _, err := archiveFromDir(t.TempDir()); err == nil {
+		t.Error("empty directory must error")
+	}
+}
+
+func TestRunInputValidation(t *testing.T) {
+	if err := run(options{}); err == nil {
+		t.Error("no input must error")
+	}
+	if err := run(options{component: "NoSuchComponent"}); err == nil {
+		t.Error("unknown component must error")
+	}
+	if err := run(options{scene: "NoSuchScene"}); err == nil {
+		t.Error("unknown scene must error")
+	}
+	if err := run(options{urldns: true, mechanism: "bogus"}); err == nil {
+		t.Error("unknown mechanism must error")
+	}
+	if err := run(options{list: true}); err != nil {
+		t.Errorf("list mode failed: %v", err)
+	}
+}
+
+func TestRunComponentMode(t *testing.T) {
+	if err := run(options{component: "C3P0", withRT: true, chains: false, stats: true}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunXStreamMechanism(t *testing.T) {
+	if err := run(options{urldns: true, withRT: true, mechanism: "xstream", chains: false}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,23 @@
+// Package tabby is a from-scratch Go reproduction of "Tabby: Automated
+// Gadget Chain Detection for Java Deserialization Vulnerabilities"
+// (DSN 2023).
+//
+// The root package carries only documentation and the benchmark harness;
+// the implementation lives under internal/:
+//
+//	internal/javasrc      mini-Java frontend (the Soot substitute)
+//	internal/jimple       three-address IR + program model
+//	internal/cfg          per-method control-flow graphs
+//	internal/taint        controllability analysis (Algorithm 1)
+//	internal/cpg          code property graph construction (ORG/PCG/MAG)
+//	internal/graphdb      embedded property-graph store (the Neo4j substitute)
+//	internal/cypher       Cypher-lite query language
+//	internal/pathfinder   tabby-path-finder (Algorithms 2–3)
+//	internal/core         the end-to-end engine
+//	internal/baseline/... GadgetInspector- and Serianalyzer-like baselines
+//	internal/corpus       evaluation corpus (components, scenes, synthetics)
+//	internal/bench        experiment harness regenerating Tables VIII–XI
+//
+// See README.md for usage and EXPERIMENTS.md for the paper-vs-measured
+// record of every table and figure.
+package tabby

@@ -1,0 +1,69 @@
+// Blacklist refinement (paper §IV-E): "Xstream and Apache Dubbo refined
+// their blacklists based on the gadget chains we submitted." This example
+// runs Tabby over the JDK8 scene, derives a deserialization blacklist
+// from the discovered chains, and shows that applying it breaks every
+// chain — the defensive workflow the paper recommends to project owners.
+//
+//	go run ./examples/blacklist
+package main
+
+import (
+	"fmt"
+	"log"
+	"strings"
+
+	"tabby/internal/core"
+	"tabby/internal/corpus"
+	"tabby/internal/javasrc"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	scene, err := corpus.SceneByName("JDK8")
+	if err != nil {
+		return err
+	}
+	engine := core.New(core.Options{})
+	rep, err := engine.AnalyzeSources(append([]javasrc.ArchiveSource{corpus.RT()}, scene.Archives...))
+	if err != nil {
+		return err
+	}
+	fmt.Printf("chains found in the %s scene: %d\n\n", scene.Name, len(rep.Chains))
+
+	blacklist := core.BlacklistFromChains(rep.Chains)
+	fmt.Printf("derived deserialization blacklist (%d classes):\n", len(blacklist))
+	for _, c := range blacklist {
+		fmt.Printf("  %s\n", c)
+	}
+
+	surviving := core.FilterChainsByBlacklist(rep.Chains, blacklist)
+	fmt.Printf("\nchains surviving the full blacklist: %d\n", len(surviving))
+	if len(surviving) != 0 {
+		return fmt.Errorf("blacklist incomplete")
+	}
+
+	// A partial blacklist — only the chain heads — is the cheaper
+	// mitigation: blocking the entry classes alone also kills everything
+	// rooted at them.
+	var heads []string
+	seen := map[string]bool{}
+	for _, c := range rep.Chains {
+		head := c.Names[0]
+		cls := head
+		if i := strings.IndexByte(head, '#'); i > 0 {
+			cls = head[:i]
+		}
+		if !seen[cls] {
+			seen[cls] = true
+			heads = append(heads, cls)
+		}
+	}
+	surviving = core.FilterChainsByBlacklist(rep.Chains, heads)
+	fmt.Printf("chains surviving a heads-only blacklist (%d classes): %d\n", len(heads), len(surviving))
+	return nil
+}

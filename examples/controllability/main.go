@@ -1,0 +1,86 @@
+// Controllability-analysis walkthrough (paper §III-C, Fig. 5): compiles
+// the paper's own example/exchange pair and prints the Action summaries
+// and the Polluted_Position that the analysis derives — matching
+// Fig. 5(b) and Fig. 5(c) symbol for symbol.
+//
+//	go run ./examples/controllability
+package main
+
+import (
+	"fmt"
+	"log"
+	"sort"
+
+	"tabby/internal/java"
+	"tabby/internal/javasrc"
+	"tabby/internal/taint"
+)
+
+// fig5 is the source of paper Fig. 5(a), verbatim modulo class wrappers.
+const fig5 = `
+package fig5;
+
+public class A {
+    public fig5.B b;
+}
+
+public class B {
+    public static fig5.B exchange(fig5.A a, fig5.B b) {
+        a.b = b;
+        b = new fig5.B();
+        return a.b;
+    }
+}
+
+public class C {
+    public fig5.A example(fig5.A a, fig5.B b) {
+        fig5.A a1 = new fig5.A();
+        fig5.A a2 = a;
+        a = a1;
+        fig5.B b1 = fig5.B.exchange(a, b);
+        return a2;
+    }
+}
+`
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	prog, err := javasrc.Compile("fig5.jar", fig5)
+	if err != nil {
+		return err
+	}
+	res, err := taint.Analyze(prog, taint.Options{})
+	if err != nil {
+		return err
+	}
+
+	fmt.Println("Action summaries (paper Fig. 5b):")
+	keys := make([]java.MethodKey, 0, len(res.Actions))
+	for k := range res.Actions {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	for _, k := range keys {
+		fmt.Printf("  %-60s %s\n", k, res.Actions[k])
+	}
+
+	fmt.Println("\nPolluted_Position per call edge (paper Fig. 5c):")
+	for _, k := range keys {
+		for _, call := range res.Calls[k] {
+			status := ""
+			if call.Pruned {
+				status = "  (pruned: all positions ∞)"
+			}
+			fmt.Printf("  %s -CALL-> %s#%s  PP=%s%s\n",
+				k, call.CalleeClass, call.CalleeSub, call.PP, status)
+		}
+	}
+	fmt.Printf("\ncall sites analyzed: %d, pruned as uncontrollable: %d\n",
+		res.TotalCalls, res.PrunedCalls)
+	return nil
+}

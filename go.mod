@@ -1,0 +1,3 @@
+module tabby
+
+go 1.22

@@ -1,0 +1,52 @@
+// Package baseline defines the shared result shape of the two
+// comparison tools the paper evaluates against (§IV-C): GadgetInspector
+// and Serianalyzer. Each reimplementation deliberately reproduces the
+// behavioural defects §IV-F attributes to the original, so that the
+// comparison experiment exercises the same failure modes.
+package baseline
+
+import (
+	"strings"
+
+	"tabby/internal/java"
+)
+
+// Chain is one reported gadget chain, source first.
+type Chain struct {
+	Methods []java.MethodKey
+}
+
+// Source returns the chain's entry method.
+func (c Chain) Source() java.MethodKey {
+	if len(c.Methods) == 0 {
+		return ""
+	}
+	return c.Methods[0]
+}
+
+// Sink returns the chain's final method.
+func (c Chain) Sink() java.MethodKey {
+	if len(c.Methods) == 0 {
+		return ""
+	}
+	return c.Methods[len(c.Methods)-1]
+}
+
+// Key renders a stable identity.
+func (c Chain) Key() string {
+	parts := make([]string, len(c.Methods))
+	for i, m := range c.Methods {
+		parts[i] = string(m)
+	}
+	return strings.Join(parts, " -> ")
+}
+
+// Result is a baseline tool's output for one program.
+type Result struct {
+	Chains []Chain
+	// Timeout reports that the tool exceeded its step budget without
+	// completing — the paper's "X: the process is not terminated".
+	Timeout bool
+	// Steps counts search expansions, for reporting.
+	Steps int
+}

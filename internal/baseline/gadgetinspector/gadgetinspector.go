@@ -1,0 +1,272 @@
+// Package gadgetinspector reimplements the comparison baseline of the
+// same name (BlackHat 2018) at the behavioural level the paper describes.
+// It searches *forward* from deserialization sources to sinks over an
+// ASM-style call graph, and deliberately reproduces the three defects
+// §IV-F attributes to the original tool:
+//
+//  1. incomplete polymorphism — virtual calls expand to subclass
+//     overrides only; interface dispatch is never resolved, so chains
+//     that pivot through an interface implementation are lost;
+//  2. global visited-node skipping — once a method has been traversed it
+//     is never expanded again, losing alternative chains through shared
+//     middles;
+//  3. optimistic intraprocedural-only taint — callee effects on arguments
+//     are ignored and unknown calls/static fields are assumed tainted,
+//     so interprocedurally sanitized chains are still reported.
+package gadgetinspector
+
+import (
+	"sort"
+
+	"tabby/internal/baseline"
+	"tabby/internal/java"
+	"tabby/internal/jimple"
+	"tabby/internal/sinks"
+)
+
+// Options tunes the analyzer.
+type Options struct {
+	// Sinks is the sink registry; nil means the default set.
+	Sinks *sinks.Registry
+	// Sources recognizes entry points; zero value means the defaults.
+	Sources sinks.SourceConfig
+	// MaxDepth caps chain length in methods (default 30 — the original
+	// has no meaningful depth pressure).
+	MaxDepth int
+	// MaxSteps caps search expansions (default 1,000,000).
+	MaxSteps int
+}
+
+const (
+	defaultMaxDepth = 30
+	defaultMaxSteps = 1_000_000
+)
+
+// Run executes the analyzer over the program.
+func Run(prog *jimple.Program, opts Options) (*baseline.Result, error) {
+	if opts.Sinks == nil {
+		opts.Sinks = sinks.Default()
+	}
+	if len(opts.Sources.MethodNames) == 0 {
+		opts.Sources = sinks.DefaultSources()
+	}
+	if opts.MaxDepth <= 0 {
+		opts.MaxDepth = defaultMaxDepth
+	}
+	if opts.MaxSteps <= 0 {
+		opts.MaxSteps = defaultMaxSteps
+	}
+	a := &analyzer{
+		prog:    prog,
+		opts:    opts,
+		visited: make(map[java.MethodKey]bool),
+		edges:   make(map[java.MethodKey][]edge),
+		res:     &baseline.Result{},
+	}
+	a.buildCallGraph()
+
+	// Deterministic source order.
+	var sources []*java.Method
+	h := prog.Hierarchy
+	for _, name := range h.SortedClassNames() {
+		c := h.Class(name)
+		for _, m := range c.Methods {
+			if opts.Sources.IsSource(h, m) {
+				sources = append(sources, m)
+			}
+		}
+	}
+	sort.Slice(sources, func(i, j int) bool { return sources[i].Key() < sources[j].Key() })
+	for _, src := range sources {
+		a.dfs(src.Key(), []java.MethodKey{src.Key()})
+	}
+	return a.res, nil
+}
+
+// edge is one call-graph edge with its (naive) taint verdict.
+type edge struct {
+	callee  java.MethodKey
+	tainted bool // receiver or some argument syntactically tainted
+	sink    sinks.Sink
+	isSink  bool
+}
+
+type analyzer struct {
+	prog    *jimple.Program
+	opts    Options
+	visited map[java.MethodKey]bool
+	edges   map[java.MethodKey][]edge
+	res     *baseline.Result
+	seen    map[string]bool
+}
+
+// buildCallGraph computes the forward edges with the tool's incomplete
+// polymorphism and optimistic taint.
+func (a *analyzer) buildCallGraph() {
+	h := a.prog.Hierarchy
+	keys := make([]java.MethodKey, 0, len(a.prog.Bodies))
+	for k := range a.prog.Bodies {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	for _, key := range keys {
+		body := a.prog.Bodies[key]
+		tainted := naiveTaint(body)
+		for _, inv := range body.Invokes() {
+			e := inv.Expr
+			if e.Kind == jimple.InvokeDynamic {
+				continue
+			}
+			isTainted := invokeTainted(e, tainted)
+			sink, isSink := a.opts.Sinks.Match(h, e.Class, e.Name)
+			var targets []*java.Method
+			resolved := h.ResolveMethod(e.Class, e.SubSignature())
+			if resolved != nil {
+				targets = append(targets, resolved)
+			}
+			// Defect 1: subclass overrides only — classes reached through
+			// extends edges; interface implementers are never expanded.
+			if e.Kind == jimple.InvokeVirtual {
+				targets = append(targets, classOverrides(h, e.Class, e.SubSignature())...)
+			}
+			if len(targets) == 0 {
+				// Phantom callee: keep the edge so sink matching works.
+				targets = append(targets, &java.Method{ClassName: e.Class, Name: e.Name, Params: e.ParamTypes, Return: e.ReturnType, Modifiers: java.ModPublic | java.ModAbstract})
+			}
+			for _, t := range targets {
+				a.edges[key] = append(a.edges[key], edge{
+					callee:  t.Key(),
+					tainted: isTainted,
+					sink:    sink,
+					isSink:  isSink,
+				})
+			}
+		}
+	}
+}
+
+// classOverrides walks the extends-only subclass cone.
+func classOverrides(h *java.Hierarchy, class, sub string) []*java.Method {
+	var out []*java.Method
+	var visit func(n string)
+	visit = func(n string) {
+		for _, s := range h.DirectSubclasses(n) {
+			if c := h.Class(s); c != nil {
+				if m := c.MethodBySubSignature(sub); m != nil {
+					out = append(out, m)
+				}
+			}
+			visit(s)
+		}
+	}
+	visit(class)
+	return out
+}
+
+// naiveTaint computes the intraprocedural tainted-local set: this and
+// params taint; assignments, casts, field loads (any base), static loads
+// and call results of tainted calls propagate; new expressions and
+// constants clear. Callee effects on arguments are ignored (defect 3).
+func naiveTaint(body *jimple.Body) map[string]bool {
+	tainted := make(map[string]bool)
+	// Two passes reach a fixpoint for the straight-line approximation the
+	// original used; loops just re-taint.
+	for pass := 0; pass < 2; pass++ {
+		for _, s := range body.Stmts {
+			switch st := s.(type) {
+			case *jimple.IdentityStmt:
+				tainted[st.Local.Name] = true
+			case *jimple.AssignStmt:
+				if lhs, ok := st.LHS.(*jimple.Local); ok {
+					tainted[lhs.Name] = valueTainted(st.RHS, tainted)
+				}
+			}
+		}
+	}
+	return tainted
+}
+
+func valueTainted(v jimple.Value, tainted map[string]bool) bool {
+	switch val := v.(type) {
+	case *jimple.Local:
+		return tainted[val.Name]
+	case *jimple.CastExpr:
+		return valueTainted(val.Op, tainted)
+	case *jimple.FieldRef:
+		if val.IsStatic() {
+			return true // optimism: statics assumed attacker-reachable
+		}
+		return tainted[val.Base.Name]
+	case *jimple.ArrayRef:
+		return tainted[val.Base.Name]
+	case *jimple.InvokeExpr:
+		return invokeTainted(val, tainted)
+	case *jimple.BinopExpr:
+		return valueTainted(val.L, tainted) || valueTainted(val.R, tainted)
+	default:
+		return false
+	}
+}
+
+func invokeTainted(e *jimple.InvokeExpr, tainted map[string]bool) bool {
+	if e.Base != nil && tainted[e.Base.Name] {
+		return true
+	}
+	for _, arg := range e.Args {
+		if valueTainted(arg, tainted) {
+			return true
+		}
+	}
+	return false
+}
+
+// dfs walks forward. Sinks are checked before the visited test; every
+// other node is expanded at most once globally (defect 2).
+func (a *analyzer) dfs(node java.MethodKey, path []java.MethodKey) {
+	a.res.Steps++
+	if a.res.Steps > a.opts.MaxSteps {
+		a.res.Timeout = true
+		return
+	}
+	if len(path) > a.opts.MaxDepth {
+		return
+	}
+	for _, e := range a.edges[node] {
+		if !e.tainted {
+			continue
+		}
+		if e.isSink {
+			a.record(append(append([]java.MethodKey(nil), path...), e.callee))
+			continue
+		}
+		if a.visited[e.callee] {
+			continue
+		}
+		a.visited[e.callee] = true
+		if onPath(path, e.callee) {
+			continue
+		}
+		a.dfs(e.callee, append(path, e.callee))
+	}
+}
+
+func onPath(path []java.MethodKey, k java.MethodKey) bool {
+	for _, p := range path {
+		if p == k {
+			return true
+		}
+	}
+	return false
+}
+
+func (a *analyzer) record(methods []java.MethodKey) {
+	if a.seen == nil {
+		a.seen = make(map[string]bool)
+	}
+	c := baseline.Chain{Methods: methods}
+	if a.seen[c.Key()] {
+		return
+	}
+	a.seen[c.Key()] = true
+	a.res.Chains = append(a.res.Chains, c)
+}

@@ -1,0 +1,200 @@
+package gadgetinspector
+
+import (
+	"testing"
+
+	"tabby/internal/corpus"
+	"tabby/internal/javasrc"
+)
+
+func TestFindsPlainChain(t *testing.T) {
+	prog, err := javasrc.CompileArchives([]javasrc.ArchiveSource{
+		corpus.RT(),
+		{Name: "t.jar", Files: []javasrc.File{{Name: "t.java", Source: `
+package t;
+public class Entry implements java.io.Serializable {
+    public String cmd;
+    private void readObject(java.io.ObjectInputStream s) {
+        Helper.run(this.cmd);
+    }
+}
+class Helper {
+    static void run(String c) {
+        java.lang.Process p = java.lang.Runtime.getRuntime().exec(c);
+    }
+}
+`}}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(prog, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, c := range res.Chains {
+		if string(c.Source()) == "t.Entry#readObject(java.io.ObjectInputStream)" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("plain chain not found; chains: %v", res.Chains)
+	}
+}
+
+func TestMissesInterfaceDispatch(t *testing.T) {
+	// Defect 1 (§IV-F): interface implementations are never resolved.
+	prog, err := javasrc.CompileArchives([]javasrc.ArchiveSource{
+		corpus.RT(),
+		{Name: "t.jar", Files: []javasrc.File{{Name: "t.java", Source: `
+package t;
+interface Gadget { void fire(String c); }
+class Impl implements Gadget, java.io.Serializable {
+    public void fire(String c) {
+        java.lang.Process p = java.lang.Runtime.getRuntime().exec(c);
+    }
+}
+public class Entry implements java.io.Serializable {
+    public Gadget g;
+    public String cmd;
+    private void readObject(java.io.ObjectInputStream s) {
+        g.fire(this.cmd);
+    }
+}
+`}}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(prog, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range res.Chains {
+		if string(c.Source()) == "t.Entry#readObject(java.io.ObjectInputStream)" {
+			t.Fatalf("interface chain must be missed, found %v", c.Methods)
+		}
+	}
+}
+
+func TestGlobalVisitedSkipLosesSecondChain(t *testing.T) {
+	// Defect 2 (§IV-F): two chains through a shared middle — only the
+	// first survives the global visited set.
+	prog, err := javasrc.CompileArchives([]javasrc.ArchiveSource{
+		corpus.RT(),
+		{Name: "t.jar", Files: []javasrc.File{{Name: "t.java", Source: `
+package t;
+public class EntryA implements java.io.Serializable {
+    public String cmd;
+    private void readObject(java.io.ObjectInputStream s) { Mid.go(this.cmd); }
+}
+public class EntryB implements java.io.Serializable {
+    public String cmd;
+    private void readObject(java.io.ObjectInputStream s) { Mid.go(this.cmd); }
+}
+class Mid {
+    static void go(String c) { Relay.fwd(c); }
+}
+class Relay {
+    static void fwd(String c) {
+        java.lang.Process p = java.lang.Runtime.getRuntime().exec(c);
+    }
+}
+`}}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(prog, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var hitA, hitB bool
+	for _, c := range res.Chains {
+		switch string(c.Source()) {
+		case "t.EntryA#readObject(java.io.ObjectInputStream)":
+			hitA = true
+		case "t.EntryB#readObject(java.io.ObjectInputStream)":
+			hitB = true
+		}
+	}
+	if !hitA {
+		t.Error("first chain must be found")
+	}
+	if hitB {
+		t.Error("second chain through the visited middle must be lost")
+	}
+}
+
+func TestOptimisticTaintReportsSanitized(t *testing.T) {
+	// Defect 3 (§IV-F): interprocedural sanitization is invisible.
+	prog, err := javasrc.CompileArchives([]javasrc.ArchiveSource{
+		corpus.RT(),
+		{Name: "t.jar", Files: []javasrc.File{{Name: "t.java", Source: `
+package t;
+public class Entry implements java.io.Serializable {
+    public String cmd;
+    private void readObject(java.io.ObjectInputStream s) {
+        String c = San.clean(this.cmd);
+        Helper.run(c);
+    }
+}
+class San {
+    static String clean(String c) { String fixed = "safe"; return fixed; }
+}
+class Helper {
+    static void run(String c) {
+        java.lang.Process p = java.lang.Runtime.getRuntime().exec(c);
+    }
+}
+`}}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(prog, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, c := range res.Chains {
+		if string(c.Source()) == "t.Entry#readObject(java.io.ObjectInputStream)" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("optimistic taint must report the sanitized chain (Tabby prunes it)")
+	}
+}
+
+func TestConstantArgsNotTainted(t *testing.T) {
+	prog, err := javasrc.CompileArchives([]javasrc.ArchiveSource{
+		corpus.RT(),
+		{Name: "t.jar", Files: []javasrc.File{{Name: "t.java", Source: `
+package t;
+public class Entry implements java.io.Serializable {
+    private void readObject(java.io.ObjectInputStream s) {
+        Helper.run("fixed");
+    }
+}
+class Helper {
+    static void run(String c) {
+        java.lang.Process p = java.lang.Runtime.getRuntime().exec(c);
+    }
+}
+`}}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(prog, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range res.Chains {
+		if string(c.Source()) == "t.Entry#readObject(java.io.ObjectInputStream)" {
+			t.Fatalf("constant-input chain must not be reported: %v", c.Methods)
+		}
+	}
+}

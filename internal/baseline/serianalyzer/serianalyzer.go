@@ -1,0 +1,261 @@
+// Package serianalyzer reimplements the second comparison baseline at the
+// behavioural level the paper describes (§IV-C, §IV-F): a *backward*
+// search from sink call sites to deserialization entry points over a
+// call graph with full polymorphism, but with
+//
+//   - no controllability analysis at all — every backward-reachable path
+//     is reported, which yields the near-total false-positive rate the
+//     paper measures (98.6 %); and
+//   - no pruning during call-graph construction — on components with
+//     densely connected call structure the path enumeration exceeds any
+//     reasonable budget and the tool fails to terminate ("X" entries).
+//
+// Following the paper's methodology, callers filter its output to chains
+// that mention the package of the component under analysis.
+package serianalyzer
+
+import (
+	"sort"
+	"strings"
+
+	"tabby/internal/baseline"
+	"tabby/internal/java"
+	"tabby/internal/jimple"
+	"tabby/internal/sinks"
+)
+
+// Options tunes the analyzer.
+type Options struct {
+	// Sinks is the sink registry; nil means the default set.
+	Sinks *sinks.Registry
+	// Sources recognizes entry points; zero value means the defaults.
+	Sources sinks.SourceConfig
+	// MaxDepth caps chain length in methods. The original's effective
+	// horizon was shallow; default 5.
+	MaxDepth int
+	// MaxSteps is the step budget standing in for the paper's one-hour
+	// wall-clock cutoff; exceeding it reports Timeout. Default 2,000,000.
+	MaxSteps int
+	// PackageFilter keeps only chains that mention this package prefix
+	// (the paper's output filter). Empty keeps everything.
+	PackageFilter string
+}
+
+const (
+	defaultMaxDepth = 5
+	defaultMaxSteps = 2_000_000
+)
+
+// Run executes the analyzer over the program.
+func Run(prog *jimple.Program, opts Options) (*baseline.Result, error) {
+	if opts.Sinks == nil {
+		opts.Sinks = sinks.Default()
+	}
+	if len(opts.Sources.MethodNames) == 0 {
+		opts.Sources = sinks.DefaultSources()
+	}
+	if opts.MaxDepth <= 0 {
+		opts.MaxDepth = defaultMaxDepth
+	}
+	if opts.MaxSteps <= 0 {
+		opts.MaxSteps = defaultMaxSteps
+	}
+	a := &analyzer{
+		prog: prog,
+		opts: opts,
+		res:  &baseline.Result{},
+		seen: make(map[string]bool),
+	}
+	a.buildReverseGraph()
+	if a.res.Timeout {
+		// The paper attributes the X rows to "a problem with pruning
+		// during the call graph construction process": unbounded dispatch
+		// expansion blows the step budget before any search happens.
+		a.res.Chains = nil
+		return a.res, nil
+	}
+
+	// Start points: methods whose bodies call a sink, paired with the
+	// sink they call.
+	type start struct {
+		caller java.MethodKey
+		sink   java.MethodKey
+	}
+	var starts []start
+	for caller, outs := range a.sinkCalls {
+		for _, s := range outs {
+			starts = append(starts, start{caller: caller, sink: s})
+		}
+	}
+	sort.Slice(starts, func(i, j int) bool {
+		if starts[i].caller != starts[j].caller {
+			return starts[i].caller < starts[j].caller
+		}
+		return starts[i].sink < starts[j].sink
+	})
+	for _, st := range starts {
+		a.dfs(st.caller, []java.MethodKey{st.sink, st.caller})
+		if a.res.Timeout {
+			break
+		}
+	}
+	if a.res.Timeout {
+		a.res.Chains = nil // the paper records no output for X runs
+	}
+	return a.res, nil
+}
+
+type analyzer struct {
+	prog *jimple.Program
+	opts Options
+	// callers maps callee -> callers (full dispatch resolution).
+	callers   map[java.MethodKey][]java.MethodKey
+	callerSet map[java.MethodKey]map[java.MethodKey]bool
+	// sinkCalls maps caller -> sink method keys it invokes.
+	sinkCalls map[java.MethodKey][]java.MethodKey
+	res       *baseline.Result
+	seen      map[string]bool
+}
+
+// buildReverseGraph constructs the reversed call graph with full
+// polymorphism: an invoke of (class, sub) points at the resolved
+// declaration plus every dispatch target in the subtype cone — including
+// interface implementers.
+func (a *analyzer) buildReverseGraph() {
+	h := a.prog.Hierarchy
+	a.callers = make(map[java.MethodKey][]java.MethodKey)
+	a.callerSet = make(map[java.MethodKey]map[java.MethodKey]bool)
+	a.sinkCalls = make(map[java.MethodKey][]java.MethodKey)
+	keys := make([]java.MethodKey, 0, len(a.prog.Bodies))
+	for k := range a.prog.Bodies {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	for _, key := range keys {
+		body := a.prog.Bodies[key]
+		for _, inv := range body.Invokes() {
+			e := inv.Expr
+			if e.Kind == jimple.InvokeDynamic {
+				continue
+			}
+			if _, isSink := a.opts.Sinks.Match(h, e.Class, e.Name); isSink {
+				sinkKey := java.MethodKey(e.Class + "#" + e.SubSignature())
+				if m := h.ResolveMethod(e.Class, e.SubSignature()); m != nil {
+					sinkKey = m.Key()
+				}
+				a.sinkCalls[key] = appendUnique(a.sinkCalls[key], sinkKey)
+				continue
+			}
+			targets := h.DispatchTargets(e.Class, e.SubSignature())
+			if len(targets) == 0 {
+				continue
+			}
+			for _, t := range targets {
+				a.res.Steps++
+				if a.res.Steps > a.opts.MaxSteps {
+					a.res.Timeout = true
+					return
+				}
+				a.addCaller(t.Key(), key)
+			}
+		}
+	}
+}
+
+func appendUnique(list []java.MethodKey, k java.MethodKey) []java.MethodKey {
+	for _, v := range list {
+		if v == k {
+			return list
+		}
+	}
+	return append(list, k)
+}
+
+// addCaller inserts a reverse edge with constant-time deduplication.
+func (a *analyzer) addCaller(callee, caller java.MethodKey) {
+	set, ok := a.callerSet[callee]
+	if !ok {
+		set = make(map[java.MethodKey]bool)
+		a.callerSet[callee] = set
+	}
+	if set[caller] {
+		return
+	}
+	set[caller] = true
+	a.callers[callee] = append(a.callers[callee], caller)
+}
+
+// dfs walks backwards enumerating every simple path to a source — no
+// pruning of any kind.
+func (a *analyzer) dfs(node java.MethodKey, path []java.MethodKey) {
+	a.res.Steps++
+	if a.res.Steps > a.opts.MaxSteps {
+		a.res.Timeout = true
+		return
+	}
+	if a.isSource(node) {
+		a.record(path)
+		return
+	}
+	if len(path) >= a.opts.MaxDepth {
+		return
+	}
+	for _, caller := range a.callers[node] {
+		if onPath(path, caller) {
+			continue
+		}
+		a.dfs(caller, append(path, caller))
+		if a.res.Timeout {
+			return
+		}
+	}
+}
+
+func (a *analyzer) isSource(key java.MethodKey) bool {
+	h := a.prog.Hierarchy
+	c := h.Class(java.MethodKeyClass(key))
+	if c == nil {
+		return false
+	}
+	m := h.MethodByKey(key)
+	if m == nil {
+		return false
+	}
+	return a.opts.Sources.IsSource(h, m)
+}
+
+func onPath(path []java.MethodKey, k java.MethodKey) bool {
+	for _, p := range path {
+		if p == k {
+			return true
+		}
+	}
+	return false
+}
+
+// record reverses the sink-rooted path into source-first order, applies
+// the package filter, and deduplicates.
+func (a *analyzer) record(path []java.MethodKey) {
+	if a.opts.PackageFilter != "" {
+		mentions := false
+		for _, m := range path {
+			if strings.Contains(string(m), a.opts.PackageFilter) {
+				mentions = true
+				break
+			}
+		}
+		if !mentions {
+			return
+		}
+	}
+	methods := make([]java.MethodKey, len(path))
+	for i := range path {
+		methods[i] = path[len(path)-1-i]
+	}
+	c := baseline.Chain{Methods: methods}
+	if a.seen[c.Key()] {
+		return
+	}
+	a.seen[c.Key()] = true
+	a.res.Chains = append(a.res.Chains, c)
+}

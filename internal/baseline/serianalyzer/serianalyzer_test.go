@@ -1,0 +1,191 @@
+package serianalyzer
+
+import (
+	"strings"
+	"testing"
+
+	"tabby/internal/corpus"
+	"tabby/internal/javasrc"
+)
+
+func TestReportsEverythingBackwardReachable(t *testing.T) {
+	prog, err := javasrc.CompileArchives([]javasrc.ArchiveSource{
+		corpus.RT(),
+		{Name: "t.jar", Files: []javasrc.File{{Name: "t.java", Source: `
+package t;
+public class Real implements java.io.Serializable {
+    public String cmd;
+    private void readObject(java.io.ObjectInputStream s) { Helper.run(this.cmd); }
+}
+public class Sanitized implements java.io.Serializable {
+    public String cmd;
+    private void readObject(java.io.ObjectInputStream s) {
+        String c = San.clean(this.cmd);
+        Helper.run(c);
+    }
+}
+public class Constant implements java.io.Serializable {
+    private void readObject(java.io.ObjectInputStream s) { Helper.run("x"); }
+}
+class San { static String clean(String c) { String f = "safe"; return f; } }
+class Helper {
+    static void run(String c) {
+        java.lang.Process p = java.lang.Runtime.getRuntime().exec(c);
+    }
+}
+`}}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(prog, Options{PackageFilter: "t."})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := make(map[string]bool)
+	for _, c := range res.Chains {
+		got[string(c.Source())] = true
+	}
+	// No controllability: the real, the sanitized AND the constant-input
+	// chains are all reported — the 98.6 % FPR behaviour.
+	for _, want := range []string{
+		"t.Real#readObject(java.io.ObjectInputStream)",
+		"t.Sanitized#readObject(java.io.ObjectInputStream)",
+		"t.Constant#readObject(java.io.ObjectInputStream)",
+	} {
+		if !got[want] {
+			t.Errorf("chain from %s missing (no-pruning behaviour)", want)
+		}
+	}
+}
+
+func TestResolvesInterfaceDispatch(t *testing.T) {
+	prog, err := javasrc.CompileArchives([]javasrc.ArchiveSource{
+		corpus.RT(),
+		{Name: "t.jar", Files: []javasrc.File{{Name: "t.java", Source: `
+package t;
+interface Gadget { void fire(String c); }
+class Impl implements Gadget, java.io.Serializable {
+    public void fire(String c) {
+        java.lang.Process p = java.lang.Runtime.getRuntime().exec(c);
+    }
+}
+public class Entry implements java.io.Serializable {
+    public Gadget g;
+    public String cmd;
+    private void readObject(java.io.ObjectInputStream s) { g.fire(this.cmd); }
+}
+`}}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(prog, Options{PackageFilter: "t."})
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, c := range res.Chains {
+		if string(c.Source()) == "t.Entry#readObject(java.io.ObjectInputStream)" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("interface-dispatch chain must be found (full polymorphism)")
+	}
+}
+
+func TestDepthHorizonMissesDeepChain(t *testing.T) {
+	var hops strings.Builder
+	hops.WriteString(`
+package t;
+public class Entry implements java.io.Serializable {
+    public String cmd;
+    private void readObject(java.io.ObjectInputStream s) { D0.hop(this.cmd); }
+}
+`)
+	const k = 7
+	for i := 0; i < k; i++ {
+		if i == k-1 {
+			hops.WriteString("\nclass D6 { static void hop(String c) { java.lang.Process p = java.lang.Runtime.getRuntime().exec(c); } }\n")
+		} else {
+			hops.WriteString(strings.ReplaceAll(`
+class DIDX { static void hop(String c) { DNEXT.hop(c); } }
+`, "DIDX", dName(i)))
+			// substitute DNEXT
+		}
+	}
+	src := hops.String()
+	for i := 0; i < k-1; i++ {
+		src = strings.Replace(src, "DNEXT", dName(i+1), 1)
+	}
+	prog, err := javasrc.CompileArchives([]javasrc.ArchiveSource{
+		corpus.RT(),
+		{Name: "t.jar", Files: []javasrc.File{{Name: "t.java", Source: src}}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(prog, Options{PackageFilter: "t."})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range res.Chains {
+		if string(c.Source()) == "t.Entry#readObject(java.io.ObjectInputStream)" {
+			t.Fatalf("deep chain must exceed the depth horizon: %v", c.Methods)
+		}
+	}
+	// With a generous depth it IS found.
+	res, err = Run(prog, Options{PackageFilter: "t.", MaxDepth: 12})
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, c := range res.Chains {
+		if string(c.Source()) == "t.Entry#readObject(java.io.ObjectInputStream)" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("deep chain must be found at depth 12")
+	}
+}
+
+func dName(i int) string { return "D" + string(rune('0'+i)) }
+
+func TestDispatchBombTimesOut(t *testing.T) {
+	comp, err := corpus.ComponentByName("Jython1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog, err := javasrc.CompileArchives(append([]javasrc.ArchiveSource{corpus.RT()}, comp.Archives...))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(prog, Options{MaxSteps: 400_000, PackageFilter: comp.Package})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Timeout {
+		t.Fatalf("dispatch bomb must exhaust the step budget (steps=%d)", res.Steps)
+	}
+	if len(res.Chains) != 0 {
+		t.Error("timed-out runs must report no chains (the paper's X)")
+	}
+}
+
+func TestPackageFilter(t *testing.T) {
+	prog, err := javasrc.CompileArchives([]javasrc.ArchiveSource{corpus.RT()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Filtering to a package that matches nothing yields no chains even
+	// though rt-internal chains (URLDNS) exist.
+	res, err := Run(prog, Options{PackageFilter: "com.nonexistent."})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Chains) != 0 {
+		t.Errorf("package filter leak: %v", res.Chains)
+	}
+}

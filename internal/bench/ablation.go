@@ -1,0 +1,95 @@
+package bench
+
+import (
+	"fmt"
+	"strings"
+
+	"tabby/internal/core"
+	"tabby/internal/corpus"
+	"tabby/internal/javasrc"
+	"tabby/internal/sinks"
+	"tabby/internal/taint"
+)
+
+// AblationResult contrasts full Tabby against a variant with one design
+// element removed, over the Table IX corpus. The paper motivates both
+// elements in §III-C: interprocedural Action summaries (their absence is
+// the stated cause of other tools' false positives) and all-∞ call
+// pruning (their defence against path explosion).
+type AblationResult struct {
+	Name        string
+	ResultCount int
+	Fake        int
+	Known       int
+	Unknown     int
+}
+
+// FPR is the variant's aggregate false-positive rate.
+func (r AblationResult) FPR() float64 { return pct(r.Fake, r.ResultCount) }
+
+// RunAblation evaluates a Tabby variant across all components.
+func RunAblation(name string, opts core.Options) (*AblationResult, error) {
+	res := &AblationResult{Name: name}
+	for _, comp := range corpus.Components() {
+		archives := appendRT(comp)
+		engine := core.New(opts)
+		rep, err := engine.AnalyzeSources(archives)
+		if err != nil {
+			return nil, fmt.Errorf("ablation %s on %s: %w", name, comp.Name, err)
+		}
+		eps := tabbyEndpoints(rep.Graph.Program, defaultRegistry(opts), rep.Chains, comp.Package)
+		outcome := scoreEndpoints(eps, comp)
+		res.ResultCount += outcome.ResultCount
+		res.Fake += outcome.Fake
+		res.Known += outcome.Known
+		res.Unknown += outcome.Unknown
+	}
+	return res, nil
+}
+
+// RunAblationSuite produces the three-variant comparison: full Tabby,
+// no-interprocedural, and no-pruning (MCG instead of PCG).
+func RunAblationSuite() ([]AblationResult, error) {
+	variants := []struct {
+		name string
+		opts core.Options
+	}{
+		{name: "full"},
+		{name: "no-interprocedural", opts: core.Options{
+			TaintOptions: taint.Options{DisableInterprocedural: true},
+		}},
+		{name: "no-pruning (MCG)", opts: core.Options{KeepPrunedCalls: true}},
+	}
+	out := make([]AblationResult, 0, len(variants))
+	for _, v := range variants {
+		r, err := RunAblation(v.name, v.opts)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, *r)
+	}
+	return out, nil
+}
+
+// FormatAblation renders the suite.
+func FormatAblation(results []AblationResult) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%-22s %8s %6s %6s %8s %8s\n", "Variant", "Results", "Fake", "Known", "Unknown", "FPR(%)")
+	sb.WriteString(strings.Repeat("-", 64) + "\n")
+	for _, r := range results {
+		fmt.Fprintf(&sb, "%-22s %8d %6d %6d %8d %8.1f\n",
+			r.Name, r.ResultCount, r.Fake, r.Known, r.Unknown, r.FPR())
+	}
+	return sb.String()
+}
+
+func appendRT(comp corpus.Component) []javasrc.ArchiveSource {
+	return append([]javasrc.ArchiveSource{corpus.RT()}, comp.Archives...)
+}
+
+func defaultRegistry(opts core.Options) *sinks.Registry {
+	if opts.Sinks != nil {
+		return opts.Sinks
+	}
+	return sinks.Default()
+}

@@ -1,0 +1,232 @@
+// Package bench is the experiment harness: it runs Tabby and the two
+// baselines over the evaluation corpus and regenerates every table of the
+// paper's evaluation section (Tables VIII–XI plus the RQ4 aggregate).
+package bench
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+
+	"tabby/internal/baseline"
+	"tabby/internal/baseline/gadgetinspector"
+	"tabby/internal/baseline/serianalyzer"
+	"tabby/internal/core"
+	"tabby/internal/corpus"
+	"tabby/internal/java"
+	"tabby/internal/javasrc"
+	"tabby/internal/jimple"
+	"tabby/internal/pathfinder"
+	"tabby/internal/sinks"
+)
+
+// endpoint is the normalized identity of a reported chain: its source
+// method and the registry identity of its sink. Tools report path
+// variants; the evaluation (like the paper's manual verification) counts
+// distinct endpoint pairs.
+type endpoint struct {
+	source java.MethodKey
+	sink   string // sinks.Sink.Key() form: "class.method"
+}
+
+// ToolOutcome is one tool's scored result on one component.
+type ToolOutcome struct {
+	ResultCount int
+	Fake        int
+	Known       int
+	Unknown     int
+	Timeout     bool
+	Elapsed     time.Duration
+	// FoundSpecs records which planted chains (by spec ID) were matched.
+	FoundSpecs map[string]bool
+}
+
+// FPR is Formula 5: fake / result (percent). NaN-free: zero results give
+// zero (the paper prints 0 for empty result sets).
+func (o ToolOutcome) FPR() float64 {
+	if o.ResultCount == 0 {
+		return 0
+	}
+	return 100 * float64(o.Fake) / float64(o.ResultCount)
+}
+
+// FNRAgainst is Formula 6: (dataset − known)/dataset (percent).
+func (o ToolOutcome) FNRAgainst(dataset int) float64 {
+	if dataset == 0 {
+		return 0
+	}
+	return 100 * float64(dataset-o.Known) / float64(dataset)
+}
+
+// ComponentResult is the full Table IX row produced by the harness.
+type ComponentResult struct {
+	Component corpus.Component
+	GI        ToolOutcome
+	Tabby     ToolOutcome
+	SL        ToolOutcome
+}
+
+// EvalOptions tunes the comparison run.
+type EvalOptions struct {
+	// SLMaxSteps bounds Serianalyzer (stand-in for the one-hour cutoff);
+	// zero means 400,000 — enough for every terminating component, far
+	// below the explosion cliques.
+	SLMaxSteps int
+	// Registry is the sink registry shared by all tools; nil = default.
+	Registry *sinks.Registry
+}
+
+// EvaluateComponent compiles rt + the component and runs all three tools.
+func EvaluateComponent(comp corpus.Component, opts EvalOptions) (*ComponentResult, error) {
+	if opts.Registry == nil {
+		opts.Registry = sinks.Default()
+	}
+	if opts.SLMaxSteps <= 0 {
+		opts.SLMaxSteps = 400_000
+	}
+	archives := append([]javasrc.ArchiveSource{corpus.RT()}, comp.Archives...)
+	prog, err := javasrc.CompileArchives(archives)
+	if err != nil {
+		return nil, fmt.Errorf("component %s: %w", comp.Name, err)
+	}
+	res := &ComponentResult{Component: comp}
+
+	// Tabby.
+	start := time.Now()
+	engine := core.New(core.Options{Sinks: opts.Registry})
+	rep, err := engine.AnalyzeProgram(prog)
+	if err != nil {
+		return nil, fmt.Errorf("component %s: tabby: %w", comp.Name, err)
+	}
+	res.Tabby = scoreEndpoints(tabbyEndpoints(prog, opts.Registry, rep.Chains, comp.Package), comp)
+	res.Tabby.Elapsed = time.Since(start)
+
+	// GadgetInspector.
+	start = time.Now()
+	giRes, err := gadgetinspector.Run(prog, gadgetinspector.Options{Sinks: opts.Registry})
+	if err != nil {
+		return nil, fmt.Errorf("component %s: gadgetinspector: %w", comp.Name, err)
+	}
+	res.GI = scoreEndpoints(baselineEndpoints(prog, opts.Registry, giRes.Chains, comp.Package), comp)
+	res.GI.Timeout = giRes.Timeout
+	res.GI.Elapsed = time.Since(start)
+
+	// Serianalyzer.
+	start = time.Now()
+	slRes, err := serianalyzer.Run(prog, serianalyzer.Options{
+		Sinks:         opts.Registry,
+		MaxSteps:      opts.SLMaxSteps,
+		PackageFilter: comp.Package,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("component %s: serianalyzer: %w", comp.Name, err)
+	}
+	if slRes.Timeout {
+		res.SL = ToolOutcome{Timeout: true, FoundSpecs: map[string]bool{}}
+	} else {
+		res.SL = scoreEndpoints(baselineEndpoints(prog, opts.Registry, slRes.Chains, comp.Package), comp)
+	}
+	res.SL.Elapsed = time.Since(start)
+	return res, nil
+}
+
+// tabbyEndpoints normalizes pathfinder chains to endpoint pairs,
+// restricted to chains that mention the component package.
+func tabbyEndpoints(prog *jimple.Program, reg *sinks.Registry, chains []pathfinder.Chain, pkg string) []endpoint {
+	var out []endpoint
+	for _, c := range chains {
+		if len(c.Names) < 2 || !mentionsPackage(c.Names, pkg) {
+			continue
+		}
+		sinkKey := java.MethodKey(c.Names[len(c.Names)-1])
+		s, ok := reg.Match(prog.Hierarchy, java.MethodKeyClass(sinkKey), java.MethodKeyName(sinkKey))
+		if !ok {
+			continue
+		}
+		out = append(out, endpoint{source: java.MethodKey(c.Names[0]), sink: s.Key()})
+	}
+	return dedupeEndpoints(out)
+}
+
+// baselineEndpoints does the same for baseline chains.
+func baselineEndpoints(prog *jimple.Program, reg *sinks.Registry, chains []baseline.Chain, pkg string) []endpoint {
+	var out []endpoint
+	for _, c := range chains {
+		if len(c.Methods) < 2 {
+			continue
+		}
+		names := make([]string, len(c.Methods))
+		for i, m := range c.Methods {
+			names[i] = string(m)
+		}
+		if !mentionsPackage(names, pkg) {
+			continue
+		}
+		sinkKey := c.Sink()
+		s, ok := reg.Match(prog.Hierarchy, java.MethodKeyClass(sinkKey), java.MethodKeyName(sinkKey))
+		if !ok {
+			continue
+		}
+		out = append(out, endpoint{source: c.Source(), sink: s.Key()})
+	}
+	return dedupeEndpoints(out)
+}
+
+func mentionsPackage(names []string, pkg string) bool {
+	if pkg == "" {
+		return true
+	}
+	prefix := pkg + "."
+	for _, n := range names {
+		if strings.HasPrefix(n, prefix) {
+			return true
+		}
+	}
+	return false
+}
+
+func dedupeEndpoints(eps []endpoint) []endpoint {
+	seen := make(map[endpoint]bool, len(eps))
+	var out []endpoint
+	for _, e := range eps {
+		if !seen[e] {
+			seen[e] = true
+			out = append(out, e)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].source != out[j].source {
+			return out[i].source < out[j].source
+		}
+		return out[i].sink < out[j].sink
+	})
+	return out
+}
+
+// scoreEndpoints classifies reported endpoints against the component's
+// ground-truth manifest.
+func scoreEndpoints(eps []endpoint, comp corpus.Component) ToolOutcome {
+	specByEndpoint := make(map[endpoint]corpus.ChainSpec, len(comp.Chains))
+	for _, spec := range comp.Chains {
+		specByEndpoint[endpoint{source: spec.Source, sink: spec.SinkClass + "." + spec.SinkMethod}] = spec
+	}
+	out := ToolOutcome{ResultCount: len(eps), FoundSpecs: make(map[string]bool)}
+	for _, e := range eps {
+		spec, ok := specByEndpoint[e]
+		if !ok {
+			out.Fake++ // unplanted static path: not triggerable
+			continue
+		}
+		out.FoundSpecs[spec.ID] = true
+		switch spec.Category {
+		case corpus.CatKnown:
+			out.Known++
+		case corpus.CatUnknown:
+			out.Unknown++
+		default:
+			out.Fake++
+		}
+	}
+	return out
+}

@@ -1,0 +1,258 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+
+	"tabby/internal/core"
+	"tabby/internal/corpus"
+	"tabby/internal/interp"
+	"tabby/internal/java"
+	"tabby/internal/javasrc"
+	"tabby/internal/sinks"
+)
+
+// checkExpectations runs the three tools on a component and verifies
+// every planted chain is found by exactly the designed tool subset.
+func checkExpectations(t *testing.T, name string) *ComponentResult {
+	t.Helper()
+	comp, err := corpus.ComponentByName(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := EvaluateComponent(comp, EvalOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, spec := range comp.Chains {
+		if got := res.Tabby.FoundSpecs[spec.ID]; got != spec.ExpectTabby {
+			t.Errorf("%s %s (%s): tabby found=%v want %v", name, spec.ID, spec.Pattern, got, spec.ExpectTabby)
+		}
+		if got := res.GI.FoundSpecs[spec.ID]; got != spec.ExpectGI {
+			t.Errorf("%s %s (%s): gadgetinspector found=%v want %v", name, spec.ID, spec.Pattern, got, spec.ExpectGI)
+		}
+		if comp.SLTimeout {
+			if !res.SL.Timeout {
+				t.Errorf("%s: serianalyzer must time out", name)
+			}
+		} else if got := res.SL.FoundSpecs[spec.ID]; got != spec.ExpectSL {
+			t.Errorf("%s %s (%s): serianalyzer found=%v want %v", name, spec.ID, spec.Pattern, got, spec.ExpectSL)
+		}
+	}
+	return res
+}
+
+func TestAspectJWeaverExpectations(t *testing.T) {
+	res := checkExpectations(t, "AspectJWeaver")
+	// Paper row: TB 1 result / 0 fake / 1 known; GI 8 fake; SL 27 fake.
+	if res.Tabby.ResultCount != 1 || res.Tabby.Known != 1 || res.Tabby.Fake != 0 {
+		t.Errorf("tabby outcome = %+v", res.Tabby)
+	}
+	if res.GI.Fake != 8 || res.GI.Known != 0 {
+		t.Errorf("gi outcome = %+v", res.GI)
+	}
+	if res.SL.Fake != 27 || res.SL.Known != 0 {
+		t.Errorf("sl outcome = %+v", res.SL)
+	}
+}
+
+func TestCommonsCollections321Expectations(t *testing.T) {
+	res := checkExpectations(t, "commons-collections(3.2.1)")
+	// Paper row: TB 17 results / 4 fake / 4 known / 9 unknown.
+	if res.Tabby.Known != 4 || res.Tabby.Unknown != 9 || res.Tabby.Fake != 4 {
+		t.Errorf("tabby outcome = %+v", res.Tabby)
+	}
+	if res.GI.Known != 0 || res.GI.Unknown != 1 {
+		t.Errorf("gi outcome = %+v", res.GI)
+	}
+	if res.SL.Known != 0 {
+		t.Errorf("sl outcome = %+v", res.SL)
+	}
+	// The hand-modelled InvokerTransformer chain must be among Tabby's.
+	if !res.Tabby.FoundSpecs["CC-InvokerTransformer"] {
+		t.Error("CC-InvokerTransformer chain not found by tabby")
+	}
+}
+
+func TestFileUploadExpectations(t *testing.T) {
+	res := checkExpectations(t, "FileUpload1")
+	// Paper row: GI known 1, TB known 2, SL known 2.
+	if res.Tabby.Known != 2 || res.GI.Known != 1 || res.SL.Known != 2 {
+		t.Errorf("known: tb=%d gi=%d sl=%d", res.Tabby.Known, res.GI.Known, res.SL.Known)
+	}
+}
+
+func TestClojureSLTimesOut(t *testing.T) {
+	res := checkExpectations(t, "Clojure")
+	if !res.SL.Timeout {
+		t.Fatal("Clojure must time Serianalyzer out (paper's X entry)")
+	}
+	// GI finds its 2 static-channel unknowns; Tabby does not.
+	if res.GI.Unknown != 2 || res.Tabby.Unknown != 0 {
+		t.Errorf("unknowns: gi=%d tb=%d", res.GI.Unknown, res.Tabby.Unknown)
+	}
+	if res.Tabby.Known != 1 || res.Tabby.Fake != 1 {
+		t.Errorf("tabby outcome = %+v", res.Tabby)
+	}
+}
+
+func TestProxyComponentsFindNothingEffective(t *testing.T) {
+	// JSON1 and Resin: every effective chain uses dynamic proxy; Tabby
+	// reports nothing (paper TB result 0).
+	for _, name := range []string{"JSON1", "Resin"} {
+		comp, err := corpus.ComponentByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := EvaluateComponent(comp, EvalOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Tabby.ResultCount != 0 {
+			t.Errorf("%s: tabby results = %d, want 0", name, res.Tabby.ResultCount)
+		}
+		if res.GI.Fake == 0 {
+			t.Errorf("%s: gi must report its decoy fakes", name)
+		}
+	}
+}
+
+func TestOutcomeRates(t *testing.T) {
+	o := ToolOutcome{ResultCount: 4, Fake: 1, Known: 2, Unknown: 1}
+	if got := o.FPR(); got != 25 {
+		t.Errorf("FPR = %v", got)
+	}
+	if got := o.FNRAgainst(4); got != 50 {
+		t.Errorf("FNR = %v", got)
+	}
+	empty := ToolOutcome{}
+	if empty.FPR() != 0 || empty.FNRAgainst(0) != 0 {
+		t.Error("zero divisions must yield 0")
+	}
+}
+
+func TestC3P0HandChain(t *testing.T) {
+	res := checkExpectations(t, "C3P0")
+	if !res.Tabby.FoundSpecs["C3P0-ReferenceIndirector"] {
+		t.Error("C3P0 ReferenceIndirector chain not found by tabby")
+	}
+	if res.GI.FoundSpecs["C3P0-ReferenceIndirector"] || res.SL.FoundSpecs["C3P0-ReferenceIndirector"] {
+		t.Error("baselines must miss the C3P0 hand chain")
+	}
+	// Paper row: TB 6 results = 2 fake + 1 known + 3 unknown.
+	if res.Tabby.ResultCount != 6 || res.Tabby.Unknown != 3 {
+		t.Errorf("tabby outcome = %+v", res.Tabby)
+	}
+	// SL finds exactly the one shallow unknown (paper SL unknown = 1).
+	if res.SL.Unknown != 1 {
+		t.Errorf("sl unknown = %d, want 1", res.SL.Unknown)
+	}
+}
+
+func TestCommonsBeanutilsHandChain(t *testing.T) {
+	res := checkExpectations(t, "CommonsBeanutils1")
+	if !res.Tabby.FoundSpecs["CB1-BeanComparator"] {
+		t.Error("BeanComparator chain (via PriorityQueue.readObject) not found by tabby")
+	}
+	if res.Tabby.Known != 1 || res.Tabby.Fake != 0 {
+		t.Errorf("tabby outcome = %+v", res.Tabby)
+	}
+}
+
+// TestConfirmationMatchesGroundTruth runs the §V-C confirmation engine
+// over every chain Tabby reports on a set of components: chains the
+// manifest marks effective must confirm; fakes must not.
+func TestConfirmationMatchesGroundTruth(t *testing.T) {
+	if testing.Short() {
+		t.Skip("concrete execution over several components")
+	}
+	reg := sinks.Default()
+	for _, name := range []string{
+		"AspectJWeaver", "BeanShell1", "C3P0", "CommonsBeanutils1",
+		"commons-collections(3.2.1)", "FileUpload1", "Hibernate", "Rome",
+	} {
+		comp, err := corpus.ComponentByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		prog, err := javasrc.CompileArchives(append([]javasrc.ArchiveSource{corpus.RT()}, comp.Archives...))
+		if err != nil {
+			t.Fatal(err)
+		}
+		engine := core.New(core.Options{Sinks: reg})
+		rep, err := engine.AnalyzeProgram(prog)
+		if err != nil {
+			t.Fatal(err)
+		}
+		specByEndpoint := make(map[endpoint]corpus.ChainSpec, len(comp.Chains))
+		for _, spec := range comp.Chains {
+			specByEndpoint[endpoint{source: spec.Source, sink: spec.SinkClass + "." + spec.SinkMethod}] = spec
+		}
+		checked := 0
+		for _, chain := range rep.Chains {
+			if !strings.HasPrefix(chain.Names[0], comp.Package+".") &&
+				!strings.HasPrefix(chain.Names[0], "java.util.PriorityQueue#") {
+				continue
+			}
+			last := java.MethodKey(chain.Names[len(chain.Names)-1])
+			s, ok := reg.Match(prog.Hierarchy, java.MethodKeyClass(last), java.MethodKeyName(last))
+			if !ok {
+				continue
+			}
+			spec, planted := specByEndpoint[endpoint{source: java.MethodKey(chain.Names[0]), sink: s.Key()}]
+			if !planted {
+				continue
+			}
+			res, err := interp.Confirm(prog, chain.Names, interp.Options{Registry: reg})
+			if err != nil {
+				t.Errorf("%s/%s: confirm error: %v", name, spec.ID, err)
+				continue
+			}
+			checked++
+			if res.Confirmed != spec.Effective() {
+				t.Errorf("%s/%s (%s): confirmed=%v but ground truth effective=%v (failures %v)",
+					name, spec.ID, spec.Pattern, res.Confirmed, spec.Effective(), res.FailureModes)
+			}
+		}
+		if checked == 0 {
+			t.Errorf("%s: no chains checked", name)
+		}
+	}
+}
+
+// TestSceneChainsConfirm validates the Table X/XI effective chains
+// dynamically: the Spring JNDI family and the Dubbo getConnection chain
+// must all fire their sinks under concrete execution.
+func TestSceneChainsConfirm(t *testing.T) {
+	if testing.Short() {
+		t.Skip("concrete execution over scenes")
+	}
+	for _, sceneName := range []string{"Spring", "Apache Dubbo"} {
+		scene, err := corpus.SceneByName(sceneName)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := EvaluateScene(scene)
+		if err != nil {
+			t.Fatal(err)
+		}
+		prog, err := javasrc.CompileArchives(append([]javasrc.ArchiveSource{corpus.RT()}, scene.Archives...))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(res.Chains) == 0 {
+			t.Fatalf("%s: no effective chains collected", sceneName)
+		}
+		for _, chain := range res.Chains {
+			c, err := interp.Confirm(prog, chain.Names, interp.Options{})
+			if err != nil {
+				t.Errorf("%s: %s: %v", sceneName, chain.Names[0], err)
+				continue
+			}
+			if !c.Confirmed {
+				t.Errorf("%s: effective chain failed to confirm: %s (%v)",
+					sceneName, chain.Names[0], c.FailureModes)
+			}
+		}
+	}
+}

@@ -1,0 +1,57 @@
+package bench
+
+import (
+	"fmt"
+	"strings"
+)
+
+// RQ4 is the paper's result-description aggregate (§IV-E): across the
+// Table IX and Table X experiments, 117 chains were detected, 80 of them
+// effective, for an overall 31.6 % false-positive rate.
+type RQ4 struct {
+	TotalDetected    int
+	TotalEffective   int
+	Table9Detected   int
+	Table9Effective  int
+	Table10Detected  int
+	Table10Effective int
+}
+
+// OverallFPR is (detected − effective)/detected.
+func (r RQ4) OverallFPR() float64 {
+	return pct(r.TotalDetected-r.TotalEffective, r.TotalDetected)
+}
+
+// RunRQ4 runs both experiments and aggregates Tabby's numbers.
+func RunRQ4(opts EvalOptions) (*RQ4, error) {
+	t9, err := RunTable9(opts)
+	if err != nil {
+		return nil, err
+	}
+	t10, err := RunTable10()
+	if err != nil {
+		return nil, err
+	}
+	r := &RQ4{}
+	o := t9.Totals()
+	r.Table9Detected = o.TBResult
+	r.Table9Effective = o.TBKnown + o.TBUnknown
+	for _, row := range t10.Rows {
+		r.Table10Detected += row.ResultCount
+		r.Table10Effective += row.Effective
+	}
+	r.TotalDetected = r.Table9Detected + r.Table10Detected
+	r.TotalEffective = r.Table9Effective + r.Table10Effective
+	return r, nil
+}
+
+// Format renders the aggregate next to the paper's numbers.
+func (r *RQ4) Format() string {
+	var sb strings.Builder
+	sb.WriteString("RQ4 aggregate (paper §IV-E: 117 detected, 80 effective, 31.6% overall FPR)\n")
+	fmt.Fprintf(&sb, "  Table IX : %d detected, %d effective\n", r.Table9Detected, r.Table9Effective)
+	fmt.Fprintf(&sb, "  Table X  : %d detected, %d effective\n", r.Table10Detected, r.Table10Effective)
+	fmt.Fprintf(&sb, "  Total    : %d detected, %d effective, overall FPR %.1f%%\n",
+		r.TotalDetected, r.TotalEffective, r.OverallFPR())
+	return sb.String()
+}

@@ -1,0 +1,162 @@
+package bench
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"tabby/internal/core"
+	"tabby/internal/corpus"
+	"tabby/internal/java"
+	"tabby/internal/javasrc"
+	"tabby/internal/pathfinder"
+	"tabby/internal/sinks"
+)
+
+// SceneResult is one Table X row: Tabby's result on a development scene.
+type SceneResult struct {
+	Scene       corpus.Scene
+	JarCount    int
+	CodeBytes   int64
+	ResultCount int
+	Effective   int
+	SearchTime  time.Duration
+	BuildTime   time.Duration
+	// Chains holds representative chains per effective endpoint, for the
+	// Table XI listing.
+	Chains []pathfinder.Chain
+}
+
+// FPR is the scene false-positive rate (Formula 5).
+func (r SceneResult) FPR() float64 {
+	return pct(r.ResultCount-r.Effective, r.ResultCount)
+}
+
+// EvaluateScene runs the Tabby pipeline over one development scene.
+func EvaluateScene(scene corpus.Scene) (*SceneResult, error) {
+	reg := sinks.Default()
+	archives := append([]javasrc.ArchiveSource{corpus.RT()}, scene.Archives...)
+	prog, err := javasrc.CompileArchives(archives)
+	if err != nil {
+		return nil, fmt.Errorf("scene %s: %w", scene.Name, err)
+	}
+	engine := core.New(core.Options{Sinks: reg})
+	g, buildTime, err := engine.BuildCPG(prog)
+	if err != nil {
+		return nil, fmt.Errorf("scene %s: %w", scene.Name, err)
+	}
+	chains, _, searchTime, err := engine.FindChains(g)
+	if err != nil {
+		return nil, fmt.Errorf("scene %s: %w", scene.Name, err)
+	}
+
+	// Scope to the scene's packages and dedupe by endpoint.
+	specByEndpoint := make(map[endpoint]corpus.ChainSpec, len(scene.Chains))
+	for _, spec := range scene.Chains {
+		specByEndpoint[endpoint{source: spec.Source, sink: spec.SinkClass + "." + spec.SinkMethod}] = spec
+	}
+	seen := make(map[endpoint]bool)
+	res := &SceneResult{Scene: scene, BuildTime: buildTime, SearchTime: searchTime}
+	for _, ar := range prog.Archives {
+		// rt.jar is substrate for the framework scenes but part of the
+		// subject for the JDK8 scene.
+		if ar.Name != "rt.jar" || scene.Name == "JDK8" {
+			res.CodeBytes += ar.CodeBytes
+			res.JarCount++
+		}
+	}
+	for _, c := range chains {
+		if !mentionsAnyPrefix(c.Names, scene.PackagePrefixes) {
+			continue
+		}
+		sinkKey := java.MethodKey(c.Names[len(c.Names)-1])
+		s, ok := reg.Match(prog.Hierarchy, java.MethodKeyClass(sinkKey), java.MethodKeyName(sinkKey))
+		if !ok {
+			continue
+		}
+		e := endpoint{source: java.MethodKey(c.Names[0]), sink: s.Key()}
+		if seen[e] {
+			continue
+		}
+		seen[e] = true
+		res.ResultCount++
+		if spec, ok := specByEndpoint[e]; ok && spec.Effective() {
+			res.Effective++
+			res.Chains = append(res.Chains, c)
+		}
+	}
+	return res, nil
+}
+
+func mentionsAnyPrefix(names []string, prefixes []string) bool {
+	if len(prefixes) == 0 {
+		return true
+	}
+	for _, n := range names {
+		for _, p := range prefixes {
+			if strings.HasPrefix(n, p) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// Table10 is the reproduced development-scene experiment.
+type Table10 struct {
+	Rows []SceneResult
+}
+
+// RunTable10 evaluates every scene.
+func RunTable10() (*Table10, error) {
+	t := &Table10{}
+	for _, scene := range corpus.Scenes() {
+		res, err := EvaluateScene(scene)
+		if err != nil {
+			return nil, err
+		}
+		t.Rows = append(t.Rows, *res)
+	}
+	return t, nil
+}
+
+// Format renders measured columns next to the paper's.
+func (t *Table10) Format() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%-14s %-8s %9s %12s %8s %11s %8s %13s | %-30s\n",
+		"Scene", "Version", "Jar count", "Code size", "Results", "Effective", "FPR(%)", "Search time", "Paper (results/effective/FPR/search)")
+	sb.WriteString(strings.Repeat("-", 150) + "\n")
+	for _, r := range t.Rows {
+		fmt.Fprintf(&sb, "%-14s %-8s %9d %10.1fKB %8d %11d %8.1f %13s | %d/%d/%.1f%%/%.1fs\n",
+			r.Scene.Name, r.Scene.Version, r.JarCount, float64(r.CodeBytes)/1024,
+			r.ResultCount, r.Effective, r.FPR(), r.SearchTime.Round(time.Microsecond),
+			r.Scene.PaperResultCount, r.Scene.PaperEffective, r.Scene.PaperFPRPercent, r.Scene.PaperSearchSeconds)
+	}
+	return sb.String()
+}
+
+// Table11 lists the Spring-scene gadget chains (paper Table XI).
+func Table11() (string, error) {
+	scene, err := corpus.SceneByName("Spring")
+	if err != nil {
+		return "", err
+	}
+	res, err := EvaluateScene(scene)
+	if err != nil {
+		return "", err
+	}
+	var sb strings.Builder
+	sb.WriteString("Gadget chains found in the Spring framework scene (cf. paper Table XI):\n\n")
+	n := 0
+	for _, c := range res.Chains {
+		if c.SinkType != "JNDI" {
+			continue
+		}
+		n++
+		fmt.Fprintf(&sb, "#%d\n%s\n\n", n, c.String())
+	}
+	if n == 0 {
+		return "", fmt.Errorf("table 11: no JNDI chains found in the Spring scene")
+	}
+	return sb.String(), nil
+}

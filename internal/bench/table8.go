@@ -1,0 +1,113 @@
+package bench
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+
+	"tabby/internal/core"
+	"tabby/internal/corpus"
+)
+
+// Table8Row is one row of the reproduced CPG-generation-efficiency
+// experiment (paper Table VIII).
+type Table8Row struct {
+	Spec        corpus.SyntheticSpec
+	JarCount    int
+	ClassNodes  int
+	MethodNodes int
+	Edges       int
+	// Time is the trimmed mean over the runs (paper methodology: repeat,
+	// drop min and max, average the rest).
+	Time time.Duration
+	Runs []time.Duration
+}
+
+// Table8 is the full experiment result.
+type Table8 struct {
+	Scale float64
+	Rows  []Table8Row
+}
+
+// RunTable8 generates each synthetic corpus at the given scale and times
+// CPG construction runs times per row (minimum 1).
+func RunTable8(scale float64, runs int) (*Table8, error) {
+	if runs < 1 {
+		runs = 1
+	}
+	t := &Table8{Scale: scale}
+	for _, spec := range corpus.SyntheticSpecs() {
+		row, err := RunTable8Row(spec, scale, runs)
+		if err != nil {
+			return nil, err
+		}
+		t.Rows = append(t.Rows, *row)
+	}
+	return t, nil
+}
+
+// RunTable8Row measures one row.
+func RunTable8Row(spec corpus.SyntheticSpec, scale float64, runs int) (*Table8Row, error) {
+	prog, err := corpus.GenerateSynthetic(spec, scale)
+	if err != nil {
+		return nil, err
+	}
+	row := &Table8Row{Spec: spec, JarCount: len(prog.Archives)}
+	engine := core.New(core.Options{})
+	for i := 0; i < runs; i++ {
+		g, elapsed, err := engine.BuildCPG(prog)
+		if err != nil {
+			return nil, fmt.Errorf("table 8 %s run %d: %w", spec.Label, i, err)
+		}
+		row.Runs = append(row.Runs, elapsed)
+		if i == 0 {
+			row.ClassNodes = g.Stats.ClassNodes
+			row.MethodNodes = g.Stats.MethodNodes
+			row.Edges = g.Stats.TotalEdges()
+		}
+	}
+	row.Time = trimmedMean(row.Runs)
+	return row, nil
+}
+
+// trimmedMean drops the min and max (when there are more than two runs)
+// and averages the rest — the paper's timing methodology.
+func trimmedMean(runs []time.Duration) time.Duration {
+	if len(runs) == 0 {
+		return 0
+	}
+	sorted := append([]time.Duration(nil), runs...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	if len(sorted) > 2 {
+		sorted = sorted[1 : len(sorted)-1]
+	}
+	var sum time.Duration
+	for _, d := range sorted {
+		sum += d
+	}
+	return sum / time.Duration(len(sorted))
+}
+
+// Format renders measured columns next to the paper's.
+func (t *Table8) Format() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "CPG generation efficiency (scale %.2f; paper columns in parentheses)\n", t.Scale)
+	fmt.Fprintf(&sb, "%-7s %10s %12s %13s %13s %14s | %s\n",
+		"Code", "Jar count", "Class nodes", "Method nodes", "Rel. edges", "Time", "Paper classes/methods/edges/minutes")
+	sb.WriteString(strings.Repeat("-", 130) + "\n")
+	for _, r := range t.Rows {
+		fmt.Fprintf(&sb, "%-7s %10d %12d %13d %13d %14s | %d/%d/%d/%.1f\n",
+			r.Spec.Label, r.JarCount, r.ClassNodes, r.MethodNodes, r.Edges,
+			r.Time.Round(time.Millisecond),
+			r.Spec.PaperClasses, r.Spec.PaperMethods, r.Spec.PaperEdges, r.Spec.PaperMinutes)
+	}
+	sb.WriteString("\nLinearity check (time per method node):\n")
+	for _, r := range t.Rows {
+		if r.MethodNodes > 0 {
+			fmt.Fprintf(&sb, "  %-7s %8.2f µs/method\n", r.Spec.Label,
+				float64(r.Time.Microseconds())/float64(r.MethodNodes))
+		}
+	}
+	return sb.String()
+}

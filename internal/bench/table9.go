@@ -1,0 +1,132 @@
+package bench
+
+import (
+	"fmt"
+	"strings"
+
+	"tabby/internal/corpus"
+)
+
+// Table9 is the reproduced comparison experiment (paper Table IX): one
+// row per evaluation component, plus the totals row whose FPR/FNR are
+// the headline numbers of RQ2.
+type Table9 struct {
+	Rows []ComponentResult
+}
+
+// RunTable9 evaluates every Table IX component with all three tools.
+func RunTable9(opts EvalOptions) (*Table9, error) {
+	t := &Table9{}
+	for _, comp := range corpus.Components() {
+		res, err := EvaluateComponent(comp, opts)
+		if err != nil {
+			return nil, err
+		}
+		t.Rows = append(t.Rows, *res)
+	}
+	return t, nil
+}
+
+// Totals aggregates the table the way the paper does: counts summed, the
+// "average" FPR/FNR computed over the totals (Formulas 5 and 6).
+type Totals struct {
+	Dataset                              int
+	GIResult, GIFake, GIKnown, GIUnknown int
+	TBResult, TBFake, TBKnown, TBUnknown int
+	SLResult, SLFake, SLKnown, SLUnknown int
+}
+
+// Totals computes the aggregate row.
+func (t *Table9) Totals() Totals {
+	var out Totals
+	for _, r := range t.Rows {
+		out.Dataset += r.Component.DatasetChains
+		out.GIResult += r.GI.ResultCount
+		out.GIFake += r.GI.Fake
+		out.GIKnown += r.GI.Known
+		out.GIUnknown += r.GI.Unknown
+		out.TBResult += r.Tabby.ResultCount
+		out.TBFake += r.Tabby.Fake
+		out.TBKnown += r.Tabby.Known
+		out.TBUnknown += r.Tabby.Unknown
+		if !r.SL.Timeout {
+			out.SLResult += r.SL.ResultCount
+			out.SLFake += r.SL.Fake
+			out.SLKnown += r.SL.Known
+			out.SLUnknown += r.SL.Unknown
+		}
+	}
+	return out
+}
+
+func pct(num, den int) float64 {
+	if den == 0 {
+		return 0
+	}
+	return 100 * float64(num) / float64(den)
+}
+
+// GIFPR etc. expose the aggregate rates.
+func (o Totals) GIFPR() float64 { return pct(o.GIFake, o.GIResult) }
+
+// TBFPR is Tabby's aggregate false-positive rate (paper: 32.9 %).
+func (o Totals) TBFPR() float64 { return pct(o.TBFake, o.TBResult) }
+
+// SLFPR is Serianalyzer's aggregate false-positive rate (paper: 98.6 %).
+func (o Totals) SLFPR() float64 { return pct(o.SLFake, o.SLResult) }
+
+// GIFNR is GadgetInspector's aggregate false-negative rate (paper: 86.8 %).
+func (o Totals) GIFNR() float64 { return pct(o.Dataset-o.GIKnown, o.Dataset) }
+
+// TBFNR is Tabby's aggregate false-negative rate (paper: 31.6 %).
+func (o Totals) TBFNR() float64 { return pct(o.Dataset-o.TBKnown, o.Dataset) }
+
+// SLFNR is Serianalyzer's aggregate false-negative rate (paper: 81.6 %).
+func (o Totals) SLFNR() float64 { return pct(o.Dataset-o.SLKnown, o.Dataset) }
+
+// Format renders the table in the paper's column layout.
+func (t *Table9) Format() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%-28s %5s | %5s %5s %5s | %5s %5s %5s | %5s %5s %5s | %5s %5s %5s | %7s %7s %7s | %7s %7s %7s\n",
+		"Component", "Known",
+		"R-GI", "R-TB", "R-SL",
+		"F-GI", "F-TB", "F-SL",
+		"K-GI", "K-TB", "K-SL",
+		"U-GI", "U-TB", "U-SL",
+		"FPR-GI", "FPR-TB", "FPR-SL",
+		"FNR-GI", "FNR-TB", "FNR-SL")
+	sb.WriteString(strings.Repeat("-", 190) + "\n")
+	for _, r := range t.Rows {
+		slCell := func(v int) string {
+			if r.SL.Timeout {
+				return "X"
+			}
+			return fmt.Sprintf("%d", v)
+		}
+		slRate := func(v float64) string {
+			if r.SL.Timeout {
+				return "X"
+			}
+			return fmt.Sprintf("%.1f", v)
+		}
+		fmt.Fprintf(&sb, "%-28s %5d | %5d %5d %5s | %5d %5d %5s | %5d %5d %5s | %5d %5d %5s | %7.1f %7.1f %7s | %7.1f %7.1f %7s\n",
+			r.Component.Name, r.Component.DatasetChains,
+			r.GI.ResultCount, r.Tabby.ResultCount, slCell(r.SL.ResultCount),
+			r.GI.Fake, r.Tabby.Fake, slCell(r.SL.Fake),
+			r.GI.Known, r.Tabby.Known, slCell(r.SL.Known),
+			r.GI.Unknown, r.Tabby.Unknown, slCell(r.SL.Unknown),
+			r.GI.FPR(), r.Tabby.FPR(), slRate(r.SL.FPR()),
+			r.GI.FNRAgainst(r.Component.DatasetChains), r.Tabby.FNRAgainst(r.Component.DatasetChains), slRate(r.SL.FNRAgainst(r.Component.DatasetChains)))
+	}
+	o := t.Totals()
+	sb.WriteString(strings.Repeat("-", 190) + "\n")
+	fmt.Fprintf(&sb, "%-28s %5d | %5d %5d %5d | %5d %5d %5d | %5d %5d %5d | %5d %5d %5d | %7.1f %7.1f %7.1f | %7.1f %7.1f %7.1f\n",
+		"Total", o.Dataset,
+		o.GIResult, o.TBResult, o.SLResult,
+		o.GIFake, o.TBFake, o.SLFake,
+		o.GIKnown, o.TBKnown, o.SLKnown,
+		o.GIUnknown, o.TBUnknown, o.SLUnknown,
+		o.GIFPR(), o.TBFPR(), o.SLFPR(),
+		o.GIFNR(), o.TBFNR(), o.SLFNR())
+	return sb.String()
+}

@@ -1,0 +1,149 @@
+// Package cfg builds per-method control-flow graphs over jimple bodies —
+// the "corresponding control flow graph for each method" Soot provides in
+// the Semantic Information Extraction phase (paper §III-B1). The
+// controllability analysis (package taint) traverses these graphs.
+package cfg
+
+import (
+	"fmt"
+
+	"tabby/internal/jimple"
+)
+
+// Graph is the control-flow graph of one method body. Nodes are statement
+// indexes in the body.
+type Graph struct {
+	Body  *jimple.Body
+	succs [][]int
+	preds [][]int
+}
+
+// Build constructs the CFG for the body. Returns an error when branch
+// targets are out of range.
+func Build(body *jimple.Body) (*Graph, error) {
+	if err := body.Validate(); err != nil {
+		return nil, fmt.Errorf("cfg: %w", err)
+	}
+	n := len(body.Stmts)
+	g := &Graph{
+		Body:  body,
+		succs: make([][]int, n),
+		preds: make([][]int, n),
+	}
+	addEdge := func(from, to int) {
+		if to < n {
+			g.succs[from] = append(g.succs[from], to)
+			g.preds[to] = append(g.preds[to], from)
+		}
+	}
+	for i, s := range body.Stmts {
+		switch st := s.(type) {
+		case *jimple.ReturnStmt, *jimple.ThrowStmt:
+			// no successors
+		case *jimple.GotoStmt:
+			addEdge(i, st.Target)
+		case *jimple.IfStmt:
+			addEdge(i, i+1)
+			addEdge(i, st.Target)
+		case *jimple.SwitchStmt:
+			for _, t := range st.Targets {
+				addEdge(i, t)
+			}
+			addEdge(i, st.Default)
+		default:
+			addEdge(i, i+1)
+		}
+	}
+	return g, nil
+}
+
+// NumNodes returns the statement count.
+func (g *Graph) NumNodes() int { return len(g.succs) }
+
+// Succs returns the successor statement indexes of i.
+func (g *Graph) Succs(i int) []int { return g.succs[i] }
+
+// Preds returns the predecessor statement indexes of i.
+func (g *Graph) Preds(i int) []int { return g.preds[i] }
+
+// Entry returns the entry node index (0), or -1 for an empty body.
+func (g *Graph) Entry() int {
+	if len(g.succs) == 0 {
+		return -1
+	}
+	return 0
+}
+
+// Exits returns the statement indexes with no successors (returns/throws
+// and a trailing fall-off statement).
+func (g *Graph) Exits() []int {
+	var out []int
+	for i := range g.succs {
+		if len(g.succs[i]) == 0 {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// Reachable returns the set of statements reachable from the entry.
+func (g *Graph) Reachable() []bool {
+	seen := make([]bool, g.NumNodes())
+	if g.NumNodes() == 0 {
+		return seen
+	}
+	stack := []int{0}
+	seen[0] = true
+	for len(stack) > 0 {
+		n := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, s := range g.succs[n] {
+			if !seen[s] {
+				seen[s] = true
+				stack = append(stack, s)
+			}
+		}
+	}
+	return seen
+}
+
+// ReversePostOrder returns reachable statement indexes in reverse
+// post-order — the iteration order the dataflow solver uses for fast
+// convergence.
+func (g *Graph) ReversePostOrder() []int {
+	n := g.NumNodes()
+	if n == 0 {
+		return nil
+	}
+	var (
+		post    []int
+		visited = make([]bool, n)
+	)
+	// Iterative DFS with an explicit post stack to avoid recursion on
+	// pathological bodies.
+	type frame struct {
+		node int
+		next int
+	}
+	stack := []frame{{node: 0}}
+	visited[0] = true
+	for len(stack) > 0 {
+		f := &stack[len(stack)-1]
+		if f.next < len(g.succs[f.node]) {
+			s := g.succs[f.node][f.next]
+			f.next++
+			if !visited[s] {
+				visited[s] = true
+				stack = append(stack, frame{node: s})
+			}
+			continue
+		}
+		post = append(post, f.node)
+		stack = stack[:len(stack)-1]
+	}
+	// Reverse.
+	for i, j := 0, len(post)-1; i < j; i, j = i+1, j-1 {
+		post[i], post[j] = post[j], post[i]
+	}
+	return post
+}

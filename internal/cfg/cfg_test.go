@@ -1,0 +1,162 @@
+package cfg
+
+import (
+	"testing"
+
+	"tabby/internal/java"
+	"tabby/internal/jimple"
+)
+
+func linearBody(t *testing.T) *jimple.Body {
+	t.Helper()
+	m := &java.Method{ClassName: "t.C", Name: "lin", Return: java.Void, Modifiers: java.ModPublic | java.ModStatic}
+	bb := jimple.NewBodyBuilder(m)
+	bb.Nop()
+	bb.Nop()
+	bb.Return(nil)
+	return bb.Body()
+}
+
+func TestBuildLinear(t *testing.T) {
+	g, err := Build(linearBody(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumNodes() != 3 {
+		t.Fatalf("NumNodes = %d", g.NumNodes())
+	}
+	if len(g.Succs(0)) != 1 || g.Succs(0)[0] != 1 {
+		t.Errorf("Succs(0) = %v", g.Succs(0))
+	}
+	if len(g.Succs(2)) != 0 {
+		t.Errorf("return must have no successors: %v", g.Succs(2))
+	}
+	if len(g.Preds(1)) != 1 || g.Preds(1)[0] != 0 {
+		t.Errorf("Preds(1) = %v", g.Preds(1))
+	}
+	if exits := g.Exits(); len(exits) != 1 || exits[0] != 2 {
+		t.Errorf("Exits = %v", exits)
+	}
+	if g.Entry() != 0 {
+		t.Errorf("Entry = %d", g.Entry())
+	}
+}
+
+func TestBuildBranch(t *testing.T) {
+	m := &java.Method{ClassName: "t.C", Name: "br", Params: []java.Type{java.Int}, Return: java.Int, Modifiers: java.ModPublic | java.ModStatic}
+	bb := jimple.NewBodyBuilder(m)
+	// 0: p0 := @parameter0
+	ifIdx := bb.If(&jimple.BinopExpr{Op: jimple.OpLt, L: bb.Param(0), R: &jimple.IntConst{Val: 0}}) // 1
+	bb.Return(&jimple.IntConst{Val: 1})                                                             // 2
+	elseIdx := bb.Return(&jimple.IntConst{Val: 2})                                                  // 3
+	bb.PatchTarget(ifIdx, elseIdx)
+	g, err := Build(bb.Body())
+	if err != nil {
+		t.Fatal(err)
+	}
+	succs := g.Succs(ifIdx)
+	if len(succs) != 2 {
+		t.Fatalf("if must have 2 successors, got %v", succs)
+	}
+	want := map[int]bool{2: true, 3: true}
+	for _, s := range succs {
+		if !want[s] {
+			t.Errorf("unexpected if successor %d", s)
+		}
+	}
+	if exits := g.Exits(); len(exits) != 2 {
+		t.Errorf("Exits = %v, want 2 returns", exits)
+	}
+}
+
+func TestBuildLoopAndRPO(t *testing.T) {
+	m := &java.Method{ClassName: "t.C", Name: "loop", Params: []java.Type{java.Int}, Return: java.Void, Modifiers: java.ModPublic | java.ModStatic}
+	bb := jimple.NewBodyBuilder(m)
+	head := bb.Nop()                                                                                // 1
+	ifIdx := bb.If(&jimple.BinopExpr{Op: jimple.OpEq, L: bb.Param(0), R: &jimple.IntConst{Val: 0}}) // 2
+	gotoIdx := bb.Goto()                                                                            // 3 -> head
+	bb.PatchTarget(gotoIdx, head)
+	exit := bb.Return(nil) // 4
+	bb.PatchTarget(ifIdx, exit)
+	g, err := Build(bb.Body())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Back edge: goto's successor is head.
+	if g.Succs(gotoIdx)[0] != head {
+		t.Errorf("goto successor = %v", g.Succs(gotoIdx))
+	}
+	rpo := g.ReversePostOrder()
+	if len(rpo) != g.NumNodes() {
+		t.Fatalf("RPO covers %d of %d nodes", len(rpo), g.NumNodes())
+	}
+	pos := make(map[int]int, len(rpo))
+	for i, n := range rpo {
+		pos[n] = i
+	}
+	// Entry first; head before the if; the if before the exit.
+	if rpo[0] != 0 {
+		t.Errorf("RPO must start at entry, got %v", rpo)
+	}
+	if pos[head] > pos[ifIdx] || pos[ifIdx] > pos[exit] {
+		t.Errorf("RPO ordering wrong: %v", rpo)
+	}
+}
+
+func TestBuildSwitch(t *testing.T) {
+	m := &java.Method{ClassName: "t.C", Name: "sw", Params: []java.Type{java.Int}, Return: java.Void, Modifiers: java.ModPublic | java.ModStatic}
+	bb := jimple.NewBodyBuilder(m)
+	swIdx := bb.Body().Append(&jimple.SwitchStmt{Key: bb.Param(0), Targets: []int{2, 3}, Default: 4})
+	bb.Return(nil) // 2
+	bb.Return(nil) // 3
+	bb.Return(nil) // 4
+	g, err := Build(bb.Body())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(g.Succs(swIdx)) != 3 {
+		t.Errorf("switch successors = %v", g.Succs(swIdx))
+	}
+}
+
+func TestBuildRejectsInvalid(t *testing.T) {
+	m := &java.Method{ClassName: "t.C", Name: "bad", Return: java.Void, Modifiers: java.ModPublic | java.ModStatic}
+	body := jimple.NewBody(m)
+	body.Append(&jimple.GotoStmt{Target: 42})
+	if _, err := Build(body); err == nil {
+		t.Fatal("invalid body must be rejected")
+	}
+}
+
+func TestReachable(t *testing.T) {
+	m := &java.Method{ClassName: "t.C", Name: "dead", Return: java.Void, Modifiers: java.ModPublic | java.ModStatic}
+	bb := jimple.NewBodyBuilder(m)
+	bb.Return(nil) // 0
+	bb.Nop()       // 1: dead
+	g, err := Build(bb.Body())
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := g.Reachable()
+	if !r[0] || r[1] {
+		t.Errorf("Reachable = %v", r)
+	}
+	rpo := g.ReversePostOrder()
+	for _, n := range rpo {
+		if n == 1 {
+			t.Error("RPO must skip unreachable statements")
+		}
+	}
+}
+
+func TestEmptyAbstractBody(t *testing.T) {
+	m := &java.Method{ClassName: "t.I", Name: "am", Return: java.Void, Modifiers: java.ModPublic | java.ModAbstract | java.ModStatic}
+	body := &jimple.Body{Method: m}
+	g, err := Build(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Entry() != -1 || g.ReversePostOrder() != nil || len(g.Reachable()) != 0 {
+		t.Error("empty body must yield an empty graph")
+	}
+}

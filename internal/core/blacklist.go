@@ -1,0 +1,65 @@
+package core
+
+import (
+	"sort"
+	"strings"
+
+	"tabby/internal/java"
+	"tabby/internal/pathfinder"
+)
+
+// BlacklistFromChains derives a deserialization blacklist from discovered
+// gadget chains — the defensive workflow of §IV-E: "Security researchers
+// … can use Tabby to find potential gadget chains in their projects and
+// refine the blacklist with classes from the gadget chains."
+//
+// The returned classes are those whose methods participate in any chain,
+// excluding the sink's declaring class (sinks are JDK/library API that a
+// blacklist cannot remove) and java.lang.Object (blacklisting it would
+// reject everything). Blocking any one class on a chain breaks that
+// chain; the head classes (sources) are the cheapest to block.
+func BlacklistFromChains(chains []pathfinder.Chain) []string {
+	seen := make(map[string]bool)
+	for _, c := range chains {
+		for i, name := range c.Names {
+			if i == len(c.Names)-1 {
+				continue // sink frame
+			}
+			class := java.MethodKeyClass(java.MethodKey(name))
+			if class == "" || class == java.ObjectClass {
+				continue
+			}
+			seen[class] = true
+		}
+	}
+	out := make([]string, 0, len(seen))
+	for c := range seen {
+		out = append(out, c)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// FilterChainsByBlacklist returns the chains that survive a blacklist —
+// i.e. those touching none of the blocked classes. An empty result means
+// the blacklist covers every discovered chain.
+func FilterChainsByBlacklist(chains []pathfinder.Chain, blacklist []string) []pathfinder.Chain {
+	blocked := make(map[string]bool, len(blacklist))
+	for _, c := range blacklist {
+		blocked[strings.TrimSpace(c)] = true
+	}
+	var out []pathfinder.Chain
+	for _, chain := range chains {
+		survives := true
+		for _, name := range chain.Names {
+			if blocked[java.MethodKeyClass(java.MethodKey(name))] {
+				survives = false
+				break
+			}
+		}
+		if survives {
+			out = append(out, chain)
+		}
+	}
+	return out
+}

@@ -1,0 +1,145 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"tabby/internal/corpus"
+	"tabby/internal/graphdb"
+	"tabby/internal/javasrc"
+	"tabby/internal/sinks"
+)
+
+func TestAnalyzeSourcesEndToEnd(t *testing.T) {
+	engine := New(Options{})
+	rep, err := engine.AnalyzeSources([]javasrc.ArchiveSource{corpus.RT()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Chains) == 0 {
+		t.Fatal("URLDNS chain must be found")
+	}
+	if rep.Timings.Compile <= 0 || rep.Timings.BuildCPG <= 0 {
+		t.Errorf("timings not recorded: %+v", rep.Timings)
+	}
+	if rep.Graph.Stats.MethodNodes == 0 {
+		t.Error("graph stats empty")
+	}
+}
+
+func TestAnalyzeSourcesCompileError(t *testing.T) {
+	engine := New(Options{})
+	_, err := engine.AnalyzeSources([]javasrc.ArchiveSource{{
+		Name:  "bad.jar",
+		Files: []javasrc.File{{Name: "bad.java", Source: "class {"}},
+	}})
+	if err == nil || !strings.Contains(err.Error(), "compile") {
+		t.Fatalf("compile error must propagate, got %v", err)
+	}
+}
+
+func TestMaxDepthOption(t *testing.T) {
+	// URLDNS is 7 nodes long; a depth bound of 4 must suppress it.
+	engine := New(Options{MaxDepth: 4})
+	rep, err := engine.AnalyzeSources([]javasrc.ArchiveSource{corpus.RT()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range rep.Chains {
+		if strings.Contains(c.Names[len(c.Names)-1], "getByName") {
+			t.Fatalf("URLDNS must be suppressed at depth 4: %v", c.Names)
+		}
+	}
+}
+
+func TestCustomSinkRegistry(t *testing.T) {
+	reg := sinks.Default()
+	reg.Add(sinks.Sink{Class: "t.Danger", Method: "boom", Type: sinks.TypeExec, TC: []int{1}})
+	engine := New(Options{Sinks: reg})
+	rep, err := engine.AnalyzeSources([]javasrc.ArchiveSource{
+		corpus.RT(),
+		{Name: "t.jar", Files: []javasrc.File{{Name: "t.java", Source: `
+package t;
+public class Danger {
+    public void boom(String c) { }
+}
+public class Entry implements java.io.Serializable {
+    public String cmd;
+    public t.Danger d;
+    private void readObject(java.io.ObjectInputStream s) {
+        d.boom(this.cmd);
+    }
+}
+`}}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, c := range rep.Chains {
+		if strings.HasPrefix(c.Names[0], "t.Entry#readObject") && strings.Contains(c.Names[len(c.Names)-1], "boom") {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("custom sink chain not found")
+	}
+}
+
+func TestFindChainsBetween(t *testing.T) {
+	engine := New(Options{})
+	prog, err := javasrc.CompileArchives([]javasrc.ArchiveSource{corpus.RT()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, _, err := engine.BuildCPG(prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sinksNodes := g.SinkNodes()
+	if len(sinksNodes) == 0 {
+		t.Fatal("no sinks")
+	}
+	// Custom source filter: only HashMap.readObject qualifies.
+	chains, err := engine.FindChainsBetween(g, sinksNodes, func(db *graphdb.DB, node graphdb.ID) bool {
+		v, _ := db.NodeProp(node, "NAME")
+		s, _ := v.(string)
+		return strings.HasPrefix(s, "java.util.HashMap#readObject")
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(chains) == 0 {
+		t.Fatal("custom-source search found nothing")
+	}
+	for _, c := range chains {
+		if !strings.HasPrefix(c.Names[0], "java.util.HashMap#readObject") {
+			t.Errorf("filter leak: %v", c.Names[0])
+		}
+	}
+}
+
+func TestKeepPrunedCallsAblation(t *testing.T) {
+	src := javasrc.ArchiveSource{Name: "p.jar", Files: []javasrc.File{{Name: "p.java", Source: `
+package p;
+class C {
+    void m() {
+        Object fresh = new Object();
+        int h = fresh.hashCode();
+    }
+}
+`}}}
+	base := New(Options{})
+	ablated := New(Options{KeepPrunedCalls: true})
+	repBase, err := base.AnalyzeSources([]javasrc.ArchiveSource{corpus.RT(), src})
+	if err != nil {
+		t.Fatal(err)
+	}
+	repAblated, err := ablated.AnalyzeSources([]javasrc.ArchiveSource{corpus.RT(), src})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if repAblated.Graph.Stats.CallEdges <= repBase.Graph.Stats.CallEdges {
+		t.Error("ablation must retain pruned call edges")
+	}
+}

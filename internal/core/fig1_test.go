@@ -1,0 +1,117 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"tabby/internal/corpus"
+	"tabby/internal/javasrc"
+)
+
+// fig1Source is the paper's introductory example (Fig. 1 / Table I):
+// EvilObjectA.readObject restores val1 via the stream's GetField API and
+// calls its toString; EvilObjectB.toString executes a command built from
+// val2. The expected chain is Table I:
+//
+//	(source)EvilObjectA.readObject()
+//	ObjectInputStream.readFields() / GetField.get()
+//	valObj.toString() ⇝ EvilObjectB.toString()
+//	(sink)Runtime.getRuntime().exec()
+const fig1Source = `
+package fig1;
+
+import java.io.Serializable;
+import java.io.ObjectInputStream;
+import java.io.GetField;
+
+public class EvilObjectA implements Serializable {
+    public Object val1;
+    private void readObject(ObjectInputStream is) {
+        GetField gf = is.readFields();
+        Object valObj = gf.get("val1", null);
+        String out = valObj.toString();
+    }
+}
+
+public class EvilObjectB implements Serializable {
+    public Object val2;
+    public String toString() {
+        String cmd = val2.toString();
+        java.lang.Process p = java.lang.Runtime.getRuntime().exec(cmd);
+        return cmd;
+    }
+}
+`
+
+func TestFig1EvilObjectChain(t *testing.T) {
+	engine := New(Options{})
+	rep, err := engine.AnalyzeSources([]javasrc.ArchiveSource{
+		corpus.RT(),
+		{Name: "fig1.jar", Files: []javasrc.File{{Name: "fig1.java", Source: fig1Source}}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var chain string
+	for _, c := range rep.Chains {
+		if strings.HasPrefix(c.Names[0], "fig1.EvilObjectA#readObject") &&
+			strings.Contains(c.Names[len(c.Names)-1], "exec") {
+			chain = c.String()
+		}
+	}
+	if chain == "" {
+		for _, c := range rep.Chains {
+			t.Logf("chain:\n%s", c)
+		}
+		t.Fatal("Fig. 1 chain not found")
+	}
+	// The chain must pivot through the toString alias into EvilObjectB.
+	for _, want := range []string{
+		"fig1.EvilObjectA#readObject(java.io.ObjectInputStream)",
+		"java.lang.Object#toString()",
+		"fig1.EvilObjectB#toString()",
+		"java.lang.Runtime#exec(java.lang.String)",
+	} {
+		if !strings.Contains(chain, want) {
+			t.Errorf("Fig. 1 chain missing %s:\n%s", want, chain)
+		}
+	}
+}
+
+func TestBlacklistWorkflow(t *testing.T) {
+	engine := New(Options{})
+	rep, err := engine.AnalyzeSources([]javasrc.ArchiveSource{
+		corpus.RT(),
+		{Name: "fig1.jar", Files: []javasrc.File{{Name: "fig1.java", Source: fig1Source}}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Chains) == 0 {
+		t.Fatal("need chains")
+	}
+	blacklist := BlacklistFromChains(rep.Chains)
+	if len(blacklist) == 0 {
+		t.Fatal("empty blacklist")
+	}
+	foundEvil := false
+	for _, c := range blacklist {
+		if c == "fig1.EvilObjectA" {
+			foundEvil = true
+		}
+		if c == "java.lang.Object" {
+			t.Error("Object must never be blacklisted")
+		}
+	}
+	if !foundEvil {
+		t.Errorf("blacklist %v missing fig1.EvilObjectA", blacklist)
+	}
+	// Applying the full blacklist kills every chain.
+	if left := FilterChainsByBlacklist(rep.Chains, blacklist); len(left) != 0 {
+		t.Errorf("%d chains survive the full blacklist", len(left))
+	}
+	// An unrelated blacklist kills nothing.
+	if left := FilterChainsByBlacklist(rep.Chains, []string{"com.other.Thing"}); len(left) != len(rep.Chains) {
+		t.Error("unrelated blacklist must not filter chains")
+	}
+}

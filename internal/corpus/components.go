@@ -1,0 +1,416 @@
+package corpus
+
+import (
+	"fmt"
+
+	"tabby/internal/java"
+	"tabby/internal/javasrc"
+)
+
+// paperRow records one row of paper Table IX: the per-tool result/fake/
+// known/unknown counts published for GadgetInspector (gi), Tabby (tb) and
+// Serianalyzer (sl). These numbers drive the synthesis of each component
+// so the reproduced experiment exhibits the same per-tool behaviour.
+type paperRow struct {
+	name    string
+	pkg     string
+	dataset int
+
+	giFake, giKnown, giUnknown int
+	tbFake, tbKnown, tbUnknown int
+	slFake, slKnown, slUnknown int
+	slTimeout                  bool
+
+	// handChains hooks in hand-modelled flavor chains (e.g. the
+	// commons-collections InvokerTransformer family); each replaces one
+	// synthesized chain of the named pattern.
+	handChains func(s *synth)
+}
+
+// tableIX is the full 26-component table of the paper.
+var tableIX = []paperRow{
+	{name: "AspectJWeaver", pkg: "org.aspectj.weaver", dataset: 1,
+		giFake: 8, tbKnown: 1, slFake: 27},
+	{name: "BeanShell1", pkg: "bsh", dataset: 1,
+		giFake: 2, tbFake: 2, tbKnown: 1, slFake: 1},
+	{name: "C3P0", pkg: "com.mchange.v2.c3p0", dataset: 1,
+		giFake: 2, tbFake: 2, tbKnown: 1, tbUnknown: 3, slUnknown: 1,
+		handChains: c3p0Flavor},
+	{name: "Click1", pkg: "org.apache.click", dataset: 1,
+		giFake: 3, giKnown: 1, tbKnown: 1, slFake: 56},
+	{name: "Clojure", pkg: "clojure.lang", dataset: 1,
+		giFake: 9, giKnown: 1, giUnknown: 2, tbFake: 1, tbKnown: 1, slTimeout: true},
+	{name: "CommonsBeanutils1", pkg: "org.apache.commons.beanutils", dataset: 1,
+		giFake: 2, tbKnown: 1, slFake: 50,
+		handChains: commonsBeanutilsFlavor},
+	{name: "commons-collections(3.2.1)", pkg: "org.apache.commons.collections", dataset: 5,
+		giFake: 3, giUnknown: 1, tbFake: 4, tbKnown: 4, tbUnknown: 9, slFake: 73,
+		handChains: commonsCollectionsFlavor("org.apache.commons.collections")},
+	{name: "commons-collections(4.0.0)", pkg: "org.apache.commons.collections4", dataset: 2,
+		giFake: 3, giUnknown: 1, tbFake: 5, tbKnown: 1, tbUnknown: 12, slFake: 38,
+		handChains: commonsCollectionsFlavor("org.apache.commons.collections4")},
+	{name: "FileUpload1", pkg: "org.apache.commons.fileupload", dataset: 2,
+		giFake: 2, giKnown: 1, tbKnown: 2, slFake: 4, slKnown: 2},
+	{name: "Groovy1", pkg: "org.codehaus.groovy.runtime", dataset: 1,
+		giFake: 4, tbFake: 2, slFake: 137},
+	{name: "Hibernate", pkg: "org.hibernate", dataset: 2,
+		giFake: 2, tbKnown: 2, tbUnknown: 2, slFake: 55},
+	{name: "JBossInterceptors1", pkg: "org.jboss.interceptor", dataset: 1,
+		giFake: 2, tbFake: 2, tbKnown: 1, slFake: 6, slKnown: 1},
+	{name: "JSON1", pkg: "net.sf.json", dataset: 1,
+		giFake: 4},
+	{name: "JavaassistWeld1", pkg: "org.jboss.weld", dataset: 1,
+		giFake: 2, tbFake: 2, tbKnown: 1, slFake: 2, slKnown: 1},
+	{name: "Jython1", pkg: "org.python.core", dataset: 1,
+		giFake: 42, tbFake: 2, slTimeout: true},
+	{name: "MozillaRhino", pkg: "org.mozilla.javascript", dataset: 2,
+		giFake: 3, tbKnown: 1, slFake: 93},
+	{name: "Myface", pkg: "org.apache.myfaces", dataset: 1,
+		giFake: 2, tbKnown: 1},
+	{name: "Rome", pkg: "com.sun.syndication", dataset: 1,
+		giFake: 2, tbKnown: 1, tbUnknown: 1, slFake: 18, slKnown: 1},
+	{name: "Spring", pkg: "org.springframework.core", dataset: 2,
+		giFake: 2, tbFake: 2, slFake: 4},
+	{name: "Vaadin1", pkg: "com.vaadin", dataset: 1,
+		giFake: 5, giKnown: 1, tbKnown: 1, slFake: 18},
+	{name: "Wicket1", pkg: "org.apache.wicket.util", dataset: 2,
+		giFake: 2, giKnown: 1, tbKnown: 2, slFake: 3, slKnown: 2},
+	{name: "commons-configration", pkg: "org.apache.commons.configuration", dataset: 1,
+		giFake: 2},
+	{name: "spring-beans", pkg: "org.springframework.beans", dataset: 2,
+		giFake: 2, tbFake: 1, tbKnown: 1},
+	{name: "spring-aop", pkg: "org.springframework.aop", dataset: 2,
+		giFake: 6, tbFake: 1, tbKnown: 1},
+	{name: "XBean", pkg: "org.apache.xbean", dataset: 1,
+		giFake: 2, tbKnown: 1},
+	{name: "Resin", pkg: "com.caucho", dataset: 1,
+		giFake: 2},
+}
+
+// Components synthesizes all 26 evaluation components of Table IX.
+func Components() []Component {
+	out := make([]Component, 0, len(tableIX))
+	for _, row := range tableIX {
+		out = append(out, buildComponent(row))
+	}
+	return out
+}
+
+// ComponentByName returns one component, or an error listing valid names.
+func ComponentByName(name string) (Component, error) {
+	for _, row := range tableIX {
+		if row.name == name {
+			return buildComponent(row), nil
+		}
+	}
+	return Component{}, fmt.Errorf("unknown component %q (see corpus.Components)", name)
+}
+
+// buildComponent derives the planted-chain mix from the paper's row and
+// synthesizes the sources.
+func buildComponent(row paperRow) Component {
+	s := newSynth(row.pkg)
+
+	slKnown, slUnknown, slFake := row.slKnown, row.slUnknown, row.slFake
+	if row.slTimeout {
+		slKnown, slUnknown, slFake = 0, 0, 0
+	}
+
+	// --- effective chains recorded in the dataset ("Known in dataset").
+	plain := minInt(row.giKnown, slKnown)
+	plainDeep := row.giKnown - plain
+	iface := maxInt(0, slKnown-plain)
+	deepIface := maxInt(0, row.tbKnown-plain-plainDeep-iface)
+	proxy := maxInt(0, row.dataset-row.tbKnown)
+
+	if row.handChains != nil && deepIface > 0 {
+		row.handChains(s)
+		deepIface--
+	}
+	repeat(plain, func() { s.addPlain(CatKnown) })
+	repeat(plainDeep, func() { s.addPlainDeep(CatKnown) })
+	repeat(iface, func() { s.addIface(CatKnown) })
+	repeat(deepIface, func() { s.addDeepIface(CatKnown) })
+	repeat(proxy, func() { s.addProxy(CatKnown) })
+
+	// --- effective chains outside the dataset (the "Unknown" columns).
+	giOnly := maxInt(0, row.giUnknown-row.tbUnknown) // GI-only: static channel
+	giBoth := row.giUnknown - giOnly
+	uPlain := minInt(giBoth, slUnknown)
+	uPlainDeep := giBoth - uPlain
+	uIface := maxInt(0, slUnknown-uPlain)
+	uDeepIface := maxInt(0, row.tbUnknown-uPlain-uPlainDeep-uIface)
+	repeat(giOnly, func() { s.addStaticChannel(CatUnknown) })
+	repeat(uPlain, func() { s.addPlain(CatUnknown) })
+	repeat(uPlainDeep, func() { s.addPlainDeep(CatUnknown) })
+	repeat(uIface, func() { s.addIface(CatUnknown) })
+	repeat(uDeepIface, func() { s.addDeepIface(CatUnknown) })
+
+	// --- fakes. Shallow variants are visible to Serianalyzer; when the
+	// paper's SL fake count is smaller than the GI/TB fake pools, the
+	// surplus switches to deep variants beyond SL's horizon.
+	decoys := maxInt(0, row.giFake-row.tbFake)
+	condPlain := minInt(row.giFake, row.tbFake)
+	condIface := row.tbFake - condPlain
+	slNoise := slFake - condPlain - condIface - decoys
+	deepDecoys, deepCond := 0, 0
+	if slNoise < 0 && !row.slTimeout {
+		deficit := -slNoise
+		deepDecoys = minInt(decoys, deficit)
+		deficit -= deepDecoys
+		deepCond = minInt(condPlain, deficit)
+	}
+	if slNoise < 0 {
+		slNoise = 0
+	}
+	repeat(condPlain-deepCond, func() { s.addCond() })
+	repeat(deepCond, func() { s.addCondDeep() })
+	repeat(condIface, func() { s.addCondIface() })
+	repeat(decoys-deepDecoys, func() { s.addDecoy() })
+	repeat(deepDecoys, func() { s.addDecoyDeep() })
+	repeat(slNoise, func() { s.addSLNoise() })
+
+	if row.slTimeout {
+		s.addExplosionBomb(700)
+	}
+	return s.build(row.name, row.dataset, row.slTimeout)
+}
+
+func repeat(n int, f func()) {
+	for i := 0; i < n; i++ {
+		f()
+	}
+}
+
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// commonsCollectionsFlavor hand-models the classic commons-collections
+// Transformer gadget family (InvokerTransformer / LazyMap / TiedMapEntry)
+// as one of the component's deep interface chains:
+//
+//	Holder.readObject → Object.toString ⇝ TiedMapEntry.toString →
+//	TiedMapEntry.getValue → Map.get ⇝ LazyMap.get →
+//	Transformer.transform ⇝ InvokerTransformer.transform → Method.invoke
+func commonsCollectionsFlavor(pkg string) func(*synth) {
+	return func(s *synth) {
+		src := fmt.Sprintf(`
+public interface Transformer {
+    Object transform(Object input);
+}
+
+public class InvokerTransformer implements Transformer, java.io.Serializable {
+    public java.lang.reflect.Method iMethod;
+    public Object[] iArgs;
+    public Object transform(Object input) {
+        return iMethod.invoke(input, this.iArgs);
+    }
+}
+
+public class ConstantTransformer implements Transformer, java.io.Serializable {
+    public Object iConstant;
+    public Object transform(Object input) {
+        return this.iConstant;
+    }
+}
+
+public class LazyMap implements java.util.Map, java.io.Serializable {
+    public Transformer factory;
+    public Object get(Object key) {
+        Object value = factory.transform(key);
+        return value;
+    }
+    public Object put(Object key, Object value) {
+        return null;
+    }
+}
+
+public class TiedMapEntry implements java.io.Serializable {
+    public java.util.Map map;
+    public Object key;
+    public String toString() {
+        Object v = getValue();
+        return null;
+    }
+    public Object getValue() {
+        return map.get(this.key);
+    }
+}
+
+public class BadValueHolder implements java.io.Serializable {
+    public Object valObj;
+    private void readObject(java.io.ObjectInputStream in) {
+        Object v = this.valObj;
+        String out = v.toString();
+    }
+}
+`)
+		s.files = append(s.files, javasrc.File{
+			Name:   "cc/Transformers.java",
+			Source: "package " + pkg + ";\n" + src,
+		})
+		s.chains = append(s.chains, ChainSpec{
+			ID:          "CC-InvokerTransformer",
+			Source:      java.MakeMethodKey(pkg+".BadValueHolder", "readObject", []java.Type{java.ClassType("java.io.ObjectInputStream")}),
+			SinkClass:   "java.lang.reflect.Method",
+			SinkMethod:  "invoke",
+			Category:    CatKnown,
+			Pattern:     PatternDeepIface,
+			ExpectTabby: true,
+		})
+	}
+}
+
+// c3p0Flavor hand-models the classic C3P0 gadget (ysoserial's C3P0
+// payload): PoolBackedDataSource.readObject pulls its connection-pool
+// indirector, whose getObject() resolves a JNDI reference —
+//
+//	PoolBackedDataSource.readObject → Indirector.getObject ⇝
+//	ReferenceSerialized.getObject → resolve → dereference → fetch →
+//	javax.naming.Context.lookup
+func c3p0Flavor(s *synth) {
+	const pkg = "com.mchange.v2.c3p0"
+	src := `
+public interface Indirector {
+    Object getObject();
+}
+
+public class ReferenceSerialized implements Indirector, java.io.Serializable {
+    public javax.naming.Context ctx;
+    public String contextName;
+    public Object getObject() {
+        return ReferenceResolver.resolve(this.ctx, this.contextName);
+    }
+}
+
+public class ReferenceResolver {
+    public static Object resolve(javax.naming.Context c, String name) {
+        return ReferenceDeref.dereference(c, name);
+    }
+}
+
+class ReferenceDeref {
+    static Object dereference(javax.naming.Context c, String name) {
+        return ReferenceFetch.fetch(c, name);
+    }
+}
+
+class ReferenceFetch {
+    static Object fetch(javax.naming.Context c, String name) {
+        return c.lookup(name);
+    }
+}
+
+public class PoolBackedDataSource implements java.io.Serializable {
+    public Indirector connectionPoolDataSource;
+    private void readObject(java.io.ObjectInputStream ois) {
+        Object o = connectionPoolDataSource.getObject();
+    }
+}
+`
+	s.files = append(s.files, javasrc.File{
+		Name:   "c3p0/PoolBackedDataSource.java",
+		Source: "package " + pkg + ";\n" + src,
+	})
+	s.chains = append(s.chains, ChainSpec{
+		ID:          "C3P0-ReferenceIndirector",
+		Source:      java.MakeMethodKey(pkg+".PoolBackedDataSource", "readObject", []java.Type{java.ClassType("java.io.ObjectInputStream")}),
+		SinkClass:   "javax.naming.Context",
+		SinkMethod:  "lookup",
+		Category:    CatKnown,
+		Pattern:     PatternDeepIface,
+		ExpectTabby: true,
+	})
+}
+
+// commonsBeanutilsFlavor hand-models the CommonsBeanutils1 gadget: the
+// runtime's PriorityQueue.readObject → heapify → Comparator.compare
+// machinery dispatches into BeanComparator.compare, which reads a bean
+// property reflectively and ends at Method.invoke —
+//
+//	PriorityQueue.readObject → heapify → Comparator.compare ⇝
+//	BeanComparator.compare → PropertyUtils.getProperty → resolve →
+//	invokeGetter → java.lang.reflect.Method.invoke
+func commonsBeanutilsFlavor(s *synth) {
+	const pkg = "org.apache.commons.beanutils"
+	src := `
+public class BeanComparator implements java.util.Comparator, java.io.Serializable {
+    public String property;
+    public int compare(Object o1, Object o2) {
+        Object v1 = PropertyUtils.getProperty(o1, this.property);
+        return 0;
+    }
+}
+
+public class PropertyUtils {
+    public static Object getProperty(Object bean, String name) {
+        return PropertyResolver.resolve(bean, name);
+    }
+}
+
+class PropertyResolver {
+    static Object resolve(Object bean, String name) {
+        return GetterInvoker.invokeGetter(bean, name);
+    }
+}
+
+class GetterInvoker {
+    static Object invokeGetter(Object bean, String name) {
+        java.lang.Class k = bean.getClass();
+        java.lang.reflect.Method getter = k.getMethod(name);
+        return getter.invoke(bean, null);
+    }
+}
+`
+	s.files = append(s.files, javasrc.File{
+		Name:   "beanutils/BeanComparator.java",
+		Source: "package " + pkg + ";\n" + src,
+	})
+	s.chains = append(s.chains, ChainSpec{
+		ID:          "CB1-BeanComparator",
+		Source:      java.MakeMethodKey("java.util.PriorityQueue", "readObject", []java.Type{java.ClassType("java.io.ObjectInputStream")}),
+		SinkClass:   "java.lang.reflect.Method",
+		SinkMethod:  "invoke",
+		Category:    CatKnown,
+		Pattern:     PatternDeepIface,
+		ExpectTabby: true,
+	})
+}
+
+// PaperExpectation exposes the published Table IX numbers for one
+// component, so the bench harness can assert measured-vs-paper fidelity.
+type PaperExpectation struct {
+	Name    string
+	Dataset int
+
+	GIFake, GIKnown, GIUnknown int
+	TBFake, TBKnown, TBUnknown int
+	SLFake, SLKnown, SLUnknown int
+	SLTimeout                  bool
+}
+
+// PaperExpectations returns the published Table IX rows.
+func PaperExpectations() []PaperExpectation {
+	out := make([]PaperExpectation, 0, len(tableIX))
+	for _, r := range tableIX {
+		out = append(out, PaperExpectation{
+			Name: r.name, Dataset: r.dataset,
+			GIFake: r.giFake, GIKnown: r.giKnown, GIUnknown: r.giUnknown,
+			TBFake: r.tbFake, TBKnown: r.tbKnown, TBUnknown: r.tbUnknown,
+			SLFake: r.slFake, SLKnown: r.slKnown, SLUnknown: r.slUnknown,
+			SLTimeout: r.slTimeout,
+		})
+	}
+	return out
+}

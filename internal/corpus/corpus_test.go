@@ -1,0 +1,212 @@
+package corpus
+
+import (
+	"strings"
+	"testing"
+
+	"tabby/internal/java"
+	"tabby/internal/javasrc"
+)
+
+func TestRTCompiles(t *testing.T) {
+	prog, err := javasrc.CompileArchives([]javasrc.ArchiveSource{RT()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Spot-check the URLDNS machinery.
+	for _, key := range []string{
+		"java.util.HashMap#readObject(java.io.ObjectInputStream)",
+		"java.util.HashMap#hash(java.lang.Object)",
+		"java.net.URL#hashCode()",
+		"java.net.URLStreamHandler#getHostAddress(java.net.URL)",
+	} {
+		if prog.Body(java.MethodKey(key)) == nil {
+			t.Errorf("rt body missing: %s", key)
+		}
+	}
+	// Object must not extend itself.
+	obj := prog.Hierarchy.Class(java.ObjectClass)
+	if obj == nil || obj.Super != "" {
+		t.Fatalf("java.lang.Object super = %q", obj.Super)
+	}
+	if !prog.Hierarchy.IsSerializable("java.util.HashMap") {
+		t.Error("HashMap must be serializable")
+	}
+}
+
+func TestAllComponentsCompile(t *testing.T) {
+	for _, comp := range Components() {
+		comp := comp
+		t.Run(comp.Name, func(t *testing.T) {
+			prog, err := javasrc.CompileArchives(append([]javasrc.ArchiveSource{RT()}, comp.Archives...))
+			if err != nil {
+				t.Fatalf("compile: %v", err)
+			}
+			// Every planted chain's source method must exist with a body.
+			for _, spec := range comp.Chains {
+				if prog.Body(spec.Source) == nil {
+					t.Errorf("chain %s: source body %s missing", spec.ID, spec.Source)
+				}
+			}
+		})
+	}
+}
+
+func TestComponentManifestsMatchPaperCounts(t *testing.T) {
+	// The planted known/unknown totals must reproduce the paper's
+	// dataset-wide numbers: 38 known in dataset; Tabby finds 26 known and
+	// 27 unknown; fakes Tabby can see total 26.
+	var dataset, known, unknown, tabbyKnown, tabbyUnknown, tabbyFake int
+	for _, comp := range Components() {
+		dataset += comp.DatasetChains
+		counts := comp.CountByCategory()
+		known += counts[CatKnown]
+		unknown += counts[CatUnknown]
+		for _, spec := range comp.Chains {
+			if !spec.ExpectTabby {
+				continue
+			}
+			switch spec.Category {
+			case CatKnown:
+				tabbyKnown++
+			case CatUnknown:
+				tabbyUnknown++
+			case CatFake:
+				tabbyFake++
+			}
+		}
+	}
+	if dataset != 38 {
+		t.Errorf("dataset chains = %d, want 38", dataset)
+	}
+	if known != dataset {
+		t.Errorf("planted known chains = %d, want %d (one per dataset entry)", known, dataset)
+	}
+	if tabbyKnown != 26 {
+		t.Errorf("tabby-findable known = %d, want 26", tabbyKnown)
+	}
+	if tabbyUnknown != 27 {
+		t.Errorf("tabby-findable unknown = %d, want 27", tabbyUnknown)
+	}
+	if tabbyFake != 26 {
+		t.Errorf("tabby-visible fakes = %d, want 26", tabbyFake)
+	}
+	_ = unknown
+}
+
+func TestComponentByNameErrors(t *testing.T) {
+	if _, err := ComponentByName("NoSuchThing"); err == nil {
+		t.Fatal("unknown component must error")
+	}
+	comp, err := ComponentByName("C3P0")
+	if err != nil || comp.Package != "com.mchange.v2.c3p0" {
+		t.Fatalf("C3P0 lookup: %v %+v", err, comp)
+	}
+}
+
+func TestScenesCompile(t *testing.T) {
+	for _, scene := range Scenes() {
+		scene := scene
+		t.Run(scene.Name, func(t *testing.T) {
+			prog, err := javasrc.CompileArchives(append([]javasrc.ArchiveSource{RT()}, scene.Archives...))
+			if err != nil {
+				t.Fatalf("compile: %v", err)
+			}
+			for _, spec := range scene.Chains {
+				if prog.Body(spec.Source) == nil {
+					t.Errorf("scene chain %s: source body %s missing", spec.ID, spec.Source)
+				}
+			}
+			if len(scene.PackagePrefixes) == 0 {
+				t.Error("scene needs package prefixes")
+			}
+		})
+	}
+}
+
+func TestSceneByName(t *testing.T) {
+	if _, err := SceneByName("Atlantis"); err == nil {
+		t.Fatal("unknown scene must error")
+	}
+	s, err := SceneByName("JDK8")
+	if err != nil || s.Version != "8u242" {
+		t.Fatalf("JDK8 lookup: %v %+v", err, s)
+	}
+}
+
+func TestSceneJarCountsMatchPaper(t *testing.T) {
+	for _, scene := range Scenes() {
+		want := scene.PaperJarCount
+		got := len(scene.Archives)
+		if scene.Name == "JDK8" {
+			got++ // rt.jar is part of the JDK8 subject
+		}
+		if got != want {
+			t.Errorf("%s: %d jars, paper %d", scene.Name, got, want)
+		}
+	}
+}
+
+func TestGenerateSyntheticDeterministic(t *testing.T) {
+	spec := SyntheticSpecs()[0]
+	p1, err := GenerateSynthetic(spec, 0.01)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2, err := GenerateSynthetic(spec, 0.01)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p1.Hierarchy.NumClasses() != p2.Hierarchy.NumClasses() {
+		t.Error("generation must be deterministic")
+	}
+	if len(p1.Bodies) != len(p2.Bodies) {
+		t.Error("body counts differ across runs")
+	}
+	if err := p1.Validate(); err != nil {
+		t.Fatalf("generated program invalid: %v", err)
+	}
+	if len(p1.Archives) == 0 || len(p1.Archives) > spec.PaperJarCount {
+		t.Errorf("archive count %d out of range (max %d)", len(p1.Archives), spec.PaperJarCount)
+	}
+}
+
+func TestGenerateSyntheticScalesCounts(t *testing.T) {
+	spec := SyntheticSpecs()[0]
+	small, err := GenerateSynthetic(spec, 0.01)
+	if err != nil {
+		t.Fatal(err)
+	}
+	big, err := GenerateSynthetic(spec, 0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if big.Hierarchy.NumClasses() <= small.Hierarchy.NumClasses() {
+		t.Errorf("scale must grow classes: %d vs %d", small.Hierarchy.NumClasses(), big.Hierarchy.NumClasses())
+	}
+}
+
+func TestPatternSpecsInternallyConsistent(t *testing.T) {
+	for _, comp := range Components() {
+		ids := make(map[string]bool)
+		for _, spec := range comp.Chains {
+			if ids[spec.ID] {
+				t.Errorf("%s: duplicate chain id %s", comp.Name, spec.ID)
+			}
+			ids[spec.ID] = true
+			if spec.Effective() == (spec.Category == CatFake) {
+				t.Errorf("%s/%s: Effective/Category mismatch", comp.Name, spec.ID)
+			}
+			if spec.SinkClass == "" || spec.SinkMethod == "" {
+				t.Errorf("%s/%s: missing sink identity", comp.Name, spec.ID)
+			}
+			if !strings.Contains(string(spec.Source), "#") {
+				t.Errorf("%s/%s: malformed source %s", comp.Name, spec.ID, spec.Source)
+			}
+			// Proxy chains must be invisible to everyone.
+			if spec.Pattern == PatternProxy && (spec.ExpectTabby || spec.ExpectGI || spec.ExpectSL) {
+				t.Errorf("%s/%s: proxy chains are invisible by design", comp.Name, spec.ID)
+			}
+		}
+	}
+}

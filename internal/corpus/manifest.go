@@ -1,0 +1,88 @@
+package corpus
+
+import (
+	"tabby/internal/java"
+	"tabby/internal/javasrc"
+)
+
+// Category is the ground-truth classification of a planted chain.
+type Category string
+
+// Chain categories, matching the columns of Table IX.
+const (
+	// CatKnown is an effective chain recorded in the ysoserial/marshalsec
+	// dataset ("Known in dataset").
+	CatKnown Category = "known"
+	// CatUnknown is an effective chain not in the dataset.
+	CatUnknown Category = "unknown"
+	// CatFake is a chain whose static path exists but which cannot
+	// actually be triggered (dead guard, sanitized data, constant input).
+	CatFake Category = "fake"
+)
+
+// Pattern names the structural template a chain was planted with; each
+// template is designed to be found by a specific subset of the three
+// tools (see DESIGN.md §3 and the synth* functions).
+type Pattern string
+
+// Planted chain patterns.
+const (
+	PatternPlain         Pattern = "plain"          // found by Tabby, GI, SL
+	PatternPlainDeep     Pattern = "plain-deep"     // Tabby, GI (SL depth horizon)
+	PatternIface         Pattern = "iface"          // Tabby, SL (GI lacks interface dispatch)
+	PatternDeepIface     Pattern = "deep-iface"     // Tabby only
+	PatternProxy         Pattern = "proxy"          // nobody (dynamic proxy, §V-B)
+	PatternStaticChannel Pattern = "static-channel" // GI, SL (Tabby's per-method statics)
+	PatternCond          Pattern = "cond"           // fake: all three (dead guard)
+	PatternCondIface     Pattern = "cond-iface"     // fake: Tabby, SL
+	PatternDecoy         Pattern = "decoy"          // fake: GI, SL (interprocedural sanitizer)
+	PatternSLNoise       Pattern = "sl-noise"       // fake: SL only (constant input)
+	PatternCondDeep      Pattern = "cond-deep"      // fake: Tabby, GI (beyond SL depth)
+	PatternDecoyDeep     Pattern = "decoy-deep"     // fake: GI only
+)
+
+// ChainSpec is the ground-truth record for one planted chain.
+type ChainSpec struct {
+	// ID is unique within the component.
+	ID string
+	// Source is the entry method of the chain.
+	Source java.MethodKey
+	// SinkClass/SinkMethod identify the sink endpoint in registry terms.
+	SinkClass  string
+	SinkMethod string
+	// Category is the ground truth; Effective is true for known/unknown.
+	Category Category
+	Pattern  Pattern
+	// ExpectTabby/GI/SL record the designed findability, used by the
+	// corpus self-tests.
+	ExpectTabby bool
+	ExpectGI    bool
+	ExpectSL    bool
+}
+
+// Effective reports whether the chain is actually triggerable.
+func (c ChainSpec) Effective() bool { return c.Category != CatFake }
+
+// Component is one evaluation component of Table IX: its archives (to be
+// compiled together with RT()) and the ground-truth manifest.
+type Component struct {
+	Name    string
+	Package string
+	// DatasetChains is the paper's "Known in dataset" column.
+	DatasetChains int
+	Archives      []javasrc.ArchiveSource
+	Chains        []ChainSpec
+	// SLTimeout marks components on which Serianalyzer fails to
+	// terminate (the paper's X entries); they embed a path-explosion
+	// clique that only unpruned backward search falls into.
+	SLTimeout bool
+}
+
+// CountByCategory tallies planted chains per category.
+func (c *Component) CountByCategory() map[Category]int {
+	out := make(map[Category]int, 3)
+	for _, ch := range c.Chains {
+		out[ch.Category]++
+	}
+	return out
+}

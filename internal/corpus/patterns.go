@@ -1,0 +1,393 @@
+package corpus
+
+import (
+	"fmt"
+	"strings"
+
+	"tabby/internal/java"
+	"tabby/internal/javasrc"
+)
+
+// sinkKind rotates the sink used by synthesized chains so components
+// exercise several rows of Table VII.
+type sinkKind int
+
+const (
+	sinkExec sinkKind = iota // java.lang.Runtime.exec
+	sinkJNDI                 // javax.naming.Context.lookup
+	sinkSSRF                 // java.net.InetAddress.getByName
+)
+
+func (k sinkKind) identity() (class, method string) {
+	switch k {
+	case sinkJNDI:
+		return "javax.naming.Context", "lookup"
+	case sinkSSRF:
+		return "java.net.InetAddress", "getByName"
+	default:
+		return "java.lang.Runtime", "exec"
+	}
+}
+
+// stmt renders the mini-Java statement invoking the sink with variable v.
+func (k sinkKind) stmt(v string) string {
+	switch k {
+	case sinkJNDI:
+		return fmt.Sprintf("javax.naming.InitialContext ctx = new javax.naming.InitialContext(); Object r = ctx.lookup(%s);", v)
+	case sinkSSRF:
+		return fmt.Sprintf("java.net.InetAddress r = java.net.InetAddress.getByName(%s);", v)
+	default:
+		return fmt.Sprintf("java.lang.Process r = java.lang.Runtime.getRuntime().exec(%s);", v)
+	}
+}
+
+// synth accumulates synthesized chain sources and their ground truth for
+// one component.
+type synth struct {
+	pkg    string
+	n      int
+	files  []javasrc.File
+	chains []ChainSpec
+}
+
+func newSynth(pkg string) *synth { return &synth{pkg: pkg} }
+
+// next allocates a fresh chain prefix ("G7") and sink rotation slot.
+func (s *synth) next() (prefix string, sink sinkKind) {
+	s.n++
+	return fmt.Sprintf("G%d", s.n), sinkKind(s.n % 3)
+}
+
+func (s *synth) emit(prefix, source string) {
+	s.files = append(s.files, javasrc.File{
+		Name:   fmt.Sprintf("%s/%s.java", strings.ReplaceAll(s.pkg, ".", "/"), prefix),
+		Source: "package " + s.pkg + ";\n" + source,
+	})
+}
+
+func (s *synth) record(prefix string, sink sinkKind, cat Category, pat Pattern, tb, gi, sl bool) {
+	sc, sm := sink.identity()
+	s.chains = append(s.chains, ChainSpec{
+		ID:          prefix,
+		Source:      java.MakeMethodKey(s.pkg+"."+prefix+"Entry", "readObject", []java.Type{java.ClassType("java.io.ObjectInputStream")}),
+		SinkClass:   sc,
+		SinkMethod:  sm,
+		Category:    cat,
+		Pattern:     pat,
+		ExpectTabby: tb, ExpectGI: gi, ExpectSL: sl,
+	})
+}
+
+// entryHeader renders the serializable entry class whose readObject runs
+// body (one or more statements able to reference this.cmd).
+func entryClass(prefix, fields, body string) string {
+	return fmt.Sprintf(`
+public class %sEntry implements java.io.Serializable {
+    public String cmd;
+%s
+    private void readObject(java.io.ObjectInputStream s) {
+%s
+    }
+}
+`, prefix, fields, body)
+}
+
+// addPlain plants a chain found by all three tools:
+// Entry.readObject → Helper.run → sink.
+func (s *synth) addPlain(cat Category) {
+	prefix, sink := s.next()
+	src := entryClass(prefix, "", fmt.Sprintf("        %sHelper.run%s(this.cmd);", prefix, prefix)) +
+		fmt.Sprintf(`
+class %sHelper {
+    static void run%s(String c) {
+        %s
+    }
+}
+`, prefix, prefix, sink.stmt("c"))
+	s.emit(prefix, src)
+	s.record(prefix, sink, cat, PatternPlain, true, true, true)
+}
+
+// deepHops renders k static relay classes D0..D(k-1); D(k-1) fires the
+// sink. Returns the source text and the first hop's call statement.
+func deepHops(prefix string, k int, sink sinkKind) (src, firstCall string) {
+	var sb strings.Builder
+	for i := 0; i < k; i++ {
+		var body string
+		if i == k-1 {
+			body = "        " + sink.stmt("c")
+		} else {
+			body = fmt.Sprintf("        %sD%d.hop%s(c);", prefix, i+1, prefix)
+		}
+		fmt.Fprintf(&sb, `
+class %sD%d {
+    static void hop%s(String c) {
+%s
+    }
+}
+`, prefix, i, prefix, body)
+	}
+	return sb.String(), fmt.Sprintf("%sD0.hop%s(this.cmd);", prefix, prefix)
+}
+
+// addPlainDeep plants a chain deeper than Serianalyzer's horizon but with
+// no interface pivot, so GadgetInspector and Tabby find it.
+func (s *synth) addPlainDeep(cat Category) {
+	prefix, sink := s.next()
+	hops, first := deepHops(prefix, 7, sink)
+	src := entryClass(prefix, "", "        "+first) + hops
+	s.emit(prefix, src)
+	s.record(prefix, sink, cat, PatternPlainDeep, true, true, false)
+}
+
+// addIface plants a chain pivoting through an interface implementation —
+// invisible to GadgetInspector's subclass-only dispatch.
+func (s *synth) addIface(cat Category) {
+	prefix, sink := s.next()
+	src := fmt.Sprintf(`
+interface %sGadget {
+    void fire%s(String c);
+}
+
+class %sImpl implements %sGadget, java.io.Serializable {
+    public void fire%s(String c) {
+        %s
+    }
+}
+`, prefix, prefix, prefix, prefix, prefix, sink.stmt("c")) +
+		entryClass(prefix,
+			fmt.Sprintf("    public %sGadget g;", prefix),
+			fmt.Sprintf("        g.fire%s(this.cmd);", prefix))
+	s.emit(prefix, src)
+	s.record(prefix, sink, cat, PatternIface, true, false, true)
+}
+
+// addDeepIface combines the interface pivot with depth: only Tabby finds
+// it.
+func (s *synth) addDeepIface(cat Category) {
+	prefix, sink := s.next()
+	hops, _ := deepHops(prefix, 6, sink)
+	src := fmt.Sprintf(`
+interface %sGadget {
+    void fire%s(String c);
+}
+
+class %sImpl implements %sGadget, java.io.Serializable {
+    public void fire%s(String c) {
+        %sD0.hop%s(c);
+    }
+}
+`, prefix, prefix, prefix, prefix, prefix, prefix, prefix) + hops +
+		entryClass(prefix,
+			fmt.Sprintf("    public %sGadget g;", prefix),
+			fmt.Sprintf("        g.fire%s(this.cmd);", prefix))
+	s.emit(prefix, src)
+	s.record(prefix, sink, cat, PatternDeepIface, true, false, false)
+}
+
+// addProxy plants an effective chain whose pivot is a dynamic-proxy
+// dispatch — invisible to every static tool (§V-B).
+func (s *synth) addProxy(cat Category) {
+	prefix, sink := s.next()
+	src := entryClass(prefix,
+		"    public Object target;",
+		"        java.lang.reflect.Proxy.dispatch(this.target, this.cmd);") +
+		fmt.Sprintf(`
+class %sRuntimeGadget implements java.io.Serializable {
+    public void call%s(String c) {
+        %s
+    }
+}
+`, prefix, prefix, sink.stmt("c"))
+	s.emit(prefix, src)
+	s.record(prefix, sink, cat, PatternProxy, false, false, false)
+}
+
+// addStaticChannel plants an effective chain where data flows through a
+// static field across two calls: Tabby's per-method static tracking
+// loses it; GadgetInspector's optimism keeps it.
+func (s *synth) addStaticChannel(cat Category) {
+	prefix, sink := s.next()
+	src := entryClass(prefix, "", fmt.Sprintf(
+		"        %sReg.store%s(this.cmd);\n        %sReg.flush%s(this.cmd);",
+		prefix, prefix, prefix, prefix)) +
+		fmt.Sprintf(`
+class %sReg {
+    static String slot;
+
+    static void store%s(String c) {
+        %sReg.slot = c;
+    }
+    static void flush%s(String unused) {
+        String c = %sReg.slot;
+        %s
+    }
+}
+`, prefix, prefix, prefix, prefix, prefix, sink.stmt("c"))
+	s.emit(prefix, src)
+	s.record(prefix, sink, cat, PatternStaticChannel, false, true, true)
+}
+
+// addCond plants a fake chain guarded by a dead condition; every
+// flow-insensitive tool reports it (the paper's main Tabby FP source,
+// §IV-E).
+func (s *synth) addCond() {
+	prefix, sink := s.next()
+	src := entryClass(prefix, "", fmt.Sprintf(`        int gate = 7;
+        if (gate == 8) {
+            %sCHelper.check%s(this.cmd);
+        }`, prefix, prefix)) +
+		fmt.Sprintf(`
+class %sCHelper {
+    static void check%s(String c) {
+        %s
+    }
+}
+`, prefix, prefix, sink.stmt("c"))
+	s.emit(prefix, src)
+	s.record(prefix, sink, CatFake, PatternCond, true, true, true)
+}
+
+// addCondIface is a dead-guard fake behind an interface pivot, reported
+// by Tabby and Serianalyzer but invisible to GadgetInspector.
+func (s *synth) addCondIface() {
+	prefix, sink := s.next()
+	src := fmt.Sprintf(`
+interface %sGadget {
+    void fire%s(String c);
+}
+
+class %sImpl implements %sGadget, java.io.Serializable {
+    public void fire%s(String c) {
+        %s
+    }
+}
+`, prefix, prefix, prefix, prefix, prefix, sink.stmt("c")) +
+		entryClass(prefix,
+			fmt.Sprintf("    public %sGadget g;", prefix),
+			fmt.Sprintf(`        int gate = 7;
+        if (gate == 8) {
+            g.fire%s(this.cmd);
+        }`, prefix))
+	s.emit(prefix, src)
+	s.record(prefix, sink, CatFake, PatternCondIface, true, false, true)
+}
+
+// addDecoy plants a fake chain whose data is interprocedurally replaced
+// by a constant: Tabby's Action summary prunes it, the baselines report
+// it.
+func (s *synth) addDecoy() {
+	prefix, sink := s.next()
+	src := entryClass(prefix, "", fmt.Sprintf(
+		"        String c = %sSan.sanitize%s(this.cmd);\n        %sDHelper.go%s(c);",
+		prefix, prefix, prefix, prefix)) +
+		fmt.Sprintf(`
+class %sSan {
+    static String sanitize%s(String c) {
+        String fixed = "safe-value";
+        return fixed;
+    }
+}
+
+class %sDHelper {
+    static void go%s(String c) {
+        %s
+    }
+}
+`, prefix, prefix, prefix, prefix, sink.stmt("c"))
+	s.emit(prefix, src)
+	s.record(prefix, sink, CatFake, PatternDecoy, false, true, true)
+}
+
+// addSLNoise plants a fake chain with constant input: only the
+// controllability-blind backward search reports it.
+func (s *synth) addSLNoise() {
+	prefix, sink := s.next()
+	src := entryClass(prefix, "", fmt.Sprintf("        %sNHelper.ping%s(\"static-input\");", prefix, prefix)) +
+		fmt.Sprintf(`
+class %sNHelper {
+    static void ping%s(String c) {
+        %s
+    }
+}
+`, prefix, prefix, sink.stmt("c"))
+	s.emit(prefix, src)
+	s.record(prefix, sink, CatFake, PatternSLNoise, false, false, true)
+}
+
+// addExplosionBomb embeds a dispatch explosion: one interface with n
+// implementations invoked from n distinct call sites. Every input is a
+// constant, so controllability pruning (Tabby) and intraprocedural taint
+// (GadgetInspector) skip the whole structure — but an unpruned call-graph
+// construction must materialize n×n dispatch edges and exhausts its step
+// budget, reproducing Serianalyzer's non-termination rows (X).
+func (s *synth) addExplosionBomb(n int) {
+	prefix, _ := s.next()
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "\npublic interface %sBoom {\n    void boom%s(String c);\n}\n", prefix, prefix)
+	for i := 0; i < n; i++ {
+		fmt.Fprintf(&sb, `
+class %sBoomImpl%d implements %sBoom {
+    public void boom%s(String c) {
+        java.lang.Process r = java.lang.Runtime.getRuntime().exec("constant");
+    }
+}
+`, prefix, i, prefix, prefix)
+	}
+	fmt.Fprintf(&sb, "\nclass %sBoomCallers {\n", prefix)
+	for i := 0; i < n; i++ {
+		fmt.Fprintf(&sb, "    static void site%d(%sBoom f) {\n        f.boom%s(\"x\");\n    }\n", i, prefix, prefix)
+	}
+	fmt.Fprintf(&sb, "}\n")
+	s.emit(prefix+"Boom", sb.String())
+	// The bomb is not a chain: nothing effective, nothing reported by
+	// pruning tools; Serianalyzer never finishes, so no spec is recorded.
+}
+
+// build wraps the synthesized files into a Component.
+func (s *synth) build(name string, dataset int, slTimeout bool) Component {
+	return Component{
+		Name:          name,
+		Package:       s.pkg,
+		DatasetChains: dataset,
+		Archives: []javasrc.ArchiveSource{{
+			Name:  name + ".jar",
+			Files: s.files,
+		}},
+		Chains:    s.chains,
+		SLTimeout: slTimeout,
+	}
+}
+
+// addCondDeep is a dead-guard fake deeper than Serianalyzer's horizon:
+// Tabby and GadgetInspector report it, Serianalyzer does not.
+func (s *synth) addCondDeep() {
+	prefix, sink := s.next()
+	hops, first := deepHops(prefix, 7, sink)
+	src := entryClass(prefix, "", fmt.Sprintf(`        int gate = 7;
+        if (gate == 8) {
+            %s
+        }`, first)) + hops
+	s.emit(prefix, src)
+	s.record(prefix, sink, CatFake, PatternCondDeep, true, true, false)
+}
+
+// addDecoyDeep is an interprocedurally sanitized fake behind deep hops:
+// only GadgetInspector's optimistic taint reports it.
+func (s *synth) addDecoyDeep() {
+	prefix, sink := s.next()
+	hops, _ := deepHops(prefix, 7, sink)
+	src := entryClass(prefix, "", fmt.Sprintf(
+		"        String c = %sSan.sanitize%s(this.cmd);\n        %sD0.hop%s(c);",
+		prefix, prefix, prefix, prefix)) +
+		fmt.Sprintf(`
+class %sSan {
+    static String sanitize%s(String c) {
+        String fixed = "safe-value";
+        return fixed;
+    }
+}
+`, prefix, prefix) + hops
+	s.emit(prefix, src)
+	s.record(prefix, sink, CatFake, PatternDecoyDeep, false, true, false)
+}

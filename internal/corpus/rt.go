@@ -1,0 +1,356 @@
+// Package corpus provides the evaluation substrate of the reproduction:
+// a mini-Java model of the JDK runtime subset that gadget chains traverse
+// (this file), hand-modelled and synthesized components mirroring the 26
+// ysoserial/marshalsec components of Table IX, the development scenes of
+// Table X, and a scalable synthetic-archive generator for the Table VIII
+// timing experiment.
+//
+// The paper analyzed real Jar files; this package substitutes semantically
+// equivalent mini-Java sources whose call/alias/controllability structure
+// reproduces the gadget-relevant behaviour (see DESIGN.md §2).
+package corpus
+
+import "tabby/internal/javasrc"
+
+// RT returns the runtime archive ("rt.jar"): the JDK subset every
+// component compiles against. It contains the URLDNS gadget machinery of
+// paper Fig. 3/4 verbatim, the sink-declaring classes of Table VII, and
+// the collection/reflection scaffolding the components use.
+func RT() javasrc.ArchiveSource {
+	return javasrc.ArchiveSource{
+		Name: "rt.jar",
+		Files: []javasrc.File{
+			{Name: "rt/lang.java", Source: _rtLang},
+			{Name: "rt/io.java", Source: _rtIO},
+			{Name: "rt/net.java", Source: _rtNet},
+			{Name: "rt/util.java", Source: _rtUtil},
+			{Name: "rt/naming.java", Source: _rtNaming},
+			{Name: "rt/reflect.java", Source: _rtReflect},
+			{Name: "rt/xml.java", Source: _rtXML},
+			{Name: "rt/sql.java", Source: _rtSQL},
+		},
+	}
+}
+
+const _rtLang = `
+package java.lang;
+
+public class Object {
+    public int hashCode() { return 0; }
+    public boolean equals(Object other) { return false; }
+    public String toString() { return null; }
+}
+
+public class String implements java.io.Serializable, Comparable {
+    public String toString() { return this; }
+    public int length() { return 0; }
+    public int compareTo(Object other) { return 0; }
+    public boolean equals(Object other) { return false; }
+    public int hashCode() { return 0; }
+}
+
+public interface Comparable {
+    int compareTo(Object other);
+}
+
+public class Class implements java.io.Serializable {
+    public String name;
+    public static Class forName(String name) { return null; }
+    public Object newInstance() { return null; }
+    public java.lang.reflect.Method getMethod(String name) { return null; }
+    public String getName() { return this.name; }
+}
+
+public class Runtime {
+    public static Runtime getRuntime() { return null; }
+    public Process exec(String command) { return null; }
+}
+
+public class Process {
+}
+
+public class ProcessBuilder {
+    public String[] command;
+    public ProcessBuilder(String[] command) { this.command = command; }
+    public Process start() { return null; }
+}
+
+public class ProcessImpl {
+    public static Process start(String[] cmdarray) { return null; }
+}
+
+public class ClassLoader {
+    public Class loadClass(String name) { return null; }
+    public Class defineClass(byte[] code) { return null; }
+}
+
+public class System {
+    public static void loadLibrary(String name) { }
+}
+
+public class Thread {
+    public void run() { }
+}
+
+public class Throwable implements java.io.Serializable {
+    public String message;
+    public String getMessage() { return this.message; }
+}
+
+public class Exception extends Throwable {
+    public Exception(String message) { this.message = message; }
+}
+
+public class RuntimeException extends Exception {
+    public RuntimeException(String message) { this.message = message; }
+}
+
+public class StringBuilder {
+    public String buf;
+    public StringBuilder append(String part) { this.buf = this.buf + part; return this; }
+    public String toString() { return this.buf; }
+}
+`
+
+const _rtIO = `
+package java.io;
+
+public interface Serializable {
+}
+
+public interface Externalizable extends Serializable {
+    void writeExternal(java.io.ObjectOutput out);
+    void readExternal(java.io.ObjectInput in);
+}
+
+public interface ObjectInput {
+    Object readObject();
+}
+
+public interface ObjectOutput {
+    void writeObject(Object obj);
+}
+
+public class ObjectInputStream implements ObjectInput {
+    public Object content;
+    public Object readObject() { return this.content; }
+    public void defaultReadObject() { }
+    public java.io.GetField readFields() { return null; }
+}
+
+public class GetField {
+    public Object get(String name, Object def) { return null; }
+}
+
+public class File implements Serializable {
+    public String path;
+    public File(String path) { this.path = path; }
+    public boolean delete() { return false; }
+    public boolean renameTo(java.io.File dest) { return false; }
+    public String getPath() { return this.path; }
+}
+
+public class FileOutputStream {
+    public FileOutputStream(java.io.File file) { }
+    public void write(byte[] data) { }
+}
+
+public class InputStream {
+    public int read() { return 0; }
+}
+
+public class PrintStream {
+    public void println(String line) { }
+}
+`
+
+const _rtNet = `
+package java.net;
+
+import java.io.Serializable;
+
+public class InetAddress implements Serializable {
+    public static InetAddress getByName(String host) { return null; }
+}
+
+public class URLStreamHandler {
+    protected int hashCode(java.net.URL u) {
+        java.net.InetAddress addr = getHostAddress(u);
+        return 0;
+    }
+    protected java.net.InetAddress getHostAddress(java.net.URL u) {
+        return java.net.InetAddress.getByName(u.host);
+    }
+    protected boolean equals(java.net.URL u1, java.net.URL u2) {
+        java.net.InetAddress a = getHostAddress(u1);
+        return false;
+    }
+}
+
+public class URL implements Serializable {
+    public String host;
+    public java.net.URLStreamHandler handler;
+    public URL(String spec) { this.host = spec; }
+    public int hashCode() {
+        return handler.hashCode(this);
+    }
+    public String getHost() { return this.host; }
+    public Object openConnection() { return null; }
+    public java.io.InputStream openStream() { return null; }
+}
+
+public class Socket {
+    public void connect(Object endpoint) { }
+}
+
+public class URLClassLoader extends java.lang.ClassLoader {
+    public static java.net.URLClassLoader newInstance(java.net.URL[] urls) { return null; }
+}
+`
+
+const _rtUtil = `
+package java.util;
+
+import java.io.Serializable;
+import java.io.ObjectInputStream;
+
+public interface Map {
+    Object get(Object key);
+    Object put(Object key, Object value);
+}
+
+public interface List {
+    Object get(int index);
+    boolean add(Object element);
+}
+
+public interface Iterator {
+    boolean hasNext();
+    Object next();
+}
+
+public interface Comparator {
+    int compare(Object a, Object b);
+}
+
+public class AbstractMap implements Map {
+    public Object get(Object key) { return null; }
+    public Object put(Object key, Object value) { return null; }
+}
+
+public class HashMap extends AbstractMap implements Serializable {
+    public Object keyStore;
+    private void readObject(ObjectInputStream s) {
+        Object key = this.keyStore;
+        int h = hash(key);
+    }
+    static int hash(Object key) {
+        return key.hashCode();
+    }
+    public Object get(Object key) { return null; }
+}
+
+public class Hashtable extends AbstractMap implements Serializable {
+    public Object keyStore;
+    private void readObject(ObjectInputStream s) {
+        Object key = this.keyStore;
+        boolean eq = reconstitutionPut(key);
+    }
+    private boolean reconstitutionPut(Object key) {
+        return key.equals(key);
+    }
+}
+
+public class EnumMap extends AbstractMap implements Serializable {
+    public int hashCode() {
+        return entryHashCode();
+    }
+    int entryHashCode() { return 0; }
+}
+
+public class ArrayList implements List, Serializable {
+    public Object[] elements;
+    public Object get(int index) { return this.elements[index]; }
+    public boolean add(Object element) { return false; }
+}
+
+public class PriorityQueue implements Serializable {
+    public Object[] queue;
+    public java.util.Comparator comparator;
+    private void readObject(ObjectInputStream s) {
+        heapify();
+    }
+    void heapify() {
+        Object a = this.queue[0];
+        Object b = this.queue[1];
+        int c = comparator.compare(a, b);
+    }
+}
+
+public class TreeMap extends AbstractMap implements Serializable {
+    public Comparable rootKey;
+    private void readObject(ObjectInputStream s) {
+        buildFromSorted();
+    }
+    void buildFromSorted() {
+        Comparable k = this.rootKey;
+        int c = k.compareTo(k);
+    }
+}
+
+public class Properties extends Hashtable {
+    public String getProperty(String key) { return null; }
+}
+`
+
+const _rtNaming = `
+package javax.naming;
+
+public interface Context {
+    Object lookup(String name);
+}
+
+public class InitialContext implements Context {
+    public Object lookup(String name) { return null; }
+    public static Object doLookup(String name) { return null; }
+}
+`
+
+const _rtReflect = `
+package java.lang.reflect;
+
+public class Method {
+    public String name;
+    public Object invoke(Object target, Object[] args) { return null; }
+    public String getName() { return this.name; }
+}
+
+public class Proxy {
+    public java.lang.reflect.InvocationHandler h;
+    public static Object newProxyInstance(java.lang.reflect.InvocationHandler handler) { return null; }
+}
+
+public interface InvocationHandler {
+    Object invoke(Object proxy, java.lang.reflect.Method method, Object[] args);
+}
+`
+
+const _rtXML = `
+package javax.xml.parsers;
+
+public class DocumentBuilder {
+    public Object parse(String uri) { return null; }
+}
+
+public class SAXParser {
+    public void parse(String uri) { }
+}
+`
+
+const _rtSQL = `
+package javax.sql;
+
+public interface DataSource {
+    Object getConnection();
+}
+`

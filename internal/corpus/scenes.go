@@ -1,0 +1,333 @@
+package corpus
+
+import (
+	"fmt"
+
+	"tabby/internal/java"
+	"tabby/internal/javasrc"
+)
+
+// Scene is one development-environment target of Table X. Unlike the
+// Table IX components (analyzed against a known gadget dataset), scenes
+// are whole environments: every chain Tabby reports inside the scene's
+// package prefixes counts toward the result column, and the manifest
+// records which are effective.
+type Scene struct {
+	Name    string
+	Version string
+	// Archives are compiled together with RT(); for the JDK8 scene the
+	// runtime itself is the subject.
+	Archives []javasrc.ArchiveSource
+	// PackagePrefixes scope which reported chains belong to the scene.
+	PackagePrefixes []string
+	Chains          []ChainSpec
+
+	// Paper columns for side-by-side reporting.
+	PaperJarCount      int
+	PaperCodeMB        float64
+	PaperResultCount   int
+	PaperEffective     int
+	PaperFPRPercent    float64
+	PaperSearchSeconds float64
+}
+
+// Scenes returns the five Table X environments.
+func Scenes() []Scene {
+	return []Scene{
+		springScene(),
+		jdk8Scene(),
+		middlewareScene("Tomcat", "8.5.47", "org.apache.catalina", 25, 7.9, 4, 3, 25, 3.6, 2, 1),
+		middlewareScene("Jetty", "9.4.36", "org.eclipse.jetty", 67, 10.3, 6, 4, 33.3, 4.1, 3, 2),
+		dubboScene(),
+	}
+}
+
+// SceneByName returns one scene by name.
+func SceneByName(name string) (Scene, error) {
+	for _, s := range Scenes() {
+		if s.Name == name {
+			return s, nil
+		}
+	}
+	return Scene{}, fmt.Errorf("unknown scene %q", name)
+}
+
+// springScene models §IV-D1: the Spring framework environment with the
+// Table XI JNDI chains hand-modelled in spring-aop, four further
+// effective chains, and three conditional fakes (10 results, 7 effective,
+// 30 % FPR).
+func springScene() Scene {
+	s := newSynth("org.springframework.web")
+	repeat(3, func() { s.addIface(CatUnknown) })
+	s.addPlain(CatUnknown)
+	repeat(3, func() { s.addCond() })
+
+	aop := springAopSources()
+	scene := Scene{
+		Name:            "Spring",
+		Version:         "2.4.3",
+		PackagePrefixes: []string{"org.springframework.", "ch.qos.logback."},
+		PaperJarCount:   66, PaperCodeMB: 25.5,
+		PaperResultCount: 10, PaperEffective: 7,
+		PaperFPRPercent: 30, PaperSearchSeconds: 8.2,
+	}
+	scene.Archives = append([]javasrc.ArchiveSource{
+		{Name: "spring-aop.jar", Files: aop},
+	}, s.build("spring-web", 0, false).Archives...)
+	scene.Archives = append(scene.Archives, fillerArchives("spring", 66-len(scene.Archives))...)
+	scene.Chains = append(springAopChains(), s.chains...)
+	return scene
+}
+
+// springAopSources hand-models the Table XI gadget family: serializable
+// AOP holders whose deserialization pulls a TargetSource, whose
+// getTarget() walks into SimpleJndiBeanFactory.getBean →
+// JndiLocatorSupport.lookup → javax.naming.Context.lookup.
+func springAopSources() []javasrc.File {
+	const src = `
+package org.springframework.aop.target;
+
+import java.io.Serializable;
+import java.io.ObjectInputStream;
+
+public interface TargetSource {
+    Object getTarget();
+}
+
+public class JndiLocatorSupport {
+    public javax.naming.Context jndiContext;
+    public Object lookup(String jndiName) {
+        return jndiContext.lookup(jndiName);
+    }
+}
+
+public class SimpleJndiBeanFactory extends JndiLocatorSupport {
+    public Object getBean(String name) {
+        return lookup(name);
+    }
+}
+
+public class LazyInitTargetSource implements TargetSource, Serializable {
+    public SimpleJndiBeanFactory beanFactory;
+    public String targetBeanName;
+    public Object getTarget() {
+        return beanFactory.getBean(this.targetBeanName);
+    }
+}
+
+public class PrototypeTargetSource implements TargetSource, Serializable {
+    public SimpleJndiBeanFactory beanFactory;
+    public String targetBeanName;
+    public Object getTarget() {
+        return beanFactory.getBean(this.targetBeanName);
+    }
+}
+
+public class CommonsPoolTargetSource implements TargetSource, Serializable {
+    public SimpleJndiBeanFactory beanFactory;
+    public String targetBeanName;
+    public Object getTarget() {
+        return beanFactory.getBean(this.targetBeanName);
+    }
+}
+
+public class LazyAdvisorHolder implements Serializable {
+    public LazyInitTargetSource targetSource;
+    private void readObject(ObjectInputStream in) {
+        Object target = targetSource.getTarget();
+    }
+}
+
+public class PrototypeAdvisorHolder implements Serializable {
+    public PrototypeTargetSource targetSource;
+    private void readObject(ObjectInputStream in) {
+        Object target = targetSource.getTarget();
+    }
+}
+
+public class PoolingAdvisorHolder implements Serializable {
+    public CommonsPoolTargetSource targetSource;
+    private void readObject(ObjectInputStream in) {
+        Object target = targetSource.getTarget();
+    }
+}
+`
+	return []javasrc.File{{Name: "spring-aop/TargetSources.java", Source: src}}
+}
+
+func springAopChains() []ChainSpec {
+	ois := []java.Type{java.ClassType("java.io.ObjectInputStream")}
+	mk := func(id, holder string) ChainSpec {
+		return ChainSpec{
+			ID:          id,
+			Source:      java.MakeMethodKey("org.springframework.aop.target."+holder, "readObject", ois),
+			SinkClass:   "javax.naming.Context",
+			SinkMethod:  "lookup",
+			Category:    CatUnknown,
+			Pattern:     PatternIface,
+			ExpectTabby: true, ExpectSL: true,
+		}
+	}
+	return []ChainSpec{
+		mk("spring-aop-lazyinit", "LazyAdvisorHolder"),
+		mk("spring-aop-prototype", "PrototypeAdvisorHolder"),
+		mk("spring-aop-cve-2020-11619", "PoolingAdvisorHolder"),
+	}
+}
+
+// jdk8Scene models §IV-D2: the JDK runtime itself is the subject. URLDNS
+// lives in RT(); nine further chains (five of them the XStream-blacklist
+// bypasses) are planted in JDK-internal packages, plus three fakes
+// (13 results, 10 effective, 23.1 % FPR).
+func jdk8Scene() Scene {
+	s := newSynth("com.sun.jndi.toolkit")
+	repeat(5, func() { s.addIface(CatUnknown) }) // the XStream-bypass family
+	repeat(3, func() { s.addPlain(CatUnknown) })
+	s.addDeepIface(CatUnknown)
+	repeat(3, func() { s.addCond() })
+
+	scene := Scene{
+		Name:            "JDK8",
+		Version:         "8u242",
+		PackagePrefixes: []string{"java.", "javax.", "com.sun.", "sun."},
+		PaperJarCount:   19, PaperCodeMB: 102.2,
+		PaperResultCount: 13, PaperEffective: 10,
+		PaperFPRPercent: 23.1, PaperSearchSeconds: 10.2,
+	}
+	scene.Archives = s.build("jdk-internal", 0, false).Archives
+	scene.Archives = append(scene.Archives, fillerArchives("jdk", 19-1-len(scene.Archives))...)
+	scene.Chains = append([]ChainSpec{{
+		ID:          "jdk8-urldns",
+		Source:      java.MakeMethodKey("java.util.HashMap", "readObject", []java.Type{java.ClassType("java.io.ObjectInputStream")}),
+		SinkClass:   "java.net.InetAddress",
+		SinkMethod:  "getByName",
+		Category:    CatKnown,
+		Pattern:     PatternIface,
+		ExpectTabby: true, ExpectSL: true,
+	}}, s.chains...)
+	return scene
+}
+
+// middlewareScene synthesizes one §IV-D3 middleware environment with the
+// given effective/fake chain mix.
+func middlewareScene(name, version, pkg string, jars int, codeMB float64, results, effective int, fpr, searchSec float64, ifaceChains, condFakes int) Scene {
+	s := newSynth(pkg + ".core")
+	repeat(ifaceChains, func() { s.addIface(CatUnknown) })
+	repeat(effective-ifaceChains, func() { s.addDeepIface(CatUnknown) })
+	repeat(condFakes, func() { s.addCond() })
+	scene := Scene{
+		Name:            name,
+		Version:         version,
+		PackagePrefixes: []string{pkg + "."},
+		PaperJarCount:   jars, PaperCodeMB: codeMB,
+		PaperResultCount: results, PaperEffective: effective,
+		PaperFPRPercent: fpr, PaperSearchSeconds: searchSec,
+	}
+	scene.Archives = s.build(name, 0, false).Archives
+	scene.Archives = append(scene.Archives, fillerArchives(pkg, jars-len(scene.Archives))...)
+	scene.Chains = s.chains
+	return scene
+}
+
+// dubboScene models §IV-D3's Apache Dubbo environment: its effective
+// chains end at the lookup/getConnection/invoke sink family the paper
+// names, with the getConnection chain hand-modelled in the
+// JdbcRowSetImpl/DriverAdapterCPDS style (5 results, 3 effective, 40 %
+// FPR).
+func dubboScene() Scene {
+	const pkg = "org.apache.dubbo"
+	s := newSynth(pkg + ".remoting")
+	s.addIface(CatUnknown)     // rotating sink family
+	s.addDeepIface(CatUnknown) // deep variant
+	repeat(2, func() { s.addCond() })
+
+	const src = `
+package org.apache.dubbo.common;
+
+import java.io.Serializable;
+import java.io.ObjectInputStream;
+
+public class DriverAdapterCPDS implements javax.sql.DataSource, Serializable {
+    public String url;
+    public Object getConnection() {
+        return null;
+    }
+}
+
+public class PoolableConnectionHolder implements Serializable {
+    public javax.sql.DataSource dataSource;
+    private void readObject(ObjectInputStream in) {
+        Object conn = dataSource.getConnection();
+    }
+}
+`
+	scene := Scene{
+		Name:            "Apache Dubbo",
+		Version:         "3.0.2",
+		PackagePrefixes: []string{pkg + "."},
+		PaperJarCount:   15, PaperCodeMB: 13.6,
+		PaperResultCount: 5, PaperEffective: 3,
+		PaperFPRPercent: 40, PaperSearchSeconds: 5.5,
+	}
+	scene.Archives = append([]javasrc.ArchiveSource{{
+		Name:  "dubbo-common.jar",
+		Files: []javasrc.File{{Name: "dubbo/Pool.java", Source: src}},
+	}}, s.build("dubbo", 0, false).Archives...)
+	scene.Archives = append(scene.Archives, fillerArchives(pkg, 15-len(scene.Archives))...)
+	scene.Chains = append([]ChainSpec{{
+		ID:          "dubbo-getconnection",
+		Source:      java.MakeMethodKey(pkg+".common.PoolableConnectionHolder", "readObject", []java.Type{java.ClassType("java.io.ObjectInputStream")}),
+		SinkClass:   "javax.sql.DataSource",
+		SinkMethod:  "getConnection",
+		Category:    CatUnknown,
+		Pattern:     PatternIface,
+		ExpectTabby: true, ExpectSL: true,
+	}}, s.chains...)
+	return scene
+}
+
+// fillerArchives pads a scene to the paper's jar-file count with small
+// dependency jars containing unrelated utility classes.
+func fillerArchives(prefix string, n int) []javasrc.ArchiveSource {
+	if n <= 0 {
+		return nil
+	}
+	out := make([]javasrc.ArchiveSource, 0, n)
+	for i := 0; i < n; i++ {
+		pkg := fmt.Sprintf("%s.dep%d", sanitizePkg(prefix), i)
+		src := fmt.Sprintf(`
+package %s;
+
+public class Util%d {
+    public int counter;
+    public int bump(int by) {
+        this.counter = this.counter + by;
+        return this.counter;
+    }
+    public String describe() {
+        return "util-%d";
+    }
+}
+`, pkg, i, i)
+		out = append(out, javasrc.ArchiveSource{
+			Name:  fmt.Sprintf("%s-dep%d.jar", sanitizePkg(prefix), i),
+			Files: []javasrc.File{{Name: fmt.Sprintf("dep%d.java", i), Source: src}},
+		})
+	}
+	return out
+}
+
+func sanitizePkg(s string) string {
+	out := make([]rune, 0, len(s))
+	for _, r := range s {
+		switch {
+		case r >= 'a' && r <= 'z', r >= '0' && r <= '9':
+			out = append(out, r)
+		case r >= 'A' && r <= 'Z':
+			out = append(out, r+('a'-'A'))
+		case r == '.':
+			out = append(out, r)
+		}
+	}
+	return string(out)
+}

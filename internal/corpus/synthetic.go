@@ -1,0 +1,197 @@
+package corpus
+
+import (
+	"fmt"
+
+	"tabby/internal/java"
+	"tabby/internal/jimple"
+)
+
+// SyntheticSpec is one row of the Table VIII scaling experiment: the
+// paper's jar/class/method/edge counts for a given amount of bytecode.
+// The generator reproduces the class/method counts; edge counts emerge
+// from the generated call structure.
+type SyntheticSpec struct {
+	Label         string
+	CodeMB        int
+	PaperJarCount int
+	PaperClasses  int
+	PaperMethods  int
+	PaperEdges    int
+	PaperMinutes  float64
+}
+
+// SyntheticSpecs returns the seven rows of Table VIII.
+func SyntheticSpecs() []SyntheticSpec {
+	return []SyntheticSpec{
+		{Label: "10MB", CodeMB: 10, PaperJarCount: 29, PaperClasses: 9055, PaperMethods: 59508, PaperEdges: 189021, PaperMinutes: 1.9},
+		{Label: "20MB", CodeMB: 20, PaperJarCount: 63, PaperClasses: 14765, PaperMethods: 107623, PaperEdges: 341111, PaperMinutes: 3.1},
+		{Label: "30MB", CodeMB: 30, PaperJarCount: 88, PaperClasses: 21104, PaperMethods: 153653, PaperEdges: 491651, PaperMinutes: 6.0},
+		{Label: "40MB", CodeMB: 40, PaperJarCount: 93, PaperClasses: 25532, PaperMethods: 198130, PaperEdges: 628392, PaperMinutes: 9.8},
+		{Label: "50MB", CodeMB: 50, PaperJarCount: 95, PaperClasses: 30859, PaperMethods: 249545, PaperEdges: 816421, PaperMinutes: 12.7},
+		{Label: "100MB", CodeMB: 100, PaperJarCount: 113, PaperClasses: 32713, PaperMethods: 268670, PaperEdges: 857881, PaperMinutes: 20.1},
+		{Label: "150MB", CodeMB: 150, PaperJarCount: 155, PaperClasses: 66247, PaperMethods: 503358, PaperEdges: 1587266, PaperMinutes: 36.3},
+	}
+}
+
+// GenerateSynthetic builds a program with approximately
+// scale×PaperClasses classes and scale×PaperMethods methods, organized
+// into PaperJarCount archives. The structure mimics library code: class
+// groups share an interface, half the classes override a group method
+// (ALIAS edges), every method calls two deterministic peers with
+// controllable arguments (CALL edges), and one class per group is a
+// serializable readObject source. Generation is deterministic.
+func GenerateSynthetic(spec SyntheticSpec, scale float64) (*jimple.Program, error) {
+	if scale <= 0 {
+		scale = 1
+	}
+	numClasses := int(float64(spec.PaperClasses) * scale)
+	if numClasses < 20 {
+		numClasses = 20
+	}
+	methodsPerClass := spec.PaperMethods / spec.PaperClasses
+	if methodsPerClass < 1 {
+		methodsPerClass = 1
+	}
+
+	const groupSize = 20
+	objParams := []java.Type{java.ObjectType}
+
+	classes := make([]*java.Class, 0, numClasses+numClasses/groupSize+1)
+	numGroups := (numClasses + groupSize - 1) / groupSize
+	className := func(group, idx int) string {
+		return fmt.Sprintf("synth.g%d.C%d", group, idx)
+	}
+	methodName := func(i int) string { return fmt.Sprintf("m%d", i) }
+
+	// Interfaces: one per group, declaring the group's shared method.
+	for g := 0; g < numGroups; g++ {
+		iface := &java.Class{
+			Name:      fmt.Sprintf("synth.g%d.Iface", g),
+			Modifiers: java.ModPublic | java.ModInterface | java.ModAbstract,
+		}
+		iface.AddMethod(&java.Method{
+			Name: "shared", Params: objParams, Return: java.ObjectType,
+			Modifiers: java.ModPublic | java.ModAbstract,
+		})
+		classes = append(classes, iface)
+	}
+
+	total := 0
+	for g := 0; g < numGroups && total < numClasses; g++ {
+		for i := 0; i < groupSize && total < numClasses; i++ {
+			c := &java.Class{Name: className(g, i), Modifiers: java.ModPublic}
+			if i%3 == 1 {
+				// A third of the classes extend their group predecessor.
+				c.Super = className(g, i-1)
+			} else {
+				c.Super = java.ObjectClass
+			}
+			if i%2 == 0 {
+				c.Interfaces = append(c.Interfaces, fmt.Sprintf("synth.g%d.Iface", g))
+				c.AddMethod(&java.Method{
+					Name: "shared", Params: objParams, Return: java.ObjectType,
+					Modifiers: java.ModPublic,
+				})
+			}
+			if i == 0 {
+				c.Interfaces = append(c.Interfaces, java.SerializableIface)
+				c.AddMethod(&java.Method{
+					Name:      "readObject",
+					Params:    []java.Type{java.ClassType("java.io.ObjectInputStream")},
+					Return:    java.Void,
+					Modifiers: java.ModPrivate,
+				})
+			}
+			c.AddField(&java.Field{Name: "next", Type: java.ObjectType})
+			for m := 0; m < methodsPerClass; m++ {
+				c.AddMethod(&java.Method{
+					Name: methodName(m), Params: objParams, Return: java.ObjectType,
+					Modifiers: java.ModPublic,
+				})
+			}
+			classes = append(classes, c)
+			total++
+		}
+	}
+
+	h, err := java.NewHierarchy(classes)
+	if err != nil {
+		return nil, fmt.Errorf("synthetic: %w", err)
+	}
+	prog := jimple.NewProgram(h)
+
+	// Bodies: each method calls the same-index method of the next class
+	// in the group (controllable arg), and every third also calls the
+	// group interface's shared method.
+	for g := 0; g < numGroups; g++ {
+		ifaceName := fmt.Sprintf("synth.g%d.Iface", g)
+		for i := 0; i < groupSize; i++ {
+			c := h.Class(className(g, i))
+			if c == nil {
+				continue
+			}
+			nextClass := className(g, (i+1)%groupSize)
+			if h.Class(nextClass) == nil {
+				nextClass = className(g, 0)
+			}
+			for _, m := range c.Methods {
+				if m.IsAbstract() {
+					continue
+				}
+				bb := jimple.NewBodyBuilder(m)
+				switch m.Name {
+				case "readObject":
+					v := bb.Temp(java.ObjectType)
+					bb.FieldLoad(v, bb.This(), c.Name, "next", java.ObjectType)
+					bb.AssignInvokeVirtual(bb.Temp(java.ObjectType), bb.This(), nextClass, "m0", objParams, java.ObjectType, v)
+					bb.Return(nil)
+				case "shared":
+					bb.Return(bb.Param(0))
+				default:
+					ret := bb.Temp(java.ObjectType)
+					bb.AssignInvokeVirtual(ret, bb.This(), nextClass, m.Name, objParams, java.ObjectType, bb.Param(0))
+					if hashString(m.Name+c.Name)%3 == 0 {
+						bb.AssignInvokeVirtual(bb.Temp(java.ObjectType), bb.This(), ifaceName, "shared", objParams, java.ObjectType, bb.Param(0))
+					}
+					bb.Return(ret)
+				}
+				prog.SetBody(bb.Body())
+			}
+		}
+	}
+	// Archives: split classes evenly into the paper's jar count.
+	jarCount := spec.PaperJarCount
+	if jarCount < 1 {
+		jarCount = 1
+	}
+	names := h.SortedClassNames()
+	perJar := (len(names) + jarCount - 1) / jarCount
+	for j := 0; j < jarCount; j++ {
+		lo := j * perJar
+		if lo >= len(names) {
+			break
+		}
+		hi := lo + perJar
+		if hi > len(names) {
+			hi = len(names)
+		}
+		prog.Archives = append(prog.Archives, java.Archive{
+			Name:      fmt.Sprintf("synth-%s-%d.jar", spec.Label, j),
+			Classes:   names[lo:hi],
+			CodeBytes: int64(spec.CodeMB) * 1024 * 1024 / int64(jarCount),
+		})
+	}
+	return prog, nil
+}
+
+func hashString(s string) int {
+	h := 0
+	for _, r := range s {
+		h = h*31 + int(r)
+	}
+	if h < 0 {
+		h = -h
+	}
+	return h
+}

@@ -1,0 +1,326 @@
+package cpg
+
+import (
+	"fmt"
+	"sort"
+
+	"tabby/internal/graphdb"
+	"tabby/internal/java"
+	"tabby/internal/jimple"
+	"tabby/internal/sinks"
+	"tabby/internal/taint"
+)
+
+// Options configures CPG construction.
+type Options struct {
+	// Sinks is the sink registry used to tag sink method nodes. Nil means
+	// the default 38-sink registry.
+	Sinks *sinks.Registry
+	// Sources recognizes deserialization entry points. The zero value
+	// means the default native-mechanism sources.
+	Sources sinks.SourceConfig
+	// Taint tunes the controllability analysis.
+	Taint taint.Options
+	// KeepPrunedCalls stores all-∞ CALL edges too (tagged by an all -1
+	// POLLUTED_POSITION), turning the PCG back into the raw MCG. Used for
+	// ablation benchmarks; the paper's pipeline drops them.
+	KeepPrunedCalls bool
+}
+
+// Stats counts what Build produced; the Table VIII experiment reports
+// these next to wall-clock time.
+type Stats struct {
+	ClassNodes     int
+	MethodNodes    int
+	ExtendEdges    int
+	InterfaceEdges int
+	HasEdges       int
+	CallEdges      int
+	PrunedCalls    int
+	AliasEdges     int
+}
+
+// TotalEdges sums every relationship the build created.
+func (s Stats) TotalEdges() int {
+	return s.ExtendEdges + s.InterfaceEdges + s.HasEdges + s.CallEdges + s.AliasEdges
+}
+
+// Graph is a built code property graph plus the lookup tables that tie it
+// back to the analyzed program.
+type Graph struct {
+	DB      *graphdb.DB
+	Program *jimple.Program
+	Taint   *taint.Result
+	Stats   Stats
+
+	classNode  map[string]graphdb.ID
+	methodNode map[java.MethodKey]graphdb.ID
+	methodKey  map[graphdb.ID]java.MethodKey
+}
+
+// ClassNode returns the node ID for the class name (0 when absent).
+func (g *Graph) ClassNode(name string) graphdb.ID { return g.classNode[name] }
+
+// MethodNode returns the node ID for the method key (0 when absent).
+func (g *Graph) MethodNode(key java.MethodKey) graphdb.ID { return g.methodNode[key] }
+
+// MethodKeyOf returns the method key of a method node ID.
+func (g *Graph) MethodKeyOf(id graphdb.ID) (java.MethodKey, bool) {
+	k, ok := g.methodKey[id]
+	return k, ok
+}
+
+// MethodCount returns the number of method nodes.
+func (g *Graph) MethodCount() int { return len(g.methodNode) }
+
+// SinkNodes returns every method node tagged IS_SINK, in ID order.
+func (g *Graph) SinkNodes() []graphdb.ID {
+	return g.DB.FindNodes(LabelMethod, PropIsSink, true)
+}
+
+// SourceNodes returns every method node tagged IS_SOURCE, in ID order.
+func (g *Graph) SourceNodes() []graphdb.ID {
+	return g.DB.FindNodes(LabelMethod, PropIsSource, true)
+}
+
+// Build runs the full pipeline of §III-B: controllability analysis, then
+// ORG + PCG + MAG assembly into a fresh graph database.
+func Build(prog *jimple.Program, opts Options) (*Graph, error) {
+	if opts.Sinks == nil {
+		opts.Sinks = sinks.Default()
+	}
+	if len(opts.Sources.MethodNames) == 0 {
+		opts.Sources = sinks.DefaultSources()
+	}
+
+	taintRes, err := taint.Analyze(prog, opts.Taint)
+	if err != nil {
+		return nil, fmt.Errorf("cpg: %w", err)
+	}
+
+	g := &Graph{
+		DB:         graphdb.New(),
+		Program:    prog,
+		Taint:      taintRes,
+		classNode:  make(map[string]graphdb.ID),
+		methodNode: make(map[java.MethodKey]graphdb.ID),
+		methodKey:  make(map[graphdb.ID]java.MethodKey),
+	}
+	g.DB.CreateIndex(LabelMethod, PropName)
+	g.DB.CreateIndex(LabelMethod, PropIsSink)
+	g.DB.CreateIndex(LabelMethod, PropIsSource)
+	g.DB.CreateIndex(LabelClass, PropName)
+
+	b := &builder{g: g, opts: opts}
+	if err := b.buildORG(); err != nil {
+		return nil, fmt.Errorf("cpg: ORG: %w", err)
+	}
+	if err := b.buildPCG(); err != nil {
+		return nil, fmt.Errorf("cpg: PCG: %w", err)
+	}
+	if err := b.buildMAG(); err != nil {
+		return nil, fmt.Errorf("cpg: MAG: %w", err)
+	}
+	return g, nil
+}
+
+type builder struct {
+	g    *Graph
+	opts Options
+}
+
+// buildORG creates class and method nodes with EXTEND/INTERFACE/HAS edges
+// (§III-B2 "Object Relationship Graph Extraction").
+func (b *builder) buildORG() error {
+	h := b.g.Program.Hierarchy
+	for _, name := range h.SortedClassNames() {
+		b.classNodeFor(name)
+	}
+	// Edges in a second pass so every endpoint exists.
+	for _, name := range h.SortedClassNames() {
+		c := h.Class(name)
+		from := b.g.classNode[name]
+		if c.Super != "" {
+			if _, err := b.g.DB.CreateRel(RelExtend, from, b.classNodeFor(c.Super), nil); err != nil {
+				return err
+			}
+			b.g.Stats.ExtendEdges++
+		}
+		for _, iface := range c.Interfaces {
+			if _, err := b.g.DB.CreateRel(RelInterface, from, b.classNodeFor(iface), nil); err != nil {
+				return err
+			}
+			b.g.Stats.InterfaceEdges++
+		}
+		for _, key := range c.SortedMethodKeys() {
+			m := h.MethodByKey(key)
+			if m == nil {
+				return fmt.Errorf("method %s vanished", key)
+			}
+			if _, err := b.methodNodeFor(m); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+func (b *builder) classNodeFor(name string) graphdb.ID {
+	if id, ok := b.g.classNode[name]; ok {
+		return id
+	}
+	h := b.g.Program.Hierarchy
+	c := h.Class(name)
+	props := graphdb.Props{PropName: name}
+	if c != nil {
+		props[PropIsInterface] = c.IsInterface()
+		props[PropSuper] = c.Super
+		props[PropIsSerializable] = h.IsSerializable(name)
+		props[PropArchive] = c.Archive
+		props[PropIsPhantom] = c.Phantom
+	} else {
+		props[PropIsPhantom] = true
+	}
+	id := b.g.DB.CreateNode([]string{LabelClass}, props)
+	b.g.classNode[name] = id
+	b.g.Stats.ClassNodes++
+	return id
+}
+
+// methodNodeFor creates (once) the node for a declared method, tagging
+// source/sink status, the Trigger_Condition and the Action summary, and
+// linking it to its class with HAS.
+func (b *builder) methodNodeFor(m *java.Method) (graphdb.ID, error) {
+	key := m.Key()
+	if id, ok := b.g.methodNode[key]; ok {
+		return id, nil
+	}
+	h := b.g.Program.Hierarchy
+	props := graphdb.Props{
+		PropName:           string(key),
+		PropClass:          m.ClassName,
+		PropMethodName:     m.Name,
+		PropSubSignature:   m.SubSignature(),
+		PropParamCount:     len(m.Params),
+		PropIsStatic:       m.IsStatic(),
+		PropIsAbstract:     m.IsAbstract(),
+		PropIsSerializable: h.IsSerializable(m.ClassName),
+		PropHasBody:        b.g.Program.Body(key) != nil,
+	}
+	props[PropIsSource] = b.opts.Sources.IsSource(h, m)
+	if s, ok := b.opts.Sinks.Match(h, m.ClassName, m.Name); ok {
+		props[PropIsSink] = true
+		props[PropSinkType] = string(s.Type)
+		props[PropTriggerCondition] = append([]int(nil), s.TC...)
+	} else {
+		props[PropIsSink] = false
+	}
+	if act, ok := b.g.Taint.Actions[key]; ok {
+		props[PropAction] = act.String()
+	}
+	id := b.g.DB.CreateNode([]string{LabelMethod}, props)
+	b.g.methodNode[key] = id
+	b.g.methodKey[id] = key
+	b.g.Stats.MethodNodes++
+	if _, err := b.g.DB.CreateRel(RelHas, b.classNodeFor(m.ClassName), id, nil); err != nil {
+		return 0, err
+	}
+	b.g.Stats.HasEdges++
+	return id, nil
+}
+
+// phantomMethodFor materializes a node for a callee that resolves to no
+// declared method (phantom classes, unmodelled library methods), so call
+// edges never dangle — the same policy Soot applies to phantom methods.
+func (b *builder) phantomMethodFor(class, sub string) (graphdb.ID, error) {
+	_, name, params, err := java.SplitMethodKey(java.MethodKey("#" + sub))
+	if err != nil {
+		return 0, fmt.Errorf("phantom callee %s#%s: %w", class, sub, err)
+	}
+	m := &java.Method{
+		ClassName: class,
+		Name:      name,
+		Params:    params,
+		Return:    java.ObjectType,
+		Modifiers: java.ModPublic | java.ModAbstract,
+	}
+	return b.methodNodeFor(m)
+}
+
+// buildPCG adds CALL edges for every non-pruned call site (§III-B2
+// "Precise Call Graph Extraction"), carrying the Polluted_Position.
+func (b *builder) buildPCG() error {
+	h := b.g.Program.Hierarchy
+	for _, key := range sortedKeys(b.g.Taint.Calls) {
+		callerID, ok := b.g.methodNode[key]
+		if !ok {
+			return fmt.Errorf("caller %s has no node", key)
+		}
+		for _, call := range b.g.Taint.Calls[key] {
+			if call.Pruned && !b.opts.KeepPrunedCalls {
+				b.g.Stats.PrunedCalls++
+				continue
+			}
+			var calleeID graphdb.ID
+			if m := h.ResolveMethod(call.CalleeClass, call.CalleeSub); m != nil {
+				id, err := b.methodNodeFor(m)
+				if err != nil {
+					return err
+				}
+				calleeID = id
+			} else {
+				id, err := b.phantomMethodFor(call.CalleeClass, call.CalleeSub)
+				if err != nil {
+					return err
+				}
+				calleeID = id
+			}
+			props := graphdb.Props{
+				PropPollutedPosition: call.PP.Ints(),
+				PropInvokeKind:       call.Kind.String(),
+				PropStmtIndex:        call.StmtIndex,
+				PropInvokeClass:      call.CalleeClass,
+			}
+			if _, err := b.g.DB.CreateRel(RelCall, callerID, calleeID, props); err != nil {
+				return err
+			}
+			b.g.Stats.CallEdges++
+		}
+	}
+	return nil
+}
+
+// buildMAG adds ALIAS edges from every method to the methods it overrides
+// or implements (§III-B2 "Method Alias Graph Extraction", Formula 1).
+func (b *builder) buildMAG() error {
+	h := b.g.Program.Hierarchy
+	for _, name := range h.SortedClassNames() {
+		c := h.Class(name)
+		for _, m := range c.Methods {
+			fromID, err := b.methodNodeFor(m)
+			if err != nil {
+				return err
+			}
+			for _, super := range h.AliasSupers(m) {
+				toID, err := b.methodNodeFor(super)
+				if err != nil {
+					return err
+				}
+				if _, err := b.g.DB.CreateRel(RelAlias, fromID, toID, nil); err != nil {
+					return err
+				}
+				b.g.Stats.AliasEdges++
+			}
+		}
+	}
+	return nil
+}
+
+func sortedKeys(m map[java.MethodKey][]taint.CallEdge) []java.MethodKey {
+	keys := make([]java.MethodKey, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	return keys
+}

@@ -1,0 +1,296 @@
+package cpg_test
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"tabby/internal/corpus"
+	"tabby/internal/cpg"
+	"tabby/internal/graphdb"
+	"tabby/internal/java"
+	"tabby/internal/javasrc"
+	"tabby/internal/pathfinder"
+)
+
+func buildRTGraph(t *testing.T) *cpg.Graph {
+	t.Helper()
+	prog, err := javasrc.CompileArchives([]javasrc.ArchiveSource{corpus.RT()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := cpg.Build(prog, cpg.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func TestBuildRTStats(t *testing.T) {
+	g := buildRTGraph(t)
+	s := g.Stats
+	if s.ClassNodes == 0 || s.MethodNodes == 0 {
+		t.Fatalf("empty graph: %+v", s)
+	}
+	if s.HasEdges < s.MethodNodes-5 {
+		t.Errorf("HAS edges (%d) must roughly track method nodes (%d)", s.HasEdges, s.MethodNodes)
+	}
+	if s.CallEdges == 0 || s.AliasEdges == 0 || s.ExtendEdges == 0 || s.InterfaceEdges == 0 {
+		t.Errorf("missing edge kinds: %+v", s)
+	}
+	dbStats := g.DB.Stats()
+	if dbStats.NodesByType[cpg.LabelClass] != s.ClassNodes || dbStats.NodesByType[cpg.LabelMethod] != s.MethodNodes {
+		t.Errorf("db stats disagree: %+v vs %+v", dbStats, s)
+	}
+	if dbStats.Rels != s.TotalEdges() {
+		t.Errorf("edge total %d != db rels %d", s.TotalEdges(), dbStats.Rels)
+	}
+}
+
+func TestURLDNSNodesAndEdges(t *testing.T) {
+	// The CPG must contain the Fig. 4 structure: HashMap.readObject with
+	// CALL to hash, hash with CALL to Object.hashCode, URL.hashCode with
+	// ALIAS to Object.hashCode.
+	g := buildRTGraph(t)
+	db := g.DB
+
+	readObject := g.MethodNode(java.MethodKey("java.util.HashMap#readObject(java.io.ObjectInputStream)"))
+	hash := g.MethodNode(java.MethodKey("java.util.HashMap#hash(java.lang.Object)"))
+	objHash := g.MethodNode(java.MethodKey("java.lang.Object#hashCode()"))
+	urlHash := g.MethodNode(java.MethodKey("java.net.URL#hashCode()"))
+	if readObject == 0 || hash == 0 || objHash == 0 || urlHash == 0 {
+		t.Fatalf("URLDNS nodes missing: %d %d %d %d", readObject, hash, objHash, urlHash)
+	}
+
+	// readObject is a source; InetAddress.getByName is a sink.
+	if v, _ := db.NodeProp(readObject, cpg.PropIsSource); v != true {
+		t.Error("HashMap.readObject must be a source")
+	}
+	getByName := g.MethodNode(java.MethodKey("java.net.InetAddress#getByName(java.lang.String)"))
+	if getByName == 0 {
+		t.Fatal("InetAddress.getByName node missing")
+	}
+	if v, _ := db.NodeProp(getByName, cpg.PropIsSink); v != true {
+		t.Error("InetAddress.getByName must be a sink")
+	}
+	if v, _ := db.NodeProp(getByName, cpg.PropSinkType); v != "SSRF" {
+		t.Errorf("getByName sink type = %v", v)
+	}
+
+	hasCall := func(from, to graphdb.ID) bool {
+		for _, rid := range db.Rels(from, graphdb.DirOut, cpg.RelCall) {
+			if db.Rel(rid).End == to {
+				return true
+			}
+		}
+		return false
+	}
+	if !hasCall(readObject, hash) {
+		t.Error("CALL readObject→hash missing")
+	}
+	if !hasCall(hash, objHash) {
+		t.Error("CALL hash→Object.hashCode missing")
+	}
+	hasAlias := false
+	for _, rid := range db.Rels(urlHash, graphdb.DirOut, cpg.RelAlias) {
+		if db.Rel(rid).End == objHash {
+			hasAlias = true
+		}
+	}
+	if !hasAlias {
+		t.Error("ALIAS URL.hashCode→Object.hashCode missing")
+	}
+
+	// PP on hash→Object.hashCode: receiver is hash's parameter 1.
+	for _, rid := range db.Rels(hash, graphdb.DirOut, cpg.RelCall) {
+		rel := db.Rel(rid)
+		if rel.End == objHash {
+			pp, ok := rel.Props[cpg.PropPollutedPosition].([]int)
+			if !ok || len(pp) != 1 || pp[0] != 1 {
+				t.Errorf("PP on hash→hashCode = %v, want [1]", rel.Props[cpg.PropPollutedPosition])
+			}
+		}
+	}
+}
+
+func TestURLDNSChainFound(t *testing.T) {
+	// End-to-end §III-B2: the URLDNS chain
+	// HashMap.readObject → HashMap.hash → Object.hashCode ⇝ URL.hashCode →
+	// URLStreamHandler.hashCode → getHostAddress → InetAddress.getByName.
+	g := buildRTGraph(t)
+	getByName := g.MethodNode(java.MethodKey("java.net.InetAddress#getByName(java.lang.String)"))
+	res, err := pathfinder.Find(g.DB, pathfinder.Options{
+		SinkNodes: []graphdb.ID{getByName},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var urldns *pathfinder.Chain
+	for i, c := range res.Chains {
+		if c.Names[0] == "java.util.HashMap#readObject(java.io.ObjectInputStream)" {
+			urldns = &res.Chains[i]
+		}
+	}
+	if urldns == nil {
+		for _, c := range res.Chains {
+			t.Logf("chain:\n%s", c)
+		}
+		t.Fatal("URLDNS chain not found")
+	}
+	wantOrder := []string{
+		"java.util.HashMap#readObject(java.io.ObjectInputStream)",
+		"java.util.HashMap#hash(java.lang.Object)",
+		"java.lang.Object#hashCode()",
+		"java.net.URL#hashCode()",
+		"java.net.URLStreamHandler#hashCode(java.net.URL)",
+		"java.net.URLStreamHandler#getHostAddress(java.net.URL)",
+		"java.net.InetAddress#getByName(java.lang.String)",
+	}
+	if len(urldns.Names) != len(wantOrder) {
+		t.Fatalf("chain length %d, want %d:\n%s", len(urldns.Names), len(wantOrder), urldns)
+	}
+	for i, want := range wantOrder {
+		if urldns.Names[i] != want {
+			t.Errorf("chain[%d] = %s, want %s", i, urldns.Names[i], want)
+		}
+	}
+}
+
+func TestEnumMapDoesNotReachSink(t *testing.T) {
+	// EnumMap.hashCode aliases Object.hashCode but only reaches
+	// entryHashCode — the search upwards from the sink never emits a
+	// chain through it (§III-B2's motivation for searching from sinks).
+	g := buildRTGraph(t)
+	getByName := g.MethodNode(java.MethodKey("java.net.InetAddress#getByName(java.lang.String)"))
+	res, err := pathfinder.Find(g.DB, pathfinder.Options{SinkNodes: []graphdb.ID{getByName}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range res.Chains {
+		for _, n := range c.Names {
+			if strings.Contains(n, "EnumMap") {
+				t.Errorf("EnumMap must not appear in any chain:\n%s", c)
+			}
+		}
+	}
+}
+
+func TestActionsStoredOnMethodNodes(t *testing.T) {
+	g := buildRTGraph(t)
+	hash := g.MethodNode(java.MethodKey("java.util.HashMap#hash(java.lang.Object)"))
+	v, ok := g.DB.NodeProp(hash, cpg.PropAction)
+	if !ok {
+		t.Fatal("hash has no ACTION property")
+	}
+	s, _ := v.(string)
+	if !strings.Contains(s, `"this": "null"`) { // static method
+		t.Errorf("ACTION = %s", s)
+	}
+}
+
+func TestKeepPrunedCallsOption(t *testing.T) {
+	src := `
+package p;
+class C {
+    void m() {
+        Object fresh = new Object();
+        int h = fresh.hashCode();
+    }
+}
+`
+	progPruned, err := javasrc.CompileArchives([]javasrc.ArchiveSource{corpus.RT(), {Name: "p.jar", Files: []javasrc.File{{Name: "p.java", Source: src}}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g1, err := cpg.Build(progPruned, cpg.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	progKept, err := javasrc.CompileArchives([]javasrc.ArchiveSource{corpus.RT(), {Name: "p.jar", Files: []javasrc.File{{Name: "p.java", Source: src}}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g2, err := cpg.Build(progKept, cpg.Options{KeepPrunedCalls: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g1.Stats.PrunedCalls == 0 {
+		t.Error("fresh-object call must be pruned by default")
+	}
+	if g2.Stats.CallEdges <= g1.Stats.CallEdges {
+		t.Errorf("KeepPrunedCalls must add edges: %d vs %d", g2.Stats.CallEdges, g1.Stats.CallEdges)
+	}
+}
+
+func TestPhantomCalleeGetsNode(t *testing.T) {
+	prog, err := javasrc.Compile("ph", `
+package p;
+class C {
+    void m(Object o) {
+        ext.Missing.handle(o);
+    }
+}
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := cpg.Build(prog, cpg.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	id := g.MethodNode(java.MethodKey("ext.Missing#handle(java.lang.Object)"))
+	if id == 0 {
+		t.Fatal("phantom callee node missing")
+	}
+	if v, _ := g.DB.NodeProp(id, cpg.PropIsAbstract); v != true {
+		t.Error("phantom method must be abstract")
+	}
+	if key, ok := g.MethodKeyOf(id); !ok || java.MethodKeyClass(key) != "ext.Missing" {
+		t.Errorf("MethodKeyOf = %v/%v", key, ok)
+	}
+}
+
+func TestSinkAndSourceIndexes(t *testing.T) {
+	g := buildRTGraph(t)
+	if len(g.SinkNodes()) == 0 {
+		t.Error("no sink nodes tagged")
+	}
+	if len(g.SourceNodes()) == 0 {
+		t.Error("no source nodes tagged")
+	}
+	if g.MethodCount() != g.Stats.MethodNodes {
+		t.Errorf("MethodCount %d != stats %d", g.MethodCount(), g.Stats.MethodNodes)
+	}
+	if g.ClassNode("java.util.HashMap") == 0 {
+		t.Error("HashMap class node missing")
+	}
+}
+
+func TestWriteDOTURLDNS(t *testing.T) {
+	g := buildRTGraph(t)
+	var buf bytes.Buffer
+	err := cpg.WriteDOT(&buf, g.DB, cpg.DOTOptions{
+		ClassPrefixes: []string{"java.util.HashMap", "java.net.", "java.lang.Object"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"digraph cpg",
+		"java.util.HashMap#readObject(java.io.ObjectInputStream)",
+		"CALL",
+		"ALIAS",
+		"fillcolor=\"#d9ead3\"", // source shading
+		"fillcolor=\"#f4cccc\"", // sink shading
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("DOT output missing %q", want)
+		}
+	}
+	// Unfiltered export over the whole runtime must trip the node cap
+	// with a small MaxNodes.
+	if err := cpg.WriteDOT(&buf, g.DB, cpg.DOTOptions{MaxNodes: 5}); err == nil {
+		t.Error("node cap must trigger")
+	}
+}

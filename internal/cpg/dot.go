@@ -1,0 +1,122 @@
+package cpg
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"tabby/internal/graphdb"
+)
+
+// DOTOptions filters the export.
+type DOTOptions struct {
+	// ClassPrefixes keeps only nodes whose NAME starts with one of the
+	// prefixes (empty keeps everything — beware on large graphs).
+	ClassPrefixes []string
+	// EdgeTypes keeps only these relationship types (nil = all five).
+	EdgeTypes []string
+	// MaxNodes aborts with an error when the filter still selects more
+	// nodes than this (default 500), preventing unreadable outputs.
+	MaxNodes int
+}
+
+// WriteDOT renders the (filtered) code property graph in Graphviz DOT
+// form — the tooling used to produce pictures like the paper's Fig. 4.
+// Class nodes are boxes, method nodes ellipses; sink methods are shaded
+// red, sources green; CALL edges carry their Polluted_Position label.
+func WriteDOT(w io.Writer, db *graphdb.DB, opts DOTOptions) error {
+	if opts.MaxNodes <= 0 {
+		opts.MaxNodes = 500
+	}
+	keepName := func(name string) bool {
+		if len(opts.ClassPrefixes) == 0 {
+			return true
+		}
+		for _, p := range opts.ClassPrefixes {
+			if strings.HasPrefix(name, p) {
+				return true
+			}
+		}
+		return false
+	}
+	keepType := func(t string) bool {
+		if len(opts.EdgeTypes) == 0 {
+			return true
+		}
+		for _, e := range opts.EdgeTypes {
+			if e == t {
+				return true
+			}
+		}
+		return false
+	}
+
+	kept := make(map[graphdb.ID]bool)
+	var nodeIDs []graphdb.ID
+	for _, label := range []string{LabelClass, LabelMethod} {
+		for _, id := range db.NodesByLabel(label) {
+			v, _ := db.NodeProp(id, PropName)
+			name, _ := v.(string)
+			if keepName(name) {
+				kept[id] = true
+				nodeIDs = append(nodeIDs, id)
+			}
+		}
+	}
+	if len(nodeIDs) > opts.MaxNodes {
+		return fmt.Errorf("cpg: DOT export selects %d nodes (max %d); narrow ClassPrefixes", len(nodeIDs), opts.MaxNodes)
+	}
+	sort.Slice(nodeIDs, func(i, j int) bool { return nodeIDs[i] < nodeIDs[j] })
+
+	if _, err := fmt.Fprintln(w, "digraph cpg {\n  rankdir=LR;\n  node [fontsize=10];"); err != nil {
+		return err
+	}
+	for _, id := range nodeIDs {
+		node := db.Node(id)
+		name, _ := node.Props[PropName].(string)
+		shape, style := "ellipse", ""
+		if node.HasLabel(LabelClass) {
+			shape = "box"
+		}
+		if v, _ := node.Props[PropIsSink].(bool); v {
+			style = `, style=filled, fillcolor="#f4cccc"`
+		}
+		if v, _ := node.Props[PropIsSource].(bool); v {
+			style = `, style=filled, fillcolor="#d9ead3"`
+		}
+		if _, err := fmt.Fprintf(w, "  n%d [label=%q, shape=%s%s];\n", id, name, shape, style); err != nil {
+			return err
+		}
+	}
+	for _, rid := range db.AllRelIDs() {
+		rel := db.Rel(rid)
+		if !kept[rel.Start] || !kept[rel.End] || !keepType(rel.Type) {
+			continue
+		}
+		label := rel.Type
+		if pp, ok := rel.Props[PropPollutedPosition].([]int); ok {
+			parts := make([]string, len(pp))
+			for i, v := range pp {
+				if v < 0 {
+					parts[i] = "∞"
+				} else {
+					parts[i] = fmt.Sprintf("%d", v)
+				}
+			}
+			label += " [" + strings.Join(parts, ",") + "]"
+		}
+		styleAttr := ""
+		switch rel.Type {
+		case RelAlias:
+			styleAttr = ", style=dashed"
+		case RelHas, RelExtend, RelInterface:
+			styleAttr = ", color=gray"
+		}
+		if _, err := fmt.Fprintf(w, "  n%d -> n%d [label=%q, fontsize=8%s];\n", rel.Start, rel.End, label, styleAttr); err != nil {
+			return err
+		}
+	}
+	_, err := fmt.Fprintln(w, "}")
+	return err
+}

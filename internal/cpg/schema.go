@@ -1,0 +1,57 @@
+// Package cpg constructs Tabby's Code Property Graph (paper §III-B): the
+// Object Relationship Graph (class/method nodes, EXTEND/INTERFACE/HAS
+// edges), the Precise Call Graph (CALL edges annotated with
+// Polluted_Position and pruned by the controllability analysis), and the
+// Method Alias Graph (ALIAS edges per Formula 1), merged into one property
+// graph stored in package graphdb.
+package cpg
+
+// Node labels.
+const (
+	LabelClass  = "Class"
+	LabelMethod = "Method"
+)
+
+// Relationship types — the five edges of Table II.
+const (
+	RelExtend    = "EXTEND"
+	RelInterface = "INTERFACE"
+	RelHas       = "HAS"
+	RelCall      = "CALL"
+	RelAlias     = "ALIAS"
+)
+
+// Class node properties.
+const (
+	PropName           = "NAME"
+	PropIsInterface    = "IS_INTERFACE"
+	PropSuper          = "SUPER"
+	PropIsSerializable = "IS_SERIALIZABLE"
+	PropArchive        = "ARCHIVE"
+	PropIsPhantom      = "IS_PHANTOM"
+)
+
+// Method node properties (NAME, IS_SERIALIZABLE and IS_PHANTOM are shared
+// with class nodes).
+const (
+	PropClass            = "CLASS"
+	PropMethodName       = "METHOD_NAME"
+	PropSubSignature     = "SUB_SIGNATURE"
+	PropParamCount       = "PARAM_COUNT"
+	PropIsStatic         = "IS_STATIC"
+	PropIsAbstract       = "IS_ABSTRACT"
+	PropIsSource         = "IS_SOURCE"
+	PropIsSink           = "IS_SINK"
+	PropSinkType         = "SINK_TYPE"
+	PropTriggerCondition = "TRIGGER_CONDITION"
+	PropHasBody          = "HAS_BODY"
+	PropAction           = "ACTION"
+)
+
+// CALL edge properties.
+const (
+	PropPollutedPosition = "POLLUTED_POSITION"
+	PropInvokeKind       = "INVOKE_KIND"
+	PropStmtIndex        = "STMT_INDEX"
+	PropInvokeClass      = "INVOKE_CLASS"
+)

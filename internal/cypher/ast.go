@@ -1,0 +1,98 @@
+package cypher
+
+// Query is a parsed MATCH…WHERE…RETURN statement.
+type Query struct {
+	Paths  []PatternPath
+	Where  Expr // nil when absent
+	Return []ReturnItem
+	// OrderBy indexes into Return (0-based); negative means absent.
+	OrderBy    int
+	Descending bool
+	Limit      int // 0 = unlimited
+}
+
+// PatternPath is a linear chain: node (rel node)*.
+type PatternPath struct {
+	Nodes []NodePattern
+	Rels  []RelPattern // len(Rels) == len(Nodes)-1
+}
+
+// NodePattern matches a node: optional variable, label and property map.
+type NodePattern struct {
+	Var   string
+	Label string
+	Props map[string]any
+}
+
+// RelDirection orients a relationship pattern.
+type RelDirection int
+
+// Directions: (a)-[r]->(b), (a)<-[r]-(b), (a)-[r]-(b).
+const (
+	DirRight RelDirection = iota + 1
+	DirLeft
+	DirAny
+)
+
+// RelPattern matches a relationship (or variable-length chain).
+type RelPattern struct {
+	Var     string
+	Type    string // "" = any type
+	Dir     RelDirection
+	MinHops int // 1 when not variable-length
+	MaxHops int
+}
+
+// ReturnItem is a projection: a variable, a property access, or COUNT(*).
+type ReturnItem struct {
+	Var      string
+	Prop     string // "" = whole entity
+	Count    bool   // COUNT(*) or COUNT(var)
+	Distinct bool
+}
+
+// Label renders the column header.
+func (r ReturnItem) Label() string {
+	switch {
+	case r.Count && r.Var == "":
+		return "COUNT(*)"
+	case r.Count:
+		return "COUNT(" + r.Var + ")"
+	case r.Prop != "":
+		return r.Var + "." + r.Prop
+	default:
+		return r.Var
+	}
+}
+
+// Expr is a WHERE expression.
+type Expr interface{ expr() }
+
+// BinExpr combines two expressions with AND/OR.
+type BinExpr struct {
+	Op   string // "AND" | "OR"
+	L, R Expr
+}
+
+// NotExpr negates an expression.
+type NotExpr struct{ E Expr }
+
+// CmpExpr compares a property access against a literal or another access.
+type CmpExpr struct {
+	Op   string // = <> < <= > >= CONTAINS STARTSWITH ENDSWITH
+	L, R Operand
+}
+
+func (*BinExpr) expr() {}
+func (*NotExpr) expr() {}
+func (*CmpExpr) expr() {}
+
+// Operand is a literal value or a property access.
+type Operand struct {
+	// Literal is set when IsLiteral.
+	Literal   any
+	IsLiteral bool
+	// Var/Prop access otherwise.
+	Var  string
+	Prop string
+}

@@ -1,0 +1,33 @@
+package cypher
+
+import (
+	"testing"
+
+	"tabby/internal/graphdb"
+)
+
+// FuzzRunAny feeds arbitrary queries to the parser, executor and
+// procedure dispatcher over a small graph: errors allowed, panics not.
+func FuzzRunAny(f *testing.F) {
+	seeds := []string{
+		`MATCH (m:Method) RETURN m.NAME`,
+		`MATCH (a)-[:CALL*1..3]->(b) WHERE a.NAME CONTAINS "x" RETURN a, b LIMIT 5`,
+		`MATCH (a)<-[r:ALIAS]-(b) RETURN COUNT(*)`,
+		`MATCH (m) RETURN m.X ORDER BY m.X DESC LIMIT 1`,
+		`CALL tabby.findGadgetChains(4)`,
+		`CALL tabby.sinks()`,
+		`MATCH (`,
+		`CALL`,
+		`MATCH (a:M {K: "v"}), (b) WHERE NOT a.K = b.K OR a.K <> "z" RETURN DISTINCT a.K`,
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	db := graphdb.New()
+	a := db.CreateNode([]string{"Method"}, graphdb.Props{"NAME": "a", "IS_SOURCE": true, "IS_SINK": false})
+	b := db.CreateNode([]string{"Method"}, graphdb.Props{"NAME": "b", "IS_SINK": true, "IS_SOURCE": false, "SINK_TYPE": "EXEC", "TRIGGER_CONDITION": []int{0}})
+	_, _ = db.CreateRel("CALL", a, b, graphdb.Props{"POLLUTED_POSITION": []int{0}})
+	f.Fuzz(func(t *testing.T, query string) {
+		_, _ = RunAny(db, query)
+	})
+}

@@ -1,0 +1,128 @@
+// Package cypher implements a compact Cypher-style query language over
+// the embedded graph database — the reproduction of the Neo4j query
+// surface that lets researchers re-analyze a stored CPG without re-running
+// extraction (paper §II-B, RQ4).
+//
+// Supported form:
+//
+//	MATCH (a:Method {METHOD_NAME: "exec"})<-[c:CALL*1..4]-(b:Method)
+//	WHERE b.IS_SOURCE = true AND a.CLASS CONTAINS "Runtime"
+//	RETURN b.NAME, a.NAME LIMIT 10
+//
+// Node patterns carry optional variable, label and property map;
+// relationship patterns carry optional variable, type, direction and
+// variable-length range. Multiple comma-separated pattern paths may share
+// variables. RETURN items are variables or variable.property accesses,
+// with COUNT(*) as the only aggregate.
+package cypher
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+type tokKind int
+
+const (
+	tkEOF tokKind = iota + 1
+	tkIdent
+	tkKeyword
+	tkInt
+	tkString
+	tkPunct
+)
+
+type tok struct {
+	kind tokKind
+	text string
+	pos  int
+}
+
+var _keywords = map[string]bool{
+	"MATCH": true, "WHERE": true, "RETURN": true, "LIMIT": true,
+	"AND": true, "OR": true, "NOT": true, "TRUE": true, "FALSE": true,
+	"CONTAINS": true, "STARTS": true, "ENDS": true, "WITH": true,
+	"COUNT": true, "NULL": true, "ORDER": true, "BY": true, "DISTINCT": true,
+}
+
+// Error reports a query syntax or evaluation failure.
+type Error struct {
+	Pos int
+	Msg string
+}
+
+// Error implements error.
+func (e *Error) Error() string { return fmt.Sprintf("cypher: offset %d: %s", e.Pos, e.Msg) }
+
+func lex(src string) ([]tok, error) {
+	var out []tok
+	i := 0
+	n := len(src)
+	for i < n {
+		c := src[i]
+		switch {
+		case c == ' ' || c == '\t' || c == '\n' || c == '\r':
+			i++
+		case c == '/' && i+1 < n && src[i+1] == '/':
+			for i < n && src[i] != '\n' {
+				i++
+			}
+		case c == '\'' || c == '"':
+			quote := c
+			start := i
+			i++
+			var sb strings.Builder
+			for i < n && src[i] != quote {
+				if src[i] == '\\' && i+1 < n {
+					i++
+				}
+				sb.WriteByte(src[i])
+				i++
+			}
+			if i >= n {
+				return nil, &Error{Pos: start, Msg: "unterminated string"}
+			}
+			i++
+			out = append(out, tok{kind: tkString, text: sb.String(), pos: start})
+		case unicode.IsDigit(rune(c)):
+			start := i
+			for i < n && unicode.IsDigit(rune(src[i])) {
+				i++
+			}
+			out = append(out, tok{kind: tkInt, text: src[start:i], pos: start})
+		case unicode.IsLetter(rune(c)) || c == '_':
+			start := i
+			for i < n && (unicode.IsLetter(rune(src[i])) || unicode.IsDigit(rune(src[i])) || src[i] == '_') {
+				i++
+			}
+			text := src[start:i]
+			kind := tkIdent
+			if _keywords[strings.ToUpper(text)] {
+				kind = tkKeyword
+				text = strings.ToUpper(text)
+			}
+			out = append(out, tok{kind: kind, text: text, pos: start})
+		default:
+			start := i
+			two := ""
+			if i+1 < n {
+				two = src[i : i+2]
+			}
+			switch two {
+			case "<-", "->", "<=", ">=", "<>", "..":
+				out = append(out, tok{kind: tkPunct, text: two, pos: start})
+				i += 2
+				continue
+			}
+			if strings.ContainsRune("()[]{}:,.=<>*-", rune(c)) {
+				out = append(out, tok{kind: tkPunct, text: string(c), pos: start})
+				i++
+				continue
+			}
+			return nil, &Error{Pos: i, Msg: fmt.Sprintf("unexpected character %q", c)}
+		}
+	}
+	out = append(out, tok{kind: tkEOF, pos: n})
+	return out, nil
+}

@@ -1,0 +1,449 @@
+package cypher
+
+import (
+	"fmt"
+	"strconv"
+)
+
+// Parse parses one query.
+func Parse(src string) (*Query, error) {
+	toks, err := lex(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &qparser{toks: toks}
+	q, err := p.parseQuery()
+	if err != nil {
+		return nil, err
+	}
+	return q, nil
+}
+
+type qparser struct {
+	toks []tok
+	pos  int
+}
+
+func (p *qparser) cur() tok { return p.toks[p.pos] }
+
+func (p *qparser) next() tok {
+	t := p.toks[p.pos]
+	if p.pos < len(p.toks)-1 {
+		p.pos++
+	}
+	return t
+}
+
+func (p *qparser) at(text string) bool { return p.cur().text == text && p.cur().kind != tkString }
+
+func (p *qparser) accept(text string) bool {
+	if p.at(text) {
+		p.next()
+		return true
+	}
+	return false
+}
+
+func (p *qparser) expect(text string) error {
+	if !p.at(text) {
+		return p.errf("expected %q, found %q", text, p.cur().text)
+	}
+	p.next()
+	return nil
+}
+
+func (p *qparser) errf(format string, args ...any) error {
+	return &Error{Pos: p.cur().pos, Msg: fmt.Sprintf(format, args...)}
+}
+
+func (p *qparser) parseQuery() (*Query, error) {
+	q := &Query{}
+	if err := p.expect("MATCH"); err != nil {
+		return nil, err
+	}
+	for {
+		path, err := p.parsePath()
+		if err != nil {
+			return nil, err
+		}
+		q.Paths = append(q.Paths, path)
+		if !p.accept(",") {
+			break
+		}
+	}
+	if p.accept("WHERE") {
+		e, err := p.parseOr()
+		if err != nil {
+			return nil, err
+		}
+		q.Where = e
+	}
+	if err := p.expect("RETURN"); err != nil {
+		return nil, err
+	}
+	for {
+		item, err := p.parseReturnItem()
+		if err != nil {
+			return nil, err
+		}
+		q.Return = append(q.Return, item)
+		if !p.accept(",") {
+			break
+		}
+	}
+	q.OrderBy = -1
+	if p.accept("ORDER") {
+		if err := p.expect("BY"); err != nil {
+			return nil, err
+		}
+		var target ReturnItem
+		item, err := p.parseReturnItem()
+		if err != nil {
+			return nil, err
+		}
+		target = item
+		q.OrderBy = -1
+		for i, ri := range q.Return {
+			if ri.Var == target.Var && ri.Prop == target.Prop && ri.Count == target.Count {
+				q.OrderBy = i
+			}
+		}
+		if q.OrderBy < 0 {
+			return nil, p.errf("ORDER BY must reference a RETURN item")
+		}
+		if p.cur().kind == tkIdent && (p.cur().text == "DESC" || p.cur().text == "desc") {
+			p.next()
+			q.Descending = true
+		} else if p.cur().kind == tkIdent && (p.cur().text == "ASC" || p.cur().text == "asc") {
+			p.next()
+		}
+	}
+	if p.accept("LIMIT") {
+		t := p.next()
+		if t.kind != tkInt {
+			return nil, p.errf("LIMIT requires an integer")
+		}
+		n, err := strconv.Atoi(t.text)
+		if err != nil || n < 0 {
+			return nil, p.errf("bad LIMIT %q", t.text)
+		}
+		q.Limit = n
+	}
+	if p.cur().kind != tkEOF {
+		return nil, p.errf("trailing input %q", p.cur().text)
+	}
+	if len(q.Return) == 0 {
+		return nil, p.errf("empty RETURN")
+	}
+	return q, nil
+}
+
+func (p *qparser) parsePath() (PatternPath, error) {
+	var path PatternPath
+	node, err := p.parseNode()
+	if err != nil {
+		return path, err
+	}
+	path.Nodes = append(path.Nodes, node)
+	for p.at("-") || p.at("<-") {
+		rel, err := p.parseRel()
+		if err != nil {
+			return path, err
+		}
+		node, err := p.parseNode()
+		if err != nil {
+			return path, err
+		}
+		path.Rels = append(path.Rels, rel)
+		path.Nodes = append(path.Nodes, node)
+	}
+	return path, nil
+}
+
+// parseNode: "(" [var] [":" label] [props] ")"
+func (p *qparser) parseNode() (NodePattern, error) {
+	var n NodePattern
+	if err := p.expect("("); err != nil {
+		return n, err
+	}
+	if p.cur().kind == tkIdent {
+		n.Var = p.next().text
+	}
+	if p.accept(":") {
+		if p.cur().kind != tkIdent {
+			return n, p.errf("expected label")
+		}
+		n.Label = p.next().text
+	}
+	if p.at("{") {
+		props, err := p.parseProps()
+		if err != nil {
+			return n, err
+		}
+		n.Props = props
+	}
+	if err := p.expect(")"); err != nil {
+		return n, err
+	}
+	return n, nil
+}
+
+func (p *qparser) parseProps() (map[string]any, error) {
+	if err := p.expect("{"); err != nil {
+		return nil, err
+	}
+	props := make(map[string]any)
+	for !p.at("}") {
+		if p.cur().kind != tkIdent {
+			return nil, p.errf("expected property name")
+		}
+		name := p.next().text
+		if err := p.expect(":"); err != nil {
+			return nil, err
+		}
+		val, err := p.parseLiteral()
+		if err != nil {
+			return nil, err
+		}
+		props[name] = val
+		if !p.accept(",") {
+			break
+		}
+	}
+	if err := p.expect("}"); err != nil {
+		return nil, err
+	}
+	return props, nil
+}
+
+func (p *qparser) parseLiteral() (any, error) {
+	t := p.cur()
+	switch {
+	case t.kind == tkString:
+		p.next()
+		return t.text, nil
+	case t.kind == tkInt:
+		p.next()
+		n, err := strconv.Atoi(t.text)
+		if err != nil {
+			return nil, p.errf("bad integer %q", t.text)
+		}
+		return n, nil
+	case p.accept("TRUE"):
+		return true, nil
+	case p.accept("FALSE"):
+		return false, nil
+	case p.accept("NULL"):
+		return nil, nil
+	default:
+		return nil, p.errf("expected literal, found %q", t.text)
+	}
+}
+
+// parseRel: ("-"|"<-") ["[" [var] [":" type] ["*" [min [".." max]]] "]"] ("-"|"->")
+func (p *qparser) parseRel() (RelPattern, error) {
+	rel := RelPattern{Dir: DirAny, MinHops: 1, MaxHops: 1}
+	leftArrow := false
+	switch {
+	case p.accept("<-"):
+		leftArrow = true
+	case p.accept("-"):
+	default:
+		return rel, p.errf("expected relationship")
+	}
+	if p.accept("[") {
+		if p.cur().kind == tkIdent {
+			rel.Var = p.next().text
+		}
+		if p.accept(":") {
+			if p.cur().kind != tkIdent {
+				return rel, p.errf("expected relationship type")
+			}
+			rel.Type = p.next().text
+		}
+		if p.accept("*") {
+			rel.MinHops, rel.MaxHops = 1, 8
+			if p.cur().kind == tkInt {
+				n, _ := strconv.Atoi(p.next().text)
+				rel.MinHops, rel.MaxHops = n, n
+				if p.accept("..") {
+					if p.cur().kind != tkInt {
+						return rel, p.errf("expected max hop count")
+					}
+					m, _ := strconv.Atoi(p.next().text)
+					rel.MaxHops = m
+				}
+			}
+			if rel.MinHops < 0 || rel.MaxHops < rel.MinHops {
+				return rel, p.errf("bad hop range %d..%d", rel.MinHops, rel.MaxHops)
+			}
+		}
+		if err := p.expect("]"); err != nil {
+			return rel, err
+		}
+	}
+	switch {
+	case p.accept("->"):
+		if leftArrow {
+			return rel, p.errf("relationship cannot point both ways")
+		}
+		rel.Dir = DirRight
+	case p.accept("-"):
+		if leftArrow {
+			rel.Dir = DirLeft
+		} else {
+			rel.Dir = DirAny
+		}
+	default:
+		return rel, p.errf("unterminated relationship pattern")
+	}
+	return rel, nil
+}
+
+func (p *qparser) parseReturnItem() (ReturnItem, error) {
+	var item ReturnItem
+	if p.accept("COUNT") {
+		if err := p.expect("("); err != nil {
+			return item, err
+		}
+		item.Count = true
+		if p.accept("DISTINCT") {
+			item.Distinct = true
+		}
+		switch {
+		case p.accept("*"):
+		case p.cur().kind == tkIdent:
+			item.Var = p.next().text
+		default:
+			return item, p.errf("COUNT requires * or a variable")
+		}
+		if err := p.expect(")"); err != nil {
+			return item, err
+		}
+		return item, nil
+	}
+	if p.accept("DISTINCT") {
+		item.Distinct = true
+	}
+	if p.cur().kind != tkIdent {
+		return item, p.errf("expected return variable")
+	}
+	item.Var = p.next().text
+	if p.accept(".") {
+		if p.cur().kind != tkIdent {
+			return item, p.errf("expected property name")
+		}
+		item.Prop = p.next().text
+	}
+	return item, nil
+}
+
+// parseOr / parseAnd / parseNot / parseCmp implement WHERE precedence.
+func (p *qparser) parseOr() (Expr, error) {
+	l, err := p.parseAnd()
+	if err != nil {
+		return nil, err
+	}
+	for p.accept("OR") {
+		r, err := p.parseAnd()
+		if err != nil {
+			return nil, err
+		}
+		l = &BinExpr{Op: "OR", L: l, R: r}
+	}
+	return l, nil
+}
+
+func (p *qparser) parseAnd() (Expr, error) {
+	l, err := p.parseNot()
+	if err != nil {
+		return nil, err
+	}
+	for p.accept("AND") {
+		r, err := p.parseNot()
+		if err != nil {
+			return nil, err
+		}
+		l = &BinExpr{Op: "AND", L: l, R: r}
+	}
+	return l, nil
+}
+
+func (p *qparser) parseNot() (Expr, error) {
+	if p.accept("NOT") {
+		e, err := p.parseNot()
+		if err != nil {
+			return nil, err
+		}
+		return &NotExpr{E: e}, nil
+	}
+	if p.at("(") {
+		// Parenthesized sub-expression.
+		p.next()
+		e, err := p.parseOr()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expect(")"); err != nil {
+			return nil, err
+		}
+		return e, nil
+	}
+	return p.parseCmp()
+}
+
+func (p *qparser) parseCmp() (Expr, error) {
+	l, err := p.parseOperand()
+	if err != nil {
+		return nil, err
+	}
+	t := p.cur()
+	var op string
+	switch t.text {
+	case "=", "<>", "<", "<=", ">", ">=":
+		op = t.text
+		p.next()
+	case "CONTAINS":
+		op = "CONTAINS"
+		p.next()
+	case "STARTS":
+		p.next()
+		if err := p.expect("WITH"); err != nil {
+			return nil, err
+		}
+		op = "STARTSWITH"
+	case "ENDS":
+		p.next()
+		if err := p.expect("WITH"); err != nil {
+			return nil, err
+		}
+		op = "ENDSWITH"
+	default:
+		return nil, p.errf("expected comparison operator, found %q", t.text)
+	}
+	r, err := p.parseOperand()
+	if err != nil {
+		return nil, err
+	}
+	return &CmpExpr{Op: op, L: l, R: r}, nil
+}
+
+func (p *qparser) parseOperand() (Operand, error) {
+	t := p.cur()
+	if t.kind == tkIdent {
+		p.next()
+		op := Operand{Var: t.text}
+		if p.accept(".") {
+			if p.cur().kind != tkIdent {
+				return op, p.errf("expected property name")
+			}
+			op.Prop = p.next().text
+		}
+		return op, nil
+	}
+	val, err := p.parseLiteral()
+	if err != nil {
+		return Operand{}, err
+	}
+	return Operand{Literal: val, IsLiteral: true}, nil
+}

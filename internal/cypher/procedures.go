@@ -1,0 +1,115 @@
+package cypher
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"tabby/internal/graphdb"
+	"tabby/internal/pathfinder"
+)
+
+// The real tabby-path-finder ships as a Neo4j procedure invoked from
+// Cypher; this file reproduces that integration surface:
+//
+//	CALL tabby.findGadgetChains()
+//	CALL tabby.findGadgetChains(8)          // custom Evaluator depth
+//	CALL tabby.sinks()                      // list sink method nodes
+//	CALL tabby.sources()                    // list source method nodes
+//
+// RunAny dispatches between plain MATCH queries and CALL procedures, so
+// cmd/tabby-query exposes both through one prompt.
+
+// RunAny executes either a MATCH query or a CALL procedure.
+func RunAny(db *graphdb.DB, query string) (*Result, error) {
+	trimmed := strings.TrimSpace(query)
+	if len(trimmed) >= 4 && strings.EqualFold(trimmed[:4], "CALL") {
+		return RunProcedure(db, trimmed)
+	}
+	return Run(db, query)
+}
+
+// RunProcedure executes a CALL statement.
+func RunProcedure(db *graphdb.DB, query string) (*Result, error) {
+	name, args, err := parseCall(query)
+	if err != nil {
+		return nil, err
+	}
+	switch name {
+	case "tabby.findGadgetChains":
+		opts := pathfinder.Options{}
+		if len(args) >= 1 {
+			opts.MaxDepth = args[0]
+		}
+		if len(args) >= 2 {
+			opts.MaxChains = args[1]
+		}
+		res, err := pathfinder.Find(db, opts)
+		if err != nil {
+			return nil, err
+		}
+		out := &Result{Columns: []string{"source", "sink", "sinkType", "length", "chain"}}
+		for _, c := range res.Chains {
+			out.Rows = append(out.Rows, []any{
+				c.Names[0],
+				c.Names[len(c.Names)-1],
+				c.SinkType,
+				len(c.Names),
+				strings.Join(c.Names, " -> "),
+			})
+		}
+		return out, nil
+	case "tabby.sinks":
+		return nodeListing(db, "IS_SINK", []string{"name", "sinkType"}, func(id graphdb.ID) []any {
+			name, _ := db.NodeProp(id, "NAME")
+			st, _ := db.NodeProp(id, "SINK_TYPE")
+			return []any{name, st}
+		})
+	case "tabby.sources":
+		return nodeListing(db, "IS_SOURCE", []string{"name"}, func(id graphdb.ID) []any {
+			name, _ := db.NodeProp(id, "NAME")
+			return []any{name}
+		})
+	default:
+		return nil, &Error{Msg: fmt.Sprintf("unknown procedure %q", name)}
+	}
+}
+
+func nodeListing(db *graphdb.DB, flag string, cols []string, project func(graphdb.ID) []any) (*Result, error) {
+	out := &Result{Columns: cols}
+	for _, id := range db.FindNodes("Method", flag, true) {
+		out.Rows = append(out.Rows, project(id))
+	}
+	return out, nil
+}
+
+// parseCall parses `CALL name.space.proc(arg, arg)` with integer args.
+func parseCall(query string) (string, []int, error) {
+	rest := strings.TrimSpace(query[4:])
+	open := strings.IndexByte(rest, '(')
+	name := rest
+	var argText string
+	if open >= 0 {
+		if !strings.HasSuffix(strings.TrimSpace(rest), ")") {
+			return "", nil, &Error{Msg: "unterminated CALL argument list"}
+		}
+		name = strings.TrimSpace(rest[:open])
+		inner := strings.TrimSpace(rest)
+		argText = inner[open+1 : len(inner)-1]
+	}
+	name = strings.TrimSpace(name)
+	if name == "" {
+		return "", nil, &Error{Msg: "CALL requires a procedure name"}
+	}
+	var args []int
+	if strings.TrimSpace(argText) != "" {
+		for _, part := range strings.Split(argText, ",") {
+			n, err := strconv.Atoi(strings.TrimSpace(part))
+			if err != nil {
+				return "", nil, &Error{Msg: fmt.Sprintf("bad CALL argument %q", part)}
+			}
+			args = append(args, n)
+		}
+	}
+	return name, args, nil
+}

@@ -1,0 +1,326 @@
+package graphdb
+
+import (
+	"bytes"
+	"fmt"
+	"reflect"
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+func TestCreateAndFetch(t *testing.T) {
+	db := New()
+	id := db.CreateNode([]string{"Method"}, Props{"NAME": "a#m()", "PARAMS": 2})
+	n := db.Node(id)
+	if n == nil || !n.HasLabel("Method") || n.Props["NAME"] != "a#m()" {
+		t.Fatalf("node round trip failed: %+v", n)
+	}
+	if n.HasLabel("Class") {
+		t.Error("HasLabel false positive")
+	}
+	if db.Node(999) != nil {
+		t.Error("unknown node must be nil")
+	}
+	// Snapshot isolation: mutating the returned props must not affect the
+	// store.
+	n.Props["NAME"] = "tampered"
+	if got := db.Node(id).Props["NAME"]; got != "a#m()" {
+		t.Errorf("store mutated through snapshot: %v", got)
+	}
+}
+
+func TestCreateRelValidation(t *testing.T) {
+	db := New()
+	a := db.CreateNode([]string{"N"}, nil)
+	if _, err := db.CreateRel("CALL", a, 42, nil); err == nil {
+		t.Error("rel to unknown node must fail")
+	}
+	if _, err := db.CreateRel("CALL", 42, a, nil); err == nil {
+		t.Error("rel from unknown node must fail")
+	}
+	b := db.CreateNode([]string{"N"}, nil)
+	rid, err := db.CreateRel("CALL", a, b, Props{"PP": []int{0, 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := db.Rel(rid)
+	if r.Start != a || r.End != b || r.Type != "CALL" {
+		t.Fatalf("rel round trip failed: %+v", r)
+	}
+	if got := r.Props["PP"].([]int); !reflect.DeepEqual(got, []int{0, 1}) {
+		t.Errorf("PP = %v", got)
+	}
+	if r.Other(a) != b || r.Other(b) != a {
+		t.Error("Other misbehaves")
+	}
+}
+
+func TestAdjacency(t *testing.T) {
+	db := New()
+	a := db.CreateNode([]string{"M"}, nil)
+	b := db.CreateNode([]string{"M"}, nil)
+	c := db.CreateNode([]string{"M"}, nil)
+	mustRel(t, db, "CALL", a, b)
+	mustRel(t, db, "CALL", c, b)
+	mustRel(t, db, "ALIAS", b, c)
+
+	if got := db.Neighbors(b, DirIn, "CALL"); len(got) != 2 {
+		t.Errorf("Neighbors(b, in, CALL) = %v", got)
+	}
+	if got := db.Neighbors(b, DirOut, "ALIAS"); len(got) != 1 || got[0] != c {
+		t.Errorf("Neighbors(b, out, ALIAS) = %v", got)
+	}
+	if got := db.Neighbors(b, DirBoth); len(got) != 2 { // a and c (c deduped)
+		t.Errorf("Neighbors(b, both) = %v", got)
+	}
+	if db.Degree(b, DirIn, "CALL") != 2 || db.Degree(b, DirOut) != 1 {
+		t.Error("Degree misbehaves")
+	}
+	if got := db.Rels(a, DirOut, "NOPE"); len(got) != 0 {
+		t.Errorf("type filter failed: %v", got)
+	}
+}
+
+func mustRel(t *testing.T, db *DB, typ string, from, to ID) ID {
+	t.Helper()
+	id, err := db.CreateRel(typ, from, to, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return id
+}
+
+func TestFindNodesIndexedAndScan(t *testing.T) {
+	db := New()
+	for i := 0; i < 10; i++ {
+		db.CreateNode([]string{"Method"}, Props{"NAME": fmt.Sprintf("m%d", i%3)})
+	}
+	// Scan path.
+	if got := db.FindNodes("Method", "NAME", "m1"); len(got) != 3 {
+		t.Errorf("scan FindNodes = %d nodes", len(got))
+	}
+	// Index path must agree.
+	db.CreateIndex("Method", "NAME")
+	if got := db.FindNodes("Method", "NAME", "m1"); len(got) != 3 {
+		t.Errorf("indexed FindNodes = %d nodes", len(got))
+	}
+	// Nodes created after the index exists must be indexed on create.
+	db.CreateNode([]string{"Method"}, Props{"NAME": "m1"})
+	if got := db.FindNodes("Method", "NAME", "m1"); len(got) != 4 {
+		t.Errorf("post-index create not indexed: %d", len(got))
+	}
+	// SetNodeProp must maintain the index.
+	id := db.FindNodes("Method", "NAME", "m2")[0]
+	if err := db.SetNodeProp(id, "NAME", "renamed"); err != nil {
+		t.Fatal(err)
+	}
+	if got := db.FindNodes("Method", "NAME", "renamed"); len(got) != 1 || got[0] != id {
+		t.Errorf("index not updated on SetNodeProp: %v", got)
+	}
+	if got := db.FindNodes("Method", "NAME", "m2"); len(got) != 2 {
+		t.Errorf("stale index entry after rename: %v", got)
+	}
+}
+
+func TestFindNode(t *testing.T) {
+	db := New()
+	db.CreateNode([]string{"C"}, Props{"NAME": "x"})
+	db.CreateNode([]string{"C"}, Props{"NAME": "dup"})
+	db.CreateNode([]string{"C"}, Props{"NAME": "dup"})
+	if _, err := db.FindNode("C", "NAME", "x"); err != nil {
+		t.Errorf("unique lookup failed: %v", err)
+	}
+	if _, err := db.FindNode("C", "NAME", "dup"); err == nil {
+		t.Error("ambiguous lookup must fail")
+	}
+	if _, err := db.FindNode("C", "NAME", "ghost"); err == nil {
+		t.Error("missing lookup must fail")
+	}
+}
+
+func TestStats(t *testing.T) {
+	db := New()
+	a := db.CreateNode([]string{"Class"}, nil)
+	b := db.CreateNode([]string{"Method"}, nil)
+	mustRel(t, db, "HAS", a, b)
+	s := db.Stats()
+	if s.Nodes != 2 || s.Rels != 1 || s.NodesByType["Class"] != 1 || s.RelsByType["HAS"] != 1 {
+		t.Errorf("Stats = %+v", s)
+	}
+}
+
+func TestSetNodePropErrors(t *testing.T) {
+	db := New()
+	if err := db.SetNodeProp(5, "X", 1); err == nil {
+		t.Error("setting prop on unknown node must fail")
+	}
+	id := db.CreateNode([]string{"N"}, nil)
+	if err := db.SetNodeProp(id, "X", 1); err != nil {
+		t.Fatal(err)
+	}
+	if v, ok := db.NodeProp(id, "X"); !ok || v != 1 {
+		t.Errorf("NodeProp = %v/%v", v, ok)
+	}
+	if _, ok := db.NodeProp(id, "missing"); ok {
+		t.Error("missing prop must report !ok")
+	}
+	if _, ok := db.NodeProp(999, "X"); ok {
+		t.Error("unknown node prop must report !ok")
+	}
+}
+
+func TestPersistRoundTrip(t *testing.T) {
+	db := New()
+	a := db.CreateNode([]string{"Method"}, Props{"NAME": "a#m()", "IS_SINK": true, "TC": []int{0, 1}})
+	b := db.CreateNode([]string{"Method", "Source"}, Props{"NAME": "b#r()"})
+	rid, err := db.CreateRel("CALL", a, b, Props{"PP": []int{2, 0}, "LINE": 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := db.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := loaded.Node(a)
+	if n == nil || n.Props["NAME"] != "a#m()" || n.Props["IS_SINK"] != true {
+		t.Fatalf("node lost in round trip: %+v", n)
+	}
+	if tc, ok := n.Props["TC"].([]int); !ok || !reflect.DeepEqual(tc, []int{0, 1}) {
+		t.Fatalf("TC type not normalized: %T %v", n.Props["TC"], n.Props["TC"])
+	}
+	r := loaded.Rel(rid)
+	if r == nil || r.Type != "CALL" || r.Start != a || r.End != b {
+		t.Fatalf("rel lost: %+v", r)
+	}
+	if pp, ok := r.Props["PP"].([]int); !ok || !reflect.DeepEqual(pp, []int{2, 0}) {
+		t.Fatalf("PP not normalized: %T", r.Props["PP"])
+	}
+	if line, ok := r.Props["LINE"].(int); !ok || line != 7 {
+		t.Fatalf("LINE not normalized to int: %T", r.Props["LINE"])
+	}
+	if got := loaded.Node(b); got == nil || len(got.Labels) != 2 {
+		t.Fatalf("labels lost: %+v", got)
+	}
+	// New IDs must not collide with loaded ones.
+	c := loaded.CreateNode([]string{"X"}, nil)
+	if c == a || c == b || c == rid {
+		t.Errorf("ID collision after load: %d", c)
+	}
+}
+
+func TestLoadRejectsGarbage(t *testing.T) {
+	if _, err := Load(bytes.NewReader([]byte("not json"))); err == nil {
+		t.Error("garbage must be rejected")
+	}
+	if _, err := Load(bytes.NewReader([]byte(`{"format":"other","version":1}` + "\n"))); err == nil {
+		t.Error("wrong format must be rejected")
+	}
+	if _, err := Load(bytes.NewReader([]byte(`{"format":"tabby-graph","version":9}` + "\n"))); err == nil {
+		t.Error("wrong version must be rejected")
+	}
+	// Truncated stream: header promises a node that never comes.
+	if _, err := Load(bytes.NewReader([]byte(`{"format":"tabby-graph","version":1,"nodes":1,"rels":0}` + "\n"))); err == nil {
+		t.Error("truncated stream must be rejected")
+	}
+}
+
+func TestConcurrentAccess(t *testing.T) {
+	db := New()
+	seed := db.CreateNode([]string{"M"}, Props{"NAME": "seed"})
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				id := db.CreateNode([]string{"M"}, Props{"NAME": fmt.Sprintf("w%d-%d", w, i)})
+				if _, err := db.CreateRel("CALL", id, seed, nil); err != nil {
+					t.Errorf("CreateRel: %v", err)
+					return
+				}
+				db.Neighbors(seed, DirIn, "CALL")
+				db.Stats()
+			}
+		}(w)
+	}
+	wg.Wait()
+	if got := db.Degree(seed, DirIn, "CALL"); got != 800 {
+		t.Errorf("Degree = %d, want 800", got)
+	}
+}
+
+// Property test: persistence preserves node count, labels, and adjacency
+// for arbitrary small graphs.
+func TestPersistPropertyQuick(t *testing.T) {
+	f := func(nNodes uint8, edges []uint16) bool {
+		n := int(nNodes%20) + 1
+		db := New()
+		ids := make([]ID, n)
+		for i := range ids {
+			ids[i] = db.CreateNode([]string{"N"}, Props{"I": i})
+		}
+		for _, e := range edges {
+			from := ids[int(e)%n]
+			to := ids[int(e>>8)%n]
+			if _, err := db.CreateRel("E", from, to, nil); err != nil {
+				return false
+			}
+		}
+		var buf bytes.Buffer
+		if err := db.Save(&buf); err != nil {
+			return false
+		}
+		loaded, err := Load(&buf)
+		if err != nil {
+			return false
+		}
+		s1, s2 := db.Stats(), loaded.Stats()
+		if s1.Nodes != s2.Nodes || s1.Rels != s2.Rels {
+			return false
+		}
+		for _, id := range ids {
+			if db.Degree(id, DirBoth) != loaded.Degree(id, DirBoth) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+// failWriter fails after n bytes, for save-path error injection.
+type failWriter struct{ left int }
+
+func (w *failWriter) Write(p []byte) (int, error) {
+	if w.left <= 0 {
+		return 0, fmt.Errorf("injected write failure")
+	}
+	n := len(p)
+	if n > w.left {
+		n = w.left
+	}
+	w.left -= n
+	if n < len(p) {
+		return n, fmt.Errorf("injected write failure")
+	}
+	return n, nil
+}
+
+func TestSaveWriteFailure(t *testing.T) {
+	db := New()
+	a := db.CreateNode([]string{"N"}, Props{"NAME": "a"})
+	bID := db.CreateNode([]string{"N"}, Props{"NAME": "b"})
+	mustRel(t, db, "E", a, bID)
+	for _, budget := range []int{0, 10, 60} {
+		if err := db.Save(&failWriter{left: budget}); err == nil {
+			t.Errorf("Save with %d-byte budget must fail", budget)
+		}
+	}
+}

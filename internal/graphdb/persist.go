@@ -1,0 +1,168 @@
+package graphdb
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+)
+
+// The on-disk format is newline-delimited JSON: a header record, then one
+// record per node, then one per relationship. It exists so cmd/tabby can
+// persist a built CPG and cmd/tabby-query can re-query it later — the
+// "store once, query many times" workflow the paper builds on Neo4j
+// (§II-B, RQ4).
+
+type persistHeader struct {
+	Format  string `json:"format"`
+	Version int    `json:"version"`
+	Nodes   int    `json:"nodes"`
+	Rels    int    `json:"rels"`
+}
+
+type persistNode struct {
+	ID     ID             `json:"id"`
+	Labels []string       `json:"labels"`
+	Props  map[string]any `json:"props,omitempty"`
+}
+
+type persistRel struct {
+	ID    ID             `json:"id"`
+	Type  string         `json:"type"`
+	Start ID             `json:"start"`
+	End   ID             `json:"end"`
+	Props map[string]any `json:"props,omitempty"`
+}
+
+const (
+	persistFormat  = "tabby-graph"
+	persistVersion = 1
+)
+
+// Save writes the whole graph to w.
+func (db *DB) Save(w io.Writer) error {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	if err := enc.Encode(persistHeader{
+		Format: persistFormat, Version: persistVersion,
+		Nodes: len(db.nodes), Rels: len(db.rels),
+	}); err != nil {
+		return fmt.Errorf("graphdb save header: %w", err)
+	}
+	nodeIDs := make([]ID, 0, len(db.nodes))
+	for id := range db.nodes {
+		nodeIDs = append(nodeIDs, id)
+	}
+	sort.Slice(nodeIDs, func(i, j int) bool { return nodeIDs[i] < nodeIDs[j] })
+	for _, id := range nodeIDs {
+		n := db.nodes[id]
+		if err := enc.Encode(persistNode{ID: n.ID, Labels: n.Labels, Props: n.Props}); err != nil {
+			return fmt.Errorf("graphdb save node %d: %w", id, err)
+		}
+	}
+	relIDs := make([]ID, 0, len(db.rels))
+	for id := range db.rels {
+		relIDs = append(relIDs, id)
+	}
+	sort.Slice(relIDs, func(i, j int) bool { return relIDs[i] < relIDs[j] })
+	for _, id := range relIDs {
+		r := db.rels[id]
+		if err := enc.Encode(persistRel{ID: r.ID, Type: r.Type, Start: r.Start, End: r.End, Props: r.Props}); err != nil {
+			return fmt.Errorf("graphdb save rel %d: %w", id, err)
+		}
+	}
+	return bw.Flush()
+}
+
+// Load reads a graph previously written by Save. Node and relationship IDs
+// are preserved. JSON round-trips numbers as float64 and []int as []any;
+// Load normalizes both back so property comparisons behave identically
+// before and after persistence.
+func Load(r io.Reader) (*DB, error) {
+	dec := json.NewDecoder(bufio.NewReader(r))
+	var hdr persistHeader
+	if err := dec.Decode(&hdr); err != nil {
+		return nil, fmt.Errorf("graphdb load header: %w", err)
+	}
+	if hdr.Format != persistFormat {
+		return nil, fmt.Errorf("graphdb load: unknown format %q", hdr.Format)
+	}
+	if hdr.Version != persistVersion {
+		return nil, fmt.Errorf("graphdb load: unsupported version %d", hdr.Version)
+	}
+	db := New()
+	var maxID ID
+	for i := 0; i < hdr.Nodes; i++ {
+		var pn persistNode
+		if err := dec.Decode(&pn); err != nil {
+			return nil, fmt.Errorf("graphdb load node %d/%d: %w", i+1, hdr.Nodes, err)
+		}
+		n := &Node{ID: pn.ID, Labels: pn.Labels, Props: normalizeProps(pn.Props)}
+		db.nodes[pn.ID] = n
+		for _, l := range n.Labels {
+			db.byLabel[l] = append(db.byLabel[l], pn.ID)
+		}
+		if pn.ID > maxID {
+			maxID = pn.ID
+		}
+	}
+	for i := 0; i < hdr.Rels; i++ {
+		var pr persistRel
+		if err := dec.Decode(&pr); err != nil {
+			return nil, fmt.Errorf("graphdb load rel %d/%d: %w", i+1, hdr.Rels, err)
+		}
+		if _, ok := db.nodes[pr.Start]; !ok {
+			return nil, fmt.Errorf("graphdb load rel %d: unknown start %d", pr.ID, pr.Start)
+		}
+		if _, ok := db.nodes[pr.End]; !ok {
+			return nil, fmt.Errorf("graphdb load rel %d: unknown end %d", pr.ID, pr.End)
+		}
+		db.rels[pr.ID] = &Rel{ID: pr.ID, Type: pr.Type, Start: pr.Start, End: pr.End, Props: normalizeProps(pr.Props)}
+		db.out[pr.Start] = append(db.out[pr.Start], pr.ID)
+		db.in[pr.End] = append(db.in[pr.End], pr.ID)
+		if pr.ID > maxID {
+			maxID = pr.ID
+		}
+	}
+	db.nextID = maxID
+	return db, nil
+}
+
+// normalizeProps converts JSON-decoded values into the store's canonical
+// scalar set: float64 whole numbers become int, []any of whole numbers
+// becomes []int.
+func normalizeProps(raw map[string]any) Props {
+	if raw == nil {
+		return nil
+	}
+	out := make(Props, len(raw))
+	for k, v := range raw {
+		out[k] = normalizeValue(v)
+	}
+	return out
+}
+
+func normalizeValue(v any) any {
+	switch t := v.(type) {
+	case float64:
+		if t == float64(int(t)) {
+			return int(t)
+		}
+		return t
+	case []any:
+		ints := make([]int, 0, len(t))
+		for _, e := range t {
+			f, ok := e.(float64)
+			if !ok || f != float64(int(f)) {
+				return t // heterogeneous list: keep as-is
+			}
+			ints = append(ints, int(f))
+		}
+		return ints
+	default:
+		return v
+	}
+}

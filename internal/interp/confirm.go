@@ -1,0 +1,151 @@
+package interp
+
+import (
+	"errors"
+	"fmt"
+
+	"tabby/internal/java"
+	"tabby/internal/jimple"
+	"tabby/internal/sinks"
+)
+
+// Options tunes confirmation.
+type Options struct {
+	// Registry is the sink registry; nil means the default set.
+	Registry *sinks.Registry
+	// MaxPayloads caps how many candidate payload graphs are attempted
+	// (default 48).
+	MaxPayloads int
+	// MaxSteps bounds each concrete execution (default 200,000).
+	MaxSteps int
+}
+
+// Result reports a confirmation attempt.
+type Result struct {
+	// Confirmed is true when some payload drove execution from the
+	// chain's source into its sink with attacker-tainted data at every
+	// Trigger_Condition position.
+	Confirmed bool
+	// Hit describes the sink firing (nil unless Confirmed).
+	Hit *Hit
+	// PayloadsTried counts candidate object graphs executed.
+	PayloadsTried int
+	// FailureModes tallies why unconfirmed attempts ended, e.g.
+	// "completed" (ran to the end without firing), "null dereference".
+	FailureModes map[string]int
+}
+
+// Confirm attempts to validate a reported gadget chain (method keys,
+// source first) by building payloads and concretely executing the source
+// method — the automation the paper proposes as §V-C future work
+// (there via javassist + JVMTI; here via the jimple interpreter).
+func Confirm(prog *jimple.Program, chain []string, opts Options) (*Result, error) {
+	if len(chain) < 2 {
+		return nil, fmt.Errorf("interp: chain needs at least source and sink")
+	}
+	if opts.Registry == nil {
+		opts.Registry = sinks.Default()
+	}
+	if opts.MaxPayloads <= 0 {
+		opts.MaxPayloads = 48
+	}
+	if opts.MaxSteps <= 0 {
+		opts.MaxSteps = 200_000
+	}
+
+	h := prog.Hierarchy
+	sourceKey := java.MethodKey(chain[0])
+	source := h.MethodByKey(sourceKey)
+	if source == nil {
+		return nil, fmt.Errorf("interp: unknown source method %s", sourceKey)
+	}
+	if prog.Body(sourceKey) == nil {
+		return nil, fmt.Errorf("interp: source %s has no body", sourceKey)
+	}
+	sinkKey := java.MethodKey(chain[len(chain)-1])
+	wantSink, ok := opts.Registry.Match(h, java.MethodKeyClass(sinkKey), java.MethodKeyName(sinkKey))
+	if !ok {
+		return nil, fmt.Errorf("interp: chain tail %s is not a registered sink", sinkKey)
+	}
+
+	// Hint classes: every class on the chain, in order.
+	var hints []string
+	for _, name := range chain {
+		if c := java.MethodKeyClass(java.MethodKey(name)); c != "" {
+			hints = append(hints, c)
+		}
+	}
+	b := newBuilder(h, hints)
+	payloads := b.objVariants(source.ClassName, b.maxDepth)
+	if len(payloads) > opts.MaxPayloads {
+		payloads = payloads[:opts.MaxPayloads]
+	}
+
+	res := &Result{FailureModes: make(map[string]int)}
+	for _, candidate := range payloads {
+		payload, ok := deepCopy(candidate).(*Obj)
+		if !ok {
+			continue
+		}
+		res.PayloadsTried++
+		ma := newMachine(prog, opts.Registry, payload)
+		ma.maxSteps = opts.MaxSteps
+		ma.wantSink = wantSink.Key()
+
+		args := make([]Value, len(source.Params))
+		for i, p := range source.Params {
+			args[i] = streamArg(p)
+		}
+		_, err := ma.call(source, payload, args, 0)
+		switch {
+		case errors.Is(err, errConfirmed):
+			res.Confirmed = true
+			res.Hit = ma.hit
+			return res, nil
+		case err == nil:
+			res.FailureModes["completed"]++
+		default:
+			res.FailureModes[err.Error()]++
+		}
+	}
+	return res, nil
+}
+
+// streamArg builds the framework-supplied argument for a source-method
+// parameter (the ObjectInputStream of readObject, etc.) — attacker-
+// derived by definition.
+func streamArg(t java.Type) Value {
+	switch t.Kind {
+	case java.KindClass:
+		return &Obj{Class: t.Name, Taint: true}
+	case java.KindArray:
+		return &Arr{Elems: []Value{Null{}, Null{}}, Taint: true}
+	default:
+		return Int{V: 0}
+	}
+}
+
+// deepCopy clones a payload graph so one execution cannot pollute the
+// next attempt. Builder graphs are trees, so no cycle handling is needed.
+func deepCopy(v Value) Value {
+	switch t := v.(type) {
+	case *Obj:
+		out := &Obj{Class: t.Class, Taint: t.Taint}
+		for k, fv := range t.Fields {
+			out.SetField(k, deepCopy(fv))
+		}
+		return out
+	case *Arr:
+		out := &Arr{Elems: make([]Value, len(t.Elems)), Taint: t.Taint}
+		for i, e := range t.Elems {
+			if e == nil {
+				out.Elems[i] = Null{}
+				continue
+			}
+			out.Elems[i] = deepCopy(e)
+		}
+		return out
+	default:
+		return v
+	}
+}

@@ -1,0 +1,252 @@
+package interp
+
+import (
+	"strings"
+	"testing"
+
+	"tabby/internal/core"
+	"tabby/internal/corpus"
+	"tabby/internal/javasrc"
+)
+
+func chainsFor(t *testing.T, sources ...string) (chains [][]string, progOwner *core.Report) {
+	t.Helper()
+	archives := []javasrc.ArchiveSource{corpus.RT()}
+	for i, src := range sources {
+		archives = append(archives, javasrc.ArchiveSource{
+			Name:  "t.jar",
+			Files: []javasrc.File{{Name: "t.java", Source: src}},
+		})
+		_ = i
+	}
+	engine := core.New(core.Options{})
+	rep, err := engine.AnalyzeSources(archives)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range rep.Chains {
+		chains = append(chains, c.Names)
+	}
+	return chains, rep
+}
+
+func findChain(chains [][]string, sourcePrefix string) []string {
+	for _, c := range chains {
+		if strings.HasPrefix(c[0], sourcePrefix) {
+			return c
+		}
+	}
+	return nil
+}
+
+func TestConfirmURLDNS(t *testing.T) {
+	chains, rep := chainsFor(t)
+	chain := findChain(chains, "java.util.HashMap#readObject")
+	if chain == nil {
+		t.Fatal("URLDNS chain not reported")
+	}
+	res, err := Confirm(rep.Graph.Program, chain, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Confirmed {
+		t.Fatalf("URLDNS must confirm; tried %d payloads, failures %v", res.PayloadsTried, res.FailureModes)
+	}
+	if res.Hit == nil || res.Hit.Sink.Key() != "java.net.InetAddress.getByName" {
+		t.Fatalf("hit = %+v", res.Hit)
+	}
+	// The firing argument must be the attacker's tainted host string.
+	tainted := false
+	for _, a := range res.Hit.Args {
+		if strings.Contains(a, "attacker-data") {
+			tainted = true
+		}
+	}
+	if !tainted {
+		t.Errorf("sink fired without attacker data: %v", res.Hit.Args)
+	}
+}
+
+func TestConfirmPlainChain(t *testing.T) {
+	chains, rep := chainsFor(t, `
+package t;
+public class Entry implements java.io.Serializable {
+    public String cmd;
+    private void readObject(java.io.ObjectInputStream s) {
+        Helper.run(this.cmd);
+    }
+}
+class Helper {
+    static void run(String c) {
+        java.lang.Process p = java.lang.Runtime.getRuntime().exec(c);
+    }
+}
+`)
+	chain := findChain(chains, "t.Entry#readObject")
+	if chain == nil {
+		t.Fatal("chain not reported")
+	}
+	res, err := Confirm(rep.Graph.Program, chain, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Confirmed {
+		t.Fatalf("plain chain must confirm: %v", res.FailureModes)
+	}
+}
+
+func TestConfirmRejectsDeadGuard(t *testing.T) {
+	// The flow-insensitive static analysis reports this chain; concrete
+	// execution must refuse to confirm it — the paper's §IV-E false
+	// positive class, resolved by the §V-C extension.
+	chains, rep := chainsFor(t, `
+package t;
+public class Entry implements java.io.Serializable {
+    public String cmd;
+    private void readObject(java.io.ObjectInputStream s) {
+        int gate = 7;
+        if (gate == 8) {
+            Helper.run(this.cmd);
+        }
+    }
+}
+class Helper {
+    static void run(String c) {
+        java.lang.Process p = java.lang.Runtime.getRuntime().exec(c);
+    }
+}
+`)
+	chain := findChain(chains, "t.Entry#readObject")
+	if chain == nil {
+		t.Fatal("static analysis must still report the dead-guard chain")
+	}
+	res, err := Confirm(rep.Graph.Program, chain, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Confirmed {
+		t.Fatal("dead-guard chain must NOT confirm")
+	}
+	if res.FailureModes["completed"] == 0 {
+		t.Errorf("expected clean completions, got %v", res.FailureModes)
+	}
+}
+
+func TestConfirmRejectsSanitized(t *testing.T) {
+	// GI-style tools report this; Tabby prunes it statically. Feed the
+	// chain shape to the confirmer directly to show dynamic rejection too.
+	chains, rep := chainsFor(t, `
+package t;
+public class Entry implements java.io.Serializable {
+    public String cmd;
+    private void readObject(java.io.ObjectInputStream s) {
+        String c = San.clean(this.cmd);
+        Helper.run(c);
+    }
+}
+class San {
+    static String clean(String c) { String fixed = "safe"; return fixed; }
+}
+class Helper {
+    static void run(String c) {
+        java.lang.Process p = java.lang.Runtime.getRuntime().exec(c);
+    }
+}
+`)
+	if findChain(chains, "t.Entry#readObject") != nil {
+		t.Fatal("tabby must prune the sanitized chain statically")
+	}
+	// Hand the would-be chain to the confirmer anyway.
+	syntheticChain := []string{
+		"t.Entry#readObject(java.io.ObjectInputStream)",
+		"t.Helper#run(java.lang.String)",
+		"java.lang.Runtime#exec(java.lang.String)",
+	}
+	res, err := Confirm(rep.Graph.Program, syntheticChain, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Confirmed {
+		t.Fatal("sanitized chain must NOT confirm (exec sees the constant)")
+	}
+}
+
+func TestConfirmInterfaceDispatch(t *testing.T) {
+	chains, rep := chainsFor(t, `
+package t;
+interface Gadget { void fire(String c); }
+class Impl implements Gadget, java.io.Serializable {
+    public void fire(String c) {
+        java.lang.Process p = java.lang.Runtime.getRuntime().exec(c);
+    }
+}
+public class Entry implements java.io.Serializable {
+    public Gadget g;
+    public String cmd;
+    private void readObject(java.io.ObjectInputStream s) {
+        g.fire(this.cmd);
+    }
+}
+`)
+	chain := findChain(chains, "t.Entry#readObject")
+	if chain == nil {
+		t.Fatal("interface chain not reported")
+	}
+	res, err := Confirm(rep.Graph.Program, chain, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Confirmed {
+		t.Fatalf("interface chain must confirm (payload builder must pick Impl): %v", res.FailureModes)
+	}
+}
+
+func TestConfirmFig1(t *testing.T) {
+	chains, rep := chainsFor(t, `
+package fig1;
+public class EvilObjectA implements java.io.Serializable {
+    public Object val1;
+    private void readObject(java.io.ObjectInputStream is) {
+        java.io.GetField gf = is.readFields();
+        Object valObj = gf.get("val1", null);
+        String out = valObj.toString();
+    }
+}
+public class EvilObjectB implements java.io.Serializable {
+    public Object val2;
+    public String toString() {
+        String cmd = val2.toString();
+        java.lang.Process p = java.lang.Runtime.getRuntime().exec(cmd);
+        return cmd;
+    }
+}
+`)
+	chain := findChain(chains, "fig1.EvilObjectA#readObject")
+	if chain == nil {
+		t.Fatal("Fig. 1 chain not reported")
+	}
+	res, err := Confirm(rep.Graph.Program, chain, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Confirmed {
+		t.Fatalf("Fig. 1 chain must confirm (readFields/GetField intrinsics): %v", res.FailureModes)
+	}
+}
+
+func TestConfirmErrorCases(t *testing.T) {
+	_, rep := chainsFor(t)
+	prog := rep.Graph.Program
+	if _, err := Confirm(prog, []string{"only-one"}, Options{}); err == nil {
+		t.Error("short chain must error")
+	}
+	if _, err := Confirm(prog, []string{"ghost.C#m()", "java.lang.Runtime#exec(java.lang.String)"}, Options{}); err == nil {
+		t.Error("unknown source must error")
+	}
+	if _, err := Confirm(prog, []string{
+		"java.util.HashMap#readObject(java.io.ObjectInputStream)",
+		"java.util.HashMap#hash(java.lang.Object)", // not a sink
+	}, Options{}); err == nil {
+		t.Error("non-sink tail must error")
+	}
+}

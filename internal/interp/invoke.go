@@ -1,0 +1,217 @@
+package interp
+
+import (
+	"tabby/internal/java"
+	"tabby/internal/jimple"
+	"tabby/internal/sinks"
+)
+
+// invoke evaluates a method invocation: sink detection first, then
+// reflection/deserialization intrinsics, then concrete dispatch.
+func (ma *machine) invoke(body *jimple.Body, inv *jimple.InvokeExpr, env map[string]Value, depth int) (Value, error) {
+	var recv Value = Null{}
+	if inv.Base != nil {
+		recv = env[inv.Base.Name]
+		if recv == nil {
+			recv = Null{}
+		}
+	}
+	args := make([]Value, len(inv.Args))
+	for i, a := range inv.Args {
+		v, err := ma.eval(body, a, env, depth)
+		if err != nil {
+			return Null{}, err
+		}
+		args[i] = v
+	}
+
+	// --- sink detection (TC positions must be tainted) ---------------
+	if sink, ok := ma.matchSink(inv, recv); ok && (ma.wantSink == "" || sink.Key() == ma.wantSink) {
+		if ma.sinkSatisfied(sink, recv, args) {
+			caller := java.MethodKey("")
+			if body != nil {
+				caller = body.Method.Key()
+			}
+			rendered := make([]string, 0, len(args)+1)
+			rendered = append(rendered, stringify(recv))
+			for _, a := range args {
+				rendered = append(rendered, stringify(a))
+			}
+			ma.hit = &Hit{Sink: sink, Caller: caller, Args: rendered}
+			return Null{}, errConfirmed
+		}
+		// A sink reached without attacker data is inert; do not execute
+		// its (stub) body.
+		return Null{}, nil
+	}
+
+	// --- intrinsics ----------------------------------------------------
+	if v, handled, err := ma.intrinsic(inv, recv, args); handled {
+		return v, err
+	}
+
+	// --- dispatch -------------------------------------------------------
+	h := ma.prog.Hierarchy
+	var target *java.Method
+	switch inv.Kind {
+	case jimple.InvokeStatic, jimple.InvokeSpecial:
+		target = h.ResolveMethod(inv.Class, inv.SubSignature())
+	case jimple.InvokeVirtual, jimple.InvokeInterface:
+		if isNull(recv) {
+			return Null{}, errNPE
+		}
+		if rc := runtimeClass(recv); rc != "" {
+			target = h.ResolveMethod(rc, inv.SubSignature())
+		}
+		if target == nil {
+			target = h.ResolveMethod(inv.Class, inv.SubSignature())
+		}
+	case jimple.InvokeDynamic:
+		return ma.dynamicDispatch(recv, args, depth)
+	}
+	if target == nil {
+		return Null{}, nil // phantom callee
+	}
+	var callRecv Value = recv
+	if target.IsStatic() {
+		callRecv = Null{}
+	}
+	return ma.call(target, callRecv, args, depth+1)
+}
+
+// matchSink checks the static invoke class and the receiver's runtime
+// class against the sink registry.
+func (ma *machine) matchSink(inv *jimple.InvokeExpr, recv Value) (sinks.Sink, bool) {
+	h := ma.prog.Hierarchy
+	if s, ok := ma.reg.Match(h, inv.Class, inv.Name); ok {
+		return s, true
+	}
+	if rc := runtimeClass(recv); rc != "" {
+		if s, ok := ma.reg.Match(h, rc, inv.Name); ok {
+			return s, true
+		}
+	}
+	return sinks.Sink{}, false
+}
+
+// sinkSatisfied checks the Trigger_Condition positions against taint.
+func (ma *machine) sinkSatisfied(s sinks.Sink, recv Value, args []Value) bool {
+	for _, pos := range s.TC {
+		var v Value
+		if pos == 0 {
+			v = recv
+		} else if pos-1 < len(args) {
+			v = args[pos-1]
+		} else {
+			return false
+		}
+		if v == nil || !v.Tainted() {
+			return false
+		}
+	}
+	return true
+}
+
+// intrinsic handles the reflection and deserialization APIs that the
+// modeled runtime stubs out.
+func (ma *machine) intrinsic(inv *jimple.InvokeExpr, recv Value, args []Value) (Value, bool, error) {
+	switch {
+	case inv.Name == "getClass" && len(args) == 0 && inv.Base != nil:
+		if isNull(recv) {
+			return Null{}, true, errNPE
+		}
+		return ClassRef{Name: runtimeClass(recv), Taint: recv.Tainted()}, true, nil
+
+	case inv.Class == "java.lang.Class" && inv.Name == "getMethod":
+		cr, ok := recv.(ClassRef)
+		if !ok {
+			return Null{}, true, errNPE
+		}
+		name := ""
+		taint := cr.Taint
+		if len(args) > 0 {
+			if s, ok := args[0].(Str); ok {
+				name = s.V
+				taint = taint || s.Taint
+			}
+		}
+		return MethodRef{Owner: cr.Name, Name: name, Taint: taint}, true, nil
+
+	case inv.Class == "java.lang.Runtime" && inv.Name == "getRuntime":
+		return &Obj{Class: "java.lang.Runtime"}, true, nil
+
+	case inv.Name == "readFields" && isStreamClass(inv.Class):
+		handle := &Obj{Class: "java.io.GetField", Taint: true}
+		handle.SetField("__target", ma.payload)
+		return handle, true, nil
+
+	case inv.Class == "java.io.GetField" && inv.Name == "get":
+		obj, ok := recv.(*Obj)
+		if !ok {
+			return Null{}, true, errNPE
+		}
+		targetVal := obj.Field("__target")
+		target, ok := targetVal.(*Obj)
+		if !ok {
+			return Null{}, true, nil
+		}
+		if len(args) > 0 {
+			if s, ok := args[0].(Str); ok {
+				return target.Field(s.V), true, nil
+			}
+		}
+		return Null{}, true, nil
+
+	case inv.Name == "readObject" && isStreamClass(inv.Class):
+		// Nested deserialization yields attacker data by definition.
+		return &Obj{Class: java.ObjectClass, Taint: true}, true, nil
+
+	case inv.Name == "defaultReadObject" && isStreamClass(inv.Class):
+		return Null{}, true, nil
+
+	case inv.Name == "toString" && len(args) == 0 && runtimeClass(recv) == "java.lang.String":
+		return recv, true, nil
+	}
+	return Null{}, false, nil
+}
+
+func isStreamClass(class string) bool {
+	switch class {
+	case "java.io.ObjectInputStream", "java.io.ObjectInput":
+		return true
+	default:
+		return false
+	}
+}
+
+// dynamicDispatch models the frontend's java.lang.reflect.Proxy.dispatch
+// marker: invoke the single one-string-parameter public method of the
+// runtime target — the behaviour a dynamic proxy's InvocationHandler
+// typically implements in the planted proxy gadgets.
+func (ma *machine) dynamicDispatch(recv Value, args []Value, depth int) (Value, error) {
+	if len(args) == 0 {
+		return Null{}, nil
+	}
+	target, ok := args[0].(*Obj)
+	if !ok {
+		return Null{}, nil
+	}
+	c := ma.prog.Hierarchy.Class(target.Class)
+	if c == nil {
+		return Null{}, nil
+	}
+	for _, m := range c.Methods {
+		if m.IsStatic() || m.IsAbstract() || len(m.Params) != 1 {
+			continue
+		}
+		if !m.Params[0].Equal(java.StringType) {
+			continue
+		}
+		callArgs := []Value{Null{}}
+		if len(args) > 1 {
+			callArgs[0] = args[1]
+		}
+		return ma.call(m, target, callArgs, depth+1)
+	}
+	return Null{}, nil
+}

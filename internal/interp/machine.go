@@ -1,0 +1,381 @@
+package interp
+
+import (
+	"errors"
+	"fmt"
+
+	"tabby/internal/java"
+	"tabby/internal/jimple"
+	"tabby/internal/sinks"
+)
+
+// Hit records a confirmed sink firing.
+type Hit struct {
+	// Sink is the matched registry entry.
+	Sink sinks.Sink
+	// Caller is the method whose body invoked the sink.
+	Caller java.MethodKey
+	// Args renders the receiver and arguments at the moment of firing.
+	Args []string
+}
+
+// sentinel errors controlling execution.
+var (
+	errConfirmed = errors.New("sink confirmed")
+	errSteps     = errors.New("step budget exhausted")
+	errDepth     = errors.New("call depth exhausted")
+	errNPE       = errors.New("null dereference")
+	errThrown    = errors.New("exception thrown")
+)
+
+// machine executes jimple bodies concretely.
+type machine struct {
+	prog     *jimple.Program
+	reg      *sinks.Registry
+	payload  *Obj // object under deserialization (GetField intrinsics)
+	statics  map[string]Value
+	steps    int
+	maxSteps int
+	maxDepth int
+	// wantSink restricts confirmation to the chain's own sink identity
+	// (sinks.Sink.Key() form); other registered sinks are inert.
+	wantSink string
+	hit      *Hit
+}
+
+func newMachine(prog *jimple.Program, reg *sinks.Registry, payload *Obj) *machine {
+	return &machine{
+		prog:     prog,
+		reg:      reg,
+		payload:  payload,
+		statics:  make(map[string]Value),
+		maxSteps: 200_000,
+		maxDepth: 128,
+	}
+}
+
+// runtimeClass returns the dynamic class of a value for dispatch.
+func runtimeClass(v Value) string {
+	switch t := v.(type) {
+	case *Obj:
+		return t.Class
+	case Str:
+		return "java.lang.String"
+	case ClassRef:
+		return "java.lang.Class"
+	case MethodRef:
+		return "java.lang.reflect.Method"
+	case *Arr:
+		return java.ObjectClass
+	default:
+		return ""
+	}
+}
+
+// call executes the body of m on receiver recv with args. Missing bodies
+// return null.
+func (ma *machine) call(target *java.Method, recv Value, args []Value, depth int) (Value, error) {
+	if depth > ma.maxDepth {
+		return Null{}, errDepth
+	}
+	body := ma.prog.Body(target.Key())
+	if body == nil {
+		return Null{}, nil
+	}
+	env := make(map[string]Value, len(body.Locals))
+	pc := 0
+	for {
+		if pc < 0 || pc >= len(body.Stmts) {
+			return Null{}, nil // fell off the end (void)
+		}
+		ma.steps++
+		if ma.steps > ma.maxSteps {
+			return Null{}, errSteps
+		}
+		switch st := body.Stmts[pc].(type) {
+		case *jimple.IdentityStmt:
+			switch rhs := st.RHS.(type) {
+			case *jimple.ThisRef:
+				env[st.Local.Name] = recv
+			case *jimple.ParamRef:
+				if rhs.Index < len(args) {
+					env[st.Local.Name] = args[rhs.Index]
+				} else {
+					env[st.Local.Name] = Null{}
+				}
+			}
+			pc++
+		case *jimple.AssignStmt:
+			rhs, err := ma.eval(body, st.RHS, env, depth)
+			if err != nil {
+				return Null{}, err
+			}
+			if err := ma.store(st.LHS, rhs, env); err != nil {
+				return Null{}, err
+			}
+			pc++
+		case *jimple.InvokeStmt:
+			if _, err := ma.invoke(body, st.Invoke, env, depth); err != nil {
+				return Null{}, err
+			}
+			pc++
+		case *jimple.ReturnStmt:
+			if st.Op == nil {
+				return Null{}, nil
+			}
+			return ma.eval(body, st.Op, env, depth)
+		case *jimple.IfStmt:
+			cond, err := ma.eval(body, st.Cond, env, depth)
+			if err != nil {
+				return Null{}, err
+			}
+			if truthy(cond) {
+				pc = st.Target
+			} else {
+				pc++
+			}
+		case *jimple.GotoStmt:
+			pc = st.Target
+		case *jimple.SwitchStmt:
+			key, err := ma.eval(body, st.Key, env, depth)
+			if err != nil {
+				return Null{}, err
+			}
+			pc = st.Default
+			if k, ok := key.(Int); ok && int(k.V) >= 0 && int(k.V) < len(st.Targets) {
+				pc = st.Targets[k.V]
+			}
+		case *jimple.ThrowStmt:
+			return Null{}, errThrown
+		case *jimple.NopStmt:
+			pc++
+		default:
+			return Null{}, fmt.Errorf("interp: unsupported statement %T", st)
+		}
+	}
+}
+
+// store writes an assignment target.
+func (ma *machine) store(lhs jimple.Value, v Value, env map[string]Value) error {
+	switch t := lhs.(type) {
+	case *jimple.Local:
+		env[t.Name] = v
+	case *jimple.FieldRef:
+		if t.IsStatic() {
+			ma.statics[t.Class+"."+t.Field] = v
+			return nil
+		}
+		base := env[t.Base.Name]
+		obj, ok := base.(*Obj)
+		if !ok {
+			return errNPE
+		}
+		obj.SetField(t.Field, v)
+	case *jimple.ArrayRef:
+		base := env[t.Base.Name]
+		arr, ok := base.(*Arr)
+		if !ok {
+			return errNPE
+		}
+		idx := int64(0)
+		if iv, err := ma.eval(nil, t.Index, env, 0); err == nil {
+			if n, ok := iv.(Int); ok {
+				idx = n.V
+			}
+		}
+		if idx < 0 || int(idx) >= len(arr.Elems) {
+			return errThrown // out of bounds
+		}
+		arr.Elems[idx] = v
+	default:
+		return fmt.Errorf("interp: unsupported store target %T", lhs)
+	}
+	return nil
+}
+
+// eval computes a jimple value concretely.
+func (ma *machine) eval(body *jimple.Body, v jimple.Value, env map[string]Value, depth int) (Value, error) {
+	switch t := v.(type) {
+	case *jimple.Local:
+		if val, ok := env[t.Name]; ok {
+			return val, nil
+		}
+		return Null{}, nil
+	case *jimple.IntConst:
+		return Int{V: t.Val}, nil
+	case *jimple.StrConst:
+		return Str{V: t.Val}, nil
+	case *jimple.NullConst:
+		return Null{}, nil
+	case *jimple.ClassConst:
+		return ClassRef{Name: t.ClassName}, nil
+	case *jimple.NewExpr:
+		return &Obj{Class: t.Typ.Name}, nil
+	case *jimple.NewArrayExpr:
+		size := int64(2)
+		if sv, err := ma.eval(body, t.Size, env, depth); err == nil {
+			if n, ok := sv.(Int); ok && n.V >= 0 && n.V < 64 {
+				size = n.V
+			}
+		}
+		elems := make([]Value, size)
+		for i := range elems {
+			elems[i] = Null{}
+		}
+		return &Arr{Elems: elems}, nil
+	case *jimple.CastExpr:
+		return ma.eval(body, t.Op, env, depth)
+	case *jimple.FieldRef:
+		if t.IsStatic() {
+			if val, ok := ma.statics[t.Class+"."+t.Field]; ok {
+				return val, nil
+			}
+			return Null{}, nil
+		}
+		base := env[t.Base.Name]
+		obj, ok := base.(*Obj)
+		if !ok {
+			if isNull(base) {
+				return Null{}, errNPE
+			}
+			return Null{}, nil
+		}
+		return obj.Field(t.Field), nil
+	case *jimple.ArrayRef:
+		base := env[t.Base.Name]
+		arr, ok := base.(*Arr)
+		if !ok {
+			return Null{}, errNPE
+		}
+		iv, err := ma.eval(body, t.Index, env, depth)
+		if err != nil {
+			return Null{}, err
+		}
+		n, ok := iv.(Int)
+		if !ok || n.V < 0 || int(n.V) >= len(arr.Elems) {
+			return Null{}, errThrown
+		}
+		if arr.Elems[n.V] == nil {
+			return Null{}, nil
+		}
+		return arr.Elems[n.V], nil
+	case *jimple.BinopExpr:
+		return ma.evalBinop(body, t, env, depth)
+	case *jimple.InstanceOfExpr:
+		inner, err := ma.eval(body, t.Op, env, depth)
+		if err != nil {
+			return Null{}, err
+		}
+		rc := runtimeClass(inner)
+		if rc == "" {
+			return Int{V: 0}, nil
+		}
+		if ma.prog.Hierarchy.IsSubtypeOf(rc, t.Check.Name) {
+			return Int{V: 1}, nil
+		}
+		return Int{V: 0}, nil
+	case *jimple.InvokeExpr:
+		return ma.invoke(body, t, env, depth)
+	default:
+		return Null{}, fmt.Errorf("interp: unsupported value %T", v)
+	}
+}
+
+func (ma *machine) evalBinop(body *jimple.Body, b *jimple.BinopExpr, env map[string]Value, depth int) (Value, error) {
+	l, err := ma.eval(body, b.L, env, depth)
+	if err != nil {
+		return Null{}, err
+	}
+	r, err := ma.eval(body, b.R, env, depth)
+	if err != nil {
+		return Null{}, err
+	}
+	boolInt := func(cond bool) Value {
+		if cond {
+			return Int{V: 1}
+		}
+		return Int{V: 0}
+	}
+	// String concatenation keeps taint.
+	if b.Op == jimple.OpAdd {
+		if ls, ok := l.(Str); ok {
+			return Str{V: ls.V + stringify(r), Taint: ls.Taint || r.Tainted()}, nil
+		}
+		if rs, ok := r.(Str); ok {
+			return Str{V: stringify(l) + rs.V, Taint: rs.Taint || l.Tainted()}, nil
+		}
+	}
+	li, lInt := l.(Int)
+	ri, rInt := r.(Int)
+	if lInt && rInt {
+		switch b.Op {
+		case jimple.OpAdd:
+			return Int{V: li.V + ri.V}, nil
+		case jimple.OpSub:
+			return Int{V: li.V - ri.V}, nil
+		case jimple.OpMul:
+			return Int{V: li.V * ri.V}, nil
+		case jimple.OpDiv:
+			if ri.V == 0 {
+				return Null{}, errThrown
+			}
+			return Int{V: li.V / ri.V}, nil
+		case jimple.OpEq:
+			return boolInt(li.V == ri.V), nil
+		case jimple.OpNe:
+			return boolInt(li.V != ri.V), nil
+		case jimple.OpLt:
+			return boolInt(li.V < ri.V), nil
+		case jimple.OpLe:
+			return boolInt(li.V <= ri.V), nil
+		case jimple.OpGt:
+			return boolInt(li.V > ri.V), nil
+		case jimple.OpGe:
+			return boolInt(li.V >= ri.V), nil
+		case jimple.OpAnd:
+			return boolInt(li.V != 0 && ri.V != 0), nil
+		case jimple.OpOr:
+			return boolInt(li.V != 0 || ri.V != 0), nil
+		}
+	}
+	switch b.Op {
+	case jimple.OpEq:
+		return boolInt(refEqual(l, r)), nil
+	case jimple.OpNe:
+		return boolInt(!refEqual(l, r)), nil
+	case jimple.OpAnd:
+		return boolInt(truthy(l) && truthy(r)), nil
+	case jimple.OpOr:
+		return boolInt(truthy(l) || truthy(r)), nil
+	default:
+		return Int{V: 0}, nil
+	}
+}
+
+func refEqual(l, r Value) bool {
+	if isNull(l) && isNull(r) {
+		return true
+	}
+	if ls, ok := l.(Str); ok {
+		rs, ok := r.(Str)
+		return ok && ls.V == rs.V
+	}
+	if li, ok := l.(Int); ok {
+		ri, ok := r.(Int)
+		return ok && li.V == ri.V
+	}
+	return l == r // pointer identity for objects/arrays
+}
+
+func stringify(v Value) string {
+	switch t := v.(type) {
+	case Str:
+		return t.V
+	case Int:
+		return fmt.Sprintf("%d", t.V)
+	case nil:
+		return "null"
+	default:
+		return t.String()
+	}
+}

@@ -1,0 +1,249 @@
+package interp
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"tabby/internal/corpus"
+	"tabby/internal/java"
+	"tabby/internal/javasrc"
+	"tabby/internal/jimple"
+	"tabby/internal/sinks"
+)
+
+// compileInterp compiles rt + source and returns the program.
+func compileInterp(t *testing.T, src string) *jimple.Program {
+	t.Helper()
+	prog, err := javasrc.CompileArchives([]javasrc.ArchiveSource{
+		corpus.RT(),
+		{Name: "t.jar", Files: []javasrc.File{{Name: "t.java", Source: src}}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return prog
+}
+
+// runMethod executes class#name(Object...) with the given receiver.
+func runMethod(t *testing.T, prog *jimple.Program, key java.MethodKey, recv Value, args ...Value) (Value, error) {
+	t.Helper()
+	m := prog.Hierarchy.MethodByKey(key)
+	if m == nil {
+		t.Fatalf("method %s not found", key)
+	}
+	ma := newMachine(prog, sinks.Default(), &Obj{Class: "t.Dummy", Taint: true})
+	return ma.call(m, recv, args, 0)
+}
+
+func TestMachineArithmeticAndLoops(t *testing.T) {
+	prog := compileInterp(t, `
+package t;
+public class Math {
+    public static int sum(int n) {
+        int acc = 0;
+        while (n > 0) { acc = acc + n; n = n - 1; }
+        return acc;
+    }
+    public static int pick(int n) {
+        if (n < 0) { return 0 - 1; } else if (n == 0) { return 0; }
+        return 1;
+    }
+}
+`)
+	v, err := runMethod(t, prog, "t.Math#sum(int)", Null{}, Int{V: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, ok := v.(Int); !ok || got.V != 15 {
+		t.Errorf("sum(5) = %v", v)
+	}
+	for _, tc := range []struct{ in, want int64 }{{-3, -1}, {0, 0}, {9, 1}} {
+		v, err := runMethod(t, prog, "t.Math#pick(int)", Null{}, Int{V: tc.in})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got, ok := v.(Int); !ok || got.V != tc.want {
+			t.Errorf("pick(%d) = %v, want %d", tc.in, v, tc.want)
+		}
+	}
+}
+
+func TestMachineFieldsArraysStatics(t *testing.T) {
+	prog := compileInterp(t, `
+package t;
+public class Box {
+    public Object v;
+    public static Object cache;
+    public Object roundTrip(Object x) {
+        this.v = x;
+        Object[] arr = new Object[2];
+        arr[1] = this.v;
+        Box.cache = arr[1];
+        return Box.cache;
+    }
+}
+`)
+	recv := &Obj{Class: "t.Box"}
+	in := Str{V: "payload", Taint: true}
+	v, err := runMethod(t, prog, "t.Box#roundTrip(java.lang.Object)", recv, in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, ok := v.(Str)
+	if !ok || out.V != "payload" || !out.Taint {
+		t.Errorf("roundTrip = %v", v)
+	}
+	if got := recv.Field("v"); got != in {
+		t.Errorf("field store lost: %v", got)
+	}
+}
+
+func TestMachineStringConcatTaint(t *testing.T) {
+	prog := compileInterp(t, `
+package t;
+public class Cat {
+    public static String greet(String name) { return "hello " + name; }
+}
+`)
+	v, err := runMethod(t, prog, "t.Cat#greet(java.lang.String)", Null{}, Str{V: "x", Taint: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, ok := v.(Str)
+	if !ok || s.V != "hello x" || !s.Taint {
+		t.Errorf("greet = %v", v)
+	}
+	// Untainted input stays untainted.
+	v, _ = runMethod(t, prog, "t.Cat#greet(java.lang.String)", Null{}, Str{V: "x"})
+	if v.(Str).Taint {
+		t.Error("concat invented taint")
+	}
+}
+
+func TestMachineNPEAndThrow(t *testing.T) {
+	prog := compileInterp(t, `
+package t;
+public class Bad {
+    public Object o;
+    public static int boom(t.Bad b) {
+        return b.o.hashCode();
+    }
+    public static void always() {
+        throw new RuntimeException("x");
+    }
+}
+`)
+	_, err := runMethod(t, prog, "t.Bad#boom(t.Bad)", Null{}, Null{})
+	if !errors.Is(err, errNPE) {
+		t.Errorf("boom(null) err = %v, want NPE", err)
+	}
+	_, err = runMethod(t, prog, "t.Bad#always()", Null{})
+	if !errors.Is(err, errThrown) {
+		t.Errorf("always() err = %v, want thrown", err)
+	}
+}
+
+func TestMachineStepBudget(t *testing.T) {
+	prog := compileInterp(t, `
+package t;
+public class Spin {
+    public static void forever() {
+        int i = 1;
+        while (i > 0) { i = i + 1; }
+    }
+}
+`)
+	m := prog.Hierarchy.MethodByKey("t.Spin#forever()")
+	ma := newMachine(prog, sinks.Default(), &Obj{Class: "t.Dummy"})
+	ma.maxSteps = 1000
+	_, err := ma.call(m, Null{}, nil, 0)
+	if !errors.Is(err, errSteps) {
+		t.Errorf("err = %v, want step exhaustion", err)
+	}
+}
+
+func TestMachineInstanceOfAndDispatch(t *testing.T) {
+	prog := compileInterp(t, `
+package t;
+public class Base { public String kind() { return "base"; } }
+public class Derived extends Base { public String kind() { return "derived"; } }
+public class Driver {
+    public static String probe(t.Base b) {
+        if (b instanceof t.Derived) {
+            return "isa-" + b.kind();
+        }
+        return b.kind();
+    }
+}
+`)
+	v, err := runMethod(t, prog, "t.Driver#probe(t.Base)", Null{}, &Obj{Class: "t.Derived"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s, ok := v.(Str); !ok || s.V != "isa-derived" {
+		t.Errorf("probe(Derived) = %v", v)
+	}
+	v, err = runMethod(t, prog, "t.Driver#probe(t.Base)", Null{}, &Obj{Class: "t.Base"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s, ok := v.(Str); !ok || s.V != "base" {
+		t.Errorf("probe(Base) = %v", v)
+	}
+}
+
+func TestMachineStaticChannel(t *testing.T) {
+	// Cross-method static state must flow (the Clojure-style GI-only
+	// chain is dynamically real).
+	prog := compileInterp(t, `
+package t;
+public class Reg {
+    static String slot;
+    public static void store(String c) { Reg.slot = c; }
+    public static String load() { return Reg.slot; }
+    public static String channel(String c) {
+        store(c);
+        return load();
+    }
+}
+`)
+	v, err := runMethod(t, prog, "t.Reg#channel(java.lang.String)", Null{}, Str{V: "data", Taint: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s, ok := v.(Str); !ok || !s.Taint || s.V != "data" {
+		t.Errorf("channel = %v", v)
+	}
+}
+
+func TestValueStringsAndHelpers(t *testing.T) {
+	vals := []struct {
+		v    Value
+		want string
+	}{
+		{Null{}, "null"},
+		{Int{V: 3}, "3"},
+		{Str{V: "x"}, `"x"`},
+		{Str{V: "x", Taint: true}, `"x"*`},
+		{&Obj{Class: "a.B", Taint: true}, "a.B{}*"},
+		{&Arr{Elems: []Value{Int{V: 1}, Null{}}}, "[1,null]"},
+		{ClassRef{Name: "a.B"}, "a.B.class"},
+		{MethodRef{Owner: "a.B", Name: "m"}, "Method(a.B.m)"},
+	}
+	for _, tc := range vals {
+		if got := tc.v.String(); got != tc.want {
+			t.Errorf("String() = %q, want %q", got, tc.want)
+		}
+	}
+	if truthy(Null{}) || !truthy(Int{V: 2}) || !truthy(Str{V: ""}) {
+		t.Error("truthy misbehaves")
+	}
+	arr := &Arr{Elems: []Value{Str{V: "x", Taint: true}}}
+	if !arr.Tainted() {
+		t.Error("array taint must propagate from elements")
+	}
+	if !strings.Contains((&Obj{Class: "c.D"}).String(), "c.D") {
+		t.Error("obj string")
+	}
+}

@@ -1,0 +1,155 @@
+package interp
+
+import (
+	"tabby/internal/java"
+)
+
+// builder constructs candidate payload object graphs. Field assignment
+// backtracks over candidate classes: the classes appearing in the chain
+// first (they are what the chain's dispatch steps need), then concrete
+// serializable subtypes from the hierarchy.
+type builder struct {
+	h *java.Hierarchy
+	// hints are chain classes in order of appearance.
+	hints []string
+	// maxVariants caps the per-type variant fan-out.
+	maxVariants int
+	// maxObjects caps per-object field-combination fan-out.
+	maxObjects int
+	// maxDepth caps object-graph depth.
+	maxDepth int
+}
+
+func newBuilder(h *java.Hierarchy, hints []string) *builder {
+	return &builder{h: h, hints: hints, maxVariants: 5, maxObjects: 12, maxDepth: 6}
+}
+
+// variants returns candidate values for a declared type, most promising
+// first. Every reference value is attacker-built, hence tainted.
+func (b *builder) variants(t java.Type, depth int, avoid string) []Value {
+	switch t.Kind {
+	case java.KindClass:
+		if t.Name == "java.lang.String" {
+			return []Value{Str{V: "attacker-data", Taint: true}}
+		}
+		var out []Value
+		if t.Name == java.ObjectClass {
+			// A tainted string is the cheapest useful Object.
+			out = append(out, Str{V: "attacker-data", Taint: true})
+		}
+		for _, cand := range b.candidatesFor(t.Name, avoid) {
+			out = append(out, b.objVariants(cand, depth)...)
+			if len(out) >= b.maxVariants {
+				break
+			}
+		}
+		if len(out) == 0 {
+			out = append(out, &Obj{Class: t.Name, Taint: true})
+		}
+		if len(out) > b.maxVariants {
+			out = out[:b.maxVariants]
+		}
+		return out
+	case java.KindArray:
+		elemVariants := b.variants(*t.Elem, depth-1, avoid)
+		var out []Value
+		for _, ev := range elemVariants {
+			out = append(out, &Arr{Elems: []Value{ev, ev}, Taint: true})
+			if len(out) >= 2 {
+				break
+			}
+		}
+		if len(out) == 0 {
+			out = append(out, &Arr{Elems: []Value{Null{}, Null{}}, Taint: true})
+		}
+		return out
+	default:
+		return []Value{Int{V: 7}}
+	}
+}
+
+// candidatesFor lists concrete classes assignable to typeName: chain
+// hints first, then hierarchy subtypes, then the type itself.
+func (b *builder) candidatesFor(typeName, avoid string) []string {
+	seen := make(map[string]bool)
+	var out []string
+	add := func(name string) {
+		if seen[name] || name == java.ObjectClass || name == avoid {
+			return
+		}
+		c := b.h.Class(name)
+		if c == nil || c.IsInterface() || c.Modifiers.Has(java.ModAbstract) {
+			return
+		}
+		if !b.h.IsSubtypeOf(name, typeName) {
+			return
+		}
+		seen[name] = true
+		out = append(out, name)
+	}
+	for _, hint := range b.hints {
+		add(hint)
+	}
+	add(typeName)
+	if typeName != java.ObjectClass {
+		for _, sub := range b.h.Subtypes(typeName) {
+			add(sub)
+			if len(out) >= 6 {
+				break
+			}
+		}
+	}
+	return out
+}
+
+// objVariants builds candidate instances of class, varying the fields
+// with multiple candidate values (bounded cartesian product).
+func (b *builder) objVariants(class string, depth int) []Value {
+	if depth <= 0 {
+		return []Value{&Obj{Class: class, Taint: true}}
+	}
+	type fieldChoice struct {
+		name     string
+		variants []Value
+	}
+	var fields []fieldChoice
+	// Collect fields through the superclass chain.
+	for _, owner := range append([]string{class}, b.h.Superclasses(class)...) {
+		c := b.h.Class(owner)
+		if c == nil {
+			continue
+		}
+		for _, f := range c.Fields {
+			if f.Modifiers.Has(java.ModStatic) {
+				continue
+			}
+			fields = append(fields, fieldChoice{name: f.Name, variants: b.variants(f.Type, depth-1, class)})
+		}
+	}
+	combos := []map[string]Value{{}}
+	for _, fc := range fields {
+		var next []map[string]Value
+		for _, base := range combos {
+			for _, v := range fc.variants {
+				m := make(map[string]Value, len(base)+1)
+				for k, bv := range base {
+					m[k] = bv
+				}
+				m[fc.name] = v
+				next = append(next, m)
+				if len(next) >= b.maxObjects {
+					break
+				}
+			}
+			if len(next) >= b.maxObjects {
+				break
+			}
+		}
+		combos = next
+	}
+	out := make([]Value, 0, len(combos))
+	for _, fieldsMap := range combos {
+		out = append(out, &Obj{Class: class, Fields: fieldsMap, Taint: true})
+	}
+	return out
+}

@@ -1,0 +1,245 @@
+package java
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Modifier is a bit set of Java declaration modifiers.
+type Modifier uint16
+
+// Modifier flags. Values mirror the JVM access-flag spirit but are not
+// binary compatible with class files; they only need to round-trip through
+// this model.
+const (
+	ModPublic Modifier = 1 << iota
+	ModPrivate
+	ModProtected
+	ModStatic
+	ModFinal
+	ModAbstract
+	ModNative
+	ModSynchronized
+	ModTransient
+	ModVolatile
+	ModInterface
+)
+
+// Has reports whether all bits of flag are set.
+func (m Modifier) Has(flag Modifier) bool { return m&flag == flag }
+
+// String renders the modifier set in canonical Java order.
+func (m Modifier) String() string {
+	var parts []string
+	for _, e := range []struct {
+		flag Modifier
+		name string
+	}{
+		{ModPublic, "public"},
+		{ModPrivate, "private"},
+		{ModProtected, "protected"},
+		{ModStatic, "static"},
+		{ModFinal, "final"},
+		{ModAbstract, "abstract"},
+		{ModNative, "native"},
+		{ModSynchronized, "synchronized"},
+		{ModTransient, "transient"},
+		{ModVolatile, "volatile"},
+		{ModInterface, "interface"},
+	} {
+		if m.Has(e.flag) {
+			parts = append(parts, e.name)
+		}
+	}
+	return strings.Join(parts, " ")
+}
+
+// Field is a class field declaration.
+type Field struct {
+	Name      string
+	Type      Type
+	Modifiers Modifier
+}
+
+// Method is a method declaration. Bodies are kept separately (package
+// jimple) keyed by the method's Key, so that the class model stays free of
+// IR dependencies — the same split Soot uses between SootMethod and Body.
+type Method struct {
+	ClassName string
+	Name      string
+	Params    []Type
+	Return    Type
+	Modifiers Modifier
+}
+
+// MethodKey uniquely identifies a method: "class#name(paramTypes)".
+type MethodKey string
+
+// Key returns the canonical identity of the method.
+func (m *Method) Key() MethodKey {
+	return MakeMethodKey(m.ClassName, m.Name, m.Params)
+}
+
+// MakeMethodKey builds the canonical method identity string.
+func MakeMethodKey(class, name string, params []Type) MethodKey {
+	var sb strings.Builder
+	sb.WriteString(class)
+	sb.WriteByte('#')
+	sb.WriteString(name)
+	sb.WriteByte('(')
+	for i, p := range params {
+		if i > 0 {
+			sb.WriteByte(',')
+		}
+		sb.WriteString(p.String())
+	}
+	sb.WriteByte(')')
+	return MethodKey(sb.String())
+}
+
+// SubSignature is the dispatch identity of a method within a class:
+// name plus parameter types (Java ignores the return type for overriding
+// in source; we follow suit, matching the paper's alias definition of
+// "same method name … and number of method parameters").
+func (m *Method) SubSignature() string {
+	k := string(MakeMethodKey("", m.Name, m.Params))
+	return strings.TrimPrefix(k, "#")
+}
+
+// IsAbstract reports whether the method has no concrete body.
+func (m *Method) IsAbstract() bool {
+	return m.Modifiers.Has(ModAbstract) || m.Modifiers.Has(ModNative)
+}
+
+// IsStatic reports whether the method is static.
+func (m *Method) IsStatic() bool { return m.Modifiers.Has(ModStatic) }
+
+// String renders the method as class#name(params).
+func (m *Method) String() string { return string(m.Key()) }
+
+// Class is a class or interface declaration.
+type Class struct {
+	Name       string // fully qualified
+	Modifiers  Modifier
+	Super      string   // fully qualified superclass; "" only for java.lang.Object
+	Interfaces []string // fully qualified implemented/extended interfaces
+	Fields     []*Field
+	Methods    []*Method
+	Archive    string // name of the archive ("jar") the class came from
+	Phantom    bool   // true when the class was referenced but never defined
+}
+
+// IsInterface reports whether the declaration is an interface.
+func (c *Class) IsInterface() bool { return c.Modifiers.Has(ModInterface) }
+
+// Package returns the package portion of the class name ("" for the
+// default package).
+func (c *Class) Package() string {
+	i := strings.LastIndexByte(c.Name, '.')
+	if i < 0 {
+		return ""
+	}
+	return c.Name[:i]
+}
+
+// SimpleName returns the class name without its package.
+func (c *Class) SimpleName() string {
+	i := strings.LastIndexByte(c.Name, '.')
+	return c.Name[i+1:]
+}
+
+// FieldByName returns the declared field with the given name, or nil.
+func (c *Class) FieldByName(name string) *Field {
+	for _, f := range c.Fields {
+		if f.Name == name {
+			return f
+		}
+	}
+	return nil
+}
+
+// MethodBySubSignature returns the declared method with the given
+// sub-signature, or nil.
+func (c *Class) MethodBySubSignature(sub string) *Method {
+	for _, m := range c.Methods {
+		if m.SubSignature() == sub {
+			return m
+		}
+	}
+	return nil
+}
+
+// MethodsByName returns all declared methods with the given name.
+func (c *Class) MethodsByName(name string) []*Method {
+	var out []*Method
+	for _, m := range c.Methods {
+		if m.Name == name {
+			out = append(out, m)
+		}
+	}
+	return out
+}
+
+// AddMethod appends a method declaration, fixing up its ClassName.
+func (c *Class) AddMethod(m *Method) *Method {
+	m.ClassName = c.Name
+	c.Methods = append(c.Methods, m)
+	return m
+}
+
+// AddField appends a field declaration.
+func (c *Class) AddField(f *Field) *Field {
+	c.Fields = append(c.Fields, f)
+	return f
+}
+
+// SortedMethodKeys returns the keys of all declared methods in sorted
+// order, for deterministic iteration.
+func (c *Class) SortedMethodKeys() []MethodKey {
+	keys := make([]MethodKey, 0, len(c.Methods))
+	for _, m := range c.Methods {
+		keys = append(keys, m.Key())
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	return keys
+}
+
+// Validate performs basic well-formedness checks on the declaration.
+func (c *Class) Validate() error {
+	if c.Name == "" {
+		return fmt.Errorf("class with empty name")
+	}
+	if c.Super == "" && c.Name != "java.lang.Object" && !c.IsInterface() {
+		return fmt.Errorf("class %s: missing superclass", c.Name)
+	}
+	seen := make(map[string]bool, len(c.Methods))
+	for _, m := range c.Methods {
+		if m.ClassName != c.Name {
+			return fmt.Errorf("class %s: method %s claims class %s", c.Name, m.Name, m.ClassName)
+		}
+		sub := m.SubSignature()
+		if seen[sub] {
+			return fmt.Errorf("class %s: duplicate method %s", c.Name, sub)
+		}
+		seen[sub] = true
+	}
+	fseen := make(map[string]bool, len(c.Fields))
+	for _, f := range c.Fields {
+		if fseen[f.Name] {
+			return fmt.Errorf("class %s: duplicate field %s", c.Name, f.Name)
+		}
+		fseen[f.Name] = true
+	}
+	return nil
+}
+
+// Archive is a named bundle of classes — the model's stand-in for a jar
+// file. Components and development scenes are sets of archives.
+type Archive struct {
+	Name    string
+	Classes []string // fully qualified class names in deterministic order
+	// CodeBytes approximates the bytecode size of the archive; used by the
+	// Table VIII scaling experiment to report "code amount (MB)".
+	CodeBytes int64
+}

@@ -1,0 +1,346 @@
+package java
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Well-known class names used throughout the analysis.
+const (
+	ObjectClass         = "java.lang.Object"
+	SerializableIface   = "java.io.Serializable"
+	ExternalizableIface = "java.io.Externalizable"
+)
+
+// Hierarchy indexes a closed set of classes and answers the structural
+// questions the CPG builder and the controllability analysis need:
+// super/subtype relations, virtual-dispatch resolution, field lookup, and
+// method-alias candidates (paper §III-B2, Formula 1).
+//
+// References to classes that were never defined are materialized as
+// phantom classes (same policy as Soot) so analysis never dereferences a
+// missing class.
+type Hierarchy struct {
+	classes map[string]*Class
+	// subclasses maps a class name to its direct subclasses; implementers
+	// maps an interface name to classes/interfaces that directly list it.
+	subclasses   map[string][]string
+	implementers map[string][]string
+	serializable map[string]bool // memo for IsSerializable
+}
+
+// NewHierarchy builds a hierarchy over the given classes. The bootstrap
+// classes (java.lang.Object, Serializable, Externalizable) are created
+// automatically when absent. Duplicate class names are an error.
+func NewHierarchy(classes []*Class) (*Hierarchy, error) {
+	h := &Hierarchy{
+		classes:      make(map[string]*Class, len(classes)+8),
+		subclasses:   make(map[string][]string),
+		implementers: make(map[string][]string),
+		serializable: make(map[string]bool),
+	}
+	for _, c := range classes {
+		if err := c.Validate(); err != nil {
+			return nil, fmt.Errorf("hierarchy: %w", err)
+		}
+		if _, dup := h.classes[c.Name]; dup {
+			return nil, fmt.Errorf("hierarchy: duplicate class %s", c.Name)
+		}
+		h.classes[c.Name] = c
+	}
+	h.ensureBootstrap()
+	// Materialize phantom classes for any dangling references, then build
+	// the reverse indexes.
+	for _, name := range h.SortedClassNames() {
+		c := h.classes[name]
+		if c.Super != "" {
+			h.ensurePhantom(c.Super, false)
+		}
+		for _, i := range c.Interfaces {
+			h.ensurePhantom(i, true)
+		}
+	}
+	for _, name := range h.SortedClassNames() {
+		c := h.classes[name]
+		if c.Super != "" {
+			h.subclasses[c.Super] = append(h.subclasses[c.Super], c.Name)
+		}
+		for _, i := range c.Interfaces {
+			h.implementers[i] = append(h.implementers[i], c.Name)
+		}
+	}
+	return h, nil
+}
+
+func (h *Hierarchy) ensureBootstrap() {
+	if _, ok := h.classes[ObjectClass]; !ok {
+		obj := &Class{Name: ObjectClass, Modifiers: ModPublic, Archive: "rt"}
+		obj.AddMethod(&Method{Name: "hashCode", Return: Int, Modifiers: ModPublic})
+		obj.AddMethod(&Method{Name: "equals", Params: []Type{ObjectType}, Return: Boolean, Modifiers: ModPublic})
+		obj.AddMethod(&Method{Name: "toString", Return: StringType, Modifiers: ModPublic})
+		h.classes[ObjectClass] = obj
+	}
+	for _, iface := range []string{SerializableIface, ExternalizableIface} {
+		if _, ok := h.classes[iface]; !ok {
+			h.classes[iface] = &Class{
+				Name:      iface,
+				Modifiers: ModPublic | ModInterface | ModAbstract,
+				Archive:   "rt",
+			}
+		}
+	}
+}
+
+func (h *Hierarchy) ensurePhantom(name string, iface bool) {
+	if _, ok := h.classes[name]; ok {
+		return
+	}
+	mods := ModPublic
+	super := ObjectClass
+	if iface {
+		mods |= ModInterface | ModAbstract
+		super = ""
+	}
+	h.classes[name] = &Class{Name: name, Modifiers: mods, Super: super, Phantom: true}
+}
+
+// Class returns the class with the given name, or nil when unknown.
+func (h *Hierarchy) Class(name string) *Class { return h.classes[name] }
+
+// NumClasses returns the number of classes (including phantoms).
+func (h *Hierarchy) NumClasses() int { return len(h.classes) }
+
+// SortedClassNames returns all class names in sorted order for
+// deterministic iteration.
+func (h *Hierarchy) SortedClassNames() []string {
+	names := make([]string, 0, len(h.classes))
+	for n := range h.classes {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Superclasses returns the superclass chain of the class, nearest first,
+// excluding the class itself.
+func (h *Hierarchy) Superclasses(name string) []string {
+	var out []string
+	seen := map[string]bool{name: true}
+	c := h.classes[name]
+	for c != nil && c.Super != "" && !seen[c.Super] {
+		out = append(out, c.Super)
+		seen[c.Super] = true
+		c = h.classes[c.Super]
+	}
+	return out
+}
+
+// AllInterfaces returns every interface transitively implemented or
+// extended by the class, in deterministic order.
+func (h *Hierarchy) AllInterfaces(name string) []string {
+	seen := make(map[string]bool)
+	var out []string
+	var visit func(n string)
+	visit = func(n string) {
+		c := h.classes[n]
+		if c == nil {
+			return
+		}
+		for _, i := range c.Interfaces {
+			if !seen[i] {
+				seen[i] = true
+				out = append(out, i)
+				visit(i)
+			}
+		}
+		if c.Super != "" {
+			visit(c.Super)
+		}
+	}
+	visit(name)
+	sort.Strings(out)
+	return out
+}
+
+// IsSubtypeOf reports whether sub is the same as, extends, or implements
+// super (class or interface).
+func (h *Hierarchy) IsSubtypeOf(sub, super string) bool {
+	if sub == super {
+		return true
+	}
+	if super == ObjectClass {
+		return h.classes[sub] != nil
+	}
+	for _, s := range h.Superclasses(sub) {
+		if s == super {
+			return true
+		}
+	}
+	for _, i := range h.AllInterfaces(sub) {
+		if i == super {
+			return true
+		}
+	}
+	return false
+}
+
+// IsSerializable reports whether the class transitively implements
+// java.io.Serializable or java.io.Externalizable — the precondition for a
+// class to participate in a native-descrialization gadget chain.
+func (h *Hierarchy) IsSerializable(name string) bool {
+	if v, ok := h.serializable[name]; ok {
+		return v
+	}
+	v := h.IsSubtypeOf(name, SerializableIface) || h.IsSubtypeOf(name, ExternalizableIface)
+	h.serializable[name] = v
+	return v
+}
+
+// DirectSubclasses returns the classes whose superclass is name.
+func (h *Hierarchy) DirectSubclasses(name string) []string {
+	out := append([]string(nil), h.subclasses[name]...)
+	sort.Strings(out)
+	return out
+}
+
+// DirectImplementers returns the classes/interfaces that directly list
+// name among their interfaces.
+func (h *Hierarchy) DirectImplementers(name string) []string {
+	out := append([]string(nil), h.implementers[name]...)
+	sort.Strings(out)
+	return out
+}
+
+// Subtypes returns every class transitively below name (via extends or
+// implements), excluding name itself.
+func (h *Hierarchy) Subtypes(name string) []string {
+	seen := make(map[string]bool)
+	var out []string
+	var visit func(n string)
+	visit = func(n string) {
+		for _, s := range append(h.subclasses[n], h.implementers[n]...) {
+			if !seen[s] {
+				seen[s] = true
+				out = append(out, s)
+				visit(s)
+			}
+		}
+	}
+	visit(name)
+	sort.Strings(out)
+	return out
+}
+
+// ResolveMethod performs class-hierarchy method lookup: the declared
+// method with the given sub-signature in class name or its nearest
+// superclass. Returns nil when no declaration exists anywhere.
+func (h *Hierarchy) ResolveMethod(name, sub string) *Method {
+	c := h.classes[name]
+	for c != nil {
+		if m := c.MethodBySubSignature(sub); m != nil {
+			return m
+		}
+		if c.Super == "" {
+			// Interfaces bottom out at their super-interfaces, then Object.
+			for _, i := range c.Interfaces {
+				if m := h.ResolveMethod(i, sub); m != nil {
+					return m
+				}
+			}
+			if c.Name != ObjectClass && c.IsInterface() {
+				c = h.classes[ObjectClass]
+				continue
+			}
+			return nil
+		}
+		c = h.classes[c.Super]
+	}
+	return nil
+}
+
+// ResolveField performs field lookup through the superclass chain.
+// Returns the field and its declaring class name, or nil/"".
+func (h *Hierarchy) ResolveField(class, field string) (*Field, string) {
+	c := h.classes[class]
+	for c != nil {
+		if f := c.FieldByName(field); f != nil {
+			return f, c.Name
+		}
+		if c.Super == "" {
+			return nil, ""
+		}
+		c = h.classes[c.Super]
+	}
+	return nil, ""
+}
+
+// DispatchTargets returns the concrete methods a virtual/interface call on
+// (declClass, sub) may dispatch to: the resolved declaration plus every
+// override in the subtype cone. Abstract declarations with no concrete
+// override yield only the overrides. Used by the Method Alias Graph and by
+// baseline call-graph construction.
+func (h *Hierarchy) DispatchTargets(declClass, sub string) []*Method {
+	var out []*Method
+	seen := make(map[MethodKey]bool)
+	add := func(m *Method) {
+		if m != nil && !seen[m.Key()] {
+			seen[m.Key()] = true
+			out = append(out, m)
+		}
+	}
+	add(h.ResolveMethod(declClass, sub))
+	for _, s := range h.Subtypes(declClass) {
+		if c := h.classes[s]; c != nil {
+			add(c.MethodBySubSignature(sub))
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Key() < out[j].Key() })
+	return out
+}
+
+// AliasSupers returns the methods that the given method overrides or
+// implements in its direct superclass and interfaces — the targets of
+// ALIAS edges per Formula 1: f_alias(m1, m2) holds when m2's class is a
+// superclass or interface of m1's class and the sub-signatures match.
+func (h *Hierarchy) AliasSupers(m *Method) []*Method {
+	c := h.classes[m.ClassName]
+	if c == nil {
+		return nil
+	}
+	sub := m.SubSignature()
+	var out []*Method
+	seen := make(map[MethodKey]bool)
+	add := func(target *Method) {
+		if target != nil && !seen[target.Key()] {
+			seen[target.Key()] = true
+			out = append(out, target)
+		}
+	}
+	if c.Super != "" {
+		add(h.ResolveMethod(c.Super, sub))
+	}
+	for _, i := range c.Interfaces {
+		add(h.ResolveMethod(i, sub))
+	}
+	// Classes with no explicit super-declaration still alias
+	// Object's method when the sub-signature matches one of Object's
+	// (hashCode/equals/toString) — the URLDNS linchpin.
+	if len(out) == 0 && m.ClassName != ObjectClass {
+		add(h.ResolveMethod(ObjectClass, sub))
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Key() < out[j].Key() })
+	return out
+}
+
+// MethodByKey parses a MethodKey and resolves it to the declared method.
+func (h *Hierarchy) MethodByKey(key MethodKey) *Method {
+	class, name, params, err := SplitMethodKey(key)
+	if err != nil {
+		return nil
+	}
+	c := h.classes[class]
+	if c == nil {
+		return nil
+	}
+	return c.MethodBySubSignature(string(MakeMethodKey("", name, params))[1:])
+}

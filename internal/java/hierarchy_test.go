@@ -1,0 +1,270 @@
+package java
+
+import (
+	"testing"
+)
+
+// buildTestHierarchy assembles a small universe:
+//
+//	Object
+//	  ├─ AbstractMap (abstract)  implements Map
+//	  │    └─ HashMap            implements Serializable  (overrides hashCode? no)
+//	  ├─ URL                     implements Serializable  (overrides hashCode)
+//	  └─ EnumMap  extends AbstractMap, Serializable       (overrides hashCode)
+//	Map (interface)              declares get
+func buildTestHierarchy(t *testing.T) *Hierarchy {
+	t.Helper()
+	mapIface := &Class{
+		Name:      "java.util.Map",
+		Modifiers: ModPublic | ModInterface | ModAbstract,
+	}
+	mapIface.AddMethod(&Method{Name: "get", Params: []Type{ObjectType}, Return: ObjectType, Modifiers: ModPublic | ModAbstract})
+
+	abstractMap := &Class{
+		Name:       "java.util.AbstractMap",
+		Modifiers:  ModPublic | ModAbstract,
+		Super:      ObjectClass,
+		Interfaces: []string{"java.util.Map"},
+	}
+	abstractMap.AddMethod(&Method{Name: "get", Params: []Type{ObjectType}, Return: ObjectType, Modifiers: ModPublic})
+
+	hashMap := &Class{
+		Name:       "java.util.HashMap",
+		Modifiers:  ModPublic,
+		Super:      "java.util.AbstractMap",
+		Interfaces: []string{SerializableIface},
+	}
+	hashMap.AddMethod(&Method{Name: "readObject", Params: []Type{ClassType("java.io.ObjectInputStream")}, Modifiers: ModPrivate, Return: Void})
+	hashMap.AddMethod(&Method{Name: "hash", Params: []Type{ObjectType}, Return: Int, Modifiers: ModStatic})
+	hashMap.AddField(&Field{Name: "table", Type: ArrayOf(ObjectType)})
+
+	url := &Class{
+		Name:       "java.net.URL",
+		Modifiers:  ModPublic | ModFinal,
+		Super:      ObjectClass,
+		Interfaces: []string{SerializableIface},
+	}
+	url.AddMethod(&Method{Name: "hashCode", Return: Int, Modifiers: ModPublic})
+
+	enumMap := &Class{
+		Name:       "java.util.EnumMap",
+		Modifiers:  ModPublic,
+		Super:      "java.util.AbstractMap",
+		Interfaces: []string{SerializableIface},
+	}
+	enumMap.AddMethod(&Method{Name: "hashCode", Return: Int, Modifiers: ModPublic})
+
+	h, err := NewHierarchy([]*Class{mapIface, abstractMap, hashMap, url, enumMap})
+	if err != nil {
+		t.Fatalf("NewHierarchy: %v", err)
+	}
+	return h
+}
+
+func TestHierarchyBootstrap(t *testing.T) {
+	h, err := NewHierarchy(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.Class(ObjectClass) == nil {
+		t.Fatal("java.lang.Object must be bootstrapped")
+	}
+	if h.Class(SerializableIface) == nil || !h.Class(SerializableIface).IsInterface() {
+		t.Fatal("java.io.Serializable must be bootstrapped as an interface")
+	}
+	if h.ResolveMethod(ObjectClass, "hashCode()") == nil {
+		t.Error("Object.hashCode must resolve")
+	}
+}
+
+func TestHierarchySubtyping(t *testing.T) {
+	h := buildTestHierarchy(t)
+	tests := []struct {
+		sub, super string
+		want       bool
+	}{
+		{"java.util.HashMap", ObjectClass, true},
+		{"java.util.HashMap", "java.util.AbstractMap", true},
+		{"java.util.HashMap", "java.util.Map", true},
+		{"java.util.HashMap", SerializableIface, true},
+		{"java.util.AbstractMap", "java.util.HashMap", false},
+		{"java.net.URL", "java.util.Map", false},
+		{"java.util.EnumMap", "java.util.Map", true},
+		{"java.util.Map", "java.util.Map", true},
+	}
+	for _, tt := range tests {
+		if got := h.IsSubtypeOf(tt.sub, tt.super); got != tt.want {
+			t.Errorf("IsSubtypeOf(%s, %s) = %v, want %v", tt.sub, tt.super, got, tt.want)
+		}
+	}
+}
+
+func TestHierarchySerializable(t *testing.T) {
+	h := buildTestHierarchy(t)
+	for _, name := range []string{"java.util.HashMap", "java.net.URL", "java.util.EnumMap"} {
+		if !h.IsSerializable(name) {
+			t.Errorf("%s must be serializable", name)
+		}
+	}
+	if h.IsSerializable("java.util.AbstractMap") {
+		t.Error("AbstractMap is not serializable")
+	}
+	// Memoized second call must agree.
+	if !h.IsSerializable("java.util.HashMap") {
+		t.Error("memoized IsSerializable changed its answer")
+	}
+}
+
+func TestHierarchyResolveMethod(t *testing.T) {
+	h := buildTestHierarchy(t)
+	// HashMap does not declare hashCode: resolution walks up to Object.
+	m := h.ResolveMethod("java.util.HashMap", "hashCode()")
+	if m == nil || m.ClassName != ObjectClass {
+		t.Fatalf("HashMap.hashCode resolves to %v, want Object's", m)
+	}
+	// URL declares its own hashCode.
+	m = h.ResolveMethod("java.net.URL", "hashCode()")
+	if m == nil || m.ClassName != "java.net.URL" {
+		t.Fatalf("URL.hashCode resolves to %v, want URL's", m)
+	}
+	// get on HashMap resolves through AbstractMap.
+	m = h.ResolveMethod("java.util.HashMap", "get(java.lang.Object)")
+	if m == nil || m.ClassName != "java.util.AbstractMap" {
+		t.Fatalf("HashMap.get resolves to %v, want AbstractMap's", m)
+	}
+	// Interface resolution: Map.get resolves on the interface itself.
+	m = h.ResolveMethod("java.util.Map", "get(java.lang.Object)")
+	if m == nil || m.ClassName != "java.util.Map" {
+		t.Fatalf("Map.get resolves to %v", m)
+	}
+	if h.ResolveMethod("java.util.HashMap", "nonexistent()") != nil {
+		t.Error("nonexistent method must not resolve")
+	}
+}
+
+func TestHierarchyDispatchTargets(t *testing.T) {
+	h := buildTestHierarchy(t)
+	// A call to Object.hashCode may dispatch to Object, URL or EnumMap
+	// implementations — the polymorphism that powers URLDNS (§III-B2).
+	targets := h.DispatchTargets(ObjectClass, "hashCode()")
+	got := make(map[string]bool, len(targets))
+	for _, m := range targets {
+		got[m.ClassName] = true
+	}
+	for _, want := range []string{ObjectClass, "java.net.URL", "java.util.EnumMap"} {
+		if !got[want] {
+			t.Errorf("DispatchTargets(Object.hashCode) missing %s (got %v)", want, got)
+		}
+	}
+	// A call to Map.get may dispatch to AbstractMap.get.
+	targets = h.DispatchTargets("java.util.Map", "get(java.lang.Object)")
+	foundAbstract := false
+	for _, m := range targets {
+		if m.ClassName == "java.util.AbstractMap" {
+			foundAbstract = true
+		}
+	}
+	if !foundAbstract {
+		t.Error("DispatchTargets(Map.get) must include AbstractMap.get")
+	}
+}
+
+func TestHierarchyAliasSupers(t *testing.T) {
+	h := buildTestHierarchy(t)
+	// URL.hashCode aliases Object.hashCode (Formula 1).
+	url := h.Class("java.net.URL").MethodBySubSignature("hashCode()")
+	supers := h.AliasSupers(url)
+	if len(supers) != 1 || supers[0].ClassName != ObjectClass {
+		t.Fatalf("AliasSupers(URL.hashCode) = %v, want [Object.hashCode]", supers)
+	}
+	// AbstractMap.get aliases Map.get.
+	am := h.Class("java.util.AbstractMap").MethodBySubSignature("get(java.lang.Object)")
+	supers = h.AliasSupers(am)
+	if len(supers) != 1 || supers[0].ClassName != "java.util.Map" {
+		t.Fatalf("AliasSupers(AbstractMap.get) = %v, want [Map.get]", supers)
+	}
+	// HashMap.readObject aliases nothing (no super declares it).
+	ro := h.Class("java.util.HashMap").MethodBySubSignature("readObject(java.io.ObjectInputStream)")
+	if supers = h.AliasSupers(ro); len(supers) != 0 {
+		t.Fatalf("AliasSupers(HashMap.readObject) = %v, want none", supers)
+	}
+}
+
+func TestHierarchyPhantom(t *testing.T) {
+	c := &Class{Name: "a.B", Modifiers: ModPublic, Super: "missing.Super", Interfaces: []string{"missing.Iface"}}
+	h, err := NewHierarchy([]*Class{c})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sup := h.Class("missing.Super")
+	if sup == nil || !sup.Phantom {
+		t.Fatal("missing superclass must become a phantom class")
+	}
+	ifc := h.Class("missing.Iface")
+	if ifc == nil || !ifc.Phantom || !ifc.IsInterface() {
+		t.Fatal("missing interface must become a phantom interface")
+	}
+	if !h.IsSubtypeOf("a.B", "missing.Super") || !h.IsSubtypeOf("a.B", "missing.Iface") {
+		t.Error("subtyping must see phantoms")
+	}
+}
+
+func TestHierarchyDuplicateClass(t *testing.T) {
+	a := &Class{Name: "dup.C", Modifiers: ModPublic, Super: ObjectClass}
+	b := &Class{Name: "dup.C", Modifiers: ModPublic, Super: ObjectClass}
+	if _, err := NewHierarchy([]*Class{a, b}); err == nil {
+		t.Fatal("duplicate class names must be rejected")
+	}
+}
+
+func TestHierarchyResolveField(t *testing.T) {
+	h := buildTestHierarchy(t)
+	f, owner := h.ResolveField("java.util.HashMap", "table")
+	if f == nil || owner != "java.util.HashMap" {
+		t.Fatalf("ResolveField(HashMap.table) = %v/%s", f, owner)
+	}
+	if f, _ := h.ResolveField("java.util.HashMap", "ghost"); f != nil {
+		t.Error("nonexistent field must not resolve")
+	}
+	// EnumMap inherits no field but lookup must traverse supers safely.
+	if f, _ := h.ResolveField("java.util.EnumMap", "table"); f != nil {
+		t.Error("EnumMap does not inherit HashMap.table")
+	}
+}
+
+func TestClassValidate(t *testing.T) {
+	c := &Class{Name: "v.C", Modifiers: ModPublic, Super: ObjectClass}
+	c.AddMethod(&Method{Name: "m", Return: Void})
+	c.AddMethod(&Method{Name: "m", Params: []Type{Int}, Return: Void})
+	if err := c.Validate(); err != nil {
+		t.Fatalf("overloads are legal: %v", err)
+	}
+	c.AddMethod(&Method{Name: "m", Return: Int}) // same sub-signature, differing return
+	if err := c.Validate(); err == nil {
+		t.Fatal("duplicate sub-signature must be rejected")
+	}
+	missing := &Class{Name: "v.D", Modifiers: ModPublic}
+	if err := missing.Validate(); err == nil {
+		t.Fatal("non-Object class without super must be rejected")
+	}
+}
+
+func TestClassAccessors(t *testing.T) {
+	c := &Class{Name: "com.example.Foo", Modifiers: ModPublic, Super: ObjectClass}
+	if c.Package() != "com.example" || c.SimpleName() != "Foo" {
+		t.Errorf("Package/SimpleName = %q/%q", c.Package(), c.SimpleName())
+	}
+	d := &Class{Name: "Bare", Modifiers: ModPublic, Super: ObjectClass}
+	if d.Package() != "" || d.SimpleName() != "Bare" {
+		t.Errorf("default package handling broken: %q/%q", d.Package(), d.SimpleName())
+	}
+	c.AddMethod(&Method{Name: "b", Return: Void})
+	c.AddMethod(&Method{Name: "a", Return: Void})
+	keys := c.SortedMethodKeys()
+	if len(keys) != 2 || keys[0] > keys[1] {
+		t.Errorf("SortedMethodKeys not sorted: %v", keys)
+	}
+	if len(c.MethodsByName("a")) != 1 || len(c.MethodsByName("zz")) != 0 {
+		t.Error("MethodsByName misbehaves")
+	}
+}

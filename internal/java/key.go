@@ -1,0 +1,69 @@
+package java
+
+import (
+	"fmt"
+	"strings"
+)
+
+// SplitMethodKey parses a MethodKey back into class name, method name and
+// parameter types. It is the inverse of MakeMethodKey.
+func SplitMethodKey(key MethodKey) (class, name string, params []Type, err error) {
+	s := string(key)
+	hash := strings.IndexByte(s, '#')
+	if hash < 0 {
+		return "", "", nil, fmt.Errorf("method key %q: missing '#'", s)
+	}
+	open := strings.IndexByte(s[hash:], '(')
+	if open < 0 || !strings.HasSuffix(s, ")") {
+		return "", "", nil, fmt.Errorf("method key %q: malformed parameter list", s)
+	}
+	open += hash
+	class = s[:hash]
+	name = s[hash+1 : open]
+	inner := s[open+1 : len(s)-1]
+	if inner == "" {
+		return class, name, nil, nil
+	}
+	for _, p := range splitParams(inner) {
+		t, perr := ParseType(p)
+		if perr != nil {
+			return "", "", nil, fmt.Errorf("method key %q: %w", s, perr)
+		}
+		params = append(params, t)
+	}
+	return class, name, params, nil
+}
+
+// splitParams splits a comma-separated parameter-type list. Types in this
+// model never contain nested commas, so a flat split suffices.
+func splitParams(s string) []string {
+	parts := strings.Split(s, ",")
+	for i := range parts {
+		parts[i] = strings.TrimSpace(parts[i])
+	}
+	return parts
+}
+
+// MethodKeyClass returns just the class portion of a method key, or ""
+// when the key is malformed.
+func MethodKeyClass(key MethodKey) string {
+	if i := strings.IndexByte(string(key), '#'); i >= 0 {
+		return string(key)[:i]
+	}
+	return ""
+}
+
+// MethodKeyName returns just the method-name portion of a method key, or
+// "" when the key is malformed.
+func MethodKeyName(key MethodKey) string {
+	s := string(key)
+	hash := strings.IndexByte(s, '#')
+	if hash < 0 {
+		return ""
+	}
+	open := strings.IndexByte(s[hash:], '(')
+	if open < 0 {
+		return ""
+	}
+	return s[hash+1 : hash+open]
+}

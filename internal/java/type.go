@@ -1,0 +1,151 @@
+// Package java models the Java class universe that Tabby analyzes:
+// type descriptors, classes, fields, methods, archives ("jar files") and
+// the class hierarchy used for subtype and virtual-dispatch reasoning.
+//
+// It is the Go substitute for the class-table side of the Soot framework
+// (paper §III-B1, "Semantic Information Extraction"). The instruction-level
+// IR lives in package jimple; the frontend that produces both lives in
+// package javasrc.
+package java
+
+import (
+	"fmt"
+	"strings"
+)
+
+// TypeKind enumerates the kinds of Java types the model distinguishes.
+type TypeKind int
+
+// The supported type kinds. Primitive kinds are collapsed to the ones the
+// controllability analysis cares about; all numeric widths behave alike.
+const (
+	KindVoid TypeKind = iota + 1
+	KindBoolean
+	KindInt
+	KindLong
+	KindDouble
+	KindChar
+	KindClass
+	KindArray
+)
+
+// Type is a Java type descriptor. Class types carry the fully qualified
+// class name in Name; array types carry their element type in Elem.
+type Type struct {
+	Kind TypeKind
+	Name string // fully qualified class name when Kind == KindClass
+	Elem *Type  // element type when Kind == KindArray
+}
+
+// Convenience constructors for the common types.
+var (
+	Void    = Type{Kind: KindVoid}
+	Boolean = Type{Kind: KindBoolean}
+	Int     = Type{Kind: KindInt}
+	Long    = Type{Kind: KindLong}
+	Double  = Type{Kind: KindDouble}
+	Char    = Type{Kind: KindChar}
+
+	// ObjectType is java.lang.Object, the root of the hierarchy.
+	ObjectType = ClassType("java.lang.Object")
+	// StringType is java.lang.String.
+	StringType = ClassType("java.lang.String")
+)
+
+// ClassType returns the Type for the fully qualified class name.
+func ClassType(name string) Type {
+	return Type{Kind: KindClass, Name: name}
+}
+
+// ArrayOf returns the array type with the given element type.
+func ArrayOf(elem Type) Type {
+	e := elem
+	return Type{Kind: KindArray, Elem: &e}
+}
+
+// IsReference reports whether the type is a class or array type, i.e. a
+// type whose values can carry attacker-controlled object graphs.
+func (t Type) IsReference() bool {
+	return t.Kind == KindClass || t.Kind == KindArray
+}
+
+// IsVoid reports whether the type is void.
+func (t Type) IsVoid() bool { return t.Kind == KindVoid }
+
+// Equal reports structural equality of two types.
+func (t Type) Equal(o Type) bool {
+	if t.Kind != o.Kind {
+		return false
+	}
+	switch t.Kind {
+	case KindClass:
+		return t.Name == o.Name
+	case KindArray:
+		return t.Elem.Equal(*o.Elem)
+	default:
+		return true
+	}
+}
+
+// String renders the type in Java source syntax.
+func (t Type) String() string {
+	switch t.Kind {
+	case KindVoid:
+		return "void"
+	case KindBoolean:
+		return "boolean"
+	case KindInt:
+		return "int"
+	case KindLong:
+		return "long"
+	case KindDouble:
+		return "double"
+	case KindChar:
+		return "char"
+	case KindClass:
+		return t.Name
+	case KindArray:
+		return t.Elem.String() + "[]"
+	default:
+		return fmt.Sprintf("<invalid type kind %d>", int(t.Kind))
+	}
+}
+
+// ParseType parses a Java-source-syntax type such as "int",
+// "java.lang.String" or "java.lang.Object[]". Unknown identifiers are
+// treated as class types.
+func ParseType(s string) (Type, error) {
+	s = strings.TrimSpace(s)
+	if s == "" {
+		return Type{}, fmt.Errorf("parse type: empty string")
+	}
+	dims := 0
+	for strings.HasSuffix(s, "[]") {
+		s = strings.TrimSpace(strings.TrimSuffix(s, "[]"))
+		dims++
+	}
+	var base Type
+	switch s {
+	case "void":
+		base = Void
+	case "boolean":
+		base = Boolean
+	case "int", "short", "byte":
+		base = Int
+	case "long":
+		base = Long
+	case "float", "double":
+		base = Double
+	case "char":
+		base = Char
+	default:
+		base = ClassType(s)
+	}
+	if base.IsVoid() && dims > 0 {
+		return Type{}, fmt.Errorf("parse type: void array %q", s)
+	}
+	for i := 0; i < dims; i++ {
+		base = ArrayOf(base)
+	}
+	return base, nil
+}

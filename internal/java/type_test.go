@@ -1,0 +1,144 @@
+package java
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestParseType(t *testing.T) {
+	tests := []struct {
+		give    string
+		want    string
+		wantErr bool
+	}{
+		{give: "int", want: "int"},
+		{give: "void", want: "void"},
+		{give: "boolean", want: "boolean"},
+		{give: "long", want: "long"},
+		{give: "double", want: "double"},
+		{give: "float", want: "double"}, // float collapses to double width-class
+		{give: "char", want: "char"},
+		{give: "short", want: "int"},
+		{give: "byte", want: "int"},
+		{give: "java.lang.String", want: "java.lang.String"},
+		{give: "java.lang.Object[]", want: "java.lang.Object[]"},
+		{give: "int[][]", want: "int[][]"},
+		{give: " java.util.Map ", want: "java.util.Map"},
+		{give: "", wantErr: true},
+		{give: "void[]", wantErr: true},
+	}
+	for _, tt := range tests {
+		t.Run(tt.give, func(t *testing.T) {
+			got, err := ParseType(tt.give)
+			if tt.wantErr {
+				if err == nil {
+					t.Fatalf("ParseType(%q): want error, got %v", tt.give, got)
+				}
+				return
+			}
+			if err != nil {
+				t.Fatalf("ParseType(%q): %v", tt.give, err)
+			}
+			if got.String() != tt.want {
+				t.Errorf("ParseType(%q) = %q, want %q", tt.give, got.String(), tt.want)
+			}
+		})
+	}
+}
+
+func TestTypeEqual(t *testing.T) {
+	if !ClassType("a.B").Equal(ClassType("a.B")) {
+		t.Error("identical class types must be equal")
+	}
+	if ClassType("a.B").Equal(ClassType("a.C")) {
+		t.Error("distinct class types must not be equal")
+	}
+	if !ArrayOf(Int).Equal(ArrayOf(Int)) {
+		t.Error("identical array types must be equal")
+	}
+	if ArrayOf(Int).Equal(ArrayOf(Long)) {
+		t.Error("distinct array element types must not be equal")
+	}
+	if Int.Equal(Long) {
+		t.Error("int must not equal long")
+	}
+	if ArrayOf(Int).Equal(Int) {
+		t.Error("array must not equal scalar")
+	}
+}
+
+func TestTypeIsReference(t *testing.T) {
+	if !ClassType("x.Y").IsReference() || !ArrayOf(Int).IsReference() {
+		t.Error("class and array types are references")
+	}
+	if Int.IsReference() || Void.IsReference() || Boolean.IsReference() {
+		t.Error("primitives and void are not references")
+	}
+}
+
+// TestTypeStringParseRoundTrip is a property test: any type assembled from
+// the generator survives a String→ParseType round trip.
+func TestTypeStringParseRoundTrip(t *testing.T) {
+	f := func(classIdx uint8, dims uint8) bool {
+		bases := []Type{Int, Long, Double, Boolean, Char,
+			ClassType("java.lang.String"), ClassType("com.example.Thing")}
+		typ := bases[int(classIdx)%len(bases)]
+		for i := 0; i < int(dims%4); i++ {
+			typ = ArrayOf(typ)
+		}
+		parsed, err := ParseType(typ.String())
+		return err == nil && parsed.Equal(typ)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMethodKeyRoundTrip(t *testing.T) {
+	tests := []struct {
+		class  string
+		name   string
+		params []Type
+	}{
+		{"java.util.HashMap", "readObject", []Type{ClassType("java.io.ObjectInputStream")}},
+		{"java.lang.Object", "hashCode", nil},
+		{"a.B", "m", []Type{Int, ArrayOf(StringType), ClassType("x.Y")}},
+	}
+	for _, tt := range tests {
+		key := MakeMethodKey(tt.class, tt.name, tt.params)
+		class, name, params, err := SplitMethodKey(key)
+		if err != nil {
+			t.Fatalf("SplitMethodKey(%q): %v", key, err)
+		}
+		if class != tt.class || name != tt.name || len(params) != len(tt.params) {
+			t.Errorf("SplitMethodKey(%q) = (%q,%q,%d params)", key, class, name, len(params))
+		}
+		for i := range params {
+			if !params[i].Equal(tt.params[i]) {
+				t.Errorf("param %d: got %v want %v", i, params[i], tt.params[i])
+			}
+		}
+		if MethodKeyClass(key) != tt.class {
+			t.Errorf("MethodKeyClass(%q) = %q", key, MethodKeyClass(key))
+		}
+		if MethodKeyName(key) != tt.name {
+			t.Errorf("MethodKeyName(%q) = %q", key, MethodKeyName(key))
+		}
+	}
+	if _, _, _, err := SplitMethodKey("nohash"); err == nil {
+		t.Error("malformed key must error")
+	}
+	if _, _, _, err := SplitMethodKey("a#b"); err == nil {
+		t.Error("missing parens must error")
+	}
+}
+
+func TestModifierString(t *testing.T) {
+	m := ModPublic | ModStatic | ModFinal
+	if got := m.String(); got != "public static final" {
+		t.Errorf("Modifier.String() = %q", got)
+	}
+	if !m.Has(ModPublic) || m.Has(ModPrivate) {
+		t.Error("Has misbehaves")
+	}
+}

@@ -1,0 +1,239 @@
+package javasrc
+
+import "tabby/internal/java"
+
+// Unit is one parsed source file.
+type Unit struct {
+	File    string
+	Package string
+	Imports []string // fully qualified imported class names
+	Types   []*TypeDecl
+}
+
+// typeRef is a source-level type reference, resolved later.
+type typeRef struct {
+	Name string // possibly unqualified
+	Dims int    // array dimensions
+}
+
+// TypeDecl is a class or interface declaration.
+type TypeDecl struct {
+	Name       string // simple name
+	Mods       java.Modifier
+	Extends    []string // superclass (classes) or super-interfaces (interfaces)
+	Implements []string
+	Fields     []*FieldDecl
+	Methods    []*MethodDecl
+	Line       int
+}
+
+// FieldDecl is a field declaration.
+type FieldDecl struct {
+	Mods java.Modifier
+	Type typeRef
+	Name string
+	Line int
+}
+
+// ParamDecl is a formal parameter.
+type ParamDecl struct {
+	Type typeRef
+	Name string
+}
+
+// MethodDecl is a method or constructor declaration. Constructors carry
+// the name "<init>".
+type MethodDecl struct {
+	Mods    java.Modifier
+	Ret     typeRef
+	Name    string
+	Params  []ParamDecl
+	Body    []StmtNode // nil for abstract/native declarations
+	HasBody bool
+	Line    int
+}
+
+// StmtNode is an AST statement.
+type StmtNode interface{ stmtNode() }
+
+// LocalDeclStmt is `T x = init;` (init optional).
+type LocalDeclStmt struct {
+	Type typeRef
+	Name string
+	Init ExprNode
+	Line int
+}
+
+// ExprStmt is an expression used as a statement (call or assignment).
+type ExprStmt struct {
+	E    ExprNode
+	Line int
+}
+
+// IfStmtNode is if/else.
+type IfStmtNode struct {
+	Cond ExprNode
+	Then []StmtNode
+	Else []StmtNode
+	Line int
+}
+
+// WhileStmtNode is a while loop.
+type WhileStmtNode struct {
+	Cond ExprNode
+	Body []StmtNode
+	Line int
+}
+
+// ReturnStmtNode is `return e?;`.
+type ReturnStmtNode struct {
+	E    ExprNode // nil for bare return
+	Line int
+}
+
+// ThrowStmtNode is `throw e;`.
+type ThrowStmtNode struct {
+	E    ExprNode
+	Line int
+}
+
+// BlockStmtNode is a nested block.
+type BlockStmtNode struct {
+	Stmts []StmtNode
+}
+
+func (*LocalDeclStmt) stmtNode()  {}
+func (*ExprStmt) stmtNode()       {}
+func (*IfStmtNode) stmtNode()     {}
+func (*WhileStmtNode) stmtNode()  {}
+func (*ReturnStmtNode) stmtNode() {}
+func (*ThrowStmtNode) stmtNode()  {}
+func (*BlockStmtNode) stmtNode()  {}
+
+// ExprNode is an AST expression.
+type ExprNode interface{ exprNode() }
+
+// IdentExpr is a bare identifier (local, field, or class-name head).
+type IdentExpr struct {
+	Name string
+	Line int
+}
+
+// SelectExpr is `base.Name` (field access or class-name segment).
+type SelectExpr struct {
+	Base ExprNode
+	Name string
+	Line int
+}
+
+// CallExpr is `base.Name(args)`; Base nil means an unqualified call on
+// this (or a static call within the same class).
+type CallExpr struct {
+	Base  ExprNode
+	Name  string
+	Args  []ExprNode
+	Super bool // true for super.Name(args)
+	Line  int
+}
+
+// NewObjectExpr is `new T(args)`.
+type NewObjectExpr struct {
+	Type typeRef
+	Args []ExprNode
+	Line int
+}
+
+// NewArrayExprNode is `new T[size]`.
+type NewArrayExprNode struct {
+	Elem typeRef
+	Size ExprNode
+	Line int
+}
+
+// IndexExpr is `base[index]`.
+type IndexExpr struct {
+	Base  ExprNode
+	Index ExprNode
+	Line  int
+}
+
+// CastExprNode is `(T) e`.
+type CastExprNode struct {
+	Type typeRef
+	E    ExprNode
+	Line int
+}
+
+// AssignExpr is `lhs = rhs`.
+type AssignExpr struct {
+	LHS  ExprNode
+	RHS  ExprNode
+	Line int
+}
+
+// BinExpr is a binary operation.
+type BinExpr struct {
+	Op   string
+	L, R ExprNode
+	Line int
+}
+
+// UnaryExpr is `!e` (the only supported unary operator).
+type UnaryExpr struct {
+	Op   string
+	E    ExprNode
+	Line int
+}
+
+// InstanceOfExprNode is `e instanceof T`.
+type InstanceOfExprNode struct {
+	E    ExprNode
+	Type typeRef
+	Line int
+}
+
+// Literal nodes.
+type (
+	// IntLit is an integer literal.
+	IntLit struct {
+		Val  int64
+		Line int
+	}
+	// StrLit is a string literal.
+	StrLit struct {
+		Val  string
+		Line int
+	}
+	// NullLit is `null`.
+	NullLit struct{ Line int }
+	// BoolLit is `true`/`false`.
+	BoolLit struct {
+		Val  bool
+		Line int
+	}
+	// ThisLit is `this`.
+	ThisLit struct{ Line int }
+	// ClassLit is `T.class`.
+	ClassLit struct {
+		Type typeRef
+		Line int
+	}
+)
+
+func (*IdentExpr) exprNode()          {}
+func (*SelectExpr) exprNode()         {}
+func (*CallExpr) exprNode()           {}
+func (*NewObjectExpr) exprNode()      {}
+func (*NewArrayExprNode) exprNode()   {}
+func (*IndexExpr) exprNode()          {}
+func (*CastExprNode) exprNode()       {}
+func (*AssignExpr) exprNode()         {}
+func (*BinExpr) exprNode()            {}
+func (*UnaryExpr) exprNode()          {}
+func (*InstanceOfExprNode) exprNode() {}
+func (*IntLit) exprNode()             {}
+func (*StrLit) exprNode()             {}
+func (*NullLit) exprNode()            {}
+func (*BoolLit) exprNode()            {}
+func (*ThisLit) exprNode()            {}
+func (*ClassLit) exprNode()           {}

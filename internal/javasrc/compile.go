@@ -1,0 +1,199 @@
+package javasrc
+
+import (
+	"fmt"
+
+	"tabby/internal/java"
+	"tabby/internal/jimple"
+)
+
+// File is one source file.
+type File struct {
+	Name   string
+	Source string
+}
+
+// ArchiveSource is the source form of one archive ("jar file"): a name
+// and the files compiled into it.
+type ArchiveSource struct {
+	Name  string
+	Files []File
+}
+
+// CompileArchives parses and lowers a set of archives into a jimple
+// Program ready for analysis — the full Semantic Information Extraction
+// step of §III-B1.
+func CompileArchives(archives []ArchiveSource) (*jimple.Program, error) {
+	type parsedUnit struct {
+		unit    *Unit
+		archive string
+	}
+	var units []parsedUnit
+	for _, ar := range archives {
+		for _, f := range ar.Files {
+			u, err := Parse(f.Name, f.Source)
+			if err != nil {
+				return nil, err
+			}
+			units = append(units, parsedUnit{unit: u, archive: ar.Name})
+		}
+	}
+
+	// Pass 1: collect declared class names.
+	declared := make(map[string]bool)
+	for _, pu := range units {
+		for _, td := range pu.unit.Types {
+			fq := fqcnOf(pu.unit, td)
+			if declared[fq] {
+				return nil, fmt.Errorf("%s: duplicate class %s", pu.unit.File, fq)
+			}
+			declared[fq] = true
+		}
+	}
+
+	// Pass 2: build java.Class skeletons with resolved member types.
+	type classedDecl struct {
+		class    *java.Class
+		decl     *TypeDecl
+		resolver *resolver
+	}
+	var (
+		classes []*java.Class
+		decls   []classedDecl
+	)
+	archiveClasses := make(map[string][]string)
+	archiveBytes := make(map[string]int64)
+	for _, pu := range units {
+		res := newResolver(pu.unit, declared)
+		for _, td := range pu.unit.Types {
+			c, err := buildClassSkeleton(pu.unit, td, res)
+			if err != nil {
+				return nil, err
+			}
+			c.Archive = pu.archive
+			classes = append(classes, c)
+			decls = append(decls, classedDecl{class: c, decl: td, resolver: res})
+			archiveClasses[pu.archive] = append(archiveClasses[pu.archive], c.Name)
+		}
+		archiveBytes[pu.archive] += int64(len(pu.unit.File))
+	}
+	for _, ar := range archives {
+		for _, f := range ar.Files {
+			archiveBytes[ar.Name] += int64(len(f.Source))
+		}
+	}
+
+	h, err := java.NewHierarchy(classes)
+	if err != nil {
+		return nil, err
+	}
+	prog := jimple.NewProgram(h)
+	for _, ar := range archives {
+		prog.Archives = append(prog.Archives, java.Archive{
+			Name:      ar.Name,
+			Classes:   archiveClasses[ar.Name],
+			CodeBytes: archiveBytes[ar.Name],
+		})
+	}
+
+	// Pass 3: lower method bodies.
+	for _, cd := range decls {
+		for i, md := range cd.decl.Methods {
+			if !md.HasBody {
+				continue
+			}
+			m := methodForDecl(cd.class, md, i)
+			if m == nil {
+				return nil, fmt.Errorf("%s: method %s vanished during lowering", cd.class.Name, md.Name)
+			}
+			body, err := lowerMethod(h, cd.class, m, md, cd.resolver)
+			if err != nil {
+				return nil, err
+			}
+			prog.SetBody(body)
+		}
+	}
+	if err := prog.Validate(); err != nil {
+		return nil, err
+	}
+	return prog, nil
+}
+
+// Compile is a convenience wrapper for a single archive built from raw
+// source strings.
+func Compile(archiveName string, sources ...string) (*jimple.Program, error) {
+	files := make([]File, len(sources))
+	for i, s := range sources {
+		files[i] = File{Name: fmt.Sprintf("%s/%d.java", archiveName, i), Source: s}
+	}
+	return CompileArchives([]ArchiveSource{{Name: archiveName, Files: files}})
+}
+
+// buildClassSkeleton converts a TypeDecl into a java.Class with resolved
+// field and method signatures.
+func buildClassSkeleton(unit *Unit, td *TypeDecl, res *resolver) (*java.Class, error) {
+	c := &java.Class{Name: fqcnOf(unit, td), Modifiers: td.Mods}
+	if td.Mods.Has(java.ModInterface) {
+		// Interfaces: extends-list entries are super-interfaces.
+		for _, e := range td.Extends {
+			c.Interfaces = append(c.Interfaces, res.mustResolveClass(e))
+		}
+	} else {
+		switch len(td.Extends) {
+		case 0:
+			if c.Name != java.ObjectClass {
+				c.Super = java.ObjectClass
+			}
+		case 1:
+			c.Super = res.mustResolveClass(td.Extends[0])
+		default:
+			return nil, fmt.Errorf("%s: class %s extends multiple classes", unit.File, td.Name)
+		}
+	}
+	for _, impl := range td.Implements {
+		c.Interfaces = append(c.Interfaces, res.mustResolveClass(impl))
+	}
+	for _, fd := range td.Fields {
+		ft, err := res.resolveType(fd.Type)
+		if err != nil {
+			return nil, fmt.Errorf("%s:%d: field %s: %w", unit.File, fd.Line, fd.Name, err)
+		}
+		c.AddField(&java.Field{Name: fd.Name, Type: ft, Modifiers: fd.Mods})
+	}
+	for _, md := range td.Methods {
+		ret, err := res.resolveType(md.Ret)
+		if err != nil {
+			return nil, fmt.Errorf("%s:%d: method %s: %w", unit.File, md.Line, md.Name, err)
+		}
+		params := make([]java.Type, len(md.Params))
+		for i, pd := range md.Params {
+			pt, err := res.resolveType(pd.Type)
+			if err != nil {
+				return nil, fmt.Errorf("%s:%d: method %s param %s: %w", unit.File, md.Line, md.Name, pd.Name, err)
+			}
+			params[i] = pt
+		}
+		mods := md.Mods
+		if !md.HasBody {
+			mods |= java.ModAbstract
+		}
+		c.AddMethod(&java.Method{Name: md.Name, Params: params, Return: ret, Modifiers: mods})
+	}
+	if err := c.Validate(); err != nil {
+		return nil, fmt.Errorf("%s: %w", unit.File, err)
+	}
+	return c, nil
+}
+
+// methodForDecl locates the java.Method built for the i-th declaration.
+func methodForDecl(c *java.Class, md *MethodDecl, index int) *java.Method {
+	if index < len(c.Methods) && c.Methods[index].Name == md.Name {
+		return c.Methods[index]
+	}
+	for _, m := range c.Methods {
+		if m.Name == md.Name && len(m.Params) == len(md.Params) {
+			return m
+		}
+	}
+	return nil
+}

@@ -1,0 +1,35 @@
+package javasrc
+
+import "testing"
+
+// FuzzParse drives the frontend with arbitrary inputs: it must return
+// errors, never panic or hang. Run with `go test -fuzz FuzzParse` for a
+// real fuzzing session; the seeds below always run under plain go test.
+func FuzzParse(f *testing.F) {
+	seeds := []string{
+		"",
+		"class A { }",
+		"package p; class A extends B implements C, D { int x; void m(int a) { a = a + 1; } }",
+		"interface I { Object f(Object o); }",
+		`class S { String g() { return "a" + "b"; } }`,
+		"class C { C(Object o) { this.o = o; } Object o; }",
+		"class W { void m(int n) { while (n > 0) { n = n - 1; } } }",
+		"class X { void m(Object o) { if (o instanceof String) { String s = (String) o; } } }",
+		"class B { void m() { java.lang.Runtime.getRuntime().exec(\"x\"); } }",
+		"class A { void m() { new int[3]; } }",
+		"class A { void m() { x.y.z.w(); } }",
+		"class /*",
+		"class A { void m() { ((((((",
+		"package ;;;",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		unit, err := Parse("fuzz.java", src)
+		if err == nil && unit != nil {
+			// Parsed input must also survive lowering (errors allowed).
+			_, _ = Compile("fuzz.jar", src)
+		}
+	})
+}

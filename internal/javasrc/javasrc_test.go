@@ -1,0 +1,423 @@
+package javasrc
+
+import (
+	"strings"
+	"testing"
+
+	"tabby/internal/java"
+	"tabby/internal/jimple"
+)
+
+func TestLexBasics(t *testing.T) {
+	toks, err := lex("t.java", `class A { int x; } // comment
+/* block
+comment */ "str\n" 42L == <init>`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var texts []string
+	for _, tok := range toks {
+		if tok.kind == tokEOF {
+			break
+		}
+		texts = append(texts, tok.text)
+	}
+	want := []string{"class", "A", "{", "int", "x", ";", "}", "str\n", "42", "==", "<init>"}
+	if len(texts) != len(want) {
+		t.Fatalf("tokens = %q, want %q", texts, want)
+	}
+	for i := range want {
+		if texts[i] != want[i] {
+			t.Errorf("token %d = %q, want %q", i, texts[i], want[i])
+		}
+	}
+}
+
+func TestLexErrors(t *testing.T) {
+	for _, src := range []string{`"unterminated`, "/* unterminated", "class A { # }"} {
+		if _, err := lex("t.java", src); err == nil {
+			t.Errorf("lex(%q) must fail", src)
+		}
+	}
+	// Errors carry positions.
+	_, err := lex("t.java", "\n\n  \"oops")
+	var se *SyntaxError
+	if !asSyntaxError(err, &se) || se.Line != 3 {
+		t.Errorf("error position wrong: %v", err)
+	}
+}
+
+func asSyntaxError(err error, out **SyntaxError) bool {
+	se, ok := err.(*SyntaxError)
+	if ok {
+		*out = se
+	}
+	return ok
+}
+
+func TestParseClassShape(t *testing.T) {
+	u, err := Parse("t.java", `
+package com.example;
+import java.io.Serializable;
+
+public class Point extends Base implements Serializable, Cloneable {
+    private int x;
+    private transient Object cache;
+
+    public Point(int x) { this.x = x; }
+    public int getX() { return x; }
+    public abstract void ghost();
+}
+
+interface Shape { int area(); }
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if u.Package != "com.example" || len(u.Imports) != 1 || len(u.Types) != 2 {
+		t.Fatalf("unit shape: %+v", u)
+	}
+	point := u.Types[0]
+	if point.Name != "Point" || point.Extends[0] != "Base" || len(point.Implements) != 2 {
+		t.Fatalf("class header: %+v", point)
+	}
+	if len(point.Fields) != 2 || !point.Fields[1].Mods.Has(java.ModTransient) {
+		t.Fatalf("fields: %+v", point.Fields)
+	}
+	if len(point.Methods) != 3 {
+		t.Fatalf("methods: %d", len(point.Methods))
+	}
+	if point.Methods[0].Name != "<init>" || !point.Methods[0].HasBody {
+		t.Errorf("constructor: %+v", point.Methods[0])
+	}
+	if point.Methods[2].HasBody {
+		t.Error("abstract method must have no body")
+	}
+	shape := u.Types[1]
+	if !shape.Mods.Has(java.ModInterface) || len(shape.Methods) != 1 || shape.Methods[0].HasBody {
+		t.Fatalf("interface: %+v", shape)
+	}
+}
+
+func TestParseStatements(t *testing.T) {
+	u, err := Parse("t.java", `
+class C {
+    void m(Object o, int n) {
+        Object x = o;
+        if (n == 0) { x = null; } else x = o;
+        while (n < 10) { n = n + 1; }
+        java.lang.Runtime.getRuntime().exec("id");
+        String s = (String) x;
+        Object[] arr = new Object[3];
+        arr[0] = s;
+        boolean b = x instanceof String;
+        if (!b) { return; }
+        throw new RuntimeException("boom");
+    }
+}
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := u.Types[0].Methods[0]
+	if len(m.Body) != 10 {
+		t.Fatalf("statements = %d, want 10", len(m.Body))
+	}
+	if _, ok := m.Body[1].(*IfStmtNode); !ok {
+		t.Errorf("stmt 1 is %T", m.Body[1])
+	}
+	if _, ok := m.Body[2].(*WhileStmtNode); !ok {
+		t.Errorf("stmt 2 is %T", m.Body[2])
+	}
+	if _, ok := m.Body[9].(*ThrowStmtNode); !ok {
+		t.Errorf("stmt 9 is %T", m.Body[9])
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		"",                              // no types
+		"class { }",                     // missing name
+		"class A { int x = 5; }",        // field initializer
+		"class A { void m() { 5; } }",   // expression statement not call/assign
+		"class A { void m() { x ==; }}", // junk expression
+		"class A extends B, C { }",      // multi-extends handled at compile, parse ok
+	}
+	for i, src := range bad[:5] {
+		if _, err := Parse("t.java", src); err == nil {
+			t.Errorf("case %d: Parse(%q) must fail", i, src)
+		}
+	}
+	// Multi-extends parses but compile rejects it for classes.
+	if _, err := Compile("a", "class A extends B, C { }"); err == nil {
+		t.Error("class with multiple extends must fail to compile")
+	}
+}
+
+func TestCompileProducesHierarchyAndBodies(t *testing.T) {
+	prog, err := Compile("demo.jar", `
+package demo;
+import java.io.Serializable;
+
+public class Holder implements Serializable {
+    public Object value;
+    public Object get() { return this.value; }
+    public void set(Object v) { value = v; }
+}
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := prog.Hierarchy.Class("demo.Holder")
+	if c == nil || c.Archive != "demo.jar" {
+		t.Fatalf("class missing or wrong archive: %+v", c)
+	}
+	if !prog.Hierarchy.IsSerializable("demo.Holder") {
+		t.Error("Holder must be serializable")
+	}
+	get := prog.Body(java.MakeMethodKey("demo.Holder", "get", nil))
+	if get == nil {
+		t.Fatal("get body missing")
+	}
+	// get: this identity, return this.value (field loads may sit directly
+	// in return position — the taint analysis evaluates them in place).
+	foundFieldLoad := false
+	for _, s := range get.Stmts {
+		var rhs jimple.Value
+		switch st := s.(type) {
+		case *jimple.AssignStmt:
+			rhs = st.RHS
+		case *jimple.ReturnStmt:
+			rhs = st.Op
+		}
+		if fr, ok := rhs.(*jimple.FieldRef); ok && fr.Field == "value" && fr.Base != nil {
+			foundFieldLoad = true
+		}
+	}
+	if !foundFieldLoad {
+		t.Errorf("get body lacks field load:\n%s", get.String())
+	}
+	// set uses the bare identifier form: `value = v`.
+	set := prog.Body(java.MakeMethodKey("demo.Holder", "set", []java.Type{java.ObjectType}))
+	foundStore := false
+	for _, s := range set.Stmts {
+		if as, ok := s.(*jimple.AssignStmt); ok {
+			if fr, ok := as.LHS.(*jimple.FieldRef); ok && fr.Field == "value" {
+				foundStore = true
+			}
+		}
+	}
+	if !foundStore {
+		t.Errorf("set body lacks field store:\n%s", set.String())
+	}
+	if len(prog.Archives) != 1 || prog.Archives[0].Name != "demo.jar" || len(prog.Archives[0].Classes) != 1 {
+		t.Errorf("archives: %+v", prog.Archives)
+	}
+}
+
+func TestCompileCallKinds(t *testing.T) {
+	prog, err := Compile("kinds", `
+package k;
+
+interface Handler { void handle(Object o); }
+
+class Impl implements Handler {
+    public void handle(Object o) { }
+}
+
+class Driver {
+    Handler h;
+    static void run(Object o) { }
+    void drive(Object o) {
+        h.handle(o);                       // interface invoke
+        Driver.run(o);                     // static invoke
+        run(o);                            // unqualified static
+        this.helper(o);                    // virtual on this
+        helper(o);                         // unqualified virtual
+        ext.Phantom.doThing(o);            // phantom static
+    }
+    void helper(Object o) { }
+}
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	drive := prog.Body(java.MakeMethodKey("k.Driver", "drive", []java.Type{java.ObjectType}))
+	if drive == nil {
+		t.Fatal("drive body missing")
+	}
+	invokes := drive.Invokes()
+	if len(invokes) != 6 {
+		t.Fatalf("invokes = %d, want 6:\n%s", len(invokes), drive.String())
+	}
+	wantKinds := []jimple.InvokeKind{
+		jimple.InvokeInterface, jimple.InvokeStatic, jimple.InvokeStatic,
+		jimple.InvokeVirtual, jimple.InvokeVirtual, jimple.InvokeStatic,
+	}
+	for i, inv := range invokes {
+		if inv.Expr.Kind != wantKinds[i] {
+			t.Errorf("invoke %d (%s) kind = %s, want %s", i, inv.Expr.Name, inv.Expr.Kind, wantKinds[i])
+		}
+	}
+	if invokes[0].Expr.Class != "k.Handler" {
+		t.Errorf("interface call class = %s", invokes[0].Expr.Class)
+	}
+	if invokes[5].Expr.Class != "ext.Phantom" {
+		t.Errorf("phantom call class = %s", invokes[5].Expr.Class)
+	}
+}
+
+func TestCompileConstructors(t *testing.T) {
+	prog, err := Compile("ctor", `
+package c;
+class Box {
+    Object v;
+    Box(Object v) { this.v = v; }
+}
+class Maker {
+    Box make(Object o) { return new Box(o); }
+}
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	make := prog.Body(java.MakeMethodKey("c.Maker", "make", []java.Type{java.ObjectType}))
+	var ctorCall *jimple.InvokeExpr
+	for _, inv := range make.Invokes() {
+		if inv.Expr.Name == "<init>" {
+			ctorCall = inv.Expr
+		}
+	}
+	if ctorCall == nil {
+		t.Fatalf("no constructor call:\n%s", make.String())
+	}
+	if ctorCall.Kind != jimple.InvokeSpecial || ctorCall.Class != "c.Box" {
+		t.Errorf("ctor call: %+v", ctorCall)
+	}
+	// The constructor body must exist under <init>.
+	ctorBody := prog.Body(java.MakeMethodKey("c.Box", "<init>", []java.Type{java.ObjectType}))
+	if ctorBody == nil {
+		t.Fatal("constructor body missing")
+	}
+}
+
+func TestCompileSuperCall(t *testing.T) {
+	prog, err := Compile("sup", `
+package s;
+class Base { void init(Object o) { } }
+class Derived extends Base {
+    void init(Object o) { super.init(o); }
+}
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body := prog.Body(java.MakeMethodKey("s.Derived", "init", []java.Type{java.ObjectType}))
+	invokes := body.Invokes()
+	if len(invokes) != 1 || invokes[0].Expr.Kind != jimple.InvokeSpecial || invokes[0].Expr.Class != "s.Base" {
+		t.Fatalf("super call: %+v", invokes)
+	}
+}
+
+func TestCompileStringConcat(t *testing.T) {
+	prog, err := Compile("cat", `
+package s;
+class C {
+    String greet(String name) { return "hello " + name; }
+}
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body := prog.Body(java.MakeMethodKey("s.C", "greet", []java.Type{java.StringType}))
+	found := false
+	for _, st := range body.Stmts {
+		if r, ok := st.(*jimple.ReturnStmt); ok && r.Op != nil {
+			if b, ok := r.Op.(*jimple.BinopExpr); ok && b.Op == jimple.OpAdd && b.Type().Equal(java.StringType) {
+				found = true
+			}
+		}
+	}
+	if !found {
+		t.Errorf("string concat missing:\n%s", body.String())
+	}
+}
+
+func TestCompileDuplicateClass(t *testing.T) {
+	_, err := CompileArchives(javaArchivePair("a", "package p; class X {}", "package p; class X {}"))
+	if err == nil || !strings.Contains(err.Error(), "duplicate class") {
+		t.Fatalf("duplicate class must fail, got %v", err)
+	}
+}
+
+func javaArchivePair(name, src1, src2 string) []ArchiveSource {
+	return []ArchiveSource{{Name: name, Files: []File{
+		{Name: "a.java", Source: src1},
+		{Name: "b.java", Source: src2},
+	}}}
+}
+
+func TestCompileUnknownIdentifier(t *testing.T) {
+	_, err := Compile("bad", `
+package p;
+class C { void m() { Object x = mystery; } }
+`)
+	if err == nil || !strings.Contains(err.Error(), "unknown identifier") {
+		t.Fatalf("unknown identifier must fail, got %v", err)
+	}
+}
+
+func TestCompileCastAndParenthesesDisambiguation(t *testing.T) {
+	prog, err := Compile("cast", `
+package p;
+class C {
+    int math(int a, int b) { return (a) + b; }
+    Object conv(Object o) { return (String) o; }
+}
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	conv := prog.Body(java.MakeMethodKey("p.C", "conv", []java.Type{java.ObjectType}))
+	foundCast := false
+	for _, st := range conv.Stmts {
+		if r, ok := st.(*jimple.ReturnStmt); ok && r.Op != nil {
+			if _, ok := r.Op.(*jimple.CastExpr); ok {
+				foundCast = true
+			}
+		}
+	}
+	if !foundCast {
+		t.Errorf("cast lost:\n%s", conv.String())
+	}
+}
+
+func TestCompileWhileLoopCFGShape(t *testing.T) {
+	prog, err := Compile("loop", `
+package p;
+class C {
+    int sum(int n) {
+        int acc = 0;
+        while (n > 0) { acc = acc + n; n = n - 1; }
+        return acc;
+    }
+}
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body := prog.Body(java.MakeMethodKey("p.C", "sum", []java.Type{java.Int}))
+	if err := body.Validate(); err != nil {
+		t.Fatalf("loop body invalid: %v\n%s", err, body.String())
+	}
+	// Must contain a backward goto (the loop edge).
+	hasBackEdge := false
+	for i, st := range body.Stmts {
+		if g, ok := st.(*jimple.GotoStmt); ok && g.Target < i {
+			hasBackEdge = true
+		}
+	}
+	if !hasBackEdge {
+		t.Errorf("no back edge in loop:\n%s", body.String())
+	}
+}

@@ -1,0 +1,217 @@
+// Package javasrc is the reproduction's frontend — the role Soot plays in
+// the paper (§III-B1): it parses a compact Java subset ("mini-Java") and
+// lowers it to the jimple three-address IR, producing the Program that the
+// controllability analysis and CPG builder consume.
+//
+// The subset covers everything gadget code needs: classes and interfaces
+// with extends/implements, fields, methods and constructors, locals,
+// assignments, field and array access, casts, instanceof, new, string
+// concatenation, if/else, while, return, throw, and method calls of all
+// dispatch flavors. Generics, lambdas, try/catch and nested classes are
+// deliberately out of scope.
+package javasrc
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+// tokenKind enumerates lexical token categories.
+type tokenKind int
+
+const (
+	tokEOF tokenKind = iota + 1
+	tokIdent
+	tokKeyword
+	tokInt
+	tokString
+	tokPunct // one of the operator/punctuation lexemes
+)
+
+// token is a single lexeme with its position.
+type token struct {
+	kind tokenKind
+	text string
+	line int
+	col  int
+}
+
+func (t token) String() string {
+	switch t.kind {
+	case tokEOF:
+		return "<eof>"
+	case tokString:
+		return fmt.Sprintf("%q", t.text)
+	default:
+		return t.text
+	}
+}
+
+// keywords of the mini-Java subset.
+var _keywords = map[string]bool{
+	"package": true, "import": true, "class": true, "interface": true,
+	"extends": true, "implements": true,
+	"public": true, "private": true, "protected": true, "static": true,
+	"final": true, "abstract": true, "native": true, "transient": true,
+	"synchronized": true, "volatile": true,
+	"void": true, "boolean": true, "int": true, "long": true,
+	"double": true, "float": true, "char": true, "short": true, "byte": true,
+	"if": true, "else": true, "while": true, "return": true, "throw": true,
+	"new": true, "this": true, "null": true, "true": true, "false": true,
+	"instanceof": true, "super": true,
+}
+
+// multi-character punctuation, longest first.
+var _punct2 = []string{"==", "!=", "<=", ">=", "&&", "||"}
+
+// SyntaxError reports a lexical or parse failure with its location.
+type SyntaxError struct {
+	File string
+	Line int
+	Col  int
+	Msg  string
+}
+
+// Error implements error.
+func (e *SyntaxError) Error() string {
+	return fmt.Sprintf("%s:%d:%d: %s", e.File, e.Line, e.Col, e.Msg)
+}
+
+// lex tokenizes src. file is used for error messages only.
+func lex(file, src string) ([]token, error) {
+	var (
+		toks []token
+		line = 1
+		col  = 1
+	)
+	i := 0
+	n := len(src)
+	fail := func(msg string) ([]token, error) {
+		return nil, &SyntaxError{File: file, Line: line, Col: col, Msg: msg}
+	}
+	advance := func(k int) {
+		for j := 0; j < k; j++ {
+			if src[i] == '\n' {
+				line++
+				col = 1
+			} else {
+				col++
+			}
+			i++
+		}
+	}
+	for i < n {
+		c := src[i]
+		switch {
+		case c == ' ' || c == '\t' || c == '\r' || c == '\n':
+			advance(1)
+		case c == '/' && i+1 < n && src[i+1] == '/':
+			for i < n && src[i] != '\n' {
+				advance(1)
+			}
+		case c == '/' && i+1 < n && src[i+1] == '*':
+			advance(2)
+			for i+1 < n && !(src[i] == '*' && src[i+1] == '/') {
+				advance(1)
+			}
+			if i+1 >= n {
+				return fail("unterminated block comment")
+			}
+			advance(2)
+		case c == '"':
+			startLine, startCol := line, col
+			advance(1)
+			var sb strings.Builder
+			for i < n && src[i] != '"' {
+				if src[i] == '\\' && i+1 < n {
+					advance(1)
+					switch src[i] {
+					case 'n':
+						sb.WriteByte('\n')
+					case 't':
+						sb.WriteByte('\t')
+					case '\\':
+						sb.WriteByte('\\')
+					case '"':
+						sb.WriteByte('"')
+					default:
+						sb.WriteByte(src[i])
+					}
+					advance(1)
+					continue
+				}
+				if src[i] == '\n' {
+					return fail("unterminated string literal")
+				}
+				sb.WriteByte(src[i])
+				advance(1)
+			}
+			if i >= n {
+				return fail("unterminated string literal")
+			}
+			advance(1)
+			toks = append(toks, token{kind: tokString, text: sb.String(), line: startLine, col: startCol})
+		case unicode.IsDigit(rune(c)):
+			startLine, startCol := line, col
+			j := i
+			for j < n && (unicode.IsDigit(rune(src[j])) || src[j] == 'L' || src[j] == 'l') {
+				j++
+			}
+			text := strings.TrimRight(src[i:j], "Ll")
+			toks = append(toks, token{kind: tokInt, text: text, line: startLine, col: startCol})
+			advance(j - i)
+		case unicode.IsLetter(rune(c)) || c == '_' || c == '$' || c == '<':
+			// '<' begins an identifier only for the special names <init>
+			// and <clinit>; otherwise it is punctuation.
+			if c == '<' {
+				if !(strings.HasPrefix(src[i:], "<init>") || strings.HasPrefix(src[i:], "<clinit>")) {
+					goto punct
+				}
+			}
+			{
+				startLine, startCol := line, col
+				j := i
+				if c == '<' {
+					j = i + strings.IndexByte(src[i:], '>') + 1
+				} else {
+					for j < n && (unicode.IsLetter(rune(src[j])) || unicode.IsDigit(rune(src[j])) || src[j] == '_' || src[j] == '$') {
+						j++
+					}
+				}
+				text := src[i:j]
+				kind := tokIdent
+				if _keywords[text] {
+					kind = tokKeyword
+				}
+				toks = append(toks, token{kind: kind, text: text, line: startLine, col: startCol})
+				advance(j - i)
+			}
+		default:
+			goto punct
+		}
+		continue
+	punct:
+		{
+			startLine, startCol := line, col
+			matched := ""
+			for _, p := range _punct2 {
+				if strings.HasPrefix(src[i:], p) {
+					matched = p
+					break
+				}
+			}
+			if matched == "" {
+				if strings.ContainsRune("(){}[];,.=<>+-*/!&|", rune(src[i])) {
+					matched = string(src[i])
+				} else {
+					return fail(fmt.Sprintf("unexpected character %q", src[i]))
+				}
+			}
+			toks = append(toks, token{kind: tokPunct, text: matched, line: startLine, col: startCol})
+			advance(len(matched))
+		}
+	}
+	toks = append(toks, token{kind: tokEOF, line: line, col: col})
+	return toks, nil
+}

@@ -1,0 +1,660 @@
+package javasrc
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"tabby/internal/java"
+	"tabby/internal/jimple"
+)
+
+// lowerMethod lowers one parsed method body to jimple.
+func lowerMethod(h *java.Hierarchy, class *java.Class, m *java.Method, md *MethodDecl, res *resolver) (*jimple.Body, error) {
+	lw := &lowerer{
+		h:      h,
+		class:  class,
+		method: m,
+		res:    res,
+		body:   jimple.NewBody(m),
+	}
+	lw.pushScope()
+	for i, pd := range md.Params {
+		lw.declare(pd.Name, lw.body.Params[i])
+	}
+	if err := lw.lowerStmts(md.Body); err != nil {
+		return nil, err
+	}
+	// Guarantee a terminating return for fall-through control flow.
+	lw.emit(&jimple.ReturnStmt{})
+	if err := lw.body.Validate(); err != nil {
+		return nil, fmt.Errorf("lower %s: %w", m.Key(), err)
+	}
+	return lw.body, nil
+}
+
+type lowerer struct {
+	h      *java.Hierarchy
+	class  *java.Class
+	method *java.Method
+	res    *resolver
+	body   *jimple.Body
+	scopes []map[string]*jimple.Local
+	temp   int
+}
+
+func (lw *lowerer) errf(line int, format string, args ...any) error {
+	return fmt.Errorf("%s:%d: in %s: %s", lw.res.unit.File, line, lw.method.Key(), fmt.Sprintf(format, args...))
+}
+
+func (lw *lowerer) pushScope() { lw.scopes = append(lw.scopes, make(map[string]*jimple.Local)) }
+func (lw *lowerer) popScope()  { lw.scopes = lw.scopes[:len(lw.scopes)-1] }
+
+func (lw *lowerer) declare(name string, l *jimple.Local) {
+	lw.scopes[len(lw.scopes)-1][name] = l
+}
+
+func (lw *lowerer) lookup(name string) *jimple.Local {
+	for i := len(lw.scopes) - 1; i >= 0; i-- {
+		if l, ok := lw.scopes[i][name]; ok {
+			return l
+		}
+	}
+	return nil
+}
+
+func (lw *lowerer) emit(s jimple.Stmt) int { return lw.body.Append(s) }
+
+func (lw *lowerer) newTemp(typ java.Type) *jimple.Local {
+	lw.temp++
+	return lw.body.AddLocal(jimple.NewLocal("$t"+strconv.Itoa(lw.temp), typ))
+}
+
+// atomize guarantees the value is available in a local.
+func (lw *lowerer) atomize(v jimple.Value) *jimple.Local {
+	if l, ok := v.(*jimple.Local); ok {
+		return l
+	}
+	t := lw.newTemp(v.Type())
+	lw.emit(&jimple.AssignStmt{LHS: t, RHS: v})
+	return t
+}
+
+// --- statements ----------------------------------------------------------
+
+func (lw *lowerer) lowerStmts(stmts []StmtNode) error {
+	for _, s := range stmts {
+		if err := lw.lowerStmt(s); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (lw *lowerer) lowerStmt(s StmtNode) error {
+	switch st := s.(type) {
+	case *BlockStmtNode:
+		lw.pushScope()
+		defer lw.popScope()
+		return lw.lowerStmts(st.Stmts)
+	case *LocalDeclStmt:
+		typ, err := lw.res.resolveType(st.Type)
+		if err != nil {
+			return lw.errf(st.Line, "local %s: %v", st.Name, err)
+		}
+		l := lw.body.AddLocal(jimple.NewLocal(st.Name, typ))
+		lw.declare(st.Name, l)
+		if st.Init != nil {
+			v, err := lw.lowerExpr(st.Init)
+			if err != nil {
+				return err
+			}
+			lw.emit(&jimple.AssignStmt{LHS: l, RHS: v})
+		}
+		return nil
+	case *ExprStmt:
+		return lw.lowerExprStmt(st)
+	case *IfStmtNode:
+		return lw.lowerIf(st)
+	case *WhileStmtNode:
+		return lw.lowerWhile(st)
+	case *ReturnStmtNode:
+		if st.E == nil {
+			lw.emit(&jimple.ReturnStmt{})
+			return nil
+		}
+		v, err := lw.lowerExpr(st.E)
+		if err != nil {
+			return err
+		}
+		lw.emit(&jimple.ReturnStmt{Op: v})
+		return nil
+	case *ThrowStmtNode:
+		v, err := lw.lowerExpr(st.E)
+		if err != nil {
+			return err
+		}
+		lw.emit(&jimple.ThrowStmt{Op: v})
+		return nil
+	default:
+		return fmt.Errorf("unsupported statement %T", s)
+	}
+}
+
+func (lw *lowerer) lowerExprStmt(st *ExprStmt) error {
+	switch e := st.E.(type) {
+	case *CallExpr:
+		_, err := lw.lowerCall(e, false)
+		return err
+	case *AssignExpr:
+		_, err := lw.lowerAssign(e)
+		return err
+	case *NewObjectExpr:
+		_, err := lw.lowerNew(e)
+		return err
+	default:
+		return lw.errf(st.Line, "expression statement must be a call or assignment")
+	}
+}
+
+func (lw *lowerer) lowerIf(st *IfStmtNode) error {
+	cond, err := lw.lowerExpr(st.Cond)
+	if err != nil {
+		return err
+	}
+	ifIdx := lw.emit(&jimple.IfStmt{Cond: cond})
+	lw.pushScope()
+	if err := lw.lowerStmts(st.Else); err != nil {
+		return err
+	}
+	lw.popScope()
+	gotoIdx := lw.emit(&jimple.GotoStmt{})
+	thenStart := len(lw.body.Stmts)
+	lw.pushScope()
+	if err := lw.lowerStmts(st.Then); err != nil {
+		return err
+	}
+	lw.popScope()
+	end := lw.emit(&jimple.NopStmt{})
+	lw.body.Stmts[ifIdx].(*jimple.IfStmt).Target = thenStart
+	lw.body.Stmts[gotoIdx].(*jimple.GotoStmt).Target = end
+	return nil
+}
+
+func (lw *lowerer) lowerWhile(st *WhileStmtNode) error {
+	head := lw.emit(&jimple.NopStmt{})
+	cond, err := lw.lowerExpr(st.Cond)
+	if err != nil {
+		return err
+	}
+	ifIdx := lw.emit(&jimple.IfStmt{Cond: cond}) // true -> body
+	exitGoto := lw.emit(&jimple.GotoStmt{})
+	bodyStart := len(lw.body.Stmts)
+	lw.pushScope()
+	if err := lw.lowerStmts(st.Body); err != nil {
+		return err
+	}
+	lw.popScope()
+	lw.emit(&jimple.GotoStmt{Target: head})
+	end := lw.emit(&jimple.NopStmt{})
+	lw.body.Stmts[ifIdx].(*jimple.IfStmt).Target = bodyStart
+	lw.body.Stmts[exitGoto].(*jimple.GotoStmt).Target = end
+	return nil
+}
+
+// --- expressions ---------------------------------------------------------
+
+var _binOps = map[string]jimple.BinOp{
+	"+": jimple.OpAdd, "-": jimple.OpSub, "*": jimple.OpMul, "/": jimple.OpDiv,
+	"==": jimple.OpEq, "!=": jimple.OpNe, "<": jimple.OpLt, "<=": jimple.OpLe,
+	">": jimple.OpGt, ">=": jimple.OpGe, "&&": jimple.OpAnd, "||": jimple.OpOr,
+}
+
+func (lw *lowerer) lowerExpr(e ExprNode) (jimple.Value, error) {
+	switch ex := e.(type) {
+	case *IntLit:
+		return &jimple.IntConst{Val: ex.Val}, nil
+	case *StrLit:
+		return &jimple.StrConst{Val: ex.Val}, nil
+	case *NullLit:
+		return &jimple.NullConst{}, nil
+	case *BoolLit:
+		v := int64(0)
+		if ex.Val {
+			v = 1
+		}
+		return &jimple.IntConst{Val: v}, nil
+	case *ThisLit:
+		if lw.body.This == nil {
+			return nil, lw.errf(ex.Line, "this in static context")
+		}
+		return lw.body.This, nil
+	case *ClassLit:
+		name := lw.res.mustResolveClass(ex.Type.Name)
+		return &jimple.ClassConst{ClassName: name}, nil
+	case *IdentExpr:
+		val, className, err := lw.lowerRef(ex)
+		if err != nil {
+			return nil, err
+		}
+		if className != "" {
+			return nil, lw.errf(ex.Line, "class %s used as a value", className)
+		}
+		return val, nil
+	case *SelectExpr:
+		val, className, err := lw.lowerRef(ex)
+		if err != nil {
+			return nil, err
+		}
+		if className != "" {
+			return nil, lw.errf(ex.Line, "class %s used as a value", className)
+		}
+		return val, nil
+	case *IndexExpr:
+		base, err := lw.lowerExpr(ex.Base)
+		if err != nil {
+			return nil, err
+		}
+		idx, err := lw.lowerExpr(ex.Index)
+		if err != nil {
+			return nil, err
+		}
+		return &jimple.ArrayRef{Base: lw.atomize(base), Index: idx}, nil
+	case *CallExpr:
+		return lw.lowerCall(ex, true)
+	case *NewObjectExpr:
+		return lw.lowerNew(ex)
+	case *NewArrayExprNode:
+		elem, err := lw.res.resolveType(ex.Elem)
+		if err != nil {
+			return nil, lw.errf(ex.Line, "array element type: %v", err)
+		}
+		size, err := lw.lowerExpr(ex.Size)
+		if err != nil {
+			return nil, err
+		}
+		return &jimple.NewArrayExpr{Elem: elem, Size: size}, nil
+	case *CastExprNode:
+		typ, err := lw.res.resolveType(ex.Type)
+		if err != nil {
+			return nil, lw.errf(ex.Line, "cast type: %v", err)
+		}
+		inner, err := lw.lowerExpr(ex.E)
+		if err != nil {
+			return nil, err
+		}
+		return &jimple.CastExpr{Typ: typ, Op: inner}, nil
+	case *AssignExpr:
+		return lw.lowerAssign(ex)
+	case *BinExpr:
+		l, err := lw.lowerExpr(ex.L)
+		if err != nil {
+			return nil, err
+		}
+		r, err := lw.lowerExpr(ex.R)
+		if err != nil {
+			return nil, err
+		}
+		op, ok := _binOps[ex.Op]
+		if !ok {
+			return nil, lw.errf(ex.Line, "unsupported operator %q", ex.Op)
+		}
+		return &jimple.BinopExpr{Op: op, L: l, R: r}, nil
+	case *UnaryExpr:
+		inner, err := lw.lowerExpr(ex.E)
+		if err != nil {
+			return nil, err
+		}
+		return &jimple.BinopExpr{Op: jimple.OpEq, L: inner, R: &jimple.IntConst{Val: 0}}, nil
+	case *InstanceOfExprNode:
+		inner, err := lw.lowerExpr(ex.E)
+		if err != nil {
+			return nil, err
+		}
+		typ, err := lw.res.resolveType(ex.Type)
+		if err != nil {
+			return nil, lw.errf(ex.Line, "instanceof type: %v", err)
+		}
+		return &jimple.InstanceOfExpr{Op: inner, Check: typ}, nil
+	case *superMarker:
+		return nil, lw.errf(ex.Line, "super must be followed by a method call")
+	default:
+		return nil, fmt.Errorf("unsupported expression %T", e)
+	}
+}
+
+// lowerAssign handles `lhs = rhs` and yields the assigned value.
+func (lw *lowerer) lowerAssign(ex *AssignExpr) (jimple.Value, error) {
+	rhs, err := lw.lowerExpr(ex.RHS)
+	if err != nil {
+		return nil, err
+	}
+	switch lhs := ex.LHS.(type) {
+	case *IdentExpr:
+		if l := lw.lookup(lhs.Name); l != nil {
+			lw.emit(&jimple.AssignStmt{LHS: l, RHS: rhs})
+			return l, nil
+		}
+		if ref := lw.fieldRefFor(lhs.Name); ref != nil {
+			lw.emit(&jimple.AssignStmt{LHS: ref, RHS: rhs})
+			return rhs, nil
+		}
+		return nil, lw.errf(lhs.Line, "unknown assignment target %q", lhs.Name)
+	case *SelectExpr:
+		val, className, err := lw.lowerRefBase(lhs)
+		if err != nil {
+			return nil, err
+		}
+		var ref *jimple.FieldRef
+		if className != "" {
+			ref = &jimple.FieldRef{Class: className, Field: lhs.Name, Typ: lw.fieldType(className, lhs.Name)}
+		} else {
+			base := lw.atomize(val)
+			ref = &jimple.FieldRef{Base: base, Class: lw.classOfValue(base), Field: lhs.Name, Typ: lw.fieldType(lw.classOfValue(base), lhs.Name)}
+		}
+		lw.emit(&jimple.AssignStmt{LHS: ref, RHS: rhs})
+		return rhs, nil
+	case *IndexExpr:
+		base, err := lw.lowerExpr(lhs.Base)
+		if err != nil {
+			return nil, err
+		}
+		idx, err := lw.lowerExpr(lhs.Index)
+		if err != nil {
+			return nil, err
+		}
+		lw.emit(&jimple.AssignStmt{LHS: &jimple.ArrayRef{Base: lw.atomize(base), Index: idx}, RHS: rhs})
+		return rhs, nil
+	default:
+		return nil, fmt.Errorf("invalid assignment target %T", ex.LHS)
+	}
+}
+
+// fieldRefFor resolves a bare identifier as a field of the enclosing
+// class (instance or static), or nil.
+func (lw *lowerer) fieldRefFor(name string) *jimple.FieldRef {
+	f, owner := lw.h.ResolveField(lw.class.Name, name)
+	if f == nil {
+		return nil
+	}
+	if f.Modifiers.Has(java.ModStatic) {
+		return &jimple.FieldRef{Class: owner, Field: name, Typ: f.Type}
+	}
+	if lw.body.This == nil {
+		return nil
+	}
+	return &jimple.FieldRef{Base: lw.body.This, Class: owner, Field: name, Typ: f.Type}
+}
+
+// fieldType looks up a field's declared type, defaulting to Object for
+// phantom fields.
+func (lw *lowerer) fieldType(class, field string) java.Type {
+	if f, _ := lw.h.ResolveField(class, field); f != nil {
+		return f.Type
+	}
+	return java.ObjectType
+}
+
+// classOfValue returns the class name of a value's static type, for field
+// reference bookkeeping.
+func (lw *lowerer) classOfValue(v jimple.Value) string {
+	if t := v.Type(); t.Kind == java.KindClass {
+		return t.Name
+	}
+	return java.ObjectClass
+}
+
+// lowerRef resolves an identifier/selection chain into either a value or
+// a class name (exactly one of the two).
+func (lw *lowerer) lowerRef(e ExprNode) (jimple.Value, string, error) {
+	switch ex := e.(type) {
+	case *IdentExpr:
+		if l := lw.lookup(ex.Name); l != nil {
+			return l, "", nil
+		}
+		if ref := lw.fieldRefFor(ex.Name); ref != nil {
+			return ref, "", nil
+		}
+		if fq := lw.res.resolveClass(ex.Name); fq != "" {
+			return nil, fq, nil
+		}
+		return nil, "", lw.errf(ex.Line, "unknown identifier %q", ex.Name)
+	case *SelectExpr:
+		// Try whole-chain and prefix class resolution first.
+		if qname, ok := exprToQName(ex); ok {
+			segs := strings.Split(qname, ".")
+			if lw.lookup(segs[0]) == nil && lw.fieldRefFor(segs[0]) == nil {
+				return lw.lowerClassChain(ex, segs)
+			}
+		}
+		val, className, err := lw.lowerRefBase(ex)
+		if err != nil {
+			return nil, "", err
+		}
+		if className != "" {
+			return &jimple.FieldRef{Class: className, Field: ex.Name, Typ: lw.fieldType(className, ex.Name)}, "", nil
+		}
+		base := lw.atomize(val)
+		cls := lw.classOfValue(base)
+		return &jimple.FieldRef{Base: base, Class: cls, Field: ex.Name, Typ: lw.fieldType(cls, ex.Name)}, "", nil
+	default:
+		v, err := lw.lowerExpr(e)
+		return v, "", err
+	}
+}
+
+// lowerRefBase resolves the base of a SelectExpr.
+func (lw *lowerer) lowerRefBase(ex *SelectExpr) (jimple.Value, string, error) {
+	return lw.lowerRef(ex.Base)
+}
+
+// lowerClassChain interprets a dotted chain whose head is not a variable:
+// the longest resolvable class prefix, followed by field loads.
+func (lw *lowerer) lowerClassChain(ex *SelectExpr, segs []string) (jimple.Value, string, error) {
+	// Longest prefix that names a declared (non-phantom would be ideal)
+	// class wins; otherwise the whole chain is a (possibly phantom)
+	// class reference.
+	full := strings.Join(segs, ".")
+	for k := len(segs); k >= 1; k-- {
+		prefix := strings.Join(segs[:k], ".")
+		var fq string
+		if k == 1 {
+			fq = lw.res.resolveClass(prefix)
+		} else if lw.h.Class(prefix) != nil {
+			fq = prefix
+		}
+		if fq == "" || lw.h.Class(fq) == nil && k > 1 {
+			continue
+		}
+		if fq == "" {
+			continue
+		}
+		if k == len(segs) {
+			return nil, fq, nil
+		}
+		// Static field of the prefix class, then instance loads.
+		var cur jimple.Value = &jimple.FieldRef{Class: fq, Field: segs[k], Typ: lw.fieldType(fq, segs[k])}
+		for _, fieldName := range segs[k+1:] {
+			base := lw.atomize(cur)
+			cls := lw.classOfValue(base)
+			cur = &jimple.FieldRef{Base: base, Class: cls, Field: fieldName, Typ: lw.fieldType(cls, fieldName)}
+		}
+		return cur, "", nil
+	}
+	// Nothing resolved: the whole dotted chain is a phantom class name.
+	return nil, full, nil
+}
+
+// findMethod searches class and its supertypes for a callable method with
+// the given name and arity, preferring exact parameter-type matches.
+func (lw *lowerer) findMethod(class, name string, args []jimple.Value) *java.Method {
+	var candidates []*java.Method
+	seenClasses := make(map[string]bool)
+	var visit func(n string)
+	visit = func(n string) {
+		if n == "" || seenClasses[n] {
+			return
+		}
+		seenClasses[n] = true
+		c := lw.h.Class(n)
+		if c == nil {
+			return
+		}
+		for _, m := range c.Methods {
+			if m.Name == name && len(m.Params) == len(args) {
+				candidates = append(candidates, m)
+			}
+		}
+		visit(c.Super)
+		for _, i := range c.Interfaces {
+			visit(i)
+		}
+	}
+	visit(class)
+	if len(candidates) == 0 {
+		return nil
+	}
+	for _, m := range candidates {
+		exact := true
+		for i, p := range m.Params {
+			if !p.Equal(args[i].Type()) {
+				exact = false
+				break
+			}
+		}
+		if exact {
+			return m
+		}
+	}
+	return candidates[0]
+}
+
+// synthesizeSig derives parameter types from argument static types for
+// calls into phantom classes.
+func synthesizeSig(args []jimple.Value) []java.Type {
+	params := make([]java.Type, len(args))
+	for i, a := range args {
+		params[i] = a.Type()
+	}
+	return params
+}
+
+// lowerCall lowers a method call. When wantResult is true the call's
+// value is materialized into a temp local.
+func (lw *lowerer) lowerCall(ex *CallExpr, wantResult bool) (jimple.Value, error) {
+	args := make([]jimple.Value, len(ex.Args))
+	for i, a := range ex.Args {
+		v, err := lw.lowerExpr(a)
+		if err != nil {
+			return nil, err
+		}
+		args[i] = v
+	}
+
+	var inv *jimple.InvokeExpr
+	switch {
+	case ex.Super:
+		if lw.body.This == nil {
+			return nil, lw.errf(ex.Line, "super call in static context")
+		}
+		superClass := lw.class.Super
+		if superClass == "" {
+			superClass = java.ObjectClass
+		}
+		m := lw.findMethod(superClass, ex.Name, args)
+		inv = lw.makeInvoke(jimple.InvokeSpecial, superClass, ex.Name, m, lw.body.This, args)
+	case ex.Base == nil:
+		m := lw.findMethod(lw.class.Name, ex.Name, args)
+		if m != nil && m.IsStatic() {
+			inv = lw.makeInvoke(jimple.InvokeStatic, m.ClassName, ex.Name, m, nil, args)
+			break
+		}
+		if lw.body.This == nil {
+			return nil, lw.errf(ex.Line, "unqualified call %q in static context must target a static method", ex.Name)
+		}
+		inv = lw.makeInvoke(jimple.InvokeVirtual, lw.class.Name, ex.Name, m, lw.body.This, args)
+	default:
+		val, className, err := lw.lowerRef(ex.Base)
+		if err != nil {
+			return nil, err
+		}
+		if className != "" {
+			// java.lang.reflect.Proxy.dispatch(...) is the frontend's
+			// marker for reflective/dynamic-proxy dispatch: it lowers to
+			// an InvokeDynamic, which the whole static pipeline treats as
+			// opaque — reproducing the paper's §V-B limitation.
+			if className == "java.lang.reflect.Proxy" && ex.Name == "dispatch" {
+				inv = &jimple.InvokeExpr{
+					Kind: jimple.InvokeDynamic, Class: className, Name: ex.Name,
+					ParamTypes: synthesizeSig(args), ReturnType: java.ObjectType, Args: args,
+				}
+				break
+			}
+			m := lw.findMethod(className, ex.Name, args)
+			inv = lw.makeInvoke(jimple.InvokeStatic, className, ex.Name, m, nil, args)
+			break
+		}
+		recv := lw.atomize(val)
+		recvClass := lw.classOfValue(recv)
+		m := lw.findMethod(recvClass, ex.Name, args)
+		kind := jimple.InvokeVirtual
+		if c := lw.h.Class(recvClass); c != nil && c.IsInterface() {
+			kind = jimple.InvokeInterface
+		}
+		inv = lw.makeInvoke(kind, recvClass, ex.Name, m, recv, args)
+	}
+
+	if !wantResult {
+		lw.emit(&jimple.InvokeStmt{Invoke: inv})
+		return nil, nil
+	}
+	if inv.ReturnType.IsVoid() {
+		return nil, lw.errf(ex.Line, "void call %q used as a value", ex.Name)
+	}
+	t := lw.newTemp(inv.ReturnType)
+	lw.emit(&jimple.AssignStmt{LHS: t, RHS: inv})
+	return t, nil
+}
+
+// makeInvoke assembles an InvokeExpr, falling back to a synthesized
+// signature when no declaration was found.
+func (lw *lowerer) makeInvoke(kind jimple.InvokeKind, class, name string, m *java.Method, base *jimple.Local, args []jimple.Value) *jimple.InvokeExpr {
+	inv := &jimple.InvokeExpr{Kind: kind, Class: class, Name: name, Base: base, Args: args}
+	if m != nil {
+		inv.Class = m.ClassName
+		inv.ParamTypes = m.Params
+		inv.ReturnType = m.Return
+		if m.IsStatic() && kind != jimple.InvokeStatic {
+			inv.Kind = jimple.InvokeStatic
+			inv.Base = nil
+		}
+	} else {
+		inv.ParamTypes = synthesizeSig(args)
+		inv.ReturnType = java.ObjectType
+	}
+	return inv
+}
+
+// lowerNew lowers `new T(args)`: allocation plus constructor call.
+func (lw *lowerer) lowerNew(ex *NewObjectExpr) (jimple.Value, error) {
+	fq := lw.res.mustResolveClass(ex.Type.Name)
+	typ := java.ClassType(fq)
+	tmp := lw.newTemp(typ)
+	lw.emit(&jimple.AssignStmt{LHS: tmp, RHS: &jimple.NewExpr{Typ: typ}})
+	args := make([]jimple.Value, len(ex.Args))
+	for i, a := range ex.Args {
+		v, err := lw.lowerExpr(a)
+		if err != nil {
+			return nil, err
+		}
+		args[i] = v
+	}
+	ctor := lw.findMethod(fq, "<init>", args)
+	if ctor == nil && len(args) == 0 {
+		return tmp, nil // default constructor: nothing to call
+	}
+	inv := lw.makeInvoke(jimple.InvokeSpecial, fq, "<init>", ctor, tmp, args)
+	inv.ReturnType = java.Void
+	lw.emit(&jimple.InvokeStmt{Invoke: inv})
+	return tmp, nil
+}

@@ -1,0 +1,815 @@
+package javasrc
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"tabby/internal/java"
+)
+
+// Parse parses one mini-Java source file into a Unit.
+func Parse(file, src string) (*Unit, error) {
+	toks, err := lex(file, src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{file: file, toks: toks}
+	unit, err := p.parseUnit()
+	if err != nil {
+		return nil, err
+	}
+	return unit, nil
+}
+
+type parser struct {
+	file string
+	toks []token
+	pos  int
+}
+
+func (p *parser) cur() token  { return p.toks[p.pos] }
+func (p *parser) peek() token { return p.toks[min(p.pos+1, len(p.toks)-1)] }
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func (p *parser) next() token {
+	t := p.toks[p.pos]
+	if p.pos < len(p.toks)-1 {
+		p.pos++
+	}
+	return t
+}
+
+func (p *parser) errf(t token, format string, args ...any) error {
+	return &SyntaxError{File: p.file, Line: t.line, Col: t.col, Msg: fmt.Sprintf(format, args...)}
+}
+
+func (p *parser) at(text string) bool { return p.cur().text == text && p.cur().kind != tokString }
+
+func (p *parser) accept(text string) bool {
+	if p.at(text) {
+		p.next()
+		return true
+	}
+	return false
+}
+
+func (p *parser) expect(text string) (token, error) {
+	if !p.at(text) {
+		return p.cur(), p.errf(p.cur(), "expected %q, found %s", text, p.cur())
+	}
+	return p.next(), nil
+}
+
+func (p *parser) expectIdent() (token, error) {
+	if p.cur().kind != tokIdent {
+		return p.cur(), p.errf(p.cur(), "expected identifier, found %s", p.cur())
+	}
+	return p.next(), nil
+}
+
+// parseUnit: packageDecl? importDecl* typeDecl+
+func (p *parser) parseUnit() (*Unit, error) {
+	u := &Unit{File: p.file}
+	if p.accept("package") {
+		name, err := p.parseQName()
+		if err != nil {
+			return nil, err
+		}
+		u.Package = name
+		if _, err := p.expect(";"); err != nil {
+			return nil, err
+		}
+	}
+	for p.accept("import") {
+		name, err := p.parseQName()
+		if err != nil {
+			return nil, err
+		}
+		u.Imports = append(u.Imports, name)
+		if _, err := p.expect(";"); err != nil {
+			return nil, err
+		}
+	}
+	for p.cur().kind != tokEOF {
+		td, err := p.parseTypeDecl()
+		if err != nil {
+			return nil, err
+		}
+		u.Types = append(u.Types, td)
+	}
+	if len(u.Types) == 0 {
+		return nil, p.errf(p.cur(), "no type declarations in file")
+	}
+	return u, nil
+}
+
+func (p *parser) parseQName() (string, error) {
+	t, err := p.expectIdent()
+	if err != nil {
+		return "", err
+	}
+	parts := []string{t.text}
+	for p.accept(".") {
+		t, err := p.expectIdent()
+		if err != nil {
+			return "", err
+		}
+		parts = append(parts, t.text)
+	}
+	return strings.Join(parts, "."), nil
+}
+
+var _modifierFlags = map[string]java.Modifier{
+	"public": java.ModPublic, "private": java.ModPrivate, "protected": java.ModProtected,
+	"static": java.ModStatic, "final": java.ModFinal, "abstract": java.ModAbstract,
+	"native": java.ModNative, "transient": java.ModTransient,
+	"synchronized": java.ModSynchronized, "volatile": java.ModVolatile,
+}
+
+func (p *parser) parseModifiers() java.Modifier {
+	var mods java.Modifier
+	for {
+		if flag, ok := _modifierFlags[p.cur().text]; ok && p.cur().kind == tokKeyword {
+			mods |= flag
+			p.next()
+			continue
+		}
+		return mods
+	}
+}
+
+func (p *parser) parseTypeDecl() (*TypeDecl, error) {
+	mods := p.parseModifiers()
+	switch {
+	case p.accept("class"):
+	case p.accept("interface"):
+		mods |= java.ModInterface | java.ModAbstract
+	default:
+		return nil, p.errf(p.cur(), "expected class or interface, found %s", p.cur())
+	}
+	nameTok, err := p.expectIdent()
+	if err != nil {
+		return nil, err
+	}
+	td := &TypeDecl{Name: nameTok.text, Mods: mods, Line: nameTok.line}
+	if p.accept("extends") {
+		for {
+			n, err := p.parseQName()
+			if err != nil {
+				return nil, err
+			}
+			td.Extends = append(td.Extends, n)
+			if !p.accept(",") {
+				break
+			}
+		}
+	}
+	if p.accept("implements") {
+		for {
+			n, err := p.parseQName()
+			if err != nil {
+				return nil, err
+			}
+			td.Implements = append(td.Implements, n)
+			if !p.accept(",") {
+				break
+			}
+		}
+	}
+	if _, err := p.expect("{"); err != nil {
+		return nil, err
+	}
+	for !p.at("}") {
+		if err := p.parseMember(td); err != nil {
+			return nil, err
+		}
+	}
+	if _, err := p.expect("}"); err != nil {
+		return nil, err
+	}
+	return td, nil
+}
+
+// parseMember parses a field, method or constructor into td.
+func (p *parser) parseMember(td *TypeDecl) error {
+	mods := p.parseModifiers()
+	// Constructor: Name matching the class, followed directly by "(".
+	if p.cur().kind == tokIdent && p.cur().text == td.Name && p.peek().text == "(" {
+		ctor := &MethodDecl{Mods: mods, Name: "<init>", Ret: typeRef{Name: "void"}, Line: p.cur().line}
+		p.next()
+		if err := p.parseMethodRest(ctor); err != nil {
+			return err
+		}
+		td.Methods = append(td.Methods, ctor)
+		return nil
+	}
+	typ, err := p.parseTypeRef()
+	if err != nil {
+		return err
+	}
+	nameTok, err := p.expectIdent()
+	if err != nil {
+		return err
+	}
+	if p.at("(") {
+		m := &MethodDecl{Mods: mods, Ret: typ, Name: nameTok.text, Line: nameTok.line}
+		if td.Mods.Has(java.ModInterface) {
+			m.Mods |= java.ModAbstract
+		}
+		if err := p.parseMethodRest(m); err != nil {
+			return err
+		}
+		td.Methods = append(td.Methods, m)
+		return nil
+	}
+	// Field. Initializers are not part of the subset.
+	if p.at("=") {
+		return p.errf(p.cur(), "field initializers are not supported; assign in a constructor")
+	}
+	td.Fields = append(td.Fields, &FieldDecl{Mods: mods, Type: typ, Name: nameTok.text, Line: nameTok.line})
+	for p.accept(",") { // `int a, b;` — additional declarators
+		extra, err := p.expectIdent()
+		if err != nil {
+			return err
+		}
+		td.Fields = append(td.Fields, &FieldDecl{Mods: mods, Type: typ, Name: extra.text, Line: extra.line})
+	}
+	if _, err := p.expect(";"); err != nil {
+		return err
+	}
+	return nil
+}
+
+// parseTypeRef: (primitive | QName) ("[" "]")*
+func (p *parser) parseTypeRef() (typeRef, error) {
+	t := p.cur()
+	var name string
+	if t.kind == tokKeyword {
+		switch t.text {
+		case "void", "boolean", "int", "long", "double", "float", "char", "short", "byte":
+			name = t.text
+			p.next()
+		default:
+			return typeRef{}, p.errf(t, "expected type, found %s", t)
+		}
+	} else {
+		n, err := p.parseQName()
+		if err != nil {
+			return typeRef{}, err
+		}
+		name = n
+	}
+	tr := typeRef{Name: name}
+	for p.at("[") && p.peek().text == "]" {
+		p.next()
+		p.next()
+		tr.Dims++
+	}
+	return tr, nil
+}
+
+func (p *parser) parseMethodRest(m *MethodDecl) error {
+	if _, err := p.expect("("); err != nil {
+		return err
+	}
+	for !p.at(")") {
+		typ, err := p.parseTypeRef()
+		if err != nil {
+			return err
+		}
+		nameTok, err := p.expectIdent()
+		if err != nil {
+			return err
+		}
+		m.Params = append(m.Params, ParamDecl{Type: typ, Name: nameTok.text})
+		if !p.accept(",") {
+			break
+		}
+	}
+	if _, err := p.expect(")"); err != nil {
+		return err
+	}
+	// `throws X, Y` clauses are accepted and ignored.
+	if p.accept("throws") {
+		for {
+			if _, err := p.parseQName(); err != nil {
+				return err
+			}
+			if !p.accept(",") {
+				break
+			}
+		}
+	}
+	if p.accept(";") {
+		return nil
+	}
+	body, err := p.parseBlock()
+	if err != nil {
+		return err
+	}
+	m.Body = body
+	m.HasBody = true
+	return nil
+}
+
+func (p *parser) parseBlock() ([]StmtNode, error) {
+	if _, err := p.expect("{"); err != nil {
+		return nil, err
+	}
+	var stmts []StmtNode
+	for !p.at("}") {
+		s, err := p.parseStmt()
+		if err != nil {
+			return nil, err
+		}
+		stmts = append(stmts, s)
+	}
+	if _, err := p.expect("}"); err != nil {
+		return nil, err
+	}
+	return stmts, nil
+}
+
+func (p *parser) parseStmt() (StmtNode, error) {
+	t := p.cur()
+	switch {
+	case p.at("{"):
+		stmts, err := p.parseBlock()
+		if err != nil {
+			return nil, err
+		}
+		return &BlockStmtNode{Stmts: stmts}, nil
+	case p.accept("if"):
+		if _, err := p.expect("("); err != nil {
+			return nil, err
+		}
+		cond, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(")"); err != nil {
+			return nil, err
+		}
+		thenStmt, err := p.parseStmt()
+		if err != nil {
+			return nil, err
+		}
+		node := &IfStmtNode{Cond: cond, Then: flatten(thenStmt), Line: t.line}
+		if p.accept("else") {
+			elseStmt, err := p.parseStmt()
+			if err != nil {
+				return nil, err
+			}
+			node.Else = flatten(elseStmt)
+		}
+		return node, nil
+	case p.accept("while"):
+		if _, err := p.expect("("); err != nil {
+			return nil, err
+		}
+		cond, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(")"); err != nil {
+			return nil, err
+		}
+		body, err := p.parseStmt()
+		if err != nil {
+			return nil, err
+		}
+		return &WhileStmtNode{Cond: cond, Body: flatten(body), Line: t.line}, nil
+	case p.accept("return"):
+		node := &ReturnStmtNode{Line: t.line}
+		if !p.at(";") {
+			e, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			node.E = e
+		}
+		if _, err := p.expect(";"); err != nil {
+			return nil, err
+		}
+		return node, nil
+	case p.accept("throw"):
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(";"); err != nil {
+			return nil, err
+		}
+		return &ThrowStmtNode{E: e, Line: t.line}, nil
+	}
+	// Local declaration vs. expression statement: a type reference
+	// followed by an identifier is a declaration.
+	if save := p.pos; p.looksLikeLocalDecl() {
+		typ, err := p.parseTypeRef()
+		if err != nil {
+			p.pos = save
+		} else if p.cur().kind == tokIdent {
+			nameTok := p.next()
+			node := &LocalDeclStmt{Type: typ, Name: nameTok.text, Line: nameTok.line}
+			if p.accept("=") {
+				init, err := p.parseExpr()
+				if err != nil {
+					return nil, err
+				}
+				node.Init = init
+			}
+			if _, err := p.expect(";"); err != nil {
+				return nil, err
+			}
+			return node, nil
+		} else {
+			p.pos = save
+		}
+	}
+	e, err := p.parseExpr()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(";"); err != nil {
+		return nil, err
+	}
+	switch e.(type) {
+	case *CallExpr, *AssignExpr, *NewObjectExpr:
+		return &ExprStmt{E: e, Line: t.line}, nil
+	default:
+		return nil, p.errf(t, "expression statement must be a call or assignment")
+	}
+}
+
+// looksLikeLocalDecl reports whether the upcoming tokens read as
+// `Type ident ...` rather than an expression.
+func (p *parser) looksLikeLocalDecl() bool {
+	t := p.cur()
+	if t.kind == tokKeyword {
+		switch t.text {
+		case "boolean", "int", "long", "double", "float", "char", "short", "byte":
+			return true
+		}
+		return false
+	}
+	if t.kind != tokIdent {
+		return false
+	}
+	// Scan a qualified name, optional [], then require an identifier.
+	i := p.pos
+	toks := p.toks
+	i++ // first ident
+	for toks[i].text == "." && toks[i+1].kind == tokIdent {
+		i += 2
+	}
+	for toks[i].text == "[" && toks[i+1].text == "]" {
+		i += 2
+	}
+	return toks[i].kind == tokIdent
+}
+
+func flatten(s StmtNode) []StmtNode {
+	if b, ok := s.(*BlockStmtNode); ok {
+		return b.Stmts
+	}
+	return []StmtNode{s}
+}
+
+// --- expressions ---------------------------------------------------------
+
+func (p *parser) parseExpr() (ExprNode, error) { return p.parseAssign() }
+
+func (p *parser) parseAssign() (ExprNode, error) {
+	lhs, err := p.parseOr()
+	if err != nil {
+		return nil, err
+	}
+	if p.at("=") {
+		t := p.next()
+		rhs, err := p.parseAssign()
+		if err != nil {
+			return nil, err
+		}
+		switch lhs.(type) {
+		case *IdentExpr, *SelectExpr, *IndexExpr:
+			return &AssignExpr{LHS: lhs, RHS: rhs, Line: t.line}, nil
+		default:
+			return nil, p.errf(t, "invalid assignment target")
+		}
+	}
+	return lhs, nil
+}
+
+func (p *parser) parseBinary(sub func() (ExprNode, error), ops ...string) (ExprNode, error) {
+	l, err := sub()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		matched := ""
+		for _, op := range ops {
+			if p.at(op) {
+				matched = op
+				break
+			}
+		}
+		if matched == "" {
+			return l, nil
+		}
+		t := p.next()
+		r, err := sub()
+		if err != nil {
+			return nil, err
+		}
+		l = &BinExpr{Op: matched, L: l, R: r, Line: t.line}
+	}
+}
+
+func (p *parser) parseOr() (ExprNode, error) {
+	return p.parseBinary(p.parseAnd, "||")
+}
+
+func (p *parser) parseAnd() (ExprNode, error) {
+	return p.parseBinary(p.parseEquality, "&&")
+}
+
+func (p *parser) parseEquality() (ExprNode, error) {
+	return p.parseBinary(p.parseRelational, "==", "!=")
+}
+
+func (p *parser) parseRelational() (ExprNode, error) {
+	l, err := p.parseBinary(p.parseAdditive, "<", ">", "<=", ">=")
+	if err != nil {
+		return nil, err
+	}
+	if p.at("instanceof") {
+		t := p.next()
+		typ, err := p.parseTypeRef()
+		if err != nil {
+			return nil, err
+		}
+		return &InstanceOfExprNode{E: l, Type: typ, Line: t.line}, nil
+	}
+	return l, nil
+}
+
+func (p *parser) parseAdditive() (ExprNode, error) {
+	return p.parseBinary(p.parseMultiplicative, "+", "-")
+}
+
+func (p *parser) parseMultiplicative() (ExprNode, error) {
+	return p.parseBinary(p.parseUnary, "*", "/")
+}
+
+func (p *parser) parseUnary() (ExprNode, error) {
+	if p.at("!") {
+		t := p.next()
+		e, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		return &UnaryExpr{Op: "!", E: e, Line: t.line}, nil
+	}
+	// Cast: "(" type ")" unary — disambiguated by lookahead.
+	if p.at("(") && p.looksLikeCast() {
+		t := p.next() // "("
+		typ, err := p.parseTypeRef()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(")"); err != nil {
+			return nil, err
+		}
+		e, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		return &CastExprNode{Type: typ, E: e, Line: t.line}, nil
+	}
+	return p.parsePostfix()
+}
+
+// looksLikeCast checks "(" QName|primitive ("[""]")* ")" X where X starts
+// a unary expression other than an operator.
+func (p *parser) looksLikeCast() bool {
+	toks := p.toks
+	i := p.pos + 1 // after "("
+	switch {
+	case toks[i].kind == tokKeyword:
+		switch toks[i].text {
+		case "boolean", "int", "long", "double", "float", "char", "short", "byte":
+			i++
+		default:
+			return false
+		}
+	case toks[i].kind == tokIdent:
+		i++
+		for toks[i].text == "." && toks[i+1].kind == tokIdent {
+			i += 2
+		}
+	default:
+		return false
+	}
+	for toks[i].text == "[" && toks[i+1].text == "]" {
+		i += 2
+	}
+	if toks[i].text != ")" {
+		return false
+	}
+	after := toks[i+1]
+	if after.kind == tokIdent || after.kind == tokString || after.kind == tokInt {
+		return true
+	}
+	switch after.text {
+	case "this", "new", "null", "(", "!", "true", "false":
+		return true
+	}
+	return false
+}
+
+func (p *parser) parsePostfix() (ExprNode, error) {
+	e, err := p.parsePrimary()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		switch {
+		case p.at("."):
+			p.next()
+			// T.class literal
+			if p.at("class") {
+				t := p.next()
+				name, ok := exprToQName(e)
+				if !ok {
+					return nil, p.errf(t, ".class requires a type name")
+				}
+				e = &ClassLit{Type: typeRef{Name: name}, Line: t.line}
+				continue
+			}
+			nameTok, err := p.expectIdent()
+			if err != nil {
+				return nil, err
+			}
+			if p.at("(") {
+				args, err := p.parseArgs()
+				if err != nil {
+					return nil, err
+				}
+				_, isSuper := e.(*superMarker)
+				if isSuper {
+					e = &CallExpr{Name: nameTok.text, Args: args, Super: true, Line: nameTok.line}
+				} else {
+					e = &CallExpr{Base: e, Name: nameTok.text, Args: args, Line: nameTok.line}
+				}
+				continue
+			}
+			e = &SelectExpr{Base: e, Name: nameTok.text, Line: nameTok.line}
+		case p.at("["):
+			t := p.next()
+			idx, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			if _, err := p.expect("]"); err != nil {
+				return nil, err
+			}
+			e = &IndexExpr{Base: e, Index: idx, Line: t.line}
+		default:
+			return e, nil
+		}
+	}
+}
+
+// superMarker is a placeholder for `super` awaiting its `.method(...)`.
+type superMarker struct{ Line int }
+
+func (*superMarker) exprNode() {}
+
+func (p *parser) parseArgs() ([]ExprNode, error) {
+	if _, err := p.expect("("); err != nil {
+		return nil, err
+	}
+	var args []ExprNode
+	for !p.at(")") {
+		a, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		args = append(args, a)
+		if !p.accept(",") {
+			break
+		}
+	}
+	if _, err := p.expect(")"); err != nil {
+		return nil, err
+	}
+	return args, nil
+}
+
+func (p *parser) parsePrimary() (ExprNode, error) {
+	t := p.cur()
+	switch {
+	case t.kind == tokInt:
+		p.next()
+		v, err := strconv.ParseInt(t.text, 10, 64)
+		if err != nil {
+			return nil, p.errf(t, "bad integer literal %q", t.text)
+		}
+		return &IntLit{Val: v, Line: t.line}, nil
+	case t.kind == tokString:
+		p.next()
+		return &StrLit{Val: t.text, Line: t.line}, nil
+	case p.accept("null"):
+		return &NullLit{Line: t.line}, nil
+	case p.accept("true"):
+		return &BoolLit{Val: true, Line: t.line}, nil
+	case p.accept("false"):
+		return &BoolLit{Val: false, Line: t.line}, nil
+	case p.accept("this"):
+		return &ThisLit{Line: t.line}, nil
+	case p.accept("super"):
+		return &superMarker{Line: t.line}, nil
+	case p.accept("new"):
+		typ, err := p.parseQNameAsTypeRef()
+		if err != nil {
+			return nil, err
+		}
+		if p.at("[") {
+			p.next()
+			size, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			if _, err := p.expect("]"); err != nil {
+				return nil, err
+			}
+			return &NewArrayExprNode{Elem: typ, Size: size, Line: t.line}, nil
+		}
+		args, err := p.parseArgs()
+		if err != nil {
+			return nil, err
+		}
+		return &NewObjectExpr{Type: typ, Args: args, Line: t.line}, nil
+	case p.at("("):
+		p.next()
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(")"); err != nil {
+			return nil, err
+		}
+		return e, nil
+	case t.kind == tokIdent:
+		p.next()
+		if p.at("(") {
+			args, err := p.parseArgs()
+			if err != nil {
+				return nil, err
+			}
+			return &CallExpr{Name: t.text, Args: args, Line: t.line}, nil
+		}
+		return &IdentExpr{Name: t.text, Line: t.line}, nil
+	default:
+		return nil, p.errf(t, "unexpected token %s in expression", t)
+	}
+}
+
+// parseQNameAsTypeRef parses a possibly-qualified type name after `new`.
+func (p *parser) parseQNameAsTypeRef() (typeRef, error) {
+	if p.cur().kind == tokKeyword {
+		switch p.cur().text {
+		case "boolean", "int", "long", "double", "float", "char", "short", "byte":
+			name := p.next().text
+			return typeRef{Name: name}, nil
+		}
+	}
+	n, err := p.parseQName()
+	if err != nil {
+		return typeRef{}, err
+	}
+	return typeRef{Name: n}, nil
+}
+
+// exprToQName flattens an Ident/Select chain into a dotted name.
+func exprToQName(e ExprNode) (string, bool) {
+	switch n := e.(type) {
+	case *IdentExpr:
+		return n.Name, true
+	case *SelectExpr:
+		base, ok := exprToQName(n.Base)
+		if !ok {
+			return "", false
+		}
+		return base + "." + n.Name, true
+	default:
+		return "", false
+	}
+}

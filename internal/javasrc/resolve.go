@@ -1,0 +1,132 @@
+package javasrc
+
+import (
+	"fmt"
+	"strings"
+
+	"tabby/internal/java"
+)
+
+// javaLangClasses are resolvable without an import, like javac's implicit
+// java.lang.* import.
+var _javaLang = map[string]string{
+	"Object": "java.lang.Object", "String": "java.lang.String",
+	"Class": "java.lang.Class", "Runtime": "java.lang.Runtime",
+	"Process": "java.lang.Process", "ProcessBuilder": "java.lang.ProcessBuilder",
+	"ClassLoader": "java.lang.ClassLoader", "System": "java.lang.System",
+	"Thread": "java.lang.Thread", "Exception": "java.lang.Exception",
+	"RuntimeException": "java.lang.RuntimeException", "Error": "java.lang.Error",
+	"Throwable": "java.lang.Throwable", "Integer": "java.lang.Integer",
+	"Long": "java.lang.Long", "Boolean": "java.lang.Boolean",
+	"StringBuilder": "java.lang.StringBuilder", "Comparable": "java.lang.Comparable",
+	"Iterable": "java.lang.Iterable", "Cloneable": "java.lang.Cloneable",
+	"IllegalStateException":         "java.lang.IllegalStateException",
+	"IllegalArgumentException":      "java.lang.IllegalArgumentException",
+	"UnsupportedOperationException": "java.lang.UnsupportedOperationException",
+}
+
+// resolver resolves simple type names within one compilation unit.
+type resolver struct {
+	unit     *Unit
+	imports  map[string]string // simple -> fqcn
+	declared map[string]bool   // all fqcns declared across the source set
+	pkgOf    map[string]string // simple name -> fqcn for same-package types
+}
+
+func newResolver(unit *Unit, declared map[string]bool) *resolver {
+	r := &resolver{
+		unit:     unit,
+		imports:  make(map[string]string, len(unit.Imports)),
+		declared: declared,
+		pkgOf:    make(map[string]string),
+	}
+	for _, imp := range unit.Imports {
+		simple := imp
+		if i := strings.LastIndexByte(imp, '.'); i >= 0 {
+			simple = imp[i+1:]
+		}
+		r.imports[simple] = imp
+	}
+	prefix := ""
+	if unit.Package != "" {
+		prefix = unit.Package + "."
+	}
+	for fqcn := range declared {
+		if strings.HasPrefix(fqcn, prefix) {
+			rest := fqcn[len(prefix):]
+			if !strings.ContainsRune(rest, '.') {
+				r.pkgOf[rest] = fqcn
+			}
+		}
+	}
+	return r
+}
+
+// resolveClass maps a possibly-simple class name to a fully qualified one.
+// Qualified names pass through (phantom classes are legal). Unresolvable
+// simple names return "".
+func (r *resolver) resolveClass(name string) string {
+	if strings.ContainsRune(name, '.') {
+		return name
+	}
+	if fq, ok := r.imports[name]; ok {
+		return fq
+	}
+	if fq, ok := r.pkgOf[name]; ok {
+		return fq
+	}
+	if fq, ok := _javaLang[name]; ok {
+		return fq
+	}
+	return ""
+}
+
+// mustResolveClass is resolveClass that falls back to qualifying the name
+// into the unit's package (declaring contexts where an unknown name is
+// still meaningful as a phantom neighbour).
+func (r *resolver) mustResolveClass(name string) string {
+	if fq := r.resolveClass(name); fq != "" {
+		return fq
+	}
+	if r.unit.Package != "" {
+		return r.unit.Package + "." + name
+	}
+	return name
+}
+
+// resolveType maps a source type reference to a java.Type.
+func (r *resolver) resolveType(tr typeRef) (java.Type, error) {
+	var base java.Type
+	switch tr.Name {
+	case "void":
+		base = java.Void
+	case "boolean":
+		base = java.Boolean
+	case "int", "short", "byte":
+		base = java.Int
+	case "long":
+		base = java.Long
+	case "double", "float":
+		base = java.Double
+	case "char":
+		base = java.Char
+	default:
+		base = java.ClassType(r.mustResolveClass(tr.Name))
+	}
+	if base.IsVoid() && tr.Dims > 0 {
+		return java.Type{}, fmt.Errorf("void array type")
+	}
+	for i := 0; i < tr.Dims; i++ {
+		base = java.ArrayOf(base)
+	}
+	return base, nil
+}
+
+// fqcnOf returns the fully qualified name of a type declaration in the
+// unit.
+func fqcnOf(unit *Unit, td *TypeDecl) string {
+	if unit.Package == "" {
+		return td.Name
+	}
+	return unit.Package + "." + td.Name
+}

@@ -1,0 +1,203 @@
+package javasrc
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"tabby/internal/java"
+	"tabby/internal/jimple"
+)
+
+// tortureSource exercises every construct of the mini-Java subset in one
+// compilation unit.
+const tortureSource = `
+package torture;
+
+import java.io.Serializable;
+
+public interface Visitor extends Serializable {
+    Object visit(Object node);
+}
+
+public interface Registry {
+    Object get(Object key);
+}
+
+public abstract class Base implements Visitor {
+    protected Object state;
+    public abstract Object visit(Object node);
+    Object touch(Object o) { return o; }
+}
+
+public class Walker extends Base {
+    public static int counter;
+    public Object[] stack;
+    public Registry registry;
+    public String label, tag;
+    private transient int cache;
+
+    public Walker(Object seed) {
+        this.state = seed;
+        this.stack = new Object[8];
+    }
+
+    public Object visit(Object node) {
+        // locals, casts, instanceof, unary not, boolean ops
+        boolean isStr = node instanceof String;
+        if (!isStr && node != null) {
+            String s = (String) this.touch(node);
+            this.label = s + "-visited";
+        } else if (isStr || node == null) {
+            this.label = "default";
+        }
+
+        // while loop with arithmetic and comparisons
+        int i = 0;
+        while (i < 10) {
+            i = i + 1;
+            if (i == 5) {
+                Walker.counter = Walker.counter + 1;
+            }
+        }
+
+        // array store/load, nested calls, super call
+        stack[0] = node;
+        Object top = stack[0];
+        Object again = super.touch(top);
+
+        // static field access via qualified and bare names
+        counter = counter + 1;
+        int snapshot = Walker.counter;
+
+        // throw inside a branch
+        if (snapshot < 0) {
+            throw new RuntimeException("impossible " + this.label);
+        }
+
+        // interface call through field, chained field access
+        Object fromMap = registry.get(this.tag);
+        return again;
+    }
+
+    public int size() { return 0; }
+}
+`
+
+func TestTortureCompiles(t *testing.T) {
+	prog, err := Compile("torture.jar", tortureSource)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := prog.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	visit := prog.Body(java.MakeMethodKey("torture.Walker", "visit", []java.Type{java.ObjectType}))
+	if visit == nil {
+		t.Fatal("visit body missing")
+	}
+	// Key lowering artifacts must be present.
+	var (
+		hasCast, hasInstanceOf, hasArrayStore, hasThrow, hasSuper,
+		hasStaticStore, hasInterfaceCall, hasConcat, hasBackEdge bool
+	)
+	for i, st := range visit.Stmts {
+		switch s := st.(type) {
+		case *jimple.AssignStmt:
+			switch rhs := s.RHS.(type) {
+			case *jimple.CastExpr:
+				hasCast = true
+			case *jimple.InstanceOfExpr:
+				hasInstanceOf = true
+			case *jimple.BinopExpr:
+				if rhs.Op == jimple.OpAdd && rhs.Type().Equal(java.StringType) {
+					hasConcat = true
+				}
+			case *jimple.InvokeExpr:
+				if rhs.Kind == jimple.InvokeInterface {
+					hasInterfaceCall = true
+				}
+				if rhs.Kind == jimple.InvokeSpecial && rhs.Name == "touch" {
+					hasSuper = true
+				}
+			}
+			if lhs, ok := s.LHS.(*jimple.ArrayRef); ok && lhs.Base != nil {
+				hasArrayStore = true
+			}
+			if lhs, ok := s.LHS.(*jimple.FieldRef); ok && lhs.IsStatic() {
+				hasStaticStore = true
+			}
+		case *jimple.ThrowStmt:
+			hasThrow = true
+		case *jimple.GotoStmt:
+			if s.Target < i {
+				hasBackEdge = true
+			}
+		}
+	}
+	for name, ok := range map[string]bool{
+		"cast": hasCast, "instanceof": hasInstanceOf, "array store": hasArrayStore,
+		"throw": hasThrow, "super call": hasSuper, "static store": hasStaticStore,
+		"interface call": hasInterfaceCall, "string concat": hasConcat, "loop back edge": hasBackEdge,
+	} {
+		if !ok {
+			t.Errorf("lowered body missing %s:\n%s", name, visit.String())
+		}
+	}
+	// Constructor lowering: field stores through this.
+	ctor := prog.Body(java.MakeMethodKey("torture.Walker", "<init>", []java.Type{java.ObjectType}))
+	if ctor == nil {
+		t.Fatal("constructor body missing")
+	}
+	// Multi-declarator field parsing.
+	walker := prog.Hierarchy.Class("torture.Walker")
+	if walker.FieldByName("label") == nil || walker.FieldByName("tag") == nil {
+		t.Error("multi-declarator fields lost")
+	}
+	// Abstract method carries no body.
+	if prog.Body(java.MakeMethodKey("torture.Base", "visit", []java.Type{java.ObjectType})) != nil {
+		t.Error("abstract method must have no body")
+	}
+	// Interface extends interface.
+	if !prog.Hierarchy.IsSubtypeOf("torture.Visitor", java.SerializableIface) {
+		t.Error("Visitor must extend Serializable")
+	}
+}
+
+// TestParserNeverPanics feeds fragments and mutations of valid source to
+// the parser: it must return errors, never panic.
+func TestParserNeverPanics(t *testing.T) {
+	base := tortureSource
+	f := func(cut uint16, insert uint8) bool {
+		defer func() {
+			if r := recover(); r != nil {
+				t.Fatalf("parser panicked: %v", r)
+			}
+		}()
+		pos := int(cut) % len(base)
+		mutated := base[:pos] + string(rune('!'+insert%90)) + base[pos:]
+		_, _ = Parse("m.java", mutated)
+		_, _ = Parse("m.java", base[:pos])
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestLowerNeverPanicsOnTruncations compiles truncated-at-line variants:
+// errors are fine, panics are not.
+func TestLowerNeverPanicsOnTruncations(t *testing.T) {
+	lines := strings.Split(tortureSource, "\n")
+	for i := 5; i < len(lines); i += 3 {
+		src := strings.Join(lines[:i], "\n") + "\n}"
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					t.Fatalf("compile panicked on truncation at line %d: %v", i, r)
+				}
+			}()
+			_, _ = Compile("trunc.jar", src)
+		}()
+	}
+}

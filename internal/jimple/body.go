@@ -1,0 +1,169 @@
+package jimple
+
+import (
+	"fmt"
+	"strings"
+
+	"tabby/internal/java"
+)
+
+// Body is a method body: identity statements binding this/params, then the
+// statement list. Statement indexes are the branch-target space.
+type Body struct {
+	Method *java.Method
+	This   *Local   // nil for static methods
+	Params []*Local // one local per formal parameter
+	Locals []*Local // all locals including This/Params/temps
+	Stmts  []Stmt
+}
+
+// NewBody creates an empty body for the method, materializing the
+// identity statements for this and the parameters.
+func NewBody(m *java.Method) *Body {
+	b := &Body{Method: m}
+	if !m.IsStatic() {
+		b.This = NewLocal("this", java.ClassType(m.ClassName))
+		b.Locals = append(b.Locals, b.This)
+		b.Stmts = append(b.Stmts, &IdentityStmt{Local: b.This, RHS: &ThisRef{Typ: b.This.Typ}})
+	}
+	for i, p := range m.Params {
+		l := NewLocal(fmt.Sprintf("p%d", i), p)
+		b.Params = append(b.Params, l)
+		b.Locals = append(b.Locals, l)
+		b.Stmts = append(b.Stmts, &IdentityStmt{Local: l, RHS: &ParamRef{Index: i, Typ: p}})
+	}
+	return b
+}
+
+// AddLocal registers a fresh local in the body.
+func (b *Body) AddLocal(l *Local) *Local {
+	b.Locals = append(b.Locals, l)
+	return l
+}
+
+// Append adds a statement and returns its index.
+func (b *Body) Append(s Stmt) int {
+	b.Stmts = append(b.Stmts, s)
+	return len(b.Stmts) - 1
+}
+
+// Invokes returns every InvokeExpr in the body paired with its statement
+// index — the raw material of the Method Call Graph (§III-B2).
+func (b *Body) Invokes() []IndexedInvoke {
+	var out []IndexedInvoke
+	for i, s := range b.Stmts {
+		switch st := s.(type) {
+		case *InvokeStmt:
+			out = append(out, IndexedInvoke{Index: i, Expr: st.Invoke})
+		case *AssignStmt:
+			if inv, ok := st.RHS.(*InvokeExpr); ok {
+				out = append(out, IndexedInvoke{Index: i, Expr: inv})
+			}
+		}
+	}
+	return out
+}
+
+// IndexedInvoke pairs an invocation with the statement index holding it.
+type IndexedInvoke struct {
+	Index int
+	Expr  *InvokeExpr
+}
+
+// Validate checks structural invariants: branch targets in range, identity
+// statements only at the head, locals registered.
+func (b *Body) Validate() error {
+	n := len(b.Stmts)
+	checkTarget := func(t int, what string) error {
+		if t < 0 || t >= n {
+			return fmt.Errorf("method %s: %s target %d out of range [0,%d)", b.Method.Key(), what, t, n)
+		}
+		return nil
+	}
+	inHeader := true
+	for i, s := range b.Stmts {
+		switch st := s.(type) {
+		case *IdentityStmt:
+			if !inHeader {
+				return fmt.Errorf("method %s: identity statement at %d after body start", b.Method.Key(), i)
+			}
+		case *IfStmt:
+			inHeader = false
+			if err := checkTarget(st.Target, "if"); err != nil {
+				return err
+			}
+		case *GotoStmt:
+			inHeader = false
+			if err := checkTarget(st.Target, "goto"); err != nil {
+				return err
+			}
+		case *SwitchStmt:
+			inHeader = false
+			for _, t := range st.Targets {
+				if err := checkTarget(t, "switch"); err != nil {
+					return err
+				}
+			}
+			if err := checkTarget(st.Default, "switch default"); err != nil {
+				return err
+			}
+		default:
+			inHeader = false
+		}
+	}
+	return nil
+}
+
+// String renders the body in a Jimple-like textual form.
+func (b *Body) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%s {\n", b.Method.Key())
+	for i, s := range b.Stmts {
+		fmt.Fprintf(&sb, "  %3d: %s\n", i, s.String())
+	}
+	sb.WriteString("}\n")
+	return sb.String()
+}
+
+// Program is the complete analyzed universe: the class hierarchy, one body
+// per concrete method, and the archives the classes came from. It is the
+// output of the frontend (package javasrc or the synthetic generators) and
+// the input to every analysis.
+type Program struct {
+	Hierarchy *java.Hierarchy
+	Bodies    map[java.MethodKey]*Body
+	Archives  []java.Archive
+}
+
+// NewProgram wraps a hierarchy with an empty body table.
+func NewProgram(h *java.Hierarchy) *Program {
+	return &Program{Hierarchy: h, Bodies: make(map[java.MethodKey]*Body)}
+}
+
+// Body returns the body for the method key, or nil for abstract/native or
+// unknown methods.
+func (p *Program) Body(key java.MethodKey) *Body { return p.Bodies[key] }
+
+// SetBody registers a body under its method's key.
+func (p *Program) SetBody(b *Body) {
+	p.Bodies[b.Method.Key()] = b
+}
+
+// Validate validates every body in the program.
+func (p *Program) Validate() error {
+	for key, b := range p.Bodies {
+		if err := b.Validate(); err != nil {
+			return fmt.Errorf("program body %s: %w", key, err)
+		}
+	}
+	return nil
+}
+
+// NumMethods counts all declared methods (with or without bodies).
+func (p *Program) NumMethods() int {
+	n := 0
+	for _, name := range p.Hierarchy.SortedClassNames() {
+		n += len(p.Hierarchy.Class(name).Methods)
+	}
+	return n
+}

@@ -1,0 +1,126 @@
+package jimple
+
+import (
+	"strconv"
+
+	"tabby/internal/java"
+)
+
+// BodyBuilder is a small fluent helper for constructing method bodies
+// programmatically. The synthetic-corpus generators and tests use it; the
+// mini-Java frontend (package javasrc) lowers source text instead.
+type BodyBuilder struct {
+	body *Body
+	temp int
+}
+
+// NewBodyBuilder starts a builder over a fresh body for m.
+func NewBodyBuilder(m *java.Method) *BodyBuilder {
+	return &BodyBuilder{body: NewBody(m)}
+}
+
+// Body returns the body built so far.
+func (bb *BodyBuilder) Body() *Body { return bb.body }
+
+// This returns the receiver local (nil for static methods).
+func (bb *BodyBuilder) This() *Local { return bb.body.This }
+
+// Param returns the local bound to parameter i.
+func (bb *BodyBuilder) Param(i int) *Local { return bb.body.Params[i] }
+
+// Temp allocates a fresh temporary local of the given type.
+func (bb *BodyBuilder) Temp(typ java.Type) *Local {
+	bb.temp++
+	return bb.body.AddLocal(NewLocal("$t"+strconv.Itoa(bb.temp), typ))
+}
+
+// Local allocates a named local.
+func (bb *BodyBuilder) Local(name string, typ java.Type) *Local {
+	return bb.body.AddLocal(NewLocal(name, typ))
+}
+
+// Assign appends lhs = rhs and returns the statement index.
+func (bb *BodyBuilder) Assign(lhs, rhs Value) int {
+	return bb.body.Append(&AssignStmt{LHS: lhs, RHS: rhs})
+}
+
+// New appends l = new T.
+func (bb *BodyBuilder) New(l *Local, typ java.Type) int {
+	return bb.Assign(l, &NewExpr{Typ: typ})
+}
+
+// InvokeVirtual appends a virtual call base.name(args) with a discarded
+// result.
+func (bb *BodyBuilder) InvokeVirtual(base *Local, class, name string, params []java.Type, ret java.Type, args ...Value) int {
+	return bb.body.Append(&InvokeStmt{Invoke: &InvokeExpr{
+		Kind: InvokeVirtual, Class: class, Name: name,
+		ParamTypes: params, ReturnType: ret, Base: base, Args: args,
+	}})
+}
+
+// InvokeStatic appends a static call Class.name(args) with a discarded
+// result.
+func (bb *BodyBuilder) InvokeStatic(class, name string, params []java.Type, ret java.Type, args ...Value) int {
+	return bb.body.Append(&InvokeStmt{Invoke: &InvokeExpr{
+		Kind: InvokeStatic, Class: class, Name: name,
+		ParamTypes: params, ReturnType: ret, Args: args,
+	}})
+}
+
+// AssignInvokeVirtual appends l = base.name(args).
+func (bb *BodyBuilder) AssignInvokeVirtual(l *Local, base *Local, class, name string, params []java.Type, ret java.Type, args ...Value) int {
+	return bb.Assign(l, &InvokeExpr{
+		Kind: InvokeVirtual, Class: class, Name: name,
+		ParamTypes: params, ReturnType: ret, Base: base, Args: args,
+	})
+}
+
+// AssignInvokeStatic appends l = Class.name(args).
+func (bb *BodyBuilder) AssignInvokeStatic(l *Local, class, name string, params []java.Type, ret java.Type, args ...Value) int {
+	return bb.Assign(l, &InvokeExpr{
+		Kind: InvokeStatic, Class: class, Name: name,
+		ParamTypes: params, ReturnType: ret, Args: args,
+	})
+}
+
+// FieldLoad appends l = base.field.
+func (bb *BodyBuilder) FieldLoad(l *Local, base *Local, class, field string, typ java.Type) int {
+	return bb.Assign(l, &FieldRef{Base: base, Class: class, Field: field, Typ: typ})
+}
+
+// FieldStore appends base.field = v.
+func (bb *BodyBuilder) FieldStore(base *Local, class, field string, typ java.Type, v Value) int {
+	return bb.Assign(&FieldRef{Base: base, Class: class, Field: field, Typ: typ}, v)
+}
+
+// Return appends return v (v may be nil).
+func (bb *BodyBuilder) Return(v Value) int {
+	return bb.body.Append(&ReturnStmt{Op: v})
+}
+
+// If appends a conditional branch and returns its index so the target can
+// be patched with PatchTarget once known.
+func (bb *BodyBuilder) If(cond Value) int {
+	return bb.body.Append(&IfStmt{Cond: cond, Target: 0})
+}
+
+// Goto appends an unconditional branch, target patched later.
+func (bb *BodyBuilder) Goto() int {
+	return bb.body.Append(&GotoStmt{Target: 0})
+}
+
+// PatchTarget sets the branch target of the if/goto at index to target.
+func (bb *BodyBuilder) PatchTarget(index, target int) {
+	switch s := bb.body.Stmts[index].(type) {
+	case *IfStmt:
+		s.Target = target
+	case *GotoStmt:
+		s.Target = target
+	}
+}
+
+// Here returns the index the next appended statement will get.
+func (bb *BodyBuilder) Here() int { return len(bb.body.Stmts) }
+
+// Nop appends a nop (useful as a stable branch target).
+func (bb *BodyBuilder) Nop() int { return bb.body.Append(&NopStmt{}) }

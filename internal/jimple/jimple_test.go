@@ -1,0 +1,234 @@
+package jimple
+
+import (
+	"strings"
+	"testing"
+
+	"tabby/internal/java"
+)
+
+func newTestMethod(t *testing.T, static bool) *java.Method {
+	t.Helper()
+	mods := java.ModPublic
+	if static {
+		mods |= java.ModStatic
+	}
+	return &java.Method{
+		ClassName: "t.C",
+		Name:      "m",
+		Params:    []java.Type{java.ObjectType, java.Int},
+		Return:    java.ObjectType,
+		Modifiers: mods,
+	}
+}
+
+func TestNewBodyIdentities(t *testing.T) {
+	b := NewBody(newTestMethod(t, false))
+	if b.This == nil {
+		t.Fatal("instance method must have a this local")
+	}
+	if len(b.Params) != 2 {
+		t.Fatalf("want 2 param locals, got %d", len(b.Params))
+	}
+	// First three statements are identities: this, p0, p1.
+	if len(b.Stmts) != 3 {
+		t.Fatalf("want 3 identity stmts, got %d", len(b.Stmts))
+	}
+	id0, ok := b.Stmts[0].(*IdentityStmt)
+	if !ok {
+		t.Fatalf("stmt 0 is %T, want IdentityStmt", b.Stmts[0])
+	}
+	if _, ok := id0.RHS.(*ThisRef); !ok {
+		t.Errorf("stmt 0 RHS is %T, want ThisRef", id0.RHS)
+	}
+	id2, ok := b.Stmts[2].(*IdentityStmt)
+	if !ok {
+		t.Fatalf("stmt 2 is %T", b.Stmts[2])
+	}
+	pr, ok := id2.RHS.(*ParamRef)
+	if !ok || pr.Index != 1 {
+		t.Errorf("stmt 2 must bind @parameter1, got %v", id2.RHS)
+	}
+}
+
+func TestNewBodyStatic(t *testing.T) {
+	b := NewBody(newTestMethod(t, true))
+	if b.This != nil {
+		t.Fatal("static method must not have a this local")
+	}
+	if len(b.Stmts) != 2 {
+		t.Fatalf("want 2 identity stmts, got %d", len(b.Stmts))
+	}
+}
+
+func TestBodyInvokes(t *testing.T) {
+	bb := NewBodyBuilder(newTestMethod(t, false))
+	l := bb.Temp(java.ObjectType)
+	bb.InvokeVirtual(bb.This(), "t.C", "callee1", nil, java.Void)
+	bb.AssignInvokeVirtual(l, bb.This(), "t.C", "callee2", nil, java.ObjectType)
+	bb.Return(l)
+	invokes := bb.Body().Invokes()
+	if len(invokes) != 2 {
+		t.Fatalf("want 2 invokes, got %d", len(invokes))
+	}
+	if invokes[0].Expr.Name != "callee1" || invokes[1].Expr.Name != "callee2" {
+		t.Errorf("invoke order wrong: %v %v", invokes[0].Expr.Name, invokes[1].Expr.Name)
+	}
+	if invokes[0].Index >= invokes[1].Index {
+		t.Error("invoke indexes must increase")
+	}
+}
+
+func TestBodyValidate(t *testing.T) {
+	bb := NewBodyBuilder(newTestMethod(t, false))
+	ifIdx := bb.If(&BinopExpr{Op: OpEq, L: bb.Param(1), R: &IntConst{Val: 0}})
+	bb.Return(&NullConst{})
+	end := bb.Nop()
+	bb.PatchTarget(ifIdx, end)
+	bb.Return(bb.Param(0))
+	if err := bb.Body().Validate(); err != nil {
+		t.Fatalf("valid body rejected: %v", err)
+	}
+
+	// Out-of-range target must be rejected.
+	bad := NewBody(newTestMethod(t, false))
+	bad.Append(&GotoStmt{Target: 99})
+	if err := bad.Validate(); err == nil {
+		t.Fatal("out-of-range goto accepted")
+	}
+
+	// Identity statement after body start must be rejected.
+	bad2 := NewBody(newTestMethod(t, false))
+	bad2.Append(&NopStmt{})
+	bad2.Append(&IdentityStmt{Local: NewLocal("x", java.Int), RHS: &ParamRef{Index: 0, Typ: java.Int}})
+	if err := bad2.Validate(); err == nil {
+		t.Fatal("late identity statement accepted")
+	}
+}
+
+func TestValueStrings(t *testing.T) {
+	l := NewLocal("x", java.ObjectType)
+	base := NewLocal("b", java.ClassType("t.C"))
+	arr := NewLocal("a", java.ArrayOf(java.Int))
+	tests := []struct {
+		give Value
+		want string
+	}{
+		{&IntConst{Val: 42}, "42"},
+		{&StrConst{Val: "hi"}, `"hi"`},
+		{&NullConst{}, "null"},
+		{&ClassConst{ClassName: "t.C"}, "t.C.class"},
+		{&ThisRef{Typ: java.ObjectType}, "@this"},
+		{&ParamRef{Index: 2, Typ: java.Int}, "@parameter2"},
+		{&FieldRef{Base: base, Class: "t.C", Field: "f", Typ: java.Int}, "b.<t.C: f>"},
+		{&FieldRef{Class: "t.C", Field: "sf", Typ: java.Int}, "t.C.sf"},
+		{&ArrayRef{Base: arr, Index: &IntConst{Val: 1}}, "a[1]"},
+		{&CastExpr{Typ: java.StringType, Op: l}, "(java.lang.String) x"},
+		{&NewExpr{Typ: java.ClassType("t.C")}, "new t.C"},
+		{&NewArrayExpr{Elem: java.Int, Size: &IntConst{Val: 3}}, "new int[3]"},
+		{&BinopExpr{Op: OpLt, L: l, R: &IntConst{Val: 5}}, "x < 5"},
+		{&InstanceOfExpr{Op: l, Check: java.StringType}, "x instanceof java.lang.String"},
+	}
+	for _, tt := range tests {
+		if got := tt.give.String(); got != tt.want {
+			t.Errorf("String() = %q, want %q", got, tt.want)
+		}
+	}
+}
+
+func TestInvokeExprMeta(t *testing.T) {
+	inv := &InvokeExpr{
+		Kind:       InvokeVirtual,
+		Class:      "java.util.Map",
+		Name:       "get",
+		ParamTypes: []java.Type{java.ObjectType},
+		ReturnType: java.ObjectType,
+		Base:       NewLocal("m", java.ClassType("java.util.Map")),
+		Args:       []Value{&StrConst{Val: "k"}},
+	}
+	if got := string(inv.Callee()); got != "java.util.Map#get(java.lang.Object)" {
+		t.Errorf("Callee() = %q", got)
+	}
+	if got := inv.SubSignature(); got != "get(java.lang.Object)" {
+		t.Errorf("SubSignature() = %q", got)
+	}
+	if !strings.Contains(inv.String(), "m.get(") {
+		t.Errorf("String() = %q", inv.String())
+	}
+	if !inv.Type().Equal(java.ObjectType) {
+		t.Errorf("Type() = %v", inv.Type())
+	}
+}
+
+func TestBinopExprTypes(t *testing.T) {
+	l := NewLocal("x", java.Int)
+	if typ := (&BinopExpr{Op: OpAdd, L: l, R: l}).Type(); !typ.Equal(java.Int) {
+		t.Errorf("x+x type = %v", typ)
+	}
+	if typ := (&BinopExpr{Op: OpEq, L: l, R: l}).Type(); !typ.Equal(java.Boolean) {
+		t.Errorf("x==x type = %v", typ)
+	}
+}
+
+func TestArrayRefType(t *testing.T) {
+	arr := NewLocal("a", java.ArrayOf(java.StringType))
+	r := &ArrayRef{Base: arr, Index: &IntConst{Val: 0}}
+	if !r.Type().Equal(java.StringType) {
+		t.Errorf("a[0] type = %v, want String", r.Type())
+	}
+	// Degenerate base type falls back to Object.
+	bad := &ArrayRef{Base: NewLocal("o", java.ObjectType), Index: &IntConst{Val: 0}}
+	if !bad.Type().Equal(java.ObjectType) {
+		t.Errorf("degenerate array ref type = %v", bad.Type())
+	}
+}
+
+func TestProgram(t *testing.T) {
+	c := &java.Class{Name: "t.C", Modifiers: java.ModPublic, Super: java.ObjectClass}
+	m := c.AddMethod(&java.Method{Name: "m", Return: java.Void, Modifiers: java.ModPublic})
+	h, err := java.NewHierarchy([]*java.Class{c})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := NewProgram(h)
+	bb := NewBodyBuilder(m)
+	bb.Return(nil)
+	p.SetBody(bb.Body())
+	if p.Body(m.Key()) == nil {
+		t.Fatal("SetBody/Body round trip failed")
+	}
+	if err := p.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	if p.NumMethods() < 1 {
+		t.Error("NumMethods must count declared methods")
+	}
+	if p.Body("ghost#m()") != nil {
+		t.Error("unknown body must be nil")
+	}
+}
+
+func TestBodyString(t *testing.T) {
+	bb := NewBodyBuilder(newTestMethod(t, false))
+	bb.Return(bb.Param(0))
+	s := bb.Body().String()
+	if !strings.Contains(s, "t.C#m(java.lang.Object,int)") || !strings.Contains(s, "return p0") {
+		t.Errorf("Body.String() = %q", s)
+	}
+}
+
+func TestInvokeKindString(t *testing.T) {
+	kinds := map[InvokeKind]string{
+		InvokeStatic:    "static",
+		InvokeVirtual:   "virtual",
+		InvokeSpecial:   "special",
+		InvokeInterface: "interface",
+		InvokeDynamic:   "dynamic",
+		InvokeKind(99):  "invoke?",
+	}
+	for k, want := range kinds {
+		if k.String() != want {
+			t.Errorf("InvokeKind(%d).String() = %q, want %q", int(k), k.String(), want)
+		}
+	}
+}

@@ -1,0 +1,138 @@
+package jimple
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Stmt is a single three-address statement. Branch targets are statement
+// indexes within the owning Body.
+type Stmt interface {
+	fmt.Stringer
+	stmt() // marker
+}
+
+// AssignStmt is `LHS = RHS`. LHS is a *Local, *FieldRef or *ArrayRef;
+// RHS is any Value including InvokeExpr (the "method call assignment" row
+// of Table IV).
+type AssignStmt struct {
+	LHS Value
+	RHS Value
+}
+
+func (s *AssignStmt) stmt() {}
+
+// String implements fmt.Stringer.
+func (s *AssignStmt) String() string { return s.LHS.String() + " = " + s.RHS.String() }
+
+// IdentityStmt binds a local to @this or @parameterN at method entry.
+type IdentityStmt struct {
+	Local *Local
+	RHS   Value // *ThisRef or *ParamRef
+}
+
+func (s *IdentityStmt) stmt() {}
+
+// String implements fmt.Stringer.
+func (s *IdentityStmt) String() string { return s.Local.Name + " := " + s.RHS.String() }
+
+// InvokeStmt is a bare method call whose result (if any) is discarded —
+// the "method call" row of Table IV.
+type InvokeStmt struct {
+	Invoke *InvokeExpr
+}
+
+func (s *InvokeStmt) stmt() {}
+
+// String implements fmt.Stringer.
+func (s *InvokeStmt) String() string { return s.Invoke.String() }
+
+// ReturnStmt returns Op, or nothing when Op is nil (void return).
+type ReturnStmt struct {
+	Op Value // nil for `return;`
+}
+
+func (s *ReturnStmt) stmt() {}
+
+// String implements fmt.Stringer.
+func (s *ReturnStmt) String() string {
+	if s.Op == nil {
+		return "return"
+	}
+	return "return " + s.Op.String()
+}
+
+// IfStmt branches to Target when Cond is true; falls through otherwise.
+type IfStmt struct {
+	Cond   Value
+	Target int
+}
+
+func (s *IfStmt) stmt() {}
+
+// String implements fmt.Stringer.
+func (s *IfStmt) String() string {
+	return "if " + s.Cond.String() + " goto " + strconv.Itoa(s.Target)
+}
+
+// GotoStmt is an unconditional jump.
+type GotoStmt struct {
+	Target int
+}
+
+func (s *GotoStmt) stmt() {}
+
+// String implements fmt.Stringer.
+func (s *GotoStmt) String() string { return "goto " + strconv.Itoa(s.Target) }
+
+// SwitchStmt is a table switch over Key.
+type SwitchStmt struct {
+	Key     Value
+	Targets []int
+	Default int
+}
+
+func (s *SwitchStmt) stmt() {}
+
+// String implements fmt.Stringer.
+func (s *SwitchStmt) String() string {
+	parts := make([]string, 0, len(s.Targets)+1)
+	for _, t := range s.Targets {
+		parts = append(parts, strconv.Itoa(t))
+	}
+	return "switch " + s.Key.String() + " [" + strings.Join(parts, ",") +
+		"] default " + strconv.Itoa(s.Default)
+}
+
+// ThrowStmt throws Op.
+type ThrowStmt struct {
+	Op Value
+}
+
+func (s *ThrowStmt) stmt() {}
+
+// String implements fmt.Stringer.
+func (s *ThrowStmt) String() string { return "throw " + s.Op.String() }
+
+// NopStmt does nothing; kept so branch targets stay stable after the
+// frontend folds constructs away.
+type NopStmt struct{}
+
+func (s *NopStmt) stmt() {}
+
+// String implements fmt.Stringer.
+func (s *NopStmt) String() string { return "nop" }
+
+// Compile-time interface conformance checks.
+var (
+	_ Stmt = (*AssignStmt)(nil)
+	_ Stmt = (*IdentityStmt)(nil)
+	_ Stmt = (*InvokeStmt)(nil)
+	_ Stmt = (*ReturnStmt)(nil)
+	_ Stmt = (*IfStmt)(nil)
+	_ Stmt = (*GotoStmt)(nil)
+	_ Stmt = (*SwitchStmt)(nil)
+	_ Stmt = (*ThrowStmt)(nil)
+	_ Stmt = (*NopStmt)(nil)
+)

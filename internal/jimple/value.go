@@ -1,0 +1,349 @@
+// Package jimple defines the three-address intermediate representation the
+// analysis runs on. It mirrors Soot's Jimple at the granularity the paper
+// needs: every statement form of Table IV (§III-C) is representable, and
+// nothing finer is.
+//
+// Method bodies are stored per method key in a Program, next to the class
+// Hierarchy, so the class model (package java) stays IR-free.
+package jimple
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"tabby/internal/java"
+)
+
+// Value is any expression operand: locals, constants, references and the
+// composite expressions the frontend produces.
+type Value interface {
+	fmt.Stringer
+	// Type returns the static type of the value.
+	Type() java.Type
+	value() // marker
+}
+
+// Local is a method-local variable (including compiler temporaries).
+type Local struct {
+	Name string
+	Typ  java.Type
+}
+
+// NewLocal constructs a local with the given name and type.
+func NewLocal(name string, typ java.Type) *Local { return &Local{Name: name, Typ: typ} }
+
+// Type implements Value.
+func (l *Local) Type() java.Type { return l.Typ }
+func (l *Local) value()          {}
+
+// String implements fmt.Stringer.
+func (l *Local) String() string { return l.Name }
+
+// ThisRef is the receiver reference inside an instance method.
+type ThisRef struct{ Typ java.Type }
+
+// Type implements Value.
+func (r *ThisRef) Type() java.Type { return r.Typ }
+func (r *ThisRef) value()          {}
+
+// String implements fmt.Stringer.
+func (r *ThisRef) String() string { return "@this" }
+
+// ParamRef is the i-th formal parameter reference (0-based).
+type ParamRef struct {
+	Index int
+	Typ   java.Type
+}
+
+// Type implements Value.
+func (r *ParamRef) Type() java.Type { return r.Typ }
+func (r *ParamRef) value()          {}
+
+// String implements fmt.Stringer.
+func (r *ParamRef) String() string { return "@parameter" + strconv.Itoa(r.Index) }
+
+// IntConst is an integer (or boolean/char) literal.
+type IntConst struct{ Val int64 }
+
+// Type implements Value.
+func (c *IntConst) Type() java.Type { return java.Int }
+func (c *IntConst) value()          {}
+
+// String implements fmt.Stringer.
+func (c *IntConst) String() string { return strconv.FormatInt(c.Val, 10) }
+
+// StrConst is a string literal.
+type StrConst struct{ Val string }
+
+// Type implements Value.
+func (c *StrConst) Type() java.Type { return java.StringType }
+func (c *StrConst) value()          {}
+
+// String implements fmt.Stringer.
+func (c *StrConst) String() string { return strconv.Quote(c.Val) }
+
+// NullConst is the null literal.
+type NullConst struct{}
+
+// Type implements Value.
+func (c *NullConst) Type() java.Type { return java.ObjectType }
+func (c *NullConst) value()          {}
+
+// String implements fmt.Stringer.
+func (c *NullConst) String() string { return "null" }
+
+// ClassConst is a class literal (T.class), used by reflection patterns.
+type ClassConst struct{ ClassName string }
+
+// Type implements Value.
+func (c *ClassConst) Type() java.Type { return java.ClassType("java.lang.Class") }
+func (c *ClassConst) value()          {}
+
+// String implements fmt.Stringer.
+func (c *ClassConst) String() string { return c.ClassName + ".class" }
+
+// FieldRef is an instance-field access base.field. Base is nil for static
+// fields (then Class carries the declaring class).
+type FieldRef struct {
+	Base  *Local // nil for static field refs
+	Class string // declaring (or referenced-through) class
+	Field string
+	Typ   java.Type
+}
+
+// IsStatic reports whether the reference is a static field access.
+func (r *FieldRef) IsStatic() bool { return r.Base == nil }
+
+// Type implements Value.
+func (r *FieldRef) Type() java.Type { return r.Typ }
+func (r *FieldRef) value()          {}
+
+// String implements fmt.Stringer.
+func (r *FieldRef) String() string {
+	if r.IsStatic() {
+		return r.Class + "." + r.Field
+	}
+	return r.Base.Name + ".<" + r.Class + ": " + r.Field + ">"
+}
+
+// ArrayRef is an array element access base[index].
+type ArrayRef struct {
+	Base  *Local
+	Index Value
+}
+
+// Type implements Value.
+func (r *ArrayRef) Type() java.Type {
+	if t := r.Base.Type(); t.Kind == java.KindArray {
+		return *t.Elem
+	}
+	return java.ObjectType
+}
+func (r *ArrayRef) value() {}
+
+// String implements fmt.Stringer.
+func (r *ArrayRef) String() string { return r.Base.Name + "[" + r.Index.String() + "]" }
+
+// CastExpr is a checked cast (T) op.
+type CastExpr struct {
+	Typ java.Type
+	Op  Value
+}
+
+// Type implements Value.
+func (e *CastExpr) Type() java.Type { return e.Typ }
+func (e *CastExpr) value()          {}
+
+// String implements fmt.Stringer.
+func (e *CastExpr) String() string { return "(" + e.Typ.String() + ") " + e.Op.String() }
+
+// NewExpr is an object allocation `new T`. Constructor invocation is a
+// separate InvokeStmt (special invoke of <init>), as in Jimple.
+type NewExpr struct{ Typ java.Type }
+
+// Type implements Value.
+func (e *NewExpr) Type() java.Type { return e.Typ }
+func (e *NewExpr) value()          {}
+
+// String implements fmt.Stringer.
+func (e *NewExpr) String() string { return "new " + e.Typ.String() }
+
+// NewArrayExpr is an array allocation `new T[size]`.
+type NewArrayExpr struct {
+	Elem java.Type
+	Size Value
+}
+
+// Type implements Value.
+func (e *NewArrayExpr) Type() java.Type { return java.ArrayOf(e.Elem) }
+func (e *NewArrayExpr) value()          {}
+
+// String implements fmt.Stringer.
+func (e *NewArrayExpr) String() string {
+	return "new " + e.Elem.String() + "[" + e.Size.String() + "]"
+}
+
+// BinOp enumerates the binary operators the frontend preserves. Only their
+// arity matters to the controllability analysis; results of binary
+// arithmetic/comparison are primitive and therefore uncontrollable.
+type BinOp string
+
+// Supported binary operators.
+const (
+	OpAdd BinOp = "+"
+	OpSub BinOp = "-"
+	OpMul BinOp = "*"
+	OpDiv BinOp = "/"
+	OpEq  BinOp = "=="
+	OpNe  BinOp = "!="
+	OpLt  BinOp = "<"
+	OpLe  BinOp = "<="
+	OpGt  BinOp = ">"
+	OpGe  BinOp = ">="
+	OpAnd BinOp = "&&"
+	OpOr  BinOp = "||"
+)
+
+// BinopExpr is a binary expression.
+type BinopExpr struct {
+	Op   BinOp
+	L, R Value
+}
+
+// Type implements Value. Comparison/logic operators yield boolean;
+// arithmetic yields the left operand's type.
+func (e *BinopExpr) Type() java.Type {
+	switch e.Op {
+	case OpEq, OpNe, OpLt, OpLe, OpGt, OpGe, OpAnd, OpOr:
+		return java.Boolean
+	case OpAdd:
+		// Java's + is string concatenation when either side is a String.
+		if e.L.Type().Equal(java.StringType) || e.R.Type().Equal(java.StringType) {
+			return java.StringType
+		}
+		return e.L.Type()
+	default:
+		return e.L.Type()
+	}
+}
+func (e *BinopExpr) value() {}
+
+// String implements fmt.Stringer.
+func (e *BinopExpr) String() string {
+	return e.L.String() + " " + string(e.Op) + " " + e.R.String()
+}
+
+// InstanceOfExpr is `op instanceof T`.
+type InstanceOfExpr struct {
+	Op    Value
+	Check java.Type
+}
+
+// Type implements Value.
+func (e *InstanceOfExpr) Type() java.Type { return java.Boolean }
+func (e *InstanceOfExpr) value()          {}
+
+// String implements fmt.Stringer.
+func (e *InstanceOfExpr) String() string {
+	return e.Op.String() + " instanceof " + e.Check.String()
+}
+
+// InvokeKind distinguishes the JVM invocation flavors.
+type InvokeKind int
+
+// Invocation kinds. KindDynamic models invokedynamic/reflective dispatch,
+// which the paper's approach deliberately cannot see through (§V-B).
+const (
+	InvokeStatic InvokeKind = iota + 1
+	InvokeVirtual
+	InvokeSpecial // constructors, private and super calls
+	InvokeInterface
+	InvokeDynamic
+)
+
+// String implements fmt.Stringer.
+func (k InvokeKind) String() string {
+	switch k {
+	case InvokeStatic:
+		return "static"
+	case InvokeVirtual:
+		return "virtual"
+	case InvokeSpecial:
+		return "special"
+	case InvokeInterface:
+		return "interface"
+	case InvokeDynamic:
+		return "dynamic"
+	default:
+		return "invoke?"
+	}
+}
+
+// InvokeExpr is a method invocation. Class/Name/ParamTypes identify the
+// statically referenced callee; virtual dispatch resolution happens later
+// in the CPG/alias layer.
+type InvokeExpr struct {
+	Kind       InvokeKind
+	Class      string // statically referenced class
+	Name       string
+	ParamTypes []java.Type
+	ReturnType java.Type
+	Base       *Local // receiver; nil for static/dynamic
+	Args       []Value
+}
+
+// Callee returns the statically referenced method key.
+func (e *InvokeExpr) Callee() java.MethodKey {
+	return java.MakeMethodKey(e.Class, e.Name, e.ParamTypes)
+}
+
+// SubSignature returns the callee's dispatch identity.
+func (e *InvokeExpr) SubSignature() string {
+	return strings.TrimPrefix(string(java.MakeMethodKey("", e.Name, e.ParamTypes)), "#")
+}
+
+// Type implements Value.
+func (e *InvokeExpr) Type() java.Type { return e.ReturnType }
+func (e *InvokeExpr) value()          {}
+
+// String implements fmt.Stringer.
+func (e *InvokeExpr) String() string {
+	var sb strings.Builder
+	if e.Base != nil {
+		sb.WriteString(e.Base.Name)
+		sb.WriteByte('.')
+	} else if e.Kind == InvokeStatic {
+		sb.WriteString(e.Class)
+		sb.WriteByte('.')
+	}
+	sb.WriteString(e.Name)
+	sb.WriteByte('(')
+	for i, a := range e.Args {
+		if i > 0 {
+			sb.WriteString(", ")
+		}
+		sb.WriteString(a.String())
+	}
+	sb.WriteByte(')')
+	return sb.String()
+}
+
+// Compile-time interface conformance checks.
+var (
+	_ Value = (*Local)(nil)
+	_ Value = (*ThisRef)(nil)
+	_ Value = (*ParamRef)(nil)
+	_ Value = (*IntConst)(nil)
+	_ Value = (*StrConst)(nil)
+	_ Value = (*NullConst)(nil)
+	_ Value = (*ClassConst)(nil)
+	_ Value = (*FieldRef)(nil)
+	_ Value = (*ArrayRef)(nil)
+	_ Value = (*CastExpr)(nil)
+	_ Value = (*NewExpr)(nil)
+	_ Value = (*NewArrayExpr)(nil)
+	_ Value = (*BinopExpr)(nil)
+	_ Value = (*InstanceOfExpr)(nil)
+	_ Value = (*InvokeExpr)(nil)
+)

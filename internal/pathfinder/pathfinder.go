@@ -1,0 +1,303 @@
+// Package pathfinder is the reproduction of the tabby-path-finder Neo4j
+// plugin (paper §III-D): a depth-first traversal that starts at sink
+// methods and walks the CPG *backwards* — against CALL edges and across
+// ALIAS edges — propagating the Trigger_Condition through each edge's
+// Polluted_Position (Formula 4, Algorithms 2 and 3) until it reaches a
+// deserialization source method.
+package pathfinder
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"tabby/internal/cpg"
+	"tabby/internal/graphdb"
+)
+
+// TC is a Trigger_Condition: the set of call positions (0 = receiver,
+// i = argument i) that must be attacker-controllable.
+type TC []int
+
+// normalize sorts and dedupes the positions.
+func (tc TC) normalize() TC {
+	if len(tc) == 0 {
+		return tc
+	}
+	sort.Ints(tc)
+	out := tc[:1]
+	for _, v := range tc[1:] {
+		if v != out[len(out)-1] {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// receiverOnly reports whether every requirement sits on position 0 — the
+// success condition at a source method, whose receiver is the
+// deserialized (attacker-built) object.
+func (tc TC) receiverOnly() bool {
+	for _, v := range tc {
+		if v != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// String renders e.g. "[0,2]".
+func (tc TC) String() string {
+	parts := make([]string, len(tc))
+	for i, v := range tc {
+		parts[i] = fmt.Sprintf("%d", v)
+	}
+	return "[" + strings.Join(parts, ",") + "]"
+}
+
+// traverse implements Formula 4: TC_next = {PP[x] | x ∈ TC}. The second
+// return is false when any required position is uncontrollable (∞),
+// which rejects the edge (Algorithm 2 lines 4–7).
+func traverse(tc TC, pp []int) (TC, bool) {
+	next := make(TC, 0, len(tc))
+	for _, x := range tc {
+		if x < 0 || x >= len(pp) {
+			return nil, false // position not bound at this call: treat as ∞
+		}
+		w := pp[x]
+		if w < 0 {
+			return nil, false // ∞
+		}
+		next = append(next, w)
+	}
+	return next.normalize(), true
+}
+
+// Chain is one discovered gadget chain, source first (the presentation
+// order of Table I).
+type Chain struct {
+	// Nodes are method node IDs, source → … → sink.
+	Nodes []graphdb.ID
+	// Names are the corresponding method NAME properties.
+	Names []string
+	// SinkType is the sink's SINK_TYPE property (EXEC, JNDI, …).
+	SinkType string
+	// TCs[i] is the Trigger_Condition required at Nodes[i] (same order as
+	// Nodes); TCs[len-1] is the sink's own TC.
+	TCs []TC
+}
+
+// Key returns a stable identity for deduplication.
+func (c Chain) Key() string { return strings.Join(c.Names, " -> ") }
+
+// String renders the chain one frame per line, like Table I.
+func (c Chain) String() string {
+	var sb strings.Builder
+	for i, name := range c.Names {
+		switch i {
+		case 0:
+			sb.WriteString("(source)")
+		case len(c.Names) - 1:
+			sb.WriteString("(sink)")
+		}
+		sb.WriteString(name)
+		if i < len(c.Names)-1 {
+			sb.WriteByte('\n')
+		}
+	}
+	return sb.String()
+}
+
+// Options tunes the search.
+type Options struct {
+	// MaxDepth is the maximum path length in nodes (Algorithm 3's depth);
+	// zero means the default of 12.
+	MaxDepth int
+	// MaxChains caps the number of reported chains; zero means 10000.
+	MaxChains int
+	// VisitBudget caps total edge expansions as an explosion guard; zero
+	// means 2,000,000.
+	VisitBudget int
+	// SinkNodes restricts the search to these sink nodes; nil means every
+	// node tagged IS_SINK.
+	SinkNodes []graphdb.ID
+	// SourceFilter, when non-nil, decides whether a node terminates a
+	// chain; nil accepts any node tagged IS_SOURCE.
+	SourceFilter func(db *graphdb.DB, node graphdb.ID) bool
+}
+
+const (
+	defaultMaxDepth    = 12
+	defaultMaxChains   = 10000
+	defaultVisitBudget = 2_000_000
+)
+
+// Result is the outcome of a Find run.
+type Result struct {
+	Chains []Chain
+	// Truncated is true when a cap (MaxChains/VisitBudget) stopped the
+	// search early.
+	Truncated bool
+	// Expansions counts edge traversals performed.
+	Expansions int
+}
+
+// Find runs the gadget-chain search over a built CPG database.
+func Find(db *graphdb.DB, opts Options) (*Result, error) {
+	if opts.MaxDepth <= 0 {
+		opts.MaxDepth = defaultMaxDepth
+	}
+	if opts.MaxChains <= 0 {
+		opts.MaxChains = defaultMaxChains
+	}
+	if opts.VisitBudget <= 0 {
+		opts.VisitBudget = defaultVisitBudget
+	}
+	sinks := opts.SinkNodes
+	if sinks == nil {
+		sinks = db.FindNodes(cpg.LabelMethod, cpg.PropIsSink, true)
+	}
+	f := &finder{db: db, opts: opts, seen: make(map[string]bool)}
+	for _, sink := range sinks {
+		tcProp, ok := db.NodeProp(sink, cpg.PropTriggerCondition)
+		if !ok {
+			return nil, fmt.Errorf("pathfinder: sink node %d has no %s", sink, cpg.PropTriggerCondition)
+		}
+		tcInts, ok := tcProp.([]int)
+		if !ok {
+			return nil, fmt.Errorf("pathfinder: sink node %d %s has type %T", sink, cpg.PropTriggerCondition, tcProp)
+		}
+		sinkType, _ := db.NodeProp(sink, cpg.PropSinkType)
+		st, _ := sinkType.(string)
+		f.dfs([]graphdb.ID{sink}, map[graphdb.ID]bool{sink: true}, []TC{TC(tcInts).normalize()}, st)
+		if f.stopped {
+			break
+		}
+	}
+	return &Result{Chains: f.chains, Truncated: f.stopped, Expansions: f.expansions}, nil
+}
+
+type finder struct {
+	db         *graphdb.DB
+	opts       Options
+	chains     []Chain
+	seen       map[string]bool
+	expansions int
+	stopped    bool
+}
+
+// isSource is the Evaluator's source test.
+func (f *finder) isSource(node graphdb.ID) bool {
+	if f.opts.SourceFilter != nil {
+		return f.opts.SourceFilter(f.db, node)
+	}
+	v, ok := f.db.NodeProp(node, cpg.PropIsSource)
+	b, _ := v.(bool)
+	return ok && b
+}
+
+// dfs explores backwards from the sink. path[0] is the sink; the last
+// element is the current frontier node. tcs parallels path.
+func (f *finder) dfs(path []graphdb.ID, onPath map[graphdb.ID]bool, tcs []TC, sinkType string) {
+	if f.stopped {
+		return
+	}
+	node := path[len(path)-1]
+	tc := tcs[len(tcs)-1]
+
+	// Evaluator (Algorithm 3): a source node terminates the path as a
+	// gadget chain. Every remaining requirement is satisfiable there: the
+	// receiver is the deserialized (attacker-built) object and the
+	// parameters are framework-supplied deserialization state (the
+	// ObjectInputStream of Fig. 1), all attacker-derived.
+	if len(path) > 1 && f.isSource(node) {
+		f.record(path, tcs, sinkType)
+		return
+	}
+	if len(path) >= f.opts.MaxDepth {
+		return
+	}
+
+	// Expander (Algorithm 2), CALL case: walk to callers of this node.
+	for _, relID := range f.db.Rels(node, graphdb.DirIn, cpg.RelCall) {
+		if f.budget() {
+			return
+		}
+		rel := f.db.Rel(relID)
+		caller := rel.Start
+		if onPath[caller] {
+			continue
+		}
+		ppProp, ok := rel.Props[cpg.PropPollutedPosition]
+		if !ok {
+			continue
+		}
+		pp, ok := ppProp.([]int)
+		if !ok {
+			continue
+		}
+		next, ok := traverse(tc, pp)
+		if !ok {
+			continue // Expander rejected: a required position became ∞
+		}
+		f.step(path, onPath, tcs, caller, next, sinkType)
+	}
+
+	// Expander, ALIAS case: TC passes through unchanged, both directions
+	// (override → declaration and declaration → override).
+	for _, relID := range f.db.Rels(node, graphdb.DirBoth, cpg.RelAlias) {
+		if f.budget() {
+			return
+		}
+		rel := f.db.Rel(relID)
+		other := rel.Other(node)
+		if onPath[other] {
+			continue
+		}
+		f.step(path, onPath, tcs, other, tc, sinkType)
+	}
+}
+
+func (f *finder) step(path []graphdb.ID, onPath map[graphdb.ID]bool, tcs []TC, next graphdb.ID, nextTC TC, sinkType string) {
+	onPath[next] = true
+	f.dfs(append(path, next), onPath, append(tcs, nextTC), sinkType)
+	delete(onPath, next)
+}
+
+func (f *finder) budget() bool {
+	f.expansions++
+	if f.expansions > f.opts.VisitBudget {
+		f.stopped = true
+	}
+	return f.stopped
+}
+
+// record reverses the sink-rooted path into source-first order and
+// deduplicates.
+func (f *finder) record(path []graphdb.ID, tcs []TC, sinkType string) {
+	n := len(path)
+	chain := Chain{
+		Nodes:    make([]graphdb.ID, n),
+		Names:    make([]string, n),
+		TCs:      make([]TC, n),
+		SinkType: sinkType,
+	}
+	for i := 0; i < n; i++ {
+		chain.Nodes[i] = path[n-1-i]
+		chain.TCs[i] = append(TC(nil), tcs[n-1-i]...)
+		if v, ok := f.db.NodeProp(path[n-1-i], cpg.PropName); ok {
+			if s, ok := v.(string); ok {
+				chain.Names[i] = s
+			}
+		}
+	}
+	key := chain.Key()
+	if f.seen[key] {
+		return
+	}
+	f.seen[key] = true
+	f.chains = append(f.chains, chain)
+	if len(f.chains) >= f.opts.MaxChains {
+		f.stopped = true
+	}
+}

@@ -1,0 +1,262 @@
+package pathfinder
+
+import (
+	"reflect"
+	"testing"
+
+	"tabby/internal/cpg"
+	"tabby/internal/graphdb"
+)
+
+// fig6 builds the example graph of paper Fig. 6 in graphdb form:
+//
+//	A            — sink (TC [1])
+//	C  -CALL→ A  — PP [0,0]: A's argument comes from C's receiver
+//	C1 -ALIAS→ C, C2 -ALIAS→ C
+//	I  -CALL→ C1 — PP [-1,…]: receiver uncontrollable → Expander excludes
+//	E  -CALL→ C  — PP all ∞ → Expander excludes
+//	H  -CALL→ C2 — PP [0]: H is a source → valid chain H→C2→C→A
+//	G  -CALL→ C, J -CALL→ G, H2 -CALL→ J — H2 is a source but the path
+//	             H2→J→G→C→A has 5 nodes → Evaluator excludes at depth 4.
+type fig6 struct {
+	db                              *graphdb.DB
+	a, c, c1, c2, e, g, h, i, j, h2 graphdb.ID
+}
+
+func buildFig6(t *testing.T) *fig6 {
+	t.Helper()
+	db := graphdb.New()
+	method := func(name string, source bool) graphdb.ID {
+		return db.CreateNode([]string{cpg.LabelMethod}, graphdb.Props{
+			cpg.PropName:     name,
+			cpg.PropIsSource: source,
+			cpg.PropIsSink:   false,
+		})
+	}
+	f := &fig6{db: db}
+	f.a = db.CreateNode([]string{cpg.LabelMethod}, graphdb.Props{
+		cpg.PropName:             "A",
+		cpg.PropIsSink:           true,
+		cpg.PropIsSource:         false,
+		cpg.PropSinkType:         "EXEC",
+		cpg.PropTriggerCondition: []int{1},
+	})
+	f.c = method("C", false)
+	f.c1 = method("C1", false)
+	f.c2 = method("C2", false)
+	f.e = method("E", false)
+	f.g = method("G", false)
+	f.h = method("H", true)
+	f.i = method("I", false)
+	f.j = method("J", false)
+	f.h2 = method("H2", true)
+
+	call := func(from, to graphdb.ID, pp []int) {
+		t.Helper()
+		if _, err := db.CreateRel(cpg.RelCall, from, to, graphdb.Props{cpg.PropPollutedPosition: pp}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	alias := func(from, to graphdb.ID) {
+		t.Helper()
+		if _, err := db.CreateRel(cpg.RelAlias, from, to, nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	call(f.c, f.a, []int{0, 0})
+	alias(f.c1, f.c)
+	alias(f.c2, f.c)
+	call(f.i, f.c1, []int{-1, 1})
+	call(f.e, f.c, []int{-1, -1})
+	call(f.h, f.c2, []int{0})
+	call(f.g, f.c, []int{0, 0})
+	call(f.j, f.g, []int{0})
+	call(f.h2, f.j, []int{0})
+	return f
+}
+
+func TestFig6FindsValidChainOnly(t *testing.T) {
+	f := buildFig6(t)
+	res, err := Find(f.db, Options{MaxDepth: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Chains) != 1 {
+		for _, c := range res.Chains {
+			t.Logf("chain: %s", c.Key())
+		}
+		t.Fatalf("found %d chains, want exactly 1", len(res.Chains))
+	}
+	chain := res.Chains[0]
+	want := []string{"H", "C2", "C", "A"}
+	if !reflect.DeepEqual(chain.Names, want) {
+		t.Errorf("chain = %v, want %v", chain.Names, want)
+	}
+	if chain.SinkType != "EXEC" {
+		t.Errorf("sink type = %q", chain.SinkType)
+	}
+	// The sink's TC is recorded last, the source's requirement first.
+	if got := chain.TCs[len(chain.TCs)-1].String(); got != "[1]" {
+		t.Errorf("sink TC = %s", got)
+	}
+	if got := chain.TCs[0].String(); got != "[0]" {
+		t.Errorf("source TC = %s, want [0]", got)
+	}
+	if res.Truncated {
+		t.Error("search must not be truncated")
+	}
+}
+
+func TestFig6DepthUnlocksDeepChain(t *testing.T) {
+	f := buildFig6(t)
+	res, err := Find(f.db, Options{MaxDepth: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// With depth 5 the Evaluator admits H2→J→G→C→A as well.
+	if len(res.Chains) != 2 {
+		for _, c := range res.Chains {
+			t.Logf("chain: %s", c.Key())
+		}
+		t.Fatalf("found %d chains, want 2", len(res.Chains))
+	}
+	foundDeep := false
+	for _, c := range res.Chains {
+		if reflect.DeepEqual(c.Names, []string{"H2", "J", "G", "C", "A"}) {
+			foundDeep = true
+		}
+	}
+	if !foundDeep {
+		t.Error("deep chain H2→J→G→C→A missing at depth 5")
+	}
+}
+
+func TestExpanderRejectsUncontrollable(t *testing.T) {
+	// Directly exercise traverse (Formula 4).
+	tests := []struct {
+		tc   TC
+		pp   []int
+		want string
+		ok   bool
+	}{
+		{TC{1}, []int{0, 2}, "[2]", true},
+		{TC{0, 1}, []int{0, 0}, "[0]", true}, // dedupe
+		{TC{1}, []int{0, -1}, "", false},     // ∞
+		{TC{3}, []int{0, 1}, "", false},      // out of range
+		{TC{0}, []int{5}, "[5]", true},
+	}
+	for _, tt := range tests {
+		got, ok := traverse(tt.tc, tt.pp)
+		if ok != tt.ok {
+			t.Errorf("traverse(%v,%v) ok=%v want %v", tt.tc, tt.pp, ok, tt.ok)
+			continue
+		}
+		if ok && got.String() != tt.want {
+			t.Errorf("traverse(%v,%v) = %s, want %s", tt.tc, tt.pp, got, tt.want)
+		}
+	}
+}
+
+func TestReceiverOnly(t *testing.T) {
+	if !(TC{0, 0}).receiverOnly() || !(TC{}).receiverOnly() {
+		t.Error("receiverOnly false negative")
+	}
+	if (TC{0, 2}).receiverOnly() {
+		t.Error("receiverOnly false positive")
+	}
+}
+
+func TestChainString(t *testing.T) {
+	f := buildFig6(t)
+	res, err := Find(f.db, Options{MaxDepth: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := res.Chains[0].String()
+	want := "(source)H\nC2\nC\n(sink)A"
+	if s != want {
+		t.Errorf("String() = %q, want %q", s, want)
+	}
+}
+
+func TestMaxChainsTruncates(t *testing.T) {
+	f := buildFig6(t)
+	res, err := Find(f.db, Options{MaxDepth: 5, MaxChains: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Chains) != 1 || !res.Truncated {
+		t.Errorf("chains=%d truncated=%v, want 1/true", len(res.Chains), res.Truncated)
+	}
+}
+
+func TestVisitBudgetTruncates(t *testing.T) {
+	f := buildFig6(t)
+	res, err := Find(f.db, Options{MaxDepth: 5, VisitBudget: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Truncated {
+		t.Error("tiny visit budget must truncate")
+	}
+}
+
+func TestExplicitSinksAndSourceFilter(t *testing.T) {
+	f := buildFig6(t)
+	// Custom source filter: accept only H2 — with enough depth, exactly
+	// the deep chain remains.
+	res, err := Find(f.db, Options{
+		MaxDepth:  6,
+		SinkNodes: []graphdb.ID{f.a},
+		SourceFilter: func(db *graphdb.DB, node graphdb.ID) bool {
+			v, _ := db.NodeProp(node, cpg.PropName)
+			return v == "H2"
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Chains) != 1 || res.Chains[0].Names[0] != "H2" {
+		t.Fatalf("chains = %+v", res.Chains)
+	}
+}
+
+func TestSinkWithoutTCErrors(t *testing.T) {
+	db := graphdb.New()
+	id := db.CreateNode([]string{cpg.LabelMethod}, graphdb.Props{
+		cpg.PropName: "bad", cpg.PropIsSink: true,
+	})
+	if _, err := Find(db, Options{SinkNodes: []graphdb.ID{id}}); err == nil {
+		t.Fatal("sink without TC must error")
+	}
+}
+
+func TestAliasCycleTerminates(t *testing.T) {
+	// decl ← alias — impl1, impl2; both also alias each other's decl:
+	// traversal must not loop.
+	db := graphdb.New()
+	sink := db.CreateNode([]string{cpg.LabelMethod}, graphdb.Props{
+		cpg.PropName: "S", cpg.PropIsSink: true, cpg.PropIsSource: false,
+		cpg.PropSinkType: "EXEC", cpg.PropTriggerCondition: []int{0},
+	})
+	decl := db.CreateNode([]string{cpg.LabelMethod}, graphdb.Props{cpg.PropName: "decl", cpg.PropIsSource: false, cpg.PropIsSink: false})
+	impl1 := db.CreateNode([]string{cpg.LabelMethod}, graphdb.Props{cpg.PropName: "impl1", cpg.PropIsSource: false, cpg.PropIsSink: false})
+	impl2 := db.CreateNode([]string{cpg.LabelMethod}, graphdb.Props{cpg.PropName: "impl2", cpg.PropIsSource: false, cpg.PropIsSink: false})
+	mustRel(t, db, cpg.RelCall, impl1, sink, graphdb.Props{cpg.PropPollutedPosition: []int{0}})
+	mustRel(t, db, cpg.RelAlias, impl1, decl, nil)
+	mustRel(t, db, cpg.RelAlias, impl2, decl, nil)
+	res, err := Find(db, Options{MaxDepth: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Chains) != 0 {
+		t.Errorf("no sources exist, found %d chains", len(res.Chains))
+	}
+}
+
+func mustRel(t *testing.T, db *graphdb.DB, typ string, from, to graphdb.ID, props graphdb.Props) {
+	t.Helper()
+	if _, err := db.CreateRel(typ, from, to, props); err != nil {
+		t.Fatal(err)
+	}
+}

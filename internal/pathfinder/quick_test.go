@@ -1,0 +1,145 @@
+package pathfinder
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"tabby/internal/cpg"
+	"tabby/internal/graphdb"
+)
+
+// genRandomCPG builds a pseudo-random method graph: n nodes, some marked
+// source/sink, CALL edges with random PPs and some ALIAS edges.
+func genRandomCPG(seed int64) (*graphdb.DB, int) {
+	rng := rand.New(rand.NewSource(seed))
+	db := graphdb.New()
+	n := 6 + rng.Intn(20)
+	ids := make([]graphdb.ID, n)
+	sinks := 0
+	for i := range ids {
+		props := graphdb.Props{
+			"NAME":                   nodeName(i),
+			cpg.PropIsSource:         rng.Intn(5) == 0,
+			cpg.PropIsSink:           false,
+			cpg.PropTriggerCondition: []int{rng.Intn(3)},
+		}
+		if rng.Intn(6) == 0 {
+			props[cpg.PropIsSink] = true
+			props[cpg.PropSinkType] = "EXEC"
+			sinks++
+		}
+		ids[i] = db.CreateNode([]string{cpg.LabelMethod}, props)
+	}
+	edges := n * 2
+	for e := 0; e < edges; e++ {
+		from := ids[rng.Intn(n)]
+		to := ids[rng.Intn(n)]
+		if from == to {
+			continue
+		}
+		if rng.Intn(4) == 0 {
+			_, _ = db.CreateRel(cpg.RelAlias, from, to, nil)
+			continue
+		}
+		pp := make([]int, 1+rng.Intn(3))
+		for i := range pp {
+			pp[i] = rng.Intn(4) - 1 // -1..2
+		}
+		_, _ = db.CreateRel(cpg.RelCall, from, to, graphdb.Props{cpg.PropPollutedPosition: pp})
+	}
+	return db, sinks
+}
+
+func nodeName(i int) string {
+	return string(rune('A'+i%26)) + string(rune('0'+i/26))
+}
+
+// TestFindInvariantsQuick: on arbitrary graphs the search terminates and
+// every chain is structurally sound: unique nodes, source head, sink
+// tail, TC trace aligned, and no chain exceeds the depth bound.
+func TestFindInvariantsQuick(t *testing.T) {
+	f := func(seed int64) bool {
+		db, _ := genRandomCPG(seed)
+		const maxDepth = 6
+		res, err := Find(db, Options{MaxDepth: maxDepth, MaxChains: 500, VisitBudget: 100_000})
+		if err != nil {
+			t.Logf("seed %d: %v", seed, err)
+			return false
+		}
+		seen := make(map[string]bool)
+		for _, c := range res.Chains {
+			if len(c.Nodes) < 2 || len(c.Nodes) > maxDepth {
+				t.Logf("seed %d: chain length %d out of bounds", seed, len(c.Nodes))
+				return false
+			}
+			if len(c.TCs) != len(c.Nodes) || len(c.Names) != len(c.Nodes) {
+				t.Logf("seed %d: trace misaligned", seed)
+				return false
+			}
+			if v, _ := db.NodeProp(c.Nodes[0], cpg.PropIsSource); v != true {
+				t.Logf("seed %d: head not source", seed)
+				return false
+			}
+			if v, _ := db.NodeProp(c.Nodes[len(c.Nodes)-1], cpg.PropIsSink); v != true {
+				t.Logf("seed %d: tail not sink", seed)
+				return false
+			}
+			nodeSet := make(map[graphdb.ID]bool, len(c.Nodes))
+			for _, id := range c.Nodes {
+				if nodeSet[id] {
+					t.Logf("seed %d: repeated node in chain", seed)
+					return false
+				}
+				nodeSet[id] = true
+			}
+			if seen[c.Key()] {
+				t.Logf("seed %d: duplicate chain emitted", seed)
+				return false
+			}
+			seen[c.Key()] = true
+			// Every non-final TC must be controllable (no ∞ survives the
+			// Expander).
+			for _, tc := range c.TCs {
+				for _, v := range tc {
+					if v < 0 {
+						t.Logf("seed %d: ∞ leaked into a chain TC", seed)
+						return false
+					}
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestFindDeterministicQuick: repeated searches over the same graph give
+// identical chain sets in identical order.
+func TestFindDeterministicQuick(t *testing.T) {
+	f := func(seed int64) bool {
+		db, _ := genRandomCPG(seed)
+		r1, err := Find(db, Options{MaxDepth: 6})
+		if err != nil {
+			return false
+		}
+		r2, err := Find(db, Options{MaxDepth: 6})
+		if err != nil {
+			return false
+		}
+		if len(r1.Chains) != len(r2.Chains) {
+			return false
+		}
+		for i := range r1.Chains {
+			if r1.Chains[i].Key() != r2.Chains[i].Key() {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,243 @@
+// Package sinks holds the sink-method registry (paper Table VII) with
+// per-sink Trigger_Condition arrays (Table VI), and the source-method
+// predicate that recognizes deserialization entry points.
+//
+// The paper summarizes 38 sink methods and prints 13 of them in Table VII;
+// the remainder of this registry reconstructs the full set from the sink
+// *types* the paper names (FILE, CODE, JNDI, EXEC, XXE, SSRF, JDV) plus
+// the sinks its case studies mention (lookup, getConnection, invoke).
+package sinks
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"tabby/internal/java"
+)
+
+// Type classifies the exploit effect of a sink (Table VII "Type" column).
+type Type string
+
+// Sink types from Table VII, plus SQL for the getConnection family the
+// middleware experiment reports (§IV-D3).
+const (
+	TypeFile Type = "FILE"
+	TypeCode Type = "CODE"
+	TypeJNDI Type = "JNDI"
+	TypeExec Type = "EXEC"
+	TypeXXE  Type = "XXE"
+	TypeSSRF Type = "SSRF"
+	TypeJDV  Type = "JDV"
+	TypeSQL  Type = "SQL"
+)
+
+// Sink is one sink-method definition. TC is the Trigger_Condition: the
+// call positions (0 = receiver, i = argument i) that must be controllable
+// for the call to have attack effect (Table VI).
+type Sink struct {
+	Class  string // declaring class (subtypes match as well)
+	Method string // method name; all overloads match
+	Type   Type
+	TC     []int
+}
+
+// Key renders the sink identity "class.method".
+func (s Sink) Key() string { return s.Class + "." + s.Method }
+
+// Registry answers "is this method a sink" during CPG construction and
+// supplies initial Trigger_Conditions to the path finder.
+type Registry struct {
+	byClassMethod map[string]Sink
+}
+
+// NewRegistry builds a registry from the given sinks. Duplicate
+// class+method pairs are an error.
+func NewRegistry(sinks []Sink) (*Registry, error) {
+	r := &Registry{byClassMethod: make(map[string]Sink, len(sinks))}
+	for _, s := range sinks {
+		if len(s.TC) == 0 {
+			return nil, fmt.Errorf("sink %s: empty trigger condition", s.Key())
+		}
+		for _, tc := range s.TC {
+			if tc < 0 {
+				return nil, fmt.Errorf("sink %s: negative trigger position %d", s.Key(), tc)
+			}
+		}
+		k := s.Key()
+		if _, dup := r.byClassMethod[k]; dup {
+			return nil, fmt.Errorf("duplicate sink %s", k)
+		}
+		r.byClassMethod[k] = s
+	}
+	return r, nil
+}
+
+// Default returns the registry loaded with the full 38-sink set.
+func Default() *Registry {
+	r, err := NewRegistry(DefaultSinks())
+	if err != nil {
+		// The default table is a compile-time constant; failure here is a
+		// programming error, caught by the package tests.
+		panic(err)
+	}
+	return r
+}
+
+// Len returns the number of registered sinks.
+func (r *Registry) Len() int { return len(r.byClassMethod) }
+
+// All returns every sink sorted by key.
+func (r *Registry) All() []Sink {
+	out := make([]Sink, 0, len(r.byClassMethod))
+	for _, s := range r.byClassMethod {
+		out = append(out, s)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Key() < out[j].Key() })
+	return out
+}
+
+// Add registers a custom sink (the RQ4 "researchers customize their
+// searches" workflow). Replaces any existing definition for the same
+// class+method.
+func (r *Registry) Add(s Sink) { r.byClassMethod[s.Key()] = s }
+
+// Match reports whether the method declared on class is a sink, checking
+// the declaring class and, when a hierarchy is supplied, every supertype
+// (a call to InitialContext.lookup matches the Context.lookup sink).
+func (r *Registry) Match(h *java.Hierarchy, class, method string) (Sink, bool) {
+	if s, ok := r.byClassMethod[class+"."+method]; ok {
+		return s, true
+	}
+	if h == nil {
+		return Sink{}, false
+	}
+	for _, super := range h.Superclasses(class) {
+		if s, ok := r.byClassMethod[super+"."+method]; ok {
+			return s, true
+		}
+	}
+	for _, iface := range h.AllInterfaces(class) {
+		if s, ok := r.byClassMethod[iface+"."+method]; ok {
+			return s, true
+		}
+	}
+	return Sink{}, false
+}
+
+// DefaultSinks returns the reconstructed 38-sink table. The 13 entries of
+// Table VII appear first, verbatim.
+func DefaultSinks() []Sink {
+	return []Sink{
+		// --- Table VII (verbatim) ---
+		{Class: "java.nio.file.Files", Method: "newOutputStream", Type: TypeFile, TC: []int{1}},
+		{Class: "java.io.File", Method: "delete", Type: TypeFile, TC: []int{0}},
+		{Class: "java.lang.reflect.Method", Method: "invoke", Type: TypeCode, TC: []int{0, 1}},
+		{Class: "java.lang.ClassLoader", Method: "loadClass", Type: TypeCode, TC: []int{0, 1}},
+		{Class: "javax.naming.Context", Method: "lookup", Type: TypeJNDI, TC: []int{1}},
+		{Class: "java.rmi.registry.Registry", Method: "lookup", Type: TypeJNDI, TC: []int{1}},
+		{Class: "java.lang.Runtime", Method: "exec", Type: TypeExec, TC: []int{1}},
+		{Class: "java.lang.ProcessImpl", Method: "start", Type: TypeExec, TC: []int{1}},
+		{Class: "javax.xml.parsers.DocumentBuilder", Method: "parse", Type: TypeXXE, TC: []int{1}},
+		{Class: "javax.xml.transform.Transformer", Method: "transform", Type: TypeXXE, TC: []int{1}},
+		{Class: "java.net.InetAddress", Method: "getByName", Type: TypeSSRF, TC: []int{1}},
+		{Class: "java.net.URL", Method: "openConnection", Type: TypeSSRF, TC: []int{0}},
+		{Class: "java.io.ObjectInputStream", Method: "readObject", Type: TypeJDV, TC: []int{0}},
+		// --- reconstructed remainder of the 38 (types per Table VII) ---
+		{Class: "java.io.FileOutputStream", Method: "write", Type: TypeFile, TC: []int{0}},
+		{Class: "java.nio.file.Files", Method: "write", Type: TypeFile, TC: []int{1}},
+		{Class: "java.nio.file.Files", Method: "delete", Type: TypeFile, TC: []int{1}},
+		{Class: "java.io.File", Method: "renameTo", Type: TypeFile, TC: []int{0}},
+		{Class: "java.lang.ClassLoader", Method: "defineClass", Type: TypeCode, TC: []int{1}},
+		{Class: "java.net.URLClassLoader", Method: "newInstance", Type: TypeCode, TC: []int{1}},
+		{Class: "java.lang.Class", Method: "forName", Type: TypeCode, TC: []int{1}},
+		{Class: "javax.script.ScriptEngine", Method: "eval", Type: TypeCode, TC: []int{1}},
+		{Class: "java.beans.Expression", Method: "getValue", Type: TypeCode, TC: []int{0}},
+		{Class: "bsh.Interpreter", Method: "eval", Type: TypeCode, TC: []int{1}},
+		{Class: "groovy.lang.GroovyShell", Method: "evaluate", Type: TypeCode, TC: []int{1}},
+		{Class: "org.mozilla.javascript.Context", Method: "evaluateString", Type: TypeCode, TC: []int{2}},
+		{Class: "javax.naming.InitialContext", Method: "doLookup", Type: TypeJNDI, TC: []int{1}},
+		{Class: "java.rmi.Naming", Method: "lookup", Type: TypeJNDI, TC: []int{1}},
+		{Class: "java.lang.ProcessBuilder", Method: "start", Type: TypeExec, TC: []int{0}},
+		{Class: "java.lang.System", Method: "loadLibrary", Type: TypeExec, TC: []int{1}},
+		{Class: "javax.xml.parsers.SAXParser", Method: "parse", Type: TypeXXE, TC: []int{1}},
+		{Class: "org.xml.sax.XMLReader", Method: "parse", Type: TypeXXE, TC: []int{1}},
+		{Class: "java.net.URL", Method: "openStream", Type: TypeSSRF, TC: []int{0}},
+		{Class: "java.net.Socket", Method: "connect", Type: TypeSSRF, TC: []int{1}},
+		{Class: "java.beans.XMLDecoder", Method: "readObject", Type: TypeJDV, TC: []int{0}},
+		{Class: "java.io.ObjectInput", Method: "readObject", Type: TypeJDV, TC: []int{0}},
+		{Class: "javax.sql.DataSource", Method: "getConnection", Type: TypeSQL, TC: []int{0}},
+		{Class: "java.sql.DriverManager", Method: "getConnection", Type: TypeSQL, TC: []int{1}},
+		{Class: "java.sql.Statement", Method: "execute", Type: TypeSQL, TC: []int{1}},
+	}
+}
+
+// --- Sources -------------------------------------------------------------
+
+// SourceConfig decides which methods count as deserialization entry
+// points — the heads of gadget chains (§I: "typically the beginning of a
+// gadget chain such as object.readObject() and object.readExternal()").
+type SourceConfig struct {
+	// MethodNames are the entry method names. Defaults cover the
+	// Java-native mechanism.
+	MethodNames []string
+	// RequireSerializable demands the declaring class implement
+	// java.io.Serializable/Externalizable (true for the native mechanism;
+	// XStream-style mechanisms do not require it).
+	RequireSerializable bool
+}
+
+// DefaultSources returns the native-deserialization source configuration.
+func DefaultSources() SourceConfig {
+	return SourceConfig{
+		MethodNames: []string{
+			"readObject", "readExternal", "readResolve",
+			"readObjectNoData", "validateObject", "finalize",
+		},
+		RequireSerializable: true,
+	}
+}
+
+// XStreamSources returns the source configuration for XStream-style
+// deserialization (§IV-D2): XStream reconstructs objects without
+// requiring java.io.Serializable, and its converters invoke comparison
+// and hashing entry points (the TreeMap/Hashtable trigger surface) in
+// addition to the native readObject family. Chains rooted here are the
+// ones that "bypass the deserialization blacklist of the XStream
+// component".
+func XStreamSources() SourceConfig {
+	return SourceConfig{
+		MethodNames: []string{
+			"readObject", "readExternal", "readResolve",
+			"hashCode", "equals", "compareTo", "toString",
+		},
+		RequireSerializable: false,
+	}
+}
+
+// IsSource reports whether the method is a deserialization entry point
+// under this configuration.
+func (c SourceConfig) IsSource(h *java.Hierarchy, m *java.Method) bool {
+	if m.IsStatic() {
+		return false
+	}
+	match := false
+	for _, n := range c.MethodNames {
+		if m.Name == n {
+			match = true
+			break
+		}
+	}
+	if !match {
+		return false
+	}
+	if c.RequireSerializable && !h.IsSerializable(m.ClassName) {
+		return false
+	}
+	return true
+}
+
+// String renders the source config compactly for logs.
+func (c SourceConfig) String() string {
+	return fmt.Sprintf("sources{%s serializable=%v}", strings.Join(c.MethodNames, ","), c.RequireSerializable)
+}

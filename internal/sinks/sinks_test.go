@@ -1,0 +1,152 @@
+package sinks
+
+import (
+	"strings"
+	"testing"
+
+	"tabby/internal/java"
+)
+
+func TestDefaultRegistryHas38Sinks(t *testing.T) {
+	r := Default()
+	if r.Len() != 38 {
+		t.Fatalf("default registry has %d sinks, want 38 (paper §III-D)", r.Len())
+	}
+}
+
+func TestTableVIIEntries(t *testing.T) {
+	// Every Table VII row must be present with the paper's type and TC.
+	r := Default()
+	tests := []struct {
+		class, method string
+		typ           Type
+		tc            []int
+	}{
+		{"java.nio.file.Files", "newOutputStream", TypeFile, []int{1}},
+		{"java.io.File", "delete", TypeFile, []int{0}},
+		{"java.lang.reflect.Method", "invoke", TypeCode, []int{0, 1}},
+		{"java.lang.ClassLoader", "loadClass", TypeCode, []int{0, 1}},
+		{"javax.naming.Context", "lookup", TypeJNDI, []int{1}},
+		{"java.rmi.registry.Registry", "lookup", TypeJNDI, []int{1}},
+		{"java.lang.Runtime", "exec", TypeExec, []int{1}},
+		{"java.lang.ProcessImpl", "start", TypeExec, []int{1}},
+		{"javax.xml.parsers.DocumentBuilder", "parse", TypeXXE, []int{1}},
+		{"javax.xml.transform.Transformer", "transform", TypeXXE, []int{1}},
+		{"java.net.InetAddress", "getByName", TypeSSRF, []int{1}},
+		{"java.net.URL", "openConnection", TypeSSRF, []int{0}},
+		{"java.io.ObjectInputStream", "readObject", TypeJDV, []int{0}},
+	}
+	for _, tt := range tests {
+		s, ok := r.Match(nil, tt.class, tt.method)
+		if !ok {
+			t.Errorf("sink %s.%s missing", tt.class, tt.method)
+			continue
+		}
+		if s.Type != tt.typ {
+			t.Errorf("sink %s.%s type = %s, want %s", tt.class, tt.method, s.Type, tt.typ)
+		}
+		if len(s.TC) != len(tt.tc) {
+			t.Errorf("sink %s.%s TC = %v, want %v", tt.class, tt.method, s.TC, tt.tc)
+			continue
+		}
+		for i := range s.TC {
+			if s.TC[i] != tt.tc[i] {
+				t.Errorf("sink %s.%s TC = %v, want %v", tt.class, tt.method, s.TC, tt.tc)
+				break
+			}
+		}
+	}
+}
+
+func TestMatchThroughHierarchy(t *testing.T) {
+	// InitialContext implements Context: its lookup matches the
+	// Context.lookup sink.
+	ctx := &java.Class{Name: "javax.naming.Context", Modifiers: java.ModPublic | java.ModInterface | java.ModAbstract}
+	ctx.AddMethod(&java.Method{Name: "lookup", Params: []java.Type{java.StringType}, Return: java.ObjectType, Modifiers: java.ModPublic | java.ModAbstract})
+	ic := &java.Class{Name: "javax.naming.InitialContext", Modifiers: java.ModPublic, Super: java.ObjectClass, Interfaces: []string{"javax.naming.Context"}}
+	ic.AddMethod(&java.Method{Name: "lookup", Params: []java.Type{java.StringType}, Return: java.ObjectType, Modifiers: java.ModPublic})
+	h, err := java.NewHierarchy([]*java.Class{ctx, ic})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := Default()
+	if _, ok := r.Match(h, "javax.naming.InitialContext", "lookup"); !ok {
+		t.Error("InitialContext.lookup must match through the interface")
+	}
+	if _, ok := r.Match(h, "javax.naming.InitialContext", "close"); ok {
+		t.Error("non-sink method must not match")
+	}
+	if _, ok := r.Match(nil, "javax.naming.InitialContext", "lookup"); ok {
+		t.Error("without hierarchy only exact class matches")
+	}
+}
+
+func TestRegistryValidation(t *testing.T) {
+	if _, err := NewRegistry([]Sink{{Class: "a.B", Method: "m", Type: TypeExec}}); err == nil {
+		t.Error("empty TC must be rejected")
+	}
+	if _, err := NewRegistry([]Sink{{Class: "a.B", Method: "m", Type: TypeExec, TC: []int{-1}}}); err == nil {
+		t.Error("negative TC must be rejected")
+	}
+	dup := Sink{Class: "a.B", Method: "m", Type: TypeExec, TC: []int{0}}
+	if _, err := NewRegistry([]Sink{dup, dup}); err == nil {
+		t.Error("duplicate sinks must be rejected")
+	}
+}
+
+func TestRegistryAddCustom(t *testing.T) {
+	r := Default()
+	before := r.Len()
+	r.Add(Sink{Class: "com.corp.Custom", Method: "danger", Type: TypeExec, TC: []int{1}})
+	if r.Len() != before+1 {
+		t.Errorf("Add did not grow registry")
+	}
+	if _, ok := r.Match(nil, "com.corp.Custom", "danger"); !ok {
+		t.Error("custom sink must match")
+	}
+	all := r.All()
+	if len(all) != r.Len() {
+		t.Errorf("All() returned %d of %d", len(all), r.Len())
+	}
+	for i := 1; i < len(all); i++ {
+		if all[i-1].Key() >= all[i].Key() {
+			t.Fatal("All() must be sorted")
+		}
+	}
+}
+
+func TestSourceConfig(t *testing.T) {
+	ser := &java.Class{Name: "s.Ser", Modifiers: java.ModPublic, Super: java.ObjectClass, Interfaces: []string{java.SerializableIface}}
+	ro := ser.AddMethod(&java.Method{Name: "readObject", Params: []java.Type{java.ClassType("java.io.ObjectInputStream")}, Return: java.Void, Modifiers: java.ModPrivate})
+	other := ser.AddMethod(&java.Method{Name: "helper", Return: java.Void, Modifiers: java.ModPublic})
+	staticRO := ser.AddMethod(&java.Method{Name: "readResolve", Params: []java.Type{java.Int}, Return: java.ObjectType, Modifiers: java.ModStatic})
+
+	plain := &java.Class{Name: "s.Plain", Modifiers: java.ModPublic, Super: java.ObjectClass}
+	plainRO := plain.AddMethod(&java.Method{Name: "readObject", Params: []java.Type{java.ClassType("java.io.ObjectInputStream")}, Return: java.Void, Modifiers: java.ModPrivate})
+
+	h, err := java.NewHierarchy([]*java.Class{ser, plain})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := DefaultSources()
+	if !cfg.IsSource(h, ro) {
+		t.Error("serializable readObject must be a source")
+	}
+	if cfg.IsSource(h, other) {
+		t.Error("helper must not be a source")
+	}
+	if cfg.IsSource(h, staticRO) {
+		t.Error("static methods are never sources")
+	}
+	if cfg.IsSource(h, plainRO) {
+		t.Error("non-serializable readObject must not be a source under the native mechanism")
+	}
+	// Relaxed config (XStream-style): serializability not required.
+	relaxed := SourceConfig{MethodNames: []string{"readObject"}}
+	if !relaxed.IsSource(h, plainRO) {
+		t.Error("relaxed config must accept non-serializable readObject")
+	}
+	if !strings.Contains(cfg.String(), "readObject") {
+		t.Errorf("String() = %q", cfg.String())
+	}
+}

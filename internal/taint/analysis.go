@@ -1,0 +1,539 @@
+package taint
+
+import (
+	"fmt"
+	"sort"
+
+	"tabby/internal/cfg"
+	"tabby/internal/java"
+	"tabby/internal/jimple"
+)
+
+// CallEdge is one method-call site discovered by the analysis, annotated
+// with its Polluted_Position. Pruned edges (all-∞ PP) are recorded for
+// statistics but excluded from the Precise Call Graph (§III-C).
+type CallEdge struct {
+	Caller      java.MethodKey
+	CalleeClass string // statically referenced class
+	CalleeSub   string // callee sub-signature
+	Kind        jimple.InvokeKind
+	PP          PP
+	StmtIndex   int
+	Pruned      bool
+}
+
+// Callee returns the statically referenced callee method key.
+func (e CallEdge) Callee() java.MethodKey {
+	return java.MethodKey(e.CalleeClass + "#" + e.CalleeSub)
+}
+
+// Result holds everything the controllability analysis computed.
+type Result struct {
+	// Actions maps each analyzed method to its summary (Table III).
+	Actions map[java.MethodKey]Action
+	// Calls maps each caller to its call edges in statement order.
+	Calls map[java.MethodKey][]CallEdge
+	// TotalCalls and PrunedCalls summarize the pruning effectiveness.
+	TotalCalls  int
+	PrunedCalls int
+}
+
+// Options tunes the analysis.
+type Options struct {
+	// MaxCallDepth bounds the interprocedural summary recursion; deeper
+	// chains fall back to identity summaries. Zero means the default.
+	MaxCallDepth int
+	// MaxIterations bounds the per-method dataflow iterations as a safety
+	// valve. Zero means the default (64 passes).
+	MaxIterations int
+	// DisableInterprocedural replaces every callee summary with the
+	// optimistic default ("parameters keep their controllability") — the
+	// ablation of §III-C's claim that interprocedural Action analysis is
+	// what keeps the false-positive rate down. Tools without it "default
+	// to [the value] not changing (still controllable)".
+	DisableInterprocedural bool
+}
+
+const (
+	defaultMaxCallDepth  = 256
+	defaultMaxIterations = 64
+)
+
+// Analyze runs the controllability points-to analysis (Algorithm 1) over
+// every method body in the program.
+func Analyze(prog *jimple.Program, opts Options) (*Result, error) {
+	if opts.MaxCallDepth <= 0 {
+		opts.MaxCallDepth = defaultMaxCallDepth
+	}
+	if opts.MaxIterations <= 0 {
+		opts.MaxIterations = defaultMaxIterations
+	}
+	a := &analyzer{
+		prog: prog,
+		opts: opts,
+		res: &Result{
+			Actions: make(map[java.MethodKey]Action, len(prog.Bodies)),
+			Calls:   make(map[java.MethodKey][]CallEdge, len(prog.Bodies)),
+		},
+		inProgress: make(map[java.MethodKey]bool),
+	}
+	keys := make([]java.MethodKey, 0, len(prog.Bodies))
+	for k := range prog.Bodies {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	for _, k := range keys {
+		if _, err := a.methodAction(k, 0); err != nil {
+			return nil, err
+		}
+	}
+	return a.res, nil
+}
+
+type analyzer struct {
+	prog       *jimple.Program
+	opts       Options
+	res        *Result
+	inProgress map[java.MethodKey]bool
+}
+
+// methodAction returns the memoised Action for the method, running
+// doMethodAnalysis on first use. Recursion and the depth cap yield
+// identity summaries, the paper's cache acting as its cycle-breaker.
+func (a *analyzer) methodAction(key java.MethodKey, depth int) (Action, error) {
+	if act, ok := a.res.Actions[key]; ok {
+		return act, nil
+	}
+	body := a.prog.Body(key)
+	if body == nil {
+		return nil, fmt.Errorf("taint: no body for %s", key)
+	}
+	static := body.Method.IsStatic()
+	n := len(body.Method.Params)
+	if a.inProgress[key] || depth > a.opts.MaxCallDepth {
+		return IdentityAction(n, static), nil
+	}
+	a.inProgress[key] = true
+	defer delete(a.inProgress, key)
+	act, calls, err := a.doMethodAnalysis(body, depth)
+	if err != nil {
+		return nil, fmt.Errorf("taint: analyze %s: %w", key, err)
+	}
+	a.res.Actions[key] = act
+	a.res.Calls[key] = calls
+	for _, c := range calls {
+		a.res.TotalCalls++
+		if c.Pruned {
+			a.res.PrunedCalls++
+		}
+	}
+	return act, nil
+}
+
+// calleeAction resolves the summary for a call: the resolved body's Action
+// when available, an optimistic summary for abstract/phantom callees, and
+// no summary at all (opaque) for dynamic invokes.
+func (a *analyzer) calleeAction(inv *jimple.InvokeExpr, depth int) (Action, error) {
+	static := inv.Kind == jimple.InvokeStatic
+	n := len(inv.ParamTypes)
+	if inv.Kind == jimple.InvokeDynamic {
+		// Reflection/dynamic proxy: deliberately opaque (§V-B).
+		act := IdentityAction(n, static)
+		act[SlotReturnValue] = Null
+		return act, nil
+	}
+	if a.opts.DisableInterprocedural {
+		return OptimisticAction(n, static), nil
+	}
+	m := a.prog.Hierarchy.ResolveMethod(inv.Class, inv.SubSignature())
+	if m == nil {
+		return OptimisticAction(n, static), nil
+	}
+	body := a.prog.Body(m.Key())
+	if body == nil {
+		return OptimisticAction(n, static), nil
+	}
+	return a.methodAction(m.Key(), depth+1)
+}
+
+// doMethodAnalysis runs the per-method dataflow of Algorithm 1 and
+// assembles the method's Action plus its call edges.
+func (a *analyzer) doMethodAnalysis(body *jimple.Body, depth int) (Action, []CallEdge, error) {
+	graph, err := cfg.Build(body)
+	if err != nil {
+		return nil, nil, err
+	}
+	numStmts := graph.NumNodes()
+	action := make(Action)
+	if numStmts == 0 {
+		return IdentityAction(len(body.Method.Params), body.Method.IsStatic()), nil, nil
+	}
+
+	// Call-edge collection: keyed by statement so re-processing a
+	// statement during fixpointing replaces (not duplicates) its edge.
+	callsByStmt := make(map[int]CallEdge)
+
+	inStates := make([]env, numStmts)
+	inStates[0] = make(env)
+	rpo := graph.ReversePostOrder()
+	order := make(map[int]int, len(rpo))
+	for i, n := range rpo {
+		order[n] = i
+	}
+	work := newWorklist(order)
+	work.push(0)
+
+	iterations := 0
+	maxVisits := a.opts.MaxIterations * numStmts
+	for !work.empty() {
+		if iterations++; iterations > maxVisits {
+			// Safety valve: bail out with what we have rather than spin.
+			break
+		}
+		node := work.pop()
+		in := inStates[node]
+		if in == nil {
+			continue
+		}
+		out, err := a.transfer(body, node, in.clone(), action, callsByStmt, depth)
+		if err != nil {
+			return nil, nil, err
+		}
+		for _, succ := range graph.Succs(node) {
+			if inStates[succ] == nil {
+				inStates[succ] = out.clone()
+				work.push(succ)
+			} else if inStates[succ].join(out) {
+				work.push(succ)
+			}
+		}
+	}
+
+	a.finishAction(body, action)
+	calls := make([]CallEdge, 0, len(callsByStmt))
+	stmts := make([]int, 0, len(callsByStmt))
+	for s := range callsByStmt {
+		stmts = append(stmts, s)
+	}
+	sort.Ints(stmts)
+	for _, s := range stmts {
+		calls = append(calls, callsByStmt[s])
+	}
+	return action, calls, nil
+}
+
+// finishAction fills in slots no return statement touched: a method with
+// no reachable return (e.g. one that always throws) still reports the
+// identity of this and unmodified params.
+func (a *analyzer) finishAction(body *jimple.Body, action Action) {
+	if !body.Method.IsStatic() {
+		if _, ok := action[SlotThisValue]; !ok {
+			action[SlotThisValue] = This
+		}
+	} else if _, ok := action[SlotThisValue]; !ok {
+		action[SlotThisValue] = Null
+	}
+	for i := range body.Method.Params {
+		slot := FinalParam(i + 1)
+		if _, ok := action[slot]; !ok {
+			action[slot] = Param(i + 1)
+		}
+	}
+	if _, ok := action[SlotReturnValue]; !ok {
+		action[SlotReturnValue] = Null
+	}
+}
+
+// transfer interprets one statement over the environment, recording call
+// edges and Action contributions as side effects.
+func (a *analyzer) transfer(body *jimple.Body, node int, e env, action Action, callsByStmt map[int]CallEdge, depth int) (env, error) {
+	switch st := body.Stmts[node].(type) {
+	case *jimple.IdentityStmt:
+		switch rhs := st.RHS.(type) {
+		case *jimple.ThisRef:
+			e.setLocal(st.Local, This)
+		case *jimple.ParamRef:
+			e.setLocal(st.Local, Param(rhs.Index+1))
+		}
+	case *jimple.AssignStmt:
+		if err := a.transferAssign(body, node, st, e, callsByStmt, depth); err != nil {
+			return nil, err
+		}
+	case *jimple.InvokeStmt:
+		if _, err := a.transferInvoke(body, node, st.Invoke, e, callsByStmt, depth); err != nil {
+			return nil, err
+		}
+	case *jimple.ReturnStmt:
+		a.recordReturn(body, st, e, action)
+	case *jimple.IfStmt, *jimple.GotoStmt, *jimple.SwitchStmt, *jimple.ThrowStmt, *jimple.NopStmt:
+		// Conditions never transfer controllability (Table IV has no rule
+		// for them); path-insensitivity here is exactly the source of the
+		// paper's residual false positives (§IV-E).
+	}
+	return e, nil
+}
+
+func (a *analyzer) transferAssign(body *jimple.Body, node int, st *jimple.AssignStmt, e env, callsByStmt map[int]CallEdge, depth int) error {
+	var rhs Origin
+	switch r := st.RHS.(type) {
+	case *jimple.InvokeExpr:
+		ret, err := a.transferInvoke(body, node, r, e, callsByStmt, depth)
+		if err != nil {
+			return err
+		}
+		rhs = ret
+	default:
+		rhs = a.eval(st.RHS, e)
+	}
+	switch lhs := st.LHS.(type) {
+	case *jimple.Local:
+		e.setLocal(lhs, rhs)
+		if src, ok := st.RHS.(*jimple.Local); ok {
+			e.copyLocalFields(lhs, src)
+		}
+	case *jimple.FieldRef:
+		if lhs.IsStatic() {
+			e[staticKey(lhs.Class, lhs.Field)] = rhs
+		} else {
+			e.storeField(lhs.Base, lhs.Field, rhs)
+		}
+	case *jimple.ArrayRef:
+		// Array elements share one pseudo-field "[]" (Table IV array rows).
+		e.storeField(lhs.Base, "[]", rhs)
+	default:
+		return fmt.Errorf("unsupported assignment target %T", st.LHS)
+	}
+	return nil
+}
+
+// eval computes the origin of a non-invoke value (Table IV rows).
+func (a *analyzer) eval(v jimple.Value, e env) Origin {
+	switch val := v.(type) {
+	case *jimple.Local:
+		return e.localOrigin(val)
+	case *jimple.ThisRef:
+		return This
+	case *jimple.ParamRef:
+		return Param(val.Index + 1)
+	case *jimple.CastExpr:
+		return a.eval(val.Op, e) // forced type conversion: b → a
+	case *jimple.FieldRef:
+		if val.IsStatic() {
+			if o, ok := e[staticKey(val.Class, val.Field)]; ok {
+				return o
+			}
+			return Null
+		}
+		return e.loadField(val.Base, val.Field)
+	case *jimple.ArrayRef:
+		return e.loadField(val.Base, "[]")
+	case *jimple.BinopExpr:
+		// String concatenation (Jimple's StringBuilder.append chains)
+		// propagates taint: "cmd"+p is controllable when p is. Other
+		// operators yield primitives, which are uncontrollable.
+		if val.Op == jimple.OpAdd && val.Type().Equal(java.StringType) {
+			return a.eval(val.L, e).join(a.eval(val.R, e))
+		}
+		return Null
+	default:
+		// new, constants, instanceof: uncontrollable.
+		return Null
+	}
+}
+
+// transferInvoke handles both call statement forms of Table IV: it
+// computes the PP, records the call edge, applies the callee's Action via
+// calc (Formula 2) and correct (Formula 3), and returns the origin of the
+// call's return value.
+func (a *analyzer) transferInvoke(body *jimple.Body, node int, inv *jimple.InvokeExpr, e env, callsByStmt map[int]CallEdge, depth int) (Origin, error) {
+	// Polluted_Position: receiver then arguments.
+	pp := make(PP, 1+len(inv.Args))
+	var baseOrigin Origin = Null
+	if inv.Base != nil {
+		baseOrigin = e.localOrigin(inv.Base)
+	}
+	pp[0] = baseOrigin.Weight()
+	argOrigins := make([]Origin, len(inv.Args))
+	for i, arg := range inv.Args {
+		argOrigins[i] = a.eval(arg, e)
+		pp[i+1] = argOrigins[i].Weight()
+	}
+
+	if inv.Kind != jimple.InvokeDynamic {
+		callsByStmt[node] = CallEdge{
+			Caller:      body.Method.Key(),
+			CalleeClass: inv.Class,
+			CalleeSub:   inv.SubSignature(),
+			Kind:        inv.Kind,
+			PP:          pp,
+			StmtIndex:   node,
+			Pruned:      pp.AllUncontrollable(),
+		}
+	}
+
+	act, err := a.calleeAction(inv, depth)
+	if err != nil {
+		return Null, err
+	}
+
+	// in: map callee-frame origins to caller-frame origins (Fig. 5d).
+	in := func(o Origin) Origin {
+		switch o.Kind {
+		case OriginNull:
+			return Null
+		case OriginThis:
+			if inv.Base == nil {
+				return Null
+			}
+			if o.Field != "" {
+				return e.loadField(inv.Base, o.Field)
+			}
+			return baseOrigin
+		case OriginParam:
+			idx := o.Param - 1
+			if idx < 0 || idx >= len(inv.Args) {
+				return Null
+			}
+			if o.Field != "" {
+				if argLocal, ok := inv.Args[idx].(*jimple.Local); ok {
+					return e.loadField(argLocal, o.Field)
+				}
+				return Null
+			}
+			return argOrigins[idx]
+		default:
+			return Null
+		}
+	}
+	out := Calc(act, in)
+
+	// Polymorphic returns: a virtual/interface call on a controllable
+	// receiver may dispatch to any override, so its reference-typed
+	// return is at least as controllable as the receiver (the Fig. 1
+	// pattern: valObj.toString() feeding exec). Primitive returns cannot
+	// carry object graphs and stay as summarized.
+	if (inv.Kind == jimple.InvokeVirtual || inv.Kind == jimple.InvokeInterface) &&
+		inv.ReturnType.IsReference() && baseOrigin.Controllable() {
+		out[SlotReturnValue] = out[SlotReturnValue].join(baseOrigin)
+	}
+
+	// correct: fold the callee's effects back into the caller's localMap
+	// (Formula 3) — out entries win over existing bindings. Application
+	// is two-phase and sorted: whole-slot rebinds first (they destroy
+	// field cells), then field-level updates, so the result is
+	// independent of map iteration order.
+	slots := make([]Slot, 0, len(out))
+	for slot := range out {
+		slots = append(slots, slot)
+	}
+	sort.Slice(slots, func(i, j int) bool {
+		if (slots[i].Field == "") != (slots[j].Field == "") {
+			return slots[i].Field == ""
+		}
+		return slots[i].String() < slots[j].String()
+	})
+	for _, slot := range slots {
+		origin := out[slot]
+		switch slot.Kind {
+		case SlotThis:
+			if inv.Base == nil {
+				continue
+			}
+			if slot.Field != "" {
+				e.storeField(inv.Base, slot.Field, origin)
+			} else {
+				e.setLocal(inv.Base, origin)
+			}
+		case SlotParam:
+			idx := slot.Param - 1
+			if idx < 0 || idx >= len(inv.Args) {
+				continue
+			}
+			argLocal, ok := inv.Args[idx].(*jimple.Local)
+			if !ok {
+				continue
+			}
+			if slot.Field != "" {
+				e.storeField(argLocal, slot.Field, origin)
+			} else {
+				e.setLocal(argLocal, origin)
+			}
+		}
+	}
+	return out[SlotReturnValue], nil
+}
+
+// recordReturn folds one return statement into the method's Action
+// (Algorithm 1 lines 5–7), joining with previously seen returns.
+func (a *analyzer) recordReturn(body *jimple.Body, st *jimple.ReturnStmt, e env, action Action) {
+	joinInto := func(slot Slot, o Origin) {
+		if cur, ok := action[slot]; ok {
+			action[slot] = cur.join(o)
+		} else {
+			action[slot] = o
+		}
+	}
+	if st.Op != nil {
+		joinInto(SlotReturnValue, a.eval(st.Op, e))
+	} else {
+		joinInto(SlotReturnValue, Null)
+	}
+	if !body.Method.IsStatic() {
+		joinInto(SlotThisValue, This)
+		for k, v := range e {
+			if field, ok := fieldOfPrefix(k, "@this."); ok {
+				joinInto(Slot{Kind: SlotThis, Field: field}, v)
+			}
+		}
+	}
+	for i, p := range body.Params {
+		joinInto(FinalParam(i+1), e.localOrigin(p))
+		prefix := fmt.Sprintf("@p%d.", i+1)
+		for k, v := range e {
+			if field, ok := fieldOfPrefix(k, prefix); ok {
+				joinInto(Slot{Kind: SlotParam, Param: i + 1, Field: field}, v)
+			}
+		}
+	}
+}
+
+func fieldOfPrefix(key, prefix string) (string, bool) {
+	if len(key) > len(prefix) && key[:len(prefix)] == prefix {
+		return key[len(prefix):], true
+	}
+	return "", false
+}
+
+// worklist is a priority worklist ordered by reverse post-order position.
+type worklist struct {
+	order  map[int]int
+	queued map[int]bool
+	items  []int
+}
+
+func newWorklist(order map[int]int) *worklist {
+	return &worklist{order: order, queued: make(map[int]bool)}
+}
+
+func (w *worklist) push(n int) {
+	if w.queued[n] {
+		return
+	}
+	w.queued[n] = true
+	w.items = append(w.items, n)
+}
+
+func (w *worklist) pop() int {
+	best := 0
+	for i := 1; i < len(w.items); i++ {
+		if w.order[w.items[i]] < w.order[w.items[best]] {
+			best = i
+		}
+	}
+	n := w.items[best]
+	w.items = append(w.items[:best], w.items[best+1:]...)
+	delete(w.queued, n)
+	return n
+}
+
+func (w *worklist) empty() bool { return len(w.items) == 0 }

@@ -1,0 +1,461 @@
+package taint
+
+import (
+	"strings"
+	"testing"
+
+	"tabby/internal/java"
+	"tabby/internal/jimple"
+)
+
+var (
+	typeA = java.ClassType("fig5.A")
+	typeB = java.ClassType("fig5.B")
+)
+
+// buildFig5Program reproduces the paper's Fig. 5 source:
+//
+//	public A example(A a, B b) {       // in class fig5.C
+//	    A a1 = new A();
+//	    A a2 = a;
+//	    a = a1;
+//	    B b1 = B.exchange(a, b);
+//	    return a2;
+//	}
+//	public static B exchange(A a, B b) {  // in class fig5.B
+//	    a.b = b;
+//	    b = new B();
+//	    return a.b;
+//	}
+func buildFig5Program(t *testing.T) (*jimple.Program, *java.Method, *java.Method) {
+	t.Helper()
+	classA := &java.Class{Name: "fig5.A", Modifiers: java.ModPublic, Super: java.ObjectClass}
+	classA.AddField(&java.Field{Name: "b", Type: typeB})
+
+	classB := &java.Class{Name: "fig5.B", Modifiers: java.ModPublic, Super: java.ObjectClass}
+	exchange := classB.AddMethod(&java.Method{
+		Name: "exchange", Params: []java.Type{typeA, typeB}, Return: typeB,
+		Modifiers: java.ModPublic | java.ModStatic,
+	})
+
+	classC := &java.Class{Name: "fig5.C", Modifiers: java.ModPublic, Super: java.ObjectClass}
+	example := classC.AddMethod(&java.Method{
+		Name: "example", Params: []java.Type{typeA, typeB}, Return: typeA,
+		Modifiers: java.ModPublic,
+	})
+
+	h, err := java.NewHierarchy([]*java.Class{classA, classB, classC})
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog := jimple.NewProgram(h)
+
+	// exchange body
+	bb := jimple.NewBodyBuilder(exchange)
+	bb.FieldStore(bb.Param(0), "fig5.A", "b", typeB, bb.Param(1)) // a.b = b
+	bb.New(bb.Param(1), typeB)                                    // b = new B()
+	ret := bb.Temp(typeB)
+	bb.FieldLoad(ret, bb.Param(0), "fig5.A", "b", typeB) // $t = a.b
+	bb.Return(ret)                                       // return $t
+	prog.SetBody(bb.Body())
+
+	// example body
+	bb = jimple.NewBodyBuilder(example)
+	a1 := bb.Local("a1", typeA)
+	a2 := bb.Local("a2", typeA)
+	b1 := bb.Local("b1", typeB)
+	bb.New(a1, typeA)                   // a1 = new A()
+	bb.Assign(a2, bb.Param(0))          // a2 = a
+	bb.Assign(bb.Param(0), a1)          // a = a1
+	bb.AssignInvokeStatic(b1, "fig5.B", // b1 = B.exchange(a, b)
+		"exchange", []java.Type{typeA, typeB}, typeB, bb.Param(0), bb.Param(1))
+	bb.Return(a2)
+	prog.SetBody(bb.Body())
+
+	if err := prog.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	return prog, example, exchange
+}
+
+func TestFig5ExchangeAction(t *testing.T) {
+	prog, _, exchange := buildFig5Program(t)
+	res, err := Analyze(prog, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	act := res.Actions[exchange.Key()]
+	if act == nil {
+		t.Fatal("no action for exchange")
+	}
+	// Paper Fig. 5(b): {"final-param-1": "init-param-1",
+	// "final-param-1.b": "init-param-2", "final-param-2": "null",
+	// "return": "init-param-2", "this": "null"}
+	want := map[Slot]Origin{
+		FinalParam(1):                           Param(1),
+		{Kind: SlotParam, Param: 1, Field: "b"}: Param(2),
+		FinalParam(2):                           Null,
+		SlotReturnValue:                         Param(2),
+		SlotThisValue:                           Null,
+	}
+	for slot, origin := range want {
+		if got := act[slot]; got != origin {
+			t.Errorf("exchange Action[%s] = %s, want %s", slot, got, origin)
+		}
+	}
+	if len(act) != len(want) {
+		t.Errorf("exchange Action has %d entries, want %d: %s", len(act), len(want), act)
+	}
+}
+
+func TestFig5ExamplePPAndAction(t *testing.T) {
+	prog, example, _ := buildFig5Program(t)
+	res, err := Analyze(prog, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	calls := res.Calls[example.Key()]
+	if len(calls) != 1 {
+		t.Fatalf("example has %d call edges, want 1", len(calls))
+	}
+	call := calls[0]
+	// Paper Fig. 5(c): PP [∞,∞,2].
+	if got := call.PP.String(); got != "[∞,∞,2]" {
+		t.Errorf("PP = %s, want [∞,∞,2]", got)
+	}
+	if call.Pruned {
+		t.Error("controllable call must not be pruned")
+	}
+	if call.CalleeClass != "fig5.B" || call.CalleeSub != "exchange(fig5.A,fig5.B)" {
+		t.Errorf("callee = %s#%s", call.CalleeClass, call.CalleeSub)
+	}
+
+	act := res.Actions[example.Key()]
+	// return a2 — the content of the original parameter a (Fig. 5a).
+	if got := act[SlotReturnValue]; got != Param(1) {
+		t.Errorf("example return origin = %s, want init-param-1", got)
+	}
+	// Fig. 5(d) corrected localMap: a:∞ and b:∞ after the call, so both
+	// final params end uncontrollable.
+	if got := act[FinalParam(1)]; got != Null {
+		t.Errorf("example final-param-1 = %s, want null", got)
+	}
+	if got := act[FinalParam(2)]; got != Null {
+		t.Errorf("example final-param-2 = %s, want null", got)
+	}
+	// The a.b:2 cell of Fig. 5(d) belongs to the rebound local a — which
+	// points at the fresh a1 object, not the caller's original argument —
+	// so example's own Action must NOT expose final-param-1.b.
+	if got, ok := act[Slot{Kind: SlotParam, Param: 1, Field: "b"}]; ok {
+		t.Errorf("example final-param-1.b leaked as %s; the store hit a fresh object", got)
+	}
+}
+
+func TestActionString(t *testing.T) {
+	prog, _, exchange := buildFig5Program(t)
+	res, err := Analyze(prog, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := res.Actions[exchange.Key()].String()
+	for _, want := range []string{
+		`"final-param-1": "init-param-1"`,
+		`"final-param-1.b": "init-param-2"`,
+		`"final-param-2": "null"`,
+		`"return": "init-param-2"`,
+		`"this": "null"`,
+	} {
+		if !strings.Contains(s, want) {
+			t.Errorf("Action.String() %s missing %s", s, want)
+		}
+	}
+}
+
+// oneMethodProg builds a single-class program with the given method and
+// body builder callback.
+func oneMethodProg(t *testing.T, params []java.Type, ret java.Type, static bool, build func(bb *jimple.BodyBuilder)) (*jimple.Program, java.MethodKey) {
+	t.Helper()
+	mods := java.ModPublic
+	if static {
+		mods |= java.ModStatic
+	}
+	c := &java.Class{Name: "t.C", Modifiers: java.ModPublic, Super: java.ObjectClass}
+	c.AddField(&java.Field{Name: "f", Type: java.ObjectType})
+	m := c.AddMethod(&java.Method{Name: "m", Params: params, Return: ret, Modifiers: mods})
+	callee := c.AddMethod(&java.Method{Name: "callee", Params: []java.Type{java.ObjectType}, Return: java.ObjectType, Modifiers: java.ModPublic})
+	h, err := java.NewHierarchy([]*java.Class{c})
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog := jimple.NewProgram(h)
+	bb := jimple.NewBodyBuilder(m)
+	build(bb)
+	prog.SetBody(bb.Body())
+	// callee: identity-ish body returning its argument.
+	cb := jimple.NewBodyBuilder(callee)
+	cb.Return(cb.Param(0))
+	prog.SetBody(cb.Body())
+	return prog, m.Key()
+}
+
+func TestThisFieldControllable(t *testing.T) {
+	// Calls on this.f must get PP[0] = 0: the linchpin of every
+	// readObject-rooted chain.
+	prog, key := oneMethodProg(t, nil, java.Void, false, func(bb *jimple.BodyBuilder) {
+		v := bb.Temp(java.ObjectType)
+		bb.FieldLoad(v, bb.This(), "t.C", "f", java.ObjectType)
+		bb.InvokeVirtual(v, java.ObjectClass, "hashCode", nil, java.Int)
+		bb.Return(nil)
+	})
+	res, err := Analyze(prog, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	calls := res.Calls[key]
+	if len(calls) != 1 {
+		t.Fatalf("%d calls", len(calls))
+	}
+	if got := calls[0].PP.String(); got != "[0]" {
+		t.Errorf("PP = %s, want [0]", got)
+	}
+}
+
+func TestPruningNewObjectCall(t *testing.T) {
+	// Calls whose receiver and args are all fresh objects are pruned.
+	prog, key := oneMethodProg(t, nil, java.Void, false, func(bb *jimple.BodyBuilder) {
+		v := bb.Temp(java.ObjectType)
+		bb.New(v, java.ObjectType)
+		bb.InvokeVirtual(v, java.ObjectClass, "hashCode", nil, java.Int)
+		bb.Return(nil)
+	})
+	res, err := Analyze(prog, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	calls := res.Calls[key]
+	if len(calls) != 1 || !calls[0].Pruned {
+		t.Fatalf("fresh-object call must be pruned: %+v", calls)
+	}
+	if res.PrunedCalls != 1 {
+		t.Errorf("PrunedCalls = %d", res.PrunedCalls)
+	}
+}
+
+func TestConstantsUncontrollable(t *testing.T) {
+	prog, key := oneMethodProg(t, []java.Type{java.StringType}, java.Void, false, func(bb *jimple.BodyBuilder) {
+		bb.InvokeVirtual(bb.This(), "t.C", "callee", []java.Type{java.ObjectType}, java.ObjectType, &jimple.StrConst{Val: "constant"})
+		bb.Return(nil)
+	})
+	res, err := Analyze(prog, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	call := res.Calls[key][0]
+	if got := call.PP.String(); got != "[0,∞]" {
+		t.Errorf("PP = %s, want [0,∞] (this controllable, constant not)", got)
+	}
+}
+
+func TestConditionalJoinOverApproximates(t *testing.T) {
+	// x = param on one branch, x = new on the other: at the join the
+	// analysis keeps the controllable origin — the paper's documented FP
+	// source (§IV-E).
+	prog, key := oneMethodProg(t, []java.Type{java.ObjectType, java.Int}, java.ObjectType, false, func(bb *jimple.BodyBuilder) {
+		x := bb.Local("x", java.ObjectType)
+		ifIdx := bb.If(&jimple.BinopExpr{Op: jimple.OpEq, L: bb.Param(1), R: &jimple.IntConst{Val: 0}})
+		bb.Assign(x, bb.Param(0)) // then: x = param0
+		g := bb.Goto()
+		elseIdx := bb.New(x, java.ObjectType) // else: x = new
+		bb.PatchTarget(ifIdx, elseIdx)
+		join := bb.Here()
+		bb.PatchTarget(g, join)
+		bb.Return(x)
+	})
+	res, err := Analyze(prog, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	act := res.Actions[key]
+	if got := act[SlotReturnValue]; got != Param(1) {
+		t.Errorf("join must keep the controllable origin, got %s", got)
+	}
+}
+
+func TestCastPreservesOrigin(t *testing.T) {
+	prog, key := oneMethodProg(t, []java.Type{java.ObjectType}, java.StringType, false, func(bb *jimple.BodyBuilder) {
+		s := bb.Local("s", java.StringType)
+		bb.Assign(s, &jimple.CastExpr{Typ: java.StringType, Op: bb.Param(0)})
+		bb.Return(s)
+	})
+	res, err := Analyze(prog, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := res.Actions[key][SlotReturnValue]; got != Param(1) {
+		t.Errorf("cast must preserve origin, got %s", got)
+	}
+}
+
+func TestArrayRoundTrip(t *testing.T) {
+	// a[0] = param; x = a[1]: array cells collapse to one pseudo-field, so
+	// the load sees the controllable store.
+	arrType := java.ArrayOf(java.ObjectType)
+	prog, key := oneMethodProg(t, []java.Type{java.ObjectType}, java.ObjectType, false, func(bb *jimple.BodyBuilder) {
+		arr := bb.Local("arr", arrType)
+		bb.Assign(arr, &jimple.NewArrayExpr{Elem: java.ObjectType, Size: &jimple.IntConst{Val: 2}})
+		bb.Assign(&jimple.ArrayRef{Base: arr, Index: &jimple.IntConst{Val: 0}}, bb.Param(0))
+		x := bb.Local("x", java.ObjectType)
+		bb.Assign(x, &jimple.ArrayRef{Base: arr, Index: &jimple.IntConst{Val: 1}})
+		bb.Return(x)
+	})
+	res, err := Analyze(prog, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := res.Actions[key][SlotReturnValue]; got != Param(1) {
+		t.Errorf("array round trip lost origin: %s", got)
+	}
+}
+
+func TestStaticFieldRoundTrip(t *testing.T) {
+	prog, key := oneMethodProg(t, []java.Type{java.ObjectType}, java.ObjectType, true, func(bb *jimple.BodyBuilder) {
+		bb.Assign(&jimple.FieldRef{Class: "t.C", Field: "sf", Typ: java.ObjectType}, bb.Param(0))
+		x := bb.Local("x", java.ObjectType)
+		bb.Assign(x, &jimple.FieldRef{Class: "t.C", Field: "sf", Typ: java.ObjectType})
+		bb.Return(x)
+	})
+	res, err := Analyze(prog, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := res.Actions[key][SlotReturnValue]; got != Param(1) {
+		t.Errorf("static field round trip lost origin: %s", got)
+	}
+}
+
+func TestUnknownStaticUncontrollable(t *testing.T) {
+	prog, key := oneMethodProg(t, nil, java.ObjectType, true, func(bb *jimple.BodyBuilder) {
+		x := bb.Local("x", java.ObjectType)
+		bb.Assign(x, &jimple.FieldRef{Class: "ext.Unknown", Field: "INSTANCE", Typ: java.ObjectType})
+		bb.Return(x)
+	})
+	res, err := Analyze(prog, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := res.Actions[key][SlotReturnValue]; got != Null {
+		t.Errorf("unknown static must be uncontrollable, got %s", got)
+	}
+}
+
+func TestRecursionTerminates(t *testing.T) {
+	c := &java.Class{Name: "r.C", Modifiers: java.ModPublic, Super: java.ObjectClass}
+	m := c.AddMethod(&java.Method{Name: "rec", Params: []java.Type{java.ObjectType}, Return: java.ObjectType, Modifiers: java.ModPublic})
+	h, err := java.NewHierarchy([]*java.Class{c})
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog := jimple.NewProgram(h)
+	bb := jimple.NewBodyBuilder(m)
+	x := bb.Local("x", java.ObjectType)
+	bb.AssignInvokeVirtual(x, bb.This(), "r.C", "rec", []java.Type{java.ObjectType}, java.ObjectType, bb.Param(0))
+	bb.Return(x)
+	prog.SetBody(bb.Body())
+	res, err := Analyze(prog, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Recursive summary falls back to identity: params unchanged; the
+	// recursive call itself is still a (controllable) call edge.
+	if len(res.Calls[m.Key()]) != 1 {
+		t.Fatalf("calls = %v", res.Calls[m.Key()])
+	}
+	if res.Calls[m.Key()][0].Pruned {
+		t.Error("recursive call on this with param arg must be controllable")
+	}
+}
+
+func TestDynamicInvokeOpaque(t *testing.T) {
+	prog, key := oneMethodProg(t, []java.Type{java.ObjectType}, java.Void, false, func(bb *jimple.BodyBuilder) {
+		bb.Body().Append(&jimple.InvokeStmt{Invoke: &jimple.InvokeExpr{
+			Kind: jimple.InvokeDynamic, Class: "java.lang.reflect.Proxy", Name: "invoke",
+			ParamTypes: []java.Type{java.ObjectType}, ReturnType: java.ObjectType,
+			Args: []jimple.Value{bb.Param(0)},
+		}})
+		bb.Return(nil)
+	})
+	res, err := Analyze(prog, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Dynamic invokes produce no call edge — the §V-B limitation.
+	if got := len(res.Calls[key]); got != 0 {
+		t.Errorf("dynamic invoke produced %d call edges, want 0", got)
+	}
+}
+
+func TestInterproceduralReturnPrecision(t *testing.T) {
+	// wrapper returns callee(param); callee returns its argument.
+	// Without interprocedural analysis the chain origin would be lost.
+	prog, key := oneMethodProg(t, []java.Type{java.ObjectType}, java.ObjectType, false, func(bb *jimple.BodyBuilder) {
+		x := bb.Local("x", java.ObjectType)
+		bb.AssignInvokeVirtual(x, bb.This(), "t.C", "callee", []java.Type{java.ObjectType}, java.ObjectType, bb.Param(0))
+		bb.Return(x)
+	})
+	res, err := Analyze(prog, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The callee passes its argument straight through, and the
+	// polymorphic-return rule additionally joins the receiver: either
+	// way the result must stay controllable (here the join keeps `this`,
+	// rank 0, over init-param-1).
+	if got := res.Actions[key][SlotReturnValue]; !got.Controllable() {
+		t.Errorf("interprocedural return origin = %s, want controllable", got)
+	}
+}
+
+// TestInterproceduralReturnPrecisionStatic pins down the pure summary
+// path: a static callee's return composes through Calc with no
+// polymorphic join, so the exact origin is preserved.
+func TestInterproceduralReturnPrecisionStatic(t *testing.T) {
+	c := &java.Class{Name: "s.C", Modifiers: java.ModPublic, Super: java.ObjectClass}
+	id := c.AddMethod(&java.Method{Name: "id", Params: []java.Type{java.ObjectType}, Return: java.ObjectType, Modifiers: java.ModPublic | java.ModStatic})
+	m := c.AddMethod(&java.Method{Name: "m", Params: []java.Type{java.ObjectType}, Return: java.ObjectType, Modifiers: java.ModPublic | java.ModStatic})
+	h, err := java.NewHierarchy([]*java.Class{c})
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog := jimple.NewProgram(h)
+	bb := jimple.NewBodyBuilder(id)
+	bb.Return(bb.Param(0))
+	prog.SetBody(bb.Body())
+	bb = jimple.NewBodyBuilder(m)
+	x := bb.Local("x", java.ObjectType)
+	bb.AssignInvokeStatic(x, "s.C", "id", []java.Type{java.ObjectType}, java.ObjectType, bb.Param(0))
+	bb.Return(x)
+	prog.SetBody(bb.Body())
+	res, err := Analyze(prog, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := res.Actions[m.Key()][SlotReturnValue]; got != Param(1) {
+		t.Errorf("static interprocedural return origin = %s, want init-param-1", got)
+	}
+}
+
+func TestPPIntsRoundTrip(t *testing.T) {
+	pp := PP{WeightUnctrl, 0, 2}
+	if got := PPFromInts(pp.Ints()); got.String() != pp.String() {
+		t.Errorf("round trip: %s vs %s", got, pp)
+	}
+	if !pp[1].Controllable() || pp[0].Controllable() {
+		t.Error("Controllable misbehaves")
+	}
+	if !(PP{WeightUnctrl, WeightUnctrl}).AllUncontrollable() {
+		t.Error("AllUncontrollable false negative")
+	}
+	if pp.AllUncontrollable() {
+		t.Error("AllUncontrollable false positive")
+	}
+}

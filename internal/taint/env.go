@@ -1,0 +1,128 @@
+package taint
+
+import (
+	"strconv"
+	"strings"
+
+	"tabby/internal/jimple"
+)
+
+// env is the localMap of Algorithm 1: a map from abstract cells to
+// origins. Cell keys:
+//
+//	"L:x"        — local x
+//	"L:x.f"      — field f of the (fresh) object held by local x
+//	"@this.f"    — field f of the receiver object
+//	"@p3.f"      — field f of the object passed as parameter 3
+//	"S:C.f"      — static field f of class C
+//
+// Field sensitivity is depth one, matching the paper's a.b cells (Fig. 5c).
+type env map[string]Origin
+
+func localKey(l *jimple.Local) string { return "L:" + l.Name }
+
+func staticKey(class, field string) string { return "S:" + class + "." + field }
+
+// baseFieldKey returns the canonical cell for base.field given base's
+// current origin, or "" when the access collapses (depth cap).
+func baseFieldKey(base *jimple.Local, baseOrigin Origin, field string) string {
+	switch {
+	case baseOrigin.Kind == OriginThis && baseOrigin.Field == "":
+		return "@this." + field
+	case baseOrigin.Kind == OriginParam && baseOrigin.Field == "":
+		return "@p" + strconv.Itoa(baseOrigin.Param) + "." + field
+	case baseOrigin.Kind == OriginNull:
+		return localKey(base) + "." + field
+	default:
+		// Origin already carries a field (depth-1 cap): no dedicated cell.
+		return ""
+	}
+}
+
+func (e env) clone() env {
+	out := make(env, len(e))
+	for k, v := range e {
+		out[k] = v
+	}
+	return out
+}
+
+// join merges other into e (in place), taking the more controllable
+// origin on conflicts and unioning otherwise. Reports whether e changed.
+func (e env) join(other env) bool {
+	changed := false
+	for k, v := range other {
+		cur, ok := e[k]
+		if !ok {
+			e[k] = v
+			changed = true
+			continue
+		}
+		j := cur.join(v)
+		if j != cur {
+			e[k] = j
+			changed = true
+		}
+	}
+	return changed
+}
+
+// setLocal performs the strong update for `a = <origin>`: rebinding the
+// local and destroying its field cells (Table IV "Create a new variable":
+// destroy the original CA of a).
+func (e env) setLocal(l *jimple.Local, o Origin) {
+	key := localKey(l)
+	e[key] = o
+	prefix := key + "."
+	for k := range e {
+		if strings.HasPrefix(k, prefix) {
+			delete(e, k)
+		}
+	}
+}
+
+// copyLocalFields copies the fresh-object field cells of src to dst,
+// modelling the aliasing introduced by `dst = src`.
+func (e env) copyLocalFields(dst, src *jimple.Local) {
+	srcPrefix := localKey(src) + "."
+	dstPrefix := localKey(dst) + "."
+	for k, v := range e {
+		if strings.HasPrefix(k, srcPrefix) {
+			e[dstPrefix+strings.TrimPrefix(k, srcPrefix)] = v
+		}
+	}
+}
+
+// loadField evaluates base.field under the environment: a recorded cell
+// wins; otherwise the origin is the base's origin refined by the field
+// (Table IV "Class property loading": b.f → a).
+func (e env) loadField(base *jimple.Local, field string) Origin {
+	bo := e.localOrigin(base)
+	if key := baseFieldKey(base, bo, field); key != "" {
+		if v, ok := e[key]; ok {
+			return v
+		}
+	}
+	if !bo.Controllable() {
+		return Null
+	}
+	return bo.WithField(field)
+}
+
+// storeField records base.field = value (Table IV "Class property
+// assignment"). Stores through a depth-capped base are dropped.
+func (e env) storeField(base *jimple.Local, field string, value Origin) {
+	bo := e.localOrigin(base)
+	if key := baseFieldKey(base, bo, field); key != "" {
+		e[key] = value
+	}
+}
+
+// localOrigin returns the local's current origin, defaulting to null for
+// locals never assigned on this path.
+func (e env) localOrigin(l *jimple.Local) Origin {
+	if v, ok := e[localKey(l)]; ok {
+		return v
+	}
+	return Null
+}

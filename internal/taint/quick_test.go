@@ -1,0 +1,193 @@
+package taint
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"tabby/internal/java"
+	"tabby/internal/jimple"
+)
+
+// genRandomProgram builds a deterministic pseudo-random program from a
+// seed: a handful of classes with fields and methods whose bodies mix
+// assignments, field traffic, branches and calls. It is used to check
+// analysis-wide invariants rather than specific dataflow facts.
+func genRandomProgram(seed int64) (*jimple.Program, error) {
+	rng := rand.New(rand.NewSource(seed))
+	numClasses := 2 + rng.Intn(3)
+	classes := make([]*java.Class, 0, numClasses)
+	for ci := 0; ci < numClasses; ci++ {
+		c := &java.Class{
+			Name:      fmt.Sprintf("q.C%d", ci),
+			Modifiers: java.ModPublic,
+			Super:     java.ObjectClass,
+		}
+		c.AddField(&java.Field{Name: "f", Type: java.ObjectType})
+		numMethods := 1 + rng.Intn(3)
+		for mi := 0; mi < numMethods; mi++ {
+			mods := java.ModPublic
+			if rng.Intn(3) == 0 {
+				mods |= java.ModStatic
+			}
+			c.AddMethod(&java.Method{
+				Name:      fmt.Sprintf("m%d", mi),
+				Params:    []java.Type{java.ObjectType, java.ObjectType},
+				Return:    java.ObjectType,
+				Modifiers: mods,
+			})
+		}
+		classes = append(classes, c)
+	}
+	h, err := java.NewHierarchy(classes)
+	if err != nil {
+		return nil, err
+	}
+	prog := jimple.NewProgram(h)
+	for _, c := range classes {
+		for _, m := range c.Methods {
+			bb := jimple.NewBodyBuilder(m)
+			locals := []*jimple.Local{bb.Param(0), bb.Param(1)}
+			if bb.This() != nil {
+				locals = append(locals, bb.This())
+			}
+			for i := 0; i < 2; i++ {
+				locals = append(locals, bb.Local(fmt.Sprintf("l%d", i), java.ObjectType))
+			}
+			pick := func() *jimple.Local { return locals[rng.Intn(len(locals))] }
+			numStmts := 3 + rng.Intn(6)
+			for s := 0; s < numStmts; s++ {
+				switch rng.Intn(6) {
+				case 0:
+					bb.Assign(pick(), pick())
+				case 1:
+					bb.New(pick(), java.ObjectType)
+				case 2:
+					base := pick()
+					if base != bb.This() || bb.This() != nil {
+						bb.FieldStore(base, "q.C0", "f", java.ObjectType, pick())
+					}
+				case 3:
+					bb.FieldLoad(pick(), pick(), "q.C0", "f", java.ObjectType)
+				case 4:
+					callee := classes[rng.Intn(len(classes))]
+					target := callee.Methods[rng.Intn(len(callee.Methods))]
+					if target.IsStatic() {
+						bb.AssignInvokeStatic(pick(), callee.Name, target.Name,
+							target.Params, target.Return, pick(), pick())
+					} else {
+						bb.AssignInvokeVirtual(pick(), pick(), callee.Name, target.Name,
+							target.Params, target.Return, pick(), pick())
+					}
+				case 5:
+					ifIdx := bb.If(&jimple.BinopExpr{Op: jimple.OpEq, L: pick(), R: &jimple.NullConst{}})
+					bb.Nop()
+					bb.PatchTarget(ifIdx, bb.Here())
+				}
+			}
+			bb.Return(pick())
+			prog.SetBody(bb.Body())
+		}
+	}
+	if err := prog.Validate(); err != nil {
+		return nil, err
+	}
+	return prog, nil
+}
+
+// TestAnalyzeInvariantsQuick: for arbitrary programs, the analysis
+// terminates and every produced artifact is well-formed:
+//
+//   - PP entries lie in {-1} ∪ [0, paramCount-of-caller];
+//   - PP length is 1 + callee arity;
+//   - every analyzed method has an Action with a return entry;
+//   - Action origins reference only existing parameter indexes.
+func TestAnalyzeInvariantsQuick(t *testing.T) {
+	f := func(seed int64) bool {
+		prog, err := genRandomProgram(seed)
+		if err != nil {
+			t.Logf("seed %d: generation failed: %v", seed, err)
+			return false
+		}
+		res, err := Analyze(prog, Options{})
+		if err != nil {
+			t.Logf("seed %d: analyze failed: %v", seed, err)
+			return false
+		}
+		for caller, calls := range res.Calls {
+			callerParams := len(prog.Body(caller).Method.Params)
+			for _, call := range calls {
+				for _, w := range call.PP {
+					if w != WeightUnctrl && (w < 0 || int(w) > callerParams) {
+						t.Logf("seed %d: PP weight %d out of range for %s", seed, w, caller)
+						return false
+					}
+				}
+			}
+		}
+		for key, act := range res.Actions {
+			if _, ok := act[SlotReturnValue]; !ok {
+				t.Logf("seed %d: %s has no return slot", seed, key)
+				return false
+			}
+			params := len(prog.Body(key).Method.Params)
+			for slot, origin := range act {
+				if slot.Kind == SlotParam && (slot.Param < 1 || slot.Param > params) {
+					t.Logf("seed %d: %s slot %s out of range", seed, key, slot)
+					return false
+				}
+				if origin.Kind == OriginParam && (origin.Param < 1 || origin.Param > params) {
+					t.Logf("seed %d: %s origin %s out of range", seed, key, origin)
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestAnalyzeDeterministicQuick: two runs over the same program produce
+// identical Actions and call edges.
+func TestAnalyzeDeterministicQuick(t *testing.T) {
+	f := func(seed int64) bool {
+		prog, err := genRandomProgram(seed)
+		if err != nil {
+			return false
+		}
+		r1, err := Analyze(prog, Options{})
+		if err != nil {
+			return false
+		}
+		r2, err := Analyze(prog, Options{})
+		if err != nil {
+			return false
+		}
+		if len(r1.Actions) != len(r2.Actions) || r1.TotalCalls != r2.TotalCalls || r1.PrunedCalls != r2.PrunedCalls {
+			return false
+		}
+		for k, a1 := range r1.Actions {
+			if r2.Actions[k].String() != a1.String() {
+				return false
+			}
+		}
+		for k, c1 := range r1.Calls {
+			c2 := r2.Calls[k]
+			if len(c1) != len(c2) {
+				return false
+			}
+			for i := range c1 {
+				if c1[i].PP.String() != c2[i].PP.String() || c1[i].Callee() != c2[i].Callee() {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}

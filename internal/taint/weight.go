@@ -1,0 +1,293 @@
+// Package taint implements Tabby's variable controllability analysis
+// (paper §III-C): a field-sensitive points-to style dataflow that decides,
+// for every method call, which of its receiver/arguments an attacker who
+// controls the deserialized object can influence.
+//
+// Its outputs are the two properties the gadget-chain search runs on:
+//
+//   - Action — a per-method summary of how parameters and the return value
+//     relate to the method's inputs (Table III, Fig. 5b), memoised as the
+//     paper's caching mechanism;
+//   - Polluted_Position (PP) — a per-call-site array giving the
+//     controllability weight of the receiver (index 0) and each argument
+//     (index i) in the caller's frame (Table V, Fig. 5c).
+package taint
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Weight is a controllability weight per Table V. The encoding is chosen
+// to be storable as a plain int in graph properties:
+//
+//	WeightUnctrl (-1)  — ∞, not controllable
+//	0                  — comes from the caller object (this) or its fields
+//	k ≥ 1              — comes from parameter k (1-based)
+type Weight int
+
+// WeightUnctrl is the ∞ weight of Table V.
+const WeightUnctrl Weight = -1
+
+// Controllable reports whether the weight is not ∞.
+func (w Weight) Controllable() bool { return w != WeightUnctrl }
+
+// String renders ∞ for the uncontrollable weight.
+func (w Weight) String() string {
+	if w == WeightUnctrl {
+		return "∞"
+	}
+	return strconv.Itoa(int(w))
+}
+
+// PP is a Polluted_Position array: PP[0] is the receiver weight (∞ for
+// static calls), PP[i] the weight of argument i.
+type PP []Weight
+
+// AllUncontrollable reports whether every position is ∞ — the pruning
+// condition of Algorithm 1 ("prunes CALL edges when all values in their PP
+// property are ∞").
+func (pp PP) AllUncontrollable() bool {
+	for _, w := range pp {
+		if w.Controllable() {
+			return false
+		}
+	}
+	return true
+}
+
+// Ints converts the PP to a plain []int for graph-property storage.
+func (pp PP) Ints() []int {
+	out := make([]int, len(pp))
+	for i, w := range pp {
+		out[i] = int(w)
+	}
+	return out
+}
+
+// PPFromInts converts a stored []int back to a PP.
+func PPFromInts(ints []int) PP {
+	out := make(PP, len(ints))
+	for i, v := range ints {
+		out[i] = Weight(v)
+	}
+	return out
+}
+
+// String renders e.g. "[∞,∞,2]".
+func (pp PP) String() string {
+	parts := make([]string, len(pp))
+	for i, w := range pp {
+		parts[i] = w.String()
+	}
+	return "[" + strings.Join(parts, ",") + "]"
+}
+
+// OriginKind classifies where a value ultimately comes from — the value
+// set of the Action property (Table III).
+type OriginKind int
+
+// Origin kinds.
+const (
+	OriginNull  OriginKind = iota + 1 // "null": uncontrollable
+	OriginThis                        // this (or this.Field when Field != "")
+	OriginParam                       // init-param-Param (or its Field)
+)
+
+// Origin is a single Action value: this, this.x, init-param-j,
+// init-param-j.x, or null.
+type Origin struct {
+	Kind  OriginKind
+	Param int    // 1-based, for OriginParam
+	Field string // optional one-level field suffix
+}
+
+// Canonical origins.
+var (
+	Null = Origin{Kind: OriginNull}
+	This = Origin{Kind: OriginThis}
+)
+
+// Param returns the origin init-param-i (1-based).
+func Param(i int) Origin { return Origin{Kind: OriginParam, Param: i} }
+
+// WithField returns the origin refined by one field dereference. Null
+// stays null; an already field-qualified origin stays at depth one (the
+// analysis is field-sensitive to depth one, like the paper's a.b cells).
+func (o Origin) WithField(field string) Origin {
+	if o.Kind == OriginNull {
+		return Null
+	}
+	o.Field = field
+	return o
+}
+
+// Controllable reports whether the origin is attacker-influenced.
+func (o Origin) Controllable() bool { return o.Kind != OriginNull }
+
+// Weight collapses the origin to its Table V weight: this[.f] → 0,
+// init-param-j[.f] → j, null → ∞.
+func (o Origin) Weight() Weight {
+	switch o.Kind {
+	case OriginThis:
+		return 0
+	case OriginParam:
+		return Weight(o.Param)
+	default:
+		return WeightUnctrl
+	}
+}
+
+// rank orders origins for the dataflow join: more controllable first.
+// The join keeps the lowest rank, over-approximating controllability at
+// control-flow joins exactly the way that produces the paper's
+// conditional-statement false positives (§IV-E).
+func (o Origin) rank() int {
+	switch o.Kind {
+	case OriginThis:
+		return 0
+	case OriginParam:
+		return o.Param
+	default:
+		return 1 << 30
+	}
+}
+
+// join merges two origins at a control-flow join point.
+func (o Origin) join(other Origin) Origin {
+	if other.rank() < o.rank() {
+		return other
+	}
+	return o
+}
+
+// String renders the origin in the paper's Action syntax.
+func (o Origin) String() string {
+	var base string
+	switch o.Kind {
+	case OriginNull:
+		return "null"
+	case OriginThis:
+		base = "this"
+	case OriginParam:
+		base = "init-param-" + strconv.Itoa(o.Param)
+	default:
+		base = "?"
+	}
+	if o.Field != "" {
+		base += "." + o.Field
+	}
+	return base
+}
+
+// SlotKind classifies Action keys (Table III).
+type SlotKind int
+
+// Slot kinds.
+const (
+	SlotThis   SlotKind = iota + 1 // this / this.x
+	SlotParam                      // final-param-i / final-param-i.x
+	SlotReturn                     // return
+)
+
+// Slot is an Action key: this, this.x, final-param-i, final-param-i.x or
+// return.
+type Slot struct {
+	Kind  SlotKind
+	Param int    // 1-based, for SlotParam
+	Field string // optional field suffix
+}
+
+// Canonical slots.
+var (
+	SlotReturnValue = Slot{Kind: SlotReturn}
+	SlotThisValue   = Slot{Kind: SlotThis}
+)
+
+// FinalParam returns the slot final-param-i (1-based).
+func FinalParam(i int) Slot { return Slot{Kind: SlotParam, Param: i} }
+
+// String renders the slot in the paper's Action syntax.
+func (s Slot) String() string {
+	var base string
+	switch s.Kind {
+	case SlotThis:
+		base = "this"
+	case SlotParam:
+		base = "final-param-" + strconv.Itoa(s.Param)
+	case SlotReturn:
+		return "return"
+	default:
+		base = "?"
+	}
+	if s.Field != "" {
+		base += "." + s.Field
+	}
+	return base
+}
+
+// Action is the method summary property of Table III: a map from slots to
+// origins describing "the origins of method parameters and return values
+// after a method call".
+type Action map[Slot]Origin
+
+// IdentityAction returns the summary of a method we refuse to look into
+// (recursion cut-offs and bodies we do not have): parameters keep their
+// identity, the return value and this-effects are unknown (null).
+func IdentityAction(paramCount int, static bool) Action {
+	a := make(Action, paramCount+2)
+	for i := 1; i <= paramCount; i++ {
+		a[FinalParam(i)] = Param(i)
+	}
+	if !static {
+		a[SlotThisValue] = This
+	}
+	a[SlotReturnValue] = Null
+	return a
+}
+
+// OptimisticAction returns the summary used for sink-like or opaque
+// library calls whose return should be assumed attacker-reachable when
+// any input is: return ← init-param-1 when the method has parameters,
+// otherwise ← this. Used for phantom methods so that chains through
+// unmodelled library code are not silently cut (the paper errs the same
+// way: unknown callees keep variables controllable).
+func OptimisticAction(paramCount int, static bool) Action {
+	a := IdentityAction(paramCount, static)
+	switch {
+	case paramCount > 0:
+		a[SlotReturnValue] = Param(1)
+	case !static:
+		a[SlotReturnValue] = This
+	}
+	return a
+}
+
+// String renders the action deterministically, matching Fig. 5(b)'s
+// {"final-param-1": "init-param-1", ...} shape.
+func (a Action) String() string {
+	keys := make([]Slot, 0, len(a))
+	for k := range a {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i].String() < keys[j].String() })
+	parts := make([]string, 0, len(keys))
+	for _, k := range keys {
+		parts = append(parts, fmt.Sprintf("%q: %q", k.String(), a[k].String()))
+	}
+	return "{" + strings.Join(parts, ", ") + "}"
+}
+
+// Calc implements Formula 2: out = {⟨x,z⟩ | ⟨x,y⟩ ∈ Action, ⟨y,z⟩ ∈ in}.
+// in maps the callee's input origins (this, init-param-j, with optional
+// field refinement) to origins in the caller's frame. Slots whose origin
+// cannot be mapped become null.
+func Calc(a Action, in func(Origin) Origin) Action {
+	out := make(Action, len(a))
+	for slot, origin := range a {
+		out[slot] = in(origin)
+	}
+	return out
+}
