@@ -1,0 +1,24 @@
+GO ?= go
+
+.PHONY: build test vet race check bench
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# check is the pre-merge gate: compile everything, vet, and run the full
+# test suite under the race detector (the parallel pipeline's determinism
+# and safety contract).
+check:
+	$(GO) build ./... && $(GO) vet ./... && $(GO) test -race ./...
+
+bench:
+	$(GO) test -bench=. -benchmem ./...

@@ -10,6 +10,7 @@ package tabby
 // runs the paper-size corpus.
 
 import (
+	"fmt"
 	"strings"
 	"testing"
 
@@ -275,5 +276,38 @@ func BenchmarkConfirm(b *testing.B) {
 		if err != nil || !res.Confirmed {
 			b.Fatalf("confirm failed: %v %v", err, res)
 		}
+	}
+}
+
+// BenchmarkParallelPipeline measures the full pipeline (CPG build + chain
+// search) over the Table VIII synthetic corpus at several worker counts.
+// Speedup over the workers=1 sub-benchmark is the tentpole metric; on a
+// single-CPU host (GOMAXPROCS=1) the counts coincide by design, since the
+// scheduler degrades to the sequential path. cmd/tabby-bench
+// -table parallel runs the same sweep at full scale and verifies output
+// equality across counts.
+func BenchmarkParallelPipeline(b *testing.B) {
+	const scale = 0.05
+	specs := corpus.SyntheticSpecs()
+	spec := specs[len(specs)-1]
+	prog, err := corpus.GenerateSynthetic(spec, scale)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, workers := range []int{1, 2, 4, 8} {
+		workers := workers
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			engine := core.New(core.Options{Workers: workers})
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				g, _, err := engine.BuildCPG(prog)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if _, _, _, err := engine.FindChains(g); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
 	}
 }

@@ -6,6 +6,8 @@
 //	tabby-bench -table 11         Spring-scene chains (Table XI)
 //	tabby-bench -table rq4        the §IV-E aggregate
 //	tabby-bench -table ablation   §III-C design-choice ablations
+//	tabby-bench -table parallel   worker-scaling over the largest Table VIII
+//	                              row (writes BENCH_parallel.json)
 //	tabby-bench -table all        everything
 //
 // The Table VIII run defaults to scale 1.0 (the paper's full class and
@@ -16,29 +18,34 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 
 	"tabby/internal/bench"
+	"tabby/internal/parallel"
 )
 
 func main() {
 	var (
-		table = flag.String("table", "all", "which table to regenerate: 8, 9, 10, 11, rq4, all")
-		scale = flag.Float64("scale", 1.0, "Table VIII corpus scale factor (1.0 = paper-size)")
-		runs  = flag.Int("runs", 3, "Table VIII repetitions per row (min/max trimmed when >2)")
+		table   = flag.String("table", "all", "which table to regenerate: 8, 9, 10, 11, rq4, all")
+		scale   = flag.Float64("scale", 1.0, "Table VIII corpus scale factor (1.0 = paper-size)")
+		runs    = flag.Int("runs", 3, "Table VIII repetitions per row (min/max trimmed when >2)")
+		workers = flag.Int("workers", 0, "pipeline worker count (0 = GOMAXPROCS, 1 = sequential)")
 	)
 	flag.Parse()
-	if err := run(*table, *scale, *runs); err != nil {
+	if err := run(*table, *scale, *runs, *workers); err != nil {
 		fmt.Fprintln(os.Stderr, "tabby-bench:", err)
 		os.Exit(1)
 	}
 }
 
-func run(table string, scale float64, runs int) error {
+func run(table string, scale float64, runs, workers int) error {
 	switch table {
-	case "8", "9", "10", "11", "rq4", "ablation", "all":
+	case "8", "9", "10", "11", "rq4", "ablation", "parallel", "all":
 	default:
-		return fmt.Errorf("unknown table %q (want 8, 9, 10, 11, rq4, ablation or all)", table)
+		return fmt.Errorf("unknown table %q (want 8, 9, 10, 11, rq4, ablation, parallel or all)", table)
 	}
+	fmt.Printf("tabby-bench: workers=%d (resolved %d), GOMAXPROCS=%d\n",
+		workers, parallel.Resolve(workers), runtime.GOMAXPROCS(0))
 	want := func(t string) bool { return table == t || table == "all" }
 	if want("8") {
 		fmt.Println("=== Table VIII: CPG generation efficiency ===")
@@ -87,6 +94,23 @@ func run(table string, scale float64, runs int) error {
 			return err
 		}
 		fmt.Println(bench.FormatAblation(results))
+	}
+	if want("parallel") {
+		fmt.Println("=== Parallel pipeline: worker scaling ===")
+		r, err := bench.RunParallel(scale, runs, []int{1, 2, 4, 8})
+		if err != nil {
+			return err
+		}
+		fmt.Println(r.Format())
+		f, err := os.Create("BENCH_parallel.json")
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := r.WriteJSON(f); err != nil {
+			return err
+		}
+		fmt.Println("written to BENCH_parallel.json")
 	}
 	return nil
 }

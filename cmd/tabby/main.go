@@ -53,6 +53,7 @@ func main() {
 		mechanism = flag.String("mechanism", "native", "deserialization mechanism: native or xstream")
 		confirm   = flag.Bool("confirm", false, "concretely execute each chain to confirm it fires (§V-C extension)")
 		dot       = flag.String("dot", "", "write a Graphviz DOT rendering of the CPG (filtered to chain classes) to this file")
+		workers   = flag.Int("workers", 0, "worker count for every pipeline stage (0 = GOMAXPROCS, 1 = sequential; output is identical at any setting)")
 	)
 	flag.Parse()
 	if err := run(options{
@@ -60,6 +61,7 @@ func main() {
 		urldns: *urldns, list: *list, withRT: *withRT,
 		stats: *stats, chains: *chains, save: *save, maxDepth: *maxDepth,
 		mechanism: *mechanism, confirm: *confirm, dot: *dot,
+		workers: *workers,
 	}); err != nil {
 		fmt.Fprintln(os.Stderr, "tabby:", err)
 		os.Exit(1)
@@ -75,6 +77,7 @@ type options struct {
 	mechanism             string
 	confirm               bool
 	dot                   string
+	workers               int
 }
 
 func run(o options) error {
@@ -98,7 +101,7 @@ func run(o options) error {
 	default:
 		return fmt.Errorf("unknown mechanism %q (want native or xstream)", o.mechanism)
 	}
-	engine := core.New(core.Options{MaxDepth: o.maxDepth, Sources: sources})
+	engine := core.New(core.Options{MaxDepth: o.maxDepth, Sources: sources, Workers: o.workers})
 	rep, err := engine.AnalyzeSources(archives)
 	if err != nil {
 		return err

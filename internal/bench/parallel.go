@@ -1,0 +1,146 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"runtime"
+	"strings"
+	"time"
+
+	"tabby/internal/core"
+	"tabby/internal/corpus"
+	"tabby/internal/sortutil"
+)
+
+// ParallelRow is the measurement for one worker count over the largest
+// Table VIII synthetic corpus: full pipeline (CPG build + chain search),
+// trimmed-mean wall clock, and the speedup against the 1-worker run.
+type ParallelRow struct {
+	Workers int             `json:"workers"`
+	Time    time.Duration   `json:"time_ns"`
+	Runs    []time.Duration `json:"runs_ns"`
+	Speedup float64         `json:"speedup_vs_1"`
+	Chains  int             `json:"chains"`
+}
+
+// ParallelResult is the worker-scaling experiment output, serialized to
+// BENCH_parallel.json by cmd/tabby-bench.
+type ParallelResult struct {
+	Label      string        `json:"corpus"`
+	Scale      float64       `json:"scale"`
+	GOMAXPROCS int           `json:"gomaxprocs"`
+	Rows       []ParallelRow `json:"rows"`
+	// Deterministic is true when every worker count produced identical
+	// graph statistics and chain lists — the pipeline's contract.
+	Deterministic bool `json:"deterministic"`
+}
+
+// RunParallel measures pipeline wall-clock at each worker count over the
+// largest Table VIII synthetic corpus row, and cross-checks that the
+// output (graph stats + chains) is identical at every count.
+func RunParallel(scale float64, runs int, workers []int) (*ParallelResult, error) {
+	if runs < 1 {
+		runs = 1
+	}
+	if len(workers) == 0 {
+		workers = []int{1, 2, 4, 8}
+	}
+	specs := corpus.SyntheticSpecs()
+	spec := specs[len(specs)-1]
+	prog, err := corpus.GenerateSynthetic(spec, scale)
+	if err != nil {
+		return nil, err
+	}
+
+	res := &ParallelResult{
+		Label:         spec.Label,
+		Scale:         scale,
+		GOMAXPROCS:    runtime.GOMAXPROCS(0),
+		Deterministic: true,
+	}
+	type signature struct {
+		stats  string
+		chains string
+	}
+	sigByWorkers := make(map[int]signature, len(workers))
+	rowByWorkers := make(map[int]ParallelRow, len(workers))
+	for _, w := range workers {
+		if _, dup := rowByWorkers[w]; dup {
+			continue
+		}
+		engine := core.New(core.Options{Workers: w})
+		row := ParallelRow{Workers: w}
+		var sig signature
+		for i := 0; i < runs; i++ {
+			start := time.Now()
+			g, _, err := engine.BuildCPG(prog)
+			if err != nil {
+				return nil, fmt.Errorf("parallel bench workers=%d run %d: %w", w, i, err)
+			}
+			chains, _, _, err := engine.FindChains(g)
+			if err != nil {
+				return nil, fmt.Errorf("parallel bench workers=%d run %d: %w", w, i, err)
+			}
+			row.Runs = append(row.Runs, time.Since(start))
+			if i == 0 {
+				row.Chains = len(chains)
+				var sb strings.Builder
+				for _, c := range chains {
+					sb.WriteString(c.Key())
+					sb.WriteByte('\n')
+				}
+				sig = signature{stats: fmt.Sprintf("%+v", g.Stats), chains: sb.String()}
+			}
+		}
+		row.Time = trimmedMean(row.Runs)
+		sigByWorkers[w] = sig
+		rowByWorkers[w] = row
+	}
+
+	counts := sortutil.SortedKeys(rowByWorkers)
+	base := sigByWorkers[counts[0]]
+	var baseTime time.Duration
+	if row, ok := rowByWorkers[1]; ok {
+		baseTime = row.Time
+	} else {
+		baseTime = rowByWorkers[counts[0]].Time
+	}
+	for _, w := range counts {
+		row := rowByWorkers[w]
+		if row.Time > 0 {
+			row.Speedup = float64(baseTime) / float64(row.Time)
+		}
+		if sigByWorkers[w] != base {
+			res.Deterministic = false
+		}
+		res.Rows = append(res.Rows, row)
+	}
+	return res, nil
+}
+
+// Format renders the scaling table.
+func (r *ParallelResult) Format() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "Parallel pipeline scaling (corpus %s, scale %.2f, GOMAXPROCS=%d)\n",
+		r.Label, r.Scale, r.GOMAXPROCS)
+	fmt.Fprintf(&sb, "%-8s %14s %10s %8s\n", "Workers", "Time", "Speedup", "Chains")
+	sb.WriteString(strings.Repeat("-", 44) + "\n")
+	for _, row := range r.Rows {
+		fmt.Fprintf(&sb, "%-8d %14s %9.2fx %8d\n",
+			row.Workers, row.Time.Round(time.Millisecond), row.Speedup, row.Chains)
+	}
+	if r.Deterministic {
+		sb.WriteString("output identical at every worker count\n")
+	} else {
+		sb.WriteString("WARNING: output differed across worker counts\n")
+	}
+	return sb.String()
+}
+
+// WriteJSON serializes the result (the BENCH_parallel.json artifact).
+func (r *ParallelResult) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}

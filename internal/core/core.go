@@ -13,6 +13,7 @@ import (
 	"tabby/internal/graphdb"
 	"tabby/internal/javasrc"
 	"tabby/internal/jimple"
+	"tabby/internal/parallel"
 	"tabby/internal/pathfinder"
 	"tabby/internal/sinks"
 	"tabby/internal/taint"
@@ -37,6 +38,11 @@ type Options struct {
 	KeepPrunedCalls bool
 	// TaintOptions tunes the controllability analysis.
 	TaintOptions taint.Options
+	// Workers bounds concurrency in every pipeline stage (compile,
+	// controllability analysis, CPG assembly, path search). Zero selects
+	// runtime.GOMAXPROCS(0); 1 runs the exact sequential path. Output is
+	// identical at every setting.
+	Workers int
 }
 
 // Engine runs the Tabby pipeline.
@@ -53,6 +59,9 @@ type Timings struct {
 	Compile  time.Duration // semantic information extraction
 	BuildCPG time.Duration // controllability analysis + graph assembly
 	Search   time.Duration // gadget chain finding
+	// Workers is the resolved worker count the run used, so per-stage
+	// speedups can be attributed when comparing runs.
+	Workers int
 }
 
 // Report is the engine's output.
@@ -66,7 +75,7 @@ type Report struct {
 // AnalyzeSources compiles the archives and runs the full pipeline.
 func (e *Engine) AnalyzeSources(archives []javasrc.ArchiveSource) (*Report, error) {
 	start := time.Now()
-	prog, err := javasrc.CompileArchives(archives)
+	prog, err := javasrc.CompileArchivesOpts(archives, javasrc.CompileOptions{Workers: e.opts.Workers})
 	if err != nil {
 		return nil, fmt.Errorf("tabby: compile: %w", err)
 	}
@@ -94,7 +103,11 @@ func (e *Engine) AnalyzeProgram(prog *jimple.Program) (*Report, error) {
 		Graph:     g,
 		Chains:    chains,
 		Truncated: truncated,
-		Timings:   Timings{BuildCPG: buildTime, Search: searchTime},
+		Timings: Timings{
+			BuildCPG: buildTime,
+			Search:   searchTime,
+			Workers:  parallel.Resolve(e.opts.Workers),
+		},
 	}, nil
 }
 
@@ -107,6 +120,7 @@ func (e *Engine) BuildCPG(prog *jimple.Program) (*cpg.Graph, time.Duration, erro
 		Sources:         e.opts.Sources,
 		Taint:           e.opts.TaintOptions,
 		KeepPrunedCalls: e.opts.KeepPrunedCalls,
+		Workers:         e.opts.Workers,
 	})
 	if err != nil {
 		return nil, 0, fmt.Errorf("tabby: build cpg: %w", err)
@@ -121,6 +135,7 @@ func (e *Engine) FindChains(g *cpg.Graph) (chains []pathfinder.Chain, truncated 
 		MaxDepth:    e.opts.MaxDepth,
 		MaxChains:   e.opts.MaxChains,
 		VisitBudget: e.opts.VisitBudget,
+		Workers:     e.opts.Workers,
 	})
 	if err != nil {
 		return nil, false, 0, fmt.Errorf("tabby: find chains: %w", err)
@@ -137,6 +152,7 @@ func (e *Engine) FindChainsBetween(g *cpg.Graph, sinkNodes []graphdb.ID, sourceF
 		VisitBudget:  e.opts.VisitBudget,
 		SinkNodes:    sinkNodes,
 		SourceFilter: sourceFilter,
+		Workers:      e.opts.Workers,
 	})
 	if err != nil {
 		return nil, fmt.Errorf("tabby: find chains: %w", err)

@@ -2,12 +2,13 @@ package cpg
 
 import (
 	"fmt"
-	"sort"
 
 	"tabby/internal/graphdb"
 	"tabby/internal/java"
 	"tabby/internal/jimple"
+	"tabby/internal/parallel"
 	"tabby/internal/sinks"
+	"tabby/internal/sortutil"
 	"tabby/internal/taint"
 )
 
@@ -25,6 +26,14 @@ type Options struct {
 	// POLLUTED_POSITION), turning the PCG back into the raw MCG. Used for
 	// ablation benchmarks; the paper's pipeline drops them.
 	KeepPrunedCalls bool
+	// Workers bounds the concurrency of property/edge precomputation and
+	// is forwarded to the controllability analysis when its own Workers
+	// field is unset. Zero selects runtime.GOMAXPROCS(0); 1 runs the
+	// exact sequential path. Graph contents and IDs are identical at
+	// every setting: precomputation runs concurrently but every node and
+	// relationship is materialized through one batch filled in
+	// deterministic order.
+	Workers int
 }
 
 // Stats counts what Build produced; the Table VIII experiment reports
@@ -85,6 +94,13 @@ func (g *Graph) SourceNodes() []graphdb.ID {
 
 // Build runs the full pipeline of §III-B: controllability analysis, then
 // ORG + PCG + MAG assembly into a fresh graph database.
+//
+// With Workers > 1 the expensive per-element work — hierarchy walks,
+// source/sink matching, Action rendering, callee resolution, alias
+// lookup — is precomputed concurrently (class-property precomputation
+// even overlaps the controllability analysis itself, which does not need
+// it), while materialization stays a single deterministic batch fill so
+// node and relationship IDs never depend on the worker count.
 func Build(prog *jimple.Program, opts Options) (*Graph, error) {
 	if opts.Sinks == nil {
 		opts.Sinks = sinks.Default()
@@ -92,16 +108,14 @@ func Build(prog *jimple.Program, opts Options) (*Graph, error) {
 	if len(opts.Sources.MethodNames) == 0 {
 		opts.Sources = sinks.DefaultSources()
 	}
-
-	taintRes, err := taint.Analyze(prog, opts.Taint)
-	if err != nil {
-		return nil, fmt.Errorf("cpg: %w", err)
+	if opts.Taint.Workers == 0 {
+		opts.Taint.Workers = opts.Workers
 	}
+	workers := parallel.Resolve(opts.Workers)
 
 	g := &Graph{
 		DB:         graphdb.New(),
 		Program:    prog,
-		Taint:      taintRes,
 		classNode:  make(map[string]graphdb.ID),
 		methodNode: make(map[java.MethodKey]graphdb.ID),
 		methodKey:  make(map[graphdb.ID]java.MethodKey),
@@ -111,7 +125,31 @@ func Build(prog *jimple.Program, opts Options) (*Graph, error) {
 	g.DB.CreateIndex(LabelMethod, PropIsSource)
 	g.DB.CreateIndex(LabelClass, PropName)
 
-	b := &builder{g: g, opts: opts}
+	b := &builder{g: g, opts: opts, batch: g.DB.NewBatch()}
+
+	if workers > 1 {
+		// Class properties depend only on the hierarchy, so their
+		// precomputation overlaps the controllability analysis.
+		done := make(chan error, 1)
+		go func() {
+			res, err := taint.Analyze(prog, opts.Taint)
+			g.Taint = res
+			done <- err
+		}()
+		b.precomputeClassProps()
+		if err := <-done; err != nil {
+			return nil, fmt.Errorf("cpg: %w", err)
+		}
+	} else {
+		res, err := taint.Analyze(prog, opts.Taint)
+		if err != nil {
+			return nil, fmt.Errorf("cpg: %w", err)
+		}
+		g.Taint = res
+		b.precomputeClassProps()
+	}
+	b.precomputeMethodWork()
+
 	if err := b.buildORG(); err != nil {
 		return nil, fmt.Errorf("cpg: ORG: %w", err)
 	}
@@ -121,12 +159,81 @@ func Build(prog *jimple.Program, opts Options) (*Graph, error) {
 	if err := b.buildMAG(); err != nil {
 		return nil, fmt.Errorf("cpg: MAG: %w", err)
 	}
+	if err := b.batch.Flush(); err != nil {
+		return nil, fmt.Errorf("cpg: flush: %w", err)
+	}
 	return g, nil
 }
 
 type builder struct {
-	g    *Graph
-	opts Options
+	g     *Graph
+	opts  Options
+	batch *graphdb.Batch
+
+	classProps  map[string]graphdb.Props
+	methodProps map[java.MethodKey]graphdb.Props
+	// callTargets mirrors Taint.Calls: the resolved callee for each edge
+	// of each caller (nil → phantom). aliasSupers holds each declared
+	// method's MAG targets.
+	callTargets map[java.MethodKey][]*java.Method
+	aliasSupers map[java.MethodKey][]*java.Method
+}
+
+// precomputeClassProps fills classProps for every known class
+// concurrently. Only reads the (immutable) hierarchy.
+func (b *builder) precomputeClassProps() {
+	names := b.g.Program.Hierarchy.SortedClassNames()
+	props := parallel.Map(b.opts.Workers, names, func(_ int, name string) graphdb.Props {
+		return b.computeClassProps(name)
+	})
+	b.classProps = make(map[string]graphdb.Props, len(names))
+	for i, name := range names {
+		b.classProps[name] = props[i]
+	}
+}
+
+// precomputeMethodWork fills methodProps, callTargets, and aliasSupers
+// concurrently. Needs the taint result (for Action strings), so it runs
+// after the analysis joins.
+func (b *builder) precomputeMethodWork() {
+	h := b.g.Program.Hierarchy
+
+	var methods []*java.Method
+	for _, name := range h.SortedClassNames() {
+		c := h.Class(name)
+		for _, key := range c.SortedMethodKeys() {
+			if m := h.MethodByKey(key); m != nil {
+				methods = append(methods, m)
+			}
+		}
+	}
+	type methodWork struct {
+		props  graphdb.Props
+		supers []*java.Method
+	}
+	work := parallel.Map(b.opts.Workers, methods, func(_ int, m *java.Method) methodWork {
+		return methodWork{props: b.computeMethodProps(m), supers: h.AliasSupers(m)}
+	})
+	b.methodProps = make(map[java.MethodKey]graphdb.Props, len(methods))
+	b.aliasSupers = make(map[java.MethodKey][]*java.Method, len(methods))
+	for i, m := range methods {
+		b.methodProps[m.Key()] = work[i].props
+		b.aliasSupers[m.Key()] = work[i].supers
+	}
+
+	callers := sortutil.SortedKeys(b.g.Taint.Calls)
+	targets := parallel.Map(b.opts.Workers, callers, func(_ int, key java.MethodKey) []*java.Method {
+		calls := b.g.Taint.Calls[key]
+		out := make([]*java.Method, len(calls))
+		for i, call := range calls {
+			out[i] = h.ResolveMethod(call.CalleeClass, call.CalleeSub)
+		}
+		return out
+	})
+	b.callTargets = make(map[java.MethodKey][]*java.Method, len(callers))
+	for i, key := range callers {
+		b.callTargets[key] = targets[i]
+	}
 }
 
 // buildORG creates class and method nodes with EXTEND/INTERFACE/HAS edges
@@ -141,15 +248,11 @@ func (b *builder) buildORG() error {
 		c := h.Class(name)
 		from := b.g.classNode[name]
 		if c.Super != "" {
-			if _, err := b.g.DB.CreateRel(RelExtend, from, b.classNodeFor(c.Super), nil); err != nil {
-				return err
-			}
+			b.batch.CreateRel(RelExtend, from, b.classNodeFor(c.Super), nil)
 			b.g.Stats.ExtendEdges++
 		}
 		for _, iface := range c.Interfaces {
-			if _, err := b.g.DB.CreateRel(RelInterface, from, b.classNodeFor(iface), nil); err != nil {
-				return err
-			}
+			b.batch.CreateRel(RelInterface, from, b.classNodeFor(iface), nil)
 			b.g.Stats.InterfaceEdges++
 		}
 		for _, key := range c.SortedMethodKeys() {
@@ -165,10 +268,8 @@ func (b *builder) buildORG() error {
 	return nil
 }
 
-func (b *builder) classNodeFor(name string) graphdb.ID {
-	if id, ok := b.g.classNode[name]; ok {
-		return id
-	}
+// computeClassProps builds the property map of one class node.
+func (b *builder) computeClassProps(name string) graphdb.Props {
 	h := b.g.Program.Hierarchy
 	c := h.Class(name)
 	props := graphdb.Props{PropName: name}
@@ -181,21 +282,28 @@ func (b *builder) classNodeFor(name string) graphdb.ID {
 	} else {
 		props[PropIsPhantom] = true
 	}
-	id := b.g.DB.CreateNode([]string{LabelClass}, props)
+	return props
+}
+
+func (b *builder) classNodeFor(name string) graphdb.ID {
+	if id, ok := b.g.classNode[name]; ok {
+		return id
+	}
+	props, ok := b.classProps[name]
+	if !ok {
+		props = b.computeClassProps(name)
+	}
+	id := b.batch.CreateNode([]string{LabelClass}, props)
 	b.g.classNode[name] = id
 	b.g.Stats.ClassNodes++
 	return id
 }
 
-// methodNodeFor creates (once) the node for a declared method, tagging
-// source/sink status, the Trigger_Condition and the Action summary, and
-// linking it to its class with HAS.
-func (b *builder) methodNodeFor(m *java.Method) (graphdb.ID, error) {
-	key := m.Key()
-	if id, ok := b.g.methodNode[key]; ok {
-		return id, nil
-	}
+// computeMethodProps builds the property map of one method node: the
+// source/sink tags, Trigger_Condition, and Action summary.
+func (b *builder) computeMethodProps(m *java.Method) graphdb.Props {
 	h := b.g.Program.Hierarchy
+	key := m.Key()
 	props := graphdb.Props{
 		PropName:           string(key),
 		PropClass:          m.ClassName,
@@ -218,13 +326,26 @@ func (b *builder) methodNodeFor(m *java.Method) (graphdb.ID, error) {
 	if act, ok := b.g.Taint.Actions[key]; ok {
 		props[PropAction] = act.String()
 	}
-	id := b.g.DB.CreateNode([]string{LabelMethod}, props)
+	return props
+}
+
+// methodNodeFor creates (once) the node for a declared method, tagging
+// source/sink status, the Trigger_Condition and the Action summary, and
+// linking it to its class with HAS.
+func (b *builder) methodNodeFor(m *java.Method) (graphdb.ID, error) {
+	key := m.Key()
+	if id, ok := b.g.methodNode[key]; ok {
+		return id, nil
+	}
+	props, ok := b.methodProps[key]
+	if !ok { // phantom callee discovered during PCG assembly
+		props = b.computeMethodProps(m)
+	}
+	id := b.batch.CreateNode([]string{LabelMethod}, props)
 	b.g.methodNode[key] = id
 	b.g.methodKey[id] = key
 	b.g.Stats.MethodNodes++
-	if _, err := b.g.DB.CreateRel(RelHas, b.classNodeFor(m.ClassName), id, nil); err != nil {
-		return 0, err
-	}
+	b.batch.CreateRel(RelHas, b.classNodeFor(m.ClassName), id, nil)
 	b.g.Stats.HasEdges++
 	return id, nil
 }
@@ -250,19 +371,19 @@ func (b *builder) phantomMethodFor(class, sub string) (graphdb.ID, error) {
 // buildPCG adds CALL edges for every non-pruned call site (§III-B2
 // "Precise Call Graph Extraction"), carrying the Polluted_Position.
 func (b *builder) buildPCG() error {
-	h := b.g.Program.Hierarchy
-	for _, key := range sortedKeys(b.g.Taint.Calls) {
+	for _, key := range sortutil.SortedKeys(b.g.Taint.Calls) {
 		callerID, ok := b.g.methodNode[key]
 		if !ok {
 			return fmt.Errorf("caller %s has no node", key)
 		}
-		for _, call := range b.g.Taint.Calls[key] {
+		targets := b.callTargets[key]
+		for i, call := range b.g.Taint.Calls[key] {
 			if call.Pruned && !b.opts.KeepPrunedCalls {
 				b.g.Stats.PrunedCalls++
 				continue
 			}
 			var calleeID graphdb.ID
-			if m := h.ResolveMethod(call.CalleeClass, call.CalleeSub); m != nil {
+			if m := targets[i]; m != nil {
 				id, err := b.methodNodeFor(m)
 				if err != nil {
 					return err
@@ -281,9 +402,7 @@ func (b *builder) buildPCG() error {
 				PropStmtIndex:        call.StmtIndex,
 				PropInvokeClass:      call.CalleeClass,
 			}
-			if _, err := b.g.DB.CreateRel(RelCall, callerID, calleeID, props); err != nil {
-				return err
-			}
+			b.batch.CreateRel(RelCall, callerID, calleeID, props)
 			b.g.Stats.CallEdges++
 		}
 	}
@@ -301,26 +420,19 @@ func (b *builder) buildMAG() error {
 			if err != nil {
 				return err
 			}
-			for _, super := range h.AliasSupers(m) {
+			supers, ok := b.aliasSupers[m.Key()]
+			if !ok {
+				supers = h.AliasSupers(m)
+			}
+			for _, super := range supers {
 				toID, err := b.methodNodeFor(super)
 				if err != nil {
 					return err
 				}
-				if _, err := b.g.DB.CreateRel(RelAlias, fromID, toID, nil); err != nil {
-					return err
-				}
+				b.batch.CreateRel(RelAlias, fromID, toID, nil)
 				b.g.Stats.AliasEdges++
 			}
 		}
 	}
 	return nil
-}
-
-func sortedKeys(m map[java.MethodKey][]taint.CallEdge) []java.MethodKey {
-	keys := make([]java.MethodKey, 0, len(m))
-	for k := range m {
-		keys = append(keys, k)
-	}
-	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
-	return keys
 }

@@ -1,0 +1,148 @@
+package graphdb
+
+import (
+	"fmt"
+	"sync"
+)
+
+// batchIDBlock is how many IDs a batch reserves from the store at a time.
+// Block reservation shards the ID space across concurrent batches: each
+// grabs a disjoint range under one short lock and then allocates from it
+// lock-free with respect to the store, so builders on different workers
+// never serialize on nextID per element.
+const batchIDBlock = 256
+
+// reserveIDs allocates a contiguous block of n fresh IDs and returns the
+// first. The store's own CreateNode/CreateRel keep using nextID directly,
+// so interleaving batched and direct creation is safe (IDs stay unique,
+// though not dense).
+func (db *DB) reserveIDs(n int) ID {
+	db.mu.Lock()
+	first := db.nextID + 1
+	db.nextID += ID(n)
+	db.mu.Unlock()
+	return first
+}
+
+// Batch buffers node and relationship creations and applies them to the
+// store in a single critical section on Flush. IDs are handed out
+// immediately (from block reservations), so callers can wire
+// relationships between batch-local nodes before anything is committed.
+//
+// A Batch is safe for concurrent use, but note the determinism contract:
+// IDs are assigned in CreateNode/CreateRel call order, so a builder that
+// needs reproducible IDs must issue those calls in a deterministic
+// order (the CPG builder precomputes element specs in parallel, then
+// fills its batch sequentially).
+type Batch struct {
+	db       *DB
+	mu       sync.Mutex
+	nextFree ID // next unused ID in the current block
+	blockEnd ID // last ID of the current block (inclusive); 0 = no block
+	nodes    []*Node
+	rels     []*Rel
+	local    map[ID]bool // node IDs created in this batch, pre-flush
+}
+
+// NewBatch starts an empty batch against the store.
+func (db *DB) NewBatch() *Batch {
+	return &Batch{db: db, local: make(map[ID]bool)}
+}
+
+func (b *Batch) allocLocked() ID {
+	if b.nextFree == 0 || b.nextFree > b.blockEnd {
+		first := b.db.reserveIDs(batchIDBlock)
+		b.nextFree = first
+		b.blockEnd = first + batchIDBlock - 1
+	}
+	id := b.nextFree
+	b.nextFree++
+	return id
+}
+
+// CreateNode buffers a node and returns its (already final) ID.
+func (b *Batch) CreateNode(labels []string, props Props) ID {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	id := b.allocLocked()
+	b.nodes = append(b.nodes, &Node{
+		ID:     id,
+		Labels: append([]string(nil), labels...),
+		Props:  props.clone(),
+	})
+	b.local[id] = true
+	return id
+}
+
+// CreateRel buffers a relationship and returns its ID. Endpoints may be
+// nodes already in the store or nodes buffered in this batch; they are
+// validated at Flush time, which fails without applying anything if an
+// endpoint is unknown.
+func (b *Batch) CreateRel(relType string, start, end ID, props Props) ID {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	id := b.allocLocked()
+	b.rels = append(b.rels, &Rel{
+		ID: id, Type: relType, Start: start, End: end, Props: props.clone(),
+	})
+	return id
+}
+
+// Len reports how many buffered elements the next Flush will apply.
+func (b *Batch) Len() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return len(b.nodes) + len(b.rels)
+}
+
+// Flush validates every buffered relationship endpoint and applies all
+// buffered elements to the store under one lock, maintaining the label
+// and property indexes exactly as the unbatched create paths do. On
+// validation failure the store is left untouched and the buffer kept, so
+// the caller can inspect it. A successful Flush empties the batch; the
+// batch may then be reused.
+func (b *Batch) Flush() error {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	db := b.db
+	db.mu.Lock()
+	defer db.mu.Unlock()
+
+	for _, r := range b.rels {
+		if !b.local[r.Start] {
+			if _, ok := db.nodes[r.Start]; !ok {
+				return fmt.Errorf("graphdb: batch rel %s: unknown start node %d", r.Type, r.Start)
+			}
+		}
+		if !b.local[r.End] {
+			if _, ok := db.nodes[r.End]; !ok {
+				return fmt.Errorf("graphdb: batch rel %s: unknown end node %d", r.Type, r.End)
+			}
+		}
+	}
+
+	for _, n := range b.nodes {
+		db.nodes[n.ID] = n
+		for _, l := range n.Labels {
+			db.byLabel[l] = append(db.byLabel[l], n.ID)
+			if byProp, ok := db.propIndex[l]; ok {
+				for prop, byVal := range byProp {
+					if v, ok := n.Props[prop]; ok {
+						k := valueKey(v)
+						byVal[k] = append(byVal[k], n.ID)
+					}
+				}
+			}
+		}
+	}
+	for _, r := range b.rels {
+		db.rels[r.ID] = r
+		db.out[r.Start] = append(db.out[r.Start], r.ID)
+		db.in[r.End] = append(db.in[r.End], r.ID)
+	}
+
+	b.nodes = b.nodes[:0]
+	b.rels = b.rels[:0]
+	b.local = make(map[ID]bool)
+	return nil
+}

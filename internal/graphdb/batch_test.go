@@ -1,0 +1,104 @@
+package graphdb
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestBatchFlushMatchesDirectCreation(t *testing.T) {
+	db := New()
+	db.CreateIndex("Method", "NAME")
+
+	b := db.NewBatch()
+	n1 := b.CreateNode([]string{"Method"}, Props{"NAME": "a"})
+	n2 := b.CreateNode([]string{"Method"}, Props{"NAME": "b"})
+	r := b.CreateRel("CALL", n1, n2, Props{"W": 1})
+	if got := b.Len(); got != 3 {
+		t.Fatalf("Len = %d, want 3", got)
+	}
+	// Nothing visible before the flush.
+	if db.Node(n1) != nil {
+		t.Fatal("node visible before Flush")
+	}
+	if err := b.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if got := b.Len(); got != 0 {
+		t.Fatalf("Len after Flush = %d, want 0", got)
+	}
+
+	if db.Node(n1) == nil || db.Node(n2) == nil {
+		t.Fatal("batched nodes missing after Flush")
+	}
+	rel := db.Rel(r)
+	if rel == nil || rel.Start != n1 || rel.End != n2 {
+		t.Fatalf("batched rel wrong: %+v", rel)
+	}
+	if ids := db.FindNodes("Method", "NAME", "b"); len(ids) != 1 || ids[0] != n2 {
+		t.Fatalf("index not maintained for batched node: %v", ids)
+	}
+	if ids := db.Rels(n1, DirOut, "CALL"); len(ids) != 1 || ids[0] != r {
+		t.Fatalf("adjacency not maintained: %v", ids)
+	}
+}
+
+func TestBatchFlushValidatesEndpoints(t *testing.T) {
+	db := New()
+	b := db.NewBatch()
+	n := b.CreateNode([]string{"X"}, nil)
+	b.CreateRel("E", n, n+9999, nil)
+	if err := b.Flush(); err == nil {
+		t.Fatal("Flush accepted rel with unknown endpoint")
+	}
+	// Failed flush must leave the store untouched.
+	if got := db.Stats().Nodes; got != 0 {
+		t.Fatalf("store has %d nodes after failed Flush, want 0", got)
+	}
+}
+
+func TestBatchRelToPreexistingNode(t *testing.T) {
+	db := New()
+	old := db.CreateNode([]string{"X"}, nil)
+	b := db.NewBatch()
+	fresh := b.CreateNode([]string{"X"}, nil)
+	b.CreateRel("E", fresh, old, nil)
+	if err := b.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if got := db.Degree(old, DirIn, "E"); got != 1 {
+		t.Fatalf("Degree = %d, want 1", got)
+	}
+}
+
+func TestBatchConcurrentCreateUniqueIDs(t *testing.T) {
+	db := New()
+	b := db.NewBatch()
+	const workers, per = 8, 400
+	ids := make([][]ID, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				ids[w] = append(ids[w], b.CreateNode([]string{"N"}, nil))
+			}
+		}(w)
+	}
+	wg.Wait()
+	seen := make(map[ID]bool)
+	for _, batch := range ids {
+		for _, id := range batch {
+			if seen[id] {
+				t.Fatalf("duplicate ID %d", id)
+			}
+			seen[id] = true
+		}
+	}
+	if err := b.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if got := db.Stats().Nodes; got != workers*per {
+		t.Fatalf("Nodes = %d, want %d", got, workers*per)
+	}
+}

@@ -3,6 +3,7 @@ package java
 import (
 	"fmt"
 	"sort"
+	"sync"
 )
 
 // Well-known class names used throughout the analysis.
@@ -26,7 +27,10 @@ type Hierarchy struct {
 	// maps an interface name to classes/interfaces that directly list it.
 	subclasses   map[string][]string
 	implementers map[string][]string
-	serializable map[string]bool // memo for IsSerializable
+	// serializable memoizes IsSerializable; serialMu guards it because
+	// the hierarchy is queried from concurrent pipeline workers.
+	serialMu     sync.Mutex
+	serializable map[string]bool
 }
 
 // NewHierarchy builds a hierarchy over the given classes. The bootstrap
@@ -188,11 +192,18 @@ func (h *Hierarchy) IsSubtypeOf(sub, super string) bool {
 // java.io.Serializable or java.io.Externalizable — the precondition for a
 // class to participate in a native-descrialization gadget chain.
 func (h *Hierarchy) IsSerializable(name string) bool {
+	h.serialMu.Lock()
 	if v, ok := h.serializable[name]; ok {
+		h.serialMu.Unlock()
 		return v
 	}
+	h.serialMu.Unlock()
+	// Compute outside the lock: IsSubtypeOf is read-only over immutable
+	// hierarchy state, and racing computations agree on the answer.
 	v := h.IsSubtypeOf(name, SerializableIface) || h.IsSubtypeOf(name, ExternalizableIface)
+	h.serialMu.Lock()
 	h.serializable[name] = v
+	h.serialMu.Unlock()
 	return v
 }
 

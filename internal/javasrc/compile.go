@@ -5,6 +5,7 @@ import (
 
 	"tabby/internal/java"
 	"tabby/internal/jimple"
+	"tabby/internal/parallel"
 )
 
 // File is one source file.
@@ -20,26 +21,52 @@ type ArchiveSource struct {
 	Files []File
 }
 
+// CompileOptions tunes compilation.
+type CompileOptions struct {
+	// Workers bounds how many files are parsed (and how many classes are
+	// skeleton-built / methods lowered) concurrently. Zero selects
+	// runtime.GOMAXPROCS(0); 1 runs the exact sequential path. The
+	// resulting Program is identical at every setting: results merge in
+	// archive/file declaration order and an error is always reported for
+	// the first failing file in that order.
+	Workers int
+}
+
 // CompileArchives parses and lowers a set of archives into a jimple
 // Program ready for analysis — the full Semantic Information Extraction
-// step of §III-B1.
+// step of §III-B1 — using the default worker count.
 func CompileArchives(archives []ArchiveSource) (*jimple.Program, error) {
+	return CompileArchivesOpts(archives, CompileOptions{})
+}
+
+// CompileArchivesOpts is CompileArchives with explicit options.
+func CompileArchivesOpts(archives []ArchiveSource, copts CompileOptions) (*jimple.Program, error) {
+	// Pass 0: parse every file. Files are independent, so they parse
+	// concurrently; the unit list keeps archive/file order.
+	type fileRef struct {
+		archive string
+		file    File
+	}
 	type parsedUnit struct {
 		unit    *Unit
 		archive string
 	}
-	var units []parsedUnit
+	var refs []fileRef
 	for _, ar := range archives {
 		for _, f := range ar.Files {
-			u, err := Parse(f.Name, f.Source)
-			if err != nil {
-				return nil, err
-			}
-			units = append(units, parsedUnit{unit: u, archive: ar.Name})
+			refs = append(refs, fileRef{archive: ar.Name, file: f})
 		}
 	}
+	units, err := parallel.MapErr(copts.Workers, refs, func(_ int, r fileRef) (parsedUnit, error) {
+		u, err := Parse(r.file.Name, r.file.Source)
+		return parsedUnit{unit: u, archive: r.archive}, err
+	})
+	if err != nil {
+		return nil, err
+	}
 
-	// Pass 1: collect declared class names.
+	// Pass 1: collect declared class names (sequential: the duplicate
+	// check is inherently a cross-file reduction).
 	declared := make(map[string]bool)
 	for _, pu := range units {
 		for _, td := range pu.unit.Types {
@@ -52,10 +79,28 @@ func CompileArchives(archives []ArchiveSource) (*jimple.Program, error) {
 	}
 
 	// Pass 2: build java.Class skeletons with resolved member types.
+	// Each unit resolves against the (now frozen) declared set, so units
+	// build concurrently and merge in unit order.
 	type classedDecl struct {
 		class    *java.Class
 		decl     *TypeDecl
 		resolver *resolver
+	}
+	built, err := parallel.MapErr(copts.Workers, units, func(_ int, pu parsedUnit) ([]classedDecl, error) {
+		res := newResolver(pu.unit, declared)
+		out := make([]classedDecl, 0, len(pu.unit.Types))
+		for _, td := range pu.unit.Types {
+			c, err := buildClassSkeleton(pu.unit, td, res)
+			if err != nil {
+				return nil, err
+			}
+			c.Archive = pu.archive
+			out = append(out, classedDecl{class: c, decl: td, resolver: res})
+		}
+		return out, nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	var (
 		classes []*java.Class
@@ -63,17 +108,11 @@ func CompileArchives(archives []ArchiveSource) (*jimple.Program, error) {
 	)
 	archiveClasses := make(map[string][]string)
 	archiveBytes := make(map[string]int64)
-	for _, pu := range units {
-		res := newResolver(pu.unit, declared)
-		for _, td := range pu.unit.Types {
-			c, err := buildClassSkeleton(pu.unit, td, res)
-			if err != nil {
-				return nil, err
-			}
-			c.Archive = pu.archive
-			classes = append(classes, c)
-			decls = append(decls, classedDecl{class: c, decl: td, resolver: res})
-			archiveClasses[pu.archive] = append(archiveClasses[pu.archive], c.Name)
+	for i, pu := range units {
+		for _, cd := range built[i] {
+			classes = append(classes, cd.class)
+			decls = append(decls, cd)
+			archiveClasses[pu.archive] = append(archiveClasses[pu.archive], cd.class.Name)
 		}
 		archiveBytes[pu.archive] += int64(len(pu.unit.File))
 	}
@@ -96,22 +135,34 @@ func CompileArchives(archives []ArchiveSource) (*jimple.Program, error) {
 		})
 	}
 
-	// Pass 3: lower method bodies.
+	// Pass 3: lower method bodies. Lowering reads only the frozen
+	// hierarchy and per-unit resolver, so methods lower concurrently;
+	// bodies register in declaration order.
+	type lowerTask struct {
+		cd    classedDecl
+		md    *MethodDecl
+		index int
+	}
+	var tasks []lowerTask
 	for _, cd := range decls {
 		for i, md := range cd.decl.Methods {
-			if !md.HasBody {
-				continue
+			if md.HasBody {
+				tasks = append(tasks, lowerTask{cd: cd, md: md, index: i})
 			}
-			m := methodForDecl(cd.class, md, i)
-			if m == nil {
-				return nil, fmt.Errorf("%s: method %s vanished during lowering", cd.class.Name, md.Name)
-			}
-			body, err := lowerMethod(h, cd.class, m, md, cd.resolver)
-			if err != nil {
-				return nil, err
-			}
-			prog.SetBody(body)
 		}
+	}
+	bodies, err := parallel.MapErr(copts.Workers, tasks, func(_ int, t lowerTask) (*jimple.Body, error) {
+		m := methodForDecl(t.cd.class, t.md, t.index)
+		if m == nil {
+			return nil, fmt.Errorf("%s: method %s vanished during lowering", t.cd.class.Name, t.md.Name)
+		}
+		return lowerMethod(h, t.cd.class, m, t.md, t.cd.resolver)
+	})
+	if err != nil {
+		return nil, err
+	}
+	for _, body := range bodies {
+		prog.SetBody(body)
 	}
 	if err := prog.Validate(); err != nil {
 		return nil, err

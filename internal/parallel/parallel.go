@@ -1,0 +1,85 @@
+// Package parallel is the pipeline's scheduling layer: a bounded worker
+// pool with deterministic result merging, plus the SCC condensation and
+// wave scheduling (scc.go) that lets the controllability analysis run its
+// per-method fixpoints bottom-up over the call graph.
+//
+// Every helper obeys the same determinism contract: the *values* produced
+// are identical for every worker count, because results are merged by
+// input index, never by completion order. Workers <= 1 degenerates to a
+// plain loop on the calling goroutine — the exact sequential path.
+package parallel
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Resolve normalizes a worker-count knob: n >= 1 is used as-is; zero and
+// negative values select runtime.GOMAXPROCS(0), the hardware default.
+func Resolve(n int) int {
+	if n >= 1 {
+		return n
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// ForEach runs fn(i) for every i in [0, n), on at most workers
+// goroutines. Indices are handed out in ascending order through a shared
+// atomic cursor, so the pool stays busy regardless of per-item skew.
+// With workers <= 1 (after Resolve) the calls run in index order on the
+// calling goroutine.
+func ForEach(workers, n int, fn func(i int)) {
+	if n <= 0 {
+		return
+	}
+	workers = Resolve(workers)
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// Map applies fn to every item and returns the results in input order.
+func Map[T, R any](workers int, items []T, fn func(i int, item T) R) []R {
+	out := make([]R, len(items))
+	ForEach(workers, len(items), func(i int) { out[i] = fn(i, items[i]) })
+	return out
+}
+
+// MapErr is Map for fallible functions. Every item is processed (no
+// short-circuit), and the error of the lowest-indexed failing item is
+// returned — the same error a sequential left-to-right loop would have
+// surfaced first, at every worker count.
+func MapErr[T, R any](workers int, items []T, fn func(i int, item T) (R, error)) ([]R, error) {
+	out := make([]R, len(items))
+	errs := make([]error, len(items))
+	ForEach(workers, len(items), func(i int) { out[i], errs[i] = fn(i, items[i]) })
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}

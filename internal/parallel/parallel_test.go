@@ -1,0 +1,168 @@
+package parallel
+
+import (
+	"errors"
+	"fmt"
+	"reflect"
+	"sync/atomic"
+	"testing"
+)
+
+func TestResolve(t *testing.T) {
+	if got := Resolve(3); got != 3 {
+		t.Errorf("Resolve(3) = %d", got)
+	}
+	if got := Resolve(0); got < 1 {
+		t.Errorf("Resolve(0) = %d, want >= 1", got)
+	}
+	if got := Resolve(-2); got < 1 {
+		t.Errorf("Resolve(-2) = %d, want >= 1", got)
+	}
+}
+
+func TestForEachCoversEveryIndex(t *testing.T) {
+	for _, workers := range []int{1, 2, 8} {
+		var hits [100]atomic.Int32
+		ForEach(workers, len(hits), func(i int) { hits[i].Add(1) })
+		for i := range hits {
+			if got := hits[i].Load(); got != 1 {
+				t.Fatalf("workers=%d: index %d hit %d times", workers, i, got)
+			}
+		}
+	}
+}
+
+func TestMapPreservesIndexOrder(t *testing.T) {
+	items := make([]int, 50)
+	for i := range items {
+		items[i] = i * 3
+	}
+	want := Map(1, items, func(i, v int) string { return fmt.Sprintf("%d:%d", i, v) })
+	for _, workers := range []int{2, 4, 16} {
+		got := Map(workers, items, func(i, v int) string { return fmt.Sprintf("%d:%d", i, v) })
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("workers=%d: results differ from sequential", workers)
+		}
+	}
+}
+
+func TestMapErrReturnsLowestIndexError(t *testing.T) {
+	items := []int{0, 1, 2, 3, 4, 5, 6, 7}
+	fn := func(_ int, v int) (int, error) {
+		if v%3 == 1 { // fails at indices 1, 4, 7
+			return 0, fmt.Errorf("boom at %d", v)
+		}
+		return v * 2, nil
+	}
+	for _, workers := range []int{1, 2, 8} {
+		_, err := MapErr(workers, items, fn)
+		if err == nil || err.Error() != "boom at 1" {
+			t.Fatalf("workers=%d: err = %v, want boom at 1", workers, err)
+		}
+	}
+	// No failures → full results.
+	out, err := MapErr(4, []int{2, 3, 5}, func(_ int, v int) (int, error) { return v + 1, nil })
+	if err != nil || !reflect.DeepEqual(out, []int{3, 4, 6}) {
+		t.Fatalf("out=%v err=%v", out, err)
+	}
+}
+
+func TestMapErrProcessesAllItems(t *testing.T) {
+	var count atomic.Int32
+	_, err := MapErr(4, make([]int, 40), func(i int, _ int) (int, error) {
+		count.Add(1)
+		if i == 0 {
+			return 0, errors.New("first")
+		}
+		return 0, nil
+	})
+	if err == nil {
+		t.Fatal("want error")
+	}
+	if got := count.Load(); got != 40 {
+		t.Fatalf("processed %d items, want 40 (no short-circuit)", got)
+	}
+}
+
+// graph builds a succs function from an adjacency list.
+func graph(adj [][]int) func(int) []int {
+	return func(i int) []int { return adj[i] }
+}
+
+func TestSCCsChainAndCycle(t *testing.T) {
+	// 0 → 1 → 2, and 3 ⇄ 4 with 2 → 3.
+	adj := [][]int{{1}, {2}, {3}, {4}, {3}}
+	comps, compOf := SCCs(5, graph(adj))
+	if len(comps) != 4 {
+		t.Fatalf("got %d comps: %v", len(comps), comps)
+	}
+	// {3,4} is one component.
+	if compOf[3] != compOf[4] {
+		t.Errorf("3 and 4 in different comps: %v", compOf)
+	}
+	if !reflect.DeepEqual(comps[compOf[3]], []int{3, 4}) {
+		t.Errorf("cycle comp = %v", comps[compOf[3]])
+	}
+	// Reverse topological: every edge u→v across comps has compOf[v] < compOf[u].
+	for u, ss := range adj {
+		for _, v := range ss {
+			if compOf[u] != compOf[v] && compOf[v] >= compOf[u] {
+				t.Errorf("edge %d→%d not reverse-topological: comp %d vs %d",
+					u, v, compOf[u], compOf[v])
+			}
+		}
+	}
+}
+
+func TestSCCsDeterministic(t *testing.T) {
+	adj := [][]int{{1, 2}, {0}, {3}, {2, 4}, {}, {0, 4}}
+	c1, o1 := SCCs(6, graph(adj))
+	c2, o2 := SCCs(6, graph(adj))
+	if !reflect.DeepEqual(c1, c2) || !reflect.DeepEqual(o1, o2) {
+		t.Fatal("SCCs not deterministic")
+	}
+}
+
+func TestWavesLevels(t *testing.T) {
+	// Diamond: 0 → {1, 2} → 3 (3 is the shared callee).
+	adj := [][]int{{1, 2}, {3}, {3}, {}}
+	comps, compOf := SCCs(4, graph(adj))
+	waves := Waves(comps, compOf, graph(adj))
+	if len(waves) != 3 {
+		t.Fatalf("got %d waves", len(waves))
+	}
+	nodeWave := make(map[int]int)
+	for w, cs := range waves {
+		for _, c := range cs {
+			for _, n := range comps[c] {
+				nodeWave[n] = w
+			}
+		}
+	}
+	// Callee 3 first, then 1 and 2 together, then 0.
+	if nodeWave[3] != 0 || nodeWave[1] != 1 || nodeWave[2] != 1 || nodeWave[0] != 2 {
+		t.Errorf("wave assignment %v", nodeWave)
+	}
+}
+
+func TestWavesRespectDependencies(t *testing.T) {
+	// Random-ish DAG with a cycle folded in.
+	adj := [][]int{{1}, {2, 3}, {4}, {4}, {5, 1}, {}, {0}}
+	comps, compOf := SCCs(7, graph(adj))
+	waves := Waves(comps, compOf, graph(adj))
+	level := make([]int, len(comps))
+	for w, cs := range waves {
+		for _, c := range cs {
+			level[c] = w
+		}
+	}
+	for u, ss := range adj {
+		for _, v := range ss {
+			cu, cv := compOf[u], compOf[v]
+			if cu != cv && level[cv] >= level[cu] {
+				t.Errorf("callee comp of %d→%d scheduled at level %d, caller at %d",
+					u, v, level[cv], level[cu])
+			}
+		}
+	}
+}

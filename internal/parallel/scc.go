@@ -1,0 +1,136 @@
+package parallel
+
+// SCCs condenses a directed graph of n nodes into strongly connected
+// components using an iterative Tarjan walk (iterative so half-million-
+// method call graphs cannot overflow the goroutine stack). Roots are
+// visited in ascending node order and successor lists are walked in the
+// order succs returns them, so the output is deterministic.
+//
+// comps holds each component's member nodes in ascending order; compOf
+// maps a node to its component index. Components are emitted in Tarjan
+// completion order, which is a reverse topological order of the
+// condensation: every edge u→v between distinct components satisfies
+// compOf[v] < compOf[u] — callees come before callers.
+func SCCs(n int, succs func(int) []int) (comps [][]int, compOf []int) {
+	const unvisited = -1
+	index := make([]int, n)
+	low := make([]int, n)
+	onStack := make([]bool, n)
+	compOf = make([]int, n)
+	for i := range index {
+		index[i] = unvisited
+		compOf[i] = unvisited
+	}
+	stack := make([]int, 0, n)
+	next := 0
+
+	// Explicit DFS frame: node plus the cursor into its successor list.
+	type frame struct {
+		node int
+		succ int
+	}
+	var frames []frame
+
+	for root := 0; root < n; root++ {
+		if index[root] != unvisited {
+			continue
+		}
+		frames = append(frames[:0], frame{node: root})
+		index[root], low[root] = next, next
+		next++
+		stack = append(stack, root)
+		onStack[root] = true
+		for len(frames) > 0 {
+			f := &frames[len(frames)-1]
+			ss := succs(f.node)
+			if f.succ < len(ss) {
+				w := ss[f.succ]
+				f.succ++
+				if index[w] == unvisited {
+					index[w], low[w] = next, next
+					next++
+					stack = append(stack, w)
+					onStack[w] = true
+					frames = append(frames, frame{node: w})
+				} else if onStack[w] && index[w] < low[f.node] {
+					low[f.node] = index[w]
+				}
+				continue
+			}
+			v := f.node
+			frames = frames[:len(frames)-1]
+			if len(frames) > 0 {
+				if p := frames[len(frames)-1].node; low[v] < low[p] {
+					low[p] = low[v]
+				}
+			}
+			if low[v] != index[v] {
+				continue
+			}
+			// v is a component root: pop members off the Tarjan stack.
+			comp := []int{}
+			for {
+				w := stack[len(stack)-1]
+				stack = stack[:len(stack)-1]
+				onStack[w] = false
+				compOf[w] = len(comps)
+				comp = append(comp, w)
+				if w == v {
+					break
+				}
+			}
+			// Members pop in reverse discovery order; ascending node
+			// order keeps downstream scheduling deterministic.
+			sortInts(comp)
+			comps = append(comps, comp)
+		}
+	}
+	return comps, compOf
+}
+
+// Waves groups the condensation into dependency levels: a component lands
+// in the first wave after every component it points to (its callees).
+// Components inside one wave share no path in either direction, so a
+// scheduler may run them concurrently; running waves in ascending order
+// guarantees all dependencies of a component are complete before it
+// starts. Component order inside each wave is ascending, so wave
+// contents are deterministic.
+func Waves(comps [][]int, compOf []int, succs func(int) []int) [][]int {
+	level := make([]int, len(comps))
+	maxLevel := 0
+	// comps is reverse-topological: successors of comps[c] live in
+	// components with index < c, whose levels are already final.
+	for c := range comps {
+		lv := 0
+		for _, node := range comps[c] {
+			for _, s := range succs(node) {
+				sc := compOf[s]
+				if sc == c {
+					continue
+				}
+				if level[sc]+1 > lv {
+					lv = level[sc] + 1
+				}
+			}
+		}
+		level[c] = lv
+		if lv > maxLevel {
+			maxLevel = lv
+		}
+	}
+	waves := make([][]int, maxLevel+1)
+	for c := range comps {
+		waves[level[c]] = append(waves[level[c]], c)
+	}
+	return waves
+}
+
+// sortInts is an insertion sort: component member lists are tiny (almost
+// always size 1), so this beats pulling in sort for the common case.
+func sortInts(a []int) {
+	for i := 1; i < len(a); i++ {
+		for j := i; j > 0 && a[j] < a[j-1]; j-- {
+			a[j], a[j-1] = a[j-1], a[j]
+		}
+	}
+}

@@ -10,9 +10,11 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"sync/atomic"
 
 	"tabby/internal/cpg"
 	"tabby/internal/graphdb"
+	"tabby/internal/parallel"
 )
 
 // TC is a Trigger_Condition: the set of call positions (0 = receiver,
@@ -124,6 +126,14 @@ type Options struct {
 	// SourceFilter, when non-nil, decides whether a node terminates a
 	// chain; nil accepts any node tagged IS_SOURCE.
 	SourceFilter func(db *graphdb.DB, node graphdb.ID) bool
+	// Workers bounds how many sink seeds are searched concurrently. Zero
+	// selects runtime.GOMAXPROCS(0); 1 runs the exact sequential path.
+	// Results are merged in sink order then per-sink discovery order, so
+	// chains, their order, and MaxChains truncation are identical at
+	// every worker count as long as the visit budget is not exhausted
+	// (an exhausted budget stops workers at a racy cut-off; Truncated
+	// reports it either way).
+	Workers int
 }
 
 const (
@@ -142,7 +152,11 @@ type Result struct {
 	Expansions int
 }
 
-// Find runs the gadget-chain search over a built CPG database.
+// Find runs the gadget-chain search over a built CPG database. Each sink
+// seed is searched independently (concurrently when Options.Workers
+// allows) against a shared visit budget; per-sink results are merged in
+// sink order, deduplicated, and truncated at MaxChains, so the output is
+// canonical regardless of completion order.
 func Find(db *graphdb.DB, opts Options) (*Result, error) {
 	if opts.MaxDepth <= 0 {
 		opts.MaxDepth = defaultMaxDepth
@@ -157,8 +171,16 @@ func Find(db *graphdb.DB, opts Options) (*Result, error) {
 	if sinks == nil {
 		sinks = db.FindNodes(cpg.LabelMethod, cpg.PropIsSink, true)
 	}
-	f := &finder{db: db, opts: opts, seen: make(map[string]bool)}
-	for _, sink := range sinks {
+
+	// Validate every seed up front so a bad sink is reported
+	// deterministically (first in sink order) before any worker starts.
+	type seed struct {
+		sink     graphdb.ID
+		tc       TC
+		sinkType string
+	}
+	seeds := make([]seed, len(sinks))
+	for i, sink := range sinks {
 		tcProp, ok := db.NodeProp(sink, cpg.PropTriggerCondition)
 		if !ok {
 			return nil, fmt.Errorf("pathfinder: sink node %d has no %s", sink, cpg.PropTriggerCondition)
@@ -169,21 +191,66 @@ func Find(db *graphdb.DB, opts Options) (*Result, error) {
 		}
 		sinkType, _ := db.NodeProp(sink, cpg.PropSinkType)
 		st, _ := sinkType.(string)
-		f.dfs([]graphdb.ID{sink}, map[graphdb.ID]bool{sink: true}, []TC{TC(tcInts).normalize()}, st)
-		if f.stopped {
-			break
+		seeds[i] = seed{sink: sink, tc: TC(tcInts).normalize(), sinkType: st}
+	}
+
+	budget := &visitBudget{limit: int64(opts.VisitBudget)}
+	finders := parallel.Map(opts.Workers, seeds, func(_ int, s seed) *finder {
+		f := &finder{db: db, opts: opts, budget: budget, seen: make(map[string]bool)}
+		f.dfs([]graphdb.ID{s.sink}, map[graphdb.ID]bool{s.sink: true}, []TC{s.tc}, s.sinkType)
+		return f
+	})
+
+	// Canonical merge: sink order, then per-sink discovery order.
+	res := &Result{Expansions: int(budget.used.Load())}
+	seen := make(map[string]bool)
+	for _, f := range finders {
+		for _, chain := range f.chains {
+			if seen[chain.Key()] {
+				continue
+			}
+			if len(res.Chains) >= opts.MaxChains {
+				res.Truncated = true
+				break
+			}
+			seen[chain.Key()] = true
+			res.Chains = append(res.Chains, chain)
+		}
+		if len(res.Chains) >= opts.MaxChains || f.stopped {
+			res.Truncated = true
 		}
 	}
-	return &Result{Chains: f.chains, Truncated: f.stopped, Expansions: f.expansions}, nil
+	if budget.blown.Load() {
+		res.Truncated = true
+	}
+	return res, nil
+}
+
+// visitBudget is the shared expansion counter: every worker draws from
+// the same pool, so total work is bounded exactly as in the sequential
+// search.
+type visitBudget struct {
+	limit int64
+	used  atomic.Int64
+	blown atomic.Bool
+}
+
+// spend consumes one expansion; true means the search must stop.
+func (b *visitBudget) spend() bool {
+	if b.used.Add(1) > b.limit {
+		b.blown.Store(true)
+		return true
+	}
+	return b.blown.Load()
 }
 
 type finder struct {
-	db         *graphdb.DB
-	opts       Options
-	chains     []Chain
-	seen       map[string]bool
-	expansions int
-	stopped    bool
+	db      *graphdb.DB
+	opts    Options
+	budget  *visitBudget
+	chains  []Chain
+	seen    map[string]bool
+	stopped bool
 }
 
 // isSource is the Evaluator's source test.
@@ -220,7 +287,7 @@ func (f *finder) dfs(path []graphdb.ID, onPath map[graphdb.ID]bool, tcs []TC, si
 
 	// Expander (Algorithm 2), CALL case: walk to callers of this node.
 	for _, relID := range f.db.Rels(node, graphdb.DirIn, cpg.RelCall) {
-		if f.budget() {
+		if f.spendBudget() {
 			return
 		}
 		rel := f.db.Rel(relID)
@@ -246,7 +313,7 @@ func (f *finder) dfs(path []graphdb.ID, onPath map[graphdb.ID]bool, tcs []TC, si
 	// Expander, ALIAS case: TC passes through unchanged, both directions
 	// (override → declaration and declaration → override).
 	for _, relID := range f.db.Rels(node, graphdb.DirBoth, cpg.RelAlias) {
-		if f.budget() {
+		if f.spendBudget() {
 			return
 		}
 		rel := f.db.Rel(relID)
@@ -264,9 +331,11 @@ func (f *finder) step(path []graphdb.ID, onPath map[graphdb.ID]bool, tcs []TC, n
 	delete(onPath, next)
 }
 
-func (f *finder) budget() bool {
-	f.expansions++
-	if f.expansions > f.opts.VisitBudget {
+// spendBudget draws one expansion from the shared pool; true stops this
+// sink's search (own or any worker's budget exhaustion, or the per-sink
+// MaxChains latch set by record).
+func (f *finder) spendBudget() bool {
+	if f.budget.spend() {
 		f.stopped = true
 	}
 	return f.stopped

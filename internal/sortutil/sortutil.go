@@ -1,0 +1,31 @@
+// Package sortutil holds the one map-iteration helper every pipeline
+// stage needs: Go maps iterate in random order, and the determinism
+// contract (identical output at every worker count) requires every map
+// walk that feeds output or scheduling to be sorted first.
+package sortutil
+
+import (
+	"cmp"
+	"sort"
+)
+
+// SortedKeys returns the map's keys in ascending order.
+func SortedKeys[K cmp.Ordered, V any](m map[K]V) []K {
+	keys := make([]K, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	return keys
+}
+
+// SortedKeysFunc returns the map's keys ordered by the given less
+// function, for key types without a natural order.
+func SortedKeysFunc[K comparable, V any](m map[K]V, less func(a, b K) bool) []K {
+	keys := make([]K, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return less(keys[i], keys[j]) })
+	return keys
+}

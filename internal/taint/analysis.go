@@ -2,11 +2,12 @@ package taint
 
 import (
 	"fmt"
-	"sort"
 
 	"tabby/internal/cfg"
 	"tabby/internal/java"
 	"tabby/internal/jimple"
+	"tabby/internal/parallel"
+	"tabby/internal/sortutil"
 )
 
 // CallEdge is one method-call site discovered by the analysis, annotated
@@ -40,8 +41,12 @@ type Result struct {
 
 // Options tunes the analysis.
 type Options struct {
-	// MaxCallDepth bounds the interprocedural summary recursion; deeper
-	// chains fall back to identity summaries. Zero means the default.
+	// MaxCallDepth is retained for API compatibility but no longer has
+	// any effect: the SCC wave scheduler memoizes callee summaries
+	// bottom-up, so no chain is ever deep enough to need a fallback.
+	//
+	// Deprecated: the depth-capped recursive scheduler it bounded has
+	// been replaced by SCC scheduling.
 	MaxCallDepth int
 	// MaxIterations bounds the per-method dataflow iterations as a safety
 	// valve. Zero means the default (64 passes).
@@ -52,88 +57,165 @@ type Options struct {
 	// what keeps the false-positive rate down. Tools without it "default
 	// to [the value] not changing (still controllable)".
 	DisableInterprocedural bool
+	// Workers bounds the number of concurrent per-method analyses inside
+	// one scheduling wave. Zero selects runtime.GOMAXPROCS(0); 1 runs
+	// the exact sequential path. Output is identical at every setting.
+	Workers int
 }
 
-const (
-	defaultMaxCallDepth  = 256
-	defaultMaxIterations = 64
-)
+const defaultMaxIterations = 64
 
 // Analyze runs the controllability points-to analysis (Algorithm 1) over
 // every method body in the program.
+//
+// Scheduling: the method-call dependency graph is condensed into
+// strongly connected components (Tarjan) and the per-method fixpoints
+// run bottom-up in reverse-topological waves — every summary a method
+// consults was memoized in an earlier wave, and independent components
+// within one wave are analyzed concurrently (Options.Workers). Inside a
+// cyclic component the paper's cache-as-cycle-breaker applies: a member
+// whose analysis is in progress summarizes as the identity Action.
 func Analyze(prog *jimple.Program, opts Options) (*Result, error) {
-	if opts.MaxCallDepth <= 0 {
-		opts.MaxCallDepth = defaultMaxCallDepth
-	}
 	if opts.MaxIterations <= 0 {
 		opts.MaxIterations = defaultMaxIterations
 	}
+	keys := sortutil.SortedKeys(prog.Bodies)
+	dep := buildDepGraph(prog, opts, keys)
+	succs := func(i int) []int { return dep.succs[i] }
+	comps, compOf := parallel.SCCs(len(keys), succs)
+	waves := parallel.Waves(comps, compOf, succs)
+
 	a := &analyzer{
-		prog: prog,
-		opts: opts,
-		res: &Result{
-			Actions: make(map[java.MethodKey]Action, len(prog.Bodies)),
-			Calls:   make(map[java.MethodKey][]CallEdge, len(prog.Bodies)),
-		},
-		inProgress: make(map[java.MethodKey]bool),
+		prog:    prog,
+		opts:    opts,
+		actions: make(map[java.MethodKey]Action, len(keys)),
+		calls:   make(map[java.MethodKey][]CallEdge, len(keys)),
 	}
-	keys := make([]java.MethodKey, 0, len(prog.Bodies))
-	for k := range prog.Bodies {
-		keys = append(keys, k)
-	}
-	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
-	for _, k := range keys {
-		if _, err := a.methodAction(k, 0); err != nil {
-			return nil, err
+	for _, wave := range waves {
+		runners := parallel.Map(opts.Workers, wave, func(_ int, comp int) *sccRunner {
+			r := newSCCRunner(a, comps[comp], keys)
+			r.run()
+			return r
+		})
+		// Merge after the wave barrier: the global maps are read-only
+		// while workers run, so in-wave reads need no lock.
+		for _, r := range runners {
+			if r.err != nil {
+				return nil, r.err
+			}
+		}
+		for _, r := range runners {
+			for k, act := range r.actions {
+				a.actions[k] = act
+			}
+			for k, cs := range r.calls {
+				a.calls[k] = cs
+			}
 		}
 	}
-	return a.res, nil
+
+	res := &Result{Actions: a.actions, Calls: a.calls}
+	for _, k := range keys {
+		for _, c := range a.calls[k] {
+			res.TotalCalls++
+			if c.Pruned {
+				res.PrunedCalls++
+			}
+		}
+	}
+	return res, nil
 }
 
+// analyzer holds the cross-wave state: memoized Actions and call edges
+// of every completed component.
 type analyzer struct {
-	prog       *jimple.Program
-	opts       Options
-	res        *Result
-	inProgress map[java.MethodKey]bool
+	prog    *jimple.Program
+	opts    Options
+	actions map[java.MethodKey]Action
+	calls   map[java.MethodKey][]CallEdge
 }
 
-// methodAction returns the memoised Action for the method, running
-// doMethodAnalysis on first use. Recursion and the depth cap yield
-// identity summaries, the paper's cache acting as its cycle-breaker.
-func (a *analyzer) methodAction(key java.MethodKey, depth int) (Action, error) {
-	if act, ok := a.res.Actions[key]; ok {
+// sccRunner analyzes the members of one strongly connected component.
+// It buffers its results locally and the wave loop merges them after the
+// barrier, so components in the same wave never contend on the global
+// maps.
+type sccRunner struct {
+	a          *analyzer
+	order      []java.MethodKey
+	inSCC      map[java.MethodKey]bool
+	inProgress map[java.MethodKey]bool
+	actions    map[java.MethodKey]Action
+	calls      map[java.MethodKey][]CallEdge
+	err        error
+}
+
+func newSCCRunner(a *analyzer, members []int, keys []java.MethodKey) *sccRunner {
+	r := &sccRunner{
+		a:          a,
+		order:      make([]java.MethodKey, 0, len(members)),
+		inSCC:      make(map[java.MethodKey]bool, len(members)),
+		inProgress: make(map[java.MethodKey]bool, len(members)),
+		actions:    make(map[java.MethodKey]Action, len(members)),
+		calls:      make(map[java.MethodKey][]CallEdge, len(members)),
+	}
+	for _, idx := range members {
+		r.order = append(r.order, keys[idx])
+		r.inSCC[keys[idx]] = true
+	}
+	return r
+}
+
+// run analyzes every member in ascending key order; within a cyclic
+// component the recursion below fills in the rest on demand.
+func (r *sccRunner) run() {
+	for _, key := range r.order {
+		if _, err := r.methodAction(key); err != nil {
+			r.err = err
+			return
+		}
+	}
+}
+
+// methodAction returns the memoized Action for the method, running
+// doMethodAnalysis on first use. A cycle back into a member whose
+// analysis is in progress yields the identity summary, the paper's cache
+// acting as its cycle-breaker.
+func (r *sccRunner) methodAction(key java.MethodKey) (Action, error) {
+	if act, ok := r.actions[key]; ok {
 		return act, nil
 	}
-	body := a.prog.Body(key)
+	if act, ok := r.a.actions[key]; ok { // completed in an earlier wave
+		return act, nil
+	}
+	body := r.a.prog.Body(key)
 	if body == nil {
 		return nil, fmt.Errorf("taint: no body for %s", key)
 	}
 	static := body.Method.IsStatic()
 	n := len(body.Method.Params)
-	if a.inProgress[key] || depth > a.opts.MaxCallDepth {
+	if !r.inSCC[key] {
+		// Every out-of-component dependency is scheduled in an earlier
+		// wave; missing means the dependency graph under-approximated.
+		return nil, fmt.Errorf("taint: summary for %s not scheduled before its callers", key)
+	}
+	if r.inProgress[key] {
 		return IdentityAction(n, static), nil
 	}
-	a.inProgress[key] = true
-	defer delete(a.inProgress, key)
-	act, calls, err := a.doMethodAnalysis(body, depth)
+	r.inProgress[key] = true
+	defer delete(r.inProgress, key)
+	act, calls, err := r.doMethodAnalysis(body)
 	if err != nil {
 		return nil, fmt.Errorf("taint: analyze %s: %w", key, err)
 	}
-	a.res.Actions[key] = act
-	a.res.Calls[key] = calls
-	for _, c := range calls {
-		a.res.TotalCalls++
-		if c.Pruned {
-			a.res.PrunedCalls++
-		}
-	}
+	r.actions[key] = act
+	r.calls[key] = calls
 	return act, nil
 }
 
 // calleeAction resolves the summary for a call: the resolved body's Action
 // when available, an optimistic summary for abstract/phantom callees, and
 // no summary at all (opaque) for dynamic invokes.
-func (a *analyzer) calleeAction(inv *jimple.InvokeExpr, depth int) (Action, error) {
+func (r *sccRunner) calleeAction(inv *jimple.InvokeExpr) (Action, error) {
 	static := inv.Kind == jimple.InvokeStatic
 	n := len(inv.ParamTypes)
 	if inv.Kind == jimple.InvokeDynamic {
@@ -142,23 +224,23 @@ func (a *analyzer) calleeAction(inv *jimple.InvokeExpr, depth int) (Action, erro
 		act[SlotReturnValue] = Null
 		return act, nil
 	}
-	if a.opts.DisableInterprocedural {
+	if r.a.opts.DisableInterprocedural {
 		return OptimisticAction(n, static), nil
 	}
-	m := a.prog.Hierarchy.ResolveMethod(inv.Class, inv.SubSignature())
+	m := r.a.prog.Hierarchy.ResolveMethod(inv.Class, inv.SubSignature())
 	if m == nil {
 		return OptimisticAction(n, static), nil
 	}
-	body := a.prog.Body(m.Key())
+	body := r.a.prog.Body(m.Key())
 	if body == nil {
 		return OptimisticAction(n, static), nil
 	}
-	return a.methodAction(m.Key(), depth+1)
+	return r.methodAction(m.Key())
 }
 
 // doMethodAnalysis runs the per-method dataflow of Algorithm 1 and
 // assembles the method's Action plus its call edges.
-func (a *analyzer) doMethodAnalysis(body *jimple.Body, depth int) (Action, []CallEdge, error) {
+func (r *sccRunner) doMethodAnalysis(body *jimple.Body) (Action, []CallEdge, error) {
 	graph, err := cfg.Build(body)
 	if err != nil {
 		return nil, nil, err
@@ -184,7 +266,7 @@ func (a *analyzer) doMethodAnalysis(body *jimple.Body, depth int) (Action, []Cal
 	work.push(0)
 
 	iterations := 0
-	maxVisits := a.opts.MaxIterations * numStmts
+	maxVisits := r.a.opts.MaxIterations * numStmts
 	for !work.empty() {
 		if iterations++; iterations > maxVisits {
 			// Safety valve: bail out with what we have rather than spin.
@@ -195,7 +277,7 @@ func (a *analyzer) doMethodAnalysis(body *jimple.Body, depth int) (Action, []Cal
 		if in == nil {
 			continue
 		}
-		out, err := a.transfer(body, node, in.clone(), action, callsByStmt, depth)
+		out, err := r.transfer(body, node, in.clone(), action, callsByStmt)
 		if err != nil {
 			return nil, nil, err
 		}
@@ -209,14 +291,9 @@ func (a *analyzer) doMethodAnalysis(body *jimple.Body, depth int) (Action, []Cal
 		}
 	}
 
-	a.finishAction(body, action)
+	r.finishAction(body, action)
 	calls := make([]CallEdge, 0, len(callsByStmt))
-	stmts := make([]int, 0, len(callsByStmt))
-	for s := range callsByStmt {
-		stmts = append(stmts, s)
-	}
-	sort.Ints(stmts)
-	for _, s := range stmts {
+	for _, s := range sortutil.SortedKeys(callsByStmt) {
 		calls = append(calls, callsByStmt[s])
 	}
 	return action, calls, nil
@@ -225,7 +302,7 @@ func (a *analyzer) doMethodAnalysis(body *jimple.Body, depth int) (Action, []Cal
 // finishAction fills in slots no return statement touched: a method with
 // no reachable return (e.g. one that always throws) still reports the
 // identity of this and unmodified params.
-func (a *analyzer) finishAction(body *jimple.Body, action Action) {
+func (r *sccRunner) finishAction(body *jimple.Body, action Action) {
 	if !body.Method.IsStatic() {
 		if _, ok := action[SlotThisValue]; !ok {
 			action[SlotThisValue] = This
@@ -246,7 +323,7 @@ func (a *analyzer) finishAction(body *jimple.Body, action Action) {
 
 // transfer interprets one statement over the environment, recording call
 // edges and Action contributions as side effects.
-func (a *analyzer) transfer(body *jimple.Body, node int, e env, action Action, callsByStmt map[int]CallEdge, depth int) (env, error) {
+func (r *sccRunner) transfer(body *jimple.Body, node int, e env, action Action, callsByStmt map[int]CallEdge) (env, error) {
 	switch st := body.Stmts[node].(type) {
 	case *jimple.IdentityStmt:
 		switch rhs := st.RHS.(type) {
@@ -256,15 +333,15 @@ func (a *analyzer) transfer(body *jimple.Body, node int, e env, action Action, c
 			e.setLocal(st.Local, Param(rhs.Index+1))
 		}
 	case *jimple.AssignStmt:
-		if err := a.transferAssign(body, node, st, e, callsByStmt, depth); err != nil {
+		if err := r.transferAssign(body, node, st, e, callsByStmt); err != nil {
 			return nil, err
 		}
 	case *jimple.InvokeStmt:
-		if _, err := a.transferInvoke(body, node, st.Invoke, e, callsByStmt, depth); err != nil {
+		if _, err := r.transferInvoke(body, node, st.Invoke, e, callsByStmt); err != nil {
 			return nil, err
 		}
 	case *jimple.ReturnStmt:
-		a.recordReturn(body, st, e, action)
+		r.recordReturn(body, st, e, action)
 	case *jimple.IfStmt, *jimple.GotoStmt, *jimple.SwitchStmt, *jimple.ThrowStmt, *jimple.NopStmt:
 		// Conditions never transfer controllability (Table IV has no rule
 		// for them); path-insensitivity here is exactly the source of the
@@ -273,17 +350,17 @@ func (a *analyzer) transfer(body *jimple.Body, node int, e env, action Action, c
 	return e, nil
 }
 
-func (a *analyzer) transferAssign(body *jimple.Body, node int, st *jimple.AssignStmt, e env, callsByStmt map[int]CallEdge, depth int) error {
+func (r *sccRunner) transferAssign(body *jimple.Body, node int, st *jimple.AssignStmt, e env, callsByStmt map[int]CallEdge) error {
 	var rhs Origin
-	switch r := st.RHS.(type) {
+	switch rv := st.RHS.(type) {
 	case *jimple.InvokeExpr:
-		ret, err := a.transferInvoke(body, node, r, e, callsByStmt, depth)
+		ret, err := r.transferInvoke(body, node, rv, e, callsByStmt)
 		if err != nil {
 			return err
 		}
 		rhs = ret
 	default:
-		rhs = a.eval(st.RHS, e)
+		rhs = r.eval(st.RHS, e)
 	}
 	switch lhs := st.LHS.(type) {
 	case *jimple.Local:
@@ -307,7 +384,7 @@ func (a *analyzer) transferAssign(body *jimple.Body, node int, st *jimple.Assign
 }
 
 // eval computes the origin of a non-invoke value (Table IV rows).
-func (a *analyzer) eval(v jimple.Value, e env) Origin {
+func (r *sccRunner) eval(v jimple.Value, e env) Origin {
 	switch val := v.(type) {
 	case *jimple.Local:
 		return e.localOrigin(val)
@@ -316,7 +393,7 @@ func (a *analyzer) eval(v jimple.Value, e env) Origin {
 	case *jimple.ParamRef:
 		return Param(val.Index + 1)
 	case *jimple.CastExpr:
-		return a.eval(val.Op, e) // forced type conversion: b → a
+		return r.eval(val.Op, e) // forced type conversion: b → a
 	case *jimple.FieldRef:
 		if val.IsStatic() {
 			if o, ok := e[staticKey(val.Class, val.Field)]; ok {
@@ -332,7 +409,7 @@ func (a *analyzer) eval(v jimple.Value, e env) Origin {
 		// propagates taint: "cmd"+p is controllable when p is. Other
 		// operators yield primitives, which are uncontrollable.
 		if val.Op == jimple.OpAdd && val.Type().Equal(java.StringType) {
-			return a.eval(val.L, e).join(a.eval(val.R, e))
+			return r.eval(val.L, e).join(r.eval(val.R, e))
 		}
 		return Null
 	default:
@@ -345,7 +422,7 @@ func (a *analyzer) eval(v jimple.Value, e env) Origin {
 // computes the PP, records the call edge, applies the callee's Action via
 // calc (Formula 2) and correct (Formula 3), and returns the origin of the
 // call's return value.
-func (a *analyzer) transferInvoke(body *jimple.Body, node int, inv *jimple.InvokeExpr, e env, callsByStmt map[int]CallEdge, depth int) (Origin, error) {
+func (r *sccRunner) transferInvoke(body *jimple.Body, node int, inv *jimple.InvokeExpr, e env, callsByStmt map[int]CallEdge) (Origin, error) {
 	// Polluted_Position: receiver then arguments.
 	pp := make(PP, 1+len(inv.Args))
 	var baseOrigin Origin = Null
@@ -355,7 +432,7 @@ func (a *analyzer) transferInvoke(body *jimple.Body, node int, inv *jimple.Invok
 	pp[0] = baseOrigin.Weight()
 	argOrigins := make([]Origin, len(inv.Args))
 	for i, arg := range inv.Args {
-		argOrigins[i] = a.eval(arg, e)
+		argOrigins[i] = r.eval(arg, e)
 		pp[i+1] = argOrigins[i].Weight()
 	}
 
@@ -371,7 +448,7 @@ func (a *analyzer) transferInvoke(body *jimple.Body, node int, inv *jimple.Invok
 		}
 	}
 
-	act, err := a.calleeAction(inv, depth)
+	act, err := r.calleeAction(inv)
 	if err != nil {
 		return Null, err
 	}
@@ -422,15 +499,11 @@ func (a *analyzer) transferInvoke(body *jimple.Body, node int, inv *jimple.Invok
 	// is two-phase and sorted: whole-slot rebinds first (they destroy
 	// field cells), then field-level updates, so the result is
 	// independent of map iteration order.
-	slots := make([]Slot, 0, len(out))
-	for slot := range out {
-		slots = append(slots, slot)
-	}
-	sort.Slice(slots, func(i, j int) bool {
-		if (slots[i].Field == "") != (slots[j].Field == "") {
-			return slots[i].Field == ""
+	slots := sortutil.SortedKeysFunc(out, func(a, b Slot) bool {
+		if (a.Field == "") != (b.Field == "") {
+			return a.Field == ""
 		}
-		return slots[i].String() < slots[j].String()
+		return a.String() < b.String()
 	})
 	for _, slot := range slots {
 		origin := out[slot]
@@ -465,7 +538,7 @@ func (a *analyzer) transferInvoke(body *jimple.Body, node int, inv *jimple.Invok
 
 // recordReturn folds one return statement into the method's Action
 // (Algorithm 1 lines 5–7), joining with previously seen returns.
-func (a *analyzer) recordReturn(body *jimple.Body, st *jimple.ReturnStmt, e env, action Action) {
+func (r *sccRunner) recordReturn(body *jimple.Body, st *jimple.ReturnStmt, e env, action Action) {
 	joinInto := func(slot Slot, o Origin) {
 		if cur, ok := action[slot]; ok {
 			action[slot] = cur.join(o)
@@ -474,7 +547,7 @@ func (a *analyzer) recordReturn(body *jimple.Body, st *jimple.ReturnStmt, e env,
 		}
 	}
 	if st.Op != nil {
-		joinInto(SlotReturnValue, a.eval(st.Op, e))
+		joinInto(SlotReturnValue, r.eval(st.Op, e))
 	} else {
 		joinInto(SlotReturnValue, Null)
 	}

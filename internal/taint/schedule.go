@@ -1,0 +1,129 @@
+package taint
+
+import (
+	"sync"
+
+	"tabby/internal/java"
+	"tabby/internal/jimple"
+	"tabby/internal/parallel"
+)
+
+// depGraph is the method-call dependency graph the wave scheduler runs
+// on: one node per method body, one edge per call site whose summary
+// Analyze will actually consult (statically resolvable, non-dynamic,
+// callee has a body). Edges follow calleeAction's resolution exactly, so
+// "all dependencies scheduled earlier" implies "every summary a method
+// asks for is already memoized".
+type depGraph struct {
+	keys  []java.MethodKey // sorted; node i is keys[i]
+	succs [][]int          // succs[i]: callee node indices, ascending, deduped
+}
+
+// buildDepGraph scans every body for the invokes whose callee summaries
+// the analysis will request. With DisableInterprocedural set no summary
+// is ever consulted, so the graph has no edges and every method is its
+// own singleton component.
+func buildDepGraph(prog *jimple.Program, opts Options, keys []java.MethodKey) *depGraph {
+	g := &depGraph{keys: keys, succs: make([][]int, len(keys))}
+	if opts.DisableInterprocedural {
+		return g
+	}
+	indexOf := make(map[java.MethodKey]int, len(keys))
+	for i, k := range keys {
+		indexOf[k] = i
+	}
+	resolve := newResolveCache(prog)
+	parallel.ForEach(opts.Workers, len(keys), func(i int) {
+		body := prog.Body(keys[i])
+		seen := make(map[int]bool)
+		var out []int
+		for _, st := range body.Stmts {
+			inv := invokeOf(st)
+			if inv == nil || inv.Kind == jimple.InvokeDynamic {
+				continue
+			}
+			m := resolve.method(inv.Class, inv.SubSignature())
+			if m == nil || prog.Body(m.Key()) == nil {
+				continue
+			}
+			j, ok := indexOf[m.Key()]
+			if !ok || seen[j] {
+				continue
+			}
+			seen[j] = true
+			out = append(out, j)
+		}
+		sortInts(out)
+		g.succs[i] = out
+	})
+	return g
+}
+
+// invokeOf extracts the invoke expression of a statement, if any.
+func invokeOf(st jimple.Stmt) *jimple.InvokeExpr {
+	switch s := st.(type) {
+	case *jimple.InvokeStmt:
+		return s.Invoke
+	case *jimple.AssignStmt:
+		if inv, ok := s.RHS.(*jimple.InvokeExpr); ok {
+			return inv
+		}
+	}
+	return nil
+}
+
+// resolveCache memoizes Hierarchy.ResolveMethod lookups for the
+// dependency scan. The map is guarded by striped locks so concurrent
+// scan workers share hits without serializing on one mutex.
+type resolveCache struct {
+	prog   *jimple.Program
+	shards [resolveShards]resolveShard
+}
+
+const resolveShards = 16
+
+type resolveShard struct {
+	mu sync.Mutex
+	m  map[string]*java.Method
+}
+
+func newResolveCache(prog *jimple.Program) *resolveCache {
+	c := &resolveCache{prog: prog}
+	for i := range c.shards {
+		c.shards[i].m = make(map[string]*java.Method)
+	}
+	return c
+}
+
+func (c *resolveCache) method(class, sub string) *java.Method {
+	key := class + "#" + sub
+	sh := &c.shards[fnv32(key)%resolveShards]
+	sh.mu.Lock()
+	if m, ok := sh.m[key]; ok {
+		sh.mu.Unlock()
+		return m
+	}
+	sh.mu.Unlock()
+	m := c.prog.Hierarchy.ResolveMethod(class, sub)
+	sh.mu.Lock()
+	sh.m[key] = m
+	sh.mu.Unlock()
+	return m
+}
+
+func fnv32(s string) uint32 {
+	h := uint32(2166136261)
+	for i := 0; i < len(s); i++ {
+		h ^= uint32(s[i])
+		h *= 16777619
+	}
+	return h
+}
+
+func sortInts(a []int) {
+	for i := 1; i < len(a); i++ {
+		for j := i; j > 0 && a[j] < a[j-1]; j-- {
+			a[j], a[j-1] = a[j-1], a[j]
+		}
+	}
+}

@@ -15,9 +15,10 @@ package taint
 
 import (
 	"fmt"
-	"sort"
 	"strconv"
 	"strings"
+
+	"tabby/internal/sortutil"
 )
 
 // Weight is a controllability weight per Table V. The encoding is chosen
@@ -268,11 +269,7 @@ func OptimisticAction(paramCount int, static bool) Action {
 // String renders the action deterministically, matching Fig. 5(b)'s
 // {"final-param-1": "init-param-1", ...} shape.
 func (a Action) String() string {
-	keys := make([]Slot, 0, len(a))
-	for k := range a {
-		keys = append(keys, k)
-	}
-	sort.Slice(keys, func(i, j int) bool { return keys[i].String() < keys[j].String() })
+	keys := sortutil.SortedKeysFunc(a, func(x, y Slot) bool { return x.String() < y.String() })
 	parts := make([]string, 0, len(keys))
 	for _, k := range keys {
 		parts = append(parts, fmt.Sprintf("%q: %q", k.String(), a[k].String()))
