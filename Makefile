@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet race check bench
+.PHONY: build test vet fmt race check bench serve-smoke
 
 build:
 	$(GO) build ./...
@@ -8,17 +8,29 @@ build:
 vet:
 	$(GO) vet ./...
 
+# fmt fails when any file is not gofmt-clean, listing the offenders.
+fmt:
+	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
+
 test:
 	$(GO) test ./...
 
 race:
 	$(GO) test -race ./...
 
-# check is the pre-merge gate: compile everything, vet, and run the full
-# test suite under the race detector (the parallel pipeline's determinism
-# and safety contract).
-check:
+# check is the pre-merge gate: formatting, compile everything, vet, and
+# run the full test suite under the race detector (the parallel
+# pipeline's determinism and safety contract).
+check: fmt
 	$(GO) build ./... && $(GO) vet ./... && $(GO) test -race ./...
 
 bench:
 	$(GO) test -bench=. -benchmem ./...
+
+# serve-smoke runs the persistence + serving stack end to end: snapshot
+# the quickstart corpus, boot tabby-server, curl every endpoint, and
+# diff against scripts/testdata/serve_smoke.golden (regenerate with
+# scripts/serve_smoke.sh -update).
+serve-smoke:
+	scripts/serve_smoke.sh

@@ -30,8 +30,14 @@ func main() {
 		scale   = flag.Float64("scale", 1.0, "Table VIII corpus scale factor (1.0 = paper-size)")
 		runs    = flag.Int("runs", 3, "Table VIII repetitions per row (min/max trimmed when >2)")
 		workers = flag.Int("workers", 0, "pipeline worker count (0 = GOMAXPROCS, 1 = sequential)")
+		// Deprecated: the SCC wave scheduler removed the call-depth bound;
+		// the flag is kept so old invocations keep working, with a warning.
+		maxCallDepth = flag.Int("max-call-depth", 0, "deprecated, no effect: the SCC scheduler removed the call-depth bound")
 	)
 	flag.Parse()
+	if *maxCallDepth != 0 {
+		fmt.Fprintln(os.Stderr, "tabby-bench: warning: -max-call-depth is deprecated and has no effect (the SCC wave scheduler analyzes callees bottom-up without a depth bound)")
+	}
 	if err := run(*table, *scale, *runs, *workers); err != nil {
 		fmt.Fprintln(os.Stderr, "tabby-bench:", err)
 		os.Exit(1)

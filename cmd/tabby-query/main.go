@@ -2,8 +2,14 @@
 // graph previously saved by `tabby -save` — the "store once, query many
 // times" workflow the paper builds on Neo4j (§II-B, RQ4).
 //
-//	tabby-query -graph cpg.tgraph -query 'MATCH (m:Method {IS_SINK: true}) RETURN m.NAME'
-//	tabby-query -graph cpg.tgraph            # interactive REPL on stdin
+//	tabby-query -snapshot cpg.tsnap -query 'MATCH (m:Method {IS_SINK: true}) RETURN m.NAME'
+//	tabby-query -snapshot cpg.tsnap          # interactive REPL on stdin
+//
+// -snapshot loads the versioned binary snapshot format `tabby -save`
+// writes (graph + sink/source registry + analysis metadata; see
+// internal/store); the graph is served read-only, so queries return
+// exactly what they would have on the freshly built graph. -graph loads
+// the legacy newline-delimited-JSON graph dump.
 //
 // Example queries:
 //
@@ -24,30 +30,24 @@ import (
 
 	"tabby/internal/cypher"
 	"tabby/internal/graphdb"
+	"tabby/internal/store"
 )
 
 func main() {
 	var (
-		graphPath = flag.String("graph", "", "graph file written by `tabby -save`")
-		query     = flag.String("query", "", "one-shot query; omit for a REPL")
+		graphPath    = flag.String("graph", "", "legacy JSON graph dump to load")
+		snapshotPath = flag.String("snapshot", "", "snapshot file written by `tabby -save`")
+		query        = flag.String("query", "", "one-shot query; omit for a REPL")
 	)
 	flag.Parse()
-	if err := run(*graphPath, *query); err != nil {
+	if err := run(*graphPath, *snapshotPath, *query); err != nil {
 		fmt.Fprintln(os.Stderr, "tabby-query:", err)
 		os.Exit(1)
 	}
 }
 
-func run(graphPath, query string) error {
-	if graphPath == "" {
-		return fmt.Errorf("missing -graph (write one with `tabby -save cpg.tgraph`)")
-	}
-	f, err := os.Open(graphPath)
-	if err != nil {
-		return err
-	}
-	defer f.Close()
-	db, err := graphdb.Load(f)
+func run(graphPath, snapshotPath, query string) error {
+	db, err := loadGraph(graphPath, snapshotPath)
 	if err != nil {
 		return err
 	}
@@ -58,6 +58,34 @@ func run(graphPath, query string) error {
 		return execute(db, query)
 	}
 	return repl(db)
+}
+
+// loadGraph opens whichever persisted form was requested: the versioned
+// binary snapshot (preferred) or the legacy JSON dump.
+func loadGraph(graphPath, snapshotPath string) (*graphdb.DB, error) {
+	switch {
+	case graphPath != "" && snapshotPath != "":
+		return nil, fmt.Errorf("pass either -snapshot or -graph, not both")
+	case snapshotPath != "":
+		snap, err := store.ReadFile(snapshotPath)
+		if err != nil {
+			return nil, err
+		}
+		if snap.Meta.Name != "" {
+			fmt.Fprintf(os.Stderr, "snapshot %q (%s): %d sinks registered\n",
+				snap.Meta.Name, snap.Meta.Corpus, snap.Sinks.Len())
+		}
+		return snap.DB, nil
+	case graphPath != "":
+		f, err := os.Open(graphPath)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		return graphdb.Load(f)
+	default:
+		return nil, fmt.Errorf("missing -snapshot (write one with `tabby -save cpg.tsnap`)")
+	}
 }
 
 func execute(db *graphdb.DB, query string) error {

@@ -10,13 +10,19 @@ import (
 	"tabby/internal/javasrc"
 )
 
-func buildGraphFile(t *testing.T) string {
+func buildReport(t *testing.T) (*core.Engine, *core.Report) {
 	t.Helper()
 	engine := core.New(core.Options{})
 	rep, err := engine.AnalyzeSources([]javasrc.ArchiveSource{corpus.RT()})
 	if err != nil {
 		t.Fatal(err)
 	}
+	return engine, rep
+}
+
+func buildGraphFile(t *testing.T) string {
+	t.Helper()
+	_, rep := buildReport(t)
 	path := filepath.Join(t.TempDir(), "cpg.tgraph")
 	f, err := os.Create(path)
 	if err != nil {
@@ -29,7 +35,22 @@ func buildGraphFile(t *testing.T) string {
 	return path
 }
 
-func TestRunOneShotQuery(t *testing.T) {
+func buildSnapshotFile(t *testing.T) string {
+	t.Helper()
+	engine, rep := buildReport(t)
+	path := filepath.Join(t.TempDir(), "cpg.tsnap")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	if err := engine.SaveSnapshot(f, rep, "rt", "modeled runtime"); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestRunOneShotQueryLegacyGraph(t *testing.T) {
 	path := buildGraphFile(t)
 	queries := []string{
 		`MATCH (m:Method {IS_SINK: true}) RETURN m.NAME LIMIT 3`,
@@ -37,21 +58,47 @@ func TestRunOneShotQuery(t *testing.T) {
 		`CALL tabby.sources()`,
 	}
 	for _, q := range queries {
-		if err := run(path, q); err != nil {
+		if err := run(path, "", q); err != nil {
+			t.Errorf("run(%q): %v", q, err)
+		}
+	}
+}
+
+func TestRunOneShotQuerySnapshot(t *testing.T) {
+	path := buildSnapshotFile(t)
+	queries := []string{
+		`MATCH (m:Method {IS_SINK: true}) RETURN m.NAME LIMIT 3`,
+		`CALL tabby.findGadgetChains(12)`,
+		`CALL tabby.sinks()`,
+	}
+	for _, q := range queries {
+		if err := run("", path, q); err != nil {
 			t.Errorf("run(%q): %v", q, err)
 		}
 	}
 }
 
 func TestRunValidatesInput(t *testing.T) {
-	if err := run("", "MATCH (m) RETURN m"); err == nil {
+	if err := run("", "", "MATCH (m) RETURN m"); err == nil {
 		t.Error("missing graph path must error")
 	}
-	if err := run("/nonexistent/graph.tgraph", "MATCH (m) RETURN m"); err == nil {
-		t.Error("missing file must error")
+	if err := run("/nonexistent/graph.tgraph", "", "MATCH (m) RETURN m"); err == nil {
+		t.Error("missing legacy file must error")
 	}
-	path := buildGraphFile(t)
-	if err := run(path, "NOT A QUERY"); err == nil {
+	if err := run("", "/nonexistent/cpg.tsnap", "MATCH (m) RETURN m"); err == nil {
+		t.Error("missing snapshot file must error")
+	}
+	if err := run("a.tgraph", "b.tsnap", "MATCH (m) RETURN m"); err == nil {
+		t.Error("both -graph and -snapshot must error")
+	}
+	// A legacy dump is not a snapshot: loading it as one must fail with a
+	// format error, not a panic.
+	legacy := buildGraphFile(t)
+	if err := run("", legacy, "MATCH (m) RETURN m"); err == nil {
+		t.Error("legacy dump passed as -snapshot must error")
+	}
+	path := buildSnapshotFile(t)
+	if err := run("", path, "NOT A QUERY"); err == nil {
 		t.Error("bad query must error")
 	}
 }

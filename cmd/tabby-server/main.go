@@ -1,0 +1,81 @@
+// Command tabby-server serves stored code property graphs over HTTP —
+// the long-lived counterpart of the paper's Neo4j deployment (§II-B):
+// build a CPG once with `tabby -save`, then let many clients query it
+// concurrently without recompiling anything.
+//
+//	tabby -urldns -save urldns.tsnap
+//	tabby-server -addr :7687 -snapshot urldns.tsnap
+//
+//	curl localhost:7687/v1/graphs
+//	curl localhost:7687/v1/graphs/urldns/stats
+//	curl -d '{"graph":"urldns","query":"MATCH (m:Method {IS_SINK: true}) RETURN m.NAME"}' localhost:7687/v1/query
+//	curl -d '{"graph":"urldns","max_depth":12}' localhost:7687/v1/chains
+//	curl -d '{"name":"app","files":[{"name":"A.java","source":"..."}]}' localhost:7687/v1/analyze
+//
+// Flags:
+//
+//	-addr HOST:PORT   listen address (default :7687)
+//	-snapshot FILE    snapshot to preload; repeatable
+//	-max-graphs N     LRU capacity of the graph registry (default 8)
+//	-workers N        default worker count for searches and analyses
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+
+	"tabby/internal/server"
+)
+
+// multiFlag collects a repeatable -snapshot flag.
+type multiFlag []string
+
+func (m *multiFlag) String() string { return fmt.Sprint(*m) }
+func (m *multiFlag) Set(v string) error {
+	*m = append(*m, v)
+	return nil
+}
+
+func main() {
+	var snapshots multiFlag
+	var (
+		addr      = flag.String("addr", ":7687", "listen address")
+		maxGraphs = flag.Int("max-graphs", server.DefaultMaxGraphs, "max snapshots kept loaded (LRU eviction beyond this)")
+		workers   = flag.Int("workers", 0, "default worker count for searches/analyses (0 = GOMAXPROCS)")
+	)
+	flag.Var(&snapshots, "snapshot", "snapshot file written by `tabby -save` (repeatable)")
+	flag.Parse()
+	if err := run(*addr, snapshots, *maxGraphs, *workers, nil); err != nil {
+		fmt.Fprintln(os.Stderr, "tabby-server:", err)
+		os.Exit(1)
+	}
+}
+
+// run starts the service. When ready is non-nil, the bound listener
+// address is sent on it once the server is accepting connections (used
+// by tests and the smoke script via -addr 127.0.0.1:0).
+func run(addr string, snapshots []string, maxGraphs, workers int, ready chan<- string) error {
+	srv := server.New(server.Options{MaxGraphs: maxGraphs, Workers: workers})
+	for _, path := range snapshots {
+		id, err := srv.LoadSnapshotFile(path)
+		if err != nil {
+			return fmt.Errorf("load %s: %w", path, err)
+		}
+		snap, _ := srv.Registry().Get(id)
+		stats := snap.DB.Stats()
+		fmt.Fprintf(os.Stderr, "loaded %s as graph %q: %d nodes, %d relationships\n", path, id, stats.Nodes, stats.Rels)
+	}
+
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "tabby-server listening on %s (%d graphs loaded)\n", ln.Addr(), srv.Registry().Len())
+	if ready != nil {
+		ready <- ln.Addr().String()
+	}
+	return http.Serve(ln, srv.Handler())
+}

@@ -1,0 +1,87 @@
+package main
+
+import (
+	"io"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"tabby/internal/core"
+	"tabby/internal/corpus"
+	"tabby/internal/javasrc"
+)
+
+func buildSnapshotFile(t *testing.T) string {
+	t.Helper()
+	engine := core.New(core.Options{Workers: 1})
+	rep, err := engine.AnalyzeSources([]javasrc.ArchiveSource{corpus.RT()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "urldns.tsnap")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	if err := engine.SaveSnapshot(f, rep, "urldns", "modeled runtime"); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// TestRunServesLoadedSnapshot boots the real binary entry point on an
+// ephemeral port and exercises it over actual HTTP. The serve goroutine
+// is abandoned at test exit (run blocks in http.Serve by design).
+func TestRunServesLoadedSnapshot(t *testing.T) {
+	path := buildSnapshotFile(t)
+	ready := make(chan string, 1)
+	go func() {
+		if err := run("127.0.0.1:0", []string{path}, 0, 1, ready); err != nil {
+			t.Errorf("run: %v", err)
+		}
+	}()
+	addr := <-ready
+
+	resp, err := http.Get("http://" + addr + "/v1/graphs")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK || !strings.Contains(string(body), `"urldns"`) {
+		t.Errorf("GET /v1/graphs = %d: %s", resp.StatusCode, body)
+	}
+
+	resp, err = http.Post("http://"+addr+"/v1/query", "application/json",
+		strings.NewReader(`{"graph":"urldns","query":"MATCH (m:Method {IS_SINK: true}) RETURN m.NAME LIMIT 1"}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, err = io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK || !strings.Contains(string(body), "columns") {
+		t.Errorf("POST /v1/query = %d: %s", resp.StatusCode, body)
+	}
+}
+
+func TestRunRejectsBadSnapshot(t *testing.T) {
+	bad := filepath.Join(t.TempDir(), "bad.tsnap")
+	if err := os.WriteFile(bad, []byte("not a snapshot"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run("127.0.0.1:0", []string{bad}, 0, 1, nil); err == nil {
+		t.Error("bad snapshot must error")
+	}
+	if err := run("127.0.0.1:0", []string{filepath.Join(t.TempDir(), "missing.tsnap")}, 0, 1, nil); err == nil {
+		t.Error("missing snapshot must error")
+	}
+}

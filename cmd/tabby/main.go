@@ -16,10 +16,15 @@
 //
 //	-stats          print CPG node/edge statistics
 //	-chains         print discovered gadget chains (default true)
-//	-save FILE      persist the graph for later tabby-query sessions
+//	-save FILE      persist a snapshot (graph + registry state + metadata)
+//	                for later tabby-query/tabby-server sessions
 //	-max-depth N    Evaluator depth bound (default 12)
 //	-confirm        concretely execute each chain (payload construction +
 //	                jimple interpretation — the paper's §V-C future work)
+//
+// The -max-call-depth flag is deprecated and has no effect: the SCC wave
+// scheduler of the controllability analysis replaced the depth-capped
+// recursion it used to bound. Passing it prints a warning.
 package main
 
 import (
@@ -40,22 +45,26 @@ import (
 
 func main() {
 	var (
-		dir       = flag.String("dir", "", "directory of .java files to analyze (recursive)")
-		component = flag.String("component", "", "bundled Table IX component name")
-		scene     = flag.String("scene", "", "bundled Table X scene name")
-		urldns    = flag.Bool("urldns", false, "run the built-in URLDNS demonstration")
-		list      = flag.Bool("list", false, "list bundled components and scenes")
-		withRT    = flag.Bool("rt", true, "include the modeled Java runtime (rt.jar)")
-		stats     = flag.Bool("stats", false, "print CPG statistics")
-		chains    = flag.Bool("chains", true, "print discovered gadget chains")
-		save      = flag.String("save", "", "persist the built graph to this file")
-		maxDepth  = flag.Int("max-depth", 0, "maximum chain length (0 = default 12)")
-		mechanism = flag.String("mechanism", "native", "deserialization mechanism: native or xstream")
-		confirm   = flag.Bool("confirm", false, "concretely execute each chain to confirm it fires (§V-C extension)")
-		dot       = flag.String("dot", "", "write a Graphviz DOT rendering of the CPG (filtered to chain classes) to this file")
-		workers   = flag.Int("workers", 0, "worker count for every pipeline stage (0 = GOMAXPROCS, 1 = sequential; output is identical at any setting)")
+		dir          = flag.String("dir", "", "directory of .java files to analyze (recursive)")
+		component    = flag.String("component", "", "bundled Table IX component name")
+		scene        = flag.String("scene", "", "bundled Table X scene name")
+		urldns       = flag.Bool("urldns", false, "run the built-in URLDNS demonstration")
+		list         = flag.Bool("list", false, "list bundled components and scenes")
+		withRT       = flag.Bool("rt", true, "include the modeled Java runtime (rt.jar)")
+		stats        = flag.Bool("stats", false, "print CPG statistics")
+		chains       = flag.Bool("chains", true, "print discovered gadget chains")
+		save         = flag.String("save", "", "persist a snapshot of the built graph to this file")
+		maxDepth     = flag.Int("max-depth", 0, "maximum chain length (0 = default 12)")
+		maxCallDepth = flag.Int("max-call-depth", 0, "deprecated, no effect: the SCC scheduler removed the call-depth bound")
+		mechanism    = flag.String("mechanism", "native", "deserialization mechanism: native or xstream")
+		confirm      = flag.Bool("confirm", false, "concretely execute each chain to confirm it fires (§V-C extension)")
+		dot          = flag.String("dot", "", "write a Graphviz DOT rendering of the CPG (filtered to chain classes) to this file")
+		workers      = flag.Int("workers", 0, "worker count for every pipeline stage (0 = GOMAXPROCS, 1 = sequential; output is identical at any setting)")
 	)
 	flag.Parse()
+	if *maxCallDepth != 0 {
+		fmt.Fprintln(os.Stderr, "tabby: warning: -max-call-depth is deprecated and has no effect (the SCC wave scheduler analyzes callees bottom-up without a depth bound)")
+	}
 	if err := run(options{
 		dir: *dir, component: *component, scene: *scene,
 		urldns: *urldns, list: *list, withRT: *withRT,
@@ -169,12 +178,29 @@ func run(o options) error {
 			return err
 		}
 		defer f.Close()
-		if err := rep.Graph.DB.Save(f); err != nil {
-			return fmt.Errorf("save graph: %w", err)
+		name, corpusDesc := snapshotIdentity(o)
+		if err := engine.SaveSnapshot(f, rep, name, corpusDesc); err != nil {
+			return fmt.Errorf("save snapshot: %w", err)
 		}
-		fmt.Printf("graph saved to %s\n", o.save)
+		fmt.Printf("snapshot %q saved to %s (re-query with tabby-query -snapshot, or serve with tabby-server -snapshot)\n", name, o.save)
 	}
 	return nil
+}
+
+// snapshotIdentity derives the snapshot's registered name and corpus
+// description from what was analyzed.
+func snapshotIdentity(o options) (name, corpus string) {
+	switch {
+	case o.component != "":
+		return o.component, "component " + o.component
+	case o.scene != "":
+		return o.scene, "scene " + o.scene
+	case o.dir != "":
+		base := filepath.Base(filepath.Clean(o.dir))
+		return base, "directory " + o.dir
+	default:
+		return "urldns", "modeled Java runtime (URLDNS demonstration)"
+	}
 }
 
 func collectArchives(o options) ([]javasrc.ArchiveSource, error) {

@@ -6,7 +6,7 @@ import (
 	"strings"
 	"testing"
 
-	"tabby/internal/graphdb"
+	"tabby/internal/store"
 )
 
 const testAppSource = `
@@ -45,23 +45,34 @@ func writeTestProject(t *testing.T) string {
 
 func TestRunDirModeAndSave(t *testing.T) {
 	dir := writeTestProject(t)
-	savePath := filepath.Join(t.TempDir(), "cpg.tgraph")
+	savePath := filepath.Join(t.TempDir(), "cpg.tsnap")
 	err := run(options{dir: dir, withRT: true, chains: true, stats: true, save: savePath})
 	if err != nil {
 		t.Fatal(err)
 	}
-	f, err := os.Open(savePath)
-	if err != nil {
-		t.Fatal(err)
-	}
-	defer f.Close()
-	db, err := graphdb.Load(f)
+	snap, err := store.ReadFile(savePath)
 	if err != nil {
 		t.Fatal(err)
 	}
 	// The saved graph must contain the app's entry method.
-	if ids := db.FindNodes("Method", "NAME", "app.Job#readObject(java.io.ObjectInputStream)"); len(ids) != 1 {
+	if ids := snap.DB.FindNodes("Method", "NAME", "app.Job#readObject(java.io.ObjectInputStream)"); len(ids) != 1 {
 		t.Errorf("saved graph missing app method: %v", ids)
+	}
+	// The snapshot carries the registry state and analysis metadata too.
+	if snap.Sinks == nil || snap.Sinks.Len() == 0 {
+		t.Error("snapshot lost the sink registry")
+	}
+	if len(snap.Sources.MethodNames) == 0 {
+		t.Error("snapshot lost the source config")
+	}
+	if snap.Meta.Stats.MethodNodes == 0 {
+		t.Error("snapshot lost the build stats")
+	}
+	if snap.Meta.Name != filepath.Base(dir) {
+		t.Errorf("snapshot name = %q, want %q", snap.Meta.Name, filepath.Base(dir))
+	}
+	if !snap.DB.Frozen() {
+		t.Error("loaded snapshot store must be frozen")
 	}
 }
 

@@ -1,7 +1,8 @@
 // Custom-sink workflow (paper RQ4): a security team adds its own sink to
-// the registry, rebuilds the CPG once, and then re-queries the stored
-// graph repeatedly with Cypher-lite — the "store all intermediate results
-// and let researchers verify their ideas" design of §IV-F.
+// the registry, builds the CPG once, saves it as a snapshot, and then
+// re-queries the stored graph repeatedly with Cypher-lite — the "store
+// all intermediate results and let researchers verify their ideas"
+// design of §IV-F.
 //
 //	go run ./examples/customsink
 package main
@@ -9,12 +10,15 @@ package main
 import (
 	"fmt"
 	"log"
+	"os"
+	"path/filepath"
 
 	"tabby/internal/core"
 	"tabby/internal/corpus"
 	"tabby/internal/cypher"
 	"tabby/internal/javasrc"
 	"tabby/internal/sinks"
+	"tabby/internal/store"
 )
 
 // appSource models an in-house application with a dangerous internal API
@@ -73,8 +77,36 @@ func run() error {
 		fmt.Printf("[%s]\n%s\n\n", c.SinkType, c)
 	}
 
-	// 2. Re-query the stored graph without re-running extraction: which
+	// 2. Store the graph once: a snapshot carries the CPG plus the
+	//    extended sink registry, so later sessions see the custom sink too.
+	dir, err := os.MkdirTemp("", "tabby-customsink-*")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(dir)
+	path := filepath.Join(dir, "app.tsnap")
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := engine.SaveSnapshot(f, rep, "corp-app", "in-house corpus"); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+
+	// 3. Re-query the stored graph without re-running extraction — this is
+	//    what tabby-query -snapshot and tabby-server do: load the snapshot
+	//    into a read-only store and run Cypher-lite against it. Which
 	//    methods can reach rawQuery within three calls?
+	snap, err := store.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("reloaded snapshot %q (%s): %d sinks registered\n\n",
+		snap.Meta.Name, snap.Meta.Corpus, snap.Sinks.Len())
 	queries := []string{
 		`MATCH (m:Method {METHOD_NAME: "rawQuery"}) RETURN m.NAME, m.SINK_TYPE`,
 		`MATCH (a:Method)-[:CALL*1..3]->(b:Method {METHOD_NAME: "rawQuery"}) RETURN a.NAME`,
@@ -82,7 +114,7 @@ func run() error {
 	}
 	for _, q := range queries {
 		fmt.Printf("query> %s\n", q)
-		res, err := cypher.Run(rep.Graph.DB, q)
+		res, err := cypher.Run(snap.DB, q)
 		if err != nil {
 			return err
 		}

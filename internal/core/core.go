@@ -7,6 +7,7 @@ package core
 
 import (
 	"fmt"
+	"io"
 	"time"
 
 	"tabby/internal/cpg"
@@ -16,6 +17,7 @@ import (
 	"tabby/internal/parallel"
 	"tabby/internal/pathfinder"
 	"tabby/internal/sinks"
+	"tabby/internal/store"
 	"tabby/internal/taint"
 )
 
@@ -36,7 +38,10 @@ type Options struct {
 	VisitBudget int
 	// KeepPrunedCalls retains all-∞ CALL edges (MCG ablation mode).
 	KeepPrunedCalls bool
-	// TaintOptions tunes the controllability analysis.
+	// TaintOptions tunes the controllability analysis. Note that its
+	// MaxCallDepth field is deprecated and has no effect (the SCC wave
+	// scheduler replaced the depth-capped recursion); setting it is
+	// silently ignored here, and the CLIs warn when it is passed.
 	TaintOptions taint.Options
 	// Workers bounds concurrency in every pipeline stage (compile,
 	// controllability analysis, CPG assembly, path search). Zero selects
@@ -141,6 +146,60 @@ func (e *Engine) FindChains(g *cpg.Graph) (chains []pathfinder.Chain, truncated 
 		return nil, false, 0, fmt.Errorf("tabby: find chains: %w", err)
 	}
 	return res.Chains, res.Truncated, time.Since(start), nil
+}
+
+// SaveSnapshot persists a finished analysis to w in the versioned binary
+// snapshot format of internal/store: the full graph, the sink/source
+// registry state the engine used, and the analysis counters. The
+// snapshot can be re-served later by LoadSnapshot, cmd/tabby-query
+// -snapshot, or cmd/tabby-server without recompiling the corpus.
+func (e *Engine) SaveSnapshot(w io.Writer, rep *Report, name, corpus string) error {
+	if rep == nil || rep.Graph == nil {
+		return fmt.Errorf("tabby: save snapshot: nil report")
+	}
+	reg := e.opts.Sinks
+	if reg == nil {
+		reg = sinks.Default()
+	}
+	src := e.opts.Sources
+	if len(src.MethodNames) == 0 {
+		src = sinks.DefaultSources()
+	}
+	meta := store.Meta{Name: name, Corpus: corpus, Stats: rep.Graph.Stats}
+	if rep.Graph.Taint != nil {
+		meta.TotalCalls = rep.Graph.Taint.TotalCalls
+		meta.PrunedCalls = rep.Graph.Taint.PrunedCalls
+	}
+	return store.Write(w, &store.Snapshot{
+		Meta:    meta,
+		DB:      rep.Graph.DB,
+		Sinks:   reg,
+		Sources: src,
+	})
+}
+
+// LoadSnapshot reads a snapshot written by SaveSnapshot. The returned
+// store is frozen (read-only) and safe for concurrent querying; run
+// searches over it with FindChainsIn or queries with package cypher.
+func LoadSnapshot(r io.Reader) (*store.Snapshot, error) {
+	return store.Read(r)
+}
+
+// FindChainsIn runs the path finder against an arbitrary store —
+// typically one loaded from a snapshot rather than freshly built. The
+// engine's depth/chain/budget/worker options apply exactly as in
+// FindChains, so a loaded snapshot yields byte-identical results.
+func (e *Engine) FindChainsIn(db *graphdb.DB) (chains []pathfinder.Chain, truncated bool, err error) {
+	res, err := pathfinder.Find(db, pathfinder.Options{
+		MaxDepth:    e.opts.MaxDepth,
+		MaxChains:   e.opts.MaxChains,
+		VisitBudget: e.opts.VisitBudget,
+		Workers:     e.opts.Workers,
+	})
+	if err != nil {
+		return nil, false, fmt.Errorf("tabby: find chains: %w", err)
+	}
+	return res.Chains, res.Truncated, nil
 }
 
 // FindChainsBetween searches from explicit sink nodes with a custom

@@ -18,6 +18,7 @@ const batchIDBlock = 256
 // though not dense).
 func (db *DB) reserveIDs(n int) ID {
 	db.mu.Lock()
+	db.mustMutateLocked("batch ID reservation")
 	first := db.nextID + 1
 	db.nextID += ID(n)
 	db.mu.Unlock()
@@ -107,6 +108,7 @@ func (b *Batch) Flush() error {
 	db := b.db
 	db.mu.Lock()
 	defer db.mu.Unlock()
+	db.mustMutateLocked("batch Flush")
 
 	for _, r := range b.rels {
 		if !b.local[r.Start] {

@@ -88,6 +88,7 @@ func (r *Rel) Other(node ID) ID {
 // DB is the graph store.
 type DB struct {
 	mu      sync.RWMutex
+	frozen  bool
 	nextID  ID
 	nodes   map[ID]*Node
 	rels    map[ID]*Rel
@@ -118,6 +119,7 @@ func valueKey(v any) string { return fmt.Sprintf("%T:%v", v, v) }
 func (db *DB) CreateNode(labels []string, props Props) ID {
 	db.mu.Lock()
 	defer db.mu.Unlock()
+	db.mustMutateLocked("CreateNode")
 	db.nextID++
 	id := db.nextID
 	n := &Node{ID: id, Labels: append([]string(nil), labels...), Props: props.clone()}
@@ -140,6 +142,7 @@ func (db *DB) CreateNode(labels []string, props Props) ID {
 func (db *DB) CreateRel(relType string, start, end ID, props Props) (ID, error) {
 	db.mu.Lock()
 	defer db.mu.Unlock()
+	db.mustMutateLocked("CreateRel")
 	if _, ok := db.nodes[start]; !ok {
 		return 0, fmt.Errorf("graphdb: create rel %s: unknown start node %d", relType, start)
 	}
@@ -204,6 +207,7 @@ func (db *DB) RelProp(id ID, key string) (any, bool) {
 func (db *DB) SetNodeProp(id ID, key string, value any) error {
 	db.mu.Lock()
 	defer db.mu.Unlock()
+	db.mustMutateLocked("SetNodeProp")
 	n := db.nodes[id]
 	if n == nil {
 		return fmt.Errorf("graphdb: set prop on unknown node %d", id)
@@ -244,6 +248,7 @@ func removeID(ids []ID, id ID) []ID {
 func (db *DB) CreateIndex(label, prop string) {
 	db.mu.Lock()
 	defer db.mu.Unlock()
+	db.mustMutateLocked("CreateIndex")
 	byProp, ok := db.propIndex[label]
 	if !ok {
 		byProp = make(map[string]map[string][]ID)

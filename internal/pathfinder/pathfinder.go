@@ -126,6 +126,13 @@ type Options struct {
 	// SourceFilter, when non-nil, decides whether a node terminates a
 	// chain; nil accepts any node tagged IS_SOURCE.
 	SourceFilter func(db *graphdb.DB, node graphdb.ID) bool
+	// SinkTC, when non-nil, overrides the Trigger_Condition of every
+	// selected sink seed — the researcher-driven "suppose this position
+	// were the dangerous one" workflow (RQ4) on stored graphs, which are
+	// immutable and so cannot have their TRIGGER_CONDITION properties
+	// rewritten. It also allows seeding from nodes that carry no
+	// TRIGGER_CONDITION at all. Positions are normalized before use.
+	SinkTC []int
 	// Workers bounds how many sink seeds are searched concurrently. Zero
 	// selects runtime.GOMAXPROCS(0); 1 runs the exact sequential path.
 	// Results are merged in sink order then per-sink discovery order, so
@@ -181,17 +188,26 @@ func Find(db *graphdb.DB, opts Options) (*Result, error) {
 	}
 	seeds := make([]seed, len(sinks))
 	for i, sink := range sinks {
-		tcProp, ok := db.NodeProp(sink, cpg.PropTriggerCondition)
-		if !ok {
-			return nil, fmt.Errorf("pathfinder: sink node %d has no %s", sink, cpg.PropTriggerCondition)
-		}
-		tcInts, ok := tcProp.([]int)
-		if !ok {
-			return nil, fmt.Errorf("pathfinder: sink node %d %s has type %T", sink, cpg.PropTriggerCondition, tcProp)
+		var tc TC
+		if opts.SinkTC != nil {
+			tc = append(TC(nil), opts.SinkTC...).normalize()
+		} else {
+			tcProp, ok := db.NodeProp(sink, cpg.PropTriggerCondition)
+			if !ok {
+				return nil, fmt.Errorf("pathfinder: sink node %d has no %s", sink, cpg.PropTriggerCondition)
+			}
+			tcInts, ok := tcProp.([]int)
+			if !ok {
+				return nil, fmt.Errorf("pathfinder: sink node %d %s has type %T", sink, cpg.PropTriggerCondition, tcProp)
+			}
+			// Copy before normalizing: the prop slice belongs to the store,
+			// and concurrent searches over a shared (frozen) store must not
+			// sort it in place.
+			tc = append(TC(nil), tcInts...).normalize()
 		}
 		sinkType, _ := db.NodeProp(sink, cpg.PropSinkType)
 		st, _ := sinkType.(string)
-		seeds[i] = seed{sink: sink, tc: TC(tcInts).normalize(), sinkType: st}
+		seeds[i] = seed{sink: sink, tc: tc, sinkType: st}
 	}
 
 	budget := &visitBudget{limit: int64(opts.VisitBudget)}

@@ -1,0 +1,128 @@
+package server
+
+import (
+	"container/list"
+	"fmt"
+	"sort"
+	"sync"
+
+	"tabby/internal/store"
+)
+
+// Registry holds the loaded snapshots a server can answer queries
+// against, bounded by an LRU policy: when a snapshot is registered
+// beyond the capacity, the least-recently-used one is dropped (its
+// store stays alive for any request already holding it, and is
+// garbage-collected afterwards).
+//
+// It is safe for concurrent use. Only the id→snapshot bookkeeping is
+// guarded here; the snapshots themselves are frozen stores, so request
+// handlers read them without any registry lock held.
+type Registry struct {
+	mu      sync.Mutex
+	max     int
+	entries map[string]*list.Element
+	order   *list.List // front = most recently used
+}
+
+type regEntry struct {
+	id   string
+	snap *store.Snapshot
+}
+
+// DefaultMaxGraphs bounds the registry when no capacity is configured.
+const DefaultMaxGraphs = 8
+
+// NewRegistry creates a registry holding at most max snapshots
+// (DefaultMaxGraphs when max <= 0).
+func NewRegistry(max int) *Registry {
+	if max <= 0 {
+		max = DefaultMaxGraphs
+	}
+	return &Registry{
+		max:     max,
+		entries: make(map[string]*list.Element),
+		order:   list.New(),
+	}
+}
+
+// Add registers a snapshot under id. Registering an id twice is an
+// error — a graph's contents are immutable, so replacement is always a
+// caller bug. Returns the id of the evicted snapshot, if the capacity
+// forced one out.
+func (r *Registry) Add(id string, snap *store.Snapshot) (evicted string, err error) {
+	if id == "" {
+		return "", fmt.Errorf("server: empty graph id")
+	}
+	if snap == nil || snap.DB == nil {
+		return "", fmt.Errorf("server: graph %q: nil snapshot", id)
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, dup := r.entries[id]; dup {
+		return "", fmt.Errorf("server: graph %q already loaded", id)
+	}
+	r.entries[id] = r.order.PushFront(&regEntry{id: id, snap: snap})
+	if r.order.Len() > r.max {
+		oldest := r.order.Back()
+		e := oldest.Value.(*regEntry)
+		r.order.Remove(oldest)
+		delete(r.entries, e.id)
+		evicted = e.id
+	}
+	return evicted, nil
+}
+
+// Get returns the snapshot registered under id, marking it most
+// recently used.
+func (r *Registry) Get(id string) (*store.Snapshot, bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	el, ok := r.entries[id]
+	if !ok {
+		return nil, false
+	}
+	r.order.MoveToFront(el)
+	return el.Value.(*regEntry).snap, true
+}
+
+// Len reports how many snapshots are loaded.
+func (r *Registry) Len() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.order.Len()
+}
+
+// GraphInfo summarizes one loaded graph for listings.
+type GraphInfo struct {
+	ID     string     `json:"id"`
+	Corpus string     `json:"corpus,omitempty"`
+	Nodes  int        `json:"nodes"`
+	Rels   int        `json:"rels"`
+	Meta   store.Meta `json:"meta"`
+}
+
+// List returns a summary of every loaded graph, sorted by id so the
+// listing is deterministic.
+func (r *Registry) List() []GraphInfo {
+	r.mu.Lock()
+	snaps := make([]*regEntry, 0, r.order.Len())
+	for el := r.order.Front(); el != nil; el = el.Next() {
+		snaps = append(snaps, el.Value.(*regEntry))
+	}
+	r.mu.Unlock()
+
+	out := make([]GraphInfo, 0, len(snaps))
+	for _, e := range snaps {
+		s := e.snap.DB.Stats()
+		out = append(out, GraphInfo{
+			ID:     e.id,
+			Corpus: e.snap.Meta.Corpus,
+			Nodes:  s.Nodes,
+			Rels:   s.Rels,
+			Meta:   e.snap.Meta,
+		})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}

@@ -1,0 +1,71 @@
+package server
+
+import (
+	"testing"
+
+	"tabby/internal/graphdb"
+	"tabby/internal/store"
+)
+
+func tinySnapshot(name string) *store.Snapshot {
+	db := graphdb.New()
+	db.CreateNode([]string{"Class"}, graphdb.Props{"NAME": name})
+	db.Freeze()
+	return &store.Snapshot{Meta: store.Meta{Name: name, Corpus: "test"}, DB: db}
+}
+
+func TestRegistryAddGetList(t *testing.T) {
+	r := NewRegistry(4)
+	if _, err := r.Add("", tinySnapshot("x")); err == nil {
+		t.Error("empty id must error")
+	}
+	if _, err := r.Add("a", nil); err == nil {
+		t.Error("nil snapshot must error")
+	}
+	if _, err := r.Add("a", tinySnapshot("a")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Add("a", tinySnapshot("a")); err == nil {
+		t.Error("duplicate id must error")
+	}
+	if _, ok := r.Get("a"); !ok {
+		t.Error("Get(a) failed")
+	}
+	if _, ok := r.Get("missing"); ok {
+		t.Error("Get(missing) succeeded")
+	}
+	if _, err := r.Add("b", tinySnapshot("b")); err != nil {
+		t.Fatal(err)
+	}
+	list := r.List()
+	if len(list) != 2 || list[0].ID != "a" || list[1].ID != "b" {
+		t.Errorf("List() = %+v", list)
+	}
+}
+
+func TestRegistryLRUEviction(t *testing.T) {
+	r := NewRegistry(2)
+	if _, err := r.Add("a", tinySnapshot("a")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Add("b", tinySnapshot("b")); err != nil {
+		t.Fatal(err)
+	}
+	// Touch "a" so "b" becomes the least recently used.
+	if _, ok := r.Get("a"); !ok {
+		t.Fatal("Get(a) failed")
+	}
+	evicted, err := r.Add("c", tinySnapshot("c"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if evicted != "b" {
+		t.Errorf("evicted %q, want %q", evicted, "b")
+	}
+	if _, ok := r.Get("b"); ok {
+		t.Error("b still resident after eviction")
+	}
+	if r.Len() != 2 {
+		t.Errorf("Len() = %d, want 2", r.Len())
+	}
+}

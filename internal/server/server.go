@@ -1,0 +1,491 @@
+// Package server is the HTTP graph-query service over stored code
+// property graphs — the long-lived counterpart of the paper's Neo4j
+// deployment (§II-B): build and persist a CPG once, then let many
+// clients query it concurrently. A server loads snapshots (written by
+// `tabby -save` / core.SaveSnapshot) into an LRU-bounded registry of
+// immutable stores and exposes:
+//
+//	GET  /v1/graphs                 list loaded graphs
+//	GET  /v1/graphs/{id}/stats      node/edge statistics + metadata
+//	POST /v1/query                  Cypher-lite (incl. CALL procedures)
+//	POST /v1/chains                 path-finder search with TC/sink/source parameters
+//	POST /v1/analyze                compile an uploaded mini-Java corpus into a new snapshot
+//
+// Every response is JSON. Queries and searches run against frozen
+// stores, so concurrent requests are safe and two identical requests
+// always produce byte-identical responses.
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"tabby/internal/core"
+	"tabby/internal/corpus"
+	"tabby/internal/cpg"
+	"tabby/internal/cypher"
+	"tabby/internal/graphdb"
+	"tabby/internal/javasrc"
+	"tabby/internal/pathfinder"
+	"tabby/internal/sinks"
+	"tabby/internal/store"
+)
+
+// Options configures a Server.
+type Options struct {
+	// MaxGraphs bounds the snapshot registry (LRU eviction beyond it);
+	// zero means DefaultMaxGraphs.
+	MaxGraphs int
+	// Workers is the default worker count for searches and analyses when
+	// a request does not specify its own (same semantics as
+	// core.Options.Workers).
+	Workers int
+	// MaxRequestBytes caps request bodies; zero means 32 MiB.
+	MaxRequestBytes int64
+}
+
+const defaultMaxRequestBytes = 32 << 20
+
+// Server serves stored graphs over HTTP.
+type Server struct {
+	reg      *Registry
+	workers  int
+	maxBody  int64
+	analyzeC chan struct{} // serializes /v1/analyze (CPU-bound builds)
+}
+
+// New creates a server with an empty registry.
+func New(opts Options) *Server {
+	if opts.MaxRequestBytes <= 0 {
+		opts.MaxRequestBytes = defaultMaxRequestBytes
+	}
+	s := &Server{
+		reg:      NewRegistry(opts.MaxGraphs),
+		workers:  opts.Workers,
+		maxBody:  opts.MaxRequestBytes,
+		analyzeC: make(chan struct{}, 1),
+	}
+	s.analyzeC <- struct{}{}
+	return s
+}
+
+// Registry exposes the snapshot registry (the CLI preloads it; tests
+// inspect it).
+func (s *Server) Registry() *Registry { return s.reg }
+
+// LoadSnapshotFile loads one snapshot file into the registry and
+// returns the id it was registered under: the snapshot's stored name,
+// or the file's base name (minus extension) when the snapshot carries
+// none.
+func (s *Server) LoadSnapshotFile(path string) (string, error) {
+	snap, err := store.ReadFile(path)
+	if err != nil {
+		return "", err
+	}
+	id := snap.Meta.Name
+	if id == "" {
+		base := filepath.Base(path)
+		id = strings.TrimSuffix(base, filepath.Ext(base))
+	}
+	if _, err := s.reg.Add(id, snap); err != nil {
+		return "", err
+	}
+	return id, nil
+}
+
+// Handler returns the service's HTTP routes.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /v1/graphs", s.handleGraphs)
+	mux.HandleFunc("GET /v1/graphs/{id}/stats", s.handleStats)
+	mux.HandleFunc("POST /v1/query", s.handleQuery)
+	mux.HandleFunc("POST /v1/chains", s.handleChains)
+	mux.HandleFunc("POST /v1/analyze", s.handleAnalyze)
+	return mux
+}
+
+// --- shared helpers ------------------------------------------------------
+
+type errorResponse struct {
+	Error string `json:"error"`
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetEscapeHTML(false)
+	_ = enc.Encode(v) // the status line is already out; nothing to recover
+}
+
+func writeError(w http.ResponseWriter, status int, format string, args ...any) {
+	writeJSON(w, status, errorResponse{Error: fmt.Sprintf(format, args...)})
+}
+
+func (s *Server) decodeBody(w http.ResponseWriter, r *http.Request, into any) bool {
+	dec := json.NewDecoder(io.LimitReader(r.Body, s.maxBody))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(into); err != nil {
+		writeError(w, http.StatusBadRequest, "bad request body: %v", err)
+		return false
+	}
+	return true
+}
+
+func (s *Server) graphFor(w http.ResponseWriter, id string) (*store.Snapshot, bool) {
+	if id == "" {
+		writeError(w, http.StatusBadRequest, `missing "graph" (see GET /v1/graphs for loaded ids)`)
+		return nil, false
+	}
+	snap, ok := s.reg.Get(id)
+	if !ok {
+		writeError(w, http.StatusNotFound, "graph %q is not loaded (see GET /v1/graphs)", id)
+		return nil, false
+	}
+	return snap, true
+}
+
+// --- GET /v1/graphs ------------------------------------------------------
+
+type graphsResponse struct {
+	Graphs []GraphInfo `json:"graphs"`
+}
+
+func (s *Server) handleGraphs(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, graphsResponse{Graphs: s.reg.List()})
+}
+
+// --- GET /v1/graphs/{id}/stats -------------------------------------------
+
+type statsResponse struct {
+	ID          string         `json:"id"`
+	Meta        store.Meta     `json:"meta"`
+	Nodes       int            `json:"nodes"`
+	Rels        int            `json:"rels"`
+	NodesByType map[string]int `json:"nodes_by_type"`
+	RelsByType  map[string]int `json:"rels_by_type"`
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	snap, ok := s.graphFor(w, r.PathValue("id"))
+	if !ok {
+		return
+	}
+	st := snap.DB.Stats()
+	writeJSON(w, http.StatusOK, statsResponse{
+		ID:          r.PathValue("id"),
+		Meta:        snap.Meta,
+		Nodes:       st.Nodes,
+		Rels:        st.Rels,
+		NodesByType: st.NodesByType,
+		RelsByType:  st.RelsByType,
+	})
+}
+
+// --- POST /v1/query ------------------------------------------------------
+
+type queryRequest struct {
+	Graph string `json:"graph"`
+	Query string `json:"query"`
+}
+
+type queryResponse struct {
+	Graph   string   `json:"graph"`
+	Columns []string `json:"columns"`
+	Rows    [][]any  `json:"rows"`
+	Text    string   `json:"text"`
+}
+
+func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
+	var req queryRequest
+	if !s.decodeBody(w, r, &req) {
+		return
+	}
+	snap, ok := s.graphFor(w, req.Graph)
+	if !ok {
+		return
+	}
+	if strings.TrimSpace(req.Query) == "" {
+		writeError(w, http.StatusBadRequest, `missing "query"`)
+		return
+	}
+	res, err := cypher.RunAny(snap.DB, req.Query)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "query failed: %v", err)
+		return
+	}
+	rows := res.Rows
+	if rows == nil {
+		rows = [][]any{}
+	}
+	writeJSON(w, http.StatusOK, queryResponse{
+		Graph:   req.Graph,
+		Columns: res.Columns,
+		Rows:    rows,
+		Text:    res.Format(),
+	})
+}
+
+// --- POST /v1/chains -----------------------------------------------------
+
+// chainsRequest parameterizes a path-finder run over a stored graph —
+// the researcher-driven RQ4 workflow: pick the sinks (by name and/or
+// type), optionally override their Trigger_Condition, and restrict the
+// accepting sources, all without rebuilding the graph.
+type chainsRequest struct {
+	Graph string `json:"graph"`
+	// MaxDepth/MaxChains/VisitBudget/Workers mirror core.Options; zero
+	// selects each knob's default.
+	MaxDepth    int `json:"max_depth"`
+	MaxChains   int `json:"max_chains"`
+	VisitBudget int `json:"visit_budget"`
+	Workers     int `json:"workers"`
+	// SinkType restricts seeds to sinks of this SINK_TYPE (EXEC, JNDI, …).
+	SinkType string `json:"sink_type"`
+	// SinkNames seeds the search from these methods, matched against the
+	// NAME and then METHOD_NAME properties. Empty means every IS_SINK node.
+	SinkNames []string `json:"sink_names"`
+	// TC overrides the Trigger_Condition of every seed (required when
+	// seeding from methods that are not registered sinks).
+	TC []int `json:"tc"`
+	// SourceNames accepts only sources with these METHOD_NAMEs; empty
+	// accepts every IS_SOURCE node.
+	SourceNames []string `json:"source_names"`
+}
+
+type chainJSON struct {
+	Names    []string `json:"names"`
+	Nodes    []int64  `json:"nodes"`
+	SinkType string   `json:"sink_type"`
+	TCs      [][]int  `json:"tcs"`
+}
+
+type chainsResponse struct {
+	Graph      string      `json:"graph"`
+	Chains     []chainJSON `json:"chains"`
+	Truncated  bool        `json:"truncated"`
+	Expansions int         `json:"expansions"`
+}
+
+func (s *Server) handleChains(w http.ResponseWriter, r *http.Request) {
+	var req chainsRequest
+	if !s.decodeBody(w, r, &req) {
+		return
+	}
+	snap, ok := s.graphFor(w, req.Graph)
+	if !ok {
+		return
+	}
+	opts := pathfinder.Options{
+		MaxDepth:    req.MaxDepth,
+		MaxChains:   req.MaxChains,
+		VisitBudget: req.VisitBudget,
+		Workers:     req.Workers,
+	}
+	if opts.Workers == 0 {
+		opts.Workers = s.workers
+	}
+	if len(req.TC) > 0 {
+		opts.SinkTC = req.TC
+	}
+
+	sinkNodes, err := resolveSinks(snap.DB, req)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	if sinkNodes != nil {
+		opts.SinkNodes = sinkNodes
+	}
+	if len(req.SourceNames) > 0 {
+		want := make(map[string]bool, len(req.SourceNames))
+		for _, n := range req.SourceNames {
+			want[n] = true
+		}
+		opts.SourceFilter = func(db *graphdb.DB, node graphdb.ID) bool {
+			v, _ := db.NodeProp(node, cpg.PropMethodName)
+			name, _ := v.(string)
+			return want[name]
+		}
+	}
+
+	res, err := pathfinder.Find(snap.DB, opts)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "search failed: %v", err)
+		return
+	}
+	out := chainsResponse{Graph: req.Graph, Chains: make([]chainJSON, 0, len(res.Chains)), Truncated: res.Truncated, Expansions: res.Expansions}
+	for _, c := range res.Chains {
+		cj := chainJSON{Names: c.Names, SinkType: c.SinkType, Nodes: make([]int64, len(c.Nodes)), TCs: make([][]int, len(c.TCs))}
+		for i, id := range c.Nodes {
+			cj.Nodes[i] = int64(id)
+		}
+		for i, tc := range c.TCs {
+			cj.TCs[i] = append([]int{}, tc...)
+		}
+		out.Chains = append(out.Chains, cj)
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+// resolveSinks turns the request's sink selection into seed node IDs,
+// in ascending ID order for determinism. A nil result means "use the
+// pathfinder default" (every IS_SINK node).
+func resolveSinks(db *graphdb.DB, req chainsRequest) ([]graphdb.ID, error) {
+	if len(req.SinkNames) == 0 && req.SinkType == "" {
+		return nil, nil
+	}
+	var seeds []graphdb.ID
+	if len(req.SinkNames) > 0 {
+		seen := make(map[graphdb.ID]bool)
+		for _, name := range req.SinkNames {
+			ids := db.FindNodes(cpg.LabelMethod, cpg.PropName, name)
+			if len(ids) == 0 {
+				ids = db.FindNodes(cpg.LabelMethod, cpg.PropMethodName, name)
+			}
+			if len(ids) == 0 {
+				return nil, fmt.Errorf("sink %q matches no method node (tried NAME and METHOD_NAME)", name)
+			}
+			for _, id := range ids {
+				if !seen[id] {
+					seen[id] = true
+					seeds = append(seeds, id)
+				}
+			}
+		}
+	} else {
+		seeds = db.FindNodes(cpg.LabelMethod, cpg.PropIsSink, true)
+	}
+	if req.SinkType != "" {
+		kept := seeds[:0]
+		for _, id := range seeds {
+			v, _ := db.NodeProp(id, cpg.PropSinkType)
+			if t, _ := v.(string); t == req.SinkType {
+				kept = append(kept, id)
+			}
+		}
+		seeds = kept
+	}
+	sort.Slice(seeds, func(i, j int) bool { return seeds[i] < seeds[j] })
+	if seeds == nil {
+		seeds = []graphdb.ID{}
+	}
+	return seeds, nil
+}
+
+// --- POST /v1/analyze ----------------------------------------------------
+
+type analyzeFile struct {
+	Name   string `json:"name"`
+	Source string `json:"source"`
+}
+
+type analyzeRequest struct {
+	// Name registers the resulting snapshot in the graph registry.
+	Name string `json:"name"`
+	// Files is the mini-Java corpus to compile (one archive).
+	Files []analyzeFile `json:"files"`
+	// WithRT includes the modeled Java runtime (default corpus for every
+	// CLI run; defaults to true here too via pointer-less convention:
+	// the zero value false means "omit" only when with_rt was given).
+	WithRT *bool `json:"with_rt"`
+	// Mechanism selects the deserialization sources: "native" (default)
+	// or "xstream".
+	Mechanism string `json:"mechanism"`
+	Workers   int    `json:"workers"`
+	MaxDepth  int    `json:"max_depth"`
+}
+
+type analyzeResponse struct {
+	ID      string    `json:"id"`
+	Stats   cpg.Stats `json:"stats"`
+	Chains  int       `json:"chains"`
+	Evicted string    `json:"evicted,omitempty"`
+}
+
+func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
+	var req analyzeRequest
+	if !s.decodeBody(w, r, &req) {
+		return
+	}
+	if req.Name == "" {
+		writeError(w, http.StatusBadRequest, `missing "name" for the new graph`)
+		return
+	}
+	if _, exists := s.reg.Get(req.Name); exists {
+		writeError(w, http.StatusConflict, "graph %q already loaded", req.Name)
+		return
+	}
+	if len(req.Files) == 0 {
+		writeError(w, http.StatusBadRequest, `missing "files": nothing to analyze`)
+		return
+	}
+	var sources sinks.SourceConfig
+	switch req.Mechanism {
+	case "", "native":
+	case "xstream":
+		sources = sinks.XStreamSources()
+	default:
+		writeError(w, http.StatusBadRequest, "unknown mechanism %q (want native or xstream)", req.Mechanism)
+		return
+	}
+
+	ar := javasrc.ArchiveSource{Name: req.Name + ".jar"}
+	for _, f := range req.Files {
+		ar.Files = append(ar.Files, javasrc.File{Name: f.Name, Source: f.Source})
+	}
+	archives := []javasrc.ArchiveSource{ar}
+	if req.WithRT == nil || *req.WithRT {
+		archives = append([]javasrc.ArchiveSource{corpus.RT()}, archives...)
+	}
+
+	workers := req.Workers
+	if workers == 0 {
+		workers = s.workers
+	}
+	engine := core.New(core.Options{Sources: sources, Workers: workers, MaxDepth: req.MaxDepth})
+
+	// Builds are CPU-bound and mutate nothing shared, but running an
+	// unbounded number of them would starve query traffic; one at a time
+	// keeps the service responsive.
+	<-s.analyzeC
+	rep, err := engine.AnalyzeSources(archives)
+	s.analyzeC <- struct{}{}
+	if err != nil {
+		writeError(w, http.StatusUnprocessableEntity, "analyze failed: %v", err)
+		return
+	}
+
+	rep.Graph.DB.Freeze()
+	snap := &store.Snapshot{
+		Meta: store.Meta{
+			Name:        req.Name,
+			Corpus:      fmt.Sprintf("uploaded corpus (%d files)", len(req.Files)),
+			Stats:       rep.Graph.Stats,
+			TotalCalls:  rep.Graph.Taint.TotalCalls,
+			PrunedCalls: rep.Graph.Taint.PrunedCalls,
+		},
+		DB:      rep.Graph.DB,
+		Sinks:   sinks.Default(),
+		Sources: sources,
+	}
+	if len(snap.Sources.MethodNames) == 0 {
+		snap.Sources = sinks.DefaultSources()
+	}
+	evicted, err := s.reg.Add(req.Name, snap)
+	if err != nil {
+		writeError(w, http.StatusConflict, "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, analyzeResponse{
+		ID:      req.Name,
+		Stats:   rep.Graph.Stats,
+		Chains:  len(rep.Chains),
+		Evicted: evicted,
+	})
+}

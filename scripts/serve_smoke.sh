@@ -1,0 +1,66 @@
+#!/bin/sh
+# serve_smoke.sh — end-to-end smoke of the persistence + serving stack:
+# build the binaries, snapshot the quickstart (URLDNS) corpus with
+# `tabby -save`, boot tabby-server on an ephemeral port, hit every
+# endpoint with curl, and diff the responses against the golden file.
+# Responses are deterministic (frozen stores, workers pinned to 1), so
+# any drift is a real behaviour change.
+#
+#   scripts/serve_smoke.sh            # verify against the golden
+#   scripts/serve_smoke.sh -update    # regenerate the golden
+set -eu
+
+cd "$(dirname "$0")/.."
+tmp=$(mktemp -d)
+server_pid=
+cleanup() {
+    [ -n "$server_pid" ] && kill "$server_pid" 2>/dev/null || true
+    rm -rf "$tmp"
+}
+trap cleanup EXIT INT TERM
+
+go build -o "$tmp/tabby" ./cmd/tabby
+go build -o "$tmp/tabby-server" ./cmd/tabby-server
+
+"$tmp/tabby" -urldns -chains=false -save "$tmp/urldns.tsnap" >/dev/null
+
+"$tmp/tabby-server" -addr 127.0.0.1:0 -workers 1 -snapshot "$tmp/urldns.tsnap" \
+    2>"$tmp/server.log" &
+server_pid=$!
+
+# The server prints its bound address once it accepts connections.
+addr=
+for _ in $(seq 1 100); do
+    addr=$(sed -n 's/^tabby-server listening on \([^ ]*\) .*$/\1/p' "$tmp/server.log")
+    [ -n "$addr" ] && break
+    sleep 0.1
+done
+if [ -z "$addr" ]; then
+    echo "tabby-server did not start:" >&2
+    cat "$tmp/server.log" >&2
+    exit 1
+fi
+
+out="$tmp/responses.txt"
+{
+    echo "== GET /v1/graphs"
+    curl -sS "http://$addr/v1/graphs"
+    echo "== GET /v1/graphs/urldns/stats"
+    curl -sS "http://$addr/v1/graphs/urldns/stats"
+    echo "== POST /v1/query"
+    curl -sS -d '{"graph":"urldns","query":"MATCH (m:Method {IS_SINK: true}) RETURN m.NAME, m.SINK_TYPE LIMIT 5"}' \
+        "http://$addr/v1/query"
+    echo "== POST /v1/chains"
+    curl -sS -d '{"graph":"urldns","workers":1}' "http://$addr/v1/chains"
+    echo "== POST /v1/query (error path)"
+    curl -sS -d '{"graph":"nope","query":"MATCH (m) RETURN m"}' "http://$addr/v1/query"
+} >"$out"
+
+golden=scripts/testdata/serve_smoke.golden
+if [ "${1:-}" = "-update" ]; then
+    cp "$out" "$golden"
+    echo "updated $golden"
+    exit 0
+fi
+diff -u "$golden" "$out"
+echo "serve-smoke OK"
