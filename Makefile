@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet fmt race check bench serve-smoke
+.PHONY: build test vet fmt race check bench bench-path serve-smoke
 
 build:
 	$(GO) build ./...
@@ -27,6 +27,12 @@ check: fmt
 
 bench:
 	$(GO) test -bench=. -benchmem ./...
+
+# bench-path compares the two search engines (compiled index vs generic
+# store) and gates the index engine's steady-state allocation ceiling
+# (TestSteadyStateAllocs fails the build if allocs/op regresses).
+bench-path:
+	$(GO) test ./internal/pathfinder -run TestSteadyStateAllocs -bench 'BenchmarkFind(Indexed|Generic)' -benchmem -v
 
 # serve-smoke runs the persistence + serving stack end to end: snapshot
 # the quickstart corpus, boot tabby-server, curl every endpoint, and

@@ -8,6 +8,8 @@
 //	tabby-bench -table ablation   §III-C design-choice ablations
 //	tabby-bench -table parallel   worker-scaling over the largest Table VIII
 //	                              row (writes BENCH_parallel.json)
+//	tabby-bench -table pathfinder generic-store vs compiled-index search
+//	                              engines (writes BENCH_pathfinder.json)
 //	tabby-bench -table all        everything
 //
 // The Table VIII run defaults to scale 1.0 (the paper's full class and
@@ -22,6 +24,7 @@ import (
 
 	"tabby/internal/bench"
 	"tabby/internal/parallel"
+	"tabby/internal/profiling"
 )
 
 func main() {
@@ -33,22 +36,31 @@ func main() {
 		// Deprecated: the SCC wave scheduler removed the call-depth bound;
 		// the flag is kept so old invocations keep working, with a warning.
 		maxCallDepth = flag.Int("max-call-depth", 0, "deprecated, no effect: the SCC scheduler removed the call-depth bound")
+		cpuprofile   = flag.String("cpuprofile", "", "write a CPU profile of the whole run to this file")
+		memprofile   = flag.String("memprofile", "", "write a heap profile at exit to this file")
 	)
 	flag.Parse()
 	if *maxCallDepth != 0 {
 		fmt.Fprintln(os.Stderr, "tabby-bench: warning: -max-call-depth is deprecated and has no effect (the SCC wave scheduler analyzes callees bottom-up without a depth bound)")
 	}
-	if err := run(*table, *scale, *runs, *workers); err != nil {
+	stopProfiles, err := profiling.Start(*cpuprofile, *memprofile)
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "tabby-bench:", err)
+		os.Exit(1)
+	}
+	runErr := run(*table, *scale, *runs, *workers)
+	stopProfiles() // before any exit: os.Exit skips defers
+	if runErr != nil {
+		fmt.Fprintln(os.Stderr, "tabby-bench:", runErr)
 		os.Exit(1)
 	}
 }
 
 func run(table string, scale float64, runs, workers int) error {
 	switch table {
-	case "8", "9", "10", "11", "rq4", "ablation", "parallel", "all":
+	case "8", "9", "10", "11", "rq4", "ablation", "parallel", "pathfinder", "all":
 	default:
-		return fmt.Errorf("unknown table %q (want 8, 9, 10, 11, rq4, ablation, parallel or all)", table)
+		return fmt.Errorf("unknown table %q (want 8, 9, 10, 11, rq4, ablation, parallel, pathfinder or all)", table)
 	}
 	fmt.Printf("tabby-bench: workers=%d (resolved %d), GOMAXPROCS=%d\n",
 		workers, parallel.Resolve(workers), runtime.GOMAXPROCS(0))
@@ -117,6 +129,23 @@ func run(table string, scale float64, runs, workers int) error {
 			return err
 		}
 		fmt.Println("written to BENCH_parallel.json")
+	}
+	if want("pathfinder") {
+		fmt.Println("=== Path search: generic store vs compiled index ===")
+		r, err := bench.RunPathfinder(runs)
+		if err != nil {
+			return err
+		}
+		fmt.Println(r.Format())
+		f, err := os.Create("BENCH_pathfinder.json")
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := r.WriteJSON(f); err != nil {
+			return err
+		}
+		fmt.Println("written to BENCH_pathfinder.json")
 	}
 	return nil
 }

@@ -40,6 +40,7 @@ import (
 	"tabby/internal/cpg"
 	"tabby/internal/interp"
 	"tabby/internal/javasrc"
+	"tabby/internal/profiling"
 	"tabby/internal/sinks"
 )
 
@@ -60,19 +61,28 @@ func main() {
 		confirm      = flag.Bool("confirm", false, "concretely execute each chain to confirm it fires (§V-C extension)")
 		dot          = flag.String("dot", "", "write a Graphviz DOT rendering of the CPG (filtered to chain classes) to this file")
 		workers      = flag.Int("workers", 0, "worker count for every pipeline stage (0 = GOMAXPROCS, 1 = sequential; output is identical at any setting)")
+		cpuprofile   = flag.String("cpuprofile", "", "write a CPU profile of the whole run to this file")
+		memprofile   = flag.String("memprofile", "", "write a heap profile at exit to this file")
 	)
 	flag.Parse()
 	if *maxCallDepth != 0 {
 		fmt.Fprintln(os.Stderr, "tabby: warning: -max-call-depth is deprecated and has no effect (the SCC wave scheduler analyzes callees bottom-up without a depth bound)")
 	}
-	if err := run(options{
+	stopProfiles, err := profiling.Start(*cpuprofile, *memprofile)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "tabby:", err)
+		os.Exit(1)
+	}
+	runErr := run(options{
 		dir: *dir, component: *component, scene: *scene,
 		urldns: *urldns, list: *list, withRT: *withRT,
 		stats: *stats, chains: *chains, save: *save, maxDepth: *maxDepth,
 		mechanism: *mechanism, confirm: *confirm, dot: *dot,
 		workers: *workers,
-	}); err != nil {
-		fmt.Fprintln(os.Stderr, "tabby:", err)
+	})
+	stopProfiles() // before any exit: os.Exit skips defers
+	if runErr != nil {
+		fmt.Fprintln(os.Stderr, "tabby:", runErr)
 		os.Exit(1)
 	}
 }

@@ -1,0 +1,235 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"runtime"
+	"strings"
+	"time"
+
+	"tabby/internal/core"
+	"tabby/internal/corpus"
+	"tabby/internal/cpg"
+	"tabby/internal/graphdb"
+	"tabby/internal/javasrc"
+	"tabby/internal/pathfinder"
+	"tabby/internal/searchindex"
+)
+
+// PathfinderRow is one (graph, engine) measurement: a sequential
+// (Workers: 1) search timed wall-clock with allocation counts read from
+// runtime.MemStats, so the index engine's zero-allocation claim is a
+// reported number rather than an assertion.
+type PathfinderRow struct {
+	Graph       string `json:"graph"`
+	Impl        string `json:"impl"` // "generic" or "index"
+	Iters       int    `json:"iters"`
+	NsPerOp     int64  `json:"ns_per_op"`
+	AllocsPerOp int64  `json:"allocs_per_op"`
+	BytesPerOp  int64  `json:"bytes_per_op"`
+	Chains      int    `json:"chains"`
+	Expansions  int    `json:"expansions"`
+}
+
+// PathfinderSummary compares the two engines on one graph.
+type PathfinderSummary struct {
+	Graph      string  `json:"graph"`
+	Speedup    float64 `json:"speedup"`     // generic ns / index ns
+	AllocRatio float64 `json:"alloc_ratio"` // generic allocs / index allocs
+}
+
+// PathfinderResult is the search-engine comparison, serialized to
+// BENCH_pathfinder.json by cmd/tabby-bench.
+type PathfinderResult struct {
+	GOMAXPROCS int                 `json:"gomaxprocs"`
+	Rows       []PathfinderRow     `json:"rows"`
+	Summaries  []PathfinderSummary `json:"summaries"`
+}
+
+// pathfinderWorkload is one benchmark graph plus the search options to
+// run over it.
+type pathfinderWorkload struct {
+	name string
+	db   *graphdb.DB
+	opts pathfinder.Options
+}
+
+// RunPathfinder benchmarks the compiled-index engine (pathfinder.Find)
+// against the generic property-store engine (pathfinder.FindGeneric) on
+// two synthetic layered graphs — deep (re-convergent, where dead-state
+// memoization pays) and wide (per-edge machinery, where CSR layout pays)
+// — plus one real Table IX component. runs is the measured iteration
+// count per row (after one warm-up that also compiles the index).
+func RunPathfinder(runs int) (*PathfinderResult, error) {
+	if runs < 1 {
+		runs = 20
+	}
+	workloads := []pathfinderWorkload{
+		{name: "synthetic-deep", db: buildLayeredGraph(11, 2), opts: pathfinder.Options{Workers: 1}},
+		{name: "synthetic-wide", db: buildLayeredGraph(2, 64), opts: pathfinder.Options{Workers: 1}},
+	}
+	comp, err := pathfinderComponent()
+	if err != nil {
+		return nil, err
+	}
+	workloads = append(workloads, *comp)
+
+	res := &PathfinderResult{GOMAXPROCS: runtime.GOMAXPROCS(0)}
+	for _, w := range workloads {
+		searchindex.For(w.db) // compile outside the timed region
+		var sum PathfinderSummary
+		sum.Graph = w.name
+		var generic, index PathfinderRow
+		for _, impl := range []string{"generic", "index"} {
+			run := func() (*pathfinder.Result, error) {
+				if impl == "index" {
+					return pathfinder.Find(w.db, w.opts)
+				}
+				return pathfinder.FindGeneric(w.db, w.opts)
+			}
+			first, err := run() // warm-up, and the row's chain/expansion counts
+			if err != nil {
+				return nil, fmt.Errorf("pathfinder bench %s/%s: %w", w.name, impl, err)
+			}
+			row := PathfinderRow{
+				Graph:      w.name,
+				Impl:       impl,
+				Iters:      runs,
+				Chains:     len(first.Chains),
+				Expansions: first.Expansions,
+			}
+			row.NsPerOp, row.AllocsPerOp, row.BytesPerOp, err = measureSearch(runs, run)
+			if err != nil {
+				return nil, fmt.Errorf("pathfinder bench %s/%s: %w", w.name, impl, err)
+			}
+			if impl == "generic" {
+				generic = row
+			} else {
+				index = row
+			}
+			res.Rows = append(res.Rows, row)
+		}
+		if index.NsPerOp > 0 {
+			sum.Speedup = float64(generic.NsPerOp) / float64(index.NsPerOp)
+		}
+		if index.AllocsPerOp > 0 {
+			sum.AllocRatio = float64(generic.AllocsPerOp) / float64(index.AllocsPerOp)
+		}
+		res.Summaries = append(res.Summaries, sum)
+	}
+	return res, nil
+}
+
+// measureSearch times iters runs and reads the malloc counters around
+// them (after a GC, so the deltas are the runs' own allocations).
+func measureSearch(iters int, run func() (*pathfinder.Result, error)) (nsPerOp, allocsPerOp, bytesPerOp int64, err error) {
+	runtime.GC()
+	var before, after runtime.MemStats
+	runtime.ReadMemStats(&before)
+	start := time.Now()
+	for i := 0; i < iters; i++ {
+		if _, err = run(); err != nil {
+			return 0, 0, 0, err
+		}
+	}
+	elapsed := time.Since(start)
+	runtime.ReadMemStats(&after)
+	n := int64(iters)
+	return elapsed.Nanoseconds() / n,
+		int64(after.Mallocs-before.Mallocs) / n,
+		int64(after.TotalAlloc-before.TotalAlloc) / n,
+		nil
+}
+
+// buildLayeredGraph assembles a frozen layered call graph: one sink (TC
+// [0]) and `layers` layers of `width` methods, each method calling every
+// method in the layer below with a pass-through Polluted_Position. No
+// layer holds a source, so the search explores the full graph and records
+// nothing — a pure traversal workload. Deep-narrow shapes revisit nodes
+// along many distinct paths (memoization territory); shallow-wide shapes
+// stress raw per-edge cost.
+func buildLayeredGraph(layers, width int) *graphdb.DB {
+	db := graphdb.New()
+	sink := db.CreateNode([]string{cpg.LabelMethod}, graphdb.Props{
+		cpg.PropName:             "sink",
+		cpg.PropIsSink:           true,
+		cpg.PropSinkType:         "EXEC",
+		cpg.PropTriggerCondition: []int{0},
+	})
+	prev := []graphdb.ID{sink}
+	for l := 1; l <= layers; l++ {
+		cur := make([]graphdb.ID, width)
+		for k := range cur {
+			cur[k] = db.CreateNode([]string{cpg.LabelMethod}, graphdb.Props{
+				cpg.PropName: fmt.Sprintf("m_%d_%d", l, k),
+			})
+		}
+		for _, caller := range cur {
+			for _, callee := range prev {
+				if _, err := db.CreateRel(cpg.RelCall, caller, callee, graphdb.Props{
+					cpg.PropPollutedPosition: []int{0},
+				}); err != nil {
+					panic(err) // graph is program-constructed; IDs are valid
+				}
+			}
+		}
+		prev = cur
+	}
+	db.Freeze()
+	return db
+}
+
+// pathfinderComponent builds one real Table IX component's CPG as the
+// non-synthetic workload (commons-collections 3.2.1, the classic gadget
+// corpus; the first component if the name ever changes).
+func pathfinderComponent() (*pathfinderWorkload, error) {
+	comps := corpus.Components()
+	comp := comps[0]
+	for _, c := range comps {
+		if c.Name == "commons-collections(3.2.1)" {
+			comp = c
+			break
+		}
+	}
+	archives := append([]javasrc.ArchiveSource{corpus.RT()}, comp.Archives...)
+	prog, err := javasrc.CompileArchivesOpts(archives, javasrc.CompileOptions{Workers: 1})
+	if err != nil {
+		return nil, err
+	}
+	engine := core.New(core.Options{Workers: 1})
+	g, _, err := engine.BuildCPG(prog)
+	if err != nil {
+		return nil, err
+	}
+	return &pathfinderWorkload{
+		name: "component/" + comp.Name,
+		db:   g.DB,
+		opts: pathfinder.Options{Workers: 1},
+	}, nil
+}
+
+// Format renders the engine comparison table.
+func (r *PathfinderResult) Format() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "Path search: generic store vs compiled index (Workers=1, GOMAXPROCS=%d)\n", r.GOMAXPROCS)
+	fmt.Fprintf(&sb, "%-32s %-8s %12s %10s %12s %7s %11s\n",
+		"Graph", "Engine", "ns/op", "allocs/op", "bytes/op", "chains", "expansions")
+	sb.WriteString(strings.Repeat("-", 98) + "\n")
+	for _, row := range r.Rows {
+		fmt.Fprintf(&sb, "%-32s %-8s %12d %10d %12d %7d %11d\n",
+			row.Graph, row.Impl, row.NsPerOp, row.AllocsPerOp, row.BytesPerOp, row.Chains, row.Expansions)
+	}
+	for _, s := range r.Summaries {
+		fmt.Fprintf(&sb, "%-32s index is %.1fx faster, %.0fx fewer allocations\n",
+			s.Graph, s.Speedup, s.AllocRatio)
+	}
+	return sb.String()
+}
+
+// WriteJSON serializes the result (the BENCH_pathfinder.json artifact).
+func (r *PathfinderResult) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}

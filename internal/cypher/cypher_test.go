@@ -260,6 +260,16 @@ func TestCallProcedures(t *testing.T) {
 	if len(res.Rows) != 1 {
 		t.Fatalf("sources rows = %v", res.Rows)
 	}
+	res, err = RunAny(db, `CALL tabby.indexStats()`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 1 || res.Columns[0] != "nodes" {
+		t.Fatalf("indexStats = %v %v", res.Columns, res.Rows)
+	}
+	if nodes, ok := res.Rows[0][0].(int); !ok || nodes != db.Stats().Nodes {
+		t.Errorf("indexStats nodes = %v, want %d", res.Rows[0][0], db.Stats().Nodes)
+	}
 	// Dispatch: plain MATCH still works through RunAny.
 	res, err = RunAny(db, `MATCH (m:Method) RETURN COUNT(*)`)
 	if err != nil || res.Rows[0][0] != 4 {

@@ -7,6 +7,7 @@ import (
 
 	"tabby/internal/graphdb"
 	"tabby/internal/pathfinder"
+	"tabby/internal/searchindex"
 )
 
 // The real tabby-path-finder ships as a Neo4j procedure invoked from
@@ -16,6 +17,7 @@ import (
 //	CALL tabby.findGadgetChains(8)          // custom Evaluator depth
 //	CALL tabby.sinks()                      // list sink method nodes
 //	CALL tabby.sources()                    // list source method nodes
+//	CALL tabby.indexStats()                 // compiled search index layout
 //
 // RunAny dispatches between plain MATCH queries and CALL procedures, so
 // cmd/tabby-query exposes both through one prompt.
@@ -70,6 +72,16 @@ func RunProcedure(db *graphdb.DB, query string) (*Result, error) {
 			name, _ := db.NodeProp(id, "NAME")
 			return []any{name}
 		})
+	case "tabby.indexStats":
+		// Observability for the compiled search index Find traverses:
+		// compiles (and caches) the index if no search has run yet.
+		st := searchindex.For(db).Stats()
+		return &Result{
+			Columns: []string{"nodes", "callEdges", "aliasSlots", "internedArrays", "intPoolLen", "builds"},
+			Rows: [][]any{{
+				st.Nodes, st.CallEdges, st.AliasSlots, st.InternedArrays, st.IntPoolLen, int(searchindex.Builds()),
+			}},
+		}, nil
 	default:
 		return nil, &Error{Msg: fmt.Sprintf("unknown procedure %q", name)}
 	}

@@ -123,6 +123,7 @@ func (b *Batch) Flush() error {
 		}
 	}
 
+	db.version++
 	for _, n := range b.nodes {
 		db.nodes[n.ID] = n
 		for _, l := range n.Labels {

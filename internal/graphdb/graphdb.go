@@ -11,6 +11,8 @@ package graphdb
 import (
 	"fmt"
 	"sort"
+	"strconv"
+	"strings"
 	"sync"
 )
 
@@ -90,6 +92,7 @@ type DB struct {
 	mu      sync.RWMutex
 	frozen  bool
 	nextID  ID
+	version uint64 // bumped by every content mutation; see Version
 	nodes   map[ID]*Node
 	rels    map[ID]*Rel
 	out     map[ID][]ID // node -> outgoing rel IDs
@@ -97,6 +100,13 @@ type DB struct {
 	byLabel map[string][]ID
 	// propIndex[label][property][value-key] -> node IDs
 	propIndex map[string]map[string]map[string][]ID
+
+	// Compiled-view cache (see View). Guarded by viewMu, never by mu, so
+	// a build callback may freely read the store.
+	viewMu      sync.Mutex
+	view        any
+	viewVersion uint64
+	viewValid   bool
 }
 
 // New creates an empty database.
@@ -111,8 +121,42 @@ func New() *DB {
 	}
 }
 
-// valueKey renders a property value into an indexable string key.
-func valueKey(v any) string { return fmt.Sprintf("%T:%v", v, v) }
+// valueKey renders a property value into an indexable string key. The
+// encoding is pinned to what fmt.Sprintf("%T:%v", v, v) produced when the
+// index format was introduced — TestValueKeyMatchesLegacyEncoding holds the
+// two equivalent — but the common cases are type-switched so the hot CPG
+// build path (every indexed node insert and every FindNodes lookup) avoids
+// reflection and interface formatting. The leading type name keeps keys
+// collision-free across types (int 1 vs string "1" vs bool-ish values).
+func valueKey(v any) string {
+	switch t := v.(type) {
+	case bool:
+		if t {
+			return "bool:true"
+		}
+		return "bool:false"
+	case int:
+		return "int:" + strconv.Itoa(t)
+	case string:
+		return "string:" + t
+	case float64:
+		return "float64:" + strconv.FormatFloat(t, 'g', -1, 64)
+	case []int:
+		var sb strings.Builder
+		sb.Grow(8 + 12*len(t))
+		sb.WriteString("[]int:[")
+		for i, n := range t {
+			if i > 0 {
+				sb.WriteByte(' ')
+			}
+			sb.WriteString(strconv.Itoa(n))
+		}
+		sb.WriteByte(']')
+		return sb.String()
+	default:
+		return fmt.Sprintf("%T:%v", v, v)
+	}
+}
 
 // CreateNode adds a node with the given labels and properties and returns
 // its ID.
@@ -120,6 +164,7 @@ func (db *DB) CreateNode(labels []string, props Props) ID {
 	db.mu.Lock()
 	defer db.mu.Unlock()
 	db.mustMutateLocked("CreateNode")
+	db.version++
 	db.nextID++
 	id := db.nextID
 	n := &Node{ID: id, Labels: append([]string(nil), labels...), Props: props.clone()}
@@ -149,6 +194,7 @@ func (db *DB) CreateRel(relType string, start, end ID, props Props) (ID, error) 
 	if _, ok := db.nodes[end]; !ok {
 		return 0, fmt.Errorf("graphdb: create rel %s: unknown end node %d", relType, end)
 	}
+	db.version++
 	db.nextID++
 	id := db.nextID
 	db.rels[id] = &Rel{ID: id, Type: relType, Start: start, End: end, Props: props.clone()}
@@ -212,6 +258,7 @@ func (db *DB) SetNodeProp(id ID, key string, value any) error {
 	if n == nil {
 		return fmt.Errorf("graphdb: set prop on unknown node %d", id)
 	}
+	db.version++
 	old, had := n.Props[key]
 	if n.Props == nil {
 		n.Props = make(Props)
@@ -249,6 +296,7 @@ func (db *DB) CreateIndex(label, prop string) {
 	db.mu.Lock()
 	defer db.mu.Unlock()
 	db.mustMutateLocked("CreateIndex")
+	db.version++
 	byProp, ok := db.propIndex[label]
 	if !ok {
 		byProp = make(map[string]map[string][]ID)

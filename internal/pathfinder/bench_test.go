@@ -1,0 +1,93 @@
+package pathfinder
+
+import (
+	"fmt"
+	"testing"
+
+	"tabby/internal/cpg"
+	"tabby/internal/graphdb"
+	"tabby/internal/searchindex"
+)
+
+// benchGraph builds a frozen layered call graph: one sink (TC [0]) and
+// `layers` layers of `width` methods, each calling every method one layer
+// down with a pass-through Polluted_Position. No sources, so a search
+// explores everything and records nothing — pure traversal work.
+func benchGraph(tb testing.TB, layers, width int) *graphdb.DB {
+	tb.Helper()
+	db := graphdb.New()
+	sink := db.CreateNode([]string{cpg.LabelMethod}, graphdb.Props{
+		cpg.PropName:             "sink",
+		cpg.PropIsSink:           true,
+		cpg.PropSinkType:         "EXEC",
+		cpg.PropTriggerCondition: []int{0},
+	})
+	prev := []graphdb.ID{sink}
+	for l := 1; l <= layers; l++ {
+		cur := make([]graphdb.ID, width)
+		for k := range cur {
+			cur[k] = db.CreateNode([]string{cpg.LabelMethod}, graphdb.Props{
+				cpg.PropName: fmt.Sprintf("m_%d_%d", l, k),
+			})
+		}
+		for _, caller := range cur {
+			for _, callee := range prev {
+				if _, err := db.CreateRel(cpg.RelCall, caller, callee, graphdb.Props{
+					cpg.PropPollutedPosition: []int{0},
+				}); err != nil {
+					tb.Fatal(err)
+				}
+			}
+		}
+		prev = cur
+	}
+	db.Freeze()
+	return db
+}
+
+func benchmarkEngine(b *testing.B, find func(*graphdb.DB, Options) (*Result, error)) {
+	db := benchGraph(b, 8, 3)
+	opts := Options{Workers: 1}
+	searchindex.For(db) // compile outside the timed region
+	if _, err := find(db, opts); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := find(db, opts); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFindIndexed(b *testing.B) { benchmarkEngine(b, Find) }
+
+func BenchmarkFindGeneric(b *testing.B) { benchmarkEngine(b, FindGeneric) }
+
+// TestSteadyStateAllocs gates the tentpole's zero-allocation claim: once
+// the index is compiled, a whole Find over a graph whose search expands
+// thousands of edges must stay under a fixed allocation ceiling — i.e.
+// per-Find setup only (seeds, finder, result), nothing per edge. The
+// generic engine allocates thousands of times per op on the same graph,
+// so any per-expansion allocation sneaking into the indexed DFS trips
+// this immediately.
+func TestSteadyStateAllocs(t *testing.T) {
+	db := benchGraph(t, 8, 3) // 3^8 path explosion, memo-pruned
+	opts := Options{Workers: 1}
+	searchindex.For(db)
+	if _, err := Find(db, opts); err != nil {
+		t.Fatal(err)
+	}
+	res := testing.Benchmark(func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := Find(db, opts); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	const ceiling = 500
+	if allocs := res.AllocsPerOp(); allocs > ceiling {
+		t.Errorf("indexed Find allocates %d objects/op, ceiling %d", allocs, ceiling)
+	}
+}

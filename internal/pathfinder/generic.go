@@ -1,0 +1,166 @@
+package pathfinder
+
+import (
+	"tabby/internal/cpg"
+	"tabby/internal/graphdb"
+	"tabby/internal/parallel"
+)
+
+// This file keeps the original traversal engine — the one that walks the
+// generic property store relationship by relationship — as the executable
+// reference implementation. It pays graphdb's full read costs on every
+// expansion (a lock acquisition and slice allocation in Rels, a deep
+// property-map clone in Rel, repeated any→[]int assertions), which is
+// exactly why Find now runs on the compiled search index instead. It is
+// retained, not deleted, because (a) the equivalence suite pins the
+// indexed engine's chains/order/truncation to it on the full corpus, and
+// (b) the pathfinder benchmark reports both engines side by side, so an
+// index regression is visible as a vanishing speedup rather than a silent
+// slowdown.
+
+// FindGeneric runs the same search as Find directly against the generic
+// property store, without the compiled index or dead-state memoization.
+// Chains, their order, and truncation match Find whenever the visit
+// budget is not exhausted. Prefer Find everywhere except equivalence
+// testing and benchmarking.
+func FindGeneric(db *graphdb.DB, opts Options) (*Result, error) {
+	opts.applyDefaults()
+	seeds, err := collectSeeds(db, opts)
+	if err != nil {
+		return nil, err
+	}
+	budget := &visitBudget{limit: int64(opts.VisitBudget)}
+	outs := parallel.Map(opts.Workers, seeds, func(_ int, s seed) sinkSearch {
+		f := &finder{db: db, opts: opts, budget: budget, seen: make(map[string]bool)}
+		f.dfs([]graphdb.ID{s.sink}, map[graphdb.ID]bool{s.sink: true}, []TC{s.tc}, s.sinkType)
+		return sinkSearch{chains: f.chains, stopped: f.stopped}
+	})
+	return merge(outs, opts, budget), nil
+}
+
+type finder struct {
+	db      *graphdb.DB
+	opts    Options
+	budget  *visitBudget
+	chains  []Chain
+	seen    map[string]bool
+	stopped bool
+}
+
+// isSource is the Evaluator's source test.
+func (f *finder) isSource(node graphdb.ID) bool {
+	if f.opts.SourceFilter != nil {
+		return f.opts.SourceFilter(f.db, node)
+	}
+	v, ok := f.db.NodeProp(node, cpg.PropIsSource)
+	b, _ := v.(bool)
+	return ok && b
+}
+
+// dfs explores backwards from the sink. path[0] is the sink; the last
+// element is the current frontier node. tcs parallels path.
+func (f *finder) dfs(path []graphdb.ID, onPath map[graphdb.ID]bool, tcs []TC, sinkType string) {
+	if f.stopped {
+		return
+	}
+	node := path[len(path)-1]
+	tc := tcs[len(tcs)-1]
+
+	// Evaluator (Algorithm 3): a source node terminates the path as a
+	// gadget chain. Every remaining requirement is satisfiable there: the
+	// receiver is the deserialized (attacker-built) object and the
+	// parameters are framework-supplied deserialization state (the
+	// ObjectInputStream of Fig. 1), all attacker-derived.
+	if len(path) > 1 && f.isSource(node) {
+		f.record(path, tcs, sinkType)
+		return
+	}
+	if len(path) >= f.opts.MaxDepth {
+		return
+	}
+
+	// Expander (Algorithm 2), CALL case: walk to callers of this node.
+	for _, relID := range f.db.Rels(node, graphdb.DirIn, cpg.RelCall) {
+		if f.spendBudget() {
+			return
+		}
+		rel := f.db.Rel(relID)
+		caller := rel.Start
+		if onPath[caller] {
+			continue
+		}
+		ppProp, ok := rel.Props[cpg.PropPollutedPosition]
+		if !ok {
+			continue
+		}
+		pp, ok := ppProp.([]int)
+		if !ok {
+			continue
+		}
+		next, ok := traverse(tc, pp)
+		if !ok {
+			continue // Expander rejected: a required position became ∞
+		}
+		f.step(path, onPath, tcs, caller, next, sinkType)
+	}
+
+	// Expander, ALIAS case: TC passes through unchanged, both directions
+	// (override → declaration and declaration → override).
+	for _, relID := range f.db.Rels(node, graphdb.DirBoth, cpg.RelAlias) {
+		if f.spendBudget() {
+			return
+		}
+		rel := f.db.Rel(relID)
+		other := rel.Other(node)
+		if onPath[other] {
+			continue
+		}
+		f.step(path, onPath, tcs, other, tc, sinkType)
+	}
+}
+
+func (f *finder) step(path []graphdb.ID, onPath map[graphdb.ID]bool, tcs []TC, next graphdb.ID, nextTC TC, sinkType string) {
+	onPath[next] = true
+	f.dfs(append(path, next), onPath, append(tcs, nextTC), sinkType)
+	delete(onPath, next)
+}
+
+// spendBudget draws one expansion from the shared pool; true stops this
+// sink's search (own or any worker's budget exhaustion, or the per-sink
+// MaxChains latch set by record).
+func (f *finder) spendBudget() bool {
+	if f.budget.spend() {
+		f.stopped = true
+	}
+	return f.stopped
+}
+
+// record reverses the sink-rooted path into source-first order and
+// deduplicates.
+func (f *finder) record(path []graphdb.ID, tcs []TC, sinkType string) {
+	n := len(path)
+	chain := Chain{
+		Nodes:    make([]graphdb.ID, n),
+		Names:    make([]string, n),
+		TCs:      make([]TC, n),
+		SinkType: sinkType,
+	}
+	for i := 0; i < n; i++ {
+		chain.Nodes[i] = path[n-1-i]
+		chain.TCs[i] = append(TC(nil), tcs[n-1-i]...)
+		if v, ok := f.db.NodeProp(path[n-1-i], cpg.PropName); ok {
+			if s, ok := v.(string); ok {
+				chain.Names[i] = s
+			}
+		}
+	}
+	key := chain.Key()
+	if f.seen[key] {
+		return
+	}
+	f.seen[key] = true
+	f.chains = append(f.chains, chain)
+	if len(f.chains) >= f.opts.MaxChains {
+		f.stopped = true
+	}
+}

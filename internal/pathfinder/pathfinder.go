@@ -4,6 +4,23 @@
 // ALIAS edges — propagating the Trigger_Condition through each edge's
 // Polluted_Position (Formula 4, Algorithms 2 and 3) until it reaches a
 // deserialization source method.
+//
+// Two traversal engines implement the same search:
+//
+//   - Find runs against the compiled search index (package searchindex):
+//     lock-free CSR adjacency, bitset path membership, reusable stacks,
+//     interned Trigger_Conditions, and (node, TC)-state memoization of
+//     proven-dead subsearches. This is the production path.
+//   - FindGeneric walks the generic property store directly, edge by
+//     edge, exactly as the original implementation did. It is kept as
+//     the executable reference: the equivalence suite pins Find's
+//     chains, order, and truncation to it on the full corpus.
+//
+// Both engines produce identical chains in identical order whenever the
+// visit budget is not exhausted; an exhausted budget stops either engine
+// at a cut-off that depends on how much work reaching it took (the index
+// engine skips memoized-dead subtrees, so it may get further on the same
+// budget), and Truncated reports the cut-off either way.
 package pathfinder
 
 import (
@@ -15,25 +32,42 @@ import (
 	"tabby/internal/cpg"
 	"tabby/internal/graphdb"
 	"tabby/internal/parallel"
+	"tabby/internal/searchindex"
 )
 
 // TC is a Trigger_Condition: the set of call positions (0 = receiver,
 // i = argument i) that must be attacker-controllable.
 type TC []int
 
-// normalize sorts and dedupes the positions.
+// normalize returns the positions sorted and deduped. It never mutates
+// the receiver or its backing array: an already-normal TC is returned
+// as-is, anything else is copied first (TCs routinely alias property
+// slices owned by a shared, possibly frozen store).
 func (tc TC) normalize() TC {
-	if len(tc) == 0 {
+	if len(tc) <= 1 {
 		return tc
 	}
-	sort.Ints(tc)
-	out := tc[:1]
-	for _, v := range tc[1:] {
-		if v != out[len(out)-1] {
-			out = append(out, v)
+	inOrder := true
+	for i := 1; i < len(tc); i++ {
+		if tc[i] <= tc[i-1] {
+			inOrder = false
+			break
 		}
 	}
-	return out
+	if inOrder {
+		return tc
+	}
+	out := make(TC, len(tc))
+	copy(out, tc)
+	sort.Ints(out)
+	w := 1
+	for _, v := range out[1:] {
+		if v != out[w-1] {
+			out[w] = v
+			w++
+		}
+	}
+	return out[:w]
 }
 
 // receiverOnly reports whether every requirement sits on position 0 — the
@@ -149,22 +183,7 @@ const (
 	defaultVisitBudget = 2_000_000
 )
 
-// Result is the outcome of a Find run.
-type Result struct {
-	Chains []Chain
-	// Truncated is true when a cap (MaxChains/VisitBudget) stopped the
-	// search early.
-	Truncated bool
-	// Expansions counts edge traversals performed.
-	Expansions int
-}
-
-// Find runs the gadget-chain search over a built CPG database. Each sink
-// seed is searched independently (concurrently when Options.Workers
-// allows) against a shared visit budget; per-sink results are merged in
-// sink order, deduplicated, and truncated at MaxChains, so the output is
-// canonical regardless of completion order.
-func Find(db *graphdb.DB, opts Options) (*Result, error) {
+func (opts *Options) applyDefaults() {
 	if opts.MaxDepth <= 0 {
 		opts.MaxDepth = defaultMaxDepth
 	}
@@ -174,17 +193,34 @@ func Find(db *graphdb.DB, opts Options) (*Result, error) {
 	if opts.VisitBudget <= 0 {
 		opts.VisitBudget = defaultVisitBudget
 	}
+}
+
+// Result is the outcome of a Find run.
+type Result struct {
+	Chains []Chain
+	// Truncated is true when a cap (MaxChains/VisitBudget) stopped the
+	// search early.
+	Truncated bool
+	// Expansions counts edge traversals performed. The indexed engine
+	// skips subsearches it has proven dead, so this is typically lower
+	// than FindGeneric's count for the same graph.
+	Expansions int
+}
+
+// seed is one validated sink to search from.
+type seed struct {
+	sink     graphdb.ID
+	tc       TC
+	sinkType string
+}
+
+// collectSeeds resolves and validates every sink seed up front so a bad
+// sink is reported deterministically (first in sink order) before any
+// worker starts.
+func collectSeeds(db *graphdb.DB, opts Options) ([]seed, error) {
 	sinks := opts.SinkNodes
 	if sinks == nil {
 		sinks = db.FindNodes(cpg.LabelMethod, cpg.PropIsSink, true)
-	}
-
-	// Validate every seed up front so a bad sink is reported
-	// deterministically (first in sink order) before any worker starts.
-	type seed struct {
-		sink     graphdb.ID
-		tc       TC
-		sinkType string
 	}
 	seeds := make([]seed, len(sinks))
 	for i, sink := range sinks {
@@ -209,18 +245,21 @@ func Find(db *graphdb.DB, opts Options) (*Result, error) {
 		st, _ := sinkType.(string)
 		seeds[i] = seed{sink: sink, tc: tc, sinkType: st}
 	}
+	return seeds, nil
+}
 
-	budget := &visitBudget{limit: int64(opts.VisitBudget)}
-	finders := parallel.Map(opts.Workers, seeds, func(_ int, s seed) *finder {
-		f := &finder{db: db, opts: opts, budget: budget, seen: make(map[string]bool)}
-		f.dfs([]graphdb.ID{s.sink}, map[graphdb.ID]bool{s.sink: true}, []TC{s.tc}, s.sinkType)
-		return f
-	})
+// sinkSearch is what one per-seed finder hands to the canonical merge.
+type sinkSearch struct {
+	chains  []Chain
+	stopped bool
+}
 
-	// Canonical merge: sink order, then per-sink discovery order.
+// merge combines per-sink results canonically: sink order, then per-sink
+// discovery order, deduplicated, truncated at MaxChains.
+func merge(outs []sinkSearch, opts Options, budget *visitBudget) *Result {
 	res := &Result{Expansions: int(budget.used.Load())}
 	seen := make(map[string]bool)
-	for _, f := range finders {
+	for _, f := range outs {
 		for _, chain := range f.chains {
 			if seen[chain.Key()] {
 				continue
@@ -239,7 +278,29 @@ func Find(db *graphdb.DB, opts Options) (*Result, error) {
 	if budget.blown.Load() {
 		res.Truncated = true
 	}
-	return res, nil
+	return res
+}
+
+// Find runs the gadget-chain search over a built CPG database, traversing
+// the compiled search index (built lazily and cached on the store; see
+// searchindex.For). Each sink seed is searched independently
+// (concurrently when Options.Workers allows) against a shared visit
+// budget; per-sink results are merged in sink order, deduplicated, and
+// truncated at MaxChains, so the output is canonical regardless of
+// completion order.
+func Find(db *graphdb.DB, opts Options) (*Result, error) {
+	opts.applyDefaults()
+	seeds, err := collectSeeds(db, opts)
+	if err != nil {
+		return nil, err
+	}
+	ix := searchindex.For(db)
+	budget := &visitBudget{limit: int64(opts.VisitBudget)}
+	outs := parallel.Map(opts.Workers, seeds, func(_ int, s seed) sinkSearch {
+		f := newIndexedFinder(ix, db, opts, budget)
+		return f.search(s)
+	})
+	return merge(outs, opts, budget), nil
 }
 
 // visitBudget is the shared expansion counter: every worker draws from
@@ -258,131 +319,4 @@ func (b *visitBudget) spend() bool {
 		return true
 	}
 	return b.blown.Load()
-}
-
-type finder struct {
-	db      *graphdb.DB
-	opts    Options
-	budget  *visitBudget
-	chains  []Chain
-	seen    map[string]bool
-	stopped bool
-}
-
-// isSource is the Evaluator's source test.
-func (f *finder) isSource(node graphdb.ID) bool {
-	if f.opts.SourceFilter != nil {
-		return f.opts.SourceFilter(f.db, node)
-	}
-	v, ok := f.db.NodeProp(node, cpg.PropIsSource)
-	b, _ := v.(bool)
-	return ok && b
-}
-
-// dfs explores backwards from the sink. path[0] is the sink; the last
-// element is the current frontier node. tcs parallels path.
-func (f *finder) dfs(path []graphdb.ID, onPath map[graphdb.ID]bool, tcs []TC, sinkType string) {
-	if f.stopped {
-		return
-	}
-	node := path[len(path)-1]
-	tc := tcs[len(tcs)-1]
-
-	// Evaluator (Algorithm 3): a source node terminates the path as a
-	// gadget chain. Every remaining requirement is satisfiable there: the
-	// receiver is the deserialized (attacker-built) object and the
-	// parameters are framework-supplied deserialization state (the
-	// ObjectInputStream of Fig. 1), all attacker-derived.
-	if len(path) > 1 && f.isSource(node) {
-		f.record(path, tcs, sinkType)
-		return
-	}
-	if len(path) >= f.opts.MaxDepth {
-		return
-	}
-
-	// Expander (Algorithm 2), CALL case: walk to callers of this node.
-	for _, relID := range f.db.Rels(node, graphdb.DirIn, cpg.RelCall) {
-		if f.spendBudget() {
-			return
-		}
-		rel := f.db.Rel(relID)
-		caller := rel.Start
-		if onPath[caller] {
-			continue
-		}
-		ppProp, ok := rel.Props[cpg.PropPollutedPosition]
-		if !ok {
-			continue
-		}
-		pp, ok := ppProp.([]int)
-		if !ok {
-			continue
-		}
-		next, ok := traverse(tc, pp)
-		if !ok {
-			continue // Expander rejected: a required position became ∞
-		}
-		f.step(path, onPath, tcs, caller, next, sinkType)
-	}
-
-	// Expander, ALIAS case: TC passes through unchanged, both directions
-	// (override → declaration and declaration → override).
-	for _, relID := range f.db.Rels(node, graphdb.DirBoth, cpg.RelAlias) {
-		if f.spendBudget() {
-			return
-		}
-		rel := f.db.Rel(relID)
-		other := rel.Other(node)
-		if onPath[other] {
-			continue
-		}
-		f.step(path, onPath, tcs, other, tc, sinkType)
-	}
-}
-
-func (f *finder) step(path []graphdb.ID, onPath map[graphdb.ID]bool, tcs []TC, next graphdb.ID, nextTC TC, sinkType string) {
-	onPath[next] = true
-	f.dfs(append(path, next), onPath, append(tcs, nextTC), sinkType)
-	delete(onPath, next)
-}
-
-// spendBudget draws one expansion from the shared pool; true stops this
-// sink's search (own or any worker's budget exhaustion, or the per-sink
-// MaxChains latch set by record).
-func (f *finder) spendBudget() bool {
-	if f.budget.spend() {
-		f.stopped = true
-	}
-	return f.stopped
-}
-
-// record reverses the sink-rooted path into source-first order and
-// deduplicates.
-func (f *finder) record(path []graphdb.ID, tcs []TC, sinkType string) {
-	n := len(path)
-	chain := Chain{
-		Nodes:    make([]graphdb.ID, n),
-		Names:    make([]string, n),
-		TCs:      make([]TC, n),
-		SinkType: sinkType,
-	}
-	for i := 0; i < n; i++ {
-		chain.Nodes[i] = path[n-1-i]
-		chain.TCs[i] = append(TC(nil), tcs[n-1-i]...)
-		if v, ok := f.db.NodeProp(path[n-1-i], cpg.PropName); ok {
-			if s, ok := v.(string); ok {
-				chain.Names[i] = s
-			}
-		}
-	}
-	key := chain.Key()
-	if f.seen[key] {
-		return
-	}
-	f.seen[key] = true
-	f.chains = append(f.chains, chain)
-	if len(f.chains) >= f.opts.MaxChains {
-		f.stopped = true
-	}
 }

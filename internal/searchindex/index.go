@@ -1,0 +1,358 @@
+// Package searchindex compiles a built code property graph into flat,
+// cache-friendly arrays purpose-built for the path finder's backwards
+// traversal (paper §III-D). The generic property store (package graphdb)
+// optimizes for construction and ad-hoc queries: every relationship read
+// deep-clones a property map, every neighbourhood expansion takes a read
+// lock and allocates a slice, and every Polluted_Position access repeats
+// an any→[]int assertion. None of that is needed once the graph is
+// frozen — the traversal's working set is three columns and two adjacency
+// lists — so this package renumbers the nodes densely (store ID → int32),
+// lays the incoming-CALL and bidirectional-ALIAS adjacency out in CSR
+// form, interns every Polluted_Position and Trigger_Condition array once
+// into one shared flat int buffer, and exposes IS_SOURCE/IS_SINK as
+// bitsets with NAME/SINK_TYPE as parallel string columns. The result is a
+// read-only artifact the search walks lock-free and allocation-free.
+//
+// Compilation is one-shot and cached on the store itself (For): the
+// engine warms it right after CPG construction, loaded snapshots compile
+// it on first search, and the snapshot server reuses it across requests.
+// The cache invalidates automatically through graphdb's mutation version,
+// so indexes never serve stale topology.
+package searchindex
+
+import (
+	"encoding/binary"
+	"sync/atomic"
+
+	"tabby/internal/cpg"
+	"tabby/internal/graphdb"
+)
+
+// builds counts index compilations process-wide; tests assert cache
+// reuse through it, and the Cypher-lite tabby.indexStats() procedure
+// reports it.
+var builds atomic.Int64
+
+// Builds returns how many indexes this process has compiled.
+func Builds() int64 { return builds.Load() }
+
+// Index is the compiled search view of one graph. All slices are
+// immutable after Compile; the zero node index is valid (indexes are
+// dense, 0..NumNodes-1, in ascending store-ID order).
+type Index struct {
+	db      *graphdb.DB
+	version uint64
+
+	ids   []graphdb.ID // node index -> store ID (ascending)
+	idxOf []int32      // store ID -> node index; -1 for rel IDs / unknown
+
+	names     []string // NAME column ("" when absent)
+	sinkTypes []string // SINK_TYPE column ("" when absent)
+	isSource  []uint64 // IS_SOURCE bitset
+	isSink    []uint64 // IS_SINK bitset
+	tcOf      []int32  // normalized TRIGGER_CONDITION pool ref; -1 when absent
+
+	// Incoming CALL edges in CSR form: for node v, edges
+	// callStart[v]..callStart[v+1] hold the caller node index and the
+	// edge's POLLUTED_POSITION pool ref (-1 when the edge carries none),
+	// in the store's adjacency order — the exact order the generic
+	// traversal expands them.
+	callStart []int32
+	callFrom  []int32
+	callPP    []int32
+
+	// Bidirectional ALIAS edges in CSR form: for node v, the alias
+	// neighbour of each attached ALIAS relationship, outgoing edges first
+	// then incoming — the order DB.Rels(v, DirBoth, ALIAS) produces.
+	aliasStart []int32
+	aliasTo    []int32
+
+	pool IntPool // interned PP and TC arrays, one shared flat buffer
+}
+
+// Compile builds the index for db in one pass under the store's read
+// lock. Prefer For, which caches the result on the store.
+func Compile(db *graphdb.DB) *Index {
+	ix := &Index{db: db}
+	db.ReadRaw(func(v graphdb.RawView) { ix.build(v) })
+	builds.Add(1)
+	return ix
+}
+
+// For returns the compiled index for db, building it on first use and
+// reusing the cached copy until the store mutates (graphdb.DB.View).
+func For(db *graphdb.DB) *Index {
+	return db.View(func() any { return Compile(db) }).(*Index)
+}
+
+func (ix *Index) build(v graphdb.RawView) {
+	ix.version = v.Version()
+	ix.ids = v.NodeIDs()
+	n := len(ix.ids)
+
+	ix.idxOf = make([]int32, v.MaxID()+1)
+	for i := range ix.idxOf {
+		ix.idxOf[i] = -1
+	}
+	for i, id := range ix.ids {
+		ix.idxOf[id] = int32(i)
+	}
+
+	ix.names = make([]string, n)
+	ix.sinkTypes = make([]string, n)
+	ix.isSource = make([]uint64, (n+63)/64)
+	ix.isSink = make([]uint64, (n+63)/64)
+	ix.tcOf = make([]int32, n)
+
+	var scratch []int32
+	for i, id := range ix.ids {
+		nd := v.Node(id)
+		if s, ok := nd.Props[cpg.PropName].(string); ok {
+			ix.names[i] = s
+		}
+		if s, ok := nd.Props[cpg.PropSinkType].(string); ok {
+			ix.sinkTypes[i] = s
+		}
+		if b, ok := nd.Props[cpg.PropIsSource].(bool); ok && b {
+			ix.isSource[i>>6] |= 1 << (uint(i) & 63)
+		}
+		if b, ok := nd.Props[cpg.PropIsSink].(bool); ok && b {
+			ix.isSink[i>>6] |= 1 << (uint(i) & 63)
+		}
+		ix.tcOf[i] = -1
+		if tc, ok := nd.Props[cpg.PropTriggerCondition].([]int); ok {
+			scratch = appendNormalized(scratch[:0], tc)
+			ix.tcOf[i] = ix.pool.Intern(scratch)
+		}
+	}
+
+	// Pass 1: exact CSR sizes (append-free fill keeps the arrays dense).
+	ix.callStart = make([]int32, n+1)
+	ix.aliasStart = make([]int32, n+1)
+	for i, id := range ix.ids {
+		for _, rid := range v.RelIDs(id, graphdb.DirIn) {
+			switch v.Rel(rid).Type {
+			case cpg.RelCall:
+				ix.callStart[i+1]++
+			case cpg.RelAlias:
+				ix.aliasStart[i+1]++
+			}
+		}
+		for _, rid := range v.RelIDs(id, graphdb.DirOut) {
+			if v.Rel(rid).Type == cpg.RelAlias {
+				ix.aliasStart[i+1]++
+			}
+		}
+	}
+	for i := 0; i < n; i++ {
+		ix.callStart[i+1] += ix.callStart[i]
+		ix.aliasStart[i+1] += ix.aliasStart[i]
+	}
+	ix.callFrom = make([]int32, ix.callStart[n])
+	ix.callPP = make([]int32, ix.callStart[n])
+	ix.aliasTo = make([]int32, ix.aliasStart[n])
+
+	// Pass 2: fill, preserving the generic traversal's expansion order —
+	// incoming CALL rels in adjacency order; ALIAS rels outgoing first
+	// then incoming (DirBoth order), with the neighbour resolved exactly
+	// as Rel.Other does (self-loops map to the node itself).
+	for i, id := range ix.ids {
+		c := ix.callStart[i]
+		a := ix.aliasStart[i]
+		for _, rid := range v.RelIDs(id, graphdb.DirOut) {
+			r := v.Rel(rid)
+			if r.Type == cpg.RelAlias {
+				ix.aliasTo[a] = ix.idxOf[r.End]
+				a++
+			}
+		}
+		for _, rid := range v.RelIDs(id, graphdb.DirIn) {
+			r := v.Rel(rid)
+			switch r.Type {
+			case cpg.RelCall:
+				ix.callFrom[c] = ix.idxOf[r.Start]
+				ppRef := int32(-1)
+				if pp, ok := r.Props[cpg.PropPollutedPosition].([]int); ok {
+					scratch = appendInt32(scratch[:0], pp)
+					ppRef = ix.pool.Intern(scratch)
+				}
+				ix.callPP[c] = ppRef
+				c++
+			case cpg.RelAlias:
+				other := r.Start
+				if other == id { // self-loop: Other() yields the node itself
+					other = r.End
+				}
+				ix.aliasTo[a] = ix.idxOf[other]
+				a++
+			}
+		}
+	}
+}
+
+// DB returns the store the index was compiled from (the SourceFilter
+// callback contract passes it through).
+func (ix *Index) DB() *graphdb.DB { return ix.db }
+
+// Version returns the store version the index was compiled at.
+func (ix *Index) Version() uint64 { return ix.version }
+
+// NumNodes returns the node count (valid node indexes are 0..NumNodes-1).
+func (ix *Index) NumNodes() int { return len(ix.ids) }
+
+// IDOf maps a node index back to its store ID.
+func (ix *Index) IDOf(v int32) graphdb.ID { return ix.ids[v] }
+
+// IdxOf maps a store ID to its node index (-1 when the ID is not a node).
+func (ix *Index) IdxOf(id graphdb.ID) int32 {
+	if id < 0 || int64(id) >= int64(len(ix.idxOf)) {
+		return -1
+	}
+	return ix.idxOf[id]
+}
+
+// Name returns the node's NAME column ("" when the property is absent).
+func (ix *Index) Name(v int32) string { return ix.names[v] }
+
+// SinkType returns the node's SINK_TYPE column ("" when absent).
+func (ix *Index) SinkType(v int32) string { return ix.sinkTypes[v] }
+
+// IsSource reports the node's IS_SOURCE bit.
+func (ix *Index) IsSource(v int32) bool {
+	return ix.isSource[v>>6]&(1<<(uint(v)&63)) != 0
+}
+
+// IsSink reports the node's IS_SINK bit.
+func (ix *Index) IsSink(v int32) bool {
+	return ix.isSink[v>>6]&(1<<(uint(v)&63)) != 0
+}
+
+// TCRef returns the pool ref of the node's normalized TRIGGER_CONDITION,
+// or -1 when the node carries none.
+func (ix *Index) TCRef(v int32) int32 { return ix.tcOf[v] }
+
+// CallRange brackets node v's incoming CALL edges: iterate e from lo to
+// hi (exclusive) and read each with CallEdge.
+func (ix *Index) CallRange(v int32) (lo, hi int32) {
+	return ix.callStart[v], ix.callStart[v+1]
+}
+
+// CallEdge returns edge e's caller node index and the pool ref of its
+// POLLUTED_POSITION array (-1 when the edge carries none).
+func (ix *Index) CallEdge(e int32) (caller, ppRef int32) {
+	return ix.callFrom[e], ix.callPP[e]
+}
+
+// AliasRange brackets node v's ALIAS neighbours (both directions).
+func (ix *Index) AliasRange(v int32) (lo, hi int32) {
+	return ix.aliasStart[v], ix.aliasStart[v+1]
+}
+
+// AliasTarget returns ALIAS slot e's neighbour node index.
+func (ix *Index) AliasTarget(e int32) int32 { return ix.aliasTo[e] }
+
+// Ints resolves a pool ref into its interned int array (aliased: callers
+// must not mutate it).
+func (ix *Index) Ints(ref int32) []int32 { return ix.pool.Get(ref) }
+
+// Stats summarizes the compiled layout (reported by the Cypher-lite
+// tabby.indexStats() procedure and used in tests).
+type Stats struct {
+	Nodes          int
+	CallEdges      int
+	AliasSlots     int // each ALIAS rel occupies one slot at each endpoint
+	InternedArrays int // distinct PP/TC arrays in the shared pool
+	IntPoolLen     int // total ints in the shared flat buffer
+	Version        uint64
+}
+
+// Stats returns the layout summary.
+func (ix *Index) Stats() Stats {
+	return Stats{
+		Nodes:          len(ix.ids),
+		CallEdges:      len(ix.callFrom),
+		AliasSlots:     len(ix.aliasTo),
+		InternedArrays: ix.pool.Count(),
+		IntPoolLen:     len(ix.pool.buf),
+		Version:        ix.version,
+	}
+}
+
+// IntPool interns small int arrays (Polluted_Position decodings,
+// Trigger_Conditions) into one shared flat buffer: each distinct array is
+// stored once and addressed by a dense ref. Interning the candidate in a
+// reusable scratch slice makes the lookup allocation-free on hits (the
+// map probe with string(keyBuf) does not escape), so the path finder can
+// intern every derived TC on the hot path.
+type IntPool struct {
+	off    []int32
+	length []int32
+	buf    []int32
+	lookup map[string]int32
+	keyBuf []byte
+}
+
+// Intern returns the ref of vals, adding it to the pool when new. The
+// input is copied; callers may reuse it.
+func (p *IntPool) Intern(vals []int32) int32 {
+	p.keyBuf = p.keyBuf[:0]
+	for _, v := range vals {
+		p.keyBuf = binary.LittleEndian.AppendUint32(p.keyBuf, uint32(v))
+	}
+	if ref, ok := p.lookup[string(p.keyBuf)]; ok {
+		return ref
+	}
+	ref := int32(len(p.off))
+	p.off = append(p.off, int32(len(p.buf)))
+	p.length = append(p.length, int32(len(vals)))
+	p.buf = append(p.buf, vals...)
+	if p.lookup == nil {
+		p.lookup = make(map[string]int32)
+	}
+	p.lookup[string(p.keyBuf)] = ref
+	return ref
+}
+
+// Get resolves a ref into its interned array (aliased, do not mutate).
+func (p *IntPool) Get(ref int32) []int32 {
+	o := p.off[ref]
+	return p.buf[o : o+p.length[ref] : o+p.length[ref]]
+}
+
+// Count returns how many distinct arrays the pool holds.
+func (p *IntPool) Count() int { return len(p.off) }
+
+// appendInt32 appends vals to dst converted to int32.
+func appendInt32(dst []int32, vals []int) []int32 {
+	for _, v := range vals {
+		dst = append(dst, int32(v))
+	}
+	return dst
+}
+
+// appendNormalized appends vals to dst sorted ascending with duplicates
+// dropped (the Trigger_Condition normal form). Inputs are tiny (call
+// positions), so insertion into the sorted prefix beats a sort call.
+func appendNormalized(dst []int32, vals []int) []int32 {
+	base := len(dst)
+	for _, v := range vals {
+		dst = insertSortedUnique(dst, base, int32(v))
+	}
+	return dst
+}
+
+// insertSortedUnique inserts v into the ascending run dst[base:],
+// dropping duplicates.
+func insertSortedUnique(dst []int32, base int, v int32) []int32 {
+	i := len(dst)
+	for i > base && dst[i-1] > v {
+		i--
+	}
+	if i > base && dst[i-1] == v {
+		return dst
+	}
+	dst = append(dst, 0)
+	copy(dst[i+1:], dst[i:])
+	dst[i] = v
+	return dst
+}

@@ -14,6 +14,7 @@ import (
 	"tabby/internal/core"
 	"tabby/internal/corpus"
 	"tabby/internal/javasrc"
+	"tabby/internal/searchindex"
 	"tabby/internal/store"
 )
 
@@ -321,6 +322,36 @@ func TestConcurrentRequestsAreIdentical(t *testing.T) {
 	close(errs)
 	for err := range errs {
 		t.Error(err)
+	}
+}
+
+// TestChainsReusesCompiledIndex pins the index-caching contract the
+// server relies on: the first /v1/chains request may compile the search
+// index for the (frozen) snapshot store, and every later request must
+// reuse that exact compiled artifact — no rebuild, same pointer.
+func TestChainsReusesCompiledIndex(t *testing.T) {
+	s, ts := newTestServer(t)
+
+	req := map[string]any{"graph": "rt"}
+	if code, body := postJSON(t, ts.URL+"/v1/chains", req); code != http.StatusOK {
+		t.Fatalf("first chains = %d: %s", code, body)
+	}
+
+	snap, ok := s.Registry().Get("rt")
+	if !ok {
+		t.Fatal("rt snapshot missing from registry")
+	}
+	ix := searchindex.For(snap.DB) // cached by the first request
+	builds := searchindex.Builds()
+
+	if code, body := postJSON(t, ts.URL+"/v1/chains", req); code != http.StatusOK {
+		t.Fatalf("second chains = %d: %s", code, body)
+	}
+	if got := searchindex.Builds(); got != builds {
+		t.Errorf("second request recompiled the index (%d builds, was %d)", got, builds)
+	}
+	if searchindex.For(snap.DB) != ix {
+		t.Error("second request replaced the cached index")
 	}
 }
 
