@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet fmt race check bench bench-path serve-smoke
+.PHONY: build test vet fmt race check bench bench-path bench-incr serve-smoke
 
 build:
 	$(GO) build ./...
@@ -33,6 +33,12 @@ bench:
 # (TestSteadyStateAllocs fails the build if allocs/op regresses).
 bench-path:
 	$(GO) test ./internal/pathfinder -run TestSteadyStateAllocs -bench 'BenchmarkFind(Indexed|Generic)' -benchmem -v
+
+# bench-incr gates the incremental-analysis speedups at GOMAXPROCS=1:
+# a warm rerun must beat a cold run by >= 3x and a one-class-changed
+# rerun by >= 2x, with output identical to the cacheless pipeline.
+bench-incr:
+	GOMAXPROCS=1 TABBY_BENCH_GATE=1 $(GO) test ./internal/bench -run TestIncrementalGate -count=1 -v
 
 # serve-smoke runs the persistence + serving stack end to end: snapshot
 # the quickstart corpus, boot tabby-server, curl every endpoint, and

@@ -10,6 +10,9 @@
 //	                              row (writes BENCH_parallel.json)
 //	tabby-bench -table pathfinder generic-store vs compiled-index search
 //	                              engines (writes BENCH_pathfinder.json)
+//	tabby-bench -table incremental cold vs warm vs one-class-changed
+//	                              cache scenarios over the Spring scene
+//	                              (writes BENCH_incremental.json)
 //	tabby-bench -table all        everything
 //
 // The Table VIII run defaults to scale 1.0 (the paper's full class and
@@ -23,6 +26,7 @@ import (
 	"runtime"
 
 	"tabby/internal/bench"
+	"tabby/internal/cliutil"
 	"tabby/internal/parallel"
 	"tabby/internal/profiling"
 )
@@ -40,9 +44,7 @@ func main() {
 		memprofile   = flag.String("memprofile", "", "write a heap profile at exit to this file")
 	)
 	flag.Parse()
-	if *maxCallDepth != 0 {
-		fmt.Fprintln(os.Stderr, "tabby-bench: warning: -max-call-depth is deprecated and has no effect (the SCC wave scheduler analyzes callees bottom-up without a depth bound)")
-	}
+	cliutil.WarnMaxCallDepth(os.Stderr, "tabby-bench", *maxCallDepth)
 	stopProfiles, err := profiling.Start(*cpuprofile, *memprofile)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "tabby-bench:", err)
@@ -58,9 +60,9 @@ func main() {
 
 func run(table string, scale float64, runs, workers int) error {
 	switch table {
-	case "8", "9", "10", "11", "rq4", "ablation", "parallel", "pathfinder", "all":
+	case "8", "9", "10", "11", "rq4", "ablation", "parallel", "pathfinder", "incremental", "all":
 	default:
-		return fmt.Errorf("unknown table %q (want 8, 9, 10, 11, rq4, ablation, parallel, pathfinder or all)", table)
+		return fmt.Errorf("unknown table %q (want 8, 9, 10, 11, rq4, ablation, parallel, pathfinder, incremental or all)", table)
 	}
 	fmt.Printf("tabby-bench: workers=%d (resolved %d), GOMAXPROCS=%d\n",
 		workers, parallel.Resolve(workers), runtime.GOMAXPROCS(0))
@@ -129,6 +131,23 @@ func run(table string, scale float64, runs, workers int) error {
 			return err
 		}
 		fmt.Println("written to BENCH_parallel.json")
+	}
+	if want("incremental") {
+		fmt.Println("=== Incremental analysis: cold vs warm vs one-class-changed ===")
+		r, err := bench.RunIncremental(runs)
+		if err != nil {
+			return err
+		}
+		fmt.Println(r.Format())
+		f, err := os.Create("BENCH_incremental.json")
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := r.WriteJSON(f); err != nil {
+			return err
+		}
+		fmt.Println("written to BENCH_incremental.json")
 	}
 	if want("pathfinder") {
 		fmt.Println("=== Path search: generic store vs compiled index ===")

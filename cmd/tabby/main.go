@@ -18,6 +18,9 @@
 //	-chains         print discovered gadget chains (default true)
 //	-save FILE      persist a snapshot (graph + registry state + metadata)
 //	                for later tabby-query/tabby-server sessions
+//	-cache-dir DIR  keep a persistent method-summary cache in DIR; reruns
+//	                over mostly-unchanged sources reanalyze only the
+//	                methods whose dependency cone actually changed
 //	-max-depth N    Evaluator depth bound (default 12)
 //	-confirm        concretely execute each chain (payload construction +
 //	                jimple interpretation — the paper's §V-C future work)
@@ -28,6 +31,7 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -35,6 +39,7 @@ import (
 	"sort"
 	"strings"
 
+	"tabby/internal/cliutil"
 	"tabby/internal/core"
 	"tabby/internal/corpus"
 	"tabby/internal/cpg"
@@ -42,6 +47,8 @@ import (
 	"tabby/internal/javasrc"
 	"tabby/internal/profiling"
 	"tabby/internal/sinks"
+	"tabby/internal/store"
+	"tabby/internal/taint"
 )
 
 func main() {
@@ -55,6 +62,7 @@ func main() {
 		stats        = flag.Bool("stats", false, "print CPG statistics")
 		chains       = flag.Bool("chains", true, "print discovered gadget chains")
 		save         = flag.String("save", "", "persist a snapshot of the built graph to this file")
+		cacheDir     = flag.String("cache-dir", "", "directory for the persistent method-summary cache; reruns reuse summaries whose dependency cone is unchanged")
 		maxDepth     = flag.Int("max-depth", 0, "maximum chain length (0 = default 12)")
 		maxCallDepth = flag.Int("max-call-depth", 0, "deprecated, no effect: the SCC scheduler removed the call-depth bound")
 		mechanism    = flag.String("mechanism", "native", "deserialization mechanism: native or xstream")
@@ -65,9 +73,7 @@ func main() {
 		memprofile   = flag.String("memprofile", "", "write a heap profile at exit to this file")
 	)
 	flag.Parse()
-	if *maxCallDepth != 0 {
-		fmt.Fprintln(os.Stderr, "tabby: warning: -max-call-depth is deprecated and has no effect (the SCC wave scheduler analyzes callees bottom-up without a depth bound)")
-	}
+	cliutil.WarnMaxCallDepth(os.Stderr, "tabby", *maxCallDepth)
 	stopProfiles, err := profiling.Start(*cpuprofile, *memprofile)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "tabby:", err)
@@ -78,7 +84,7 @@ func main() {
 		urldns: *urldns, list: *list, withRT: *withRT,
 		stats: *stats, chains: *chains, save: *save, maxDepth: *maxDepth,
 		mechanism: *mechanism, confirm: *confirm, dot: *dot,
-		workers: *workers,
+		workers: *workers, cacheDir: *cacheDir,
 	})
 	stopProfiles() // before any exit: os.Exit skips defers
 	if runErr != nil {
@@ -97,6 +103,7 @@ type options struct {
 	confirm               bool
 	dot                   string
 	workers               int
+	cacheDir              string
 }
 
 func run(o options) error {
@@ -121,9 +128,34 @@ func run(o options) error {
 		return fmt.Errorf("unknown mechanism %q (want native or xstream)", o.mechanism)
 	}
 	engine := core.New(core.Options{MaxDepth: o.maxDepth, Sources: sources, Workers: o.workers})
-	rep, err := engine.AnalyzeSources(archives)
-	if err != nil {
-		return err
+	var rep *core.Report
+	var cache *core.AnalysisCache
+	if o.cacheDir != "" {
+		var warmed string
+		cache, warmed, err = loadCache(o.cacheDir)
+		if err != nil {
+			return err
+		}
+		rep, err = engine.AnalyzeIncremental(cache, archives)
+		if err != nil {
+			return err
+		}
+		if err := saveCache(o.cacheDir, cache); err != nil {
+			return err
+		}
+		if cs := rep.Timings.Cache; cs != nil {
+			fmt.Printf("cache: %s; files parse=%d/%d body=%d/%d; taint components reused=%d/%d; graph %s\n",
+				warmed,
+				cs.Compile.ParseHits, cs.Compile.Files,
+				cs.Compile.BodyHits, cs.Compile.Files,
+				cs.Taint.ComponentHits, cs.Taint.Components,
+				cs.GraphReuse)
+		}
+	} else {
+		rep, err = engine.AnalyzeSources(archives)
+		if err != nil {
+			return err
+		}
 	}
 	fmt.Printf("extracted %d archives in %s; CPG built in %s; search took %s\n",
 		len(archives), rep.Timings.Compile.Round(1e6), rep.Timings.BuildCPG.Round(1e6), rep.Timings.Search.Round(1e6))
@@ -189,10 +221,45 @@ func run(o options) error {
 		}
 		defer f.Close()
 		name, corpusDesc := snapshotIdentity(o)
-		if err := engine.SaveSnapshot(f, rep, name, corpusDesc); err != nil {
+		if err := engine.SaveSnapshotWithCache(f, rep, name, corpusDesc, cache); err != nil {
 			return fmt.Errorf("save snapshot: %w", err)
 		}
 		fmt.Printf("snapshot %q saved to %s (re-query with tabby-query -snapshot, or serve with tabby-server -snapshot)\n", name, o.save)
+	}
+	return nil
+}
+
+// summaryCacheFile is the method-summary cache's file name inside
+// -cache-dir (the "TABBYSUM" format of internal/store).
+const summaryCacheFile = "summaries.tabbysum"
+
+// loadCache builds the run's analysis cache, warm-started from the
+// summary-cache file in dir when one exists. A missing file is a normal
+// cold start; an unreadable one is reported and discarded (the run
+// proceeds cold and rewrites it), never fatal.
+func loadCache(dir string) (cache *core.AnalysisCache, warmed string, err error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, "", fmt.Errorf("cache dir: %w", err)
+	}
+	cache = core.NewAnalysisCache()
+	path := filepath.Join(dir, summaryCacheFile)
+	entries, err := store.ReadSummariesFile(path)
+	switch {
+	case errors.Is(err, os.ErrNotExist):
+		return cache, "cold start", nil
+	case err != nil:
+		fmt.Fprintf(os.Stderr, "tabby: warning: ignoring summary cache %s: %v\n", path, err)
+		return cache, "cold start (cache unreadable)", nil
+	}
+	cache.Summaries = taint.ImportSummaryCache(entries)
+	return cache, fmt.Sprintf("loaded %d summary cone(s)", len(entries)), nil
+}
+
+// saveCache persists the summary cache back to dir for the next run.
+func saveCache(dir string, cache *core.AnalysisCache) error {
+	path := filepath.Join(dir, summaryCacheFile)
+	if err := store.WriteSummariesFile(path, cache.Summaries.Export()); err != nil {
+		return fmt.Errorf("save summary cache: %w", err)
 	}
 	return nil
 }

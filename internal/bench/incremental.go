@@ -1,0 +1,215 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"runtime"
+	"strings"
+	"time"
+
+	"tabby/internal/core"
+	"tabby/internal/corpus"
+	"tabby/internal/javasrc"
+)
+
+// IncrementalRow measures one incremental-analysis scenario over the
+// Spring scene: trimmed-mean wall clock of the full pipeline
+// (compile → controllability → graph → search) and the cache hit rates
+// of the first run.
+type IncrementalRow struct {
+	Scenario string          `json:"scenario"`
+	Time     time.Duration   `json:"time_ns"`
+	Runs     []time.Duration `json:"runs_ns"`
+	// SpeedupVsCold is cold-time / this-time.
+	SpeedupVsCold float64 `json:"speedup_vs_cold"`
+	// TaintHits / TaintComps is the summary-cache hit rate.
+	TaintComps int `json:"taint_components"`
+	TaintHits  int `json:"taint_component_hits"`
+	// BodyHits / Files is the frontend lowering hit rate.
+	Files    int `json:"files"`
+	BodyHits int `json:"body_hits"`
+	// GraphReuse is the graph stage's reuse mode on the first run.
+	GraphReuse string `json:"graph_reuse"`
+	Chains     int    `json:"chains"`
+}
+
+// IncrementalResult is the incremental-analysis experiment output,
+// serialized to BENCH_incremental.json by cmd/tabby-bench. Scenarios:
+//
+//	cold     — empty cache, full analysis (the baseline)
+//	warm     — unchanged sources against a fully warmed cache
+//	changed  — one class edited against a warmed cache
+type IncrementalResult struct {
+	Corpus     string           `json:"corpus"`
+	GOMAXPROCS int              `json:"gomaxprocs"`
+	Rows       []IncrementalRow `json:"rows"`
+	// Deterministic is true when every scenario produced output identical
+	// to a fresh cacheless analysis of the same sources — the incremental
+	// pipeline's contract.
+	Deterministic bool `json:"deterministic"`
+}
+
+// incrSignature fingerprints a report for the equivalence cross-check.
+func incrSignature(rep *core.Report) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%+v\n", rep.Graph.Stats)
+	for _, c := range rep.Chains {
+		sb.WriteString(c.Key())
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}
+
+// RunIncremental measures the three incremental scenarios over the
+// Spring development scene, runs times each, and cross-checks every
+// scenario's output against a cacheless analysis of the same sources.
+func RunIncremental(runs int) (*IncrementalResult, error) {
+	if runs < 1 {
+		runs = 1
+	}
+	scene, err := corpus.SceneByName("Spring")
+	if err != nil {
+		return nil, err
+	}
+	archives := append([]javasrc.ArchiveSource{corpus.RT()}, scene.Archives...)
+	mutated, ok := corpus.MutateOneClass(archives)
+	if !ok {
+		return nil, fmt.Errorf("incremental bench: no mutation point in scene %s", scene.Name)
+	}
+
+	engine := core.New(core.Options{})
+
+	// Cacheless baselines for the equivalence check.
+	baseRep, err := engine.AnalyzeSources(archives)
+	if err != nil {
+		return nil, fmt.Errorf("incremental bench baseline: %w", err)
+	}
+	baseSig := incrSignature(baseRep)
+	baseMutRep, err := engine.AnalyzeSources(mutated)
+	if err != nil {
+		return nil, fmt.Errorf("incremental bench mutated baseline: %w", err)
+	}
+	baseMutSig := incrSignature(baseMutRep)
+
+	res := &IncrementalResult{
+		Corpus:        "scene/" + scene.Name,
+		GOMAXPROCS:    runtime.GOMAXPROCS(0),
+		Deterministic: true,
+	}
+
+	type scenario struct {
+		name string
+		// prepare returns the cache to analyze with; it runs outside the
+		// timed region (re-warming is setup, not the work being measured).
+		prepare func() (*core.AnalysisCache, error)
+		// sources the timed run analyzes, and the baseline it must match.
+		sources []javasrc.ArchiveSource
+		wantSig string
+	}
+	warmCache := func() (*core.AnalysisCache, error) {
+		c := core.NewAnalysisCache()
+		if _, err := engine.AnalyzeIncremental(c, archives); err != nil {
+			return nil, err
+		}
+		return c, nil
+	}
+	scenarios := []scenario{
+		{
+			name:    "cold",
+			prepare: func() (*core.AnalysisCache, error) { return core.NewAnalysisCache(), nil },
+			sources: archives,
+			wantSig: baseSig,
+		},
+		{
+			name:    "warm",
+			prepare: warmCache,
+			sources: archives,
+			wantSig: baseSig,
+		},
+		{
+			name:    "changed",
+			prepare: warmCache,
+			sources: mutated,
+			wantSig: baseMutSig,
+		},
+	}
+
+	var coldTime time.Duration
+	for _, sc := range scenarios {
+		row := IncrementalRow{Scenario: sc.name}
+		for i := 0; i < runs; i++ {
+			cache, err := sc.prepare()
+			if err != nil {
+				return nil, fmt.Errorf("incremental bench %s run %d: prepare: %w", sc.name, i, err)
+			}
+			start := time.Now()
+			rep, err := engine.AnalyzeIncremental(cache, sc.sources)
+			if err != nil {
+				return nil, fmt.Errorf("incremental bench %s run %d: %w", sc.name, i, err)
+			}
+			row.Runs = append(row.Runs, time.Since(start))
+			if i == 0 {
+				row.Chains = len(rep.Chains)
+				if cs := rep.Timings.Cache; cs != nil {
+					row.TaintComps = cs.Taint.Components
+					row.TaintHits = cs.Taint.ComponentHits
+					row.Files = cs.Compile.Files
+					row.BodyHits = cs.Compile.BodyHits
+					row.GraphReuse = cs.GraphReuse
+				}
+				if incrSignature(rep) != sc.wantSig {
+					res.Deterministic = false
+				}
+			}
+		}
+		row.Time = trimmedMean(row.Runs)
+		if sc.name == "cold" {
+			coldTime = row.Time
+		}
+		if row.Time > 0 && coldTime > 0 {
+			row.SpeedupVsCold = float64(coldTime) / float64(row.Time)
+		}
+		res.Rows = append(res.Rows, row)
+	}
+	return res, nil
+}
+
+// Format renders the incremental table.
+func (r *IncrementalResult) Format() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "Incremental analysis (corpus %s, GOMAXPROCS=%d)\n", r.Corpus, r.GOMAXPROCS)
+	fmt.Fprintf(&sb, "%-10s %12s %9s %14s %12s %10s %7s\n",
+		"Scenario", "Time", "Speedup", "Taint hits", "Body hits", "Graph", "Chains")
+	sb.WriteString(strings.Repeat("-", 80) + "\n")
+	for _, row := range r.Rows {
+		fmt.Fprintf(&sb, "%-10s %12s %8.2fx %9d/%-4d %7d/%-4d %10s %7d\n",
+			row.Scenario, row.Time.Round(time.Microsecond), row.SpeedupVsCold,
+			row.TaintHits, row.TaintComps, row.BodyHits, row.Files,
+			row.GraphReuse, row.Chains)
+	}
+	if r.Deterministic {
+		sb.WriteString("output identical to cacheless analysis in every scenario\n")
+	} else {
+		sb.WriteString("WARNING: output differed from the cacheless analysis\n")
+	}
+	return sb.String()
+}
+
+// WriteJSON serializes the result (the BENCH_incremental.json artifact).
+func (r *IncrementalResult) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}
+
+// Row returns the named scenario row (nil when absent) — the speedup
+// gate in the Makefile reads warm/changed through this.
+func (r *IncrementalResult) Row(scenario string) *IncrementalRow {
+	for i := range r.Rows {
+		if r.Rows[i].Scenario == scenario {
+			return &r.Rows[i]
+		}
+	}
+	return nil
+}

@@ -1,0 +1,63 @@
+package bench
+
+import (
+	"os"
+	"testing"
+)
+
+// TestIncrementalBenchSmoke checks the experiment's correctness side on
+// every test run: all three scenarios execute, the warm run reuses every
+// taint component, and every scenario's output matches the cacheless
+// analysis. Timing assertions live in TestIncrementalGate.
+func TestIncrementalBenchSmoke(t *testing.T) {
+	r, err := RunIncremental(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.Deterministic {
+		t.Fatal("incremental scenarios diverged from the cacheless analysis")
+	}
+	for _, name := range []string{"cold", "warm", "changed"} {
+		if r.Row(name) == nil {
+			t.Fatalf("missing scenario %q", name)
+		}
+	}
+	warm := r.Row("warm")
+	if warm.TaintComps == 0 || warm.TaintHits != warm.TaintComps {
+		t.Errorf("warm run reused %d/%d taint components, want all", warm.TaintHits, warm.TaintComps)
+	}
+	if warm.GraphReuse != "unchanged" {
+		t.Errorf("warm run graph reuse = %q, want unchanged", warm.GraphReuse)
+	}
+	changed := r.Row("changed")
+	if changed.TaintHits == 0 {
+		t.Error("changed run reused no taint components")
+	}
+	if changed.BodyHits == 0 {
+		t.Error("changed run re-lowered every file")
+	}
+}
+
+// TestIncrementalGate is the timing gate behind `make bench-incr`: at
+// GOMAXPROCS=1, a warm rerun must be at least 3x faster than a cold run
+// and a one-class-changed rerun at least 2x. Wall-clock assertions are
+// load-sensitive, so the gate only arms when TABBY_BENCH_GATE is set.
+func TestIncrementalGate(t *testing.T) {
+	if os.Getenv("TABBY_BENCH_GATE") == "" {
+		t.Skip("set TABBY_BENCH_GATE=1 (make bench-incr) to run the timing gate")
+	}
+	r, err := RunIncremental(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.Deterministic {
+		t.Fatal("incremental scenarios diverged from the cacheless analysis")
+	}
+	t.Log("\n" + r.Format())
+	if warm := r.Row("warm"); warm.SpeedupVsCold < 3 {
+		t.Errorf("warm speedup %.2fx, gate requires >= 3x", warm.SpeedupVsCold)
+	}
+	if changed := r.Row("changed"); changed.SpeedupVsCold < 2 {
+		t.Errorf("one-class-changed speedup %.2fx, gate requires >= 2x", changed.SpeedupVsCold)
+	}
+}

@@ -1,0 +1,20 @@
+// Package cliutil holds small helpers shared by the tabby command-line
+// tools so their user-facing behavior stays consistent.
+package cliutil
+
+import (
+	"fmt"
+	"io"
+)
+
+// WarnMaxCallDepth prints the shared deprecation warning for the retired
+// -max-call-depth flag when it was set to a non-zero value. Every tool
+// that historically accepted the flag keeps parsing it for compatibility
+// and routes the warning through here, so the wording (and the reason the
+// flag is gone) is identical everywhere.
+func WarnMaxCallDepth(w io.Writer, tool string, value int) {
+	if value == 0 {
+		return
+	}
+	fmt.Fprintf(w, "%s: warning: -max-call-depth is deprecated and has no effect (the SCC wave scheduler analyzes callees bottom-up without a depth bound)\n", tool)
+}

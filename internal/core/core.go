@@ -39,10 +39,10 @@ type Options struct {
 	VisitBudget int
 	// KeepPrunedCalls retains all-∞ CALL edges (MCG ablation mode).
 	KeepPrunedCalls bool
-	// TaintOptions tunes the controllability analysis. Note that its
-	// MaxCallDepth field is deprecated and has no effect (the SCC wave
-	// scheduler replaced the depth-capped recursion); setting it is
-	// silently ignored here, and the CLIs warn when it is passed.
+	// TaintOptions tunes the controllability analysis. The old
+	// MaxCallDepth field is gone (the SCC wave scheduler replaced the
+	// depth-capped recursion and needs no bound); the CLIs still accept
+	// and warn about the flag for compatibility.
 	TaintOptions taint.Options
 	// Workers bounds concurrency in every pipeline stage (compile,
 	// controllability analysis, CPG assembly, path search). Zero selects
@@ -68,6 +68,9 @@ type Timings struct {
 	// Workers is the resolved worker count the run used, so per-stage
 	// speedups can be attributed when comparing runs.
 	Workers int
+	// Cache reports per-layer reuse when the run went through
+	// AnalyzeIncremental; nil on cold AnalyzeSources runs.
+	Cache *CacheStats
 }
 
 // Report is the engine's output.
@@ -159,8 +162,30 @@ func (e *Engine) FindChains(g *cpg.Graph) (chains []pathfinder.Chain, truncated 
 // snapshot can be re-served later by LoadSnapshot, cmd/tabby-query
 // -snapshot, or cmd/tabby-server without recompiling the corpus.
 func (e *Engine) SaveSnapshot(w io.Writer, rep *Report, name, corpus string) error {
+	snap, err := e.snapshotFor(rep, name, corpus)
+	if err != nil {
+		return err
+	}
+	return store.Write(w, snap)
+}
+
+// SaveSnapshotWithCache is SaveSnapshot plus the cache's exported method
+// summaries in the snapshot's "sumc" section, so a service loading it can
+// warm-start incremental re-analysis without recomputing any summary.
+func (e *Engine) SaveSnapshotWithCache(w io.Writer, rep *Report, name, corpus string, cache *AnalysisCache) error {
+	snap, err := e.snapshotFor(rep, name, corpus)
+	if err != nil {
+		return err
+	}
+	if cache != nil && cache.Summaries != nil {
+		snap.Summaries = cache.Summaries.Export()
+	}
+	return store.Write(w, snap)
+}
+
+func (e *Engine) snapshotFor(rep *Report, name, corpus string) (*store.Snapshot, error) {
 	if rep == nil || rep.Graph == nil {
-		return fmt.Errorf("tabby: save snapshot: nil report")
+		return nil, fmt.Errorf("tabby: save snapshot: nil report")
 	}
 	reg := e.opts.Sinks
 	if reg == nil {
@@ -175,12 +200,12 @@ func (e *Engine) SaveSnapshot(w io.Writer, rep *Report, name, corpus string) err
 		meta.TotalCalls = rep.Graph.Taint.TotalCalls
 		meta.PrunedCalls = rep.Graph.Taint.PrunedCalls
 	}
-	return store.Write(w, &store.Snapshot{
+	return &store.Snapshot{
 		Meta:    meta,
 		DB:      rep.Graph.DB,
 		Sinks:   reg,
 		Sources: src,
-	})
+	}, nil
 }
 
 // LoadSnapshot reads a snapshot written by SaveSnapshot. The returned

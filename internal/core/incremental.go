@@ -1,0 +1,182 @@
+package core
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"strconv"
+	"time"
+
+	"tabby/internal/cpg"
+	"tabby/internal/javasrc"
+	"tabby/internal/parallel"
+	"tabby/internal/searchindex"
+	"tabby/internal/sinks"
+	"tabby/internal/taint"
+)
+
+// AnalysisCache carries every reusable artifact of one analysis run to the
+// next: the frontend's content-addressed compile cache, the taint
+// summary cache, and the last built graph for in-place deltas. One cache
+// serves one sequence of runs; it is not safe for concurrent use (the
+// server serializes /v1/analyze around it).
+type AnalysisCache struct {
+	// Compile caches parsed, resolved and lowered class artifacts by
+	// content fingerprint.
+	Compile *javasrc.Cache
+	// Summaries caches per-SCC controllability summaries by dependency-cone
+	// fingerprint.
+	Summaries *taint.SummaryCache
+
+	// The last built graph plus the fingerprints it was built under. A
+	// delta is attempted only when hierarchy and engine configuration both
+	// match and the graph is still mutable.
+	lastGraph    *cpg.Graph
+	lastHierFP   string
+	lastConfigFP string
+}
+
+// NewAnalysisCache creates an empty cache.
+func NewAnalysisCache() *AnalysisCache {
+	return &AnalysisCache{
+		Compile:   javasrc.NewCache(),
+		Summaries: taint.NewSummaryCache(),
+	}
+}
+
+// LastGraph returns the graph of the previous AnalyzeIncremental run (nil
+// before the first).
+func (c *AnalysisCache) LastGraph() *cpg.Graph { return c.lastGraph }
+
+// CacheStats reports what one AnalyzeIncremental run reused, layer by
+// layer. It rides along in Timings so benchmark tables can print hit
+// rates next to wall-clock times.
+type CacheStats struct {
+	// Compile is the frontend's reuse report (parse/skeleton/body hits).
+	Compile javasrc.CompileStats
+	// Taint is the summary cache's reuse report (component hits).
+	Taint taint.CacheStats
+	// GraphReuse is how the graph stage ran: "rebuilt" (fresh build),
+	// "delta" (previous graph patched in place), or "unchanged" (previous
+	// graph byte-identical, not even a version bump).
+	GraphReuse string
+}
+
+// AnalyzeIncremental is AnalyzeSources with a cross-run cache: compilation
+// reuses per-file artifacts, the controllability analysis reuses per-SCC
+// summaries, and the graph stage patches the previous graph in place when
+// the class hierarchy is structurally unchanged (falling back to a full —
+// but summary-cached — rebuild when it is not). The report is
+// byte-identical to what AnalyzeSources would produce for the same
+// archives: every cache is content-addressed, so a hit can only replace
+// work whose inputs were equal. A nil cache degrades to AnalyzeSources.
+func (e *Engine) AnalyzeIncremental(cache *AnalysisCache, archives []javasrc.ArchiveSource) (*Report, error) {
+	if cache == nil {
+		return e.AnalyzeSources(archives)
+	}
+	start := time.Now()
+	prog, cstats, err := javasrc.CompileArchivesCached(archives, javasrc.CompileOptions{Workers: e.opts.Workers}, cache.Compile)
+	if err != nil {
+		return nil, fmt.Errorf("tabby: compile: %w", err)
+	}
+	compileTime := time.Since(start)
+
+	buildStart := time.Now()
+	topts := e.opts.TaintOptions
+	if topts.Workers == 0 {
+		topts.Workers = e.opts.Workers
+	}
+	res, tstats, err := taint.AnalyzeWithCache(prog, topts, cache.Summaries)
+	if err != nil {
+		return nil, fmt.Errorf("tabby: build cpg: %w", err)
+	}
+
+	cpgOpts := cpg.Options{
+		Sinks:           e.opts.Sinks,
+		Sources:         e.opts.Sources,
+		Taint:           e.opts.TaintOptions,
+		KeepPrunedCalls: e.opts.KeepPrunedCalls,
+		Workers:         e.opts.Workers,
+	}
+	cfgFP := e.configFP()
+	reuse := "rebuilt"
+	var g *cpg.Graph
+	if cache.lastGraph != nil && !cache.lastGraph.DB.Frozen() &&
+		cache.lastHierFP != "" && cache.lastHierFP == cstats.HierarchyFP &&
+		cache.lastConfigFP == cfgFP {
+		before := cache.lastGraph.DB.Version()
+		ok, err := cache.lastGraph.ApplyDelta(prog, res, cpgOpts)
+		if err != nil {
+			return nil, fmt.Errorf("tabby: build cpg: %w", err)
+		}
+		if ok {
+			g = cache.lastGraph
+			if g.DB.Version() == before {
+				reuse = "unchanged"
+			} else {
+				reuse = "delta"
+			}
+		}
+	}
+	if g == nil {
+		g, err = cpg.BuildWithResult(prog, res, cpgOpts)
+		if err != nil {
+			return nil, fmt.Errorf("tabby: build cpg: %w", err)
+		}
+	}
+	searchindex.For(g.DB)
+	buildTime := time.Since(buildStart)
+	cache.lastGraph, cache.lastHierFP, cache.lastConfigFP = g, cstats.HierarchyFP, cfgFP
+
+	chains, truncated, searchTime, err := e.FindChains(g)
+	if err != nil {
+		return nil, err
+	}
+	return &Report{
+		Graph:     g,
+		Chains:    chains,
+		Truncated: truncated,
+		Timings: Timings{
+			Compile:  compileTime,
+			BuildCPG: buildTime,
+			Search:   searchTime,
+			Workers:  parallel.Resolve(e.opts.Workers),
+			Cache:    &CacheStats{Compile: cstats, Taint: tstats, GraphReuse: reuse},
+		},
+	}, nil
+}
+
+// configFP fingerprints every engine option the graph contents depend on,
+// so a cached graph is never patched under a different sink registry,
+// source config, or analysis setting. Search-only options (depth, chain
+// cap, budget, workers) are excluded: they replay on every run.
+func (e *Engine) configFP() string {
+	reg := e.opts.Sinks
+	if reg == nil {
+		reg = sinks.Default()
+	}
+	src := e.opts.Sources
+	if len(src.MethodNames) == 0 {
+		src = sinks.DefaultSources()
+	}
+	h := sha256.New()
+	h.Write([]byte("tabby-config\x00"))
+	for _, s := range reg.All() {
+		h.Write([]byte(s.Class + "." + s.Method + ":" + string(s.Type)))
+		for _, tc := range s.TC {
+			h.Write([]byte(":" + strconv.Itoa(tc)))
+		}
+		h.Write([]byte{0})
+	}
+	h.Write([]byte(src.String()))
+	h.Write([]byte{0})
+	if e.opts.KeepPrunedCalls {
+		h.Write([]byte("keep-pruned"))
+	}
+	h.Write([]byte{0})
+	h.Write([]byte(strconv.Itoa(e.opts.TaintOptions.MaxIterations)))
+	if e.opts.TaintOptions.DisableInterprocedural {
+		h.Write([]byte("|nointerproc"))
+	}
+	return hex.EncodeToString(h.Sum(nil))
+}

@@ -1,0 +1,35 @@
+package corpus
+
+import (
+	"strings"
+
+	"tabby/internal/javasrc"
+)
+
+// MutateOneClass returns a copy of archives with one harmless statement
+// inserted into the first method body of the first non-bootstrap source
+// file — the "one class changed" edit the incremental benchmarks and
+// equivalence tests replay. Only the touched archive's file list and the
+// touched file are copied; every other archive and source aliases the
+// input, exactly like a developer saving one file. ok reports whether an
+// insertion point was found.
+func MutateOneClass(archives []javasrc.ArchiveSource) (out []javasrc.ArchiveSource, ok bool) {
+	out = append([]javasrc.ArchiveSource(nil), archives...)
+	for ai, ar := range out {
+		if ar.Name == "rt.jar" {
+			continue
+		}
+		for fi, f := range ar.Files {
+			i := strings.Index(f.Source, ") {\n")
+			if i < 0 {
+				continue
+			}
+			at := i + len(") {\n")
+			files := append([]javasrc.File(nil), ar.Files...)
+			files[fi].Source = f.Source[:at] + "        String __tabbyIncrProbe = null;\n" + f.Source[at:]
+			out[ai].Files = files
+			return out, true
+		}
+	}
+	return out, false
+}

@@ -102,30 +102,9 @@ func (g *Graph) SourceNodes() []graphdb.ID {
 // it), while materialization stays a single deterministic batch fill so
 // node and relationship IDs never depend on the worker count.
 func Build(prog *jimple.Program, opts Options) (*Graph, error) {
-	if opts.Sinks == nil {
-		opts.Sinks = sinks.Default()
-	}
-	if len(opts.Sources.MethodNames) == 0 {
-		opts.Sources = sinks.DefaultSources()
-	}
-	if opts.Taint.Workers == 0 {
-		opts.Taint.Workers = opts.Workers
-	}
+	opts = normalizeOptions(opts)
 	workers := parallel.Resolve(opts.Workers)
-
-	g := &Graph{
-		DB:         graphdb.New(),
-		Program:    prog,
-		classNode:  make(map[string]graphdb.ID),
-		methodNode: make(map[java.MethodKey]graphdb.ID),
-		methodKey:  make(map[graphdb.ID]java.MethodKey),
-	}
-	g.DB.CreateIndex(LabelMethod, PropName)
-	g.DB.CreateIndex(LabelMethod, PropIsSink)
-	g.DB.CreateIndex(LabelMethod, PropIsSource)
-	g.DB.CreateIndex(LabelClass, PropName)
-
-	b := &builder{g: g, opts: opts, batch: g.DB.NewBatch()}
+	b := newBuilder(prog, opts)
 
 	if workers > 1 {
 		// Class properties depend only on the hierarchy, so their
@@ -133,7 +112,7 @@ func Build(prog *jimple.Program, opts Options) (*Graph, error) {
 		done := make(chan error, 1)
 		go func() {
 			res, err := taint.Analyze(prog, opts.Taint)
-			g.Taint = res
+			b.g.Taint = res
 			done <- err
 		}()
 		b.precomputeClassProps()
@@ -145,11 +124,55 @@ func Build(prog *jimple.Program, opts Options) (*Graph, error) {
 		if err != nil {
 			return nil, fmt.Errorf("cpg: %w", err)
 		}
-		g.Taint = res
+		b.g.Taint = res
 		b.precomputeClassProps()
 	}
-	b.precomputeMethodWork()
+	return b.finish()
+}
 
+// BuildWithResult assembles the graph from an already-computed
+// controllability result. The incremental pipeline uses it so a full graph
+// rebuild (the fallback when a delta is unsound) still reuses cached
+// method summaries instead of re-running the fixpoints. The graph is
+// byte-identical to Build's: assembly is deterministic given (prog, res).
+func BuildWithResult(prog *jimple.Program, res *taint.Result, opts Options) (*Graph, error) {
+	opts = normalizeOptions(opts)
+	b := newBuilder(prog, opts)
+	b.g.Taint = res
+	b.precomputeClassProps()
+	return b.finish()
+}
+
+func normalizeOptions(opts Options) Options {
+	if opts.Sinks == nil {
+		opts.Sinks = sinks.Default()
+	}
+	if len(opts.Sources.MethodNames) == 0 {
+		opts.Sources = sinks.DefaultSources()
+	}
+	if opts.Taint.Workers == 0 {
+		opts.Taint.Workers = opts.Workers
+	}
+	return opts
+}
+
+func newBuilder(prog *jimple.Program, opts Options) *builder {
+	g := &Graph{
+		DB:         graphdb.New(),
+		Program:    prog,
+		classNode:  make(map[string]graphdb.ID),
+		methodNode: make(map[java.MethodKey]graphdb.ID),
+		methodKey:  make(map[graphdb.ID]java.MethodKey),
+	}
+	g.DB.CreateIndex(LabelMethod, PropName)
+	g.DB.CreateIndex(LabelMethod, PropIsSink)
+	g.DB.CreateIndex(LabelMethod, PropIsSource)
+	g.DB.CreateIndex(LabelClass, PropName)
+	return &builder{g: g, opts: opts, batch: g.DB.NewBatch()}
+}
+
+func (b *builder) finish() (*Graph, error) {
+	b.precomputeMethodWork()
 	if err := b.buildORG(); err != nil {
 		return nil, fmt.Errorf("cpg: ORG: %w", err)
 	}
@@ -162,7 +185,7 @@ func Build(prog *jimple.Program, opts Options) (*Graph, error) {
 	if err := b.batch.Flush(); err != nil {
 		return nil, fmt.Errorf("cpg: flush: %w", err)
 	}
-	return g, nil
+	return b.g, nil
 }
 
 type builder struct {

@@ -1,0 +1,169 @@
+package cpg
+
+import (
+	"fmt"
+
+	"tabby/internal/graphdb"
+	"tabby/internal/java"
+	"tabby/internal/jimple"
+	"tabby/internal/sortutil"
+	"tabby/internal/taint"
+)
+
+// ApplyDelta folds a fresh controllability result into an already-built
+// graph in place, instead of rebuilding every node and edge. It is sound
+// only when the class hierarchy is structurally unchanged (the caller
+// compares javasrc.CompileStats.HierarchyFP before asking for a delta):
+// then the ORG and MAG are untouched, and what can differ is exactly what
+// the taint result feeds — each method node's ACTION property and each
+// caller's CALL edges.
+//
+// The node set is fixed under a delta. Chains embed node IDs, and a cold
+// build hands IDs out in one deterministic interleaved sequence; a node
+// appended later would land at the end of the ID space and break the
+// byte-identical contract. ApplyDelta therefore verifies that the new
+// result names the same analyzed methods and demands exactly the phantom
+// callees the graph already has, and reports ok=false — graph untouched —
+// when it cannot; the caller falls back to a full Build.
+//
+// A no-change delta buffers nothing, so Flush never bumps the store's
+// mutation version and compiled search indexes stay valid.
+func (g *Graph) ApplyDelta(prog *jimple.Program, newRes *taint.Result, opts Options) (ok bool, err error) {
+	old := g.Taint
+	h := prog.Hierarchy
+
+	if len(newRes.Actions) != len(old.Actions) {
+		return false, nil
+	}
+	for k := range newRes.Actions {
+		if _, have := old.Actions[k]; !have {
+			return false, nil
+		}
+	}
+
+	// Resolve every callee once against the new hierarchy, collecting the
+	// phantom demand set and the per-caller targets the edge pass reuses.
+	resolved := make(map[string]*java.Method)
+	resolve := func(class, sub string) *java.Method {
+		key := class + "#" + sub
+		if m, seen := resolved[key]; seen {
+			return m
+		}
+		m := h.ResolveMethod(class, sub)
+		resolved[key] = m
+		return m
+	}
+	demanded := make(map[java.MethodKey]bool)
+	for _, calls := range newRes.Calls {
+		for _, call := range calls {
+			if call.Pruned && !opts.KeepPrunedCalls {
+				continue
+			}
+			if m := resolve(call.CalleeClass, call.CalleeSub); m != nil {
+				if _, have := g.methodNode[m.Key()]; !have {
+					return false, nil
+				}
+			} else {
+				demanded[call.Callee()] = true
+			}
+		}
+	}
+	phantoms := 0
+	for key := range g.methodNode {
+		if h.MethodByKey(key) == nil {
+			phantoms++
+			if !demanded[key] {
+				return false, nil
+			}
+		}
+	}
+	if phantoms != len(demanded) {
+		return false, nil
+	}
+
+	keys := sortutil.SortedKeys(newRes.Calls)
+	batch := g.DB.NewBatch()
+	for _, k := range keys {
+		id, have := g.methodNode[k]
+		if !have {
+			return false, nil
+		}
+		if !actionsEq(old.Actions[k], newRes.Actions[k]) {
+			batch.SetNodeProp(id, PropAction, newRes.Actions[k].String())
+		}
+		if callsEq(old.Calls[k], newRes.Calls[k]) {
+			continue
+		}
+		for _, rid := range g.DB.Rels(id, graphdb.DirOut, RelCall) {
+			batch.DeleteRel(rid)
+		}
+		for _, call := range newRes.Calls[k] {
+			if call.Pruned && !opts.KeepPrunedCalls {
+				continue
+			}
+			calleeKey := call.Callee()
+			if m := resolve(call.CalleeClass, call.CalleeSub); m != nil {
+				calleeKey = m.Key()
+			}
+			calleeID, have := g.methodNode[calleeKey]
+			if !have {
+				return false, fmt.Errorf("cpg: delta: callee %s has no node", calleeKey)
+			}
+			batch.CreateRel(RelCall, id, calleeID, graphdb.Props{
+				PropPollutedPosition: call.PP.Ints(),
+				PropInvokeKind:       call.Kind.String(),
+				PropStmtIndex:        call.StmtIndex,
+				PropInvokeClass:      call.CalleeClass,
+			})
+		}
+	}
+	if err := batch.Flush(); err != nil {
+		return false, fmt.Errorf("cpg: delta flush: %w", err)
+	}
+
+	g.Stats.CallEdges, g.Stats.PrunedCalls = 0, 0
+	for _, k := range keys {
+		for _, call := range newRes.Calls[k] {
+			if call.Pruned && !opts.KeepPrunedCalls {
+				g.Stats.PrunedCalls++
+			} else {
+				g.Stats.CallEdges++
+			}
+		}
+	}
+	g.Program = prog
+	g.Taint = newRes
+	return true, nil
+}
+
+func actionsEq(a, b taint.Action) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for slot, origin := range a {
+		if other, ok := b[slot]; !ok || other != origin {
+			return false
+		}
+	}
+	return true
+}
+
+func callsEq(a, b []taint.CallEdge) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i].Caller != b[i].Caller || a[i].CalleeClass != b[i].CalleeClass ||
+			a[i].CalleeSub != b[i].CalleeSub || a[i].Kind != b[i].Kind ||
+			a[i].StmtIndex != b[i].StmtIndex || a[i].Pruned != b[i].Pruned ||
+			len(a[i].PP) != len(b[i].PP) {
+			return false
+		}
+		for j := range a[i].PP {
+			if a[i].PP[j] != b[i].PP[j] {
+				return false
+			}
+		}
+	}
+	return true
+}

@@ -43,6 +43,15 @@ type Batch struct {
 	nodes    []*Node
 	rels     []*Rel
 	local    map[ID]bool // node IDs created in this batch, pre-flush
+	relDels  []ID
+	nodeDels []ID
+	propSets []propSet
+}
+
+type propSet struct {
+	node  ID
+	key   string
+	value any
 }
 
 // NewBatch starts an empty batch against the store.
@@ -89,41 +98,129 @@ func (b *Batch) CreateRel(relType string, start, end ID, props Props) ID {
 	return id
 }
 
+// DeleteRel buffers the deletion of an existing relationship. Deletions
+// apply before any buffered creation, so a caller may retire a node's old
+// edges and lay down replacements in one Flush.
+func (b *Batch) DeleteRel(id ID) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.relDels = append(b.relDels, id)
+}
+
+// DeleteNode buffers the deletion of an existing node. The node's
+// relationships must all be buffered for deletion in the same batch (or
+// already gone), or Flush fails without applying anything.
+func (b *Batch) DeleteNode(id ID) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.nodeDels = append(b.nodeDels, id)
+}
+
+// SetNodeProp buffers a property update on an existing or batch-local
+// node. Updates apply after creations, in buffer order.
+func (b *Batch) SetNodeProp(node ID, key string, value any) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.propSets = append(b.propSets, propSet{node: node, key: key, value: value})
+}
+
 // Len reports how many buffered elements the next Flush will apply.
 func (b *Batch) Len() int {
 	b.mu.Lock()
 	defer b.mu.Unlock()
-	return len(b.nodes) + len(b.rels)
+	return len(b.nodes) + len(b.rels) + len(b.relDels) + len(b.nodeDels) + len(b.propSets)
 }
 
-// Flush validates every buffered relationship endpoint and applies all
-// buffered elements to the store under one lock, maintaining the label
-// and property indexes exactly as the unbatched create paths do. On
-// validation failure the store is left untouched and the buffer kept, so
-// the caller can inspect it. A successful Flush empties the batch; the
-// batch may then be reused.
+// Flush validates every buffered element and applies them all to the
+// store under one lock, maintaining the label and property indexes
+// exactly as the unbatched paths do. Application order is: relationship
+// deletions, node deletions, node creations, relationship creations,
+// property updates — so an incremental update can retire stale edges and
+// write their replacements atomically. On validation failure the store is
+// left untouched and the buffer kept, so the caller can inspect it. A
+// successful Flush empties the batch; the batch may then be reused. An
+// empty Flush is a no-op and does not bump the store's mutation version,
+// which keeps compiled views (searchindex) valid across no-change runs.
 func (b *Batch) Flush() error {
 	b.mu.Lock()
 	defer b.mu.Unlock()
+	if len(b.nodes)+len(b.rels)+len(b.relDels)+len(b.nodeDels)+len(b.propSets) == 0 {
+		return nil
+	}
 	db := b.db
 	db.mu.Lock()
 	defer db.mu.Unlock()
 	db.mustMutateLocked("batch Flush")
 
-	for _, r := range b.rels {
-		if !b.local[r.Start] {
-			if _, ok := db.nodes[r.Start]; !ok {
-				return fmt.Errorf("graphdb: batch rel %s: unknown start node %d", r.Type, r.Start)
+	relGone := make(map[ID]bool, len(b.relDels))
+	for _, id := range b.relDels {
+		if _, ok := db.rels[id]; !ok {
+			return fmt.Errorf("graphdb: batch delete of unknown rel %d", id)
+		}
+		relGone[id] = true
+	}
+	nodeGone := make(map[ID]bool, len(b.nodeDels))
+	for _, id := range b.nodeDels {
+		if _, ok := db.nodes[id]; !ok {
+			return fmt.Errorf("graphdb: batch delete of unknown node %d", id)
+		}
+		for _, rid := range db.out[id] {
+			if !relGone[rid] {
+				return fmt.Errorf("graphdb: batch delete of node %d: rel %d still attached", id, rid)
 			}
 		}
-		if !b.local[r.End] {
-			if _, ok := db.nodes[r.End]; !ok {
-				return fmt.Errorf("graphdb: batch rel %s: unknown end node %d", r.Type, r.End)
+		for _, rid := range db.in[id] {
+			if !relGone[rid] {
+				return fmt.Errorf("graphdb: batch delete of node %d: rel %d still attached", id, rid)
 			}
+		}
+		nodeGone[id] = true
+	}
+	endpointOK := func(id ID) bool {
+		if b.local[id] {
+			return true
+		}
+		_, ok := db.nodes[id]
+		return ok && !nodeGone[id]
+	}
+	for _, r := range b.rels {
+		if !endpointOK(r.Start) {
+			return fmt.Errorf("graphdb: batch rel %s: unknown start node %d", r.Type, r.Start)
+		}
+		if !endpointOK(r.End) {
+			return fmt.Errorf("graphdb: batch rel %s: unknown end node %d", r.Type, r.End)
+		}
+	}
+	for _, p := range b.propSets {
+		if !endpointOK(p.node) {
+			return fmt.Errorf("graphdb: batch prop %s on unknown node %d", p.key, p.node)
 		}
 	}
 
 	db.version++
+	for _, id := range b.relDels {
+		r := db.rels[id]
+		delete(db.rels, id)
+		db.out[r.Start] = removeID(db.out[r.Start], id)
+		db.in[r.End] = removeID(db.in[r.End], id)
+	}
+	for _, id := range b.nodeDels {
+		n := db.nodes[id]
+		delete(db.nodes, id)
+		delete(db.out, id)
+		delete(db.in, id)
+		for _, l := range n.Labels {
+			db.byLabel[l] = removeID(db.byLabel[l], id)
+			if byProp, ok := db.propIndex[l]; ok {
+				for prop, byVal := range byProp {
+					if v, ok := n.Props[prop]; ok {
+						k := valueKey(v)
+						byVal[k] = removeID(byVal[k], id)
+					}
+				}
+			}
+		}
+	}
 	for _, n := range b.nodes {
 		db.nodes[n.ID] = n
 		for _, l := range n.Labels {
@@ -143,9 +240,35 @@ func (b *Batch) Flush() error {
 		db.out[r.Start] = append(db.out[r.Start], r.ID)
 		db.in[r.End] = append(db.in[r.End], r.ID)
 	}
+	for _, p := range b.propSets {
+		n := db.nodes[p.node]
+		old, had := n.Props[p.key]
+		if n.Props == nil {
+			n.Props = make(Props)
+		}
+		n.Props[p.key] = p.value
+		for _, l := range n.Labels {
+			byProp, ok := db.propIndex[l]
+			if !ok {
+				continue
+			}
+			byVal, ok := byProp[p.key]
+			if !ok {
+				continue
+			}
+			if had {
+				byVal[valueKey(old)] = removeID(byVal[valueKey(old)], p.node)
+			}
+			k := valueKey(p.value)
+			byVal[k] = append(byVal[k], p.node)
+		}
+	}
 
 	b.nodes = b.nodes[:0]
 	b.rels = b.rels[:0]
+	b.relDels = b.relDels[:0]
+	b.nodeDels = b.nodeDels[:0]
+	b.propSets = b.propSets[:0]
 	b.local = make(map[ID]bool)
 	return nil
 }

@@ -70,6 +70,92 @@ func TestBatchRelToPreexistingNode(t *testing.T) {
 	}
 }
 
+// TestBatchDeltaOps exercises the incremental-update surface in one
+// flush: retire a node and its edges, lay down a replacement edge, and
+// update a property, with index maintenance and a single version bump.
+func TestBatchDeltaOps(t *testing.T) {
+	db := New()
+	db.CreateIndex("Method", "NAME")
+	a := db.CreateNode([]string{"Method"}, Props{"NAME": "a"})
+	bn := db.CreateNode([]string{"Method"}, Props{"NAME": "b"})
+	c := db.CreateNode([]string{"Method"}, Props{"NAME": "c"})
+	ab, err := db.CreateRel("CALL", a, bn, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bc, err := db.CreateRel("CALL", bn, c, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	before := db.Version()
+	batch := db.NewBatch()
+	batch.DeleteRel(ab)
+	batch.DeleteRel(bc)
+	batch.DeleteNode(bn)
+	batch.CreateRel("CALL", a, c, Props{"W": 2})
+	batch.SetNodeProp(a, "NAME", "a2")
+	if err := batch.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if got := db.Version(); got != before+1 {
+		t.Errorf("Version bumped %d times, want exactly 1", got-before)
+	}
+	if db.Node(bn) != nil || db.Rel(ab) != nil || db.Rel(bc) != nil {
+		t.Error("deleted elements still present after Flush")
+	}
+	if ids := db.FindNodes("Method", "NAME", "b"); len(ids) != 0 {
+		t.Errorf("index still lists deleted node: %v", ids)
+	}
+	if ids := db.FindNodes("Method", "NAME", "a2"); len(ids) != 1 || ids[0] != a {
+		t.Errorf("index not updated for SetNodeProp: %v", ids)
+	}
+	if ids := db.Rels(a, DirOut, "CALL"); len(ids) != 1 {
+		t.Errorf("replacement edge missing: %v", ids)
+	}
+}
+
+// TestBatchEmptyFlushKeepsVersion pins the searchindex-reuse contract: a
+// flush with nothing buffered must not bump the mutation version.
+func TestBatchEmptyFlushKeepsVersion(t *testing.T) {
+	db := New()
+	db.CreateNode([]string{"X"}, nil)
+	before := db.Version()
+	if err := db.NewBatch().Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if got := db.Version(); got != before {
+		t.Errorf("empty Flush bumped version %d → %d", before, got)
+	}
+}
+
+// TestBatchDeleteValidation: deleting an unknown element, or a node with
+// a surviving edge, fails without applying anything.
+func TestBatchDeleteValidation(t *testing.T) {
+	db := New()
+	a := db.CreateNode([]string{"X"}, nil)
+	bn := db.CreateNode([]string{"X"}, nil)
+	if _, err := db.CreateRel("E", a, bn, nil); err != nil {
+		t.Fatal(err)
+	}
+	before := db.Version()
+
+	batch := db.NewBatch()
+	batch.DeleteRel(9999)
+	if err := batch.Flush(); err == nil {
+		t.Fatal("Flush accepted deletion of unknown rel")
+	}
+
+	batch2 := db.NewBatch()
+	batch2.DeleteNode(a) // its edge is not buffered for deletion
+	if err := batch2.Flush(); err == nil {
+		t.Fatal("Flush accepted node deletion with attached rel")
+	}
+	if db.Node(a) == nil || db.Version() != before {
+		t.Error("failed Flush mutated the store")
+	}
+}
+
 func TestBatchConcurrentCreateUniqueIDs(t *testing.T) {
 	db := New()
 	b := db.NewBatch()

@@ -253,6 +253,77 @@ func (db *DB) RelProp(id ID, key string) (any, bool) {
 func (db *DB) SetNodeProp(id ID, key string, value any) error {
 	db.mu.Lock()
 	defer db.mu.Unlock()
+	return db.setNodePropLocked(id, key, value)
+}
+
+func removeID(ids []ID, id ID) []ID {
+	for i, v := range ids {
+		if v == id {
+			return append(ids[:i], ids[i+1:]...)
+		}
+	}
+	return ids
+}
+
+// DeleteRel removes a relationship. Incremental CPG updates use this to
+// retire the CALL edges of a re-analyzed caller before re-creating them.
+func (db *DB) DeleteRel(id ID) error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	return db.deleteRelLocked(id)
+}
+
+func (db *DB) deleteRelLocked(id ID) error {
+	db.mustMutateLocked("DeleteRel")
+	r := db.rels[id]
+	if r == nil {
+		return fmt.Errorf("graphdb: delete unknown rel %d", id)
+	}
+	db.version++
+	delete(db.rels, id)
+	db.out[r.Start] = removeID(db.out[r.Start], id)
+	db.in[r.End] = removeID(db.in[r.End], id)
+	return nil
+}
+
+// DeleteNode removes a node, its label membership, and its index entries.
+// It refuses to orphan relationships: the caller must delete (or re-point)
+// every attached relationship first.
+func (db *DB) DeleteNode(id ID) error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	return db.deleteNodeLocked(id)
+}
+
+func (db *DB) deleteNodeLocked(id ID) error {
+	db.mustMutateLocked("DeleteNode")
+	n := db.nodes[id]
+	if n == nil {
+		return fmt.Errorf("graphdb: delete unknown node %d", id)
+	}
+	if len(db.out[id]) > 0 || len(db.in[id]) > 0 {
+		return fmt.Errorf("graphdb: delete node %d: %d relationships still attached",
+			id, len(db.out[id])+len(db.in[id]))
+	}
+	db.version++
+	delete(db.nodes, id)
+	delete(db.out, id)
+	delete(db.in, id)
+	for _, l := range n.Labels {
+		db.byLabel[l] = removeID(db.byLabel[l], id)
+		if byProp, ok := db.propIndex[l]; ok {
+			for prop, byVal := range byProp {
+				if v, ok := n.Props[prop]; ok {
+					k := valueKey(v)
+					byVal[k] = removeID(byVal[k], id)
+				}
+			}
+		}
+	}
+	return nil
+}
+
+func (db *DB) setNodePropLocked(id ID, key string, value any) error {
 	db.mustMutateLocked("SetNodeProp")
 	n := db.nodes[id]
 	if n == nil {
@@ -280,15 +351,6 @@ func (db *DB) SetNodeProp(id ID, key string, value any) error {
 		byVal[k] = append(byVal[k], id)
 	}
 	return nil
-}
-
-func removeID(ids []ID, id ID) []ID {
-	for i, v := range ids {
-		if v == id {
-			return append(ids[:i], ids[i+1:]...)
-		}
-	}
-	return ids
 }
 
 // CreateIndex builds (or rebuilds) an index on label/property.

@@ -1,0 +1,161 @@
+package javasrc
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"sort"
+	"strconv"
+
+	"tabby/internal/java"
+	"tabby/internal/jimple"
+)
+
+// FrontendVersion is folded into every source fingerprint. Bump it when
+// the parser, resolver, or lowering change meaning, so stale cached
+// artifacts from an older frontend can never be mistaken for current
+// ones: the fingerprints simply stop matching.
+const FrontendVersion = 1
+
+// Cache holds content-addressed compilation artifacts across runs of
+// CompileArchivesCached. Three layers mirror the three compile passes:
+//
+//	parse:     file fingerprint              -> parsed AST
+//	skeletons: file fingerprint + decl set   -> resolved java.Class skeletons
+//	bodies:    file fingerprint + hierarchy  -> lowered jimple bodies
+//
+// Every key is a hash of exactly the inputs that pass reads, so a hit is
+// sound by construction: a body-only edit re-lowers one file, a signature
+// edit changes the hierarchy fingerprint and re-lowers everything, and an
+// unchanged corpus reuses the previous Program object outright.
+//
+// A Cache is not safe for concurrent use; callers (core.AnalysisCache,
+// the server) serialize access. It never evicts: entries are bounded by
+// the number of distinct file versions seen, which for the intended
+// workloads (repeated near-identical corpora) stays proportional to the
+// corpus.
+type Cache struct {
+	parse     map[string]*Unit
+	skeletons map[string]*skeletonEntry
+	bodies    map[string][]*jimple.Body
+
+	lastKey     string
+	lastProgram *jimple.Program
+	lastStats   CompileStats
+}
+
+// skeletonEntry is the pass-2 artifact of one file: its classes with
+// their declarations and the resolver they were built with.
+type skeletonEntry struct {
+	classes  []*java.Class
+	decls    []*TypeDecl
+	resolver *resolver
+}
+
+// NewCache creates an empty compile cache.
+func NewCache() *Cache {
+	return &Cache{
+		parse:     make(map[string]*Unit),
+		skeletons: make(map[string]*skeletonEntry),
+		bodies:    make(map[string][]*jimple.Body),
+	}
+}
+
+// CompileStats reports what CompileArchivesCached reused versus rebuilt.
+type CompileStats struct {
+	Files         int  // source files in the corpus
+	ParseHits     int  // files whose AST came from the cache
+	SkeletonHits  int  // files whose class skeletons came from the cache
+	BodyHits      int  // files whose lowered bodies came from the cache
+	ProgramReused bool // whole corpus unchanged: previous Program returned as-is
+	// HierarchyFP fingerprints the assembled class hierarchy (every
+	// skeleton signature, including bootstrap and phantom classes). Two
+	// runs with equal HierarchyFP have structurally identical
+	// hierarchies, which is what makes an in-place graph delta sound.
+	HierarchyFP string
+}
+
+// fileFingerprint addresses one source file: frontend version, owning
+// archive, file name, and content.
+func fileFingerprint(archive string, f File) string {
+	h := sha256.New()
+	h.Write([]byte("tabby-src\x00" + strconv.Itoa(FrontendVersion) + "\x00"))
+	h.Write([]byte(archive))
+	h.Write([]byte{0})
+	h.Write([]byte(f.Name))
+	h.Write([]byte{0})
+	h.Write([]byte(f.Source))
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// corpusKey addresses the whole compilation input: every file fingerprint
+// in order plus the archive list.
+func corpusKey(archives []ArchiveSource, fps []string) string {
+	h := sha256.New()
+	h.Write([]byte("tabby-corpus\x00"))
+	for _, ar := range archives {
+		h.Write([]byte(ar.Name))
+		h.Write([]byte{0})
+	}
+	h.Write([]byte{0})
+	for _, fp := range fps {
+		h.Write([]byte(fp))
+	}
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// declSetHash fingerprints the set of declared class names. Name
+// resolution (imports, same-package lookup) reads nothing else about
+// other files, so skeleton artifacts are keyed by file + this hash.
+func declSetHash(declared map[string]bool) string {
+	names := make([]string, 0, len(declared))
+	for n := range declared {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	h := sha256.New()
+	for _, n := range names {
+		h.Write([]byte(n))
+		h.Write([]byte{0})
+	}
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// hierarchyFingerprint hashes every class signature visible to lowering:
+// name, modifiers, super, interfaces, archive, phantom flag, field
+// signatures, and method signatures — for user classes, bootstrap classes
+// and phantoms alike. Lowering consults the hierarchy only through these
+// (field resolution, interface checks, class existence), so bodies cached
+// under an equal fingerprint lower identically.
+func hierarchyFingerprint(h *java.Hierarchy) string {
+	hash := sha256.New()
+	hash.Write([]byte("tabby-hier\x00" + strconv.Itoa(FrontendVersion) + "\x00"))
+	for _, name := range h.SortedClassNames() {
+		c := h.Class(name)
+		hash.Write([]byte(c.Name))
+		hash.Write([]byte{0})
+		hash.Write([]byte(strconv.FormatUint(uint64(c.Modifiers), 16)))
+		hash.Write([]byte{0})
+		hash.Write([]byte(c.Super))
+		hash.Write([]byte{0})
+		for _, i := range c.Interfaces {
+			hash.Write([]byte(i))
+			hash.Write([]byte{1})
+		}
+		hash.Write([]byte(c.Archive))
+		if c.Phantom {
+			hash.Write([]byte{2})
+		}
+		hash.Write([]byte{0})
+		for _, f := range c.Fields {
+			hash.Write([]byte(f.Name + ":" + f.Type.String() + ":" + strconv.FormatUint(uint64(f.Modifiers), 16)))
+			hash.Write([]byte{1})
+		}
+		hash.Write([]byte{0})
+		for _, m := range c.Methods {
+			hash.Write([]byte(string(m.Key()) + ":" + m.Return.String() + ":" + strconv.FormatUint(uint64(m.Modifiers), 16)))
+			hash.Write([]byte{1})
+		}
+		hash.Write([]byte{0})
+	}
+	return hex.EncodeToString(hash.Sum(nil))
+}

@@ -1,0 +1,136 @@
+package javasrc
+
+import (
+	"sort"
+	"strings"
+	"testing"
+
+	"tabby/internal/sortutil"
+)
+
+func cacheTestArchives() []ArchiveSource {
+	return []ArchiveSource{{
+		Name: "app.jar",
+		Files: []File{
+			{Name: "A.java", Source: `package app;
+public class A {
+    public B b;
+    public String run(String s) {
+        return this.b.lower(s);
+    }
+}
+`},
+			{Name: "B.java", Source: `package app;
+public class B {
+    public String lower(String s) {
+        return s;
+    }
+}
+`},
+		},
+	}}
+}
+
+// programSignature renders every body deterministically, so two programs
+// compare structurally.
+func programSignature(t *testing.T, archives []ArchiveSource) string {
+	t.Helper()
+	prog, err := CompileArchives(archives)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	for _, key := range sortutil.SortedKeys(prog.Bodies) {
+		sb.WriteString(string(key) + "\n" + prog.Bodies[key].String() + "\n")
+	}
+	return sb.String()
+}
+
+func cachedSignature(t *testing.T, cache *Cache, archives []ArchiveSource) (string, CompileStats) {
+	t.Helper()
+	prog, stats, err := CompileArchivesCached(archives, CompileOptions{}, cache)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	for _, key := range sortutil.SortedKeys(prog.Bodies) {
+		sb.WriteString(string(key) + "\n" + prog.Bodies[key].String() + "\n")
+	}
+	return sb.String(), stats
+}
+
+// TestCompileCacheReuseAndInvalidation pins the frontend cache's
+// contract: a warm recompile reuses the whole program, a one-file edit
+// re-lowers only that file, and every cached compile is structurally
+// identical to a cacheless one.
+func TestCompileCacheReuseAndInvalidation(t *testing.T) {
+	archives := cacheTestArchives()
+	want := programSignature(t, archives)
+
+	cache := NewCache()
+	got, stats := cachedSignature(t, cache, archives)
+	if got != want {
+		t.Error("cold cached compile differs from cacheless compile")
+	}
+	if stats.ProgramReused || stats.ParseHits != 0 || stats.Files != 2 {
+		t.Errorf("cold stats = %+v", stats)
+	}
+	if stats.HierarchyFP == "" {
+		t.Error("no hierarchy fingerprint")
+	}
+	coldFP := stats.HierarchyFP
+
+	got, stats = cachedSignature(t, cache, archives)
+	if got != want {
+		t.Error("warm compile differs")
+	}
+	if !stats.ProgramReused {
+		t.Errorf("warm stats = %+v, want ProgramReused", stats)
+	}
+	if stats.HierarchyFP != coldFP {
+		t.Error("hierarchy fingerprint changed on identical input")
+	}
+
+	// Edit one method body: same hierarchy, one file re-lowered.
+	edited := cacheTestArchives()
+	edited[0].Files[1].Source = strings.Replace(
+		edited[0].Files[1].Source, "return s;", `String x = s; return x;`, 1)
+	wantEdited := programSignature(t, edited)
+	got, stats = cachedSignature(t, cache, edited)
+	if got == want {
+		t.Error("edit produced an identical program")
+	}
+	if got != wantEdited {
+		t.Error("edited cached compile differs from cacheless compile")
+	}
+	if stats.ProgramReused {
+		t.Error("edited corpus must not reuse the program wholesale")
+	}
+	if stats.BodyHits != 1 || stats.ParseHits != 1 {
+		t.Errorf("edited stats = %+v, want exactly one file recompiled", stats)
+	}
+	if stats.HierarchyFP != coldFP {
+		t.Error("body-only edit changed the hierarchy fingerprint")
+	}
+}
+
+// TestCompileCacheKeysOnContentNotOrder: archive file order is part of
+// the corpus, so no stale reuse — but per-file artifacts still hit.
+func TestCompileCacheKeysOnContentNotOrder(t *testing.T) {
+	archives := cacheTestArchives()
+	cache := NewCache()
+	if _, _, err := CompileArchivesCached(archives, CompileOptions{}, cache); err != nil {
+		t.Fatal(err)
+	}
+	reordered := cacheTestArchives()
+	sort.Slice(reordered[0].Files, func(i, j int) bool {
+		return reordered[0].Files[i].Name > reordered[0].Files[j].Name
+	})
+	sig, stats := cachedSignature(t, cache, reordered)
+	if stats.ParseHits != 2 || stats.BodyHits != 2 {
+		t.Errorf("reordered stats = %+v, want full per-file reuse", stats)
+	}
+	if want := programSignature(t, reordered); sig != want {
+		t.Error("reordered cached compile differs from cacheless compile")
+	}
+}

@@ -41,15 +41,32 @@ func CompileArchives(archives []ArchiveSource) (*jimple.Program, error) {
 
 // CompileArchivesOpts is CompileArchives with explicit options.
 func CompileArchivesOpts(archives []ArchiveSource, copts CompileOptions) (*jimple.Program, error) {
+	prog, _, err := CompileArchivesCached(archives, copts, nil)
+	return prog, err
+}
+
+// CompileArchivesCached compiles through a content-addressed artifact
+// cache: files whose fingerprints match a cached artifact skip the
+// corresponding pass (parse, skeleton build, lowering), and a corpus with
+// no changed file at all returns the previously assembled Program
+// outright. The output is byte-identical to an uncached compile of the
+// same input — caching is purely a work-avoidance layer. A nil cache
+// compiles everything fresh with zero fingerprinting overhead.
+func CompileArchivesCached(archives []ArchiveSource, copts CompileOptions, cache *Cache) (*jimple.Program, CompileStats, error) {
+	var stats CompileStats
+
 	// Pass 0: parse every file. Files are independent, so they parse
 	// concurrently; the unit list keeps archive/file order.
 	type fileRef struct {
 		archive string
 		file    File
+		fp      string // content address; "" when cache == nil
 	}
 	type parsedUnit struct {
 		unit    *Unit
 		archive string
+		fp      string
+		hit     bool
 	}
 	var refs []fileRef
 	for _, ar := range archives {
@@ -57,12 +74,45 @@ func CompileArchivesOpts(archives []ArchiveSource, copts CompileOptions) (*jimpl
 			refs = append(refs, fileRef{archive: ar.Name, file: f})
 		}
 	}
+	stats.Files = len(refs)
+
+	var wholeKey string
+	if cache != nil {
+		fps := parallel.Map(copts.Workers, refs, func(_ int, r fileRef) string {
+			return fileFingerprint(r.archive, r.file)
+		})
+		for i := range refs {
+			refs[i].fp = fps[i]
+		}
+		wholeKey = corpusKey(archives, fps)
+		if cache.lastProgram != nil && cache.lastKey == wholeKey {
+			stats = cache.lastStats
+			stats.ParseHits, stats.SkeletonHits, stats.BodyHits = len(refs), len(refs), len(refs)
+			stats.ProgramReused = true
+			return cache.lastProgram, stats, nil
+		}
+	}
+
 	units, err := parallel.MapErr(copts.Workers, refs, func(_ int, r fileRef) (parsedUnit, error) {
+		if cache != nil {
+			if u, ok := cache.parse[r.fp]; ok {
+				return parsedUnit{unit: u, archive: r.archive, fp: r.fp, hit: true}, nil
+			}
+		}
 		u, err := Parse(r.file.Name, r.file.Source)
-		return parsedUnit{unit: u, archive: r.archive}, err
+		return parsedUnit{unit: u, archive: r.archive, fp: r.fp}, err
 	})
 	if err != nil {
-		return nil, err
+		return nil, stats, err
+	}
+	if cache != nil {
+		for _, pu := range units {
+			if pu.hit {
+				stats.ParseHits++
+			} else {
+				cache.parse[pu.fp] = pu.unit
+			}
+		}
 	}
 
 	// Pass 1: collect declared class names (sequential: the duplicate
@@ -72,7 +122,7 @@ func CompileArchivesOpts(archives []ArchiveSource, copts CompileOptions) (*jimpl
 		for _, td := range pu.unit.Types {
 			fq := fqcnOf(pu.unit, td)
 			if declared[fq] {
-				return nil, fmt.Errorf("%s: duplicate class %s", pu.unit.File, fq)
+				return nil, stats, fmt.Errorf("%s: duplicate class %s", pu.unit.File, fq)
 			}
 			declared[fq] = true
 		}
@@ -80,39 +130,54 @@ func CompileArchivesOpts(archives []ArchiveSource, copts CompileOptions) (*jimpl
 
 	// Pass 2: build java.Class skeletons with resolved member types.
 	// Each unit resolves against the (now frozen) declared set, so units
-	// build concurrently and merge in unit order.
-	type classedDecl struct {
-		class    *java.Class
-		decl     *TypeDecl
-		resolver *resolver
+	// build concurrently and merge in unit order. Skeleton artifacts are
+	// keyed by file fingerprint plus the declared-name set: resolution
+	// reads nothing else, so a body-only edit elsewhere keeps every other
+	// file's skeletons (and the java.Class pointers inside them) stable.
+	var declHash string
+	if cache != nil {
+		declHash = declSetHash(declared)
 	}
-	built, err := parallel.MapErr(copts.Workers, units, func(_ int, pu parsedUnit) ([]classedDecl, error) {
+	built, err := parallel.MapErr(copts.Workers, units, func(_ int, pu parsedUnit) (*skeletonEntry, error) {
+		if cache != nil {
+			if e, ok := cache.skeletons[pu.fp+"|"+declHash]; ok {
+				return e, nil
+			}
+		}
 		res := newResolver(pu.unit, declared)
-		out := make([]classedDecl, 0, len(pu.unit.Types))
+		e := &skeletonEntry{resolver: res}
 		for _, td := range pu.unit.Types {
 			c, err := buildClassSkeleton(pu.unit, td, res)
 			if err != nil {
 				return nil, err
 			}
 			c.Archive = pu.archive
-			out = append(out, classedDecl{class: c, decl: td, resolver: res})
+			e.classes = append(e.classes, c)
+			e.decls = append(e.decls, td)
 		}
-		return out, nil
+		return e, nil
 	})
 	if err != nil {
-		return nil, err
+		return nil, stats, err
 	}
-	var (
-		classes []*java.Class
-		decls   []classedDecl
-	)
+	if cache != nil {
+		for i, pu := range units {
+			key := pu.fp + "|" + declHash
+			if _, ok := cache.skeletons[key]; ok {
+				stats.SkeletonHits++
+			} else {
+				cache.skeletons[key] = built[i]
+			}
+		}
+	}
+
+	var classes []*java.Class
 	archiveClasses := make(map[string][]string)
 	archiveBytes := make(map[string]int64)
 	for i, pu := range units {
-		for _, cd := range built[i] {
-			classes = append(classes, cd.class)
-			decls = append(decls, cd)
-			archiveClasses[pu.archive] = append(archiveClasses[pu.archive], cd.class.Name)
+		for _, c := range built[i].classes {
+			classes = append(classes, c)
+			archiveClasses[pu.archive] = append(archiveClasses[pu.archive], c.Name)
 		}
 		archiveBytes[pu.archive] += int64(len(pu.unit.File))
 	}
@@ -124,11 +189,11 @@ func CompileArchivesOpts(archives []ArchiveSource, copts CompileOptions) (*jimpl
 
 	h, err := java.NewHierarchy(classes)
 	if err != nil {
-		return nil, err
+		return nil, stats, err
 	}
-	prog := jimple.NewProgram(h)
+	var archiveList []java.Archive
 	for _, ar := range archives {
-		prog.Archives = append(prog.Archives, java.Archive{
+		archiveList = append(archiveList, java.Archive{
 			Name:      ar.Name,
 			Classes:   archiveClasses[ar.Name],
 			CodeBytes: archiveBytes[ar.Name],
@@ -137,37 +202,99 @@ func CompileArchivesOpts(archives []ArchiveSource, copts CompileOptions) (*jimpl
 
 	// Pass 3: lower method bodies. Lowering reads only the frozen
 	// hierarchy and per-unit resolver, so methods lower concurrently;
-	// bodies register in declaration order.
+	// bodies register in declaration order. Lowered bodies are keyed by
+	// file fingerprint plus the hierarchy fingerprint: lowering consults
+	// other classes' signatures (field resolution, interface checks), so
+	// only a corpus-wide signature-identical state may reuse them.
+	var hierFP string
+	if cache != nil {
+		hierFP = hierarchyFingerprint(h)
+		stats.HierarchyFP = hierFP
+	}
 	type lowerTask struct {
-		cd    classedDecl
-		md    *MethodDecl
-		index int
+		unitIdx  int
+		class    *java.Class
+		md       *MethodDecl
+		index    int
+		resolver *resolver
 	}
 	var tasks []lowerTask
-	for _, cd := range decls {
-		for i, md := range cd.decl.Methods {
-			if md.HasBody {
-				tasks = append(tasks, lowerTask{cd: cd, md: md, index: i})
+	unitBodies := make([][]*jimple.Body, len(units))
+	for i, pu := range units {
+		if cache != nil {
+			if bodies, ok := cache.bodies[pu.fp+"|"+hierFP]; ok {
+				unitBodies[i] = bodies
+				stats.BodyHits++
+				continue
+			}
+		}
+		for ci, td := range built[i].decls {
+			for mi, md := range td.Methods {
+				if md.HasBody {
+					tasks = append(tasks, lowerTask{
+						unitIdx: i, class: built[i].classes[ci],
+						md: md, index: mi, resolver: built[i].resolver,
+					})
+				}
 			}
 		}
 	}
-	bodies, err := parallel.MapErr(copts.Workers, tasks, func(_ int, t lowerTask) (*jimple.Body, error) {
-		m := methodForDecl(t.cd.class, t.md, t.index)
+	fresh, err := parallel.MapErr(copts.Workers, tasks, func(_ int, t lowerTask) (*jimple.Body, error) {
+		m := methodForDecl(t.class, t.md, t.index)
 		if m == nil {
-			return nil, fmt.Errorf("%s: method %s vanished during lowering", t.cd.class.Name, t.md.Name)
+			return nil, fmt.Errorf("%s: method %s vanished during lowering", t.class.Name, t.md.Name)
 		}
-		return lowerMethod(h, t.cd.class, m, t.md, t.cd.resolver)
+		body, err := lowerMethod(h, t.class, m, t.md, t.resolver)
+		if err != nil {
+			return nil, err
+		}
+		if err := body.Validate(); err != nil {
+			return nil, fmt.Errorf("program body %s: %w", body.Method.Key(), err)
+		}
+		return body, nil
 	})
 	if err != nil {
-		return nil, err
+		return nil, stats, err
 	}
-	for _, body := range bodies {
-		prog.SetBody(body)
+	for i, t := range tasks {
+		unitBodies[t.unitIdx] = append(unitBodies[t.unitIdx], fresh[i])
 	}
-	if err := prog.Validate(); err != nil {
-		return nil, err
+	if cache != nil {
+		for i, pu := range units {
+			key := pu.fp + "|" + hierFP
+			if _, ok := cache.bodies[key]; !ok {
+				cache.bodies[key] = unitBodies[i]
+			}
+		}
 	}
-	return prog, nil
+
+	// Assembly: fold the per-class units into a Program. Bodies were
+	// validated when first lowered (fresh above, or in the run that
+	// populated the cache), so assembly is pure bookkeeping.
+	var classUnits []*jimple.ClassUnit
+	for i := range units {
+		byClass := make(map[string][]*jimple.Body)
+		for _, b := range unitBodies[i] {
+			byClass[b.Method.ClassName] = append(byClass[b.Method.ClassName], b)
+		}
+		for _, c := range built[i].classes {
+			classUnits = append(classUnits, &jimple.ClassUnit{
+				Class:       c,
+				Bodies:      byClass[c.Name],
+				Fingerprint: units[i].fp,
+			})
+		}
+	}
+	prog, err := jimple.AssembleProgram(h, classUnits, archiveList)
+	if err != nil {
+		return nil, stats, err
+	}
+	if cache != nil {
+		cache.lastKey = wholeKey
+		cache.lastProgram = prog
+		cache.lastStats = stats
+	}
+	return prog, stats, nil
 }
 
 // Compile is a convenience wrapper for a single archive built from raw

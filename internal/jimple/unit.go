@@ -1,0 +1,52 @@
+package jimple
+
+import (
+	"fmt"
+
+	"tabby/internal/java"
+)
+
+// ClassUnit is the mergeable per-class compilation artifact the
+// incremental frontend deals in: one class skeleton plus the lowered
+// bodies of its concrete methods, stamped with the content address it was
+// built under. A Program is assembled from any mix of freshly compiled
+// and cached units, so re-compiling a corpus touches only the units whose
+// fingerprints changed.
+type ClassUnit struct {
+	// Class is the resolved skeleton (also reachable through the
+	// hierarchy the unit was lowered against).
+	Class *java.Class
+	// Bodies are the lowered bodies of the class's concrete methods, in
+	// declaration order.
+	Bodies []*Body
+	// Fingerprint is the content address of the unit: a hash of the
+	// source file plus the hierarchy cone the lowering consulted. Empty
+	// when the unit was built outside the caching frontend.
+	Fingerprint string
+}
+
+// AssembleProgram merges class units into a Program against the hierarchy
+// they were lowered under. Units must cover disjoint classes; every body
+// must belong to its unit's class. Bodies are registered in unit order,
+// and cached units are trusted to have been validated when first lowered,
+// so assembly itself is O(methods) map inserts.
+func AssembleProgram(h *java.Hierarchy, units []*ClassUnit, archives []java.Archive) (*Program, error) {
+	prog := NewProgram(h)
+	prog.Archives = append(prog.Archives, archives...)
+	for _, u := range units {
+		if u.Class == nil {
+			return nil, fmt.Errorf("jimple: assemble: unit with nil class")
+		}
+		for _, b := range u.Bodies {
+			if b.Method.ClassName != u.Class.Name {
+				return nil, fmt.Errorf("jimple: assemble: body %s filed under class %s",
+					b.Method.Key(), u.Class.Name)
+			}
+			if prog.Bodies[b.Method.Key()] != nil {
+				return nil, fmt.Errorf("jimple: assemble: duplicate body %s", b.Method.Key())
+			}
+			prog.SetBody(b)
+		}
+	}
+	return prog, nil
+}

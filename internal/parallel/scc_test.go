@@ -1,0 +1,128 @@
+package parallel
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+)
+
+// randomCondensation builds a graph with a known SCC partition: a seeded
+// random DAG over m "super-nodes", each expanded into a cycle of 1–3
+// concrete nodes. Returns the adjacency lists and the expected component
+// membership (node → super-node).
+func randomCondensation(seed int64, m int) (succs [][]int, want []int, n int) {
+	rng := rand.New(rand.NewSource(seed))
+	sizes := make([]int, m)
+	for k := range sizes {
+		sizes[k] = 1 + rng.Intn(3)
+		n += sizes[k]
+	}
+	// Scatter concrete node IDs so component members are not contiguous —
+	// the member-sorting and compOf bookkeeping must not depend on layout.
+	perm := rng.Perm(n)
+	members := make([][]int, m)
+	next := 0
+	want = make([]int, n)
+	for k := range members {
+		for i := 0; i < sizes[k]; i++ {
+			node := perm[next]
+			next++
+			members[k] = append(members[k], node)
+			want[node] = k
+		}
+	}
+	succs = make([][]int, n)
+	for k, ms := range members {
+		// Intra-component cycle makes the members one SCC.
+		if len(ms) > 1 {
+			for i, u := range ms {
+				succs[u] = append(succs[u], ms[(i+1)%len(ms)])
+			}
+		}
+		// Random DAG edges: super-node k points only at earlier super-nodes,
+		// so the condensation is acyclic by construction.
+		for j := 0; j < k; j++ {
+			if rng.Intn(3) != 0 {
+				continue
+			}
+			u := ms[rng.Intn(len(ms))]
+			v := members[j][rng.Intn(len(members[j]))]
+			succs[u] = append(succs[u], v)
+		}
+	}
+	return succs, want, n
+}
+
+// TestSCCsSeededDAGCorpus checks the properties the incremental
+// invalidation walk depends on, over a corpus of seeded random graphs:
+// the recovered partition matches the constructed one, members are
+// ascending, component order is reverse-topological, and repeated runs
+// are bit-identical.
+func TestSCCsSeededDAGCorpus(t *testing.T) {
+	for seed := int64(1); seed <= 20; seed++ {
+		for _, m := range []int{1, 7, 40} {
+			succs, want, n := randomCondensation(seed*31+int64(m), m)
+			succ := func(i int) []int { return succs[i] }
+			comps, compOf := SCCs(n, succ)
+
+			// Partition: every node in exactly one component, matching the
+			// constructed membership (same super-node ⇔ same component).
+			seen := 0
+			for c, comp := range comps {
+				for i, node := range comp {
+					seen++
+					if compOf[node] != c {
+						t.Fatalf("seed=%d m=%d: compOf[%d]=%d, listed in comp %d", seed, m, node, compOf[node], c)
+					}
+					if i > 0 && comp[i-1] >= node {
+						t.Fatalf("seed=%d m=%d: comp %d members not ascending: %v", seed, m, c, comp)
+					}
+					if want[node] != want[comp[0]] {
+						t.Fatalf("seed=%d m=%d: nodes %d and %d merged across super-nodes", seed, m, node, comp[0])
+					}
+				}
+			}
+			if seen != n || len(comps) != m {
+				t.Fatalf("seed=%d m=%d: got %d comps over %d nodes, want %d over %d", seed, m, len(comps), seen, m, n)
+			}
+
+			// Reverse topological order: every cross-component edge points
+			// at an already-emitted component (callees before callers).
+			for u := 0; u < n; u++ {
+				for _, v := range succs[u] {
+					if compOf[u] != compOf[v] && compOf[v] >= compOf[u] {
+						t.Fatalf("seed=%d m=%d: edge %d→%d violates reverse-topo order (comp %d → %d)",
+							seed, m, u, v, compOf[u], compOf[v])
+					}
+				}
+			}
+
+			// Waves: each component lands strictly after everything it
+			// points to, with ascending contents inside a wave.
+			waves := Waves(comps, compOf, succ)
+			waveOf := make([]int, len(comps))
+			for w, cs := range waves {
+				for i, c := range cs {
+					waveOf[c] = w
+					if i > 0 && cs[i-1] >= c {
+						t.Fatalf("seed=%d m=%d: wave %d not ascending: %v", seed, m, w, cs)
+					}
+				}
+			}
+			for u := 0; u < n; u++ {
+				for _, v := range succs[u] {
+					if compOf[u] != compOf[v] && waveOf[compOf[v]] >= waveOf[compOf[u]] {
+						t.Fatalf("seed=%d m=%d: comp %d (wave %d) depends on comp %d (wave %d)",
+							seed, m, compOf[u], waveOf[compOf[u]], compOf[v], waveOf[compOf[v]])
+					}
+				}
+			}
+
+			// Determinism: a second run over the same graph is identical.
+			comps2, compOf2 := SCCs(n, succ)
+			if !reflect.DeepEqual(comps, comps2) || !reflect.DeepEqual(compOf, compOf2) {
+				t.Fatalf("seed=%d m=%d: repeated SCCs runs differ", seed, m)
+			}
+		}
+	}
+}

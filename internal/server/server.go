@@ -11,6 +11,11 @@
 //	POST /v1/chains                 path-finder search with TC/sink/source parameters
 //	POST /v1/analyze                compile an uploaded mini-Java corpus into a new snapshot
 //
+// Analyses share one content-addressed cache across requests, so
+// re-uploading a corpus that overlaps a previous one (the edit-analyze
+// loop) reuses compiled classes and controllability summaries whose
+// inputs are unchanged.
+//
 // Every response is JSON. Queries and searches run against frozen
 // stores, so concurrent requests are safe and two identical requests
 // always produce byte-identical responses.
@@ -57,6 +62,13 @@ type Server struct {
 	workers  int
 	maxBody  int64
 	analyzeC chan struct{} // serializes /v1/analyze (CPU-bound builds)
+	// cache persists compile artifacts and controllability summaries
+	// across /v1/analyze requests: re-analyzing a corpus that shares
+	// classes with a previous upload reuses every summary whose dependency
+	// cone is unchanged. Guarded by analyzeC (it is not concurrent-safe);
+	// content-addressing keeps it sound across requests with different
+	// mechanisms or options.
+	cache *core.AnalysisCache
 }
 
 // New creates a server with an empty registry.
@@ -69,6 +81,7 @@ func New(opts Options) *Server {
 		workers:  opts.Workers,
 		maxBody:  opts.MaxRequestBytes,
 		analyzeC: make(chan struct{}, 1),
+		cache:    core.NewAnalysisCache(),
 	}
 	s.analyzeC <- struct{}{}
 	return s
@@ -406,6 +419,22 @@ type analyzeResponse struct {
 	Stats   cpg.Stats `json:"stats"`
 	Chains  int       `json:"chains"`
 	Evicted string    `json:"evicted,omitempty"`
+	// Cache reports what the server's cross-request analysis cache reused
+	// for this build.
+	Cache *analyzeCacheJSON `json:"cache,omitempty"`
+}
+
+// analyzeCacheJSON is the wire form of core.CacheStats: enough to see the
+// hit rates without exposing internal struct layouts.
+type analyzeCacheJSON struct {
+	Files           int    `json:"files"`
+	ParseHits       int    `json:"parse_hits"`
+	BodyHits        int    `json:"body_hits"`
+	TaintComps      int    `json:"taint_components"`
+	TaintCompHits   int    `json:"taint_component_hits"`
+	MethodsReused   int    `json:"methods_reused"`
+	MethodsAnalyzed int    `json:"methods_analyzed"`
+	GraphReuse      string `json:"graph_reuse"`
 }
 
 func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
@@ -450,11 +479,13 @@ func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
 	}
 	engine := core.New(core.Options{Sources: sources, Workers: workers, MaxDepth: req.MaxDepth})
 
-	// Builds are CPU-bound and mutate nothing shared, but running an
-	// unbounded number of them would starve query traffic; one at a time
-	// keeps the service responsive.
+	// Builds are CPU-bound and share the server's analysis cache, so one
+	// at a time: serialization both keeps the service responsive and
+	// guards the cache. Frozen previous graphs decline in-place deltas
+	// automatically, so only the compile and summary layers carry over —
+	// exactly the reuse that is safe between independent uploads.
 	<-s.analyzeC
-	rep, err := engine.AnalyzeSources(archives)
+	rep, err := engine.AnalyzeIncremental(s.cache, archives)
 	s.analyzeC <- struct{}{}
 	if err != nil {
 		writeError(w, http.StatusUnprocessableEntity, "analyze failed: %v", err)
@@ -482,10 +513,23 @@ func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusConflict, "%v", err)
 		return
 	}
-	writeJSON(w, http.StatusOK, analyzeResponse{
+	resp := analyzeResponse{
 		ID:      req.Name,
 		Stats:   rep.Graph.Stats,
 		Chains:  len(rep.Chains),
 		Evicted: evicted,
-	})
+	}
+	if cs := rep.Timings.Cache; cs != nil {
+		resp.Cache = &analyzeCacheJSON{
+			Files:           cs.Compile.Files,
+			ParseHits:       cs.Compile.ParseHits,
+			BodyHits:        cs.Compile.BodyHits,
+			TaintComps:      cs.Taint.Components,
+			TaintCompHits:   cs.Taint.ComponentHits,
+			MethodsReused:   cs.Taint.MethodsReused,
+			MethodsAnalyzed: cs.Taint.MethodsAnalyzed,
+			GraphReuse:      cs.GraphReuse,
+		}
+	}
+	writeJSON(w, http.StatusOK, resp)
 }

@@ -1,0 +1,191 @@
+package store
+
+import (
+	"bytes"
+	"encoding/binary"
+	"reflect"
+	"strings"
+	"testing"
+
+	"tabby/internal/taint"
+)
+
+// downgradeToV1 rewrites a current-format snapshot into a version-1 file:
+// same sections in the same order minus "sumc", version field set to 1.
+// This is byte-exact what the version-1 writer produced, so it stands in
+// for snapshots written before the summary cache existed.
+func downgradeToV1(t *testing.T, data []byte) []byte {
+	t.Helper()
+	hdrLen := len(magic) + 2
+	out := append([]byte(nil), data[:hdrLen]...)
+	binary.LittleEndian.PutUint16(out[len(magic):], 1)
+	rest := data[hdrLen:]
+	for len(rest) > 0 {
+		if len(rest) < 8 {
+			t.Fatalf("trailing %d bytes are not a section frame", len(rest))
+		}
+		tag := string(rest[:4])
+		size := binary.LittleEndian.Uint32(rest[4:8])
+		end := 8 + int(size) + 4 // frame + payload + crc
+		if len(rest) < end {
+			t.Fatalf("section %q overruns the file", tag)
+		}
+		if tag != "sumc" {
+			out = append(out, rest[:end]...)
+		}
+		rest = rest[end:]
+	}
+	return out
+}
+
+// TestReadV1SnapshotBackwardCompat: a snapshot without the summary-cache
+// section (the version-1 layout) must still load, with everything except
+// Summaries identical.
+func TestReadV1SnapshotBackwardCompat(t *testing.T) {
+	snap := buildSnapshot(t)
+	v1 := downgradeToV1(t, encodeSnapshot(t, snap))
+	got, err := Read(bytes.NewReader(v1))
+	if err != nil {
+		t.Fatalf("reading v1 snapshot: %v", err)
+	}
+	if got.Summaries != nil {
+		t.Errorf("v1 snapshot decoded %d summary cones, want none", len(got.Summaries))
+	}
+	if !reflect.DeepEqual(got.Meta, snap.Meta) {
+		t.Errorf("meta differs:\n got %+v\nwant %+v", got.Meta, snap.Meta)
+	}
+	if !reflect.DeepEqual(got.Sinks.All(), snap.Sinks.All()) {
+		t.Errorf("sinks differ after v1 load")
+	}
+	if !reflect.DeepEqual(got.DB.Export(), snap.DB.Export()) {
+		t.Errorf("graph differs after v1 load")
+	}
+	// Saving a v1-loaded snapshot re-encodes at the current version with
+	// an empty summary section — and loads again.
+	var buf bytes.Buffer
+	if err := Write(&buf, got); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Read(bytes.NewReader(buf.Bytes())); err != nil {
+		t.Fatalf("re-reading upgraded snapshot: %v", err)
+	}
+}
+
+// TestReadV1RejectsSummarySection: the version gates the section order,
+// so a file claiming version 1 while carrying a "sumc" section is
+// corrupt, not silently tolerated.
+func TestReadV1RejectsSummarySection(t *testing.T) {
+	data := encodeSnapshot(t, buildSnapshot(t))
+	bad := append([]byte(nil), data...)
+	binary.LittleEndian.PutUint16(bad[len(magic):], 1)
+	_, err := Read(bytes.NewReader(bad))
+	if err == nil {
+		t.Fatal("v1 header over a v2 body read successfully")
+	}
+}
+
+// TestV1TruncationAndFlips runs the exhaustive corruption suite over the
+// synthesized v1 layout too: every truncation and every byte flip must
+// error, never panic.
+func TestV1TruncationAndFlips(t *testing.T) {
+	v1 := downgradeToV1(t, encodeSnapshot(t, buildSnapshot(t)))
+	if _, err := Read(bytes.NewReader(v1)); err != nil {
+		t.Fatalf("pristine v1 file must read: %v", err)
+	}
+	for n := 0; n < len(v1); n++ {
+		if _, err := Read(bytes.NewReader(v1[:n])); err == nil {
+			t.Fatalf("truncation to %d/%d bytes read successfully", n, len(v1))
+		}
+	}
+	bad := make([]byte, len(v1))
+	for i := range v1 {
+		copy(bad, v1)
+		bad[i] ^= 0xff
+		if _, err := Read(bytes.NewReader(bad)); err == nil {
+			t.Fatalf("flipping byte %d/%d still read successfully", i, len(v1))
+		}
+	}
+}
+
+func encodeSummariesFile(t *testing.T, entries []taint.ConeEntry) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := WriteSummaries(&buf, entries); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// TestSummariesRoundTrip covers the standalone "TABBYSUM" cache file and
+// its interaction with the in-memory cache: file → entries → cache →
+// export must reproduce the entries (Export returns fingerprint order).
+func TestSummariesRoundTrip(t *testing.T) {
+	entries := buildSummaries()
+	data := encodeSummariesFile(t, entries)
+	got, err := ReadSummaries(bytes.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, entries) {
+		t.Errorf("summaries differ after round trip:\n got %+v\nwant %+v", got, entries)
+	}
+	reexported := taint.ImportSummaryCache(got).Export()
+	if !reflect.DeepEqual(reexported, entries) {
+		t.Errorf("import+export changed the entries")
+	}
+
+	path := t.TempDir() + "/cache.tabbysum"
+	if err := WriteSummariesFile(path, entries); err != nil {
+		t.Fatal(err)
+	}
+	fromFile, err := ReadSummariesFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(fromFile, entries) {
+		t.Errorf("file round trip differs")
+	}
+	if _, err := ReadSummariesFile(t.TempDir() + "/missing.tabbysum"); err == nil {
+		t.Error("missing cache file must error")
+	}
+}
+
+// TestSummariesRejectCorruption applies the snapshot suite's exhaustive
+// truncation and byte-flip checks to the standalone cache file.
+func TestSummariesRejectCorruption(t *testing.T) {
+	data := encodeSummariesFile(t, buildSummaries())
+	for n := 0; n < len(data); n++ {
+		if _, err := ReadSummaries(bytes.NewReader(data[:n])); err == nil {
+			t.Fatalf("truncation to %d/%d bytes read successfully", n, len(data))
+		}
+	}
+	bad := make([]byte, len(data))
+	for i := range data {
+		copy(bad, data)
+		bad[i] ^= 0xff
+		if _, err := ReadSummaries(bytes.NewReader(bad)); err == nil {
+			t.Fatalf("flipping byte %d/%d still read successfully", i, len(data))
+		}
+	}
+}
+
+// TestSummariesRejectWrongMagicAndVersion pins the header diagnostics.
+func TestSummariesRejectWrongMagicAndVersion(t *testing.T) {
+	data := encodeSummariesFile(t, buildSummaries())
+	if _, err := ReadSummaries(bytes.NewReader([]byte("TABBYSNP"))); err == nil ||
+		!strings.Contains(err.Error(), "truncated") {
+		t.Errorf("short header: err = %v", err)
+	}
+	badMagic := append([]byte(nil), data...)
+	copy(badMagic, "NOTACACH")
+	if _, err := ReadSummaries(bytes.NewReader(badMagic)); err == nil ||
+		!strings.Contains(err.Error(), "magic") {
+		t.Errorf("bad magic: err = %v", err)
+	}
+	badVer := append([]byte(nil), data...)
+	binary.LittleEndian.PutUint16(badVer[len(summaryMagic):], SummaryFormatVersion+1)
+	if _, err := ReadSummaries(bytes.NewReader(badVer)); err == nil ||
+		!strings.Contains(err.Error(), "version") {
+		t.Errorf("bad version: err = %v", err)
+	}
+}

@@ -37,20 +37,33 @@ import (
 	"tabby/internal/cpg"
 	"tabby/internal/graphdb"
 	"tabby/internal/sinks"
+	"tabby/internal/taint"
 )
 
-// FormatVersion is the current snapshot format. Readers reject any other
-// version with a clear error.
-const FormatVersion = 1
+// FormatVersion is the current snapshot format. Version 2 added the
+// "sumc" section carrying the persisted method-summary cache; version 1
+// files (without it) still load. Readers reject anything newer with a
+// clear error.
+const FormatVersion = 2
 
 const (
 	magic          = "TABBYSNP"
 	maxSectionSize = 1 << 30 // sanity cap so a corrupt length cannot force a huge allocation
 )
 
-// The fixed section order. A snapshot must contain exactly these
-// sections, in this order.
-var sectionOrder = []string{"meta", "sink", "srcs", "strs", "node", "rels", "indx", "fini"}
+// The fixed section order per format version. A snapshot must contain
+// exactly these sections, in this order.
+var (
+	sectionOrderV1 = []string{"meta", "sink", "srcs", "strs", "node", "rels", "indx", "fini"}
+	sectionOrderV2 = []string{"meta", "sink", "srcs", "strs", "node", "rels", "indx", "sumc", "fini"}
+)
+
+func sectionOrderFor(version uint16) []string {
+	if version >= 2 {
+		return sectionOrderV2
+	}
+	return sectionOrderV1
+}
 
 // Property value type tags.
 const (
@@ -85,6 +98,10 @@ type Snapshot struct {
 	DB      *graphdb.DB
 	Sinks   *sinks.Registry
 	Sources sinks.SourceConfig
+	// Summaries is the exported method-summary cache of the analysis, so a
+	// service loading the snapshot can warm-start incremental re-analysis.
+	// Optional: empty on version-1 snapshots and on saves without a cache.
+	Summaries []taint.ConeEntry
 }
 
 // --- writing -------------------------------------------------------------
@@ -109,6 +126,7 @@ func Write(w io.Writer, snap *Snapshot) error {
 		return err
 	}
 	indxPay := encodeIndexes(ex.Indexes, tab)
+	sumcPay := encodeSummaries(snap.Summaries, tab)
 
 	sections := map[string][]byte{
 		"meta": encodeMeta(snap.Meta),
@@ -118,6 +136,7 @@ func Write(w io.Writer, snap *Snapshot) error {
 		"node": nodePay,
 		"rels": relsPay,
 		"indx": indxPay,
+		"sumc": sumcPay,
 		"fini": nil,
 	}
 
@@ -127,7 +146,7 @@ func Write(w io.Writer, snap *Snapshot) error {
 	if _, err := w.Write(hdr); err != nil {
 		return fmt.Errorf("store: write header: %w", err)
 	}
-	for _, tag := range sectionOrder {
+	for _, tag := range sectionOrderFor(FormatVersion) {
 		if err := writeSection(w, tag, sections[tag]); err != nil {
 			return err
 		}
@@ -363,13 +382,14 @@ func Read(r io.Reader) (*Snapshot, error) {
 		return nil, fmt.Errorf("store: bad magic %q: not a tabby snapshot file", hdr[:len(magic)])
 	}
 	version := binary.LittleEndian.Uint16(hdr[len(magic):])
-	if version != FormatVersion {
-		return nil, fmt.Errorf("store: unsupported snapshot format version %d (this build reads version %d)", version, FormatVersion)
+	if version < 1 || version > FormatVersion {
+		return nil, fmt.Errorf("store: unsupported snapshot format version %d (this build reads versions 1–%d)", version, FormatVersion)
 	}
 
-	payloads := make(map[string][]byte, len(sectionOrder))
-	for _, want := range sectionOrder {
-		tag, payload, err := readSection(r)
+	order := sectionOrderFor(version)
+	payloads := make(map[string][]byte, len(order))
+	for _, want := range order {
+		tag, payload, err := readSection(r, order)
 		if err != nil {
 			return nil, err
 		}
@@ -404,6 +424,11 @@ func Read(r io.Reader) (*Snapshot, error) {
 	if ex.Indexes, err = decodeIndexes(payloads["indx"], tab); err != nil {
 		return nil, err
 	}
+	if version >= 2 {
+		if snap.Summaries, err = decodeSummaries(payloads["sumc"], tab); err != nil {
+			return nil, err
+		}
+	}
 	db, err := graphdb.Import(ex)
 	if err != nil {
 		return nil, fmt.Errorf("store: %w", err)
@@ -423,7 +448,7 @@ func ReadFile(path string) (*Snapshot, error) {
 	return Read(f)
 }
 
-func readSection(r io.Reader) (tag string, payload []byte, err error) {
+func readSection(r io.Reader, allowed []string) (tag string, payload []byte, err error) {
 	frame := make([]byte, 8)
 	if _, err := io.ReadFull(r, frame); err != nil {
 		return "", nil, fmt.Errorf("store: read section frame: %w (file truncated?)", err)
@@ -431,7 +456,7 @@ func readSection(r io.Reader) (tag string, payload []byte, err error) {
 	tag = string(frame[:4])
 	size := binary.LittleEndian.Uint32(frame[4:])
 	known := false
-	for _, t := range sectionOrder {
+	for _, t := range allowed {
 		if t == tag {
 			known = true
 			break

@@ -9,8 +9,51 @@ import (
 
 	"tabby/internal/cpg"
 	"tabby/internal/graphdb"
+	"tabby/internal/jimple"
 	"tabby/internal/sinks"
+	"tabby/internal/taint"
 )
+
+// buildSummaries hand-builds cone entries exercising every field the
+// "sumc" codec encodes: field-qualified slots and origins, ∞ and
+// positional weights, pruned and kept calls, empty and populated call
+// lists.
+func buildSummaries() []taint.ConeEntry {
+	return []taint.ConeEntry{
+		{
+			Fingerprint: "cone-aaaa",
+			Methods: []taint.MethodSummary{
+				{
+					Key: "com.example.A#run()",
+					Action: taint.Action{
+						taint.SlotReturnValue:                 taint.Param(1).WithField("member"),
+						taint.SlotThisValue:                   taint.This,
+						taint.FinalParam(2):                   taint.Null,
+						{Kind: taint.SlotThis, Field: "next"}: taint.Param(2),
+					},
+					Calls: []taint.CallEdge{
+						{
+							Caller: "com.example.A#run()", CalleeClass: "com.example.B",
+							CalleeSub: "call(java.lang.Object)", Kind: jimple.InvokeVirtual,
+							PP: taint.PP{0, taint.WeightUnctrl, 2}, StmtIndex: 3,
+						},
+						{
+							Caller: "com.example.A#run()", CalleeClass: "com.example.C",
+							CalleeSub: "quiet()", Kind: jimple.InvokeStatic,
+							PP: taint.PP{taint.WeightUnctrl}, StmtIndex: 9, Pruned: true,
+						},
+					},
+				},
+			},
+		},
+		{
+			Fingerprint: "cone-bbbb",
+			Methods: []taint.MethodSummary{
+				{Key: "com.example.B#call(java.lang.Object)", Action: taint.Action{taint.SlotReturnValue: taint.Null}},
+			},
+		},
+	}
+}
 
 // buildSnapshot constructs a small hand-made snapshot exercising every
 // property value type the codec supports (bool, int, float64, string,
@@ -60,6 +103,9 @@ func buildSnapshot(t *testing.T) *Snapshot {
 		DB:      db,
 		Sinks:   reg,
 		Sources: sinks.SourceConfig{MethodNames: []string{"readObject"}, RequireSerializable: true},
+		// Populated summaries extend the truncate/flip corruption suites
+		// below to a non-trivial "sumc" section.
+		Summaries: buildSummaries(),
 	}
 }
 
@@ -91,6 +137,9 @@ func TestRoundTripPreservesEverything(t *testing.T) {
 	}
 	if !reflect.DeepEqual(got.DB.Export(), snap.DB.Export()) {
 		t.Errorf("graph export differs after round trip")
+	}
+	if !reflect.DeepEqual(got.Summaries, snap.Summaries) {
+		t.Errorf("summaries:\n got %+v\nwant %+v", got.Summaries, snap.Summaries)
 	}
 	if !got.DB.Frozen() {
 		t.Error("loaded store must be frozen")

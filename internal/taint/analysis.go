@@ -39,15 +39,16 @@ type Result struct {
 	PrunedCalls int
 }
 
+// MaxCallDepth is a doc-deprecated alias marking where the removed
+// Options.MaxCallDepth knob used to live. The SCC wave scheduler memoizes
+// callee summaries bottom-up, so the analysis needs no depth bound; the
+// knob was a no-op for several releases and the field is now gone.
+//
+// Deprecated: the value was always ignored; stop passing a depth.
+const MaxCallDepth = 0
+
 // Options tunes the analysis.
 type Options struct {
-	// MaxCallDepth is retained for API compatibility but no longer has
-	// any effect: the SCC wave scheduler memoizes callee summaries
-	// bottom-up, so no chain is ever deep enough to need a fallback.
-	//
-	// Deprecated: the depth-capped recursive scheduler it bounded has
-	// been replaced by SCC scheduling.
-	MaxCallDepth int
 	// MaxIterations bounds the per-method dataflow iterations as a safety
 	// valve. Zero means the default (64 passes).
 	MaxIterations int
@@ -76,6 +77,18 @@ const defaultMaxIterations = 64
 // cyclic component the paper's cache-as-cycle-breaker applies: a member
 // whose analysis is in progress summarizes as the identity Action.
 func Analyze(prog *jimple.Program, opts Options) (*Result, error) {
+	res, _, err := AnalyzeWithCache(prog, opts, nil)
+	return res, err
+}
+
+// AnalyzeWithCache is Analyze with an optional cross-run summary cache.
+// Components whose cone fingerprint hits the cache are installed into the
+// result without running their fixpoints; everything else is analyzed as
+// usual and inserted afterwards. Because a hit requires the component's
+// entire dependency cone to be unchanged, the Result is byte-identical to
+// what a cacheless run would produce. A nil cache makes this exactly
+// Analyze.
+func AnalyzeWithCache(prog *jimple.Program, opts Options, cache *SummaryCache) (*Result, CacheStats, error) {
 	if opts.MaxIterations <= 0 {
 		opts.MaxIterations = defaultMaxIterations
 	}
@@ -91,8 +104,40 @@ func Analyze(prog *jimple.Program, opts Options) (*Result, error) {
 		actions: make(map[java.MethodKey]Action, len(keys)),
 		calls:   make(map[java.MethodKey][]CallEdge, len(keys)),
 	}
+	stats := CacheStats{Components: len(comps)}
+	var coneFPs []string
+	cachedComp := make([]bool, len(comps))
+	if cache != nil {
+		coneFPs = coneFingerprints(prog, opts, keys, dep, comps, compOf, cache)
+		for ci, fp := range coneFPs {
+			ms, ok := cache.lookup(fp)
+			if !ok {
+				continue
+			}
+			cachedComp[ci] = true
+			stats.ComponentHits++
+			stats.MethodsReused += len(ms)
+			// Installing before the waves run is safe: only dependents read
+			// these entries, and they are all scheduled in later waves.
+			for _, m := range ms {
+				a.actions[m.Key] = m.Action
+				a.calls[m.Key] = m.Calls
+			}
+		}
+	}
+	stats.MethodsAnalyzed = len(keys) - stats.MethodsReused
+
 	for _, wave := range waves {
-		runners := parallel.Map(opts.Workers, wave, func(_ int, comp int) *sccRunner {
+		pending := wave
+		if stats.ComponentHits > 0 {
+			pending = make([]int, 0, len(wave))
+			for _, c := range wave {
+				if !cachedComp[c] {
+					pending = append(pending, c)
+				}
+			}
+		}
+		runners := parallel.Map(opts.Workers, pending, func(_ int, comp int) *sccRunner {
 			r := newSCCRunner(a, comps[comp], keys)
 			r.run()
 			return r
@@ -101,7 +146,7 @@ func Analyze(prog *jimple.Program, opts Options) (*Result, error) {
 		// while workers run, so in-wave reads need no lock.
 		for _, r := range runners {
 			if r.err != nil {
-				return nil, r.err
+				return nil, stats, r.err
 			}
 		}
 		for _, r := range runners {
@@ -114,6 +159,20 @@ func Analyze(prog *jimple.Program, opts Options) (*Result, error) {
 		}
 	}
 
+	if cache != nil {
+		for ci, members := range comps {
+			if cachedComp[ci] {
+				continue
+			}
+			ms := make([]MethodSummary, 0, len(members))
+			for _, m := range members {
+				k := keys[m]
+				ms = append(ms, MethodSummary{Key: k, Action: a.actions[k], Calls: a.calls[k]})
+			}
+			cache.put(coneFPs[ci], ms)
+		}
+	}
+
 	res := &Result{Actions: a.actions, Calls: a.calls}
 	for _, k := range keys {
 		for _, c := range a.calls[k] {
@@ -123,7 +182,7 @@ func Analyze(prog *jimple.Program, opts Options) (*Result, error) {
 			}
 		}
 	}
-	return res, nil
+	return res, stats, nil
 }
 
 // analyzer holds the cross-wave state: memoized Actions and call edges

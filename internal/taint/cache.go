@@ -1,0 +1,208 @@
+package taint
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"sort"
+	"strconv"
+	"sync"
+
+	"tabby/internal/java"
+	"tabby/internal/jimple"
+	"tabby/internal/parallel"
+)
+
+// summaryVersion is folded into every fingerprint so cached summaries
+// persisted by an older analysis (whose transfer rules may have differed)
+// can never match current keys. Bump on any semantic change to Algorithm 1.
+const summaryVersion = 1
+
+// MethodSummary is one method's cached analysis output: its Action
+// (Table III) and its call edges with Polluted_Position arrays.
+type MethodSummary struct {
+	Key    java.MethodKey
+	Action Action
+	Calls  []CallEdge
+}
+
+// ConeEntry is the cached output of one strongly connected component,
+// addressed by the fingerprint of its whole dependency cone.
+type ConeEntry struct {
+	Fingerprint string
+	Methods     []MethodSummary // sorted by Key
+}
+
+// SummaryCache memoizes per-SCC analysis results across runs of
+// AnalyzeWithCache. The key of an entry is a fingerprint of the SCC's
+// member bodies, the callee each call site resolves to, the analysis
+// options, and — transitively — the fingerprints of every cone the SCC
+// depends on. A summary is therefore reused only when its entire
+// dependency cone is unchanged, which makes a hit byte-identical to a
+// fresh computation: invalidation flows along the SCC condensation DAG
+// for free, because any change below re-addresses every cone above it.
+//
+// The cache is safe for concurrent use and never evicts. Cached Actions
+// and CallEdges are shared between entries, Results and future runs:
+// treat everything reachable from a Result as immutable.
+type SummaryCache struct {
+	mu    sync.Mutex
+	cones map[string][]MethodSummary
+	// textFPs memoizes body-text hashes by body identity: an unchanged
+	// corpus reuses its Body objects (javasrc whole-program reuse), so
+	// warm runs skip re-rendering every body to text. Entries for
+	// replaced bodies are retained (bounded by distinct bodies seen).
+	textFPs map[*jimple.Body]string
+}
+
+// NewSummaryCache creates an empty summary cache.
+func NewSummaryCache() *SummaryCache {
+	return &SummaryCache{
+		cones:   make(map[string][]MethodSummary),
+		textFPs: make(map[*jimple.Body]string),
+	}
+}
+
+// Len reports how many cones the cache holds.
+func (c *SummaryCache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.cones)
+}
+
+// Export dumps the cache in fingerprint order for persistence.
+func (c *SummaryCache) Export() []ConeEntry {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	fps := make([]string, 0, len(c.cones))
+	for fp := range c.cones {
+		fps = append(fps, fp)
+	}
+	sort.Strings(fps)
+	out := make([]ConeEntry, 0, len(fps))
+	for _, fp := range fps {
+		out = append(out, ConeEntry{Fingerprint: fp, Methods: c.cones[fp]})
+	}
+	return out
+}
+
+// ImportSummaryCache rebuilds a cache from exported entries.
+func ImportSummaryCache(entries []ConeEntry) *SummaryCache {
+	c := NewSummaryCache()
+	for _, e := range entries {
+		c.cones[e.Fingerprint] = e.Methods
+	}
+	return c
+}
+
+func (c *SummaryCache) lookup(fp string) ([]MethodSummary, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	ms, ok := c.cones[fp]
+	return ms, ok
+}
+
+func (c *SummaryCache) put(fp string, ms []MethodSummary) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, ok := c.cones[fp]; !ok {
+		c.cones[fp] = ms
+	}
+}
+
+func (c *SummaryCache) textFP(body *jimple.Body) string {
+	c.mu.Lock()
+	if fp, ok := c.textFPs[body]; ok {
+		c.mu.Unlock()
+		return fp
+	}
+	c.mu.Unlock()
+	sum := sha256.Sum256([]byte(body.String()))
+	fp := hex.EncodeToString(sum[:])
+	c.mu.Lock()
+	c.textFPs[body] = fp
+	c.mu.Unlock()
+	return fp
+}
+
+// CacheStats reports what one AnalyzeWithCache run reused versus computed.
+type CacheStats struct {
+	Components      int // strongly connected components in the dep graph
+	ComponentHits   int // components whose summaries came from the cache
+	MethodsReused   int // methods inside hit components
+	MethodsAnalyzed int // methods the fixpoint actually ran on
+}
+
+// optionsTag renders the output-relevant analysis options for hashing.
+// Workers is excluded: output is identical at every worker count.
+func optionsTag(opts Options) string {
+	tag := "v" + strconv.Itoa(summaryVersion) + "|iter=" + strconv.Itoa(opts.MaxIterations)
+	if opts.DisableInterprocedural {
+		tag += "|nointerproc"
+	}
+	return tag
+}
+
+// methodFingerprints computes each method's own fingerprint: the body
+// text, the analysis options, and — per call site — which callee summary
+// calleeAction will consult ("c"+key when a resolvable body exists,
+// opaque otherwise). Recording the resolution captures every hierarchy
+// effect the analysis can observe, including a callee flipping between
+// modeled and phantom.
+func methodFingerprints(prog *jimple.Program, opts Options, keys []java.MethodKey, dep *depGraph, cache *SummaryCache) []string {
+	tag := optionsTag(opts)
+	return parallel.Map(opts.Workers, keys, func(_ int, key java.MethodKey) string {
+		body := prog.Body(key)
+		h := sha256.New()
+		h.Write([]byte("tabby-method\x00" + tag + "\x00"))
+		h.Write([]byte(cache.textFP(body)))
+		if !opts.DisableInterprocedural {
+			for idx, st := range body.Stmts {
+				inv := invokeOf(st)
+				if inv == nil || inv.Kind == jimple.InvokeDynamic {
+					continue
+				}
+				h.Write([]byte(strconv.Itoa(idx)))
+				if m := dep.resolve.method(inv.Class, inv.SubSignature()); m != nil && prog.Body(m.Key()) != nil {
+					h.Write([]byte(":c" + string(m.Key()) + "\x00"))
+				} else {
+					h.Write([]byte(":o\x00"))
+				}
+			}
+		}
+		return hex.EncodeToString(h.Sum(nil))
+	})
+}
+
+// coneFingerprints rolls the per-method fingerprints up the SCC
+// condensation DAG: a component's cone fingerprint covers its members
+// plus the cone fingerprints of every component it depends on. comps are
+// in reverse-topological (callee-first) order, so children are always
+// fingerprinted before their dependents.
+func coneFingerprints(prog *jimple.Program, opts Options, keys []java.MethodKey, dep *depGraph, comps [][]int, compOf []int, cache *SummaryCache) []string {
+	mfps := methodFingerprints(prog, opts, keys, dep, cache)
+	cones := make([]string, len(comps))
+	for ci, members := range comps {
+		h := sha256.New()
+		h.Write([]byte("tabby-cone\x00"))
+		for _, m := range members {
+			h.Write([]byte(mfps[m]))
+		}
+		var children []string
+		seen := make(map[int]bool)
+		for _, m := range members {
+			for _, s := range dep.succs[m] {
+				if cj := compOf[s]; cj != ci && !seen[cj] {
+					seen[cj] = true
+					children = append(children, cones[cj])
+				}
+			}
+		}
+		sort.Strings(children)
+		h.Write([]byte{0})
+		for _, c := range children {
+			h.Write([]byte(c))
+		}
+		cones[ci] = hex.EncodeToString(h.Sum(nil))
+	}
+	return cones
+}

@@ -1,0 +1,178 @@
+package taint
+
+import (
+	"reflect"
+	"testing"
+
+	"tabby/internal/java"
+	"tabby/internal/jimple"
+)
+
+func assertSameResult(t *testing.T, label string, got, want *Result) {
+	t.Helper()
+	if !reflect.DeepEqual(got.Actions, want.Actions) {
+		t.Errorf("%s: actions differ", label)
+	}
+	if !reflect.DeepEqual(got.Calls, want.Calls) {
+		t.Errorf("%s: call edges differ", label)
+	}
+	if got.TotalCalls != want.TotalCalls || got.PrunedCalls != want.PrunedCalls {
+		t.Errorf("%s: counters (%d,%d) differ from (%d,%d)",
+			label, got.TotalCalls, got.PrunedCalls, want.TotalCalls, want.PrunedCalls)
+	}
+}
+
+// TestSummaryCacheWarmReuse: a second analysis of an identical program
+// (freshly rebuilt, so no pointer identity) reuses every component and
+// produces the exact same result.
+func TestSummaryCacheWarmReuse(t *testing.T) {
+	prog, _, _ := buildFig5Program(t)
+	base, err := Analyze(prog, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	cache := NewSummaryCache()
+	cold, stats, err := AnalyzeWithCache(prog, Options{}, cache)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertSameResult(t, "cold", cold, base)
+	if stats.ComponentHits != 0 || stats.MethodsReused != 0 || stats.MethodsAnalyzed == 0 {
+		t.Errorf("cold stats = %+v", stats)
+	}
+
+	prog2, _, _ := buildFig5Program(t)
+	warm, stats, err := AnalyzeWithCache(prog2, Options{}, cache)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertSameResult(t, "warm", warm, base)
+	if stats.ComponentHits != stats.Components || stats.MethodsAnalyzed != 0 {
+		t.Errorf("warm stats = %+v, want all components reused", stats)
+	}
+}
+
+// TestSummaryCacheTransitiveInvalidation: editing a callee must
+// invalidate its callers (their dependency cone changed) even though the
+// caller's own body text did not.
+func TestSummaryCacheTransitiveInvalidation(t *testing.T) {
+	prog, _, _ := buildFig5Program(t)
+	cache := NewSummaryCache()
+	if _, _, err := AnalyzeWithCache(prog, Options{}, cache); err != nil {
+		t.Fatal(err)
+	}
+
+	// Rebuild with exchange's body changed: no reassignment of b, so the
+	// stored field (and exchange's summary) keeps a different shape.
+	prog2, _, exchange2 := buildFig5Program(t)
+	bb := jimple.NewBodyBuilder(exchange2)
+	bb.FieldStore(bb.Param(0), "fig5.A", "b", typeB, bb.Param(1))
+	ret := bb.Temp(typeB)
+	bb.FieldLoad(ret, bb.Param(0), "fig5.A", "b", typeB)
+	bb.Return(ret)
+	prog2.SetBody(bb.Body())
+
+	base2, err := Analyze(prog2, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, stats, err := AnalyzeWithCache(prog2, Options{}, cache)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertSameResult(t, "callee-changed", got, base2)
+	if stats.MethodsReused != 0 {
+		t.Errorf("callee edit reused %d methods, want 0 (caller cone changed)", stats.MethodsReused)
+	}
+}
+
+// TestSummaryCacheCallerOnlyInvalidation: editing only a caller leaves
+// the callee's cone intact, so the callee's summary is reused.
+func TestSummaryCacheCallerOnlyInvalidation(t *testing.T) {
+	prog, _, _ := buildFig5Program(t)
+	cache := NewSummaryCache()
+	if _, _, err := AnalyzeWithCache(prog, Options{}, cache); err != nil {
+		t.Fatal(err)
+	}
+
+	prog2, example2, _ := buildFig5Program(t)
+	bb := jimple.NewBodyBuilder(example2)
+	a1 := bb.Local("a1", typeA)
+	a2 := bb.Local("a2", typeA)
+	a3 := bb.Local("a3", typeA) // extra copy: body text changes, calls don't
+	b1 := bb.Local("b1", typeB)
+	bb.New(a1, typeA)
+	bb.Assign(a2, bb.Param(0))
+	bb.Assign(a3, a2)
+	bb.Assign(bb.Param(0), a1)
+	bb.AssignInvokeStatic(b1, "fig5.B",
+		"exchange", []java.Type{typeA, typeB}, typeB, bb.Param(0), bb.Param(1))
+	bb.Return(a3)
+	prog2.SetBody(bb.Body())
+
+	base2, err := Analyze(prog2, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, stats, err := AnalyzeWithCache(prog2, Options{}, cache)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertSameResult(t, "caller-changed", got, base2)
+	if stats.MethodsReused != 1 || stats.MethodsAnalyzed != 1 {
+		t.Errorf("caller edit stats = %+v, want callee reused and caller re-analyzed", stats)
+	}
+}
+
+// TestSummaryCacheExportImport: a cache round-tripped through its
+// portable form behaves identically to the original.
+func TestSummaryCacheExportImport(t *testing.T) {
+	prog, _, _ := buildFig5Program(t)
+	cache := NewSummaryCache()
+	base, _, err := AnalyzeWithCache(prog, Options{}, cache)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	entries := cache.Export()
+	if len(entries) == 0 {
+		t.Fatal("nothing exported")
+	}
+	if !reflect.DeepEqual(ImportSummaryCache(entries).Export(), entries) {
+		t.Error("export → import → export is not stable")
+	}
+
+	prog2, _, _ := buildFig5Program(t)
+	restored := ImportSummaryCache(entries)
+	got, stats, err := AnalyzeWithCache(prog2, Options{}, restored)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertSameResult(t, "imported", got, base)
+	if stats.ComponentHits != stats.Components {
+		t.Errorf("imported cache stats = %+v, want full reuse", stats)
+	}
+}
+
+// TestSummaryCacheDistinguishesOptions: summaries computed under
+// different analysis options must not cross-contaminate.
+func TestSummaryCacheDistinguishesOptions(t *testing.T) {
+	prog, _, _ := buildFig5Program(t)
+	cache := NewSummaryCache()
+	if _, _, err := AnalyzeWithCache(prog, Options{}, cache); err != nil {
+		t.Fatal(err)
+	}
+	base, err := Analyze(prog, Options{DisableInterprocedural: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, stats, err := AnalyzeWithCache(prog, Options{DisableInterprocedural: true}, cache)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertSameResult(t, "nointerproc", got, base)
+	if stats.ComponentHits != 0 {
+		t.Errorf("interprocedural summaries reused under DisableInterprocedural: %+v", stats)
+	}
+}

@@ -17,6 +17,10 @@ import (
 type depGraph struct {
 	keys  []java.MethodKey // sorted; node i is keys[i]
 	succs [][]int          // succs[i]: callee node indices, ascending, deduped
+	// resolve is the memoized ResolveMethod cache the scan populated; the
+	// summary-cache fingerprinter reuses it so each call site is resolved
+	// once per run. Nil when DisableInterprocedural skipped the scan.
+	resolve *resolveCache
 }
 
 // buildDepGraph scans every body for the invokes whose callee summaries
@@ -33,6 +37,7 @@ func buildDepGraph(prog *jimple.Program, opts Options, keys []java.MethodKey) *d
 		indexOf[k] = i
 	}
 	resolve := newResolveCache(prog)
+	g.resolve = resolve
 	parallel.ForEach(opts.Workers, len(keys), func(i int) {
 		body := prog.Body(keys[i])
 		seen := make(map[int]bool)

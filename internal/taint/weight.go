@@ -266,10 +266,16 @@ func OptimisticAction(paramCount int, static bool) Action {
 	return a
 }
 
+// SortedSlots returns the action's slots in canonical (rendered-name)
+// order, shared by String and the persistent summary-cache encoder.
+func (a Action) SortedSlots() []Slot {
+	return sortutil.SortedKeysFunc(a, func(x, y Slot) bool { return x.String() < y.String() })
+}
+
 // String renders the action deterministically, matching Fig. 5(b)'s
 // {"final-param-1": "init-param-1", ...} shape.
 func (a Action) String() string {
-	keys := sortutil.SortedKeysFunc(a, func(x, y Slot) bool { return x.String() < y.String() })
+	keys := a.SortedSlots()
 	parts := make([]string, 0, len(keys))
 	for _, k := range keys {
 		parts = append(parts, fmt.Sprintf("%q: %q", k.String(), a[k].String()))
