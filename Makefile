@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet fmt race check bench bench-path bench-incr serve-smoke
+.PHONY: build test vet fmt race check bench bench-path bench-incr bench-query serve-smoke
 
 build:
 	$(GO) build ./...
@@ -39,6 +39,13 @@ bench-path:
 # rerun by >= 2x, with output identical to the cacheless pipeline.
 bench-incr:
 	GOMAXPROCS=1 TABBY_BENCH_GATE=1 $(GO) test ./internal/bench -run TestIncrementalGate -count=1 -v
+
+# bench-query gates the Cypher-lite plan compiler at GOMAXPROCS=1: the
+# compiled iterator plan must beat the tree-walking interpreter by
+# >= 10x on a selective MATCH..WHERE pattern, with steady-state
+# allocations bounded by a small constant plus a few per result row.
+bench-query:
+	GOMAXPROCS=1 TABBY_BENCH_GATE=1 $(GO) test ./internal/bench -run TestQueryGate -count=1 -v
 
 # serve-smoke runs the persistence + serving stack end to end: snapshot
 # the quickstart corpus, boot tabby-server, curl every endpoint, and

@@ -13,6 +13,8 @@
 //	tabby-bench -table incremental cold vs warm vs one-class-changed
 //	                              cache scenarios over the Spring scene
 //	                              (writes BENCH_incremental.json)
+//	tabby-bench -table query      Cypher-lite interpreter vs compiled
+//	                              iterator plans (writes BENCH_query.json)
 //	tabby-bench -table all        everything
 //
 // The Table VIII run defaults to scale 1.0 (the paper's full class and
@@ -60,9 +62,9 @@ func main() {
 
 func run(table string, scale float64, runs, workers int) error {
 	switch table {
-	case "8", "9", "10", "11", "rq4", "ablation", "parallel", "pathfinder", "incremental", "all":
+	case "8", "9", "10", "11", "rq4", "ablation", "parallel", "pathfinder", "incremental", "query", "all":
 	default:
-		return fmt.Errorf("unknown table %q (want 8, 9, 10, 11, rq4, ablation, parallel, pathfinder, incremental or all)", table)
+		return fmt.Errorf("unknown table %q (want 8, 9, 10, 11, rq4, ablation, parallel, pathfinder, incremental, query or all)", table)
 	}
 	fmt.Printf("tabby-bench: workers=%d (resolved %d), GOMAXPROCS=%d\n",
 		workers, parallel.Resolve(workers), runtime.GOMAXPROCS(0))
@@ -148,6 +150,23 @@ func run(table string, scale float64, runs, workers int) error {
 			return err
 		}
 		fmt.Println("written to BENCH_incremental.json")
+	}
+	if want("query") {
+		fmt.Println("=== Cypher-lite: interpreter vs compiled plan ===")
+		r, err := bench.RunQuery(runs * 20) // query ops are cheap; more iterations steady the clock
+		if err != nil {
+			return err
+		}
+		fmt.Println(r.Format())
+		f, err := os.Create("BENCH_query.json")
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := r.WriteJSON(f); err != nil {
+			return err
+		}
+		fmt.Println("written to BENCH_query.json")
 	}
 	if want("pathfinder") {
 		fmt.Println("=== Path search: generic store vs compiled index ===")

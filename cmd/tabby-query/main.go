@@ -19,6 +19,13 @@
 //	MATCH (m:Method) RETURN m.IS_SINK, COUNT(*)
 //	CALL tabby.findGadgetChains(12)
 //	CALL tabby.sinks()
+//
+// Queries compile to iterator plans over the CSR search index when the
+// pattern allows it (variable-length relationships fall back to the
+// interpreter). Prefix any query with EXPLAIN to print the chosen plan
+// with cardinality estimates instead of running it:
+//
+//	EXPLAIN MATCH (a:Method)-[:CALL]->(b:Method) WHERE b.IS_SINK = true RETURN a.NAME
 package main
 
 import (

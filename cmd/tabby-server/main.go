@@ -14,10 +14,12 @@
 //
 // Flags:
 //
-//	-addr HOST:PORT   listen address (default :7687)
-//	-snapshot FILE    snapshot to preload; repeatable
-//	-max-graphs N     LRU capacity of the graph registry (default 8)
-//	-workers N        default worker count for searches and analyses
+//	-addr HOST:PORT      listen address (default :7687)
+//	-snapshot FILE       snapshot to preload; repeatable
+//	-max-graphs N        LRU capacity of the graph registry (default 8)
+//	-max-query-rows N    row cap per /v1/query response; responses cut off
+//	                     at the cap carry "truncated": true (default 10000)
+//	-workers N           default worker count for searches and analyses
 package main
 
 import (
@@ -44,11 +46,12 @@ func main() {
 	var (
 		addr      = flag.String("addr", ":7687", "listen address")
 		maxGraphs = flag.Int("max-graphs", server.DefaultMaxGraphs, "max snapshots kept loaded (LRU eviction beyond this)")
+		maxRows   = flag.Int("max-query-rows", server.DefaultMaxQueryRows, "max rows per /v1/query response (excess is dropped and flagged truncated)")
 		workers   = flag.Int("workers", 0, "default worker count for searches/analyses (0 = GOMAXPROCS)")
 	)
 	flag.Var(&snapshots, "snapshot", "snapshot file written by `tabby -save` (repeatable)")
 	flag.Parse()
-	if err := run(*addr, snapshots, *maxGraphs, *workers, nil); err != nil {
+	if err := run(*addr, snapshots, *maxGraphs, *maxRows, *workers, nil); err != nil {
 		fmt.Fprintln(os.Stderr, "tabby-server:", err)
 		os.Exit(1)
 	}
@@ -57,8 +60,8 @@ func main() {
 // run starts the service. When ready is non-nil, the bound listener
 // address is sent on it once the server is accepting connections (used
 // by tests and the smoke script via -addr 127.0.0.1:0).
-func run(addr string, snapshots []string, maxGraphs, workers int, ready chan<- string) error {
-	srv := server.New(server.Options{MaxGraphs: maxGraphs, Workers: workers})
+func run(addr string, snapshots []string, maxGraphs, maxRows, workers int, ready chan<- string) error {
+	srv := server.New(server.Options{MaxGraphs: maxGraphs, MaxQueryRows: maxRows, Workers: workers})
 	for _, path := range snapshots {
 		id, err := srv.LoadSnapshotFile(path)
 		if err != nil {

@@ -1,0 +1,72 @@
+package bench
+
+import (
+	"os"
+	"testing"
+)
+
+// TestQueryBenchSmoke checks the experiment's correctness side on every
+// test run: both workloads execute, every (graph, query) pair produced
+// identical results from both engines, and the selective queries exist
+// for the gate to check. Timing assertions live in TestQueryGate.
+func TestQueryBenchSmoke(t *testing.T) {
+	r, err := RunQuery(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.Deterministic {
+		t.Fatal("plan runner diverged from the interpreter on a benchmark query")
+	}
+	if len(r.Rows) == 0 || len(r.Rows) != 2*len(r.Summaries) {
+		t.Fatalf("rows/summaries mismatch: %d rows, %d summaries", len(r.Rows), len(r.Summaries))
+	}
+	if r.BestSelective() == nil {
+		t.Fatal("no selective query in the battery")
+	}
+	for _, pair := range [][2]string{
+		{"synthetic-layered", "sink-scan"},
+		{"synthetic-layered", "call-into-sink"},
+		{"component/commons-collections(3.2.1)", "sink-scan"},
+	} {
+		if r.Summary(pair[0], pair[1]) == nil {
+			t.Errorf("missing summary %s/%s", pair[0], pair[1])
+		}
+	}
+}
+
+// TestQueryGate is the timing gate behind `make bench-query`: at
+// GOMAXPROCS=1, the compiled plan must beat the interpreter by at least
+// 10x on some selective MATCH..WHERE pattern, and its steady-state
+// allocations must be a small constant plus a few per result row (row
+// materialization), independent of graph size. Wall-clock assertions
+// are load-sensitive, so the gate only arms when TABBY_BENCH_GATE is
+// set.
+func TestQueryGate(t *testing.T) {
+	if os.Getenv("TABBY_BENCH_GATE") == "" {
+		t.Skip("set TABBY_BENCH_GATE=1 (make bench-query) to run the timing gate")
+	}
+	r, err := RunQuery(100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.Deterministic {
+		t.Fatal("plan runner diverged from the interpreter on a benchmark query")
+	}
+	t.Log("\n" + r.Format())
+	best := r.BestSelective()
+	if best == nil {
+		t.Fatal("no selective query in the battery")
+	}
+	if best.Speedup < 10 {
+		t.Errorf("best selective speedup %.1fx (%s/%s), gate requires >= 10x",
+			best.Speedup, best.Graph, best.Query)
+	}
+	// Steady-state allocations: a small plan constant plus the cost of
+	// materializing each result row — nothing proportional to graph size.
+	for _, s := range r.Summaries {
+		if ceiling := int64(32 + 4*s.ResultRows); s.PlanAlloc > ceiling {
+			t.Errorf("%s/%s: %d allocs/op steady-state for %d rows, gate requires <= %d",
+				s.Graph, s.Query, s.PlanAlloc, s.ResultRows, ceiling)
+		}
+	}
+}

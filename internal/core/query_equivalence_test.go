@@ -1,0 +1,150 @@
+package core
+
+import (
+	"reflect"
+	"testing"
+
+	"tabby/internal/corpus"
+	"tabby/internal/cypher"
+	"tabby/internal/javasrc"
+)
+
+// queryBattery exercises every plan shape over real CPGs: bitset scans,
+// pushed column tests, propagation-worthy expansions, any-direction and
+// untyped hops, multi-path joins, aggregates, DISTINCT, ORDER BY, LIMIT
+// interplay, residual predicates, and the variable-length fallback.
+var queryBattery = []string{
+	`MATCH (m:Method) RETURN COUNT(*)`,
+	`MATCH (c:Class) RETURN COUNT(*)`,
+	`MATCH (m:Method {IS_SINK: true}) RETURN m.NAME, m.SINK_TYPE`,
+	`MATCH (m:Method {IS_SOURCE: true}) RETURN m.NAME LIMIT 10`,
+	`MATCH (m:Method) WHERE m.IS_SINK = true AND m.SINK_TYPE = "JDV" RETURN m.NAME`,
+	`MATCH (m:Method) WHERE m.NAME CONTAINS "readObject" RETURN m.NAME ORDER BY m.NAME`,
+	`MATCH (m:Method) WHERE m.NAME STARTS WITH "java.util" RETURN m.NAME LIMIT 25`,
+	`MATCH (m:Method) WHERE m.NAME ENDS WITH "hashCode()" RETURN m`,
+	`MATCH (a:Method)-[:CALL]->(b:Method) WHERE b.IS_SINK = true RETURN a.NAME, b.NAME`,
+	`MATCH (a:Method)-[:CALL]->(b:Method)-[:CALL]->(c:Method) RETURN c.NAME, COUNT(a) ORDER BY COUNT(a) DESC LIMIT 5`,
+	`MATCH (a)-[:ALIAS]-(b) RETURN a.NAME, b.NAME LIMIT 40`,
+	`MATCH (c:Class)-[:HAS]->(m:Method) WHERE m.IS_SINK = true RETURN c.NAME, m.NAME`,
+	`MATCH (c:Class)-[:EXTEND]->(p:Class) RETURN p.NAME, COUNT(c) ORDER BY COUNT(c) DESC LIMIT 10`,
+	`MATCH (c:Class)-[]->(x) RETURN DISTINCT c.NAME LIMIT 30`,
+	`MATCH (a:Method)<-[:CALL]-(b:Method) WHERE a.IS_SINK = true AND b.NAME CONTAINS "#" RETURN b.NAME, a.SINK_TYPE`,
+	`MATCH (c:Class)-[:HAS]->(m), (m)-[:CALL]->(n) WHERE n.IS_SINK = true RETURN c.NAME, n.NAME LIMIT 15`,
+	`MATCH (m:Method) WHERE m.IS_SOURCE = true OR m.IS_SINK = true RETURN COUNT(*)`,
+	`MATCH (m:Method) WHERE NOT m.IS_SINK = true RETURN COUNT(*)`,
+	`MATCH (m:Method) RETURN m.SINK_TYPE, COUNT(DISTINCT m)`,
+	`MATCH (a:Method)-[:CALL*1..2]->(b:Method {IS_SINK: true}) RETURN b.NAME LIMIT 5`, // interpreter fallback
+}
+
+// TestQueryPlannerMatchesInterpreterOnCorpus pins the Cypher-lite plan
+// runner to the tree-walking interpreter on every Table IX component
+// plus the Spring scene, with CPGs built at workers 1 and 2: identical
+// columns, rows, and rendered tables, byte for byte. The plan may only
+// change how fast a query runs, never what it returns.
+func TestQueryPlannerMatchesInterpreterOnCorpus(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-corpus equivalence sweep")
+	}
+	type scenario struct {
+		name     string
+		archives []javasrc.ArchiveSource
+	}
+	var scenarios []scenario
+	for _, comp := range corpus.Components() {
+		scenarios = append(scenarios, scenario{
+			name:     "component/" + comp.Name,
+			archives: append([]javasrc.ArchiveSource{corpus.RT()}, comp.Archives...),
+		})
+	}
+	spring, err := corpus.SceneByName("Spring")
+	if err != nil {
+		t.Fatal(err)
+	}
+	scenarios = append(scenarios, scenario{
+		name:     "scene/" + spring.Name,
+		archives: append([]javasrc.ArchiveSource{corpus.RT()}, spring.Archives...),
+	})
+
+	for _, sc := range scenarios {
+		sc := sc
+		t.Run(sc.name, func(t *testing.T) {
+			for _, workers := range []int{1, 2} {
+				engine := New(Options{Workers: workers})
+				prog, err := javasrc.CompileArchivesOpts(sc.archives, javasrc.CompileOptions{Workers: workers})
+				if err != nil {
+					t.Fatal(err)
+				}
+				g, _, err := engine.BuildCPG(prog)
+				if err != nil {
+					t.Fatal(err)
+				}
+				for _, query := range queryBattery {
+					q, err := cypher.Parse(query)
+					if err != nil {
+						t.Fatalf("Parse(%q): %v", query, err)
+					}
+					want, werr := cypher.ExecuteGeneric(g.DB, q)
+					p, perr := cypher.PlanQuery(g.DB, q)
+					if perr != nil {
+						// Declared fallback (variable-length pattern):
+						// Execute must agree with the interpreter anyway.
+						got, gerr := cypher.Execute(g.DB, q)
+						if (werr == nil) != (gerr == nil) || !reflect.DeepEqual(want, got) {
+							t.Errorf("workers=%d %q: fallback diverged", workers, query)
+						}
+						continue
+					}
+					got, gerr := p.Run()
+					if (werr == nil) != (gerr == nil) {
+						t.Errorf("workers=%d %q: interpreter err=%v plan err=%v", workers, query, werr, gerr)
+						continue
+					}
+					if werr != nil {
+						if werr.Error() != gerr.Error() {
+							t.Errorf("workers=%d %q: error text %q vs %q", workers, query, werr, gerr)
+						}
+						continue
+					}
+					if !reflect.DeepEqual(want.Columns, got.Columns) || !reflect.DeepEqual(want.Rows, got.Rows) {
+						t.Errorf("workers=%d %q: result mismatch\ninterpreter: %v\nplan:        %v",
+							workers, query, want.Rows, got.Rows)
+						continue
+					}
+					if want.Format() != got.Format() {
+						t.Errorf("workers=%d %q: rendered tables differ", workers, query)
+					}
+
+					// The streaming cursor must replay the same rows for
+					// streamable shapes.
+					cur, cerr := cypher.RunAnyCursor(g.DB, query)
+					if cerr != nil {
+						if werr == nil {
+							t.Errorf("workers=%d %q: cursor errored: %v", workers, query, cerr)
+						}
+						continue
+					}
+					var rows [][]any
+					for {
+						row, rerr := cur.Next()
+						if rerr != nil {
+							rows = nil
+							if werr == nil {
+								t.Errorf("workers=%d %q: cursor Next errored: %v", workers, query, rerr)
+							}
+							break
+						}
+						if row == nil {
+							break
+						}
+						rows = append(rows, row)
+					}
+					if werr == nil && len(rows) != len(want.Rows) {
+						t.Errorf("workers=%d %q: cursor drained %d rows, want %d", workers, query, len(rows), len(want.Rows))
+					} else if werr == nil && len(rows) > 0 && !reflect.DeepEqual(rows, want.Rows) {
+						t.Errorf("workers=%d %q: cursor rows differ", workers, query)
+					}
+				}
+			}
+		})
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"unicode/utf8"
 
 	"tabby/internal/graphdb"
 )
@@ -14,11 +15,13 @@ type Result struct {
 	Rows    [][]any
 }
 
-// Format renders the result as an aligned text table.
+// Format renders the result as an aligned text table. Widths are
+// measured in runes, not bytes — method names from real jars carry
+// non-ASCII identifiers, and byte-width padding would misalign them.
 func (r *Result) Format() string {
 	widths := make([]int, len(r.Columns))
 	for i, c := range r.Columns {
-		widths[i] = len(c)
+		widths[i] = utf8.RuneCountInString(c)
 	}
 	cells := make([][]string, len(r.Rows))
 	for ri, row := range r.Rows {
@@ -26,23 +29,23 @@ func (r *Result) Format() string {
 		for ci, v := range row {
 			s := fmt.Sprintf("%v", v)
 			cells[ri][ci] = s
-			if len(s) > widths[ci] {
-				widths[ci] = len(s)
+			if n := utf8.RuneCountInString(s); n > widths[ci] {
+				widths[ci] = n
 			}
 		}
 	}
 	var sb strings.Builder
 	for i, c := range r.Columns {
-		fmt.Fprintf(&sb, "%-*s  ", widths[i], c)
+		writePadded(&sb, c, widths[i])
 	}
 	sb.WriteByte('\n')
 	for i := range r.Columns {
-		sb.WriteString(strings.Repeat("-", widths[i]) + "  ")
+		writePadded(&sb, strings.Repeat("-", widths[i]), widths[i])
 	}
 	sb.WriteByte('\n')
 	for _, row := range cells {
 		for ci, s := range row {
-			fmt.Fprintf(&sb, "%-*s  ", widths[ci], s)
+			writePadded(&sb, s, widths[ci])
 		}
 		sb.WriteByte('\n')
 	}
@@ -50,13 +53,66 @@ func (r *Result) Format() string {
 	return sb.String()
 }
 
-// Run parses and executes a query against the database.
+// writePadded writes s space-padded to width runes plus the two-space
+// column gap (fmt's %-*s pads by bytes, which breaks on multibyte runes).
+func writePadded(sb *strings.Builder, s string, width int) {
+	sb.WriteString(s)
+	for n := utf8.RuneCountInString(s); n < width; n++ {
+		sb.WriteByte(' ')
+	}
+	sb.WriteString("  ")
+}
+
+// Run parses and executes a query against the database. An `EXPLAIN `
+// prefix prints the chosen plan (with cost estimates) instead of rows.
 func Run(db *graphdb.DB, query string) (*Result, error) {
+	if rest, ok := explainRest(query); ok {
+		return runExplain(db, rest)
+	}
 	q, err := Parse(query)
 	if err != nil {
 		return nil, err
 	}
 	return Execute(db, q)
+}
+
+// explainRest strips a leading EXPLAIN keyword, reporting whether the
+// query carried one.
+func explainRest(query string) (string, bool) {
+	t := strings.TrimSpace(query)
+	if len(t) > 8 && strings.EqualFold(t[:7], "EXPLAIN") &&
+		(t[7] == ' ' || t[7] == '\t' || t[7] == '\n' || t[7] == '\r') {
+		return t[8:], true
+	}
+	return "", false
+}
+
+// runExplain renders the plan the query would execute under, one line
+// per row, without running it.
+func runExplain(db *graphdb.DB, rest string) (*Result, error) {
+	res := &Result{Columns: []string{"plan"}}
+	trimmed := strings.TrimSpace(rest)
+	if len(trimmed) >= 4 && strings.EqualFold(trimmed[:4], "CALL") {
+		res.Rows = append(res.Rows, []any{"plan: procedure call (dispatched directly, no query plan)"})
+		return res, nil
+	}
+	q, err := Parse(rest)
+	if err != nil {
+		return nil, err
+	}
+	p, perr := PlanQuery(db, q)
+	if perr != nil {
+		msg := perr.Error()
+		if ce, ok := perr.(*Error); ok {
+			msg = ce.Msg
+		}
+		res.Rows = append(res.Rows, []any{"plan: interpreter — " + strings.TrimPrefix(msg, "not plannable: ")})
+		return res, nil
+	}
+	for _, line := range p.Explain() {
+		res.Rows = append(res.Rows, []any{line})
+	}
+	return res, nil
 }
 
 // binding maps pattern variables to node IDs.
@@ -70,10 +126,24 @@ func (b binding) clone() binding {
 	return out
 }
 
-// Execute runs a parsed query. Queries built by Parse are ready to run;
-// a hand-assembled Query must set OrderBy to -1 unless it wants ordering
-// by the first RETURN column.
+// Execute runs a parsed query, compiling it into an iterator plan over
+// the search index when the planner supports it (PlanQuery) and falling
+// back to the tree-walking interpreter otherwise. Queries built by
+// Parse are ready to run; a hand-assembled Query must set OrderBy to -1
+// unless it wants ordering by the first RETURN column.
 func Execute(db *graphdb.DB, q *Query) (*Result, error) {
+	if p, err := PlanQuery(db, q); err == nil {
+		return p.Run()
+	}
+	return ExecuteGeneric(db, q)
+}
+
+// ExecuteGeneric runs a parsed query on the tree-walking interpreter
+// over the generic property store. It is the executable reference the
+// plan runner is pinned to (the full-corpus equivalence suite compares
+// the two byte for byte) and the fallback for patterns the planner does
+// not model.
+func ExecuteGeneric(db *graphdb.DB, q *Query) (*Result, error) {
 	ex := &executor{db: db, q: q}
 	ex.matchPaths(0, binding{})
 
@@ -116,13 +186,13 @@ func Execute(db *graphdb.DB, q *Query) (*Result, error) {
 			break
 		}
 	}
-	ex.orderAndLimit(res)
+	applyOrderAndLimit(q, res)
 	return res, nil
 }
 
-// orderAndLimit applies ORDER BY and LIMIT to a completed row set.
-func (ex *executor) orderAndLimit(res *Result) {
-	q := ex.q
+// applyOrderAndLimit applies ORDER BY and LIMIT to a completed row set
+// (shared by the interpreter and the plan runner).
+func applyOrderAndLimit(q *Query, res *Result) {
 	if q.OrderBy >= 0 && q.OrderBy < len(q.Return) {
 		col := q.OrderBy
 		sort.SliceStable(res.Rows, func(i, j int) bool {
@@ -215,6 +285,11 @@ func (ex *executor) candidates(n NodePattern, b binding) []graphdb.ID {
 	if n.Label != "" {
 		for prop, val := range n.Props {
 			if ids := ex.db.FindNodes(n.Label, prop, val); ids != nil {
+				// The property index lists IDs in SetNodeProp history
+				// order; sort so candidate order (and thus row order)
+				// matches every other scan source — ascending — which
+				// is the order the plan runner is pinned to.
+				sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
 				return ids
 			}
 			return nil
@@ -495,6 +570,6 @@ func (ex *executor) aggregate(res *Result) (*Result, error) {
 		}
 		res.Rows = append(res.Rows, g.row)
 	}
-	ex.orderAndLimit(res)
+	applyOrderAndLimit(ex.q, res)
 	return res, nil
 }

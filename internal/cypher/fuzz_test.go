@@ -1,6 +1,7 @@
 package cypher
 
 import (
+	"reflect"
 	"testing"
 
 	"tabby/internal/graphdb"
@@ -8,6 +9,9 @@ import (
 
 // FuzzRunAny feeds arbitrary queries to the parser, executor and
 // procedure dispatcher over a small graph: errors allowed, panics not.
+// For every query that parses, the compiled plan must agree with the
+// tree-walking interpreter — same rows, same rendered table, same error
+// text — or declare itself not plannable.
 func FuzzRunAny(f *testing.F) {
 	seeds := []string{
 		`MATCH (m:Method) RETURN m.NAME`,
@@ -19,6 +23,9 @@ func FuzzRunAny(f *testing.F) {
 		`MATCH (`,
 		`CALL`,
 		`MATCH (a:M {K: "v"}), (b) WHERE NOT a.K = b.K OR a.K <> "z" RETURN DISTINCT a.K`,
+		`EXPLAIN MATCH (m:Method) WHERE m.IS_SINK = true RETURN m LIMIT 2`,
+		`MATCH (a:Method)-[]-(b) WHERE b.SINK_TYPE STARTS WITH "EX" RETURN b.NAME, COUNT(a)`,
+		`MATCH (a)-[:CALL]->(a) RETURN a`,
 	}
 	for _, s := range seeds {
 		f.Add(s)
@@ -29,5 +36,33 @@ func FuzzRunAny(f *testing.F) {
 	_, _ = db.CreateRel("CALL", a, b, graphdb.Props{"POLLUTED_POSITION": []int{0}})
 	f.Fuzz(func(t *testing.T, query string) {
 		_, _ = RunAny(db, query)
+
+		// Engine agreement: any query the parser accepts must produce
+		// identical results from the interpreter and the planner.
+		q, err := Parse(query)
+		if err != nil {
+			return
+		}
+		want, werr := ExecuteGeneric(db, q)
+		p, perr := PlanQuery(db, q)
+		if perr != nil {
+			return // declared not plannable: interpreter handles it
+		}
+		got, gerr := p.Run()
+		if (werr == nil) != (gerr == nil) {
+			t.Fatalf("engine error mismatch for %q: interpreter=%v plan=%v", query, werr, gerr)
+		}
+		if werr != nil {
+			if werr.Error() != gerr.Error() {
+				t.Fatalf("engine error text mismatch for %q: %q vs %q", query, werr, gerr)
+			}
+			return
+		}
+		if !reflect.DeepEqual(want, got) {
+			t.Fatalf("engine result mismatch for %q:\ninterpreter: %#v\nplan:        %#v", query, want, got)
+		}
+		if want.Format() != got.Format() {
+			t.Fatalf("engine Format mismatch for %q", query)
+		}
 	})
 }

@@ -13,6 +13,14 @@
 // bitsets with NAME/SINK_TYPE as parallel string columns. The result is a
 // read-only artifact the search walks lock-free and allocation-free.
 //
+// The same compilation pass also lays out the query-side view the
+// Cypher-lite planner (package cypher) scans: one bitset per node label,
+// presence bitsets for the NAME/SINK_TYPE columns (a node can carry the
+// property with a non-string value, which the planner must distinguish
+// from "absent"), and per-relationship-type adjacency in both directions
+// with each row sorted ascending and deduplicated — exactly the
+// neighbour order the tree-walking interpreter's expansion produces.
+//
 // Compilation is one-shot and cached on the store itself (For): the
 // engine warms it right after CPG construction, loaded snapshots compile
 // it on first search, and the snapshot server reuses it across requests.
@@ -22,10 +30,12 @@ package searchindex
 
 import (
 	"encoding/binary"
+	"sort"
 	"sync/atomic"
 
 	"tabby/internal/cpg"
 	"tabby/internal/graphdb"
+	"tabby/internal/sortutil"
 )
 
 // builds counts index compilations process-wide; tests assert cache
@@ -68,6 +78,25 @@ type Index struct {
 	aliasTo    []int32
 
 	pool IntPool // interned PP and TC arrays, one shared flat buffer
+
+	// Query-side view (Cypher-lite planner): label bitsets, column
+	// presence bitsets, and per-type sorted-unique adjacency.
+	labelBits   map[string][]uint64
+	hasName     []uint64 // NAME present and string-typed
+	hasSinkType []uint64 // SINK_TYPE present and string-typed
+	adj         map[string]*typeAdj
+	relTypes    []string // sorted keys of adj
+}
+
+// typeAdj is one relationship type's adjacency: for node v, rows
+// outStart[v]..outStart[v+1] and inStart[v]..inStart[v+1] hold the
+// out-/in-neighbour node indexes, sorted ascending with duplicates
+// (parallel edges) collapsed. A self-loop appears in both rows.
+type typeAdj struct {
+	outStart []int32
+	out      []int32
+	inStart  []int32
+	in       []int32
 }
 
 // Compile builds the index for db in one pass under the store's read
@@ -98,20 +127,34 @@ func (ix *Index) build(v graphdb.RawView) {
 		ix.idxOf[id] = int32(i)
 	}
 
+	words := (n + 63) / 64
 	ix.names = make([]string, n)
 	ix.sinkTypes = make([]string, n)
-	ix.isSource = make([]uint64, (n+63)/64)
-	ix.isSink = make([]uint64, (n+63)/64)
+	ix.isSource = make([]uint64, words)
+	ix.isSink = make([]uint64, words)
+	ix.hasName = make([]uint64, words)
+	ix.hasSinkType = make([]uint64, words)
+	ix.labelBits = make(map[string][]uint64)
 	ix.tcOf = make([]int32, n)
 
 	var scratch []int32
 	for i, id := range ix.ids {
 		nd := v.Node(id)
+		for _, l := range nd.Labels {
+			bs := ix.labelBits[l]
+			if bs == nil {
+				bs = make([]uint64, words)
+				ix.labelBits[l] = bs
+			}
+			bs[i>>6] |= 1 << (uint(i) & 63)
+		}
 		if s, ok := nd.Props[cpg.PropName].(string); ok {
 			ix.names[i] = s
+			ix.hasName[i>>6] |= 1 << (uint(i) & 63)
 		}
 		if s, ok := nd.Props[cpg.PropSinkType].(string); ok {
 			ix.sinkTypes[i] = s
+			ix.hasSinkType[i>>6] |= 1 << (uint(i) & 63)
 		}
 		if b, ok := nd.Props[cpg.PropIsSource].(bool); ok && b {
 			ix.isSource[i>>6] |= 1 << (uint(i) & 63)
@@ -188,6 +231,85 @@ func (ix *Index) build(v graphdb.RawView) {
 			}
 		}
 	}
+
+	ix.buildQueryAdjacency(v, n)
+}
+
+// buildQueryAdjacency lays out per-type sorted-unique adjacency for the
+// query planner: count, prefix-sum, fill (rows land in node order, so a
+// single monotone cursor per type suffices), then sort + dedup each row
+// with in-place compaction.
+func (ix *Index) buildQueryAdjacency(v graphdb.RawView, n int) {
+	ix.adj = make(map[string]*typeAdj)
+	ensure := func(t string) *typeAdj {
+		a := ix.adj[t]
+		if a == nil {
+			a = &typeAdj{outStart: make([]int32, n+1), inStart: make([]int32, n+1)}
+			ix.adj[t] = a
+		}
+		return a
+	}
+	for i, id := range ix.ids {
+		for _, rid := range v.RelIDs(id, graphdb.DirOut) {
+			ensure(v.Rel(rid).Type).outStart[i+1]++
+		}
+		for _, rid := range v.RelIDs(id, graphdb.DirIn) {
+			ensure(v.Rel(rid).Type).inStart[i+1]++
+		}
+	}
+	for _, a := range ix.adj {
+		for i := 0; i < n; i++ {
+			a.outStart[i+1] += a.outStart[i]
+			a.inStart[i+1] += a.inStart[i]
+		}
+		a.out = make([]int32, a.outStart[n])
+		a.in = make([]int32, a.inStart[n])
+	}
+	cursors := make(map[string]*[2]int32, len(ix.adj))
+	for t := range ix.adj {
+		cursors[t] = &[2]int32{}
+	}
+	for _, id := range ix.ids {
+		for _, rid := range v.RelIDs(id, graphdb.DirOut) {
+			r := v.Rel(rid)
+			a, c := ix.adj[r.Type], cursors[r.Type]
+			a.out[c[0]] = ix.idxOf[r.End]
+			c[0]++
+		}
+		for _, rid := range v.RelIDs(id, graphdb.DirIn) {
+			r := v.Rel(rid)
+			a, c := ix.adj[r.Type], cursors[r.Type]
+			a.in[c[1]] = ix.idxOf[r.Start]
+			c[1]++
+		}
+	}
+	for _, t := range sortutil.SortedKeys(ix.adj) {
+		a := ix.adj[t]
+		a.out = compactRows(a.outStart, a.out, n)
+		a.in = compactRows(a.inStart, a.in, n)
+		ix.relTypes = append(ix.relTypes, t)
+	}
+}
+
+// compactRows sorts each CSR row ascending, drops duplicates, and
+// compacts the data array in place, rewriting start offsets.
+func compactRows(start, data []int32, n int) []int32 {
+	w := int32(0)
+	for i := 0; i < n; i++ {
+		lo, hi := start[i], start[i+1]
+		start[i] = w
+		row := data[lo:hi]
+		sort.Slice(row, func(a, b int) bool { return row[a] < row[b] })
+		for k := lo; k < hi; k++ {
+			if k > lo && data[k] == data[k-1] {
+				continue
+			}
+			data[w] = data[k]
+			w++
+		}
+	}
+	start[n] = w
+	return data[:w]
 }
 
 // DB returns the store the index was compiled from (the SourceFilter
@@ -254,6 +376,55 @@ func (ix *Index) AliasTarget(e int32) int32 { return ix.aliasTo[e] }
 // Ints resolves a pool ref into its interned int array (aliased: callers
 // must not mutate it).
 func (ix *Index) Ints(ref int32) []int32 { return ix.pool.Get(ref) }
+
+// --- query-side accessors (Cypher-lite planner) --------------------------
+
+// LabelBits returns the bitset of nodes carrying the label, or nil when
+// no node does. The slice aliases index internals: do not mutate.
+func (ix *Index) LabelBits(label string) []uint64 { return ix.labelBits[label] }
+
+// SourceBits returns the IS_SOURCE bitset (aliased, do not mutate).
+func (ix *Index) SourceBits() []uint64 { return ix.isSource }
+
+// SinkBits returns the IS_SINK bitset (aliased, do not mutate).
+func (ix *Index) SinkBits() []uint64 { return ix.isSink }
+
+// HasName reports whether the node carries a string-typed NAME property.
+// A node with NAME absent — or present with a non-string value — reads
+// "" from the Name column; this bit tells the two apart.
+func (ix *Index) HasName(v int32) bool {
+	return ix.hasName[v>>6]&(1<<(uint(v)&63)) != 0
+}
+
+// HasSinkType reports whether the node carries a string-typed SINK_TYPE.
+func (ix *Index) HasSinkType(v int32) bool {
+	return ix.hasSinkType[v>>6]&(1<<(uint(v)&63)) != 0
+}
+
+// RelTypes returns the relationship types present in the graph, sorted
+// ascending (aliased, do not mutate).
+func (ix *Index) RelTypes() []string { return ix.relTypes }
+
+// OutNeighbors returns node v's distinct out-neighbours over typ, sorted
+// ascending — the interpreter's single-hop expansion order. Nil when the
+// node has none or the type is absent from the graph. Aliased: do not
+// mutate.
+func (ix *Index) OutNeighbors(typ string, v int32) []int32 {
+	a := ix.adj[typ]
+	if a == nil {
+		return nil
+	}
+	return a.out[a.outStart[v]:a.outStart[v+1]]
+}
+
+// InNeighbors is OutNeighbors for incoming relationships.
+func (ix *Index) InNeighbors(typ string, v int32) []int32 {
+	a := ix.adj[typ]
+	if a == nil {
+		return nil
+	}
+	return a.in[a.inStart[v]:a.inStart[v+1]]
+}
 
 // Stats summarizes the compiled layout (reported by the Cypher-lite
 // tabby.indexStats() procedure and used in tests).

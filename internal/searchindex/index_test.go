@@ -244,3 +244,101 @@ func TestAppendNormalized(t *testing.T) {
 		t.Errorf("base-relative normalize = %v", got)
 	}
 }
+
+func TestQuerySideView(t *testing.T) {
+	db, ids := buildGraph(t)
+	// Give one node a non-string NAME to exercise the presence bits, and
+	// add parallel + reversed CALL edges to exercise sort/dedup.
+	weird := db.CreateNode([]string{cpg.LabelClass}, graphdb.Props{cpg.PropName: 42})
+	if _, err := db.CreateRel(cpg.RelCall, ids["mid"], ids["sink"], nil); err != nil {
+		t.Fatal(err) // parallel edge mid-CALL->sink
+	}
+	if _, err := db.CreateRel(cpg.RelCall, ids["sink"], ids["mid"], nil); err != nil {
+		t.Fatal(err) // reversed edge
+	}
+	ix := Compile(db)
+
+	sink := ix.IdxOf(ids["sink"])
+	mid := ix.IdxOf(ids["mid"])
+	src := ix.IdxOf(ids["src"])
+	alias := ix.IdxOf(ids["alias"])
+	bare := ix.IdxOf(ids["bare"])
+	wv := ix.IdxOf(weird)
+
+	// Label bitsets: five Methods, one Class, nothing else.
+	methods := ix.LabelBits(cpg.LabelMethod)
+	classes := ix.LabelBits(cpg.LabelClass)
+	if methods == nil || classes == nil {
+		t.Fatal("label bitsets missing")
+	}
+	pop := func(bs []uint64) (n int) {
+		for _, w := range bs {
+			for ; w != 0; w &= w - 1 {
+				n++
+			}
+		}
+		return
+	}
+	if pop(methods) != 5 || pop(classes) != 1 {
+		t.Errorf("label populations = %d methods, %d classes", pop(methods), pop(classes))
+	}
+	if classes[wv>>6]&(1<<(uint(wv)&63)) == 0 {
+		t.Error("weird node missing from Class bitset")
+	}
+	if ix.LabelBits("NoSuchLabel") != nil {
+		t.Error("unknown label should have nil bitset")
+	}
+
+	// Presence bits distinguish absent/non-string from string-typed.
+	if !ix.HasName(sink) || ix.HasName(wv) {
+		t.Errorf("HasName: sink=%v weird=%v", ix.HasName(sink), ix.HasName(wv))
+	}
+	if !ix.HasSinkType(sink) || ix.HasSinkType(mid) {
+		t.Error("HasSinkType bits wrong")
+	}
+	if ix.SourceBits()[src>>6]&(1<<(uint(src)&63)) == 0 {
+		t.Error("SourceBits missing src")
+	}
+	if ix.SinkBits()[sink>>6]&(1<<(uint(sink)&63)) == 0 {
+		t.Error("SinkBits missing sink")
+	}
+
+	// RelTypes sorted ascending.
+	if got := ix.RelTypes(); !reflect.DeepEqual(got, []string{cpg.RelAlias, cpg.RelCall}) {
+		t.Errorf("RelTypes = %v", got)
+	}
+
+	// Sink's CALL in-neighbours: {mid, bare} sorted ascending with the
+	// parallel mid edge deduped; out-neighbours: {mid} via the reversed
+	// edge.
+	want := []int32{mid, bare}
+	if want[0] > want[1] {
+		want[0], want[1] = want[1], want[0]
+	}
+	if got := ix.InNeighbors(cpg.RelCall, sink); !reflect.DeepEqual(got, want) {
+		t.Errorf("sink CALL in = %v, want %v", got, want)
+	}
+	if got := ix.OutNeighbors(cpg.RelCall, sink); !reflect.DeepEqual(got, []int32{mid}) {
+		t.Errorf("sink CALL out = %v", got)
+	}
+	// Mid's CALL out-neighbours dedupe the parallel edge to just {sink}.
+	if got := ix.OutNeighbors(cpg.RelCall, mid); !reflect.DeepEqual(got, []int32{sink}) {
+		t.Errorf("mid CALL out = %v", got)
+	}
+	// ALIAS is stored directionally here (the planner walks both rows for
+	// its bidirectional semantics).
+	if got := ix.OutNeighbors(cpg.RelAlias, alias); !reflect.DeepEqual(got, []int32{mid}) {
+		t.Errorf("alias ALIAS out = %v", got)
+	}
+	if got := ix.InNeighbors(cpg.RelAlias, mid); !reflect.DeepEqual(got, []int32{alias}) {
+		t.Errorf("mid ALIAS in = %v", got)
+	}
+	// Absent type / empty rows.
+	if ix.OutNeighbors("NOPE", sink) != nil {
+		t.Error("unknown type should yield nil")
+	}
+	if got := ix.OutNeighbors(cpg.RelCall, alias); len(got) != 0 {
+		t.Errorf("alias CALL out = %v, want empty", got)
+	}
+	_ = bare
+}

@@ -52,15 +52,26 @@ type Options struct {
 	Workers int
 	// MaxRequestBytes caps request bodies; zero means 32 MiB.
 	MaxRequestBytes int64
+	// MaxQueryRows bounds how many rows /v1/query returns per request;
+	// queries producing more are cut off and the response marked
+	// truncated. Zero means DefaultMaxQueryRows.
+	MaxQueryRows int
 }
 
 const defaultMaxRequestBytes = 32 << 20
+
+// DefaultMaxQueryRows is the /v1/query row cap when Options.MaxQueryRows
+// is zero. Streaming cursors stop pulling rows at the cap, so a
+// pathological `MATCH (a), (b), (c)` cross product costs the server at
+// most this many rows of work, not the full product.
+const DefaultMaxQueryRows = 10000
 
 // Server serves stored graphs over HTTP.
 type Server struct {
 	reg      *Registry
 	workers  int
 	maxBody  int64
+	maxRows  int
 	analyzeC chan struct{} // serializes /v1/analyze (CPU-bound builds)
 	// cache persists compile artifacts and controllability summaries
 	// across /v1/analyze requests: re-analyzing a corpus that shares
@@ -76,10 +87,14 @@ func New(opts Options) *Server {
 	if opts.MaxRequestBytes <= 0 {
 		opts.MaxRequestBytes = defaultMaxRequestBytes
 	}
+	if opts.MaxQueryRows <= 0 {
+		opts.MaxQueryRows = DefaultMaxQueryRows
+	}
 	s := &Server{
 		reg:      NewRegistry(opts.MaxGraphs),
 		workers:  opts.Workers,
 		maxBody:  opts.MaxRequestBytes,
+		maxRows:  opts.MaxQueryRows,
 		analyzeC: make(chan struct{}, 1),
 		cache:    core.NewAnalysisCache(),
 	}
@@ -211,7 +226,11 @@ type queryResponse struct {
 	Graph   string   `json:"graph"`
 	Columns []string `json:"columns"`
 	Rows    [][]any  `json:"rows"`
-	Text    string   `json:"text"`
+	// Truncated reports that the query produced more rows than the
+	// server's MaxQueryRows cap and the tail was dropped. Add a LIMIT (or
+	// an aggregate) to the query to get a complete answer.
+	Truncated bool   `json:"truncated"`
+	Text      string `json:"text"`
 }
 
 func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
@@ -227,20 +246,38 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, `missing "query"`)
 		return
 	}
-	res, err := cypher.RunAny(snap.DB, req.Query)
+	// Pull rows through the streaming cursor so the cap also bounds the
+	// work done: for plannable streaming queries the executor stops
+	// matching as soon as the response is full.
+	cur, err := cypher.RunAnyCursor(snap.DB, req.Query)
 	if err != nil {
 		writeError(w, http.StatusBadRequest, "query failed: %v", err)
 		return
 	}
-	rows := res.Rows
-	if rows == nil {
-		rows = [][]any{}
+	rows := [][]any{}
+	truncated := false
+	for {
+		row, err := cur.Next()
+		if err != nil {
+			writeError(w, http.StatusBadRequest, "query failed: %v", err)
+			return
+		}
+		if row == nil {
+			break
+		}
+		if len(rows) == s.maxRows {
+			truncated = true
+			break
+		}
+		rows = append(rows, row)
 	}
+	res := &cypher.Result{Columns: cur.Columns, Rows: rows}
 	writeJSON(w, http.StatusOK, queryResponse{
-		Graph:   req.Graph,
-		Columns: res.Columns,
-		Rows:    rows,
-		Text:    res.Format(),
+		Graph:     req.Graph,
+		Columns:   cur.Columns,
+		Rows:      rows,
+		Truncated: truncated,
+		Text:      res.Format(),
 	})
 }
 

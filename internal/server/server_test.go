@@ -167,6 +167,57 @@ func TestQueryEndpoint(t *testing.T) {
 	}
 }
 
+// TestQueryRowCap pins the MaxQueryRows contract: responses are cut off
+// at the cap with truncated=true, queries that fit underneath it report
+// truncated=false, and the default cap is high enough that ordinary
+// queries never see it.
+func TestQueryRowCap(t *testing.T) {
+	s := New(Options{Workers: 1, MaxQueryRows: 2})
+	if _, err := s.Registry().Add("rt", rtSnapshot(t)); err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(ts.Close)
+
+	query := func(q string) queryResponse {
+		t.Helper()
+		code, body := postJSON(t, ts.URL+"/v1/query", map[string]any{"graph": "rt", "query": q})
+		if code != http.StatusOK {
+			t.Fatalf("query %q = %d: %s", q, code, body)
+		}
+		var res queryResponse
+		if err := json.Unmarshal(body, &res); err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+
+	// The modeled runtime has far more than 2 methods.
+	over := query(`MATCH (m:Method) RETURN m.NAME`)
+	if !over.Truncated || len(over.Rows) != 2 {
+		t.Errorf("over-cap: truncated=%v rows=%d, want true/2", over.Truncated, len(over.Rows))
+	}
+	if !strings.Contains(over.Text, "m.NAME") {
+		t.Errorf("over-cap text lost header: %q", over.Text)
+	}
+
+	under := query(`MATCH (m:Method) RETURN m.NAME LIMIT 2`)
+	if under.Truncated || len(under.Rows) != 2 {
+		t.Errorf("at-cap: truncated=%v rows=%d, want false/2", under.Truncated, len(under.Rows))
+	}
+
+	agg := query(`MATCH (m:Method) RETURN COUNT(*)`)
+	if agg.Truncated || len(agg.Rows) != 1 {
+		t.Errorf("aggregate: truncated=%v rows=%d, want false/1", agg.Truncated, len(agg.Rows))
+	}
+
+	// Procedure results flow through the same cap.
+	proc := query(`CALL tabby.sinks()`)
+	if !proc.Truncated || len(proc.Rows) != 2 {
+		t.Errorf("procedure: truncated=%v rows=%d, want true/2", proc.Truncated, len(proc.Rows))
+	}
+}
+
 func TestChainsEndpoint(t *testing.T) {
 	_, ts := newTestServer(t)
 
