@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet fmt race check bench bench-path bench-incr bench-query serve-smoke
+.PHONY: build test vet fmt race check bench bench-path bench-incr bench-query bench-snap serve-smoke
 
 build:
 	$(GO) build ./...
@@ -46,6 +46,16 @@ bench-incr:
 # allocations bounded by a small constant plus a few per result row.
 bench-query:
 	GOMAXPROCS=1 TABBY_BENCH_GATE=1 $(GO) test ./internal/bench -run TestQueryGate -count=1 -v
+
+# bench-snap gates the storage backends at GOMAXPROCS=1: opening a
+# snapshot as a zero-copy mmap view must be >= 100x faster than the
+# full heap parse, with per-open allocations bounded by a constant
+# (O(labels + relationship types), never O(graph)), and steady-state
+# /v1/chains + /v1/query serving within 1.5x of the heap backend.
+# Writes BENCH_snapshot.json via `tabby-bench -table snapshot`.
+bench-snap:
+	GOMAXPROCS=1 TABBY_BENCH_GATE=1 $(GO) test ./internal/bench -run TestSnapshotGate -count=1 -v
+	GOMAXPROCS=1 $(GO) run ./cmd/tabby-bench -table snapshot -runs 3
 
 # serve-smoke runs the persistence + serving stack end to end: snapshot
 # the quickstart corpus, boot tabby-server, curl every endpoint, and

@@ -15,6 +15,10 @@
 //	                              (writes BENCH_incremental.json)
 //	tabby-bench -table query      Cypher-lite interpreter vs compiled
 //	                              iterator plans (writes BENCH_query.json)
+//	tabby-bench -table snapshot   storage backends: full heap parse vs
+//	                              zero-copy mmap view — open latency,
+//	                              resident bytes, serving throughput
+//	                              (writes BENCH_snapshot.json)
 //	tabby-bench -table all        everything
 //
 // The Table VIII run defaults to scale 1.0 (the paper's full class and
@@ -62,9 +66,9 @@ func main() {
 
 func run(table string, scale float64, runs, workers int) error {
 	switch table {
-	case "8", "9", "10", "11", "rq4", "ablation", "parallel", "pathfinder", "incremental", "query", "all":
+	case "8", "9", "10", "11", "rq4", "ablation", "parallel", "pathfinder", "incremental", "query", "snapshot", "all":
 	default:
-		return fmt.Errorf("unknown table %q (want 8, 9, 10, 11, rq4, ablation, parallel, pathfinder, incremental, query or all)", table)
+		return fmt.Errorf("unknown table %q (want 8, 9, 10, 11, rq4, ablation, parallel, pathfinder, incremental, query, snapshot or all)", table)
 	}
 	fmt.Printf("tabby-bench: workers=%d (resolved %d), GOMAXPROCS=%d\n",
 		workers, parallel.Resolve(workers), runtime.GOMAXPROCS(0))
@@ -167,6 +171,23 @@ func run(table string, scale float64, runs, workers int) error {
 			return err
 		}
 		fmt.Println("written to BENCH_query.json")
+	}
+	if want("snapshot") {
+		fmt.Println("=== Snapshot backends: heap parse vs zero-copy mmap ===")
+		r, err := bench.RunSnapshot(runs * 3)
+		if err != nil {
+			return err
+		}
+		fmt.Println(r.Format())
+		f, err := os.Create("BENCH_snapshot.json")
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := r.WriteJSON(f); err != nil {
+			return err
+		}
+		fmt.Println("written to BENCH_snapshot.json")
 	}
 	if want("pathfinder") {
 		fmt.Println("=== Path search: generic store vs compiled index ===")

@@ -15,8 +15,11 @@
 // Flags:
 //
 //	-addr HOST:PORT      listen address (default :7687)
-//	-snapshot FILE       snapshot to preload; repeatable
-//	-max-graphs N        LRU capacity of the graph registry (default 8)
+//	-snapshot FILE       snapshot to preload (opened at boot); repeatable
+//	-snapshot-dir DIR    register every snapshot file in DIR without
+//	                     opening it; each opens lazily — as a zero-copy
+//	                     mmap view for v3 snapshots — on first request
+//	-max-graphs N        LRU capacity for heap-resident graphs (default 8)
 //	-max-query-rows N    row cap per /v1/query response; responses cut off
 //	                     at the cap carry "truncated": true (default 10000)
 //	-workers N           default worker count for searches and analyses
@@ -45,13 +48,14 @@ func main() {
 	var snapshots multiFlag
 	var (
 		addr      = flag.String("addr", ":7687", "listen address")
-		maxGraphs = flag.Int("max-graphs", server.DefaultMaxGraphs, "max snapshots kept loaded (LRU eviction beyond this)")
+		snapDir   = flag.String("snapshot-dir", "", "directory of snapshot files to register (each opens lazily on first request)")
+		maxGraphs = flag.Int("max-graphs", server.DefaultMaxGraphs, "max heap-resident snapshots (LRU eviction beyond this; mmap-served graphs are exempt)")
 		maxRows   = flag.Int("max-query-rows", server.DefaultMaxQueryRows, "max rows per /v1/query response (excess is dropped and flagged truncated)")
 		workers   = flag.Int("workers", 0, "default worker count for searches/analyses (0 = GOMAXPROCS)")
 	)
 	flag.Var(&snapshots, "snapshot", "snapshot file written by `tabby -save` (repeatable)")
 	flag.Parse()
-	if err := run(*addr, snapshots, *maxGraphs, *maxRows, *workers, nil); err != nil {
+	if err := run(*addr, snapshots, *snapDir, *maxGraphs, *maxRows, *workers, nil); err != nil {
 		fmt.Fprintln(os.Stderr, "tabby-server:", err)
 		os.Exit(1)
 	}
@@ -60,23 +64,33 @@ func main() {
 // run starts the service. When ready is non-nil, the bound listener
 // address is sent on it once the server is accepting connections (used
 // by tests and the smoke script via -addr 127.0.0.1:0).
-func run(addr string, snapshots []string, maxGraphs, maxRows, workers int, ready chan<- string) error {
+func run(addr string, snapshots []string, snapDir string, maxGraphs, maxRows, workers int, ready chan<- string) error {
 	srv := server.New(server.Options{MaxGraphs: maxGraphs, MaxQueryRows: maxRows, Workers: workers})
 	for _, path := range snapshots {
 		id, err := srv.LoadSnapshotFile(path)
 		if err != nil {
 			return fmt.Errorf("load %s: %w", path, err)
 		}
-		snap, _ := srv.Registry().Get(id)
-		stats := snap.DB.Stats()
-		fmt.Fprintf(os.Stderr, "loaded %s as graph %q: %d nodes, %d relationships\n", path, id, stats.Nodes, stats.Rels)
+		be, err := srv.Registry().Get(id)
+		if err != nil {
+			return fmt.Errorf("load %s: %w", path, err)
+		}
+		stats := be.GraphStats()
+		fmt.Fprintf(os.Stderr, "loaded %s as graph %q (%s): %d nodes, %d relationships\n", path, id, be.Kind(), stats.Nodes, stats.Rels)
+	}
+	if snapDir != "" {
+		n, err := srv.RegisterSnapshotDir(snapDir)
+		if err != nil {
+			return fmt.Errorf("register %s: %w", snapDir, err)
+		}
+		fmt.Fprintf(os.Stderr, "registered %d snapshot(s) from %s (opened lazily on first request)\n", n, snapDir)
 	}
 
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return err
 	}
-	fmt.Fprintf(os.Stderr, "tabby-server listening on %s (%d graphs loaded)\n", ln.Addr(), srv.Registry().Len())
+	fmt.Fprintf(os.Stderr, "tabby-server listening on %s (%d graphs registered)\n", ln.Addr(), srv.Registry().Len())
 	if ready != nil {
 		ready <- ln.Addr().String()
 	}

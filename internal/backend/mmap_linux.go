@@ -1,0 +1,11 @@
+//go:build linux
+
+package backend
+
+import "syscall"
+
+// MAP_POPULATE pre-faults the mapping in one kernel walk, so the CRC
+// pass over a freshly opened snapshot does not pay a minor fault per
+// page. Snapshots are read in full at open (checksum + validation), so
+// eager population never maps pages the reader would have skipped.
+const mmapFlags = syscall.MAP_SHARED | syscall.MAP_POPULATE

@@ -1,0 +1,8 @@
+//go:build unix && !linux
+
+package backend
+
+import "syscall"
+
+// Other unixes lack MAP_POPULATE; pages fault in lazily on first touch.
+const mmapFlags = syscall.MAP_SHARED

@@ -1,0 +1,13 @@
+//go:build !unix
+
+package backend
+
+import "fmt"
+
+// Platforms without a memory-map syscall surface always take the heap
+// path; Open treats this error as "not eligible", not as corruption.
+func mmapFile(path string) ([]byte, error) {
+	return nil, fmt.Errorf("backend: memory mapping unsupported on this platform")
+}
+
+func unmapFile(data []byte) {}

@@ -1,0 +1,44 @@
+//go:build unix
+
+package backend
+
+import (
+	"fmt"
+	"math"
+	"os"
+	"syscall"
+)
+
+// mmapFile maps path read-only. The returned slice aliases the page
+// cache; writes to the file after mapping are undefined for readers,
+// which is safe here because snapshot writes are atomic renames — an
+// open mapping keeps the old inode alive, untouched.
+func mmapFile(path string) ([]byte, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	st, err := f.Stat()
+	if err != nil {
+		return nil, err
+	}
+	size := st.Size()
+	if size == 0 {
+		return nil, fmt.Errorf("backend: %s: empty file", path)
+	}
+	if size > math.MaxInt32 && ^uint(0)>>32 == 0 {
+		return nil, fmt.Errorf("backend: %s: %d bytes exceed the 32-bit address space", path, size)
+	}
+	data, err := syscall.Mmap(int(f.Fd()), 0, int(size), syscall.PROT_READ, mmapFlags)
+	if err != nil {
+		return nil, fmt.Errorf("backend: mmap %s: %w", path, err)
+	}
+	return data, nil
+}
+
+// unmapFile releases a mapping that never escaped openMapped. Errors
+// are ignored: the region is read-only and the caller is abandoning it.
+func unmapFile(data []byte) {
+	_ = syscall.Munmap(data)
+}

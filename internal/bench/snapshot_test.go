@@ -1,0 +1,79 @@
+package bench
+
+import (
+	"os"
+	"testing"
+
+	"tabby/internal/searchindex"
+)
+
+// TestSnapshotBenchSmoke checks the experiment's correctness side on
+// every test run: the snapshot writes and opens on both backends, and
+// both returned identical chains and query results. Timing assertions
+// live in TestSnapshotGate.
+func TestSnapshotBenchSmoke(t *testing.T) {
+	r, err := RunSnapshot(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.Deterministic {
+		t.Fatal("backends diverged on a benchmark workload")
+	}
+	if r.SnapshotBytes == 0 {
+		t.Fatal("empty snapshot file")
+	}
+	if searchindex.LayoutSupported() != r.MmapSupported {
+		t.Fatalf("MmapSupported = %v, host support = %v", r.MmapSupported, searchindex.LayoutSupported())
+	}
+	wantRows := 3 // heap open/chains/query
+	if r.MmapSupported {
+		wantRows = 6
+	}
+	if len(r.Rows) != wantRows {
+		t.Fatalf("rows = %d, want %d: %+v", len(r.Rows), wantRows, r.Rows)
+	}
+}
+
+// TestSnapshotGate is the timing gate behind `make bench-snap`: at
+// GOMAXPROCS=1, opening a registered snapshot through the zero-copy
+// view must be at least 100x faster than the full parse, and its
+// per-open allocations must be a small constant — O(labels +
+// relationship types), independent of graph size — so a server can
+// front thousands of snapshot files. Wall-clock assertions are
+// load-sensitive, so the gate only arms when TABBY_BENCH_GATE is set.
+func TestSnapshotGate(t *testing.T) {
+	if os.Getenv("TABBY_BENCH_GATE") == "" {
+		t.Skip("set TABBY_BENCH_GATE=1 (make bench-snap) to run the timing gate")
+	}
+	if !searchindex.LayoutSupported() {
+		t.Skip("host cannot view on-disk index layouts")
+	}
+	r, err := RunSnapshot(10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Log("\n" + r.Format())
+	if !r.Deterministic {
+		t.Fatal("backends diverged on a benchmark workload")
+	}
+	if r.Summary.OpenSpeedup < 100 {
+		t.Errorf("mmap open speedup %.0fx, gate requires >= 100x (mem %dns, mmap %dns)",
+			r.Summary.OpenSpeedup, r.Summary.MemOpenNs, r.Summary.MmapOpenNs)
+	}
+	// The open must alias, not copy: a fixed allocation budget that no
+	// graph-sized structure could fit in.
+	if r.Summary.MmapOpenAllocs > 1024 {
+		t.Errorf("mmap open allocates %d objects/op, gate requires <= 1024", r.Summary.MmapOpenAllocs)
+	}
+	if r.Summary.MmapOpenHeapBytes > 1<<20 {
+		t.Errorf("mmap open allocates %d heap bytes/op, gate requires <= 1MiB", r.Summary.MmapOpenHeapBytes)
+	}
+	// Serving off the view must not tax the request path: identical
+	// engines over structurally identical indexes.
+	if r.Summary.ChainsRatio > 1.5 {
+		t.Errorf("chains serving is %.2fx slower on mmap, gate requires <= 1.5x", r.Summary.ChainsRatio)
+	}
+	if r.Summary.QueryRatio > 1.5 {
+		t.Errorf("query serving is %.2fx slower on mmap, gate requires <= 1.5x", r.Summary.QueryRatio)
+	}
+}

@@ -52,6 +52,23 @@ type matchCursor struct {
 	depth     int
 	started   bool
 	exhausted bool
+
+	db  *graphdb.DB // lazily materialized from p.src on first store read
+	err error       // sticky: a failed materialization ends the stream
+}
+
+// store materializes the generic property store behind the plan's
+// source, once per cursor. On failure it records the error (surfaced by
+// Run/Next) and returns nil; callers treat nil as "constraint cannot be
+// checked" and the stream ends at the next advance.
+func (mc *matchCursor) store() *graphdb.DB {
+	if mc.db == nil && mc.err == nil {
+		mc.db, mc.err = mc.p.src.DB()
+		if mc.db == nil && mc.err == nil {
+			mc.err = &Error{Msg: "query source returned no store"}
+		}
+	}
+	return mc.db
 }
 
 func (p *Plan) newCursor() *matchCursor {
@@ -79,6 +96,9 @@ func (mc *matchCursor) next() bool {
 		mc.depth = len(mc.levels) - 1
 	}
 	for mc.depth >= 0 {
+		if mc.err != nil {
+			break
+		}
 		if !mc.advanceLevel(mc.depth) {
 			mc.depth--
 			continue
@@ -309,7 +329,11 @@ func (mc *matchCursor) strOK(t *strTest, v int32) bool {
 // propOK checks an unindexed inline property against the live store,
 // exactly like nodeMatches: present and valueEqual.
 func (mc *matchCursor) propOK(pc *propCheck, v int32) bool {
-	val, ok := mc.p.db.NodeProp(mc.p.ix.IDOf(v), pc.prop)
+	db := mc.store()
+	if db == nil {
+		return false
+	}
+	val, ok := db.NodeProp(mc.p.ix.IDOf(v), pc.prop)
 	return ok && valueEqual(val, pc.want)
 }
 
@@ -361,7 +385,11 @@ func (mc *matchCursor) operandValue(op Operand) (any, bool) {
 	if op.Prop == "" {
 		return int(id), true
 	}
-	return mc.p.db.NodeProp(id, op.Prop)
+	db := mc.store()
+	if db == nil {
+		return nil, false
+	}
+	return db.NodeProp(id, op.Prop)
 }
 
 // project evaluates the RETURN items for the current match (non-COUNT
@@ -404,7 +432,11 @@ func (mc *matchCursor) propValue(v int32, prop string) any {
 			return mc.p.ix.SinkType(v)
 		}
 	}
-	val, ok := mc.p.db.NodeProp(mc.p.ix.IDOf(v), prop)
+	db := mc.store()
+	if db == nil {
+		return nil
+	}
+	val, ok := db.NodeProp(mc.p.ix.IDOf(v), prop)
 	if !ok {
 		return nil
 	}
@@ -417,8 +449,10 @@ func (mc *matchCursor) entityLabel(v int32) any {
 		return mc.p.ix.Name(v)
 	}
 	id := mc.p.ix.IDOf(v)
-	if val, ok := mc.p.db.NodeProp(id, "NAME"); ok {
-		return val
+	if db := mc.store(); db != nil {
+		if val, ok := db.NodeProp(id, "NAME"); ok {
+			return val
+		}
 	}
 	return fmt.Sprintf("#%d", id)
 }
@@ -456,6 +490,9 @@ func (p *Plan) Run() (*Result, error) {
 			break
 		}
 	}
+	if mc.err != nil {
+		return nil, mc.err
+	}
 	applyOrderAndLimit(p.q, res)
 	return res, nil
 }
@@ -474,6 +511,9 @@ func (p *Plan) aggregate(mc *matchCursor, res *Result) (*Result, error) {
 		n := 0
 		for mc.next() {
 			n++
+		}
+		if mc.err != nil {
+			return nil, mc.err
 		}
 		if n > 0 {
 			row := make([]any, len(p.q.Return))
@@ -543,6 +583,9 @@ func (p *Plan) aggregate(mc *matchCursor, res *Result) (*Result, error) {
 			g.n++
 		}
 	}
+	if mc.err != nil {
+		return nil, mc.err
+	}
 	for _, key := range order {
 		g := groups[key]
 		for i, item := range p.q.Return {
@@ -606,16 +649,30 @@ func (c *Cursor) Next() ([]any, error) {
 		c.emitted++
 		return row, nil
 	}
-	return nil, nil
+	return nil, c.mc.err
 }
 
 // RunAnyCursor is RunAny with a streaming result: queries the plan
 // runner can stream are executed lazily row by row; the rest run to
 // completion first and replay.
 func RunAnyCursor(db *graphdb.DB, query string) (*Cursor, error) {
+	return RunAnyCursorSource(DBSource(db), query)
+}
+
+// RunAnyCursorSource is RunAnyCursor over an arbitrary Source. Plannable
+// MATCH queries execute against the source's compiled index without
+// touching the store; procedures, EXPLAIN, interpreter fallbacks, and
+// plans with residual store reads materialize it via src.DB() (a full
+// snapshot parse on disk-resident sources), so every query shape still
+// answers — just not zero-copy.
+func RunAnyCursorSource(src Source, query string) (*Cursor, error) {
 	trimmed := strings.TrimSpace(query)
 	isCall := len(trimmed) >= 4 && strings.EqualFold(trimmed[:4], "CALL")
 	if _, isExplain := explainRest(query); isExplain || isCall {
+		db, err := src.DB()
+		if err != nil {
+			return nil, err
+		}
 		res, err := RunAny(db, query)
 		if err != nil {
 			return nil, err
@@ -626,8 +683,12 @@ func RunAnyCursor(db *graphdb.DB, query string) (*Cursor, error) {
 	if err != nil {
 		return nil, err
 	}
-	p, perr := PlanQuery(db, q)
+	p, perr := PlanQuerySource(src, q)
 	if perr != nil {
+		db, derr := src.DB()
+		if derr != nil {
+			return nil, derr
+		}
 		res, rerr := ExecuteGeneric(db, q)
 		if rerr != nil {
 			return nil, rerr

@@ -67,12 +67,14 @@ type planLevel struct {
 }
 
 // Plan is a compiled query. A Plan is immutable after PlanQuery and can
-// be re-run; each Run spawns a fresh cursor.
+// be re-run; each Run spawns a fresh cursor. The store behind src is
+// only materialized when a cursor hits a constraint or projection the
+// index does not model (see Source).
 type Plan struct {
-	q  *Query
-	db *graphdb.DB
-	ix *searchindex.Index
-	n  int // node count at compile time
+	q   *Query
+	src Source
+	ix  *searchindex.Index
+	n   int // node count at compile time
 
 	slotOf   map[string]int
 	nslots   int
@@ -90,6 +92,13 @@ type Plan struct {
 // naming the unsupported construct when the query needs the interpreter
 // (Execute falls back transparently; EXPLAIN prints the reason).
 func PlanQuery(db *graphdb.DB, q *Query) (*Plan, error) {
+	return PlanQuerySource(DBSource(db), q)
+}
+
+// PlanQuerySource compiles q against src's compiled index. Compilation
+// itself never touches the generic store, so it works unchanged on
+// database-free (mmap-viewed) indexes.
+func PlanQuerySource(src Source, q *Query) (*Plan, error) {
 	if len(q.Paths) == 0 {
 		return nil, &Error{Msg: "not plannable: query has no MATCH pattern"}
 	}
@@ -101,8 +110,8 @@ func PlanQuery(db *graphdb.DB, q *Query) (*Plan, error) {
 			}
 		}
 	}
-	ix := searchindex.For(db)
-	p := &Plan{q: q, db: db, ix: ix, n: ix.NumNodes(), slotOf: map[string]int{}}
+	ix := src.Index()
+	p := &Plan{q: q, src: src, ix: ix, n: ix.NumNodes(), slotOf: map[string]int{}}
 
 	for _, item := range q.Return {
 		if item.Count {

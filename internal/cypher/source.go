@@ -1,0 +1,37 @@
+package cypher
+
+import (
+	"tabby/internal/graphdb"
+	"tabby/internal/searchindex"
+)
+
+// Source supplies a query execution with its compiled search index and,
+// on demand, the generic property store behind it. The split is what
+// lets a disk-resident (mmap-viewed) snapshot serve queries without
+// parsing the store: plans that stay on indexed columns — label/flag
+// bitset scans, CSR expansions, NAME/SINK_TYPE tests — never call DB().
+// Only residual reads the index cannot answer (unindexed properties in
+// inline patterns, WHERE operands, projections) materialize the store,
+// and DB() may return an error when that materialization fails.
+//
+// backend.Backend satisfies this interface structurally; cypher does
+// not import it (the dependency points the other way).
+type Source interface {
+	// Index returns the compiled search index. It must be cheap and
+	// infallible: sources compile or view it at open time.
+	Index() *searchindex.Index
+	// DB materializes the generic property store. Heap-resident sources
+	// return it directly; disk-resident sources may pay a full snapshot
+	// parse on first call and must memoize it.
+	DB() (*graphdb.DB, error)
+}
+
+// dbSource adapts a heap-resident store to Source: the index is the
+// store's own cached compilation and DB() never fails.
+type dbSource struct{ db *graphdb.DB }
+
+func (s dbSource) Index() *searchindex.Index { return searchindex.For(s.db) }
+func (s dbSource) DB() (*graphdb.DB, error)  { return s.db, nil }
+
+// DBSource wraps a heap-resident store as a Source.
+func DBSource(db *graphdb.DB) Source { return dbSource{db} }

@@ -31,7 +31,7 @@ func FindGeneric(db *graphdb.DB, opts Options) (*Result, error) {
 	}
 	budget := &visitBudget{limit: int64(opts.VisitBudget)}
 	outs := parallel.Map(opts.Workers, seeds, func(_ int, s seed) sinkSearch {
-		f := &finder{db: db, opts: opts, budget: budget, seen: make(map[string]bool)}
+		f := &finder{db: db, opts: opts, budget: budget, seen: make(map[string]bool), srcWant: sourceNameSet(opts)}
 		f.dfs([]graphdb.ID{s.sink}, map[graphdb.ID]bool{s.sink: true}, []TC{s.tc}, s.sinkType)
 		return sinkSearch{chains: f.chains, stopped: f.stopped}
 	})
@@ -44,11 +44,17 @@ type finder struct {
 	budget  *visitBudget
 	chains  []Chain
 	seen    map[string]bool
+	srcWant map[string]bool // SourceMethodNames lookup; nil when unused
 	stopped bool
 }
 
 // isSource is the Evaluator's source test.
 func (f *finder) isSource(node graphdb.ID) bool {
+	if f.srcWant != nil {
+		v, _ := f.db.NodeProp(node, cpg.PropMethodName)
+		name, _ := v.(string)
+		return f.srcWant[name]
+	}
 	if f.opts.SourceFilter != nil {
 		return f.opts.SourceFilter(f.db, node)
 	}

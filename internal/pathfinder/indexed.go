@@ -37,6 +37,7 @@ type indexedFinder struct {
 	pool    searchindex.IntPool // finder-local: seed + derived TCs
 	scratch []int32             // reused by traverseInto
 	memo    map[uint64]int32    // (node, TC ref) -> max remaining depth proven dead
+	srcWant map[string]bool     // SourceMethodNames lookup; nil when unused
 
 	chains  []Chain
 	seen    map[string]bool
@@ -53,6 +54,7 @@ func newIndexedFinder(ix *searchindex.Index, db *graphdb.DB, opts Options, budge
 		onPath:   make([]uint64, (ix.NumNodes()+63)/64),
 		memo:     make(map[uint64]int32),
 		seen:     make(map[string]bool),
+		srcWant:  sourceNameSet(opts),
 	}
 }
 
@@ -202,8 +204,14 @@ func insertSorted(dst []int32, v int32) []int32 {
 	return dst
 }
 
-// isSource is the Evaluator's source test.
+// isSource is the Evaluator's source test. SourceMethodNames resolves
+// against the index's METHOD_NAME column (no store access — works on
+// mmap-viewed indexes); the callback-based SourceFilter needs the
+// generic store and is kept for embedders.
 func (f *indexedFinder) isSource(v int32) bool {
+	if f.srcWant != nil {
+		return f.srcWant[f.ix.MethodName(v)]
+	}
 	if f.opts.SourceFilter != nil {
 		return f.opts.SourceFilter(f.db, f.ix.IDOf(v))
 	}

@@ -25,6 +25,7 @@ package pathfinder
 
 import (
 	"fmt"
+	bits64 "math/bits"
 	"sort"
 	"strings"
 	"sync/atomic"
@@ -160,6 +161,13 @@ type Options struct {
 	// SourceFilter, when non-nil, decides whether a node terminates a
 	// chain; nil accepts any node tagged IS_SOURCE.
 	SourceFilter func(db *graphdb.DB, node graphdb.ID) bool
+	// SourceMethodNames, when non-empty, accepts exactly the nodes whose
+	// METHOD_NAME is one of these values (nodes without a string-typed
+	// METHOD_NAME read as ""). It takes precedence over SourceFilter and
+	// is handled natively by both engines against the compiled index's
+	// METHOD_NAME column, so it works on database-free (mmap-viewed)
+	// indexes where a SourceFilter callback would have no store to read.
+	SourceMethodNames []string
 	// SinkTC, when non-nil, overrides the Trigger_Condition of every
 	// selected sink seed — the researcher-driven "suppose this position
 	// were the dangerous one" workflow (RQ4) on stored graphs, which are
@@ -294,13 +302,118 @@ func Find(db *graphdb.DB, opts Options) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	ix := searchindex.For(db)
+	return findWithSeeds(searchindex.For(db), db, seeds, opts), nil
+}
+
+// FindIndex runs the same search as Find directly over a compiled
+// search index, resolving seeds from the index's columns instead of the
+// property store. This is the zero-copy serving path: an index viewed
+// out of an mmap'd snapshot has no backing database at all (DB() is
+// nil), and every option except the callback-based SourceFilter — use
+// SourceMethodNames instead — works identically. For an index compiled
+// from a live store, FindIndex(searchindex.For(db), opts) and
+// Find(db, opts) produce byte-identical results.
+func FindIndex(ix *searchindex.Index, opts Options) (*Result, error) {
+	opts.applyDefaults()
+	if opts.SourceFilter != nil && len(opts.SourceMethodNames) == 0 && ix.DB() == nil {
+		return nil, fmt.Errorf("pathfinder: SourceFilter needs a backing store, which this index does not carry (use SourceMethodNames)")
+	}
+	seeds, err := collectSeedsIndex(ix, opts)
+	if err != nil {
+		return nil, err
+	}
+	return findWithSeeds(ix, ix.DB(), seeds, opts), nil
+}
+
+// findWithSeeds fans validated seeds out to per-seed indexed finders
+// against one shared visit budget and merges canonically.
+func findWithSeeds(ix *searchindex.Index, db *graphdb.DB, seeds []seed, opts Options) *Result {
 	budget := &visitBudget{limit: int64(opts.VisitBudget)}
 	outs := parallel.Map(opts.Workers, seeds, func(_ int, s seed) sinkSearch {
 		f := newIndexedFinder(ix, db, opts, budget)
 		return f.search(s)
 	})
-	return merge(outs, opts, budget), nil
+	return merge(outs, opts, budget)
+}
+
+// sourceNameSet builds the SourceMethodNames lookup (nil when unused).
+func sourceNameSet(opts Options) map[string]bool {
+	if len(opts.SourceMethodNames) == 0 {
+		return nil
+	}
+	want := make(map[string]bool, len(opts.SourceMethodNames))
+	for _, n := range opts.SourceMethodNames {
+		want[n] = true
+	}
+	return want
+}
+
+// collectSeedsIndex is collectSeeds against the compiled index: the
+// default sink set is every Method node with its IS_SINK bit set, in
+// ascending node order (which is ascending store-ID order — the same
+// order the property store yields). Trigger_Conditions come from the
+// index's interned TC column, already normalized at compile time.
+func collectSeedsIndex(ix *searchindex.Index, opts Options) ([]seed, error) {
+	var seeds []seed
+	addSeed := func(sink graphdb.ID, v int32) error {
+		var tc TC
+		if opts.SinkTC != nil {
+			tc = append(TC(nil), opts.SinkTC...).normalize()
+		} else {
+			ref := int32(-1)
+			if v >= 0 {
+				ref = ix.TCRef(v)
+			}
+			if ref < 0 {
+				return fmt.Errorf("pathfinder: sink node %d has no %s", sink, cpg.PropTriggerCondition)
+			}
+			for _, x := range ix.Ints(ref) {
+				tc = append(tc, int(x))
+			}
+		}
+		st := ""
+		if v >= 0 {
+			st = ix.SinkType(v)
+		}
+		seeds = append(seeds, seed{sink: sink, tc: tc, sinkType: st})
+		return nil
+	}
+	if opts.SinkNodes != nil {
+		for _, sink := range opts.SinkNodes {
+			if err := addSeed(sink, ix.IdxOf(sink)); err != nil {
+				return nil, err
+			}
+		}
+		return seeds, nil
+	}
+	method := ix.LabelBits(cpg.LabelMethod)
+	for _, v := range andBitsets(method, ix.SinkBits(), ix.NumNodes()) {
+		if err := addSeed(ix.IDOf(v), v); err != nil {
+			return nil, err
+		}
+	}
+	return seeds, nil
+}
+
+// andBitsets returns the node indexes set in both bitsets, ascending.
+// A nil a means "no nodes" (label absent), matching LabelBits.
+func andBitsets(a, b []uint64, n int) []int32 {
+	var out []int32
+	if a == nil || b == nil {
+		return out
+	}
+	for w := 0; w < len(a) && w < len(b); w++ {
+		bits := a[w] & b[w]
+		for bits != 0 {
+			v := int32(w<<6) + int32(bits64.TrailingZeros64(bits))
+			if int(v) >= n {
+				break
+			}
+			out = append(out, v)
+			bits &= bits - 1
+		}
+	}
+	return out
 }
 
 // visitBudget is the shared expansion counter: every worker draws from

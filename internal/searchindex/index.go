@@ -56,11 +56,17 @@ type Index struct {
 	ids   []graphdb.ID // node index -> store ID (ascending)
 	idxOf []int32      // store ID -> node index; -1 for rel IDs / unknown
 
-	names     []string // NAME column ("" when absent)
-	sinkTypes []string // SINK_TYPE column ("" when absent)
-	isSource  []uint64 // IS_SOURCE bitset
-	isSink    []uint64 // IS_SINK bitset
-	tcOf      []int32  // normalized TRIGGER_CONDITION pool ref; -1 when absent
+	// String columns are int32 refs into strs (ref 0 is always ""), so
+	// the whole index — strings included — is a handful of flat arrays
+	// that serialize to (and deserialize zero-copy from) the snapshot's
+	// CSR section. Absent columns read ref 0 ("").
+	strs          *StringTable
+	nameRef       []int32  // NAME column
+	sinkTypeRef   []int32  // SINK_TYPE column
+	methodNameRef []int32  // METHOD_NAME column
+	isSource      []uint64 // IS_SOURCE bitset
+	isSink        []uint64 // IS_SINK bitset
+	tcOf          []int32  // normalized TRIGGER_CONDITION pool ref; -1 when absent
 
 	// Incoming CALL edges in CSR form: for node v, edges
 	// callStart[v]..callStart[v+1] hold the caller node index and the
@@ -81,11 +87,12 @@ type Index struct {
 
 	// Query-side view (Cypher-lite planner): label bitsets, column
 	// presence bitsets, and per-type sorted-unique adjacency.
-	labelBits   map[string][]uint64
-	hasName     []uint64 // NAME present and string-typed
-	hasSinkType []uint64 // SINK_TYPE present and string-typed
-	adj         map[string]*typeAdj
-	relTypes    []string // sorted keys of adj
+	labelBits     map[string][]uint64
+	hasName       []uint64 // NAME present and string-typed
+	hasSinkType   []uint64 // SINK_TYPE present and string-typed
+	hasMethodName []uint64 // METHOD_NAME present and string-typed
+	adj           map[string]*typeAdj
+	relTypes      []string // sorted keys of adj
 }
 
 // typeAdj is one relationship type's adjacency: for node v, rows
@@ -128,12 +135,15 @@ func (ix *Index) build(v graphdb.RawView) {
 	}
 
 	words := (n + 63) / 64
-	ix.names = make([]string, n)
-	ix.sinkTypes = make([]string, n)
+	ix.strs = NewStringTable()
+	ix.nameRef = make([]int32, n)
+	ix.sinkTypeRef = make([]int32, n)
+	ix.methodNameRef = make([]int32, n)
 	ix.isSource = make([]uint64, words)
 	ix.isSink = make([]uint64, words)
 	ix.hasName = make([]uint64, words)
 	ix.hasSinkType = make([]uint64, words)
+	ix.hasMethodName = make([]uint64, words)
 	ix.labelBits = make(map[string][]uint64)
 	ix.tcOf = make([]int32, n)
 
@@ -149,12 +159,16 @@ func (ix *Index) build(v graphdb.RawView) {
 			bs[i>>6] |= 1 << (uint(i) & 63)
 		}
 		if s, ok := nd.Props[cpg.PropName].(string); ok {
-			ix.names[i] = s
+			ix.nameRef[i] = ix.strs.Intern(s)
 			ix.hasName[i>>6] |= 1 << (uint(i) & 63)
 		}
 		if s, ok := nd.Props[cpg.PropSinkType].(string); ok {
-			ix.sinkTypes[i] = s
+			ix.sinkTypeRef[i] = ix.strs.Intern(s)
 			ix.hasSinkType[i>>6] |= 1 << (uint(i) & 63)
+		}
+		if s, ok := nd.Props[cpg.PropMethodName].(string); ok {
+			ix.methodNameRef[i] = ix.strs.Intern(s)
+			ix.hasMethodName[i>>6] |= 1 << (uint(i) & 63)
 		}
 		if b, ok := nd.Props[cpg.PropIsSource].(bool); ok && b {
 			ix.isSource[i>>6] |= 1 << (uint(i) & 63)
@@ -233,6 +247,16 @@ func (ix *Index) build(v graphdb.RawView) {
 	}
 
 	ix.buildQueryAdjacency(v, n)
+
+	// Intern label and relationship-type names now so serializing the
+	// index (AppendLayout) never mutates the shared string table — a
+	// snapshot save may run while concurrent searches resolve refs.
+	for _, l := range sortutil.SortedKeys(ix.labelBits) {
+		ix.strs.Intern(l)
+	}
+	for _, t := range ix.relTypes {
+		ix.strs.Intern(t)
+	}
 }
 
 // buildQueryAdjacency lays out per-type sorted-unique adjacency for the
@@ -334,10 +358,13 @@ func (ix *Index) IdxOf(id graphdb.ID) int32 {
 }
 
 // Name returns the node's NAME column ("" when the property is absent).
-func (ix *Index) Name(v int32) string { return ix.names[v] }
+func (ix *Index) Name(v int32) string { return ix.strs.At(ix.nameRef[v]) }
 
 // SinkType returns the node's SINK_TYPE column ("" when absent).
-func (ix *Index) SinkType(v int32) string { return ix.sinkTypes[v] }
+func (ix *Index) SinkType(v int32) string { return ix.strs.At(ix.sinkTypeRef[v]) }
+
+// MethodName returns the node's METHOD_NAME column ("" when absent).
+func (ix *Index) MethodName(v int32) string { return ix.strs.At(ix.methodNameRef[v]) }
 
 // IsSource reports the node's IS_SOURCE bit.
 func (ix *Index) IsSource(v int32) bool {
@@ -399,6 +426,12 @@ func (ix *Index) HasName(v int32) bool {
 // HasSinkType reports whether the node carries a string-typed SINK_TYPE.
 func (ix *Index) HasSinkType(v int32) bool {
 	return ix.hasSinkType[v>>6]&(1<<(uint(v)&63)) != 0
+}
+
+// HasMethodName reports whether the node carries a string-typed
+// METHOD_NAME.
+func (ix *Index) HasMethodName(v int32) bool {
+	return ix.hasMethodName[v>>6]&(1<<(uint(v)&63)) != 0
 }
 
 // RelTypes returns the relationship types present in the graph, sorted

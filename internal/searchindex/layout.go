@@ -1,0 +1,689 @@
+package searchindex
+
+import (
+	"encoding/binary"
+	"fmt"
+	"unsafe"
+
+	"tabby/internal/graphdb"
+	"tabby/internal/sortutil"
+)
+
+// Binary layout of a compiled index, designed to be viewed straight out
+// of an mmap'd snapshot section with no parse or copy step. Every array
+// the Index struct holds is written as a little-endian section whose
+// file offset is 8-byte aligned, so the reader can alias the mapped
+// bytes with unsafe.Slice and hand the result to the path finder and
+// the query planner untouched. The price of that aliasing is paid in
+// validation instead of decoding: FromLayout bounds- and
+// invariant-checks every section (monotone CSR offsets, in-range refs,
+// bijective ID maps) before the first query can run, so a corrupt or
+// truncated file produces an error, never a panic or silent garbage.
+//
+//	header    5 × u64: magic "TBYCSR3\0", layout version, index
+//	          version, node count, directory entry count
+//	directory entryCount × {off u64, count u64} — off is relative to
+//	          the layout start; count is in elements, not bytes
+//	arrays    each padded so base+off ≡ 0 (mod 8), in directory order
+//
+// The directory has 24 fixed entries (ids, idxOf, the string-ref
+// columns, bitsets, CALL/ALIAS CSR, int pool, string table, label
+// refs+bits, rel-type refs) followed by 4 entries per relationship
+// type (outStart, out, inStart, in), matching buildQueryAdjacency.
+const (
+	layoutMagic   uint64 = 0x0033525343594254 // "TBYCSR3\x00", little-endian
+	layoutVersion uint64 = 1
+
+	layoutHeaderLen    = 5 * 8
+	layoutEntryLen     = 2 * 8
+	layoutFixedEntries = 24
+	layoutMaxEntries   = 1 << 20 // sanity cap on relationship types
+)
+
+// Fixed directory slots (tail slots 24.. are per-rel-type CSR arrays).
+const (
+	secIDs = iota
+	secIdxOf
+	secNameRef
+	secSinkTypeRef
+	secMethodNameRef
+	secTCOf
+	secIsSource
+	secIsSink
+	secHasName
+	secHasSinkType
+	secHasMethodName
+	secCallStart
+	secCallFrom
+	secCallPP
+	secAliasStart
+	secAliasTo
+	secPoolOff
+	secPoolLen
+	secPoolBuf
+	secStrOffs
+	secStrBlob
+	secLabelRefs
+	secLabelBits
+	secRelTypeRefs
+)
+
+// hostLittleEndian reports whether this machine stores integers
+// little-endian. The layout is defined little-endian on disk; on a
+// big-endian host zero-copy aliasing would misread every word, so
+// FromLayout refuses and callers fall back to the heap path.
+func hostLittleEndian() bool {
+	var x uint16 = 1
+	return *(*byte)(unsafe.Pointer(&x)) == 1
+}
+
+// LayoutSupported reports whether this host can view on-disk index
+// layouts zero-copy. When false, FromLayout always errors and callers
+// should plan on the heap path from the start.
+func LayoutSupported() bool { return hostLittleEndian() }
+
+// laySection is one directory entry during encoding.
+type laySection struct {
+	elem  int // element size in bytes
+	count int
+	put   func(b []byte)
+}
+
+func putInt32s(vals []int32) func([]byte) {
+	return func(b []byte) {
+		for i, v := range vals {
+			binary.LittleEndian.PutUint32(b[i*4:], uint32(v))
+		}
+	}
+}
+
+func putUint64s(vals []uint64) func([]byte) {
+	return func(b []byte) {
+		for i, v := range vals {
+			binary.LittleEndian.PutUint64(b[i*8:], v)
+		}
+	}
+}
+
+func putIDs(vals []graphdb.ID) func([]byte) {
+	return func(b []byte) {
+		for i, v := range vals {
+			binary.LittleEndian.PutUint64(b[i*8:], uint64(v))
+		}
+	}
+}
+
+func putBytes(vals []byte) func([]byte) {
+	return func(b []byte) { copy(b, vals) }
+}
+
+func i32Section(vals []int32) laySection {
+	return laySection{elem: 4, count: len(vals), put: putInt32s(vals)}
+}
+
+func u64Section(vals []uint64) laySection {
+	return laySection{elem: 8, count: len(vals), put: putUint64s(vals)}
+}
+
+// layoutSpecs lists every section in directory order. Labels are
+// emitted sorted by name; relationship types already are (relTypes).
+// Label and rel-type names were interned at build time, so resolving
+// their refs never mutates the string table here.
+func (ix *Index) layoutSpecs() []laySection {
+	n := len(ix.ids)
+	words := (n + 63) / 64
+
+	labels := sortutil.SortedKeys(ix.labelBits)
+	labelRefs := make([]int32, len(labels))
+	labelBits := make([]uint64, 0, len(labels)*words)
+	for i, l := range labels {
+		labelRefs[i] = ix.strs.refOf(l)
+		labelBits = append(labelBits, ix.labelBits[l]...)
+	}
+	relTypeRefs := make([]int32, len(ix.relTypes))
+	for i, t := range ix.relTypes {
+		relTypeRefs[i] = ix.strs.refOf(t)
+	}
+
+	specs := []laySection{
+		secIDs:           {elem: 8, count: n, put: putIDs(ix.ids)},
+		secIdxOf:         i32Section(ix.idxOf),
+		secNameRef:       i32Section(ix.nameRef),
+		secSinkTypeRef:   i32Section(ix.sinkTypeRef),
+		secMethodNameRef: i32Section(ix.methodNameRef),
+		secTCOf:          i32Section(ix.tcOf),
+		secIsSource:      u64Section(ix.isSource),
+		secIsSink:        u64Section(ix.isSink),
+		secHasName:       u64Section(ix.hasName),
+		secHasSinkType:   u64Section(ix.hasSinkType),
+		secHasMethodName: u64Section(ix.hasMethodName),
+		secCallStart:     i32Section(ix.callStart),
+		secCallFrom:      i32Section(ix.callFrom),
+		secCallPP:        i32Section(ix.callPP),
+		secAliasStart:    i32Section(ix.aliasStart),
+		secAliasTo:       i32Section(ix.aliasTo),
+		secPoolOff:       i32Section(ix.pool.off),
+		secPoolLen:       i32Section(ix.pool.length),
+		secPoolBuf:       i32Section(ix.pool.buf),
+		secStrOffs:       i32Section(ix.strs.offs),
+		secStrBlob:       {elem: 1, count: len(ix.strs.blob), put: putBytes(ix.strs.blob)},
+		secLabelRefs:     i32Section(labelRefs),
+		secLabelBits:     u64Section(labelBits),
+		secRelTypeRefs:   i32Section(relTypeRefs),
+	}
+	for _, t := range ix.relTypes {
+		a := ix.adj[t]
+		specs = append(specs,
+			i32Section(a.outStart), i32Section(a.out),
+			i32Section(a.inStart), i32Section(a.in))
+	}
+	return specs
+}
+
+// LayoutLen returns the exact encoded size of AppendLayout's output
+// when the first appended byte lands at absolute file offset base.
+// Writers use it to frame the section before producing the payload.
+func (ix *Index) LayoutLen(base int64) int64 {
+	specs := ix.layoutSpecs()
+	pos := int64(layoutHeaderLen + len(specs)*layoutEntryLen)
+	for _, sp := range specs {
+		pos += layoutPad(base + pos)
+		pos += int64(sp.count) * int64(sp.elem)
+	}
+	return pos
+}
+
+// AppendLayout appends the index's binary layout to dst. base is the
+// absolute file offset at which the first appended byte will land;
+// every array is padded so its own file offset is 8-byte aligned,
+// which is what lets FromLayout alias the mapped bytes directly.
+func (ix *Index) AppendLayout(dst []byte, base int64) []byte {
+	specs := ix.layoutSpecs()
+	offs := make([]int64, len(specs))
+	pos := int64(layoutHeaderLen + len(specs)*layoutEntryLen)
+	for i, sp := range specs {
+		pos += layoutPad(base + pos)
+		offs[i] = pos
+		pos += int64(sp.count) * int64(sp.elem)
+	}
+
+	start := len(dst)
+	dst = append(dst, make([]byte, pos)...)
+	b := dst[start:]
+	le := binary.LittleEndian
+	le.PutUint64(b[0:], layoutMagic)
+	le.PutUint64(b[8:], layoutVersion)
+	// The store's live mutation counter is a process-local cache key, not
+	// part of the graph; embedding it would make byte-identical graphs
+	// serialize differently. On-disk indexes are always version 0.
+	le.PutUint64(b[16:], 0)
+	le.PutUint64(b[24:], uint64(len(ix.ids)))
+	le.PutUint64(b[32:], uint64(len(specs)))
+	for i, sp := range specs {
+		le.PutUint64(b[layoutHeaderLen+i*layoutEntryLen:], uint64(offs[i]))
+		le.PutUint64(b[layoutHeaderLen+i*layoutEntryLen+8:], uint64(sp.count))
+	}
+	for i, sp := range specs {
+		if sp.count > 0 {
+			sp.put(b[offs[i]:])
+		}
+	}
+	return dst
+}
+
+// layoutPad returns how many zero bytes must precede an array that
+// would start at absolute file offset pos to land it 8-byte aligned.
+func layoutPad(pos int64) int64 {
+	return (8 - pos%8) % 8
+}
+
+// layoutEntry is one parsed directory entry.
+type layoutEntry struct {
+	off   int64
+	count int64
+}
+
+// layoutErr tags every validation failure with enough context to
+// debug a bad writer without ever risking a panic on a bad file.
+func layoutErr(format string, args ...any) error {
+	return fmt.Errorf("searchindex layout: "+format, args...)
+}
+
+// FromLayout views data — the exact bytes AppendLayout produced,
+// landing at absolute file offset base — as a ready-to-serve Index.
+// The returned index aliases data: all flat arrays, and every string
+// it ever returns, point into data's backing memory, so the caller
+// must keep that memory mapped/reachable for the index's lifetime.
+// Allocation is O(labels + relationship types), never O(graph).
+//
+// All structural invariants the search and the planner rely on are
+// verified up front; any violation returns an error. The index has no
+// backing store: DB() returns nil.
+func FromLayout(data []byte, base int64) (*Index, error) {
+	if !hostLittleEndian() {
+		return nil, layoutErr("zero-copy view requires a little-endian host")
+	}
+	if len(data) < layoutHeaderLen {
+		return nil, layoutErr("short header: %d bytes", len(data))
+	}
+	le := binary.LittleEndian
+	if m := le.Uint64(data[0:]); m != layoutMagic {
+		return nil, layoutErr("bad magic %#x", m)
+	}
+	if v := le.Uint64(data[8:]); v != layoutVersion {
+		return nil, layoutErr("unsupported layout version %d", v)
+	}
+	ixVersion := le.Uint64(data[16:])
+	n64 := le.Uint64(data[24:])
+	entryCount := le.Uint64(data[32:])
+	if n64 > uint64(len(data)) {
+		return nil, layoutErr("node count %d exceeds section size", n64)
+	}
+	n := int(n64)
+	if entryCount < layoutFixedEntries || entryCount > layoutMaxEntries ||
+		(entryCount-layoutFixedEntries)%4 != 0 {
+		return nil, layoutErr("bad directory entry count %d", entryCount)
+	}
+	numRelTypes := int(entryCount-layoutFixedEntries) / 4
+	hdrLen := int64(layoutHeaderLen) + int64(entryCount)*layoutEntryLen
+	if int64(len(data)) < hdrLen {
+		return nil, layoutErr("directory truncated: %d bytes, need %d", len(data), hdrLen)
+	}
+
+	entries := make([]layoutEntry, entryCount)
+	for i := range entries {
+		o := layoutHeaderLen + i*layoutEntryLen
+		off := le.Uint64(data[o:])
+		count := le.Uint64(data[o+8:])
+		elem := int64(layoutElemSize(i))
+		if off > uint64(len(data)) || count > uint64(len(data)) {
+			return nil, layoutErr("entry %d out of range (off=%d count=%d)", i, off, count)
+		}
+		e := layoutEntry{off: int64(off), count: int64(count)}
+		if e.off < hdrLen || e.off+e.count*elem > int64(len(data)) {
+			return nil, layoutErr("entry %d out of bounds (off=%d count=%d)", i, off, count)
+		}
+		if (base+e.off)%8 != 0 {
+			return nil, layoutErr("entry %d misaligned (file offset %d)", i, base+e.off)
+		}
+		if e.count > 0 && uintptr(unsafe.Pointer(&data[e.off]))%8 != 0 {
+			return nil, layoutErr("entry %d backing memory misaligned", i)
+		}
+		entries[i] = e
+	}
+
+	words := int64((n + 63) / 64)
+
+	ix := &Index{version: ixVersion}
+	var err error
+	if ix.ids, err = viewIDs(data, entries[secIDs], int64(n)); err != nil {
+		return nil, err
+	}
+	if ix.idxOf, err = viewInt32s(data, entries[secIdxOf], -1); err != nil {
+		return nil, err
+	}
+	if ix.nameRef, err = viewInt32s(data, entries[secNameRef], int64(n)); err != nil {
+		return nil, err
+	}
+	if ix.sinkTypeRef, err = viewInt32s(data, entries[secSinkTypeRef], int64(n)); err != nil {
+		return nil, err
+	}
+	if ix.methodNameRef, err = viewInt32s(data, entries[secMethodNameRef], int64(n)); err != nil {
+		return nil, err
+	}
+	if ix.tcOf, err = viewInt32s(data, entries[secTCOf], int64(n)); err != nil {
+		return nil, err
+	}
+	if ix.isSource, err = viewUint64s(data, entries[secIsSource], words); err != nil {
+		return nil, err
+	}
+	if ix.isSink, err = viewUint64s(data, entries[secIsSink], words); err != nil {
+		return nil, err
+	}
+	if ix.hasName, err = viewUint64s(data, entries[secHasName], words); err != nil {
+		return nil, err
+	}
+	if ix.hasSinkType, err = viewUint64s(data, entries[secHasSinkType], words); err != nil {
+		return nil, err
+	}
+	if ix.hasMethodName, err = viewUint64s(data, entries[secHasMethodName], words); err != nil {
+		return nil, err
+	}
+	if ix.callStart, err = viewInt32s(data, entries[secCallStart], int64(n)+1); err != nil {
+		return nil, err
+	}
+	if ix.callFrom, err = viewInt32s(data, entries[secCallFrom], -1); err != nil {
+		return nil, err
+	}
+	if ix.callPP, err = viewInt32s(data, entries[secCallPP], entries[secCallFrom].count); err != nil {
+		return nil, err
+	}
+	if ix.aliasStart, err = viewInt32s(data, entries[secAliasStart], int64(n)+1); err != nil {
+		return nil, err
+	}
+	if ix.aliasTo, err = viewInt32s(data, entries[secAliasTo], -1); err != nil {
+		return nil, err
+	}
+	if ix.pool.off, err = viewInt32s(data, entries[secPoolOff], -1); err != nil {
+		return nil, err
+	}
+	if ix.pool.length, err = viewInt32s(data, entries[secPoolLen], entries[secPoolOff].count); err != nil {
+		return nil, err
+	}
+	if ix.pool.buf, err = viewInt32s(data, entries[secPoolBuf], -1); err != nil {
+		return nil, err
+	}
+	var strOffs []int32
+	if strOffs, err = viewInt32s(data, entries[secStrOffs], -1); err != nil {
+		return nil, err
+	}
+	if len(strOffs) < 2 {
+		return nil, layoutErr("string table needs at least ref 0 (%d offsets)", len(strOffs))
+	}
+	blobEntry := entries[secStrBlob]
+	var blob []byte
+	if blobEntry.count > 0 {
+		blob = data[blobEntry.off : blobEntry.off+blobEntry.count : blobEntry.off+blobEntry.count]
+	}
+	ix.strs = viewStringTable(strOffs, blob)
+	var labelRefs []int32
+	if labelRefs, err = viewInt32s(data, entries[secLabelRefs], -1); err != nil {
+		return nil, err
+	}
+	var labelBits []uint64
+	if labelBits, err = viewUint64s(data, entries[secLabelBits], int64(len(labelRefs))*words); err != nil {
+		return nil, err
+	}
+	var relTypeRefs []int32
+	if relTypeRefs, err = viewInt32s(data, entries[secRelTypeRefs], int64(numRelTypes)); err != nil {
+		return nil, err
+	}
+
+	// String-table structure first: every later ref check leans on it.
+	s := int32(len(strOffs) - 1)
+	if strOffs[0] != 0 {
+		return nil, layoutErr("string offsets must start at 0")
+	}
+	for i := 1; i < len(strOffs); i++ {
+		if strOffs[i] < strOffs[i-1] {
+			return nil, layoutErr("string offsets not monotone at %d", i)
+		}
+	}
+	if int64(strOffs[len(strOffs)-1]) != blobEntry.count {
+		return nil, layoutErr("string offsets end at %d, blob is %d bytes",
+			strOffs[len(strOffs)-1], blobEntry.count)
+	}
+	if strOffs[1] != 0 {
+		return nil, layoutErr("ref 0 must be the empty string")
+	}
+
+	if err := validateLayout(ix, s, labelRefs, labelBits, relTypeRefs, int(words)); err != nil {
+		return nil, err
+	}
+
+	// The only per-open allocations: the label and rel-type maps.
+	ix.labelBits = make(map[string][]uint64, len(labelRefs))
+	prev := ""
+	for i, ref := range labelRefs {
+		name := ix.strs.At(ref)
+		if i > 0 && name <= prev {
+			return nil, layoutErr("label names not sorted-unique at %d", i)
+		}
+		prev = name
+		ix.labelBits[name] = labelBits[int64(i)*words : int64(i+1)*words]
+	}
+	ix.adj = make(map[string]*typeAdj, numRelTypes)
+	ix.relTypes = make([]string, 0, numRelTypes)
+	prev = ""
+	for r := 0; r < numRelTypes; r++ {
+		name := ix.strs.At(relTypeRefs[r])
+		if r > 0 && name <= prev {
+			return nil, layoutErr("relationship types not sorted-unique at %d", r)
+		}
+		prev = name
+		a := &typeAdj{}
+		baseEntry := layoutFixedEntries + r*4
+		if a.outStart, err = viewInt32s(data, entries[baseEntry], int64(n)+1); err != nil {
+			return nil, err
+		}
+		if a.out, err = viewInt32s(data, entries[baseEntry+1], -1); err != nil {
+			return nil, err
+		}
+		if a.inStart, err = viewInt32s(data, entries[baseEntry+2], int64(n)+1); err != nil {
+			return nil, err
+		}
+		if a.in, err = viewInt32s(data, entries[baseEntry+3], -1); err != nil {
+			return nil, err
+		}
+		if err := validateCSR(name, " out", a.outStart, a.out, n, true); err != nil {
+			return nil, err
+		}
+		if err := validateCSR(name, " in", a.inStart, a.in, n, true); err != nil {
+			return nil, err
+		}
+		ix.adj[name] = a
+		ix.relTypes = append(ix.relTypes, name)
+	}
+	return ix, nil
+}
+
+// layoutElemSize returns the element size of directory slot i; tail
+// slots (per-rel-type CSR arrays) are all int32.
+func layoutElemSize(i int) int {
+	switch i {
+	case secIDs, secIsSource, secIsSink, secHasName, secHasSinkType,
+		secHasMethodName, secLabelBits:
+		return 8
+	case secStrBlob:
+		return 1
+	default:
+		return 4
+	}
+}
+
+// viewInt32s aliases entry e of data as an []int32. wantCount < 0
+// accepts any length. The caller already bounds- and alignment-checked
+// the entry table; re-checking here keeps every view self-contained.
+func viewInt32s(data []byte, e layoutEntry, wantCount int64) ([]int32, error) {
+	if wantCount >= 0 && e.count != wantCount {
+		return nil, layoutErr("int32 section count %d, want %d", e.count, wantCount)
+	}
+	if e.count == 0 {
+		return nil, nil
+	}
+	return unsafe.Slice((*int32)(unsafe.Pointer(&data[e.off])), e.count), nil
+}
+
+// viewUint64s aliases entry e of data as a []uint64.
+func viewUint64s(data []byte, e layoutEntry, wantCount int64) ([]uint64, error) {
+	if wantCount >= 0 && e.count != wantCount {
+		return nil, layoutErr("uint64 section count %d, want %d", e.count, wantCount)
+	}
+	if e.count == 0 {
+		return nil, nil
+	}
+	return unsafe.Slice((*uint64)(unsafe.Pointer(&data[e.off])), e.count), nil
+}
+
+// viewIDs aliases entry e of data as a []graphdb.ID (an int64 alias,
+// so the memory layout is identical).
+func viewIDs(data []byte, e layoutEntry, wantCount int64) ([]graphdb.ID, error) {
+	if wantCount >= 0 && e.count != wantCount {
+		return nil, layoutErr("id section count %d, want %d", e.count, wantCount)
+	}
+	if e.count == 0 {
+		return nil, nil
+	}
+	return unsafe.Slice((*graphdb.ID)(unsafe.Pointer(&data[e.off])), e.count), nil
+}
+
+// validateLayout checks every structural invariant the search and the
+// planner rely on. CPU is O(total section bytes) with zero allocation;
+// corruption that slips past the section CRC (or a buggy writer) is
+// caught here instead of surfacing as a panic or silent garbage.
+func validateLayout(ix *Index, s int32, labelRefs []int32, labelBits []uint64, relTypeRefs []int32, words int) error {
+	n := len(ix.ids)
+	maxID := int64(len(ix.idxOf)) - 1
+
+	// ids strictly ascending within [0, maxID]; idxOf its exact inverse
+	// (bijective over the node set, -1 everywhere else).
+	for i, id := range ix.ids {
+		if id < 0 || int64(id) > maxID {
+			return layoutErr("node id %d out of idxOf range", id)
+		}
+		if i > 0 && id <= ix.ids[i-1] {
+			return layoutErr("node ids not strictly ascending at %d", i)
+		}
+		if ix.idxOf[id] != int32(i) {
+			return layoutErr("idxOf[%d] = %d, want %d", id, ix.idxOf[id], i)
+		}
+	}
+	// Per-element checks below run on every zero-copy open over the
+	// largest sections, so each is a single unsigned comparison: shifting
+	// a [-1, n) or [0, n) test by the lower bound folds both ends into
+	// one branch (negatives wrap to huge values).
+	nonNeg := 0
+	for _, v := range ix.idxOf {
+		if uint32(v+1) > uint32(n) {
+			return layoutErr("idxOf value %d out of range", v)
+		}
+		if v >= 0 {
+			nonNeg++
+		}
+	}
+	if nonNeg != n {
+		return layoutErr("idxOf maps %d ids, want %d", nonNeg, n)
+	}
+
+	for _, col := range [][]int32{ix.nameRef, ix.sinkTypeRef, ix.methodNameRef} {
+		for _, ref := range col {
+			if uint32(ref) >= uint32(s) {
+				return layoutErr("string ref %d out of range (table has %d)", ref, s)
+			}
+		}
+	}
+
+	k := int32(len(ix.pool.off))
+	p := int32(len(ix.pool.buf))
+	for j := int32(0); j < k; j++ {
+		off, l := ix.pool.off[j], ix.pool.length[j]
+		if off < 0 || l < 0 || off+l > p || off+l < off {
+			return layoutErr("pool entry %d out of range (off=%d len=%d buf=%d)", j, off, l, p)
+		}
+	}
+	for _, ref := range ix.tcOf {
+		if uint32(ref+1) > uint32(k) {
+			return layoutErr("TC ref %d out of range (pool has %d)", ref, k)
+		}
+	}
+
+	if err := validateCSR("CALL", "", ix.callStart, ix.callFrom, n, false); err != nil {
+		return err
+	}
+	for _, ref := range ix.callPP {
+		if uint32(ref+1) > uint32(k) {
+			return layoutErr("PP ref %d out of range (pool has %d)", ref, k)
+		}
+	}
+	if err := validateCSR("ALIAS", "", ix.aliasStart, ix.aliasTo, n, false); err != nil {
+		return err
+	}
+
+	for _, ref := range labelRefs {
+		if uint32(ref) >= uint32(s) {
+			return layoutErr("label ref %d out of range", ref)
+		}
+	}
+	for _, ref := range relTypeRefs {
+		if uint32(ref) >= uint32(s) {
+			return layoutErr("relationship type ref %d out of range", ref)
+		}
+	}
+	if words > 0 && n > 0 {
+		// Bits past the node count must be zero or bitset scans would
+		// surface phantom nodes.
+		mask := ^uint64(0) << (uint(n) & 63)
+		if uint(n)&63 == 0 {
+			mask = 0
+		}
+		for _, bs := range [][]uint64{ix.isSource, ix.isSink, ix.hasName, ix.hasSinkType, ix.hasMethodName} {
+			if len(bs) > 0 && bs[len(bs)-1]&mask != 0 {
+				return layoutErr("bitset has bits past node count")
+			}
+		}
+		for l := 0; l*words < len(labelBits); l++ {
+			if labelBits[(l+1)*words-1]&mask != 0 {
+				return layoutErr("label bitset %d has bits past node count", l)
+			}
+		}
+	}
+	return nil
+}
+
+// validateCSR checks one CSR pair: start has n+1 monotone offsets from
+// 0 to len(data), and every stored neighbour index is a valid node.
+// sortedRows additionally requires each row strictly ascending (the
+// planner's sorted-unique adjacency contract). This runs on every
+// zero-copy open over R rel types x n nodes, so the loops are kept
+// flat: one monotone pass over start, one unsigned bounds pass over
+// data, and (for sorted rows) an adjacent-pair scan that never
+// materialises row slices. dir is a label suffix (" out"/" in") kept
+// out of the hot path so callers need not concatenate strings per call.
+func validateCSR(what, dir string, start, data []int32, n int, sortedRows bool) error {
+	if len(start) != n+1 {
+		return layoutErr("%s%s: start has %d offsets, want %d", what, dir, len(start), n+1)
+	}
+	if n >= 0 && (len(start) == 0 || start[0] != 0) {
+		return layoutErr("%s%s: start[0] must be 0", what, dir)
+	}
+	if int(start[n]) != len(data) {
+		return layoutErr("%s%s: start ends at %d, data has %d", what, dir, start[n], len(data))
+	}
+	// The offsets partition data exactly, so row-by-row bounds checks
+	// collapse to one pass over the whole array.
+	for _, v := range data {
+		if uint32(v) >= uint32(n) {
+			return layoutErr("%s%s: neighbour %d out of range", what, dir, v)
+		}
+	}
+	m := int32(len(data))
+	if !sortedRows {
+		for i := 0; i < n; i++ {
+			if start[i+1] < start[i] {
+				return layoutErr("%s%s: start not monotone at %d", what, dir, i)
+			}
+		}
+		return nil
+	}
+	// Monotone offsets and per-row ascent in one pass. The hi <= m guard
+	// makes data[j] safe even before the whole start array is vetted:
+	// inductively lo >= 0, so every j stays inside [0, m).
+	for i := 0; i < n; i++ {
+		lo, hi := start[i], start[i+1]
+		if hi < lo || hi > m {
+			return layoutErr("%s%s: start not monotone at %d", what, dir, i)
+		}
+		for j := lo + 1; j < hi; j++ {
+			if data[j] <= data[j-1] {
+				return layoutErr("%s%s: row %d not sorted-unique", what, dir, i)
+			}
+		}
+	}
+	return nil
+}
+
+// refOf resolves an already-interned string's ref. The map path covers
+// compiled tables; viewed tables (nil lookup) fall back to a scan —
+// only reachable when re-serializing a loaded snapshot, never on a
+// query path.
+func (t *StringTable) refOf(s string) int32 {
+	if t.lookup != nil {
+		return t.lookup[s]
+	}
+	for ref := int32(0); ref < int32(t.Count()); ref++ {
+		if t.At(ref) == s {
+			return ref
+		}
+	}
+	return 0
+}

@@ -1,0 +1,189 @@
+package searchindex
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+)
+
+// assertSameIndex compares every queryable surface of two indexes: the
+// node columns, bitsets, interned arrays, CALL/ALIAS CSR, the label
+// map, and the full query-side adjacency. Pool refs are compared by
+// content (Ints), not by value, so interning order is free to differ.
+func assertSameIndex(t *testing.T, got, want *Index) {
+	t.Helper()
+	if got.NumNodes() != want.NumNodes() {
+		t.Fatalf("NumNodes = %d, want %d", got.NumNodes(), want.NumNodes())
+	}
+	ints := func(ix *Index, ref int32) []int32 {
+		if ref < 0 {
+			return nil
+		}
+		return ix.Ints(ref)
+	}
+	for v := int32(0); v < int32(want.NumNodes()); v++ {
+		if got.IDOf(v) != want.IDOf(v) {
+			t.Errorf("IDOf(%d) = %d, want %d", v, got.IDOf(v), want.IDOf(v))
+		}
+		if got.IdxOf(want.IDOf(v)) != v {
+			t.Errorf("IdxOf(%d) = %d, want %d", want.IDOf(v), got.IdxOf(want.IDOf(v)), v)
+		}
+		if got.HasName(v) != want.HasName(v) || got.Name(v) != want.Name(v) {
+			t.Errorf("Name(%d) = %q/%v, want %q/%v", v, got.Name(v), got.HasName(v), want.Name(v), want.HasName(v))
+		}
+		if got.HasSinkType(v) != want.HasSinkType(v) || got.SinkType(v) != want.SinkType(v) {
+			t.Errorf("SinkType(%d) = %q, want %q", v, got.SinkType(v), want.SinkType(v))
+		}
+		if got.HasMethodName(v) != want.HasMethodName(v) || got.MethodName(v) != want.MethodName(v) {
+			t.Errorf("MethodName(%d) = %q, want %q", v, got.MethodName(v), want.MethodName(v))
+		}
+		if got.IsSource(v) != want.IsSource(v) || got.IsSink(v) != want.IsSink(v) {
+			t.Errorf("source/sink bits differ at %d", v)
+		}
+		if !reflect.DeepEqual(ints(got, got.TCRef(v)), ints(want, want.TCRef(v))) ||
+			(got.TCRef(v) < 0) != (want.TCRef(v) < 0) {
+			t.Errorf("TC(%d) = %v, want %v", v, ints(got, got.TCRef(v)), ints(want, want.TCRef(v)))
+		}
+
+		glo, ghi := got.CallRange(v)
+		wlo, whi := want.CallRange(v)
+		if ghi-glo != whi-wlo {
+			t.Fatalf("CallRange(%d) width %d, want %d", v, ghi-glo, whi-wlo)
+		}
+		for k := int32(0); k < ghi-glo; k++ {
+			gc, gpp := got.CallEdge(glo + k)
+			wc, wpp := want.CallEdge(wlo + k)
+			if gc != wc || (gpp < 0) != (wpp < 0) ||
+				!reflect.DeepEqual(ints(got, gpp), ints(want, wpp)) {
+				t.Errorf("CallEdge(%d+%d) = (%d,%v), want (%d,%v)", v, k, gc, ints(got, gpp), wc, ints(want, wpp))
+			}
+		}
+		glo, ghi = got.AliasRange(v)
+		wlo, whi = want.AliasRange(v)
+		if ghi-glo != whi-wlo {
+			t.Fatalf("AliasRange(%d) width %d, want %d", v, ghi-glo, whi-wlo)
+		}
+		for k := int32(0); k < ghi-glo; k++ {
+			if got.AliasTarget(glo+k) != want.AliasTarget(wlo+k) {
+				t.Errorf("AliasTarget(%d+%d) = %d, want %d", v, k, got.AliasTarget(glo+k), want.AliasTarget(wlo+k))
+			}
+		}
+	}
+
+	if len(got.labelBits) != len(want.labelBits) {
+		t.Fatalf("labels = %d, want %d", len(got.labelBits), len(want.labelBits))
+	}
+	for label, wbits := range want.labelBits {
+		if !reflect.DeepEqual(got.LabelBits(label), wbits) {
+			t.Errorf("LabelBits(%q) differs", label)
+		}
+	}
+	if !reflect.DeepEqual(got.SourceBits(), want.SourceBits()) ||
+		!reflect.DeepEqual(got.SinkBits(), want.SinkBits()) {
+		t.Error("source/sink bitsets differ")
+	}
+
+	if !reflect.DeepEqual(got.RelTypes(), want.RelTypes()) {
+		t.Fatalf("RelTypes = %v, want %v", got.RelTypes(), want.RelTypes())
+	}
+	for _, typ := range want.RelTypes() {
+		for v := int32(0); v < int32(want.NumNodes()); v++ {
+			if !reflect.DeepEqual(got.OutNeighbors(typ, v), want.OutNeighbors(typ, v)) {
+				t.Errorf("OutNeighbors(%q, %d) = %v, want %v", typ, v, got.OutNeighbors(typ, v), want.OutNeighbors(typ, v))
+			}
+			if !reflect.DeepEqual(got.InNeighbors(typ, v), want.InNeighbors(typ, v)) {
+				t.Errorf("InNeighbors(%q, %d) = %v, want %v", typ, v, got.InNeighbors(typ, v), want.InNeighbors(typ, v))
+			}
+		}
+	}
+}
+
+// TestLayoutRoundTrip serializes a compiled index at several base file
+// offsets and checks that the zero-copy view answers identically to
+// the compiled original on every surface the searchers use.
+func TestLayoutRoundTrip(t *testing.T) {
+	db, _ := buildGraph(t)
+	ix := Compile(db)
+
+	for _, base := range []int64{0, 4, 8, 20} {
+		// Simulate the layout landing mid-file: the preceding bytes shift
+		// every section, exercising the file-offset alignment padding.
+		prefix := bytes.Repeat([]byte{0xEE}, int(base))
+		full := ix.AppendLayout(prefix, base)
+		data := full[base:]
+
+		if want := ix.LayoutLen(base); int64(len(data)) != want {
+			t.Fatalf("base %d: LayoutLen = %d, encoded %d bytes", base, want, len(data))
+		}
+		got, err := FromLayout(data, base)
+		if err != nil {
+			t.Fatalf("base %d: FromLayout: %v", base, err)
+		}
+		if got.DB() != nil {
+			t.Error("viewed index must have no backing store")
+		}
+		if got.Version() != 0 {
+			t.Errorf("viewed index version = %d, want 0 (on-disk layouts drop the cache key)", got.Version())
+		}
+		assertSameIndex(t, got, ix)
+	}
+}
+
+// TestLayoutByteStable: re-serializing a viewed index reproduces the
+// original bytes exactly — the layout has one canonical form, so
+// snapshot byte-stability survives a save→mmap→save cycle.
+func TestLayoutByteStable(t *testing.T) {
+	db, _ := buildGraph(t)
+	ix := Compile(db)
+	data := ix.AppendLayout(nil, 0)
+	got, err := FromLayout(data, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	again := got.AppendLayout(nil, 0)
+	if !bytes.Equal(data, again) {
+		t.Errorf("re-encoded layout differs: %d vs %d bytes", len(data), len(again))
+	}
+}
+
+// TestLayoutRejectsTruncation views every strict prefix of a valid
+// layout: each must produce an error, never a panic and never a
+// silently short index.
+func TestLayoutRejectsTruncation(t *testing.T) {
+	db, _ := buildGraph(t)
+	data := Compile(db).AppendLayout(nil, 0)
+	if _, err := FromLayout(data, 0); err != nil {
+		t.Fatalf("pristine layout must view: %v", err)
+	}
+	for n := 0; n < len(data); n++ {
+		if _, err := FromLayout(data[:n], 0); err == nil {
+			t.Fatalf("truncation to %d/%d bytes viewed successfully", n, len(data))
+		}
+	}
+}
+
+// TestLayoutRejectsHeaderCorruption pins the header diagnostics: bad
+// magic, unknown layout version, and an absurd directory count all
+// error before any array is aliased.
+func TestLayoutRejectsHeaderCorruption(t *testing.T) {
+	db, _ := buildGraph(t)
+	data := Compile(db).AppendLayout(nil, 0)
+
+	flip := func(off int) []byte {
+		bad := append([]byte(nil), data...)
+		bad[off] ^= 0xff
+		return bad
+	}
+	if _, err := FromLayout(flip(0), 0); err == nil {
+		t.Error("bad magic must error")
+	}
+	if _, err := FromLayout(flip(8), 0); err == nil {
+		t.Error("bad layout version must error")
+	}
+	if _, err := FromLayout(flip(32), 0); err == nil {
+		t.Error("bad directory count must error")
+	}
+	if _, err := FromLayout(nil, 0); err == nil {
+		t.Error("empty layout must error")
+	}
+}

@@ -1,0 +1,61 @@
+package searchindex
+
+import "unsafe"
+
+// StringTable interns the index's string columns (NAME, SINK_TYPE,
+// METHOD_NAME, label and relationship-type names) into two flat arrays:
+// a byte blob holding every distinct string back to back and a
+// cumulative offset array bracketing each entry. Ref 0 is always the
+// empty string, so absent column values need no sentinel.
+//
+// The flat representation is the point: a table built by Compile lives
+// on the heap, but the exact same two arrays can alias a read-only
+// mmap'd snapshot section, and At resolves refs without copying in
+// either case (the returned string shares the blob's backing bytes).
+// Callers must therefore keep the mapping alive for as long as any
+// resolved string is reachable — the storage backend owns that
+// lifetime.
+type StringTable struct {
+	offs []int32 // len = Count()+1, cumulative byte offsets into blob
+	blob []byte
+
+	lookup map[string]int32 // builder side only; nil on views
+}
+
+// NewStringTable creates an empty table whose ref 0 is "".
+func NewStringTable() *StringTable {
+	return &StringTable{offs: []int32{0, 0}, lookup: map[string]int32{"": 0}}
+}
+
+// Intern returns the ref of s, adding it when new. Builder side only —
+// tables viewed from a snapshot section are immutable.
+func (t *StringTable) Intern(s string) int32 {
+	if ref, ok := t.lookup[s]; ok {
+		return ref
+	}
+	ref := int32(len(t.offs) - 1)
+	t.blob = append(t.blob, s...)
+	t.offs = append(t.offs, int32(len(t.blob)))
+	t.lookup[s] = ref
+	return ref
+}
+
+// At resolves a ref. The returned string aliases the table's blob (heap
+// or mapped file) — zero-copy in both directions.
+func (t *StringTable) At(ref int32) string {
+	lo, hi := t.offs[ref], t.offs[ref+1]
+	if lo == hi {
+		return ""
+	}
+	return unsafe.String(&t.blob[lo], int(hi-lo))
+}
+
+// Count returns how many distinct strings the table holds (including
+// the empty string at ref 0).
+func (t *StringTable) Count() int { return len(t.offs) - 1 }
+
+// viewStringTable wraps snapshot-section arrays as an immutable table.
+// offs must be cumulative with offs[0] == 0; the caller validates.
+func viewStringTable(offs []int32, blob []byte) *StringTable {
+	return &StringTable{offs: offs, blob: blob}
+}

@@ -2,126 +2,258 @@ package server
 
 import (
 	"container/list"
+	"errors"
 	"fmt"
 	"sort"
 	"sync"
 
+	"tabby/internal/backend"
 	"tabby/internal/store"
 )
 
-// Registry holds the loaded snapshots a server can answer queries
-// against, bounded by an LRU policy: when a snapshot is registered
-// beyond the capacity, the least-recently-used one is dropped (its
-// store stays alive for any request already holding it, and is
-// garbage-collected afterwards).
+// ErrNotFound reports a graph id with no registry entry.
+var ErrNotFound = errors.New("server: graph not registered")
+
+// Registry holds the graphs a server can answer queries against. An
+// entry is either *open* (it has a live backend serving its index) or
+// merely *registered* (a file path recorded at boot, opened on the
+// first request that names it). Registration is how a server fronts
+// thousands of snapshot files without paying thousands of opens: a
+// version-3 snapshot opens as a zero-copy mmap view in milliseconds
+// when first asked for, and its resident cost is page cache, not heap.
 //
-// It is safe for concurrent use. Only the id→snapshot bookkeeping is
-// guarded here; the snapshots themselves are frozen stores, so request
-// handlers read them without any registry lock held.
+// Heap-resident backends (full snapshot parses: uploads, pre-v3 files,
+// hosts without mmap) are bounded by an LRU policy: beyond the
+// capacity, the least-recently-used heap entry is evicted — demoted
+// back to "registered" when it came from a file (a later request
+// reopens it), dropped entirely when it did not (uploaded graphs have
+// no bytes to reopen). Mmap-backed entries never count against the
+// capacity and are never unmapped: the served index aliases the mapped
+// bytes, and the mapping's unreferenced pages are the kernel's to
+// reclaim, not ours.
+//
+// It is safe for concurrent use. Only the bookkeeping is guarded here;
+// backends serve frozen data, so request handlers read them without
+// any registry lock held.
 type Registry struct {
-	mu      sync.Mutex
-	max     int
-	entries map[string]*list.Element
-	order   *list.List // front = most recently used
+	mu        sync.Mutex
+	max       int
+	entries   map[string]*regEntry
+	lru       *list.List // heap-resident entries only; front = most recently used
+	evictions int64
 }
 
 type regEntry struct {
 	id   string
-	snap *store.Snapshot
+	path string          // re-openable source file; "" for uploaded graphs
+	be   backend.Backend // nil while merely registered
+	el   *list.Element   // LRU slot while heap-resident; nil otherwise
 }
 
-// DefaultMaxGraphs bounds the registry when no capacity is configured.
+// DefaultMaxGraphs bounds the heap-resident graphs when no capacity is
+// configured.
 const DefaultMaxGraphs = 8
 
-// NewRegistry creates a registry holding at most max snapshots
-// (DefaultMaxGraphs when max <= 0).
+// NewRegistry creates a registry keeping at most max heap-resident
+// graphs (DefaultMaxGraphs when max <= 0).
 func NewRegistry(max int) *Registry {
 	if max <= 0 {
 		max = DefaultMaxGraphs
 	}
 	return &Registry{
 		max:     max,
-		entries: make(map[string]*list.Element),
-		order:   list.New(),
+		entries: make(map[string]*regEntry),
+		lru:     list.New(),
 	}
 }
 
-// Add registers a snapshot under id. Registering an id twice is an
-// error — a graph's contents are immutable, so replacement is always a
-// caller bug. Returns the id of the evicted snapshot, if the capacity
-// forced one out.
+// Add registers an already-parsed snapshot under id. Registering an id
+// twice is an error — a graph's contents are immutable, so replacement
+// is always a caller bug. Returns the id of the entry the capacity
+// forced out, if any.
 func (r *Registry) Add(id string, snap *store.Snapshot) (evicted string, err error) {
+	if snap == nil || snap.DB == nil {
+		return "", fmt.Errorf("server: graph %q: nil snapshot", id)
+	}
+	return r.AddBackend(id, backend.FromSnapshot(snap), "")
+}
+
+// AddBackend registers an opened backend under id. path, when
+// non-empty, names the snapshot file the backend came from, which lets
+// an evicted heap entry fall back to "registered" instead of
+// disappearing.
+func (r *Registry) AddBackend(id string, be backend.Backend, path string) (evicted string, err error) {
 	if id == "" {
 		return "", fmt.Errorf("server: empty graph id")
 	}
-	if snap == nil || snap.DB == nil {
-		return "", fmt.Errorf("server: graph %q: nil snapshot", id)
+	if be == nil {
+		return "", fmt.Errorf("server: graph %q: nil backend", id)
 	}
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	if _, dup := r.entries[id]; dup {
 		return "", fmt.Errorf("server: graph %q already loaded", id)
 	}
-	r.entries[id] = r.order.PushFront(&regEntry{id: id, snap: snap})
-	if r.order.Len() > r.max {
-		oldest := r.order.Back()
-		e := oldest.Value.(*regEntry)
-		r.order.Remove(oldest)
-		delete(r.entries, e.id)
-		evicted = e.id
-	}
-	return evicted, nil
+	e := &regEntry{id: id, path: path, be: be}
+	r.entries[id] = e
+	return r.trackLocked(e), nil
 }
 
-// Get returns the snapshot registered under id, marking it most
-// recently used.
-func (r *Registry) Get(id string) (*store.Snapshot, bool) {
+// Register records a snapshot file under id without opening it. The
+// first Get for the id opens the file then.
+func (r *Registry) Register(id, path string) error {
+	if id == "" {
+		return fmt.Errorf("server: empty graph id")
+	}
+	if path == "" {
+		return fmt.Errorf("server: graph %q: empty snapshot path", id)
+	}
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	el, ok := r.entries[id]
-	if !ok {
-		return nil, false
+	if _, dup := r.entries[id]; dup {
+		return fmt.Errorf("server: graph %q already loaded", id)
 	}
-	r.order.MoveToFront(el)
-	return el.Value.(*regEntry).snap, true
+	r.entries[id] = &regEntry{id: id, path: path}
+	return nil
 }
 
-// Len reports how many snapshots are loaded.
+// Has reports whether id is registered (opened or not), without opening
+// anything.
+func (r *Registry) Has(id string) bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	_, ok := r.entries[id]
+	return ok
+}
+
+// Get returns the backend registered under id, opening it from its
+// file on first use and marking it most recently used. A failed open
+// leaves the entry registered (the file may be fixed or replaced —
+// snapshot writes are atomic renames — so a later Get retries).
+func (r *Registry) Get(id string) (backend.Backend, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	e, ok := r.entries[id]
+	if !ok {
+		return nil, ErrNotFound
+	}
+	if e.be == nil {
+		// Opening under the lock serializes concurrent first requests for
+		// the same graph; the common (v3) open is a validation pass over an
+		// mmap, milliseconds even on the largest corpora.
+		be, err := backend.Open(e.path)
+		if err != nil {
+			return nil, fmt.Errorf("server: open graph %q: %w", id, err)
+		}
+		e.be = be
+		r.trackLocked(e)
+		return e.be, nil
+	}
+	if e.el != nil {
+		r.lru.MoveToFront(e.el)
+	}
+	return e.be, nil
+}
+
+// trackLocked enrolls a newly-opened backend in the heap LRU when it is
+// heap-resident and applies the capacity, returning the evicted id (""
+// when nothing was forced out).
+func (r *Registry) trackLocked(e *regEntry) (evicted string) {
+	if e.be.Kind() != backend.KindMem {
+		return ""
+	}
+	e.el = r.lru.PushFront(e)
+	for r.lru.Len() > r.max {
+		oldest := r.lru.Back()
+		v := oldest.Value.(*regEntry)
+		r.lru.Remove(oldest)
+		v.el = nil
+		r.evictions++
+		evicted = v.id
+		if v.path != "" {
+			v.be = nil // demote: registered again, reopenable on demand
+		} else {
+			delete(r.entries, v.id)
+		}
+	}
+	return evicted
+}
+
+// Len reports how many graphs are registered (opened or not).
 func (r *Registry) Len() int {
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	return r.order.Len()
+	return len(r.entries)
 }
 
-// GraphInfo summarizes one loaded graph for listings.
+// Evictions reports how many heap-resident graphs the capacity has
+// forced out since the registry was created.
+func (r *Registry) Evictions() int64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.evictions
+}
+
+// GraphInfo summarizes one registered graph for listings. Fields past
+// Meta describe the serving state: Backend and the counters are only
+// meaningful once Opened, and Loaded distinguishes an mmap view that
+// has additionally materialized its generic store from one serving
+// purely off the mapping.
 type GraphInfo struct {
 	ID     string     `json:"id"`
 	Corpus string     `json:"corpus,omitempty"`
 	Nodes  int        `json:"nodes"`
 	Rels   int        `json:"rels"`
 	Meta   store.Meta `json:"meta"`
+	// Backend is "mem" or "mmap"; empty while the entry is registered
+	// but not yet opened.
+	Backend string `json:"backend,omitempty"`
+	// Opened reports whether the entry has a live backend (its index is
+	// servable without touching the file again).
+	Opened bool `json:"opened"`
+	// Loaded reports whether the generic property store is resident on
+	// the Go heap (always true for "mem"; true for "mmap" only after a
+	// query needed the full store).
+	Loaded bool `json:"loaded"`
+	// MappedBytes is the size of the backing memory-mapped region, 0
+	// for heap-resident graphs.
+	MappedBytes int64 `json:"mapped_bytes,omitempty"`
 }
 
-// List returns a summary of every loaded graph, sorted by id so the
-// listing is deterministic.
+// List returns a summary of every registered graph, sorted by id so the
+// listing is deterministic. Unopened entries are listed by id alone —
+// listing must stay cheap with thousands of registered files, so it
+// never forces opens.
 func (r *Registry) List() []GraphInfo {
+	type row struct {
+		id string
+		be backend.Backend
+	}
 	r.mu.Lock()
-	snaps := make([]*regEntry, 0, r.order.Len())
-	for el := r.order.Front(); el != nil; el = el.Next() {
-		snaps = append(snaps, el.Value.(*regEntry))
+	entries := make([]row, 0, len(r.entries))
+	for _, e := range r.entries {
+		// Snapshot the backend pointer under the lock (Get and eviction
+		// mutate it); the backend itself is immutable and read lock-free.
+		entries = append(entries, row{id: e.id, be: e.be})
 	}
 	r.mu.Unlock()
 
-	out := make([]GraphInfo, 0, len(snaps))
-	for _, e := range snaps {
-		s := e.snap.DB.Stats()
-		out = append(out, GraphInfo{
-			ID:     e.id,
-			Corpus: e.snap.Meta.Corpus,
-			Nodes:  s.Nodes,
-			Rels:   s.Rels,
-			Meta:   e.snap.Meta,
-		})
+	out := make([]GraphInfo, 0, len(entries))
+	for _, e := range entries {
+		info := GraphInfo{ID: e.id}
+		if e.be != nil {
+			st := e.be.GraphStats()
+			meta := e.be.Meta()
+			info.Corpus = meta.Corpus
+			info.Nodes = st.Nodes
+			info.Rels = st.Rels
+			info.Meta = meta
+			info.Backend = e.be.Kind()
+			info.Opened = true
+			info.Loaded = e.be.Loaded()
+			info.MappedBytes = e.be.MappedBytes()
+		}
+		out = append(out, info)
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
 	return out

@@ -1,8 +1,12 @@
 package server
 
 import (
+	"errors"
+	"os"
+	"path/filepath"
 	"testing"
 
+	"tabby/internal/backend"
 	"tabby/internal/graphdb"
 	"tabby/internal/store"
 )
@@ -28,11 +32,11 @@ func TestRegistryAddGetList(t *testing.T) {
 	if _, err := r.Add("a", tinySnapshot("a")); err == nil {
 		t.Error("duplicate id must error")
 	}
-	if _, ok := r.Get("a"); !ok {
-		t.Error("Get(a) failed")
+	if _, err := r.Get("a"); err != nil {
+		t.Errorf("Get(a) failed: %v", err)
 	}
-	if _, ok := r.Get("missing"); ok {
-		t.Error("Get(missing) succeeded")
+	if _, err := r.Get("missing"); !errors.Is(err, ErrNotFound) {
+		t.Errorf("Get(missing) = %v, want ErrNotFound", err)
 	}
 	if _, err := r.Add("b", tinySnapshot("b")); err != nil {
 		t.Fatal(err)
@@ -52,7 +56,7 @@ func TestRegistryLRUEviction(t *testing.T) {
 		t.Fatal(err)
 	}
 	// Touch "a" so "b" becomes the least recently used.
-	if _, ok := r.Get("a"); !ok {
+	if _, err := r.Get("a"); err != nil {
 		t.Fatal("Get(a) failed")
 	}
 	evicted, err := r.Add("c", tinySnapshot("c"))
@@ -62,10 +66,147 @@ func TestRegistryLRUEviction(t *testing.T) {
 	if evicted != "b" {
 		t.Errorf("evicted %q, want %q", evicted, "b")
 	}
-	if _, ok := r.Get("b"); ok {
-		t.Error("b still resident after eviction")
+	// "b" was added from memory (no backing file), so eviction drops it
+	// outright rather than demoting it to registered.
+	if _, err := r.Get("b"); !errors.Is(err, ErrNotFound) {
+		t.Errorf("Get(b) after eviction = %v, want ErrNotFound", err)
 	}
 	if r.Len() != 2 {
 		t.Errorf("Len() = %d, want 2", r.Len())
+	}
+	if r.Evictions() != 1 {
+		t.Errorf("Evictions() = %d, want 1", r.Evictions())
+	}
+}
+
+func writeTinySnapshot(t *testing.T, name string) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), name+".tsnap")
+	if err := store.WriteFile(path, tinySnapshot(name)); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// TestRegistryLazyOpen: a registered file costs nothing until the first
+// Get, which opens it; a registered-but-broken file errors on Get yet
+// stays registered, so replacing the file (snapshot writes are atomic
+// renames) makes the next Get succeed.
+func TestRegistryLazyOpen(t *testing.T) {
+	r := NewRegistry(4)
+	path := writeTinySnapshot(t, "lazy")
+	if err := r.Register("", path); err == nil {
+		t.Error("empty id must error")
+	}
+	if err := r.Register("lazy", ""); err == nil {
+		t.Error("empty path must error")
+	}
+	if err := r.Register("lazy", path); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Register("lazy", path); err == nil {
+		t.Error("duplicate registration must error")
+	}
+	if !r.Has("lazy") {
+		t.Error("Has(lazy) = false before open")
+	}
+	if list := r.List(); len(list) != 1 || list[0].Opened {
+		t.Errorf("unopened listing = %+v", list)
+	}
+
+	be, err := r.Get("lazy")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if be.Index() == nil {
+		t.Error("opened backend must serve an index")
+	}
+	again, err := r.Get("lazy")
+	if err != nil || again != be {
+		t.Error("second Get must return the already-open backend")
+	}
+	if list := r.List(); len(list) != 1 || !list[0].Opened || list[0].Backend != be.Kind() {
+		t.Errorf("opened listing = %+v", list)
+	}
+
+	// A broken file errors on Get but the entry survives for a retry.
+	bad := filepath.Join(t.TempDir(), "bad.tsnap")
+	if err := os.WriteFile(bad, []byte("not a snapshot"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Register("bad", bad); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Get("bad"); err == nil || errors.Is(err, ErrNotFound) {
+		t.Errorf("Get(bad) = %v, want an open error", err)
+	}
+	if !r.Has("bad") {
+		t.Error("failed open must leave the entry registered")
+	}
+	if err := store.WriteFile(bad, tinySnapshot("bad")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Get("bad"); err != nil {
+		t.Errorf("Get(bad) after replacing the file: %v", err)
+	}
+}
+
+// TestRegistryEvictionDemotesFileBacked: a heap-resident entry that
+// came from a file is demoted to registered on eviction — the id keeps
+// answering, reopened from disk on the next request.
+func TestRegistryEvictionDemotesFileBacked(t *testing.T) {
+	r := NewRegistry(1)
+	path := writeTinySnapshot(t, "a")
+	if _, err := r.AddBackend("a", backend.FromSnapshot(tinySnapshot("a")), path); err != nil {
+		t.Fatal(err)
+	}
+	evicted, err := r.Add("b", tinySnapshot("b"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if evicted != "a" {
+		t.Fatalf("evicted %q, want %q", evicted, "a")
+	}
+	if r.Len() != 2 {
+		t.Errorf("Len() = %d, want 2 (demoted entries stay registered)", r.Len())
+	}
+	be, err := r.Get("a")
+	if err != nil {
+		t.Fatalf("Get(a) after demotion: %v", err)
+	}
+	if be.GraphStats().Nodes != 1 {
+		t.Errorf("reopened graph stats = %+v", be.GraphStats())
+	}
+}
+
+// TestRegistryMmapExemptFromLRU: mmap-backed entries never occupy heap
+// capacity, so any number of them coexist with the configured cap and
+// cause no evictions.
+func TestRegistryMmapExemptFromLRU(t *testing.T) {
+	r := NewRegistry(1)
+	if _, err := r.Add("heap", tinySnapshot("heap")); err != nil {
+		t.Fatal(err)
+	}
+	opened := 0
+	for _, name := range []string{"m1", "m2", "m3"} {
+		if err := r.Register(name, writeTinySnapshot(t, name)); err != nil {
+			t.Fatal(err)
+		}
+		be, err := r.Get(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if be.Kind() == backend.KindMmap {
+			opened++
+		}
+	}
+	if opened == 0 {
+		t.Skip("host opened no mmap backends (layout unsupported)")
+	}
+	if r.Evictions() != 0 {
+		t.Errorf("Evictions() = %d, want 0 (mmap entries are exempt)", r.Evictions())
+	}
+	if _, err := r.Get("heap"); err != nil {
+		t.Errorf("heap graph evicted by mmap opens: %v", err)
 	}
 }

@@ -23,13 +23,17 @@ package server
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
+	"math/bits"
 	"net/http"
+	"os"
 	"path/filepath"
 	"sort"
 	"strings"
 
+	"tabby/internal/backend"
 	"tabby/internal/core"
 	"tabby/internal/corpus"
 	"tabby/internal/cpg"
@@ -37,6 +41,7 @@ import (
 	"tabby/internal/graphdb"
 	"tabby/internal/javasrc"
 	"tabby/internal/pathfinder"
+	"tabby/internal/searchindex"
 	"tabby/internal/sinks"
 	"tabby/internal/store"
 )
@@ -106,24 +111,56 @@ func New(opts Options) *Server {
 // inspect it).
 func (s *Server) Registry() *Registry { return s.reg }
 
-// LoadSnapshotFile loads one snapshot file into the registry and
-// returns the id it was registered under: the snapshot's stored name,
-// or the file's base name (minus extension) when the snapshot carries
-// none.
+// LoadSnapshotFile opens one snapshot file eagerly and registers it,
+// returning the id it was registered under: the snapshot's stored
+// name, or the file's base name (minus extension) when the snapshot
+// carries none. Version-3 snapshots open as zero-copy mmap views;
+// older ones are parsed onto the heap.
 func (s *Server) LoadSnapshotFile(path string) (string, error) {
-	snap, err := store.ReadFile(path)
+	be, err := backend.Open(path)
 	if err != nil {
 		return "", err
 	}
-	id := snap.Meta.Name
+	id := be.Meta().Name
 	if id == "" {
-		base := filepath.Base(path)
-		id = strings.TrimSuffix(base, filepath.Ext(base))
+		id = snapshotID(path)
 	}
-	if _, err := s.reg.Add(id, snap); err != nil {
+	if _, err := s.reg.AddBackend(id, be, path); err != nil {
 		return "", err
 	}
 	return id, nil
+}
+
+// RegisterSnapshotDir registers every snapshot file in dir without
+// opening any of them — each opens lazily on its first request. Ids
+// are the file base names minus extension (reading a stored name would
+// defeat the point of not opening). Staging files from interrupted
+// atomic writes and dotfiles are skipped. Returns how many files were
+// registered.
+func (s *Server) RegisterSnapshotDir(dir string) (int, error) {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return 0, err
+	}
+	n := 0
+	for _, ent := range ents {
+		name := ent.Name()
+		if ent.IsDir() || strings.HasPrefix(name, ".") || store.IsTempPath(name) {
+			continue
+		}
+		path := filepath.Join(dir, name)
+		if err := s.reg.Register(snapshotID(path), path); err != nil {
+			return n, err
+		}
+		n++
+	}
+	return n, nil
+}
+
+// snapshotID derives a registry id from a snapshot file path.
+func snapshotID(path string) string {
+	base := filepath.Base(path)
+	return strings.TrimSuffix(base, filepath.Ext(base))
 }
 
 // Handler returns the service's HTTP routes.
@@ -165,27 +202,35 @@ func (s *Server) decodeBody(w http.ResponseWriter, r *http.Request, into any) bo
 	return true
 }
 
-func (s *Server) graphFor(w http.ResponseWriter, id string) (*store.Snapshot, bool) {
+func (s *Server) graphFor(w http.ResponseWriter, id string) (backend.Backend, bool) {
 	if id == "" {
 		writeError(w, http.StatusBadRequest, `missing "graph" (see GET /v1/graphs for loaded ids)`)
 		return nil, false
 	}
-	snap, ok := s.reg.Get(id)
-	if !ok {
+	be, err := s.reg.Get(id)
+	if errors.Is(err, ErrNotFound) {
 		writeError(w, http.StatusNotFound, "graph %q is not loaded (see GET /v1/graphs)", id)
 		return nil, false
 	}
-	return snap, true
+	if err != nil {
+		// Registered but unopenable: the snapshot file is corrupt or gone.
+		writeError(w, http.StatusInternalServerError, "%v", err)
+		return nil, false
+	}
+	return be, true
 }
 
 // --- GET /v1/graphs ------------------------------------------------------
 
 type graphsResponse struct {
 	Graphs []GraphInfo `json:"graphs"`
+	// Evictions counts heap-resident graphs the registry capacity has
+	// forced out (demoted to registered or dropped) since boot.
+	Evictions int64 `json:"evictions"`
 }
 
 func (s *Server) handleGraphs(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, http.StatusOK, graphsResponse{Graphs: s.reg.List()})
+	writeJSON(w, http.StatusOK, graphsResponse{Graphs: s.reg.List(), Evictions: s.reg.Evictions()})
 }
 
 // --- GET /v1/graphs/{id}/stats -------------------------------------------
@@ -197,21 +242,36 @@ type statsResponse struct {
 	Rels        int            `json:"rels"`
 	NodesByType map[string]int `json:"nodes_by_type"`
 	RelsByType  map[string]int `json:"rels_by_type"`
+	// Backend reports how this graph is served: "mem" (heap-resident
+	// parse) or "mmap" (zero-copy view of the snapshot file).
+	Backend string `json:"backend"`
+	// Loaded reports whether the generic property store is resident on
+	// the heap; an mmap graph serving purely off its index reports false.
+	Loaded bool `json:"loaded"`
+	// MappedBytes is the size of the backing memory-mapped region (page
+	// cache, not heap); 0 for heap-resident graphs.
+	MappedBytes int64 `json:"mapped_bytes,omitempty"`
+	// Evictions is the registry-wide count of capacity evictions.
+	Evictions int64 `json:"evictions"`
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
-	snap, ok := s.graphFor(w, r.PathValue("id"))
+	be, ok := s.graphFor(w, r.PathValue("id"))
 	if !ok {
 		return
 	}
-	st := snap.DB.Stats()
+	st := be.GraphStats()
 	writeJSON(w, http.StatusOK, statsResponse{
 		ID:          r.PathValue("id"),
-		Meta:        snap.Meta,
+		Meta:        be.Meta(),
 		Nodes:       st.Nodes,
 		Rels:        st.Rels,
 		NodesByType: st.NodesByType,
 		RelsByType:  st.RelsByType,
+		Backend:     be.Kind(),
+		Loaded:      be.Loaded(),
+		MappedBytes: be.MappedBytes(),
+		Evictions:   s.reg.Evictions(),
 	})
 }
 
@@ -238,7 +298,7 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	if !s.decodeBody(w, r, &req) {
 		return
 	}
-	snap, ok := s.graphFor(w, req.Graph)
+	be, ok := s.graphFor(w, req.Graph)
 	if !ok {
 		return
 	}
@@ -248,8 +308,10 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	}
 	// Pull rows through the streaming cursor so the cap also bounds the
 	// work done: for plannable streaming queries the executor stops
-	// matching as soon as the response is full.
-	cur, err := cypher.RunAnyCursor(snap.DB, req.Query)
+	// matching as soon as the response is full. The backend satisfies
+	// cypher.Source, so an mmap graph plans and streams straight off its
+	// index and only pays the store parse when the query needs it.
+	cur, err := cypher.RunAnyCursorSource(be, req.Query)
 	if err != nil {
 		writeError(w, http.StatusBadRequest, "query failed: %v", err)
 		return
@@ -327,7 +389,7 @@ func (s *Server) handleChains(w http.ResponseWriter, r *http.Request) {
 	if !s.decodeBody(w, r, &req) {
 		return
 	}
-	snap, ok := s.graphFor(w, req.Graph)
+	be, ok := s.graphFor(w, req.Graph)
 	if !ok {
 		return
 	}
@@ -344,7 +406,12 @@ func (s *Server) handleChains(w http.ResponseWriter, r *http.Request) {
 		opts.SinkTC = req.TC
 	}
 
-	sinkNodes, err := resolveSinks(snap.DB, req)
+	// Everything below runs on the compiled index alone — sink
+	// resolution, source matching, the search itself — so a memory-mapped
+	// graph answers /v1/chains without ever parsing its store, and both
+	// backends execute the identical code path.
+	ix := be.Index()
+	sinkNodes, err := resolveSinks(ix, req)
 	if err != nil {
 		writeError(w, http.StatusBadRequest, "%v", err)
 		return
@@ -352,19 +419,9 @@ func (s *Server) handleChains(w http.ResponseWriter, r *http.Request) {
 	if sinkNodes != nil {
 		opts.SinkNodes = sinkNodes
 	}
-	if len(req.SourceNames) > 0 {
-		want := make(map[string]bool, len(req.SourceNames))
-		for _, n := range req.SourceNames {
-			want[n] = true
-		}
-		opts.SourceFilter = func(db *graphdb.DB, node graphdb.ID) bool {
-			v, _ := db.NodeProp(node, cpg.PropMethodName)
-			name, _ := v.(string)
-			return want[name]
-		}
-	}
+	opts.SourceMethodNames = req.SourceNames
 
-	res, err := pathfinder.Find(snap.DB, opts)
+	res, err := pathfinder.FindIndex(ix, opts)
 	if err != nil {
 		writeError(w, http.StatusBadRequest, "search failed: %v", err)
 		return
@@ -385,18 +442,26 @@ func (s *Server) handleChains(w http.ResponseWriter, r *http.Request) {
 
 // resolveSinks turns the request's sink selection into seed node IDs,
 // in ascending ID order for determinism. A nil result means "use the
-// pathfinder default" (every IS_SINK node).
-func resolveSinks(db *graphdb.DB, req chainsRequest) ([]graphdb.ID, error) {
+// pathfinder default" (every IS_SINK node). Resolution runs entirely
+// on the index's interned columns: the NAME/METHOD_NAME/SINK_TYPE
+// columns carry exactly the string-typed property values, so the
+// results match the former store-based lookups node for node.
+func resolveSinks(ix *searchindex.Index, req chainsRequest) ([]graphdb.ID, error) {
 	if len(req.SinkNames) == 0 && req.SinkType == "" {
 		return nil, nil
 	}
+	method := ix.LabelBits(cpg.LabelMethod)
 	var seeds []graphdb.ID
 	if len(req.SinkNames) > 0 {
 		seen := make(map[graphdb.ID]bool)
 		for _, name := range req.SinkNames {
-			ids := db.FindNodes(cpg.LabelMethod, cpg.PropName, name)
+			ids := methodNodes(ix, method, func(v int32) bool {
+				return ix.HasName(v) && ix.Name(v) == name
+			})
 			if len(ids) == 0 {
-				ids = db.FindNodes(cpg.LabelMethod, cpg.PropMethodName, name)
+				ids = methodNodes(ix, method, func(v int32) bool {
+					return ix.HasMethodName(v) && ix.MethodName(v) == name
+				})
 			}
 			if len(ids) == 0 {
 				return nil, fmt.Errorf("sink %q matches no method node (tried NAME and METHOD_NAME)", name)
@@ -409,13 +474,13 @@ func resolveSinks(db *graphdb.DB, req chainsRequest) ([]graphdb.ID, error) {
 			}
 		}
 	} else {
-		seeds = db.FindNodes(cpg.LabelMethod, cpg.PropIsSink, true)
+		seeds = methodNodes(ix, method, ix.IsSink)
 	}
 	if req.SinkType != "" {
 		kept := seeds[:0]
 		for _, id := range seeds {
-			v, _ := db.NodeProp(id, cpg.PropSinkType)
-			if t, _ := v.(string); t == req.SinkType {
+			v := ix.IdxOf(id)
+			if v >= 0 && ix.HasSinkType(v) && ix.SinkType(v) == req.SinkType {
 				kept = append(kept, id)
 			}
 		}
@@ -426,6 +491,21 @@ func resolveSinks(db *graphdb.DB, req chainsRequest) ([]graphdb.ID, error) {
 		seeds = []graphdb.ID{}
 	}
 	return seeds, nil
+}
+
+// methodNodes collects the IDs of label-bitset members satisfying pred,
+// in ascending node order.
+func methodNodes(ix *searchindex.Index, label []uint64, pred func(int32) bool) []graphdb.ID {
+	var out []graphdb.ID
+	for wi, w := range label {
+		for ; w != 0; w &= w - 1 {
+			v := int32(wi<<6 | bits.TrailingZeros64(w))
+			if pred(v) {
+				out = append(out, ix.IDOf(v))
+			}
+		}
+	}
+	return out
 }
 
 // --- POST /v1/analyze ----------------------------------------------------
@@ -483,7 +563,7 @@ func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, `missing "name" for the new graph`)
 		return
 	}
-	if _, exists := s.reg.Get(req.Name); exists {
+	if s.reg.Has(req.Name) {
 		writeError(w, http.StatusConflict, "graph %q already loaded", req.Name)
 		return
 	}

@@ -388,11 +388,15 @@ func TestChainsReusesCompiledIndex(t *testing.T) {
 		t.Fatalf("first chains = %d: %s", code, body)
 	}
 
-	snap, ok := s.Registry().Get("rt")
-	if !ok {
+	be, err := s.Registry().Get("rt")
+	if err != nil {
 		t.Fatal("rt snapshot missing from registry")
 	}
-	ix := searchindex.For(snap.DB) // cached by the first request
+	db, err := be.DB()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ix := searchindex.For(db) // cached by the first request
 	builds := searchindex.Builds()
 
 	if code, body := postJSON(t, ts.URL+"/v1/chains", req); code != http.StatusOK {
@@ -401,7 +405,7 @@ func TestChainsReusesCompiledIndex(t *testing.T) {
 	if got := searchindex.Builds(); got != builds {
 		t.Errorf("second request recompiled the index (%d builds, was %d)", got, builds)
 	}
-	if searchindex.For(snap.DB) != ix {
+	if searchindex.For(db) != ix {
 		t.Error("second request replaced the cached index")
 	}
 }

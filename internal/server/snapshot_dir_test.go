@@ -1,0 +1,116 @@
+package server
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"tabby/internal/store"
+)
+
+// TestRegisterSnapshotDir: a directory scan registers every committed
+// snapshot file by basename — skipping dotfiles, in-flight .tmp- writes,
+// and subdirectories — without opening anything; graphs then open
+// lazily on the first request that names them.
+func TestRegisterSnapshotDir(t *testing.T) {
+	dir := t.TempDir()
+	for _, name := range []string{"alpha", "beta"} {
+		if err := store.WriteFile(filepath.Join(dir, name+".tsnap"), tinySnapshot(name)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// None of these are committed snapshots; the scan must skip them.
+	if err := os.WriteFile(filepath.Join(dir, ".hidden.tsnap"), []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "gamma.tsnap.tmp-123"), []byte("torn write"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Mkdir(filepath.Join(dir, "sub"), 0o755); err != nil {
+		t.Fatal(err)
+	}
+
+	s := New(Options{Workers: 1})
+	n, err := s.RegisterSnapshotDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 2 {
+		t.Fatalf("registered %d snapshots, want 2", n)
+	}
+	if _, err := s.RegisterSnapshotDir(filepath.Join(dir, "missing")); err == nil {
+		t.Error("missing directory must error")
+	}
+
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	code, body := getJSON(t, ts.URL+"/v1/graphs")
+	if code != http.StatusOK {
+		t.Fatalf("GET /v1/graphs = %d: %s", code, body)
+	}
+	var graphs graphsResponse
+	if err := json.Unmarshal(body, &graphs); err != nil {
+		t.Fatal(err)
+	}
+	if len(graphs.Graphs) != 2 || graphs.Graphs[0].ID != "alpha" || graphs.Graphs[1].ID != "beta" {
+		t.Fatalf("graphs = %+v", graphs.Graphs)
+	}
+	for _, g := range graphs.Graphs {
+		if g.Opened || g.Backend != "" {
+			t.Errorf("registration must not open %q: %+v", g.ID, g)
+		}
+	}
+
+	// The first request that names a graph opens it.
+	code, body = postJSON(t, ts.URL+"/v1/query", map[string]any{
+		"graph": "alpha",
+		"query": "MATCH (c:Class) RETURN c.NAME",
+	})
+	if code != http.StatusOK {
+		t.Fatalf("POST /v1/query = %d: %s", code, body)
+	}
+	var qr queryResponse
+	if err := json.Unmarshal(body, &qr); err != nil {
+		t.Fatal(err)
+	}
+	if len(qr.Rows) != 1 || qr.Rows[0][0] != "alpha" {
+		t.Errorf("query rows = %v", qr.Rows)
+	}
+
+	code, body = getJSON(t, ts.URL+"/v1/graphs/alpha/stats")
+	if code != http.StatusOK {
+		t.Fatalf("GET stats = %d: %s", code, body)
+	}
+	var stats statsResponse
+	if err := json.Unmarshal(body, &stats); err != nil {
+		t.Fatal(err)
+	}
+	if stats.Backend == "" || stats.Nodes != 1 {
+		t.Errorf("stats = %+v", stats)
+	}
+	if stats.Backend == "mmap" && stats.MappedBytes == 0 {
+		t.Errorf("mmap stats must report mapped bytes: %+v", stats)
+	}
+
+	// The sibling stays unopened: requests open graphs one at a time.
+	code, body = getJSON(t, ts.URL+"/v1/graphs")
+	if code != http.StatusOK {
+		t.Fatal("second listing failed")
+	}
+	graphs = graphsResponse{}
+	if err := json.Unmarshal(body, &graphs); err != nil {
+		t.Fatal(err)
+	}
+	for _, g := range graphs.Graphs {
+		if g.ID == "alpha" && !g.Opened {
+			t.Error("alpha must be opened after serving a query")
+		}
+		if g.ID == "beta" && g.Opened {
+			t.Error("beta must stay unopened until requested")
+		}
+	}
+}

@@ -1,0 +1,55 @@
+package store
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+)
+
+// TempSuffix marks in-flight snapshot writes. atomicWriteFile stages
+// into "<name>.tmp-*" files in the destination directory; directory
+// scanners (tabby-server -snapshot-dir) skip names containing it so a
+// crashed write is never registered as a snapshot.
+const TempSuffix = ".tmp-"
+
+// IsTempPath reports whether path names an in-flight (or abandoned)
+// staged write rather than a committed snapshot.
+func IsTempPath(path string) bool {
+	return strings.Contains(filepath.Base(path), TempSuffix)
+}
+
+// atomicWriteFile writes fill's output to path so that the destination
+// is either untouched or complete, never torn: the bytes go to a
+// temporary file in the same directory, are fsync'd to disk, and only
+// then renamed over path (rename within a directory is atomic on
+// POSIX). A crash at any point leaves at worst a stale .tmp- file.
+func atomicWriteFile(path string, fill func(*os.File) error) error {
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, filepath.Base(path)+TempSuffix+"*")
+	if err != nil {
+		return fmt.Errorf("store: stage %s: %w", path, err)
+	}
+	defer func() {
+		if tmp != nil {
+			tmp.Close()
+			os.Remove(tmp.Name())
+		}
+	}()
+	if err := fill(tmp); err != nil {
+		return err
+	}
+	if err := tmp.Sync(); err != nil {
+		return fmt.Errorf("store: sync %s: %w", tmp.Name(), err)
+	}
+	if err := tmp.Close(); err != nil {
+		return fmt.Errorf("store: close %s: %w", tmp.Name(), err)
+	}
+	name := tmp.Name()
+	tmp = nil // past the point of no return for the deferred cleanup path
+	if err := os.Rename(name, path); err != nil {
+		os.Remove(name)
+		return fmt.Errorf("store: commit %s: %w", path, err)
+	}
+	return nil
+}

@@ -1,0 +1,135 @@
+package store
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+)
+
+// listDir returns the directory's entry names, for asserting that no
+// staging debris survives a write (successful or killed).
+func listDir(t *testing.T, dir string) []string {
+	t.Helper()
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	names := make([]string, 0, len(ents))
+	for _, e := range ents {
+		names = append(names, e.Name())
+	}
+	return names
+}
+
+// TestWriteFileAtomicKillMidWrite simulates a process dying at every
+// byte boundary of a snapshot write: the destination must either hold
+// the previous complete snapshot untouched or (for the initial write)
+// not exist — never a torn file. The "kill" is an error injected after
+// n bytes, which exercises exactly the code path a crash interrupts:
+// the staged temp file holds a prefix and the rename never runs.
+func TestWriteFileAtomicKillMidWrite(t *testing.T) {
+	snap := buildSnapshot(t)
+	encoded := encodeSnapshot(t, snap)
+	dir := t.TempDir()
+	path := filepath.Join(dir, "graph.tabby")
+
+	// Seed the destination with a complete good snapshot.
+	if err := WriteFile(path, snap); err != nil {
+		t.Fatal(err)
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := listDir(t, dir); len(got) != 1 {
+		t.Fatalf("successful write left staging debris: %v", got)
+	}
+
+	killed := errors.New("killed mid-write")
+	for n := 0; n <= len(encoded); n += 97 { // byte-level granularity is slow; stride covers every section
+		err := atomicWriteFile(path, func(f *os.File) error {
+			if _, err := f.Write(encoded[:n]); err != nil {
+				return err
+			}
+			return killed
+		})
+		if !errors.Is(err, killed) {
+			t.Fatalf("kill after %d bytes: err = %v, want the injected kill", n, err)
+		}
+		got, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatalf("kill after %d bytes: destination unreadable: %v", n, err)
+		}
+		if !bytes.Equal(got, want) {
+			t.Fatalf("kill after %d bytes tore the destination (%d bytes, want %d)", n, len(got), len(want))
+		}
+		if names := listDir(t, dir); len(names) != 1 {
+			t.Fatalf("kill after %d bytes left staging debris: %v", n, names)
+		}
+	}
+
+	// The destination still loads, byte-identically to the original.
+	reloaded, err := ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(reloaded.Meta, snap.Meta) {
+		t.Errorf("meta differs after killed overwrites")
+	}
+
+	// A crash between temp-file creation and cleanup leaves a .tmp- file;
+	// it must be recognizable so directory scans never register it.
+	stale := filepath.Join(dir, "graph.tabby"+TempSuffix+"12345")
+	if err := os.WriteFile(stale, encoded[:len(encoded)/2], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if !IsTempPath(stale) {
+		t.Errorf("IsTempPath(%q) = false, want true", stale)
+	}
+	if IsTempPath(path) {
+		t.Errorf("IsTempPath(%q) = true, want false", path)
+	}
+}
+
+// TestWriteSummariesFileAtomic covers the TABBYSUM writer's staging
+// path: a failed write must leave an existing cache file untouched.
+func TestWriteSummariesFileAtomic(t *testing.T) {
+	entries := buildSummaries()
+	dir := t.TempDir()
+	path := filepath.Join(dir, "cache.tabbysum")
+	if err := WriteSummariesFile(path, entries); err != nil {
+		t.Fatal(err)
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	killed := fmt.Errorf("killed mid-write")
+	err = atomicWriteFile(path, func(f *os.File) error {
+		if _, werr := f.Write(want[:len(want)/3]); werr != nil {
+			return werr
+		}
+		return killed
+	})
+	if !errors.Is(err, killed) {
+		t.Fatalf("err = %v, want the injected kill", err)
+	}
+	got, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatal("killed write tore the summary cache")
+	}
+	if names := listDir(t, dir); len(names) != 1 {
+		t.Fatalf("staging debris left behind: %v", names)
+	}
+	if _, err := ReadSummariesFile(path); err != nil {
+		t.Fatalf("cache unreadable after killed overwrite: %v", err)
+	}
+}

@@ -10,15 +10,21 @@ import (
 	"tabby/internal/taint"
 )
 
-// downgradeToV1 rewrites a current-format snapshot into a version-1 file:
-// same sections in the same order minus "sumc", version field set to 1.
-// This is byte-exact what the version-1 writer produced, so it stands in
-// for snapshots written before the summary cache existed.
-func downgradeToV1(t *testing.T, data []byte) []byte {
+// downgradeTo rewrites a current-format snapshot into an older-version
+// file: same sections in the same order minus the ones that version
+// lacks ("sumc" before v2, "csr3" before v3), version field rewritten.
+// This is byte-exact what the older writer produced — csr3 is the last
+// payload section, so dropping it does not move any section the older
+// readers parse — and stands in for snapshots written by prior builds.
+func downgradeTo(t *testing.T, data []byte, version uint16) []byte {
 	t.Helper()
+	keep := make(map[string]bool)
+	for _, tag := range sectionOrderFor(version) {
+		keep[tag] = true
+	}
 	hdrLen := len(magic) + 2
 	out := append([]byte(nil), data[:hdrLen]...)
-	binary.LittleEndian.PutUint16(out[len(magic):], 1)
+	binary.LittleEndian.PutUint16(out[len(magic):], version)
 	rest := data[hdrLen:]
 	for len(rest) > 0 {
 		if len(rest) < 8 {
@@ -30,12 +36,16 @@ func downgradeToV1(t *testing.T, data []byte) []byte {
 		if len(rest) < end {
 			t.Fatalf("section %q overruns the file", tag)
 		}
-		if tag != "sumc" {
+		if keep[tag] {
 			out = append(out, rest[:end]...)
 		}
 		rest = rest[end:]
 	}
 	return out
+}
+
+func downgradeToV1(t *testing.T, data []byte) []byte {
+	return downgradeTo(t, data, 1)
 }
 
 // TestReadV1SnapshotBackwardCompat: a snapshot without the summary-cache

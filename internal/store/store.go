@@ -41,14 +41,20 @@ import (
 )
 
 // FormatVersion is the current snapshot format. Version 2 added the
-// "sumc" section carrying the persisted method-summary cache; version 1
-// files (without it) still load. Readers reject anything newer with a
-// clear error.
-const FormatVersion = 2
+// "sumc" section carrying the persisted method-summary cache; version 3
+// added the "csr3" section — the compiled search index laid out as
+// aligned little-endian arrays an mmap-backed server views in place
+// (package backend) while heap loaders simply CRC-check and skip it.
+// Version 1 and 2 files (without the newer sections) still load.
+// Readers reject anything newer with a clear error.
+const FormatVersion = 3
 
 const (
 	magic          = "TABBYSNP"
 	maxSectionSize = 1 << 30 // sanity cap so a corrupt length cannot force a huge allocation
+
+	headerLen       = 10 // magic + uint16 version
+	sectionOverhead = 12 // 4-byte tag + uint32 length + uint32 CRC
 )
 
 // The fixed section order per format version. A snapshot must contain
@@ -56,13 +62,18 @@ const (
 var (
 	sectionOrderV1 = []string{"meta", "sink", "srcs", "strs", "node", "rels", "indx", "fini"}
 	sectionOrderV2 = []string{"meta", "sink", "srcs", "strs", "node", "rels", "indx", "sumc", "fini"}
+	sectionOrderV3 = []string{"meta", "sink", "srcs", "strs", "node", "rels", "indx", "sumc", "csr3", "fini"}
 )
 
 func sectionOrderFor(version uint16) []string {
-	if version >= 2 {
+	switch {
+	case version >= 3:
+		return sectionOrderV3
+	case version == 2:
 		return sectionOrderV2
+	default:
+		return sectionOrderV1
 	}
-	return sectionOrderV1
 }
 
 // Property value type tags.
@@ -140,6 +151,19 @@ func Write(w io.Writer, snap *Snapshot) error {
 		"fini": nil,
 	}
 
+	// The csr3 payload embeds its own absolute file offset (its arrays
+	// are 8-byte aligned *in file-offset terms* so a mapped reader can
+	// alias them), so it is encoded last, once every preceding section's
+	// length is final.
+	off := int64(headerLen)
+	for _, tag := range sectionOrderFor(FormatVersion) {
+		if tag == "csr3" {
+			break
+		}
+		off += sectionOverhead + int64(len(sections[tag]))
+	}
+	sections["csr3"] = encodeCSR3(snap.DB, off+8) // +8: csr3's own tag+length frame
+
 	hdr := make([]byte, 0, len(magic)+2)
 	hdr = append(hdr, magic...)
 	hdr = binary.LittleEndian.AppendUint16(hdr, FormatVersion)
@@ -154,17 +178,12 @@ func Write(w io.Writer, snap *Snapshot) error {
 	return nil
 }
 
-// WriteFile writes the snapshot to path, creating or truncating it.
+// WriteFile writes the snapshot to path atomically: the bytes are
+// staged in a same-directory temp file, fsync'd, then renamed into
+// place, so a crash mid-write never leaves a torn snapshot where a
+// loader (or a -snapshot-dir scan) could find it.
 func WriteFile(path string, snap *Snapshot) error {
-	f, err := os.Create(path)
-	if err != nil {
-		return fmt.Errorf("store: %w", err)
-	}
-	if err := Write(f, snap); err != nil {
-		f.Close()
-		return err
-	}
-	return f.Close()
+	return atomicWriteFile(path, func(f *os.File) error { return Write(f, snap) })
 }
 
 func writeSection(w io.Writer, tag string, payload []byte) error {

@@ -231,18 +231,10 @@ func WriteSummaries(w io.Writer, entries []taint.ConeEntry) error {
 	return nil
 }
 
-// WriteSummariesFile writes the summary cache to path, creating or
-// truncating it.
+// WriteSummariesFile writes the summary cache to path atomically
+// (same-directory temp file + fsync + rename, like WriteFile).
 func WriteSummariesFile(path string, entries []taint.ConeEntry) error {
-	f, err := os.Create(path)
-	if err != nil {
-		return fmt.Errorf("store: %w", err)
-	}
-	if err := WriteSummaries(f, entries); err != nil {
-		f.Close()
-		return err
-	}
-	return f.Close()
+	return atomicWriteFile(path, func(f *os.File) error { return WriteSummaries(f, entries) })
 }
 
 // ReadSummaries decodes a standalone summary-cache file, verifying magic,
