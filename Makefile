@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet fmt race check bench bench-path bench-incr bench-query bench-snap serve-smoke
+.PHONY: build test vet fmt race check bench bench-path bench-incr bench-query bench-snap bench-serve serve-smoke
 
 build:
 	$(GO) build ./...
@@ -56,6 +56,16 @@ bench-query:
 bench-snap:
 	GOMAXPROCS=1 TABBY_BENCH_GATE=1 $(GO) test ./internal/bench -run TestSnapshotGate -count=1 -v
 	GOMAXPROCS=1 $(GO) run ./cmd/tabby-bench -table snapshot -runs 3
+
+# bench-serve gates the serve path under load at GOMAXPROCS=1: a
+# repeat upload of an unchanged corpus must resolve >= 10x faster than
+# a build (the fingerprint-keyed result cache), repeats must run zero
+# builds, and cached /v1/query + /v1/chains responses must be
+# byte-identical to cold ones on both storage backends. Writes
+# BENCH_serve.json via `tabby-bench -table serve`.
+bench-serve:
+	GOMAXPROCS=1 TABBY_BENCH_GATE=1 $(GO) test ./internal/bench -run TestServeGate -count=1 -v
+	GOMAXPROCS=1 $(GO) run ./cmd/tabby-bench -table serve -runs 3
 
 # serve-smoke runs the persistence + serving stack end to end: snapshot
 # the quickstart corpus, boot tabby-server, curl every endpoint, and

@@ -19,6 +19,10 @@
 //	                              zero-copy mmap view — open latency,
 //	                              resident bytes, serving throughput
 //	                              (writes BENCH_snapshot.json)
+//	tabby-bench -table serve      HTTP serve path under load: analyze
+//	                              builds vs repeat uploads, cold vs
+//	                              cached reads, p50/p99/QPS
+//	                              (writes BENCH_serve.json)
 //	tabby-bench -table all        everything
 //
 // The Table VIII run defaults to scale 1.0 (the paper's full class and
@@ -66,9 +70,9 @@ func main() {
 
 func run(table string, scale float64, runs, workers int) error {
 	switch table {
-	case "8", "9", "10", "11", "rq4", "ablation", "parallel", "pathfinder", "incremental", "query", "snapshot", "all":
+	case "8", "9", "10", "11", "rq4", "ablation", "parallel", "pathfinder", "incremental", "query", "snapshot", "serve", "all":
 	default:
-		return fmt.Errorf("unknown table %q (want 8, 9, 10, 11, rq4, ablation, parallel, pathfinder, incremental, query, snapshot or all)", table)
+		return fmt.Errorf("unknown table %q (want 8, 9, 10, 11, rq4, ablation, parallel, pathfinder, incremental, query, snapshot, serve or all)", table)
 	}
 	fmt.Printf("tabby-bench: workers=%d (resolved %d), GOMAXPROCS=%d\n",
 		workers, parallel.Resolve(workers), runtime.GOMAXPROCS(0))
@@ -188,6 +192,23 @@ func run(table string, scale float64, runs, workers int) error {
 			return err
 		}
 		fmt.Println("written to BENCH_snapshot.json")
+	}
+	if want("serve") {
+		fmt.Println("=== Serve path: async analyze, result + response caches under load ===")
+		r, err := bench.RunServe(runs)
+		if err != nil {
+			return err
+		}
+		fmt.Println(r.Format())
+		f, err := os.Create("BENCH_serve.json")
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := r.WriteJSON(f); err != nil {
+			return err
+		}
+		fmt.Println("written to BENCH_serve.json")
 	}
 	if want("pathfinder") {
 		fmt.Println("=== Path search: generic store vs compiled index ===")

@@ -11,6 +11,8 @@
 //	curl -d '{"graph":"urldns","query":"MATCH (m:Method {IS_SINK: true}) RETURN m.NAME"}' localhost:7687/v1/query
 //	curl -d '{"graph":"urldns","max_depth":12}' localhost:7687/v1/chains
 //	curl -d '{"name":"app","files":[{"name":"A.java","source":"..."}]}' localhost:7687/v1/analyze
+//	curl localhost:7687/v1/jobs/j1
+//	curl localhost:7687/v1/stats
 //
 // Flags:
 //
@@ -23,6 +25,11 @@
 //	-max-query-rows N    row cap per /v1/query response; responses cut off
 //	                     at the cap carry "truncated": true (default 10000)
 //	-workers N           default worker count for searches and analyses
+//	-analyze-workers N   /v1/analyze build pool size (default 1)
+//	-analyze-queue N     queued builds beyond the running ones before
+//	                     submissions get 429 (default 16)
+//	-resp-cache-bytes N  byte budget for the query/chains response cache
+//	                     (default 32 MiB; -1 disables it)
 package main
 
 import (
@@ -47,15 +54,26 @@ func (m *multiFlag) Set(v string) error {
 func main() {
 	var snapshots multiFlag
 	var (
-		addr      = flag.String("addr", ":7687", "listen address")
-		snapDir   = flag.String("snapshot-dir", "", "directory of snapshot files to register (each opens lazily on first request)")
-		maxGraphs = flag.Int("max-graphs", server.DefaultMaxGraphs, "max heap-resident snapshots (LRU eviction beyond this; mmap-served graphs are exempt)")
-		maxRows   = flag.Int("max-query-rows", server.DefaultMaxQueryRows, "max rows per /v1/query response (excess is dropped and flagged truncated)")
-		workers   = flag.Int("workers", 0, "default worker count for searches/analyses (0 = GOMAXPROCS)")
+		addr           = flag.String("addr", ":7687", "listen address")
+		snapDir        = flag.String("snapshot-dir", "", "directory of snapshot files to register (each opens lazily on first request)")
+		maxGraphs      = flag.Int("max-graphs", server.DefaultMaxGraphs, "max heap-resident snapshots (LRU eviction beyond this; mmap-served graphs are exempt)")
+		maxRows        = flag.Int("max-query-rows", server.DefaultMaxQueryRows, "max rows per /v1/query response (excess is dropped and flagged truncated)")
+		workers        = flag.Int("workers", 0, "default worker count for searches/analyses (0 = GOMAXPROCS)")
+		analyzeWorkers = flag.Int("analyze-workers", server.DefaultAnalyzeWorkers, "builds running concurrently behind /v1/analyze")
+		analyzeQueue   = flag.Int("analyze-queue", server.DefaultAnalyzeQueue, "builds that may wait behind the running ones before /v1/analyze answers 429")
+		respCacheBytes = flag.Int64("resp-cache-bytes", server.DefaultRespCacheBytes, "byte budget for the query/chains response cache (-1 disables)")
 	)
 	flag.Var(&snapshots, "snapshot", "snapshot file written by `tabby -save` (repeatable)")
 	flag.Parse()
-	if err := run(*addr, snapshots, *snapDir, *maxGraphs, *maxRows, *workers, nil); err != nil {
+	opts := server.Options{
+		MaxGraphs:      *maxGraphs,
+		MaxQueryRows:   *maxRows,
+		Workers:        *workers,
+		AnalyzeWorkers: *analyzeWorkers,
+		AnalyzeQueue:   *analyzeQueue,
+		RespCacheBytes: *respCacheBytes,
+	}
+	if err := run(*addr, snapshots, *snapDir, opts, nil); err != nil {
 		fmt.Fprintln(os.Stderr, "tabby-server:", err)
 		os.Exit(1)
 	}
@@ -64,8 +82,8 @@ func main() {
 // run starts the service. When ready is non-nil, the bound listener
 // address is sent on it once the server is accepting connections (used
 // by tests and the smoke script via -addr 127.0.0.1:0).
-func run(addr string, snapshots []string, snapDir string, maxGraphs, maxRows, workers int, ready chan<- string) error {
-	srv := server.New(server.Options{MaxGraphs: maxGraphs, MaxQueryRows: maxRows, Workers: workers})
+func run(addr string, snapshots []string, snapDir string, opts server.Options, ready chan<- string) error {
+	srv := server.New(opts)
 	for _, path := range snapshots {
 		id, err := srv.LoadSnapshotFile(path)
 		if err != nil {

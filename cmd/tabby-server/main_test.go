@@ -11,6 +11,7 @@ import (
 	"tabby/internal/core"
 	"tabby/internal/corpus"
 	"tabby/internal/javasrc"
+	"tabby/internal/server"
 )
 
 func buildSnapshotFile(t *testing.T) string {
@@ -39,7 +40,7 @@ func TestRunServesLoadedSnapshot(t *testing.T) {
 	path := buildSnapshotFile(t)
 	ready := make(chan string, 1)
 	go func() {
-		if err := run("127.0.0.1:0", []string{path}, "", 0, 0, 1, ready); err != nil {
+		if err := run("127.0.0.1:0", []string{path}, "", server.Options{Workers: 1}, ready); err != nil {
 			t.Errorf("run: %v", err)
 		}
 	}()
@@ -78,10 +79,10 @@ func TestRunRejectsBadSnapshot(t *testing.T) {
 	if err := os.WriteFile(bad, []byte("not a snapshot"), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	if err := run("127.0.0.1:0", []string{bad}, "", 0, 0, 1, nil); err == nil {
+	if err := run("127.0.0.1:0", []string{bad}, "", server.Options{Workers: 1}, nil); err == nil {
 		t.Error("bad snapshot must error")
 	}
-	if err := run("127.0.0.1:0", []string{filepath.Join(t.TempDir(), "missing.tsnap")}, "", 0, 0, 1, nil); err == nil {
+	if err := run("127.0.0.1:0", []string{filepath.Join(t.TempDir(), "missing.tsnap")}, "", server.Options{Workers: 1}, nil); err == nil {
 		t.Error("missing snapshot must error")
 	}
 }

@@ -1,0 +1,520 @@
+package bench
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"runtime"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"tabby/internal/backend"
+	"tabby/internal/core"
+	"tabby/internal/corpus"
+	"tabby/internal/javasrc"
+	"tabby/internal/searchindex"
+	"tabby/internal/server"
+	"tabby/internal/store"
+)
+
+// ServeRow is one measured request population from the load generator:
+// a fixed operation fired Requests times at Concurrency in-flight
+// requests, with the per-request latency distribution summarized as
+// percentiles. Ops come in cold/cached pairs — "cold" rows run against
+// a server whose response cache is disabled, "cached" rows against one
+// serving the same graph with the cache warm — so each pair isolates
+// what the serve-path caches buy.
+type ServeRow struct {
+	Op          string  `json:"op"`                // analyze_build, analyze_repeat, query_cold, query_cached, chains_cold, chains_cached
+	Backend     string  `json:"backend,omitempty"` // "mem" or "mmap"; empty for analyze rows
+	Requests    int     `json:"requests"`
+	Concurrency int     `json:"concurrency"`
+	P50Ns       int64   `json:"p50_ns"`
+	P99Ns       int64   `json:"p99_ns"`
+	MeanNs      int64   `json:"mean_ns"`
+	QPS         float64 `json:"qps"`
+}
+
+// ServeSummary holds the gate-facing comparisons.
+type ServeSummary struct {
+	// AnalyzeSpeedup is build-latency p50 / repeat-upload p50: what the
+	// fingerprint-keyed result cache saves a client re-uploading an
+	// unchanged corpus. The repeat path runs no compile and takes no
+	// queue slot, so this is orders of magnitude.
+	AnalyzeSpeedup  float64 `json:"analyze_speedup"`
+	AnalyzeBuildNs  int64   `json:"analyze_build_ns"`
+	AnalyzeRepeatNs int64   `json:"analyze_repeat_ns"`
+	// Builds is how many actual builds the server ran across every
+	// analyze request the bench fired; the repeat population must not
+	// have grown it.
+	Builds int64 `json:"builds"`
+	// QuerySpeedup / ChainsSpeedup are cold p50 / cached p50 per
+	// endpoint (best backend), what the response cache saves.
+	QuerySpeedup  float64 `json:"query_speedup"`
+	ChainsSpeedup float64 `json:"chains_speedup"`
+	// CachedIdentical reports that every cached response body was
+	// byte-identical to the cold body for the same request on the same
+	// backend — the cache's correctness obligation.
+	CachedIdentical bool `json:"cached_identical"`
+	// RespCacheHitRate is hits/(hits+misses) across the cached
+	// populations, from the server's own counters.
+	RespCacheHitRate float64 `json:"resp_cache_hit_rate"`
+}
+
+// ServeResult is the serve-path load benchmark, serialized to
+// BENCH_serve.json by cmd/tabby-bench.
+type ServeResult struct {
+	GOMAXPROCS    int          `json:"gomaxprocs"`
+	Component     string       `json:"component"`
+	MmapSupported bool         `json:"mmap_supported"`
+	Rows          []ServeRow   `json:"rows"`
+	Summary       ServeSummary `json:"summary"`
+}
+
+// serveQuery is the steady-state read workload, same shape as the
+// snapshot bench's: selective and index-answerable.
+const serveQuery = `MATCH (m:Method) WHERE m.IS_SINK = true AND m.SINK_TYPE = "EXEC" RETURN m.NAME`
+
+// serveConcurrency is how many requests the load generator keeps in
+// flight. Modest on purpose: the bench gates run at GOMAXPROCS=1, where
+// deep pipelines only measure scheduler queueing.
+const serveConcurrency = 4
+
+// RunServe load-tests the HTTP serve path end to end: real requests
+// over loopback TCP against the production handler. It measures the
+// analyze path cold (a build) and on repeat upload (the
+// fingerprint-keyed result cache), and the query/chains read path with
+// the response cache disabled vs warm on both storage backends,
+// verifying cached bodies stay byte-identical to cold ones. runs
+// scales the request populations.
+func RunServe(runs int) (*ServeResult, error) {
+	if runs < 1 {
+		runs = 3
+	}
+	// The whole Table IX component corpus: large enough that a build
+	// dwarfs the per-request fixed costs (JSON decode, fingerprint
+	// hashing) a repeat upload still pays — the shape where the result
+	// cache matters.
+	comps := corpus.Components()
+	var archives []javasrc.ArchiveSource
+	for _, c := range comps {
+		archives = append(archives, c.Archives...)
+	}
+	res := &ServeResult{
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Component:  fmt.Sprintf("corpus/%d-components", len(comps)),
+		Summary:    ServeSummary{CachedIdentical: true},
+	}
+
+	// --- Analyze path: build vs repeat upload against one server. ---
+	anSrv := server.New(server.Options{Workers: 1})
+	defer anSrv.Close()
+	anTS := httptest.NewServer(anSrv.Handler())
+	defer anTS.Close()
+
+	body, err := analyzeBody(archives, "serve-bench-0")
+	if err != nil {
+		return nil, err
+	}
+	// Build latencies: distinct graph names force distinct fingerprints,
+	// so every request is a real build through the queue. The analysis
+	// cache warms across them — this is the steady-state build cost a
+	// loaded server pays, the honest baseline for the repeat path.
+	builds := runs
+	buildLats := make([]int64, 0, builds)
+	start := time.Now()
+	for i := 0; i < builds; i++ {
+		b, err := analyzeBody(archives, fmt.Sprintf("serve-bench-%d", i))
+		if err != nil {
+			return nil, err
+		}
+		t0 := time.Now()
+		if err := postAnalyze(anTS.URL, b); err != nil {
+			return nil, fmt.Errorf("serve bench: build %d: %w", i, err)
+		}
+		buildLats = append(buildLats, time.Since(t0).Nanoseconds())
+	}
+	res.Rows = append(res.Rows, latRow("analyze_build", "", 1, buildLats, time.Since(start)))
+
+	// Repeat uploads of the first corpus: every one resolves from the
+	// result cache without building. Fired concurrently — coalescing and
+	// cache hits are exactly the contended path.
+	repeatN := runs * 40
+	repeatLats, elapsed, err := fire(repeatN, serveConcurrency, func() error {
+		return postAnalyze(anTS.URL, body)
+	})
+	if err != nil {
+		return nil, fmt.Errorf("serve bench: repeat upload: %w", err)
+	}
+	res.Rows = append(res.Rows, latRow("analyze_repeat", "", serveConcurrency, repeatLats, elapsed))
+	res.Summary.AnalyzeBuildNs = percentile(buildLats, 50)
+	res.Summary.AnalyzeRepeatNs = percentile(repeatLats, 50)
+	if res.Summary.AnalyzeRepeatNs > 0 {
+		res.Summary.AnalyzeSpeedup = float64(res.Summary.AnalyzeBuildNs) / float64(res.Summary.AnalyzeRepeatNs)
+	}
+	res.Summary.Builds = anSrv.Builds()
+
+	// --- Read path: cold (cache off) vs cached, on both backends. ---
+	dir, err := os.MkdirTemp("", "tabby-bench-serve")
+	if err != nil {
+		return nil, err
+	}
+	defer os.RemoveAll(dir)
+	path := filepath.Join(dir, "g.tsnap")
+	if err := writeServeSnapshot(archives, path); err != nil {
+		return nil, err
+	}
+	res.MmapSupported = searchindex.LayoutSupported()
+
+	backends := []string{backend.KindMem}
+	if res.MmapSupported {
+		backends = append(backends, backend.KindMmap)
+	}
+	readN := runs * 40
+	for _, kind := range backends {
+		coldSrv, coldTS, err := readServer(kind, path, -1) // cache disabled
+		if err != nil {
+			return nil, err
+		}
+		warmSrv, warmTS, err := readServer(kind, path, 0) // default cache
+		if err != nil {
+			return nil, err
+		}
+
+		for _, op := range []struct {
+			name string
+			req  map[string]any
+		}{
+			{"query", map[string]any{"graph": "g", "query": serveQuery}},
+			{"chains", map[string]any{"graph": "g", "max_depth": 12, "workers": 1}},
+		} {
+			reqBody, err := json.Marshal(op.req)
+			if err != nil {
+				return nil, err
+			}
+			endpoint := "/v1/" + op.name
+
+			coldBody, err := postOnce(coldTS.URL+endpoint, reqBody)
+			if err != nil {
+				return nil, fmt.Errorf("serve bench: cold %s on %s: %w", op.name, kind, err)
+			}
+			lats, elapsed, err := fire(readN, serveConcurrency, func() error {
+				_, err := postOnce(coldTS.URL+endpoint, reqBody)
+				return err
+			})
+			if err != nil {
+				return nil, err
+			}
+			res.Rows = append(res.Rows, latRow(op.name+"_cold", kind, serveConcurrency, lats, elapsed))
+
+			// Warm the cache with one request, then measure hits; the hit
+			// body must equal the uncached body byte for byte.
+			warmBody, err := postOnce(warmTS.URL+endpoint, reqBody)
+			if err != nil {
+				return nil, err
+			}
+			cachedBody, err := postOnce(warmTS.URL+endpoint, reqBody)
+			if err != nil {
+				return nil, err
+			}
+			if !bytes.Equal(coldBody, warmBody) || !bytes.Equal(coldBody, cachedBody) {
+				res.Summary.CachedIdentical = false
+			}
+			lats, elapsed, err = fire(readN, serveConcurrency, func() error {
+				_, err := postOnce(warmTS.URL+endpoint, reqBody)
+				return err
+			})
+			if err != nil {
+				return nil, err
+			}
+			res.Rows = append(res.Rows, latRow(op.name+"_cached", kind, serveConcurrency, lats, elapsed))
+		}
+
+		if kind == backend.KindMem {
+			rate, err := respCacheHitRate(warmTS.URL)
+			if err != nil {
+				return nil, err
+			}
+			res.Summary.RespCacheHitRate = rate
+		}
+		coldTS.Close()
+		coldSrv.Close()
+		warmTS.Close()
+		warmSrv.Close()
+	}
+
+	res.Summary.QuerySpeedup = serveSpeedup(res.Rows, "query")
+	res.Summary.ChainsSpeedup = serveSpeedup(res.Rows, "chains")
+	return res, nil
+}
+
+// analyzeBody marshals the corpus sources into a wait-mode
+// /v1/analyze request under the given graph name.
+func analyzeBody(archives []javasrc.ArchiveSource, name string) ([]byte, error) {
+	type fileJSON struct {
+		Name   string `json:"name"`
+		Source string `json:"source"`
+	}
+	var files []fileJSON
+	for _, ar := range archives {
+		for _, f := range ar.Files {
+			files = append(files, fileJSON{Name: f.Name, Source: f.Source})
+		}
+	}
+	return json.Marshal(map[string]any{
+		"name":    name,
+		"files":   files,
+		"wait":    true,
+		"workers": 1,
+	})
+}
+
+// postAnalyze fires one analyze request and verifies the job finished.
+func postAnalyze(url string, body []byte) error {
+	raw, err := postOnce(url+"/v1/analyze", body)
+	if err != nil {
+		return err
+	}
+	var j struct {
+		Status string `json:"status"`
+		Error  string `json:"error"`
+	}
+	if err := json.Unmarshal(raw, &j); err != nil {
+		return err
+	}
+	if j.Status != "done" {
+		return fmt.Errorf("job ended %q: %s", j.Status, j.Error)
+	}
+	return nil
+}
+
+// postOnce POSTs body and returns the response bytes, erroring on any
+// non-200.
+func postOnce(url string, body []byte) ([]byte, error) {
+	resp, err := http.Post(url, "application/json", bytes.NewReader(body))
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("%s = %d: %s", url, resp.StatusCode, raw)
+	}
+	return raw, nil
+}
+
+// respCacheHitRate reads the server's own cache counters over the wire
+// (GET /v1/stats), as a monitoring client would.
+func respCacheHitRate(url string) (float64, error) {
+	resp, err := http.Get(url + "/v1/stats")
+	if err != nil {
+		return 0, err
+	}
+	defer resp.Body.Close()
+	var st struct {
+		RespCache struct {
+			Hits   map[string]int64 `json:"hits"`
+			Misses map[string]int64 `json:"misses"`
+		} `json:"resp_cache"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		return 0, err
+	}
+	var hits, misses int64
+	for _, v := range st.RespCache.Hits {
+		hits += v
+	}
+	for _, v := range st.RespCache.Misses {
+		misses += v
+	}
+	if hits+misses == 0 {
+		return 0, nil
+	}
+	return float64(hits) / float64(hits+misses), nil
+}
+
+// writeServeSnapshot builds the corpus graph once and saves it through
+// the production snapshot path.
+func writeServeSnapshot(archives []javasrc.ArchiveSource, path string) error {
+	engine := core.New(core.Options{Workers: 1})
+	all := append([]javasrc.ArchiveSource{corpus.RT()}, archives...)
+	rep, err := engine.AnalyzeSources(all)
+	if err != nil {
+		return err
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := engine.SaveSnapshot(f, rep, "g", "serve-bench"); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// readServer builds one server fronting the snapshot on the requested
+// backend with the given response-cache budget.
+func readServer(kind, path string, cacheBytes int64) (*server.Server, *httptest.Server, error) {
+	s := server.New(server.Options{Workers: 1, RespCacheBytes: cacheBytes})
+	switch kind {
+	case backend.KindMem:
+		snap, err := store.ReadFile(path)
+		if err != nil {
+			s.Close()
+			return nil, nil, err
+		}
+		if _, err := s.Registry().Add("g", snap); err != nil {
+			s.Close()
+			return nil, nil, err
+		}
+	default:
+		if _, err := s.LoadSnapshotFile(path); err != nil {
+			s.Close()
+			return nil, nil, err
+		}
+	}
+	return s, httptest.NewServer(s.Handler()), nil
+}
+
+// fire runs n requests at the given concurrency, returning every
+// request's latency and the total wall time.
+func fire(n, concurrency int, req func() error) ([]int64, time.Duration, error) {
+	lats := make([]int64, n)
+	errs := make([]error, concurrency)
+	var next int64
+	var mu sync.Mutex
+	take := func() int {
+		mu.Lock()
+		defer mu.Unlock()
+		if int(next) >= n {
+			return -1
+		}
+		i := int(next)
+		next++
+		return i
+	}
+	start := time.Now()
+	var wg sync.WaitGroup
+	for w := 0; w < concurrency; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for {
+				i := take()
+				if i < 0 {
+					return
+				}
+				t0 := time.Now()
+				if err := req(); err != nil {
+					errs[w] = err
+					return
+				}
+				lats[i] = time.Since(t0).Nanoseconds()
+			}
+		}(w)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	for _, err := range errs {
+		if err != nil {
+			return nil, 0, err
+		}
+	}
+	return lats, elapsed, nil
+}
+
+// latRow summarizes one latency population.
+func latRow(op, kind string, concurrency int, lats []int64, elapsed time.Duration) ServeRow {
+	var sum int64
+	for _, l := range lats {
+		sum += l
+	}
+	row := ServeRow{
+		Op:          op,
+		Backend:     kind,
+		Requests:    len(lats),
+		Concurrency: concurrency,
+		P50Ns:       percentile(lats, 50),
+		P99Ns:       percentile(lats, 99),
+	}
+	if len(lats) > 0 {
+		row.MeanNs = sum / int64(len(lats))
+	}
+	if elapsed > 0 {
+		row.QPS = float64(len(lats)) / elapsed.Seconds()
+	}
+	return row
+}
+
+// percentile returns the p-th percentile (nearest-rank) of lats.
+func percentile(lats []int64, p int) int64 {
+	if len(lats) == 0 {
+		return 0
+	}
+	sorted := append([]int64(nil), lats...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	idx := len(sorted) * p / 100
+	if idx >= len(sorted) {
+		idx = len(sorted) - 1
+	}
+	return sorted[idx]
+}
+
+// serveSpeedup is cold p50 / cached p50 for the named endpoint, taking
+// the mem backend's rows (both backends cache identically; one ratio
+// suffices for the gate).
+func serveSpeedup(rows []ServeRow, op string) float64 {
+	var cold, cached int64
+	for _, r := range rows {
+		if r.Backend != backend.KindMem {
+			continue
+		}
+		switch r.Op {
+		case op + "_cold":
+			cold = r.P50Ns
+		case op + "_cached":
+			cached = r.P50Ns
+		}
+	}
+	if cached == 0 {
+		return 0
+	}
+	return float64(cold) / float64(cached)
+}
+
+// Format renders the load-generator table.
+func (r *ServeResult) Format() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "Serve path under load (GOMAXPROCS=%d, component %s, concurrency %d, mmap=%v)\n",
+		r.GOMAXPROCS, r.Component, serveConcurrency, r.MmapSupported)
+	fmt.Fprintf(&sb, "%-16s %-8s %9s %14s %14s %14s %10s\n",
+		"Op", "Backend", "requests", "p50 ns", "p99 ns", "mean ns", "qps")
+	sb.WriteString(strings.Repeat("-", 92) + "\n")
+	for _, row := range r.Rows {
+		fmt.Fprintf(&sb, "%-16s %-8s %9d %14d %14d %14d %10.0f\n",
+			row.Op, row.Backend, row.Requests, row.P50Ns, row.P99Ns, row.MeanNs, row.QPS)
+	}
+	fmt.Fprintf(&sb, "analyze: repeat upload is %.0fx faster than a build (%d builds total; repeats built nothing)\n",
+		r.Summary.AnalyzeSpeedup, r.Summary.Builds)
+	fmt.Fprintf(&sb, "read path: cached query %.1fx, cached chains %.1fx vs cold; hit rate %.2f; byte-identical=%v\n",
+		r.Summary.QuerySpeedup, r.Summary.ChainsSpeedup, r.Summary.RespCacheHitRate, r.Summary.CachedIdentical)
+	return sb.String()
+}
+
+// WriteJSON serializes the result (the BENCH_serve.json artifact).
+func (r *ServeResult) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}

@@ -1,0 +1,103 @@
+package bench
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"testing"
+
+	"tabby/internal/searchindex"
+)
+
+// TestServeBenchSmoke checks the experiment's correctness side on
+// every test run: the load generator completes against the real HTTP
+// handler, the repeat-upload population built nothing, and every
+// cached body matched its cold twin. Timing assertions live in
+// TestServeGate.
+func TestServeBenchSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("serve bench builds a component corpus")
+	}
+	r, err := RunServe(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.Summary.CachedIdentical {
+		t.Fatal("a cached response body diverged from its cold twin")
+	}
+	if r.Summary.Builds != 1 {
+		t.Fatalf("analyze populations ran %d builds, want exactly 1 (repeats must not build)", r.Summary.Builds)
+	}
+	if searchindex.LayoutSupported() != r.MmapSupported {
+		t.Fatalf("MmapSupported = %v, host support = %v", r.MmapSupported, searchindex.LayoutSupported())
+	}
+	// analyze_build + analyze_repeat, then {query,chains} x {cold,cached}
+	// per backend.
+	wantRows := 2 + 4
+	if r.MmapSupported {
+		wantRows += 4
+	}
+	if len(r.Rows) != wantRows {
+		t.Fatalf("rows = %d, want %d: %+v", len(r.Rows), wantRows, r.Rows)
+	}
+	for _, row := range r.Rows {
+		if row.Requests == 0 || row.P50Ns == 0 || row.P99Ns < row.P50Ns || row.QPS <= 0 {
+			t.Errorf("degenerate row %+v", row)
+		}
+	}
+
+	// The artifact round-trips.
+	var buf bytes.Buffer
+	if err := r.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var back ServeResult
+	if err := json.Unmarshal(buf.Bytes(), &back); err != nil {
+		t.Fatal(err)
+	}
+	if len(back.Rows) != len(r.Rows) {
+		t.Errorf("JSON round-trip lost rows: %d != %d", len(back.Rows), len(r.Rows))
+	}
+	if r.Format() == "" {
+		t.Error("empty Format")
+	}
+}
+
+// TestServeGate is the timing gate behind `make bench-serve`: at
+// GOMAXPROCS=1, a repeat upload of an unchanged corpus must resolve at
+// least 10x faster than a build — the fingerprint-keyed result cache
+// doing its job — and cached read responses must stay byte-identical
+// to cold ones on every backend. Wall-clock assertions are
+// load-sensitive, so the gate only arms when TABBY_BENCH_GATE is set.
+func TestServeGate(t *testing.T) {
+	if os.Getenv("TABBY_BENCH_GATE") == "" {
+		t.Skip("set TABBY_BENCH_GATE=1 (make bench-serve) to run the timing gate")
+	}
+	r, err := RunServe(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Log("\n" + r.Format())
+	if !r.Summary.CachedIdentical {
+		t.Fatal("a cached response body diverged from its cold twin")
+	}
+	if r.Summary.Builds != 3 {
+		t.Errorf("builds = %d, want exactly the 3 distinct-name builds", r.Summary.Builds)
+	}
+	if r.Summary.AnalyzeSpeedup < 10 {
+		t.Errorf("repeat-upload speedup %.1fx, gate requires >= 10x (build %dns, repeat %dns)",
+			r.Summary.AnalyzeSpeedup, r.Summary.AnalyzeBuildNs, r.Summary.AnalyzeRepeatNs)
+	}
+	// The cached read path must not be slower than recomputing: it
+	// serves stored bytes. (No lower bound beyond parity — tiny graphs
+	// answer fast either way; byte identity is the correctness gate.)
+	if r.Summary.QuerySpeedup < 1 {
+		t.Errorf("cached query p50 is slower than cold: speedup %.2fx", r.Summary.QuerySpeedup)
+	}
+	if r.Summary.ChainsSpeedup < 1 {
+		t.Errorf("cached chains p50 is slower than cold: speedup %.2fx", r.Summary.ChainsSpeedup)
+	}
+	if r.Summary.RespCacheHitRate < 0.5 {
+		t.Errorf("response-cache hit rate %.2f, want >= 0.5 over the cached populations", r.Summary.RespCacheHitRate)
+	}
+}

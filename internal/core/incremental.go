@@ -146,6 +146,30 @@ func (e *Engine) AnalyzeIncremental(cache *AnalysisCache, archives []javasrc.Arc
 	}, nil
 }
 
+// ResultFingerprint content-addresses the outcome of analyzing archives
+// with this engine: the corpus fingerprint (every file's content plus
+// the archive list), the engine configuration the graph depends on
+// (sinks, sources, taint settings), and the search options that shape
+// the chain report (depth, chain cap, visit budget). Two calls with
+// equal fingerprints produce byte-identical reports — the pipeline is
+// deterministic and worker-independent — so a service can cache a
+// finished analysis under this key and serve repeat uploads without
+// building anything.
+func (e *Engine) ResultFingerprint(archives []javasrc.ArchiveSource) string {
+	h := sha256.New()
+	h.Write([]byte("tabby-result\x00"))
+	h.Write([]byte(javasrc.CorpusFingerprint(archives, e.opts.Workers)))
+	h.Write([]byte{0})
+	h.Write([]byte(e.configFP()))
+	h.Write([]byte{0})
+	// Search-only options don't change the graph, but they do change the
+	// report (how many chains, truncation), so they key the result too.
+	h.Write([]byte(strconv.Itoa(e.opts.MaxDepth) + "|" +
+		strconv.Itoa(e.opts.MaxChains) + "|" +
+		strconv.Itoa(e.opts.VisitBudget)))
+	return hex.EncodeToString(h.Sum(nil))
+}
+
 // configFP fingerprints every engine option the graph contents depend on,
 // so a cached graph is never patched under a different sink registry,
 // source config, or analysis setting. Search-only options (depth, chain

@@ -8,6 +8,7 @@ import (
 
 	"tabby/internal/java"
 	"tabby/internal/jimple"
+	"tabby/internal/parallel"
 )
 
 // FrontendVersion is folded into every source fingerprint. Bump it when
@@ -101,6 +102,31 @@ func corpusKey(archives []ArchiveSource, fps []string) string {
 		h.Write([]byte(fp))
 	}
 	return hex.EncodeToString(h.Sum(nil))
+}
+
+// CorpusFingerprint content-addresses a compilation input without
+// compiling anything: the same hash CompileArchivesCached uses to
+// recognize an unchanged corpus, over every file's content fingerprint
+// (frontend version, archive, name, source) plus the archive list.
+// Two archive slices with equal fingerprints compile to byte-identical
+// Programs, which is what makes fingerprint-keyed result caching sound.
+// workers bounds hashing concurrency with the usual semantics (0 =
+// GOMAXPROCS); the fingerprint is identical at every setting.
+func CorpusFingerprint(archives []ArchiveSource, workers int) string {
+	type ref struct {
+		archive string
+		file    File
+	}
+	var refs []ref
+	for _, ar := range archives {
+		for _, f := range ar.Files {
+			refs = append(refs, ref{archive: ar.Name, file: f})
+		}
+	}
+	fps := parallel.Map(workers, refs, func(_ int, r ref) string {
+		return fileFingerprint(r.archive, r.file)
+	})
+	return corpusKey(archives, fps)
 }
 
 // declSetHash fingerprints the set of declared class names. Name

@@ -103,6 +103,7 @@ func TestBackendsAnswerIdenticallyOnCorpus(t *testing.T) {
 
 				// Heap side: the pre-backend read path — full parse, Registry.Add.
 				memSrv := New(Options{Workers: workers})
+				defer memSrv.Close()
 				snap, err := store.ReadFile(path)
 				if err != nil {
 					t.Fatal(err)
@@ -113,6 +114,7 @@ func TestBackendsAnswerIdenticallyOnCorpus(t *testing.T) {
 				// Mmap side: the tabby-server file path — zero-copy when the
 				// host supports it.
 				mmapSrv := New(Options{Workers: workers})
+				defer mmapSrv.Close()
 				if _, err := mmapSrv.LoadSnapshotFile(path); err != nil {
 					t.Fatal(err)
 				}

@@ -41,6 +41,13 @@ type Registry struct {
 	entries   map[string]*regEntry
 	lru       *list.List // heap-resident entries only; front = most recently used
 	evictions int64
+	// onEvict, when set, runs for every id the capacity forces out —
+	// dropped or demoted alike — so caches keyed by graph id can
+	// invalidate: after eviction a later entry under the same id may
+	// serve different content (a fresh upload, or a path whose file was
+	// atomically replaced). Called with the registry lock held; the
+	// callback must not call back into the registry.
+	onEvict func(id string)
 }
 
 type regEntry struct {
@@ -175,8 +182,19 @@ func (r *Registry) trackLocked(e *regEntry) (evicted string) {
 		} else {
 			delete(r.entries, v.id)
 		}
+		if r.onEvict != nil {
+			r.onEvict(v.id)
+		}
 	}
 	return evicted
+}
+
+// setOnEvict installs the eviction callback (see the field's contract);
+// the server wires its caches here before the registry is shared.
+func (r *Registry) setOnEvict(fn func(id string)) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.onEvict = fn
 }
 
 // Len reports how many graphs are registered (opened or not).

@@ -1,0 +1,154 @@
+package server
+
+import (
+	"container/list"
+	"sync"
+)
+
+// respCache memoizes encoded response bodies for the read-only POST
+// endpoints (/v1/query, /v1/chains). Registered graphs are immutable —
+// frozen stores, deterministic engines — so for a given (endpoint,
+// graph, canonicalized request) the response bytes can never change
+// while the graph stays registered; serving them from memory skips the
+// search, the row materialization, and the JSON encode. Entries are
+// invalidated only when their graph leaves the registry (eviction may
+// drop an uploaded graph or demote a file-backed one whose file could
+// since have been atomically replaced — either way a later graph under
+// the same id may differ).
+//
+// The cache is bounded by total body bytes with LRU eviction and is
+// safe for concurrent use. Stored bodies are aliased on hit, never
+// copied: callers must treat them as read-only.
+type respCache struct {
+	mu      sync.Mutex
+	max     int64 // byte budget; <= 0 disables the cache entirely
+	size    int64
+	lru     *list.List // front = most recently used
+	entries map[string]*list.Element
+
+	hits, misses map[string]int64 // by endpoint
+	evictions    int64
+	invalidated  int64
+}
+
+type respEntry struct {
+	key   string
+	graph string
+	body  []byte
+}
+
+// DefaultRespCacheBytes is the response-cache budget when
+// Options.RespCacheBytes is zero.
+const DefaultRespCacheBytes = 32 << 20
+
+func newRespCache(max int64) *respCache {
+	return &respCache{
+		max:     max,
+		lru:     list.New(),
+		entries: make(map[string]*list.Element),
+		hits:    make(map[string]int64),
+		misses:  make(map[string]int64),
+	}
+}
+
+// respKey builds the cache key: endpoint, graph id, and the canonical
+// request form. Requests decode into flat structs with
+// DisallowUnknownFields, so re-marshaling the decoded struct
+// canonicalizes field order, whitespace, and absent-vs-zero fields —
+// two requests that decode equal always hit the same entry.
+func respKey(endpoint, graph string, canonical []byte) string {
+	return endpoint + "\x00" + graph + "\x00" + string(canonical)
+}
+
+// get returns the cached body for key, marking it most recently used.
+func (c *respCache) get(endpoint, key string) ([]byte, bool) {
+	if c.max <= 0 {
+		return nil, false
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.entries[key]
+	if !ok {
+		c.misses[endpoint]++
+		return nil, false
+	}
+	c.lru.MoveToFront(el)
+	c.hits[endpoint]++
+	return el.Value.(*respEntry).body, true
+}
+
+// put stores body under key for graph, evicting least-recently-used
+// entries beyond the byte budget. Bodies larger than the whole budget
+// are not cached. body must not be mutated after the call.
+func (c *respCache) put(graph, key string, body []byte) {
+	if c.max <= 0 || int64(len(body)) > c.max {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, dup := c.entries[key]; dup {
+		return // concurrent identical requests raced; first one wins
+	}
+	c.entries[key] = c.lru.PushFront(&respEntry{key: key, graph: graph, body: body})
+	c.size += int64(len(body))
+	for c.size > c.max {
+		oldest := c.lru.Back()
+		e := oldest.Value.(*respEntry)
+		c.lru.Remove(oldest)
+		delete(c.entries, e.key)
+		c.size -= int64(len(e.body))
+		c.evictions++
+	}
+}
+
+// invalidate drops every entry cached for graph. Called from the
+// registry's eviction hook; it takes only the cache's own lock, so it
+// is safe to call with registry locks held.
+func (c *respCache) invalidate(graph string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var next *list.Element
+	for el := c.lru.Front(); el != nil; el = next {
+		next = el.Next()
+		e := el.Value.(*respEntry)
+		if e.graph != graph {
+			continue
+		}
+		c.lru.Remove(el)
+		delete(c.entries, e.key)
+		c.size -= int64(len(e.body))
+		c.invalidated++
+	}
+}
+
+// respCacheStats is the wire form of the cache counters (GET /v1/stats).
+type respCacheStats struct {
+	Entries     int              `json:"entries"`
+	Bytes       int64            `json:"bytes"`
+	MaxBytes    int64            `json:"max_bytes"`
+	Hits        map[string]int64 `json:"hits"`
+	Misses      map[string]int64 `json:"misses"`
+	Evictions   int64            `json:"evictions"`
+	Invalidated int64            `json:"invalidated"`
+}
+
+func (c *respCache) stats() respCacheStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	st := respCacheStats{
+		Entries:     len(c.entries),
+		Bytes:       c.size,
+		MaxBytes:    c.max,
+		Hits:        make(map[string]int64, len(c.hits)),
+		Misses:      make(map[string]int64, len(c.misses)),
+		Evictions:   c.evictions,
+		Invalidated: c.invalidated,
+	}
+	for k, v := range c.hits {
+		st.Hits[k] = v
+	}
+	for k, v := range c.misses {
+		st.Misses[k] = v
+	}
+	return st
+}

@@ -1,0 +1,253 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"path/filepath"
+	"testing"
+
+	"tabby/internal/store"
+)
+
+// TestResponseCacheByteIdentity pins the cache's one correctness
+// obligation — a hit serves exactly the bytes a cold encode would —
+// on both storage backends: the same snapshot served heap-resident
+// and as an mmap view, each asked twice, all four bodies identical.
+func TestResponseCacheByteIdentity(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "rt.tsnap")
+	if err := store.WriteFile(path, rtSnapshot(t)); err != nil {
+		t.Fatal(err)
+	}
+
+	memSrv := New(Options{Workers: 1})
+	t.Cleanup(memSrv.Close)
+	snap, err := store.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := memSrv.Registry().Add("rt", snap); err != nil {
+		t.Fatal(err)
+	}
+	mmapSrv := New(Options{Workers: 1})
+	t.Cleanup(mmapSrv.Close)
+	if id, err := mmapSrv.LoadSnapshotFile(path); err != nil || id != "rt" {
+		t.Fatalf("LoadSnapshotFile = %q, %v", id, err)
+	}
+
+	requests := []struct {
+		endpoint string
+		body     map[string]any
+	}{
+		{"/v1/query", map[string]any{"graph": "rt", "query": `MATCH (m:Method {IS_SINK: true}) RETURN m.NAME ORDER BY m.NAME`}},
+		{"/v1/chains", map[string]any{"graph": "rt", "max_depth": 8}},
+	}
+	for name, srv := range map[string]*Server{"mem": memSrv, "mmap": mmapSrv} {
+		ts := httptest.NewServer(srv.Handler())
+		for _, req := range requests {
+			code, cold := postJSON(t, ts.URL+req.endpoint, req.body)
+			if code != http.StatusOK {
+				t.Fatalf("%s cold %s = %d: %s", name, req.endpoint, code, cold)
+			}
+			code, cached := postJSON(t, ts.URL+req.endpoint, req.body)
+			if code != http.StatusOK {
+				t.Fatalf("%s cached %s = %d: %s", name, req.endpoint, code, cached)
+			}
+			if !bytes.Equal(cold, cached) {
+				t.Errorf("%s %s: cached response differs from cold:\ncold:   %s\ncached: %s",
+					name, req.endpoint, cold, cached)
+			}
+		}
+		ts.Close()
+	}
+
+	// The second round trips were hits, and the counters say so.
+	st := memSrv.resp.stats()
+	if st.Hits["query"] < 1 || st.Hits["chains"] < 1 {
+		t.Errorf("cache hits = %+v, want >=1 for query and chains", st.Hits)
+	}
+	if st.Entries == 0 || st.Bytes == 0 {
+		t.Errorf("cache stats = %+v, want resident entries", st)
+	}
+}
+
+// TestResponseCacheCanonicalKey: requests that decode to the same
+// canonical form share a cache entry; requests that differ in any
+// field that changes the answer do not.
+func TestResponseCacheCanonicalKey(t *testing.T) {
+	s, ts := newTestServer(t)
+
+	// Same query, different whitespace in the JSON envelope — one entry.
+	q := `MATCH (m:Method {IS_SINK: true}) RETURN m.NAME`
+	body1 := `{"graph":"rt","query":"` + q + `"}`
+	body2 := `{"graph": "rt",  "query": "` + q + `"}`
+	for _, b := range []string{body1, body2} {
+		resp, err := http.Post(ts.URL+"/v1/query", "application/json", bytes.NewReader([]byte(b)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("query = %d", resp.StatusCode)
+		}
+	}
+	st := s.resp.stats()
+	if st.Hits["query"] != 1 {
+		t.Errorf("envelope-whitespace variants must share an entry: hits = %+v", st.Hits)
+	}
+
+	// A different LIMIT is a different answer — distinct entry, no hit.
+	postJSON(t, ts.URL+"/v1/query", map[string]any{"graph": "rt", "query": q + " LIMIT 1"})
+	if got := s.resp.stats().Hits["query"]; got != 1 {
+		t.Errorf("distinct query must miss: hits = %d, want still 1", got)
+	}
+}
+
+// TestResponseCacheInvalidatedOnEviction: evicting a graph drops its
+// cached responses, so a reused id can never serve the old graph's
+// bytes — the stale path answers 404, not a cached 200.
+func TestResponseCacheInvalidatedOnEviction(t *testing.T) {
+	s := New(Options{Workers: 1, MaxGraphs: 1})
+	t.Cleanup(s.Close)
+	if _, err := s.Registry().Add("rt", rtSnapshot(t)); err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(ts.Close)
+
+	req := map[string]any{"graph": "rt", "query": `MATCH (m:Method) RETURN COUNT(*)`}
+	if code, _ := postJSON(t, ts.URL+"/v1/query", req); code != http.StatusOK {
+		t.Fatal("seed query failed")
+	}
+	if s.resp.stats().Entries != 1 {
+		t.Fatalf("expected one cached entry, got %+v", s.resp.stats())
+	}
+
+	// A second upload evicts "rt" (capacity 1, no backing file → dropped).
+	if evicted, err := s.Registry().Add("other", tinySnapshot("other")); err != nil || evicted != "rt" {
+		t.Fatalf("Add(other) evicted %q, err %v; want rt", evicted, err)
+	}
+	st := s.resp.stats()
+	if st.Entries != 0 || st.Invalidated != 1 {
+		t.Errorf("post-eviction cache = %+v, want empty with invalidated=1", st)
+	}
+	if code, _ := postJSON(t, ts.URL+"/v1/query", req); code != http.StatusNotFound {
+		t.Error("evicted graph must 404, not serve a cached body")
+	}
+}
+
+// TestRespCacheBudget exercises the byte budget directly: entries
+// beyond the budget evict oldest-first, and oversized bodies are
+// never admitted.
+func TestRespCacheBudget(t *testing.T) {
+	c := newRespCache(64)
+	key := func(req string) string { return respKey("query", "g", []byte(req)) }
+	put := func(req string, n int) {
+		c.put("g", key(req), bytes.Repeat([]byte("x"), n))
+	}
+	put("a", 30)
+	put("b", 30)
+	put("c", 30) // over budget: "a" goes
+	if _, ok := c.get("query", key("a")); ok {
+		t.Error("oldest entry must be evicted over budget")
+	}
+	if _, ok := c.get("query", key("c")); !ok {
+		t.Error("newest entry must survive")
+	}
+	put("huge", 100) // larger than the whole budget: rejected
+	if _, ok := c.get("query", key("huge")); ok {
+		t.Error("oversized body must not be admitted")
+	}
+	st := c.stats()
+	if st.Evictions == 0 || st.Bytes > 64 {
+		t.Errorf("budget stats = %+v", st)
+	}
+
+	// Disabled cache (negative budget) stores nothing and never hits.
+	off := newRespCache(-1)
+	off.put("g", "k", []byte("body"))
+	if _, ok := off.get("query", "k"); ok {
+		t.Error("disabled cache must not serve entries")
+	}
+}
+
+// TestETagConditionalGets: GET /v1/graphs and GET /v1/graphs/{id}/stats
+// carry a strong body-hash ETag, and If-None-Match round-trips to 304
+// with an empty body — until the listing actually changes.
+func TestETagConditionalGets(t *testing.T) {
+	s, ts := newTestServer(t)
+	_ = s
+
+	for _, url := range []string{ts.URL + "/v1/graphs", ts.URL + "/v1/graphs/rt/stats"} {
+		resp, err := http.Get(url)
+		if err != nil {
+			t.Fatal(err)
+		}
+		etag := resp.Header.Get("ETag")
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK || etag == "" {
+			t.Fatalf("GET %s = %d etag %q", url, resp.StatusCode, etag)
+		}
+		if cc := resp.Header.Get("Cache-Control"); cc != "no-cache" {
+			t.Errorf("Cache-Control = %q, want no-cache", cc)
+		}
+
+		req, _ := http.NewRequest(http.MethodGet, url, nil)
+		req.Header.Set("If-None-Match", etag)
+		cond, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		buf.ReadFrom(cond.Body)
+		cond.Body.Close()
+		if cond.StatusCode != http.StatusNotModified || buf.Len() != 0 {
+			t.Errorf("conditional GET %s = %d (%d body bytes), want 304 empty", url, cond.StatusCode, buf.Len())
+		}
+	}
+
+	// Changing the listing changes the tag, so stale validators refetch.
+	resp, err := http.Get(ts.URL + "/v1/graphs")
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := resp.Header.Get("ETag")
+	resp.Body.Close()
+	if _, err := s.Registry().Add("second", tinySnapshot("second")); err != nil {
+		t.Fatal(err)
+	}
+	req, _ := http.NewRequest(http.MethodGet, ts.URL+"/v1/graphs", nil)
+	req.Header.Set("If-None-Match", before)
+	after, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer after.Body.Close()
+	if after.StatusCode != http.StatusOK {
+		t.Errorf("stale validator = %d, want 200 with new body", after.StatusCode)
+	}
+	var graphs graphsResponse
+	if err := json.NewDecoder(after.Body).Decode(&graphs); err != nil {
+		t.Fatal(err)
+	}
+	if len(graphs.Graphs) != 2 {
+		t.Errorf("refetched listing has %d graphs, want 2", len(graphs.Graphs))
+	}
+}
+
+// TestServerStatsEndpoint smoke-checks GET /v1/stats shape.
+func TestServerStatsEndpoint(t *testing.T) {
+	_, ts := newTestServer(t)
+	code, body := getJSON(t, ts.URL+"/v1/stats")
+	if code != http.StatusOK {
+		t.Fatalf("GET /v1/stats = %d: %s", code, body)
+	}
+	var st serverStatsResponse
+	if err := json.Unmarshal(body, &st); err != nil {
+		t.Fatal(err)
+	}
+	if st.Graphs != 1 || st.Jobs.Workers < 1 || st.RespCache.MaxBytes <= 0 {
+		t.Errorf("stats = %+v", st)
+	}
+}

@@ -5,23 +5,35 @@
 // `tabby -save` / core.SaveSnapshot) into an LRU-bounded registry of
 // immutable stores and exposes:
 //
-//	GET  /v1/graphs                 list loaded graphs
-//	GET  /v1/graphs/{id}/stats      node/edge statistics + metadata
+//	GET  /v1/graphs                 list loaded graphs (ETag revalidation)
+//	GET  /v1/graphs/{id}/stats      node/edge statistics + metadata (ETag)
 //	POST /v1/query                  Cypher-lite (incl. CALL procedures)
 //	POST /v1/chains                 path-finder search with TC/sink/source parameters
-//	POST /v1/analyze                compile an uploaded mini-Java corpus into a new snapshot
+//	POST /v1/analyze                submit an uploaded mini-Java corpus for analysis
+//	GET  /v1/jobs                   list analyze jobs
+//	GET  /v1/jobs/{id}              poll one analyze job
+//	GET  /v1/stats                  job-queue and cache counters
 //
-// Analyses share one content-addressed cache across requests, so
-// re-uploading a corpus that overlaps a previous one (the edit-analyze
-// loop) reuses compiled classes and controllability summaries whose
-// inputs are unchanged.
+// Builds are asynchronous: /v1/analyze enqueues the corpus on a
+// bounded worker pool and answers 202 with a job id (429 when the
+// queue is full), so a heavy compile never blocks the query path.
+// Concurrent identical submissions coalesce into one build
+// (singleflight), and repeat uploads resolve instantly from a result
+// cache keyed by the content-addressed corpus fingerprint. Analyses
+// also share one content-addressed artifact cache across builds, so a
+// corpus that merely overlaps a previous one (the edit-analyze loop)
+// still reuses compiled classes and controllability summaries.
 //
 // Every response is JSON. Queries and searches run against frozen
 // stores, so concurrent requests are safe and two identical requests
-// always produce byte-identical responses.
+// always produce byte-identical responses — which is also why the
+// server may answer them from an LRU cache of encoded response bytes.
 package server
 
 import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/hex"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -31,7 +43,9 @@ import (
 	"os"
 	"path/filepath"
 	"sort"
+	"strconv"
 	"strings"
+	"sync"
 
 	"tabby/internal/backend"
 	"tabby/internal/core"
@@ -61,6 +75,17 @@ type Options struct {
 	// queries producing more are cut off and the response marked
 	// truncated. Zero means DefaultMaxQueryRows.
 	MaxQueryRows int
+	// AnalyzeWorkers sizes the build pool behind /v1/analyze; zero means
+	// DefaultAnalyzeWorkers.
+	AnalyzeWorkers int
+	// AnalyzeQueue bounds how many submitted builds may wait behind the
+	// running ones; beyond it submissions get 429. Zero means
+	// DefaultAnalyzeQueue.
+	AnalyzeQueue int
+	// RespCacheBytes is the byte budget for the /v1/query + /v1/chains
+	// response cache; zero means DefaultRespCacheBytes, negative
+	// disables caching.
+	RespCacheBytes int64
 }
 
 const defaultMaxRequestBytes = 32 << 20
@@ -73,21 +98,26 @@ const DefaultMaxQueryRows = 10000
 
 // Server serves stored graphs over HTTP.
 type Server struct {
-	reg      *Registry
-	workers  int
-	maxBody  int64
-	maxRows  int
-	analyzeC chan struct{} // serializes /v1/analyze (CPU-bound builds)
+	reg     *Registry
+	workers int
+	maxBody int64
+	maxRows int
+	jobs    *jobManager // async /v1/analyze builds
+	resp    *respCache  // encoded /v1/query + /v1/chains bodies
 	// cache persists compile artifacts and controllability summaries
-	// across /v1/analyze requests: re-analyzing a corpus that shares
+	// across /v1/analyze builds: re-analyzing a corpus that shares
 	// classes with a previous upload reuses every summary whose dependency
-	// cone is unchanged. Guarded by analyzeC (it is not concurrent-safe);
-	// content-addressing keeps it sound across requests with different
+	// cone is unchanged. Guarded by cacheMu (it is not concurrent-safe);
+	// content-addressing keeps it sound across builds with different
 	// mechanisms or options.
-	cache *core.AnalysisCache
+	cache     *core.AnalysisCache
+	cacheMu   sync.Mutex
+	closeOnce sync.Once
 }
 
-// New creates a server with an empty registry.
+// New creates a server with an empty registry and starts its analyze
+// worker pool. Call Close to stop the pool when the server is
+// discarded before process exit (tests, benchmarks).
 func New(opts Options) *Server {
 	if opts.MaxRequestBytes <= 0 {
 		opts.MaxRequestBytes = defaultMaxRequestBytes
@@ -95,16 +125,36 @@ func New(opts Options) *Server {
 	if opts.MaxQueryRows <= 0 {
 		opts.MaxQueryRows = DefaultMaxQueryRows
 	}
-	s := &Server{
-		reg:      NewRegistry(opts.MaxGraphs),
-		workers:  opts.Workers,
-		maxBody:  opts.MaxRequestBytes,
-		maxRows:  opts.MaxQueryRows,
-		analyzeC: make(chan struct{}, 1),
-		cache:    core.NewAnalysisCache(),
+	if opts.RespCacheBytes == 0 {
+		opts.RespCacheBytes = DefaultRespCacheBytes
 	}
-	s.analyzeC <- struct{}{}
+	s := &Server{
+		reg:     NewRegistry(opts.MaxGraphs),
+		workers: opts.Workers,
+		maxBody: opts.MaxRequestBytes,
+		maxRows: opts.MaxQueryRows,
+		jobs:    newJobManager(opts.AnalyzeWorkers, opts.AnalyzeQueue),
+		resp:    newRespCache(opts.RespCacheBytes),
+		cache:   core.NewAnalysisCache(),
+	}
+	// A graph leaving the registry (uploaded graph dropped, file-backed
+	// entry demoted to a reopenable path) invalidates everything cached
+	// under its id: a later graph under the same id may answer
+	// differently.
+	s.reg.setOnEvict(func(id string) {
+		s.resp.invalidate(id)
+		s.jobs.invalidateGraph(id)
+	})
+	for i := 0; i < s.jobs.workers; i++ {
+		go s.runAnalyzeWorker()
+	}
 	return s
+}
+
+// Close stops the analyze worker pool after draining queued builds.
+// Serving may continue; further /v1/analyze submissions get 503.
+func (s *Server) Close() {
+	s.closeOnce.Do(s.jobs.close)
 }
 
 // Registry exposes the snapshot registry (the CLI preloads it; tests
@@ -171,6 +221,9 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("POST /v1/query", s.handleQuery)
 	mux.HandleFunc("POST /v1/chains", s.handleChains)
 	mux.HandleFunc("POST /v1/analyze", s.handleAnalyze)
+	mux.HandleFunc("GET /v1/jobs", s.handleJobs)
+	mux.HandleFunc("GET /v1/jobs/{id}", s.handleJob)
+	mux.HandleFunc("GET /v1/stats", s.handleServerStats)
 	return mux
 }
 
@@ -180,12 +233,57 @@ type errorResponse struct {
 	Error string `json:"error"`
 }
 
-func writeJSON(w http.ResponseWriter, status int, v any) {
-	w.Header().Set("Content-Type", "application/json")
-	w.WriteHeader(status)
-	enc := json.NewEncoder(w)
+// encPool recycles response-encoding buffers: the query and chains hot
+// paths encode every response into one of these, so steady-state
+// serving allocates no fresh buffer per request.
+var encPool = sync.Pool{New: func() any { return new(bytes.Buffer) }}
+
+// encodeJSON renders v into a pooled buffer. Callers must hand the
+// buffer back with encPool.Put once its bytes are written out (or
+// copied for caching).
+func encodeJSON(v any) *bytes.Buffer {
+	buf := encPool.Get().(*bytes.Buffer)
+	buf.Reset()
+	enc := json.NewEncoder(buf)
 	enc.SetEscapeHTML(false)
-	_ = enc.Encode(v) // the status line is already out; nothing to recover
+	_ = enc.Encode(v) // only statically JSON-able types reach here
+	return buf
+}
+
+// writeRawJSON writes already-encoded response bytes.
+func writeRawJSON(w http.ResponseWriter, status int, body []byte) {
+	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set("Content-Length", strconv.Itoa(len(body)))
+	w.WriteHeader(status)
+	_, _ = w.Write(body) // client went away; nothing to recover
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	buf := encodeJSON(v)
+	writeRawJSON(w, status, buf.Bytes())
+	encPool.Put(buf)
+}
+
+// writeETagJSON serves a GET whose payload is cheap to render but nice
+// to revalidate: it answers 304 with no body when the client's
+// If-None-Match matches the strong ETag of the encoded payload.
+// Hashing the actual bytes makes the validator exact even for payloads
+// with mutable fields (eviction counters, lazily-opened backends);
+// immutable payloads — snapshot-backed stats — converge to one stable
+// tag. Cache-Control: no-cache demands revalidation, which the ETag
+// makes a 304 round-trip instead of a re-download.
+func writeETagJSON(w http.ResponseWriter, r *http.Request, v any) {
+	buf := encodeJSON(v)
+	sum := sha256.Sum256(buf.Bytes())
+	etag := `"` + hex.EncodeToString(sum[:16]) + `"`
+	w.Header().Set("ETag", etag)
+	w.Header().Set("Cache-Control", "no-cache")
+	if match := r.Header.Get("If-None-Match"); match != "" && strings.Contains(match, etag) {
+		w.WriteHeader(http.StatusNotModified)
+	} else {
+		writeRawJSON(w, http.StatusOK, buf.Bytes())
+	}
+	encPool.Put(buf)
 }
 
 func writeError(w http.ResponseWriter, status int, format string, args ...any) {
@@ -230,7 +328,7 @@ type graphsResponse struct {
 }
 
 func (s *Server) handleGraphs(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, http.StatusOK, graphsResponse{Graphs: s.reg.List(), Evictions: s.reg.Evictions()})
+	writeETagJSON(w, r, graphsResponse{Graphs: s.reg.List(), Evictions: s.reg.Evictions()})
 }
 
 // --- GET /v1/graphs/{id}/stats -------------------------------------------
@@ -261,7 +359,7 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	st := be.GraphStats()
-	writeJSON(w, http.StatusOK, statsResponse{
+	writeETagJSON(w, r, statsResponse{
 		ID:          r.PathValue("id"),
 		Meta:        be.Meta(),
 		Nodes:       st.Nodes,
@@ -298,6 +396,14 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	if !s.decodeBody(w, r, &req) {
 		return
 	}
+	// Registered graphs are immutable, so an identical request against
+	// the same graph always encodes to the same bytes — serve them from
+	// the response cache when a previous request already paid for them.
+	key := canonicalKey("query", req.Graph, &req)
+	if body, ok := s.resp.get("query", key); ok {
+		writeRawJSON(w, http.StatusOK, body)
+		return
+	}
 	be, ok := s.graphFor(w, req.Graph)
 	if !ok {
 		return
@@ -316,7 +422,7 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "query failed: %v", err)
 		return
 	}
-	rows := [][]any{}
+	rows := make([][]any, 0, 64)
 	truncated := false
 	for {
 		row, err := cur.Next()
@@ -334,13 +440,33 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		rows = append(rows, row)
 	}
 	res := &cypher.Result{Columns: cur.Columns, Rows: rows}
-	writeJSON(w, http.StatusOK, queryResponse{
+	s.writeCached(w, "query", req.Graph, key, queryResponse{
 		Graph:     req.Graph,
 		Columns:   cur.Columns,
 		Rows:      rows,
 		Truncated: truncated,
 		Text:      res.Format(),
 	})
+}
+
+// canonicalKey derives the response-cache key from a decoded request:
+// re-marshaling the struct canonicalizes field order, whitespace, and
+// absent-vs-zero fields, so every encoding of the same request maps to
+// one entry.
+func canonicalKey(endpoint, graph string, req any) string {
+	canon, _ := json.Marshal(req) // flat request structs cannot fail
+	return respKey(endpoint, graph, canon)
+}
+
+// writeCached encodes a 200 response once, stores the bytes in the
+// response cache, and writes them out. Only full successes get here —
+// error paths bypass the cache entirely.
+func (s *Server) writeCached(w http.ResponseWriter, endpoint, graph, key string, v any) {
+	buf := encodeJSON(v)
+	body := append([]byte(nil), buf.Bytes()...)
+	encPool.Put(buf)
+	s.resp.put(graph, key, body)
+	writeRawJSON(w, http.StatusOK, body)
 }
 
 // --- POST /v1/chains -----------------------------------------------------
@@ -389,6 +515,11 @@ func (s *Server) handleChains(w http.ResponseWriter, r *http.Request) {
 	if !s.decodeBody(w, r, &req) {
 		return
 	}
+	key := canonicalKey("chains", req.Graph, &req)
+	if body, ok := s.resp.get("chains", key); ok {
+		writeRawJSON(w, http.StatusOK, body)
+		return
+	}
 	be, ok := s.graphFor(w, req.Graph)
 	if !ok {
 		return
@@ -433,11 +564,11 @@ func (s *Server) handleChains(w http.ResponseWriter, r *http.Request) {
 			cj.Nodes[i] = int64(id)
 		}
 		for i, tc := range c.TCs {
-			cj.TCs[i] = append([]int{}, tc...)
+			cj.TCs[i] = append(make([]int, 0, len(tc)), tc...)
 		}
 		out.Chains = append(out.Chains, cj)
 	}
-	writeJSON(w, http.StatusOK, out)
+	s.writeCached(w, "chains", req.Graph, key, out)
 }
 
 // resolveSinks turns the request's sink selection into seed node IDs,
@@ -529,16 +660,11 @@ type analyzeRequest struct {
 	Mechanism string `json:"mechanism"`
 	Workers   int    `json:"workers"`
 	MaxDepth  int    `json:"max_depth"`
-}
-
-type analyzeResponse struct {
-	ID      string    `json:"id"`
-	Stats   cpg.Stats `json:"stats"`
-	Chains  int       `json:"chains"`
-	Evicted string    `json:"evicted,omitempty"`
-	// Cache reports what the server's cross-request analysis cache reused
-	// for this build.
-	Cache *analyzeCacheJSON `json:"cache,omitempty"`
+	// Wait blocks the request until the job is terminal and answers 200
+	// with the final job state — the synchronous convenience wrapper
+	// over the async queue (the build still runs on the worker pool, so
+	// it never blocks other requests).
+	Wait bool `json:"wait"`
 }
 
 // analyzeCacheJSON is the wire form of core.CacheStats: enough to see the
@@ -561,10 +687,6 @@ func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
 	}
 	if req.Name == "" {
 		writeError(w, http.StatusBadRequest, `missing "name" for the new graph`)
-		return
-	}
-	if s.reg.Has(req.Name) {
-		writeError(w, http.StatusConflict, "graph %q already loaded", req.Name)
 		return
 	}
 	if len(req.Files) == 0 {
@@ -596,57 +718,125 @@ func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
 	}
 	engine := core.New(core.Options{Sources: sources, Workers: workers, MaxDepth: req.MaxDepth})
 
-	// Builds are CPU-bound and share the server's analysis cache, so one
-	// at a time: serialization both keeps the service responsive and
-	// guards the cache. Frozen previous graphs decline in-place deltas
-	// automatically, so only the compile and summary layers carry over —
-	// exactly the reuse that is safe between independent uploads.
-	<-s.analyzeC
-	rep, err := engine.AnalyzeIncremental(s.cache, archives)
-	s.analyzeC <- struct{}{}
+	// Submission costs one content hash of the corpus, never a build:
+	// identical in-flight submissions coalesce into the running job, a
+	// corpus already built and still registered resolves from the result
+	// cache, and everything else queues for the worker pool — or is
+	// pushed back with 429 when the queue is full.
+	fp := engine.ResultFingerprint(archives)
+	j, err := s.jobs.submit(s.reg, req.Name, fp, engine, archives, sources, len(req.Files))
 	if err != nil {
-		writeError(w, http.StatusUnprocessableEntity, "analyze failed: %v", err)
+		var se *submitErr
+		if errors.As(err, &se) {
+			writeError(w, se.status, "%s", se.msg)
+		} else {
+			writeError(w, http.StatusInternalServerError, "%v", err)
+		}
 		return
 	}
+	if req.Wait {
+		<-j.done
+		writeJSON(w, http.StatusOK, s.jobs.jobJSON(j))
+		return
+	}
+	w.Header().Set("Location", "/v1/jobs/"+j.id)
+	writeJSON(w, http.StatusAccepted, s.jobs.jobJSON(j))
+}
 
-	rep.Graph.DB.Freeze()
-	snap := &store.Snapshot{
-		Meta: store.Meta{
-			Name:        req.Name,
-			Corpus:      fmt.Sprintf("uploaded corpus (%d files)", len(req.Files)),
-			Stats:       rep.Graph.Stats,
-			TotalCalls:  rep.Graph.Taint.TotalCalls,
-			PrunedCalls: rep.Graph.Taint.PrunedCalls,
-		},
-		DB:      rep.Graph.DB,
-		Sinks:   sinks.Default(),
-		Sources: sources,
+// --- GET /v1/jobs, GET /v1/jobs/{id} -------------------------------------
+
+// jobJSON is the wire form of one analyze job. Graph, stats, chains,
+// and cache are meaningful once status is "done"; error once "failed".
+type jobJSON struct {
+	ID     string `json:"id"`
+	Name   string `json:"name"`
+	Status string `json:"status"`
+	Graph  string `json:"graph,omitempty"`
+	Chains int    `json:"chains"`
+	// Stats is the built graph's node/edge census (done jobs only).
+	Stats *cpg.Stats `json:"stats,omitempty"`
+	// Cache reports what the cross-build analysis cache reused for this
+	// build; absent on jobs resolved without building.
+	Cache   *analyzeCacheJSON `json:"cache,omitempty"`
+	Evicted string            `json:"evicted,omitempty"`
+	Error   string            `json:"error,omitempty"`
+	// Coalesced counts later identical submissions merged into this
+	// build (singleflight).
+	Coalesced int `json:"coalesced,omitempty"`
+	// ResultCached marks a repeat upload resolved instantly from the
+	// fingerprint-keyed result cache — no compile, no queue slot.
+	ResultCached bool `json:"result_cached,omitempty"`
+	// ElapsedMs is submit-to-terminal wall clock (0 while in flight).
+	ElapsedMs int64 `json:"elapsed_ms,omitempty"`
+}
+
+// jobJSON snapshots one job's state under the manager lock.
+func (m *jobManager) jobJSON(j *job) jobJSON {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := jobJSON{
+		ID:           j.id,
+		Name:         j.name,
+		Status:       string(j.status),
+		Graph:        j.graphID,
+		Chains:       j.chains,
+		Cache:        j.cacheInfo,
+		Evicted:      j.evicted,
+		Error:        j.err,
+		Coalesced:    j.coalesced,
+		ResultCached: j.cached,
+		ElapsedMs:    j.elapsed.Milliseconds(),
 	}
-	if len(snap.Sources.MethodNames) == 0 {
-		snap.Sources = sinks.DefaultSources()
+	if j.status == jobDone {
+		st := j.stats
+		out.Stats = &st
 	}
-	evicted, err := s.reg.Add(req.Name, snap)
-	if err != nil {
-		writeError(w, http.StatusConflict, "%v", err)
-		return
-	}
-	resp := analyzeResponse{
-		ID:      req.Name,
-		Stats:   rep.Graph.Stats,
-		Chains:  len(rep.Chains),
-		Evicted: evicted,
-	}
-	if cs := rep.Timings.Cache; cs != nil {
-		resp.Cache = &analyzeCacheJSON{
-			Files:           cs.Compile.Files,
-			ParseHits:       cs.Compile.ParseHits,
-			BodyHits:        cs.Compile.BodyHits,
-			TaintComps:      cs.Taint.Components,
-			TaintCompHits:   cs.Taint.ComponentHits,
-			MethodsReused:   cs.Taint.MethodsReused,
-			MethodsAnalyzed: cs.Taint.MethodsAnalyzed,
-			GraphReuse:      cs.GraphReuse,
+	return out
+}
+
+type jobsResponse struct {
+	Jobs []jobJSON `json:"jobs"`
+}
+
+func (s *Server) handleJobs(w http.ResponseWriter, r *http.Request) {
+	m := s.jobs
+	m.mu.Lock()
+	ids := append([]string(nil), m.order...)
+	m.mu.Unlock()
+	out := jobsResponse{Jobs: make([]jobJSON, 0, len(ids))}
+	for _, id := range ids {
+		if j, ok := m.get(id); ok {
+			out.Jobs = append(out.Jobs, m.jobJSON(j))
 		}
 	}
-	writeJSON(w, http.StatusOK, resp)
+	writeJSON(w, http.StatusOK, out)
+}
+
+func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.jobs.get(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, "job %q not found (see GET /v1/jobs)", r.PathValue("id"))
+		return
+	}
+	writeJSON(w, http.StatusOK, s.jobs.jobJSON(j))
+}
+
+// --- GET /v1/stats --------------------------------------------------------
+
+// serverStatsResponse exposes the serving-tier counters: job queue,
+// response cache, and registry. The serve bench reads hit rates here.
+type serverStatsResponse struct {
+	Jobs      jobStatsJSON   `json:"jobs"`
+	RespCache respCacheStats `json:"resp_cache"`
+	Graphs    int            `json:"graphs"`
+	Evictions int64          `json:"evictions"`
+}
+
+func (s *Server) handleServerStats(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, serverStatsResponse{
+		Jobs:      s.jobs.statsJSON(),
+		RespCache: s.resp.stats(),
+		Graphs:    s.reg.Len(),
+		Evictions: s.reg.Evictions(),
+	})
 }

@@ -42,6 +42,7 @@ func rtSnapshot(t *testing.T) *store.Snapshot {
 func newTestServer(t *testing.T) (*Server, *httptest.Server) {
 	t.Helper()
 	s := New(Options{Workers: 1})
+	t.Cleanup(s.Close)
 	if _, err := s.Registry().Add("rt", rtSnapshot(t)); err != nil {
 		t.Fatal(err)
 	}
@@ -173,6 +174,7 @@ func TestQueryEndpoint(t *testing.T) {
 // queries never see it.
 func TestQueryRowCap(t *testing.T) {
 	s := New(Options{Workers: 1, MaxQueryRows: 2})
+	t.Cleanup(s.Close)
 	if _, err := s.Registry().Add("rt", rtSnapshot(t)); err != nil {
 		t.Fatal(err)
 	}
@@ -273,11 +275,12 @@ func TestChainsEndpoint(t *testing.T) {
 	}
 }
 
-func TestAnalyzeEndpoint(t *testing.T) {
-	_, ts := newTestServer(t)
-
-	req := map[string]any{
-		"name": "uploaded",
+// analyzeReq builds a minimal upload request; source varies the corpus
+// (and therefore the result fingerprint) per test.
+func analyzeReq(name string, wait bool) map[string]any {
+	return map[string]any{
+		"name": name,
+		"wait": wait,
 		"files": []map[string]string{{
 			"name": "Job.java",
 			"source": `
@@ -291,15 +294,21 @@ public class Job implements java.io.Serializable {
 `,
 		}},
 	}
+}
+
+func TestAnalyzeEndpoint(t *testing.T) {
+	s, ts := newTestServer(t)
+
+	req := analyzeReq("uploaded", true)
 	code, body := postJSON(t, ts.URL+"/v1/analyze", req)
 	if code != http.StatusOK {
 		t.Fatalf("analyze = %d: %s", code, body)
 	}
-	var res analyzeResponse
+	var res jobJSON
 	if err := json.Unmarshal(body, &res); err != nil {
 		t.Fatal(err)
 	}
-	if res.ID != "uploaded" || res.Stats.MethodNodes == 0 || res.Chains == 0 {
+	if res.Status != "done" || res.Graph != "uploaded" || res.Stats == nil || res.Stats.MethodNodes == 0 || res.Chains == 0 {
 		t.Errorf("analyze response = %+v", res)
 	}
 
@@ -315,9 +324,30 @@ public class Job implements java.io.Serializable {
 		t.Errorf("uploaded graph missing app method: %s", body)
 	}
 
-	// Re-analyzing under the same name conflicts.
-	if code, _ := postJSON(t, ts.URL+"/v1/analyze", req); code != http.StatusConflict {
-		t.Errorf("duplicate analyze = %d, want 409", code)
+	// Re-uploading the identical corpus under the same name is not a
+	// conflict any more: it resolves instantly from the result cache to
+	// the existing graph, without building anything.
+	builds := s.Builds()
+	code, body = postJSON(t, ts.URL+"/v1/analyze", req)
+	if code != http.StatusOK {
+		t.Fatalf("repeat analyze = %d: %s", code, body)
+	}
+	var repeat jobJSON
+	if err := json.Unmarshal(body, &repeat); err != nil {
+		t.Fatal(err)
+	}
+	if repeat.Status != "done" || repeat.Graph != "uploaded" || !repeat.ResultCached {
+		t.Errorf("repeat analyze = %+v, want done/result_cached", repeat)
+	}
+	if got := s.Builds(); got != builds {
+		t.Errorf("repeat upload built again (%d builds, was %d)", got, builds)
+	}
+
+	// A *different* corpus under a taken name still conflicts.
+	diff := analyzeReq("uploaded", true)
+	diff["files"] = []map[string]string{{"name": "Other.java", "source": "package app; public class Other {}"}}
+	if code, _ := postJSON(t, ts.URL+"/v1/analyze", diff); code != http.StatusConflict {
+		t.Errorf("conflicting analyze = %d, want 409", code)
 	}
 	// Missing name / files are rejected.
 	if code, _ := postJSON(t, ts.URL+"/v1/analyze", map[string]any{"files": []map[string]string{}}); code != http.StatusBadRequest {
@@ -412,6 +442,7 @@ func TestChainsReusesCompiledIndex(t *testing.T) {
 
 func TestLoadSnapshotFile(t *testing.T) {
 	s := New(Options{})
+	t.Cleanup(s.Close)
 	snap := rtSnapshot(t)
 	path := t.TempDir() + "/rt.tsnap"
 	if err := store.WriteFile(path, snap); err != nil {

@@ -34,6 +34,7 @@ func TestRegisterSnapshotDir(t *testing.T) {
 	}
 
 	s := New(Options{Workers: 1})
+	t.Cleanup(s.Close)
 	n, err := s.RegisterSnapshotDir(dir)
 	if err != nil {
 		t.Fatal(err)

@@ -54,6 +54,21 @@ out="$tmp/responses.txt"
     curl -sS -d '{"graph":"urldns","workers":1}' "http://$addr/v1/chains"
     echo "== POST /v1/query (error path)"
     curl -sS -d '{"graph":"nope","query":"MATCH (m) RETURN m"}' "http://$addr/v1/query"
+    # Analyze timings vary run to run; normalize elapsed_ms away so the
+    # rest of the job body stays golden-diffable.
+    analyze_req='{"name":"app","wait":true,"workers":1,"files":[{"name":"App.java","source":"public class App implements java.io.Serializable { private void readObject(java.io.ObjectInputStream in) { java.lang.Runtime.getRuntime().exec(\"id\"); } }"}]}'
+    echo "== POST /v1/analyze (wait)"
+    curl -sS -d "$analyze_req" "http://$addr/v1/analyze" \
+        | sed -E 's/,"elapsed_ms":[0-9]+//g'
+    echo "== POST /v1/analyze (repeat upload, result cache)"
+    curl -sS -d "$analyze_req" "http://$addr/v1/analyze" \
+        | sed -E 's/,"elapsed_ms":[0-9]+//g'
+    echo "== GET /v1/jobs/j1"
+    curl -sS "http://$addr/v1/jobs/j1" \
+        | sed -E 's/,"elapsed_ms":[0-9]+//g'
+    echo "== GET /v1/jobs"
+    curl -sS "http://$addr/v1/jobs" \
+        | sed -E 's/,"elapsed_ms":[0-9]+//g'
 } >"$out"
 
 golden=scripts/testdata/serve_smoke.golden
