@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet fmt race check bench bench-path bench-incr bench-query bench-snap bench-serve serve-smoke
+.PHONY: build test vet fmt race check bench bench-path bench-build bench-incr bench-query bench-snap bench-serve serve-smoke
 
 build:
 	$(GO) build ./...
@@ -33,6 +33,14 @@ bench:
 # (TestSteadyStateAllocs fails the build if allocs/op regresses).
 bench-path:
 	$(GO) test ./internal/pathfinder -run TestSteadyStateAllocs -bench 'BenchmarkFind(Indexed|Generic)' -benchmem -v
+
+# bench-build gates the cold-build fast path at GOMAXPROCS=1 workers=1:
+# a cacheless full-corpus build (compile + taint + cpg) must be >= 1.5x
+# faster and allocate >= 3x less than the recorded pre-fast-path seed.
+# Writes BENCH_build.json via `tabby-bench -table build`.
+bench-build:
+	GOMAXPROCS=1 TABBY_BENCH_GATE=1 $(GO) test ./internal/bench -run TestBuildGate -count=1 -v
+	GOMAXPROCS=1 $(GO) run ./cmd/tabby-bench -table build -runs 3
 
 # bench-incr gates the incremental-analysis speedups at GOMAXPROCS=1:
 # a warm rerun must beat a cold run by >= 3x and a one-class-changed

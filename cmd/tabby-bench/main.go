@@ -8,6 +8,11 @@
 //	tabby-bench -table ablation   §III-C design-choice ablations
 //	tabby-bench -table parallel   worker-scaling over the largest Table VIII
 //	                              row (writes BENCH_parallel.json)
+//	tabby-bench -table build      cold-build stage costs (compile / taint /
+//	                              cpg ns/op + allocs/op) over the full
+//	                              corpus at workers=1, with the speedup
+//	                              vs the recorded pre-fast-path seed
+//	                              (writes BENCH_build.json)
 //	tabby-bench -table pathfinder generic-store vs compiled-index search
 //	                              engines (writes BENCH_pathfinder.json)
 //	tabby-bench -table incremental cold vs warm vs one-class-changed
@@ -70,9 +75,9 @@ func main() {
 
 func run(table string, scale float64, runs, workers int) error {
 	switch table {
-	case "8", "9", "10", "11", "rq4", "ablation", "parallel", "pathfinder", "incremental", "query", "snapshot", "serve", "all":
+	case "8", "9", "10", "11", "rq4", "ablation", "parallel", "build", "pathfinder", "incremental", "query", "snapshot", "serve", "all":
 	default:
-		return fmt.Errorf("unknown table %q (want 8, 9, 10, 11, rq4, ablation, parallel, pathfinder, incremental, query, snapshot, serve or all)", table)
+		return fmt.Errorf("unknown table %q (want 8, 9, 10, 11, rq4, ablation, parallel, build, pathfinder, incremental, query, snapshot, serve or all)", table)
 	}
 	fmt.Printf("tabby-bench: workers=%d (resolved %d), GOMAXPROCS=%d\n",
 		workers, parallel.Resolve(workers), runtime.GOMAXPROCS(0))
@@ -141,6 +146,23 @@ func run(table string, scale float64, runs, workers int) error {
 			return err
 		}
 		fmt.Println("written to BENCH_parallel.json")
+	}
+	if want("build") {
+		fmt.Println("=== Cold build: per-stage cost over the full corpus ===")
+		r, err := bench.RunBuild(runs)
+		if err != nil {
+			return err
+		}
+		fmt.Println(r.Format())
+		f, err := os.Create("BENCH_build.json")
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := r.WriteJSON(f); err != nil {
+			return err
+		}
+		fmt.Println("written to BENCH_build.json")
 	}
 	if want("incremental") {
 		fmt.Println("=== Incremental analysis: cold vs warm vs one-class-changed ===")

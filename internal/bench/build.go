@@ -1,0 +1,222 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"runtime"
+	"strings"
+	"time"
+
+	"tabby/internal/corpus"
+	"tabby/internal/cpg"
+	"tabby/internal/javasrc"
+	"tabby/internal/taint"
+)
+
+// Seed cold-build measurements, recorded at GOMAXPROCS=1 workers=1 over
+// the full corpus (26 components + the Spring scene) immediately before
+// the dense-id/slot-env fast path landed. The bench gate compares every
+// fresh run against these: the fast path must stay ≥1.5x faster and
+// allocate ≥3x less, or `make bench-build` fails.
+const (
+	BuildSeedNsPerOp     int64 = 545_952_000
+	BuildSeedAllocsPerOp int64 = 5_028_411
+)
+
+// BuildRow is one cold pipeline stage measured over the full corpus:
+// trimmed-mean wall clock per op (an op = every scenario once) and the
+// minimum allocation count observed for the stage across runs.
+type BuildRow struct {
+	Stage       string          `json:"stage"` // compile, taint, cpg, total
+	NsPerOp     int64           `json:"ns_per_op"`
+	AllocsPerOp int64           `json:"allocs_per_op"`
+	Runs        []time.Duration `json:"runs_ns"`
+}
+
+// BuildResult is the cold-build experiment output, serialized to
+// BENCH_build.json by cmd/tabby-bench.
+type BuildResult struct {
+	Corpus     string     `json:"corpus"`
+	Scenarios  int        `json:"scenarios"`
+	Methods    int        `json:"methods"` // bodies analyzed per op, workload sanity check
+	GOMAXPROCS int        `json:"gomaxprocs"`
+	Workers    int        `json:"workers"`
+	Rows       []BuildRow `json:"rows"`
+	// Seed is the pre-fast-path measurement the gate ratios compare
+	// against (see BuildSeedNsPerOp / BuildSeedAllocsPerOp).
+	SeedNsPerOp     int64 `json:"seed_ns_per_op"`
+	SeedAllocsPerOp int64 `json:"seed_allocs_per_op"`
+	// SpeedupVsSeed is seed-ns / total-ns; AllocRatioVsSeed is
+	// seed-allocs / total-allocs. The bench-build gate requires ≥1.5x
+	// and ≥3x respectively.
+	SpeedupVsSeed    float64 `json:"speedup_vs_seed"`
+	AllocRatioVsSeed float64 `json:"alloc_ratio_vs_seed"`
+}
+
+// buildScenario is one corpus entry analyzed per op.
+type buildScenario struct {
+	name     string
+	archives []javasrc.ArchiveSource
+}
+
+func buildScenarios() ([]buildScenario, error) {
+	var scenarios []buildScenario
+	for _, comp := range corpus.Components() {
+		scenarios = append(scenarios, buildScenario{
+			name:     "component/" + comp.Name,
+			archives: append([]javasrc.ArchiveSource{corpus.RT()}, comp.Archives...),
+		})
+	}
+	spring, err := corpus.SceneByName("Spring")
+	if err != nil {
+		return nil, err
+	}
+	scenarios = append(scenarios, buildScenario{
+		name:     "scene/" + spring.Name,
+		archives: append([]javasrc.ArchiveSource{corpus.RT()}, spring.Archives...),
+	})
+	return scenarios, nil
+}
+
+// buildStages indexes the per-stage accumulators.
+const (
+	stageCompile = iota
+	stageTaint
+	stageCPG
+	stageTotal
+	numBuildStages
+)
+
+var buildStageNames = [numBuildStages]string{"compile", "taint", "cpg", "total"}
+
+// RunBuild measures the cold pipeline's build stages (compile, taint,
+// cpg assembly — no search) over the full component corpus plus the
+// Spring scene at workers=1, runs times, reporting trimmed-mean ns/op
+// and the minimum Mallocs delta per stage. The cold path is what every
+// first-time analysis of an artifact version pays, so it is measured
+// cacheless and sequential — the configuration the seed constants were
+// recorded under.
+func RunBuild(runs int) (*BuildResult, error) {
+	if runs < 1 {
+		runs = 1
+	}
+	scenarios, err := buildScenarios()
+	if err != nil {
+		return nil, err
+	}
+
+	res := &BuildResult{
+		Corpus:          "components+Spring",
+		Scenarios:       len(scenarios),
+		GOMAXPROCS:      runtime.GOMAXPROCS(0),
+		Workers:         1,
+		SeedNsPerOp:     BuildSeedNsPerOp,
+		SeedAllocsPerOp: BuildSeedAllocsPerOp,
+	}
+
+	var (
+		runNs     [numBuildStages][]time.Duration
+		minAllocs [numBuildStages]int64
+	)
+	for run := 0; run < runs; run++ {
+		var ns [numBuildStages]time.Duration
+		var allocs [numBuildStages]int64
+		methods := 0
+		for _, sc := range scenarios {
+			var ms runtime.MemStats
+
+			runtime.ReadMemStats(&ms)
+			m0 := ms.Mallocs
+			t0 := time.Now()
+			prog, err := javasrc.CompileArchivesOpts(sc.archives, javasrc.CompileOptions{Workers: 1})
+			if err != nil {
+				return nil, fmt.Errorf("build bench %s: compile: %w", sc.name, err)
+			}
+			ns[stageCompile] += time.Since(t0)
+			runtime.ReadMemStats(&ms)
+			allocs[stageCompile] += int64(ms.Mallocs - m0)
+			methods += len(prog.Bodies)
+
+			m1 := ms.Mallocs
+			t1 := time.Now()
+			taintRes, err := taint.Analyze(prog, taint.Options{Workers: 1})
+			if err != nil {
+				return nil, fmt.Errorf("build bench %s: taint: %w", sc.name, err)
+			}
+			ns[stageTaint] += time.Since(t1)
+			runtime.ReadMemStats(&ms)
+			allocs[stageTaint] += int64(ms.Mallocs - m1)
+
+			m2 := ms.Mallocs
+			t2 := time.Now()
+			if _, err := cpg.BuildWithResult(prog, taintRes, cpg.Options{Workers: 1}); err != nil {
+				return nil, fmt.Errorf("build bench %s: cpg: %w", sc.name, err)
+			}
+			ns[stageCPG] += time.Since(t2)
+			runtime.ReadMemStats(&ms)
+			allocs[stageCPG] += int64(ms.Mallocs - m2)
+		}
+		ns[stageTotal] = ns[stageCompile] + ns[stageTaint] + ns[stageCPG]
+		allocs[stageTotal] = allocs[stageCompile] + allocs[stageTaint] + allocs[stageCPG]
+		res.Methods = methods
+		for s := 0; s < numBuildStages; s++ {
+			runNs[s] = append(runNs[s], ns[s])
+			if run == 0 || allocs[s] < minAllocs[s] {
+				minAllocs[s] = allocs[s]
+			}
+		}
+	}
+
+	for s := 0; s < numBuildStages; s++ {
+		res.Rows = append(res.Rows, BuildRow{
+			Stage:       buildStageNames[s],
+			NsPerOp:     int64(trimmedMean(runNs[s])),
+			AllocsPerOp: minAllocs[s],
+			Runs:        runNs[s],
+		})
+	}
+	total := res.Rows[stageTotal]
+	if total.NsPerOp > 0 {
+		res.SpeedupVsSeed = float64(res.SeedNsPerOp) / float64(total.NsPerOp)
+	}
+	if total.AllocsPerOp > 0 {
+		res.AllocRatioVsSeed = float64(res.SeedAllocsPerOp) / float64(total.AllocsPerOp)
+	}
+	return res, nil
+}
+
+// Format renders the stage table.
+func (r *BuildResult) Format() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "Cold build stages (corpus %s, %d scenarios, %d bodies/op, GOMAXPROCS=%d, workers=%d)\n",
+		r.Corpus, r.Scenarios, r.Methods, r.GOMAXPROCS, r.Workers)
+	fmt.Fprintf(&sb, "%-10s %14s %16s\n", "Stage", "ns/op", "allocs/op")
+	sb.WriteString(strings.Repeat("-", 44) + "\n")
+	for _, row := range r.Rows {
+		fmt.Fprintf(&sb, "%-10s %14s %16d\n",
+			row.Stage, time.Duration(row.NsPerOp).Round(time.Microsecond), row.AllocsPerOp)
+	}
+	fmt.Fprintf(&sb, "vs seed: %.2fx faster, %.2fx fewer allocs (seed %s, %d allocs)\n",
+		r.SpeedupVsSeed, r.AllocRatioVsSeed,
+		time.Duration(r.SeedNsPerOp).Round(time.Microsecond), r.SeedAllocsPerOp)
+	return sb.String()
+}
+
+// WriteJSON serializes the result (the BENCH_build.json artifact).
+func (r *BuildResult) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}
+
+// Row returns the named stage row (nil when absent) — the bench-build
+// gate reads "total" through this.
+func (r *BuildResult) Row(stage string) *BuildRow {
+	for i := range r.Rows {
+		if r.Rows[i].Stage == stage {
+			return &r.Rows[i]
+		}
+	}
+	return nil
+}

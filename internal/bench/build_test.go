@@ -1,0 +1,54 @@
+package bench
+
+import (
+	"os"
+	"testing"
+)
+
+// TestBuildBenchSmoke checks the experiment's correctness side on every
+// test run: all four stage rows exist, the workload is non-trivial, and
+// the allocation counters are populated. Ratio assertions live in
+// TestBuildGate.
+func TestBuildBenchSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-corpus cold build")
+	}
+	r, err := RunBuild(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{"compile", "taint", "cpg", "total"} {
+		row := r.Row(name)
+		if row == nil {
+			t.Fatalf("missing stage %q", name)
+		}
+		if row.NsPerOp <= 0 || row.AllocsPerOp <= 0 {
+			t.Errorf("stage %q: ns/op=%d allocs/op=%d, want both positive", name, row.NsPerOp, row.AllocsPerOp)
+		}
+	}
+	if r.Methods < 100 {
+		t.Errorf("corpus op analyzed %d bodies, want a real workload", r.Methods)
+	}
+}
+
+// TestBuildGate is the ratio gate behind `make bench-build`: at
+// GOMAXPROCS=1 workers=1, a cold full-corpus build must be ≥1.5x faster
+// and allocate ≥3x less than the recorded pre-fast-path seed. Wall-clock
+// assertions are load-sensitive, so the gate only arms when
+// TABBY_BENCH_GATE is set.
+func TestBuildGate(t *testing.T) {
+	if os.Getenv("TABBY_BENCH_GATE") == "" {
+		t.Skip("set TABBY_BENCH_GATE=1 (make bench-build) to run the ratio gate")
+	}
+	r, err := RunBuild(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Log("\n" + r.Format())
+	if r.SpeedupVsSeed < 1.5 {
+		t.Errorf("cold build speedup vs seed %.2fx, gate requires >= 1.5x", r.SpeedupVsSeed)
+	}
+	if r.AllocRatioVsSeed < 3 {
+		t.Errorf("cold build alloc ratio vs seed %.2fx, gate requires >= 3x", r.AllocRatioVsSeed)
+	}
+}

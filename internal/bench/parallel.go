@@ -27,10 +27,14 @@ type ParallelRow struct {
 // ParallelResult is the worker-scaling experiment output, serialized to
 // BENCH_parallel.json by cmd/tabby-bench.
 type ParallelResult struct {
-	Label      string        `json:"corpus"`
-	Scale      float64       `json:"scale"`
-	GOMAXPROCS int           `json:"gomaxprocs"`
-	Rows       []ParallelRow `json:"rows"`
+	Label      string  `json:"corpus"`
+	Scale      float64 `json:"scale"`
+	GOMAXPROCS int     `json:"gomaxprocs"`
+	// ExpectedChains is the number of gadget chains the synthetic corpus
+	// plants (one per complete class group). Every row's Chains must be at
+	// least this; RunParallel fails instead of recording a silent zero.
+	ExpectedChains int           `json:"expected_chains"`
+	Rows           []ParallelRow `json:"rows"`
 	// Deterministic is true when every worker count produced identical
 	// graph statistics and chain lists — the pipeline's contract.
 	Deterministic bool `json:"deterministic"`
@@ -38,7 +42,10 @@ type ParallelResult struct {
 
 // RunParallel measures pipeline wall-clock at each worker count over the
 // largest Table VIII synthetic corpus row, and cross-checks that the
-// output (graph stats + chains) is identical at every count.
+// output (graph stats + chains) is identical at every count. The corpus
+// plants one gadget chain per class group, so a run that detects fewer
+// chains than planted — zero in particular — is an error, not a row:
+// the bench must exercise taint→pathfinder end to end, not just compile.
 func RunParallel(scale float64, runs int, workers []int) (*ParallelResult, error) {
 	if runs < 1 {
 		runs = 1
@@ -52,12 +59,14 @@ func RunParallel(scale float64, runs int, workers []int) (*ParallelResult, error
 	if err != nil {
 		return nil, err
 	}
+	planted := corpus.SyntheticPlantedChains(spec, scale)
 
 	res := &ParallelResult{
-		Label:         spec.Label,
-		Scale:         scale,
-		GOMAXPROCS:    runtime.GOMAXPROCS(0),
-		Deterministic: true,
+		Label:          spec.Label,
+		Scale:          scale,
+		GOMAXPROCS:     runtime.GOMAXPROCS(0),
+		ExpectedChains: planted,
+		Deterministic:  true,
 	}
 	type signature struct {
 		stats  string
@@ -81,6 +90,10 @@ func RunParallel(scale float64, runs int, workers []int) (*ParallelResult, error
 			chains, _, _, err := engine.FindChains(g)
 			if err != nil {
 				return nil, fmt.Errorf("parallel bench workers=%d run %d: %w", w, i, err)
+			}
+			if len(chains) < planted {
+				return nil, fmt.Errorf("parallel bench workers=%d run %d: found %d chains, corpus plants %d — the pipeline is not exercising taint→pathfinder",
+					w, i, len(chains), planted)
 			}
 			row.Runs = append(row.Runs, time.Since(start))
 			if i == 0 {
@@ -122,8 +135,8 @@ func RunParallel(scale float64, runs int, workers []int) (*ParallelResult, error
 // Format renders the scaling table.
 func (r *ParallelResult) Format() string {
 	var sb strings.Builder
-	fmt.Fprintf(&sb, "Parallel pipeline scaling (corpus %s, scale %.2f, GOMAXPROCS=%d)\n",
-		r.Label, r.Scale, r.GOMAXPROCS)
+	fmt.Fprintf(&sb, "Parallel pipeline scaling (corpus %s, scale %.2f, GOMAXPROCS=%d, planted chains %d)\n",
+		r.Label, r.Scale, r.GOMAXPROCS, r.ExpectedChains)
 	fmt.Fprintf(&sb, "%-8s %14s %10s %8s\n", "Workers", "Time", "Speedup", "Chains")
 	sb.WriteString(strings.Repeat("-", 44) + "\n")
 	for _, row := range r.Rows {

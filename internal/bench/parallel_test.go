@@ -1,0 +1,36 @@
+package bench
+
+import (
+	"testing"
+
+	"tabby/internal/corpus"
+)
+
+// TestRunParallelFindsPlantedChains pins the silent-zero fix: the
+// synthetic corpus plants one gadget chain per class group, and
+// RunParallel must report at least that many on every row instead of
+// recording "chains": 0 — proof the bench exercises taint→pathfinder,
+// not just compile.
+func TestRunParallelFindsPlantedChains(t *testing.T) {
+	const scale = 0.002
+	specs := corpus.SyntheticSpecs()
+	planted := corpus.SyntheticPlantedChains(specs[len(specs)-1], scale)
+	if planted == 0 {
+		t.Fatal("generator must always plant at least one chain")
+	}
+	res, err := RunParallel(scale, 1, []int{1, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.ExpectedChains != planted {
+		t.Errorf("ExpectedChains = %d, want %d", res.ExpectedChains, planted)
+	}
+	for _, row := range res.Rows {
+		if row.Chains < planted {
+			t.Errorf("workers=%d found %d chains, corpus plants %d", row.Workers, row.Chains, planted)
+		}
+	}
+	if !res.Deterministic {
+		t.Error("output differed across worker counts")
+	}
+}

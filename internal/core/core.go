@@ -16,6 +16,7 @@ import (
 	"tabby/internal/jimple"
 	"tabby/internal/parallel"
 	"tabby/internal/pathfinder"
+	"tabby/internal/profiling"
 	"tabby/internal/searchindex"
 	"tabby/internal/sinks"
 	"tabby/internal/store"
@@ -84,7 +85,11 @@ type Report struct {
 // AnalyzeSources compiles the archives and runs the full pipeline.
 func (e *Engine) AnalyzeSources(archives []javasrc.ArchiveSource) (*Report, error) {
 	start := time.Now()
-	prog, err := javasrc.CompileArchivesOpts(archives, javasrc.CompileOptions{Workers: e.opts.Workers})
+	var prog *jimple.Program
+	var err error
+	profiling.Stage("compile", func() {
+		prog, err = javasrc.CompileArchivesOpts(archives, javasrc.CompileOptions{Workers: e.opts.Workers})
+	})
 	if err != nil {
 		return nil, fmt.Errorf("tabby: compile: %w", err)
 	}
@@ -137,18 +142,21 @@ func (e *Engine) BuildCPG(prog *jimple.Program) (*cpg.Graph, time.Duration, erro
 	// Warm the compiled search index while the graph is hot in cache, so
 	// its one-time compilation cost lands in the build stage rather than
 	// inside the first search's timing.
-	searchindex.For(g.DB)
+	profiling.Stage("cpg", func() { searchindex.For(g.DB) })
 	return g, time.Since(start), nil
 }
 
 // FindChains runs the path finder over a built graph.
 func (e *Engine) FindChains(g *cpg.Graph) (chains []pathfinder.Chain, truncated bool, elapsed time.Duration, err error) {
 	start := time.Now()
-	res, err := pathfinder.Find(g.DB, pathfinder.Options{
-		MaxDepth:    e.opts.MaxDepth,
-		MaxChains:   e.opts.MaxChains,
-		VisitBudget: e.opts.VisitBudget,
-		Workers:     e.opts.Workers,
+	var res *pathfinder.Result
+	profiling.Stage("search", func() {
+		res, err = pathfinder.Find(g.DB, pathfinder.Options{
+			MaxDepth:    e.opts.MaxDepth,
+			MaxChains:   e.opts.MaxChains,
+			VisitBudget: e.opts.VisitBudget,
+			Workers:     e.opts.Workers,
+		})
 	})
 	if err != nil {
 		return nil, false, 0, fmt.Errorf("tabby: find chains: %w", err)
@@ -220,11 +228,14 @@ func LoadSnapshot(r io.Reader) (*store.Snapshot, error) {
 // engine's depth/chain/budget/worker options apply exactly as in
 // FindChains, so a loaded snapshot yields byte-identical results.
 func (e *Engine) FindChainsIn(db *graphdb.DB) (chains []pathfinder.Chain, truncated bool, err error) {
-	res, err := pathfinder.Find(db, pathfinder.Options{
-		MaxDepth:    e.opts.MaxDepth,
-		MaxChains:   e.opts.MaxChains,
-		VisitBudget: e.opts.VisitBudget,
-		Workers:     e.opts.Workers,
+	var res *pathfinder.Result
+	profiling.Stage("search", func() {
+		res, err = pathfinder.Find(db, pathfinder.Options{
+			MaxDepth:    e.opts.MaxDepth,
+			MaxChains:   e.opts.MaxChains,
+			VisitBudget: e.opts.VisitBudget,
+			Workers:     e.opts.Workers,
+		})
 	})
 	if err != nil {
 		return nil, false, fmt.Errorf("tabby: find chains: %w", err)

@@ -21,6 +21,40 @@ type SyntheticSpec struct {
 	PaperMinutes  float64
 }
 
+// groupSize is how many classes share one interface group in the
+// synthetic corpus.
+const groupSize = 20
+
+// sinkClassIdx is the in-group class index whose m0 fires the planted
+// sink. The planted chain is readObject (class 0) → m0 ring through
+// classes 1..sinkClassIdx → Runtime.exec: sinkClassIdx+2 nodes, chosen
+// to sit comfortably under the path finder's default MaxDepth of 12.
+const sinkClassIdx = 5
+
+// runtimeClass is the phantom sink owner the generator plants chains
+// against (Table VII: java.lang.Runtime.exec, TC {1}).
+const runtimeClass = "java.lang.Runtime"
+
+// SyntheticPlantedChains reports how many gadget chains GenerateSynthetic
+// plants for a spec at a scale: one per group that reaches class index
+// sinkClassIdx. A full pipeline run over the generated corpus must detect
+// at least this many chains; zero planted chains is impossible (the
+// generator floors at one complete group).
+func SyntheticPlantedChains(spec SyntheticSpec, scale float64) int {
+	if scale <= 0 {
+		scale = 1
+	}
+	numClasses := int(float64(spec.PaperClasses) * scale)
+	if numClasses < 20 {
+		numClasses = 20
+	}
+	planted := numClasses / groupSize
+	if numClasses%groupSize > sinkClassIdx {
+		planted++
+	}
+	return planted
+}
+
 // SyntheticSpecs returns the seven rows of Table VIII.
 func SyntheticSpecs() []SyntheticSpec {
 	return []SyntheticSpec{
@@ -40,7 +74,12 @@ func SyntheticSpecs() []SyntheticSpec {
 // groups share an interface, half the classes override a group method
 // (ALIAS edges), every method calls two deterministic peers with
 // controllable arguments (CALL edges), and one class per group is a
-// serializable readObject source. Generation is deterministic.
+// serializable readObject source. The last class of every complete
+// group fires Runtime.exec with its (controllable) parameter, so each
+// complete group's readObject→m0 ring is a real gadget chain — a
+// pipeline run over the corpus must find at least
+// SyntheticPlantedChains of them, which keeps end-to-end benches from
+// silently measuring a chainless search. Generation is deterministic.
 func GenerateSynthetic(spec SyntheticSpec, scale float64) (*jimple.Program, error) {
 	if scale <= 0 {
 		scale = 1
@@ -54,8 +93,8 @@ func GenerateSynthetic(spec SyntheticSpec, scale float64) (*jimple.Program, erro
 		methodsPerClass = 1
 	}
 
-	const groupSize = 20
 	objParams := []java.Type{java.ObjectType}
+	runtimeType := java.ClassType(runtimeClass)
 
 	classes := make([]*java.Class, 0, numClasses+numClasses/groupSize+1)
 	numGroups := (numClasses + groupSize - 1) / groupSize
@@ -149,6 +188,13 @@ func GenerateSynthetic(spec SyntheticSpec, scale float64) (*jimple.Program, erro
 				case "shared":
 					bb.Return(bb.Param(0))
 				default:
+					if m.Name == "m0" && i == sinkClassIdx {
+						// The chain planted by readObject ends here, in a
+						// real Table VII sink with a controllable arg.
+						rt := bb.Temp(runtimeType)
+						bb.AssignInvokeStatic(rt, runtimeClass, "getRuntime", nil, runtimeType)
+						bb.InvokeVirtual(rt, runtimeClass, "exec", objParams, java.ObjectType, bb.Param(0))
+					}
 					ret := bb.Temp(java.ObjectType)
 					bb.AssignInvokeVirtual(ret, bb.This(), nextClass, m.Name, objParams, java.ObjectType, bb.Param(0))
 					if hashString(m.Name+c.Name)%3 == 0 {

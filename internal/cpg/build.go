@@ -7,6 +7,7 @@ import (
 	"tabby/internal/java"
 	"tabby/internal/jimple"
 	"tabby/internal/parallel"
+	"tabby/internal/profiling"
 	"tabby/internal/sinks"
 	"tabby/internal/sortutil"
 	"tabby/internal/taint"
@@ -111,16 +112,20 @@ func Build(prog *jimple.Program, opts Options) (*Graph, error) {
 		// precomputation overlaps the controllability analysis.
 		done := make(chan error, 1)
 		go func() {
-			res, err := taint.Analyze(prog, opts.Taint)
-			b.g.Taint = res
-			done <- err
+			profiling.Stage("taint", func() {
+				res, err := taint.Analyze(prog, opts.Taint)
+				b.g.Taint = res
+				done <- err
+			})
 		}()
-		b.precomputeClassProps()
+		profiling.Stage("cpg", b.precomputeClassProps)
 		if err := <-done; err != nil {
 			return nil, fmt.Errorf("cpg: %w", err)
 		}
 	} else {
-		res, err := taint.Analyze(prog, opts.Taint)
+		var res *taint.Result
+		var err error
+		profiling.Stage("taint", func() { res, err = taint.Analyze(prog, opts.Taint) })
 		if err != nil {
 			return nil, fmt.Errorf("cpg: %w", err)
 		}
@@ -172,21 +177,37 @@ func newBuilder(prog *jimple.Program, opts Options) *builder {
 }
 
 func (b *builder) finish() (*Graph, error) {
-	b.precomputeMethodWork()
-	if err := b.buildORG(); err != nil {
-		return nil, fmt.Errorf("cpg: ORG: %w", err)
-	}
-	if err := b.buildPCG(); err != nil {
-		return nil, fmt.Errorf("cpg: PCG: %w", err)
-	}
-	if err := b.buildMAG(); err != nil {
-		return nil, fmt.Errorf("cpg: MAG: %w", err)
-	}
-	if err := b.batch.Flush(); err != nil {
-		return nil, fmt.Errorf("cpg: flush: %w", err)
+	var err error
+	profiling.Stage("cpg", func() {
+		b.precomputeMethodWork()
+		if err = b.buildORG(); err != nil {
+			err = fmt.Errorf("cpg: ORG: %w", err)
+			return
+		}
+		if err = b.buildPCG(); err != nil {
+			err = fmt.Errorf("cpg: PCG: %w", err)
+			return
+		}
+		if err = b.buildMAG(); err != nil {
+			err = fmt.Errorf("cpg: MAG: %w", err)
+			return
+		}
+		if err = b.batch.Flush(); err != nil {
+			err = fmt.Errorf("cpg: flush: %w", err)
+		}
+	})
+	if err != nil {
+		return nil, err
 	}
 	return b.g, nil
 }
+
+// Shared label slices: batch creations transfer ownership without
+// copying, and graphdb never mutates a node's label slice.
+var (
+	classLabels  = []string{LabelClass}
+	methodLabels = []string{LabelMethod}
+)
 
 type builder struct {
 	g     *Graph
@@ -200,6 +221,12 @@ type builder struct {
 	// method's MAG targets.
 	callTargets map[java.MethodKey][]*java.Method
 	aliasSupers map[java.MethodKey][]*java.Method
+	// nodeByIID indexes method nodes by the method key's process-wide
+	// intern id (internal/intern), so the PCG/MAG passes — which revisit
+	// every method once per call/alias edge — resolve nodes with a slice
+	// index instead of a string-keyed map probe. 0 means "no node yet"
+	// (graphdb IDs start at 1).
+	nodeByIID []graphdb.ID
 }
 
 // precomputeClassProps fills classProps for every known class
@@ -316,7 +343,9 @@ func (b *builder) classNodeFor(name string) graphdb.ID {
 	if !ok {
 		props = b.computeClassProps(name)
 	}
-	id := b.batch.CreateNode([]string{LabelClass}, props)
+	// Props are computed fresh per class and never touched after this
+	// point, so the batch takes them un-cloned.
+	id := b.batch.CreateNodeOwned(classLabels, props)
 	b.g.classNode[name] = id
 	b.g.Stats.ClassNodes++
 	return id
@@ -356,21 +385,40 @@ func (b *builder) computeMethodProps(m *java.Method) graphdb.Props {
 // source/sink status, the Trigger_Condition and the Action summary, and
 // linking it to its class with HAS.
 func (b *builder) methodNodeFor(m *java.Method) (graphdb.ID, error) {
+	iid := m.InternID()
+	if int(iid) < len(b.nodeByIID) {
+		if id := b.nodeByIID[iid]; id != 0 {
+			return id, nil
+		}
+	}
 	key := m.Key()
 	if id, ok := b.g.methodNode[key]; ok {
+		// Same key reached through a distinct phantom Method value; cache
+		// its intern id too so the next edge takes the fast path.
+		b.recordIID(iid, id)
 		return id, nil
 	}
 	props, ok := b.methodProps[key]
 	if !ok { // phantom callee discovered during PCG assembly
 		props = b.computeMethodProps(m)
 	}
-	id := b.batch.CreateNode([]string{LabelMethod}, props)
+	id := b.batch.CreateNodeOwned(methodLabels, props)
 	b.g.methodNode[key] = id
 	b.g.methodKey[id] = key
+	b.recordIID(iid, id)
 	b.g.Stats.MethodNodes++
 	b.batch.CreateRel(RelHas, b.classNodeFor(m.ClassName), id, nil)
 	b.g.Stats.HasEdges++
 	return id, nil
+}
+
+func (b *builder) recordIID(iid int32, id graphdb.ID) {
+	for int(iid) >= len(b.nodeByIID) {
+		grown := make([]graphdb.ID, int(iid)+1+len(b.nodeByIID)/2)
+		copy(grown, b.nodeByIID)
+		b.nodeByIID = grown
+	}
+	b.nodeByIID[iid] = id
 }
 
 // phantomMethodFor materializes a node for a callee that resolves to no
@@ -419,13 +467,12 @@ func (b *builder) buildPCG() error {
 				}
 				calleeID = id
 			}
-			props := graphdb.Props{
+			b.batch.CreateRelOwned(RelCall, callerID, calleeID, graphdb.Props{
 				PropPollutedPosition: call.PP.Ints(),
 				PropInvokeKind:       call.Kind.String(),
 				PropStmtIndex:        call.StmtIndex,
 				PropInvokeClass:      call.CalleeClass,
-			}
-			b.batch.CreateRel(RelCall, callerID, calleeID, props)
+			})
 			b.g.Stats.CallEdges++
 		}
 	}

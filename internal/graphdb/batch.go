@@ -70,16 +70,23 @@ func (b *Batch) allocLocked() ID {
 	return id
 }
 
-// CreateNode buffers a node and returns its (already final) ID.
+// CreateNode buffers a node and returns its (already final) ID. The
+// labels slice and props map are deep-copied, so the caller may keep
+// mutating them.
 func (b *Batch) CreateNode(labels []string, props Props) ID {
+	return b.CreateNodeOwned(append([]string(nil), labels...), props.clone())
+}
+
+// CreateNodeOwned is CreateNode with ownership transfer: the batch takes
+// the labels slice and props map as-is, without cloning. The caller must
+// never touch either again. Bulk builders (the CPG batch fill) construct
+// fresh property maps per element anyway; handing them over un-cloned
+// removes one map copy per node.
+func (b *Batch) CreateNodeOwned(labels []string, props Props) ID {
 	b.mu.Lock()
 	defer b.mu.Unlock()
 	id := b.allocLocked()
-	b.nodes = append(b.nodes, &Node{
-		ID:     id,
-		Labels: append([]string(nil), labels...),
-		Props:  props.clone(),
-	})
+	b.nodes = append(b.nodes, &Node{ID: id, Labels: labels, Props: props})
 	b.local[id] = true
 	return id
 }
@@ -87,13 +94,19 @@ func (b *Batch) CreateNode(labels []string, props Props) ID {
 // CreateRel buffers a relationship and returns its ID. Endpoints may be
 // nodes already in the store or nodes buffered in this batch; they are
 // validated at Flush time, which fails without applying anything if an
-// endpoint is unknown.
+// endpoint is unknown. The props map is deep-copied.
 func (b *Batch) CreateRel(relType string, start, end ID, props Props) ID {
+	return b.CreateRelOwned(relType, start, end, props.clone())
+}
+
+// CreateRelOwned is CreateRel with ownership transfer of the props map
+// (see CreateNodeOwned).
+func (b *Batch) CreateRelOwned(relType string, start, end ID, props Props) ID {
 	b.mu.Lock()
 	defer b.mu.Unlock()
 	id := b.allocLocked()
 	b.rels = append(b.rels, &Rel{
-		ID: id, Type: relType, Start: start, End: end, Props: props.clone(),
+		ID: id, Type: relType, Start: start, End: end, Props: props,
 	})
 	return id
 }

@@ -1,0 +1,70 @@
+// Package intern provides process-wide string interning with dense int32
+// identities. The cold pipeline's inner loops (taint scheduling, CPG
+// batch assembly) key their hot tables by these ids instead of re-hashing
+// method-key strings: an id is assigned once per distinct string for the
+// lifetime of the process, so id-indexed slices replace string-keyed maps
+// on every later use of the same key.
+package intern
+
+import "sync"
+
+// Table interns strings to dense int32 ids with reverse lookup. The zero
+// Table is not ready for use; call NewTable. All methods are safe for
+// concurrent use. Ids are assigned contiguously from 0 in first-use
+// order, so they are suitable as slice indices but are NOT stable across
+// processes — persist strings, never ids.
+type Table struct {
+	mu   sync.RWMutex
+	ids  map[string]int32
+	strs []string
+}
+
+// NewTable creates an empty intern table.
+func NewTable() *Table {
+	return &Table{ids: make(map[string]int32)}
+}
+
+// ID returns the dense id for s, assigning the next id on first use.
+func (t *Table) ID(s string) int32 {
+	t.mu.RLock()
+	id, ok := t.ids[s]
+	t.mu.RUnlock()
+	if ok {
+		return id
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if id, ok := t.ids[s]; ok {
+		return id
+	}
+	id = int32(len(t.strs))
+	t.ids[s] = id
+	t.strs = append(t.strs, s)
+	return id
+}
+
+// Lookup returns the id for s without assigning one.
+func (t *Table) Lookup(s string) (int32, bool) {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	id, ok := t.ids[s]
+	return id, ok
+}
+
+// Str returns the string for a previously assigned id.
+func (t *Table) Str(id int32) string {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return t.strs[id]
+}
+
+// Len returns the number of interned strings.
+func (t *Table) Len() int {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return len(t.strs)
+}
+
+// Methods is the process-wide method-key table: every java.MethodKey the
+// analysis touches is interned here exactly once.
+var Methods = NewTable()

@@ -1,0 +1,78 @@
+package intern
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+func TestTableDenseIDs(t *testing.T) {
+	tab := NewTable()
+	if tab.Len() != 0 {
+		t.Fatalf("new table Len = %d, want 0", tab.Len())
+	}
+	keys := []string{"a.B#c()", "a.B#d()", "x.Y#z(int)"}
+	for i, k := range keys {
+		if id := tab.ID(k); id != int32(i) {
+			t.Fatalf("ID(%q) = %d, want %d (first-use order)", k, id, i)
+		}
+	}
+	// Re-interning is stable and assigns nothing new.
+	for i, k := range keys {
+		if id := tab.ID(k); id != int32(i) {
+			t.Fatalf("re-ID(%q) = %d, want %d", k, id, i)
+		}
+	}
+	if tab.Len() != len(keys) {
+		t.Fatalf("Len = %d, want %d", tab.Len(), len(keys))
+	}
+	for i, k := range keys {
+		if got := tab.Str(int32(i)); got != k {
+			t.Fatalf("Str(%d) = %q, want %q", i, got, k)
+		}
+	}
+	if id, ok := tab.Lookup("a.B#d()"); !ok || id != 1 {
+		t.Fatalf("Lookup hit = (%d, %v), want (1, true)", id, ok)
+	}
+	if _, ok := tab.Lookup("never.Seen#()"); ok {
+		t.Fatal("Lookup of unseen key reported ok; it must not assign")
+	}
+	if tab.Len() != len(keys) {
+		t.Fatalf("Lookup assigned an id: Len = %d, want %d", tab.Len(), len(keys))
+	}
+}
+
+func TestTableConcurrentInterning(t *testing.T) {
+	tab := NewTable()
+	const goroutines, perG = 8, 200
+	var wg sync.WaitGroup
+	ids := make([][]int32, goroutines)
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			out := make([]int32, perG)
+			for i := 0; i < perG; i++ {
+				// All goroutines intern the same key set, racing on first use.
+				out[i] = tab.ID(fmt.Sprintf("m#%d", i))
+			}
+			ids[g] = out
+		}(g)
+	}
+	wg.Wait()
+	if tab.Len() != perG {
+		t.Fatalf("Len = %d, want %d distinct keys", tab.Len(), perG)
+	}
+	for g := 1; g < goroutines; g++ {
+		for i := 0; i < perG; i++ {
+			if ids[g][i] != ids[0][i] {
+				t.Fatalf("goroutine %d got ID %d for key %d, goroutine 0 got %d", g, ids[g][i], i, ids[0][i])
+			}
+		}
+	}
+	for i := 0; i < perG; i++ {
+		if got, want := tab.Str(ids[0][i]), fmt.Sprintf("m#%d", i); got != want {
+			t.Fatalf("Str(ids[%d]) = %q, want %q", i, got, want)
+		}
+	}
+}

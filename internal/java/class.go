@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+
+	"tabby/internal/intern"
 )
 
 // Modifier is a bit set of Java declaration modifiers.
@@ -71,6 +73,17 @@ type Method struct {
 	Params    []Type
 	Return    Type
 	Modifiers Modifier
+
+	// key/subSig/iid cache the method's identity strings and its
+	// process-wide intern id (+1; 0 means uncached). They are filled once
+	// by AddMethod — the single construction path of every pipeline-built
+	// method — so the hot resolution loops never rebuild key strings.
+	// Directly-constructed Methods that bypassed AddMethod fall back to
+	// computing on each call WITHOUT storing, keeping reads race-free
+	// under concurrent analysis.
+	key    MethodKey
+	subSig string
+	iid    int32
 }
 
 // MethodKey uniquely identifies a method: "class#name(paramTypes)".
@@ -78,12 +91,66 @@ type MethodKey string
 
 // Key returns the canonical identity of the method.
 func (m *Method) Key() MethodKey {
+	if m.key != "" {
+		return m.key
+	}
 	return MakeMethodKey(m.ClassName, m.Name, m.Params)
 }
 
-// MakeMethodKey builds the canonical method identity string.
+// InternID returns the dense process-wide id of the method's key (see
+// internal/intern), interning it on first use.
+func (m *Method) InternID() int32 {
+	if m.iid != 0 {
+		return m.iid - 1
+	}
+	return intern.Methods.ID(string(m.Key()))
+}
+
+// cacheIdentity fills the method's identity caches. Callers must own the
+// method exclusively (construction time).
+func (m *Method) cacheIdentity() {
+	m.key = MakeMethodKey(m.ClassName, m.Name, m.Params)
+	m.subSig = string(m.key)[len(m.ClassName)+1:]
+	m.iid = intern.Methods.ID(string(m.key)) + 1
+}
+
+func typeLen(t Type) int {
+	switch t.Kind {
+	case KindVoid, KindLong, KindChar:
+		return 4
+	case KindBoolean:
+		return 7
+	case KindInt:
+		return 3
+	case KindDouble:
+		return 6
+	case KindClass:
+		return len(t.Name)
+	case KindArray:
+		return typeLen(*t.Elem) + 2
+	default:
+		return 16
+	}
+}
+
+func writeType(sb *strings.Builder, t Type) {
+	if t.Kind == KindArray {
+		writeType(sb, *t.Elem)
+		sb.WriteString("[]")
+		return
+	}
+	sb.WriteString(t.String()) // non-array String() never allocates
+}
+
+// MakeMethodKey builds the canonical method identity string in a single
+// allocation.
 func MakeMethodKey(class, name string, params []Type) MethodKey {
+	n := len(class) + len(name) + 2 + len(params)
+	for _, p := range params {
+		n += typeLen(p)
+	}
 	var sb strings.Builder
+	sb.Grow(n)
 	sb.WriteString(class)
 	sb.WriteByte('#')
 	sb.WriteString(name)
@@ -92,7 +159,7 @@ func MakeMethodKey(class, name string, params []Type) MethodKey {
 		if i > 0 {
 			sb.WriteByte(',')
 		}
-		sb.WriteString(p.String())
+		writeType(&sb, p)
 	}
 	sb.WriteByte(')')
 	return MethodKey(sb.String())
@@ -103,6 +170,9 @@ func MakeMethodKey(class, name string, params []Type) MethodKey {
 // in source; we follow suit, matching the paper's alias definition of
 // "same method name … and number of method parameters").
 func (m *Method) SubSignature() string {
+	if m.subSig != "" {
+		return m.subSig
+	}
 	k := string(MakeMethodKey("", m.Name, m.Params))
 	return strings.TrimPrefix(k, "#")
 }
@@ -128,6 +198,11 @@ type Class struct {
 	Methods    []*Method
 	Archive    string // name of the archive ("jar") the class came from
 	Phantom    bool   // true when the class was referenced but never defined
+
+	// bySub indexes Methods by sub-signature. AddMethod maintains it; a
+	// class whose Methods slice was populated directly is detected by the
+	// length mismatch and served by linear scan instead.
+	bySub map[string]*Method
 }
 
 // IsInterface reports whether the declaration is an interface.
@@ -162,6 +237,9 @@ func (c *Class) FieldByName(name string) *Field {
 // MethodBySubSignature returns the declared method with the given
 // sub-signature, or nil.
 func (c *Class) MethodBySubSignature(sub string) *Method {
+	if len(c.bySub) == len(c.Methods) {
+		return c.bySub[sub]
+	}
 	for _, m := range c.Methods {
 		if m.SubSignature() == sub {
 			return m
@@ -181,10 +259,19 @@ func (c *Class) MethodsByName(name string) []*Method {
 	return out
 }
 
-// AddMethod appends a method declaration, fixing up its ClassName.
+// AddMethod appends a method declaration, fixing up its ClassName and
+// caching the method's identity strings, intern id, and the class's
+// sub-signature index.
 func (c *Class) AddMethod(m *Method) *Method {
 	m.ClassName = c.Name
+	m.cacheIdentity()
 	c.Methods = append(c.Methods, m)
+	if c.bySub == nil {
+		c.bySub = make(map[string]*Method, 8)
+	}
+	if _, dup := c.bySub[m.subSig]; !dup {
+		c.bySub[m.subSig] = m
+	}
 	return m
 }
 

@@ -3,6 +3,7 @@ package java
 import (
 	"fmt"
 	"sort"
+	"strings"
 	"sync"
 )
 
@@ -343,15 +344,18 @@ func (h *Hierarchy) AliasSupers(m *Method) []*Method {
 	return out
 }
 
-// MethodByKey parses a MethodKey and resolves it to the declared method.
+// MethodByKey resolves a MethodKey to the declared method. Keys built by
+// MakeMethodKey are class + "#" + sub-signature, so the lookup is two
+// slices and a map probe — no parsing.
 func (h *Hierarchy) MethodByKey(key MethodKey) *Method {
-	class, name, params, err := SplitMethodKey(key)
-	if err != nil {
+	s := string(key)
+	hash := strings.IndexByte(s, '#')
+	if hash < 0 {
 		return nil
 	}
-	c := h.classes[class]
+	c := h.classes[s[:hash]]
 	if c == nil {
 		return nil
 	}
-	return c.MethodBySubSignature(string(MakeMethodKey("", name, params))[1:])
+	return c.MethodBySubSignature(s[hash+1:])
 }

@@ -138,13 +138,14 @@ func CompileArchivesCached(archives []ArchiveSource, copts CompileOptions, cache
 	if cache != nil {
 		declHash = declSetHash(declared)
 	}
+	decls := indexDeclared(declared)
 	built, err := parallel.MapErr(copts.Workers, units, func(_ int, pu parsedUnit) (*skeletonEntry, error) {
 		if cache != nil {
 			if e, ok := cache.skeletons[pu.fp+"|"+declHash]; ok {
 				return e, nil
 			}
 		}
-		res := newResolver(pu.unit, declared)
+		res := newResolver(pu.unit, decls)
 		e := &skeletonEntry{resolver: res}
 		for _, td := range pu.unit.Types {
 			c, err := buildClassSkeleton(pu.unit, td, res)

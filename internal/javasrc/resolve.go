@@ -25,20 +25,43 @@ var _javaLang = map[string]string{
 	"UnsupportedOperationException": "java.lang.UnsupportedOperationException",
 }
 
-// resolver resolves simple type names within one compilation unit.
-type resolver struct {
-	unit     *Unit
-	imports  map[string]string // simple -> fqcn
-	declared map[string]bool   // all fqcns declared across the source set
-	pkgOf    map[string]string // simple name -> fqcn for same-package types
+// declIndex groups every declared class name by package so each unit's
+// resolver binds its same-package table with one map probe. Building it
+// once per compile replaces the per-unit scan over all declared classes
+// (O(units × classes) across a compile) that newResolver used to do.
+type declIndex struct {
+	byPkg map[string]map[string]string // package -> simple name -> fqcn
 }
 
-func newResolver(unit *Unit, declared map[string]bool) *resolver {
+func indexDeclared(declared map[string]bool) *declIndex {
+	idx := &declIndex{byPkg: make(map[string]map[string]string)}
+	for fqcn := range declared {
+		pkg, simple := "", fqcn
+		if i := strings.LastIndexByte(fqcn, '.'); i >= 0 {
+			pkg, simple = fqcn[:i], fqcn[i+1:]
+		}
+		m := idx.byPkg[pkg]
+		if m == nil {
+			m = make(map[string]string)
+			idx.byPkg[pkg] = m
+		}
+		m[simple] = fqcn
+	}
+	return idx
+}
+
+// resolver resolves simple type names within one compilation unit.
+type resolver struct {
+	unit    *Unit
+	imports map[string]string // simple -> fqcn
+	pkgOf   map[string]string // simple name -> fqcn for same-package types (shared, read-only)
+}
+
+func newResolver(unit *Unit, decls *declIndex) *resolver {
 	r := &resolver{
-		unit:     unit,
-		imports:  make(map[string]string, len(unit.Imports)),
-		declared: declared,
-		pkgOf:    make(map[string]string),
+		unit:    unit,
+		imports: make(map[string]string, len(unit.Imports)),
+		pkgOf:   decls.byPkg[unit.Package],
 	}
 	for _, imp := range unit.Imports {
 		simple := imp
@@ -46,18 +69,6 @@ func newResolver(unit *Unit, declared map[string]bool) *resolver {
 			simple = imp[i+1:]
 		}
 		r.imports[simple] = imp
-	}
-	prefix := ""
-	if unit.Package != "" {
-		prefix = unit.Package + "."
-	}
-	for fqcn := range declared {
-		if strings.HasPrefix(fqcn, prefix) {
-			rest := fqcn[len(prefix):]
-			if !strings.ContainsRune(rest, '.') {
-				r.pkgOf[rest] = fqcn
-			}
-		}
 	}
 	return r
 }

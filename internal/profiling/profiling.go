@@ -6,6 +6,7 @@
 package profiling
 
 import (
+	"context"
 	"fmt"
 	"os"
 	"runtime"
@@ -46,4 +47,17 @@ func Start(cpuPath, memPath string) (stop func(), err error) {
 			}
 		}
 	}, nil
+}
+
+// Stage runs fn with the pprof label stage=name attached to the current
+// goroutine — and inherited by every goroutine fn spawns, so a parallel
+// stage's workers are labeled too. CPU profiles taken with -cpuprofile
+// then attribute samples per pipeline stage:
+//
+//	go tool pprof -tagfocus stage=taint cpu.out   # only the fixpoint
+//	go tool pprof -tags cpu.out                   # per-stage totals
+//
+// The pipeline labels its stages compile, taint, cpg, and search.
+func Stage(name string, fn func()) {
+	pprof.Do(context.Background(), pprof.Labels("stage", name), func(context.Context) { fn() })
 }

@@ -144,26 +144,23 @@ func optionsTag(opts Options) string {
 
 // methodFingerprints computes each method's own fingerprint: the body
 // text, the analysis options, and — per call site — which callee summary
-// calleeAction will consult ("c"+key when a resolvable body exists,
+// calleeSummary will consult ("c"+key when a resolvable body exists,
 // opaque otherwise). Recording the resolution captures every hierarchy
 // effect the analysis can observe, including a callee flipping between
-// modeled and phantom.
+// modeled and phantom. The dependency scan already resolved every site,
+// so this only replays dep.sites — the emitted byte stream is unchanged.
 func methodFingerprints(prog *jimple.Program, opts Options, keys []java.MethodKey, dep *depGraph, cache *SummaryCache) []string {
 	tag := optionsTag(opts)
-	return parallel.Map(opts.Workers, keys, func(_ int, key java.MethodKey) string {
+	return parallel.Map(opts.Workers, keys, func(i int, key java.MethodKey) string {
 		body := prog.Body(key)
 		h := sha256.New()
 		h.Write([]byte("tabby-method\x00" + tag + "\x00"))
 		h.Write([]byte(cache.textFP(body)))
 		if !opts.DisableInterprocedural {
-			for idx, st := range body.Stmts {
-				inv := invokeOf(st)
-				if inv == nil || inv.Kind == jimple.InvokeDynamic {
-					continue
-				}
-				h.Write([]byte(strconv.Itoa(idx)))
-				if m := dep.resolve.method(inv.Class, inv.SubSignature()); m != nil && prog.Body(m.Key()) != nil {
-					h.Write([]byte(":c" + string(m.Key()) + "\x00"))
+			for _, s := range dep.sites[i] {
+				h.Write([]byte(strconv.Itoa(int(s.stmt))))
+				if s.target >= 0 {
+					h.Write([]byte(":c" + string(keys[s.target]) + "\x00"))
 				} else {
 					h.Write([]byte(":o\x00"))
 				}

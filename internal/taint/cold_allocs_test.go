@@ -1,0 +1,47 @@
+package taint
+
+import (
+	"testing"
+
+	"tabby/internal/corpus"
+	"tabby/internal/javasrc"
+)
+
+// TestColdBuildAllocs gates the slot-indexed environment's allocation
+// budget (mirroring pathfinder's TestSteadyStateAllocs): one cold,
+// cacheless Analyze over a mid-size real component must stay under a
+// fixed allocs/op ceiling. The pre-fast-path map-keyed environments
+// allocated several times this much on the same corpus, so a per-visit
+// map or string key sneaking back into the fixpoint loop trips this
+// immediately.
+func TestColdBuildAllocs(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full component cold build")
+	}
+	comp, err := corpus.ComponentByName("commons-collections(3.2.1)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	archives := append([]javasrc.ArchiveSource{corpus.RT()}, comp.Archives...)
+	prog, err := javasrc.CompileArchivesOpts(archives, javasrc.CompileOptions{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Analyze(prog, Options{Workers: 1}); err != nil {
+		t.Fatal(err)
+	}
+	res := testing.Benchmark(func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := Analyze(prog, Options{Workers: 1}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	// Measured ~11.9k allocs/op over 323 bodies with the slot-indexed
+	// envs (the map-keyed envs sat several-fold higher); 1.5x headroom.
+	const ceiling = 18_000
+	if allocs := res.AllocsPerOp(); allocs > ceiling {
+		t.Errorf("cold Analyze allocates %d objects/op over %d bodies, ceiling %d",
+			res.AllocsPerOp(), len(prog.Bodies), ceiling)
+	}
+}

@@ -1,66 +1,230 @@
 package taint
 
 import (
-	"strconv"
-	"strings"
-
 	"tabby/internal/jimple"
 )
 
-// env is the localMap of Algorithm 1: a map from abstract cells to
-// origins. Cell keys:
+// The abstract store of Algorithm 1 used to be a map from rendered cell
+// strings ("L:x", "L:x.f", "@this.f", "@p3.f", "S:C.f") to origins. The
+// hot loops now use slot-indexed environments instead: a per-body
+// cellTable resolves every abstract cell to a dense int32 id exactly
+// once, and an env is a plain []Origin indexed by cell id. The zero
+// Origin (Kind 0) means "absent" — distinct from an explicit OriginNull
+// binding, which the load/join rules treat differently, exactly as the
+// map kept "missing key" apart from "key bound to null".
 //
-//	"L:x"        — local x
-//	"L:x.f"      — field f of the (fresh) object held by local x
-//	"@this.f"    — field f of the receiver object
-//	"@p3.f"      — field f of the object passed as parameter 3
-//	"S:C.f"      — static field f of class C
-//
-// Field sensitivity is depth one, matching the paper's a.b cells (Fig. 5c).
-type env map[string]Origin
+// env_ref_test.go retains the original map-backed store as an executable
+// reference; TestEnvCrossCheckQuick cross-checks the two over randomized
+// transfer sequences.
 
-func localKey(l *jimple.Local) string { return "L:" + l.Name }
+// cellKind classifies abstract cells.
+type cellKind uint8
 
-func staticKey(class, field string) string { return "S:" + class + "." + field }
+const (
+	cellLocal      cellKind = iota // local x        (was "L:x")
+	cellLocalField                 // x.f, x fresh   (was "L:x.f")
+	cellThisField                  // this.f         (was "@this.f")
+	cellParamField                 // param-N.f      (was "@pN.f")
+	cellStatic                     // static C.f     (was "S:C.f")
+)
 
-// baseFieldKey returns the canonical cell for base.field given base's
-// current origin, or "" when the access collapses (depth cap).
-func baseFieldKey(base *jimple.Local, baseOrigin Origin, field string) string {
+// cellDesc identifies one abstract cell. It doubles as the interning map
+// key, so it must stay comparable.
+type cellDesc struct {
+	kind cellKind
+	base int32  // local cell id (cellLocalField) or 1-based param (cellParamField)
+	name string // field name; class name for cellStatic
+	fld  string // field name for cellStatic
+}
+
+// cellTable resolves abstract cells to dense ids for one body at a time.
+// It is scratch state: reset(body) reuses all backing storage across
+// methods, so the fixpoint loop allocates only when a body discovers a
+// genuinely new cell shape.
+type cellTable struct {
+	localSlot map[string]int32
+	byKey     map[cellDesc]int32
+	cells     []cellDesc
+	// fieldsOf parallels cells: for a local's cell id, the cellLocalField
+	// cells based on it (setLocal destroys these; copyLocalFields copies
+	// them). Non-local entries stay empty.
+	fieldsOf [][]int32
+	// thisFields / paramFields list the cellThisField cells and, per
+	// 1-based parameter, the cellParamField cells — recordReturn iterates
+	// these instead of scanning key prefixes.
+	thisFields  []int32
+	paramFields [][]int32
+}
+
+func newCellTable() *cellTable {
+	return &cellTable{
+		localSlot: make(map[string]int32),
+		byKey:     make(map[cellDesc]int32),
+	}
+}
+
+// resliceLists truncates every retained inner slice and resizes the
+// outer slice to n, preserving backing arrays for reuse.
+func resliceLists(lists [][]int32, n int) [][]int32 {
+	full := lists[:cap(lists)]
+	for i := range full {
+		full[i] = full[i][:0]
+	}
+	if n <= len(full) {
+		return full[:n]
+	}
+	return append(full, make([][]int32, n-len(full))...)
+}
+
+// reset prepares the table for a new body: locals become cells 0..L-1.
+func (ct *cellTable) reset(body *jimple.Body) {
+	clear(ct.localSlot)
+	clear(ct.byKey)
+	ct.cells = ct.cells[:0]
+	ct.thisFields = ct.thisFields[:0]
+	ct.fieldsOf = resliceLists(ct.fieldsOf, 0)
+	ct.paramFields = resliceLists(ct.paramFields, len(body.Params))
+	for _, l := range body.Locals {
+		ct.ensureLocal(l.Name)
+	}
+}
+
+// ensureLocal returns the cell id of the named local, creating it when
+// the body never declared it (the map store tolerated that; so do we).
+func (ct *cellTable) ensureLocal(name string) int32 {
+	if s, ok := ct.localSlot[name]; ok {
+		return s
+	}
+	id := ct.addCell(cellDesc{kind: cellLocal, name: name})
+	ct.localSlot[name] = id
+	return id
+}
+
+func (ct *cellTable) addCell(d cellDesc) int32 {
+	id := int32(len(ct.cells))
+	ct.cells = append(ct.cells, d)
+	if len(ct.fieldsOf) < cap(ct.fieldsOf) {
+		ct.fieldsOf = ct.fieldsOf[:len(ct.fieldsOf)+1]
+	} else {
+		ct.fieldsOf = append(ct.fieldsOf, nil)
+	}
+	return id
+}
+
+// ensure interns a non-local cell, registering it with the owner lists
+// the destroy/copy/return rules iterate.
+func (ct *cellTable) ensure(d cellDesc) int32 {
+	if id, ok := ct.byKey[d]; ok {
+		return id
+	}
+	id := ct.addCell(d)
+	ct.byKey[d] = id
+	switch d.kind {
+	case cellLocalField:
+		ct.fieldsOf[d.base] = append(ct.fieldsOf[d.base], id)
+	case cellThisField:
+		ct.thisFields = append(ct.thisFields, id)
+	case cellParamField:
+		for int(d.base) > len(ct.paramFields) {
+			ct.paramFields = append(ct.paramFields, nil)
+		}
+		ct.paramFields[d.base-1] = append(ct.paramFields[d.base-1], id)
+	}
+	return id
+}
+
+// lookup returns the cell id without interning, -1 when absent.
+func (ct *cellTable) lookup(d cellDesc) int32 {
+	if id, ok := ct.byKey[d]; ok {
+		return id
+	}
+	return -1
+}
+
+// baseFieldCell returns the canonical cell for base.field given base's
+// current origin, or -1 when the access collapses (depth cap) or — in
+// lookup mode — the cell was never interned.
+func (ct *cellTable) baseFieldCell(base *jimple.Local, baseOrigin Origin, field string, intern bool) int32 {
+	var d cellDesc
 	switch {
 	case baseOrigin.Kind == OriginThis && baseOrigin.Field == "":
-		return "@this." + field
+		d = cellDesc{kind: cellThisField, name: field}
 	case baseOrigin.Kind == OriginParam && baseOrigin.Field == "":
-		return "@p" + strconv.Itoa(baseOrigin.Param) + "." + field
+		d = cellDesc{kind: cellParamField, base: int32(baseOrigin.Param), name: field}
 	case baseOrigin.Kind == OriginNull:
-		return localKey(base) + "." + field
+		slot, ok := ct.localSlot[base.Name]
+		if !ok {
+			if !intern {
+				return -1
+			}
+			slot = ct.ensureLocal(base.Name)
+		}
+		d = cellDesc{kind: cellLocalField, base: slot, name: field}
 	default:
 		// Origin already carries a field (depth-1 cap): no dedicated cell.
-		return ""
+		return -1
 	}
+	if intern {
+		return ct.ensure(d)
+	}
+	return ct.lookup(d)
 }
 
-func (e env) clone() env {
-	out := make(env, len(e))
-	for k, v := range e {
-		out[k] = v
+// env is the localMap of Algorithm 1: origins indexed by cell id. Shorter
+// than the cell table means the tail cells are absent.
+type env []Origin
+
+// at returns the cell's binding; the zero Origin means absent.
+func (e env) at(c int32) Origin {
+	if int(c) < len(e) {
+		return e[c]
 	}
-	return out
+	return Origin{}
 }
 
-// join merges other into e (in place), taking the more controllable
-// origin on conflicts and unioning otherwise. Reports whether e changed.
-func (e env) join(other env) bool {
+// growEnv extends e to n cells, zeroing any newly exposed storage (pooled
+// backing arrays carry stale values past their length).
+func growEnv(e *env, n int) {
+	if n <= len(*e) {
+		return
+	}
+	if n <= cap(*e) {
+		tail := (*e)[len(*e):n]
+		for i := range tail {
+			tail[i] = Origin{}
+		}
+		*e = (*e)[:n]
+		return
+	}
+	ne := make(env, n)
+	copy(ne, *e)
+	*e = ne
+}
+
+// set binds cell c, growing the env as needed.
+func envSet(e *env, c int32, o Origin) {
+	growEnv(e, int(c)+1)
+	(*e)[c] = o
+}
+
+// envJoin merges src into dst in place, taking the more controllable
+// origin on conflicts and unioning otherwise. Reports whether dst changed.
+func envJoin(dst *env, src env) bool {
 	changed := false
-	for k, v := range other {
-		cur, ok := e[k]
-		if !ok {
-			e[k] = v
+	for c := range src {
+		v := src[c]
+		if v.Kind == 0 {
+			continue
+		}
+		cur := dst.at(int32(c))
+		if cur.Kind == 0 {
+			envSet(dst, int32(c), v)
 			changed = true
 			continue
 		}
 		j := cur.join(v)
 		if j != cur {
-			e[k] = j
+			(*dst)[c] = j
 			changed = true
 		}
 	}
@@ -70,36 +234,45 @@ func (e env) join(other env) bool {
 // setLocal performs the strong update for `a = <origin>`: rebinding the
 // local and destroying its field cells (Table IV "Create a new variable":
 // destroy the original CA of a).
-func (e env) setLocal(l *jimple.Local, o Origin) {
-	key := localKey(l)
-	e[key] = o
-	prefix := key + "."
-	for k := range e {
-		if strings.HasPrefix(k, prefix) {
-			delete(e, k)
+func (ct *cellTable) setLocal(e *env, l *jimple.Local, o Origin) {
+	slot := ct.ensureLocal(l.Name)
+	envSet(e, slot, o)
+	for _, c := range ct.fieldsOf[slot] {
+		if int(c) < len(*e) {
+			(*e)[c] = Origin{}
 		}
 	}
 }
 
 // copyLocalFields copies the fresh-object field cells of src to dst,
 // modelling the aliasing introduced by `dst = src`.
-func (e env) copyLocalFields(dst, src *jimple.Local) {
-	srcPrefix := localKey(src) + "."
-	dstPrefix := localKey(dst) + "."
-	for k, v := range e {
-		if strings.HasPrefix(k, srcPrefix) {
-			e[dstPrefix+strings.TrimPrefix(k, srcPrefix)] = v
+func (ct *cellTable) copyLocalFields(e *env, dst, src *jimple.Local) {
+	srcSlot, ok := ct.localSlot[src.Name]
+	if !ok {
+		return
+	}
+	fields := ct.fieldsOf[srcSlot]
+	if len(fields) == 0 {
+		return
+	}
+	dstSlot := ct.ensureLocal(dst.Name)
+	for _, c := range fields {
+		v := e.at(c)
+		if v.Kind == 0 {
+			continue
 		}
+		d := ct.ensure(cellDesc{kind: cellLocalField, base: dstSlot, name: ct.cells[c].name})
+		envSet(e, d, v)
 	}
 }
 
 // loadField evaluates base.field under the environment: a recorded cell
 // wins; otherwise the origin is the base's origin refined by the field
 // (Table IV "Class property loading": b.f → a).
-func (e env) loadField(base *jimple.Local, field string) Origin {
-	bo := e.localOrigin(base)
-	if key := baseFieldKey(base, bo, field); key != "" {
-		if v, ok := e[key]; ok {
+func (ct *cellTable) loadField(e env, base *jimple.Local, field string) Origin {
+	bo := ct.localOrigin(e, base)
+	if c := ct.baseFieldCell(base, bo, field, false); c >= 0 {
+		if v := e.at(c); v.Kind != 0 {
 			return v
 		}
 	}
@@ -111,18 +284,57 @@ func (e env) loadField(base *jimple.Local, field string) Origin {
 
 // storeField records base.field = value (Table IV "Class property
 // assignment"). Stores through a depth-capped base are dropped.
-func (e env) storeField(base *jimple.Local, field string, value Origin) {
-	bo := e.localOrigin(base)
-	if key := baseFieldKey(base, bo, field); key != "" {
-		e[key] = value
+func (ct *cellTable) storeField(e *env, base *jimple.Local, field string, value Origin) {
+	bo := ct.localOrigin(*e, base)
+	if c := ct.baseFieldCell(base, bo, field, true); c >= 0 {
+		envSet(e, c, value)
 	}
 }
 
 // localOrigin returns the local's current origin, defaulting to null for
 // locals never assigned on this path.
-func (e env) localOrigin(l *jimple.Local) Origin {
-	if v, ok := e[localKey(l)]; ok {
-		return v
+func (ct *cellTable) localOrigin(e env, l *jimple.Local) Origin {
+	if s, ok := ct.localSlot[l.Name]; ok {
+		if v := e.at(s); v.Kind != 0 {
+			return v
+		}
 	}
 	return Null
+}
+
+// staticCell returns the interning descriptor for static field C.f.
+func staticCell(class, field string) cellDesc {
+	return cellDesc{kind: cellStatic, name: class, fld: field}
+}
+
+// envPool recycles env slices within one method analysis; get zeroes the
+// requested prefix so pooled garbage can never leak between paths.
+type envPool struct {
+	free []env
+}
+
+func (p *envPool) get(n int) env {
+	for k := len(p.free); k > 0; k-- {
+		e := p.free[k-1]
+		p.free = p.free[:k-1]
+		if cap(e) < n {
+			continue // too small; let it go
+		}
+		e = e[:n]
+		clear(e)
+		return e
+	}
+	return make(env, n, n+8)
+}
+
+func (p *envPool) put(e env) {
+	if e != nil {
+		p.free = append(p.free, e)
+	}
+}
+
+func (p *envPool) copyOf(src env) env {
+	e := p.get(len(src))
+	copy(e, src)
+	return e
 }

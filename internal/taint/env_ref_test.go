@@ -1,0 +1,272 @@
+package taint
+
+import (
+	"math/rand"
+	"reflect"
+	"strconv"
+	"strings"
+	"testing"
+
+	"tabby/internal/java"
+	"tabby/internal/jimple"
+)
+
+// refEnv is the original map-backed abstract store of Algorithm 1, kept
+// verbatim as an executable reference for the slot-indexed env (env.go).
+// Cell keys:
+//
+//	"L:x"        — local x
+//	"L:x.f"      — field f of the (fresh) object held by local x
+//	"@this.f"    — field f of the receiver object
+//	"@p3.f"      — field f of the object passed as parameter 3
+//	"S:C.f"      — static field f of class C
+type refEnv map[string]Origin
+
+func refLocalKey(l *jimple.Local) string { return "L:" + l.Name }
+
+func refStaticKey(class, field string) string { return "S:" + class + "." + field }
+
+func refBaseFieldKey(base *jimple.Local, baseOrigin Origin, field string) string {
+	switch {
+	case baseOrigin.Kind == OriginThis && baseOrigin.Field == "":
+		return "@this." + field
+	case baseOrigin.Kind == OriginParam && baseOrigin.Field == "":
+		return "@p" + strconv.Itoa(baseOrigin.Param) + "." + field
+	case baseOrigin.Kind == OriginNull:
+		return refLocalKey(base) + "." + field
+	default:
+		return ""
+	}
+}
+
+func (e refEnv) clone() refEnv {
+	out := make(refEnv, len(e))
+	for k, v := range e {
+		out[k] = v
+	}
+	return out
+}
+
+func (e refEnv) join(other refEnv) bool {
+	changed := false
+	for k, v := range other {
+		cur, ok := e[k]
+		if !ok {
+			e[k] = v
+			changed = true
+			continue
+		}
+		j := cur.join(v)
+		if j != cur {
+			e[k] = j
+			changed = true
+		}
+	}
+	return changed
+}
+
+func (e refEnv) setLocal(l *jimple.Local, o Origin) {
+	key := refLocalKey(l)
+	e[key] = o
+	prefix := key + "."
+	for k := range e {
+		if strings.HasPrefix(k, prefix) {
+			delete(e, k)
+		}
+	}
+}
+
+func (e refEnv) copyLocalFields(dst, src *jimple.Local) {
+	srcPrefix := refLocalKey(src) + "."
+	dstPrefix := refLocalKey(dst) + "."
+	for k, v := range e {
+		if strings.HasPrefix(k, srcPrefix) {
+			e[dstPrefix+strings.TrimPrefix(k, srcPrefix)] = v
+		}
+	}
+}
+
+func (e refEnv) loadField(base *jimple.Local, field string) Origin {
+	bo := e.localOrigin(base)
+	if key := refBaseFieldKey(base, bo, field); key != "" {
+		if v, ok := e[key]; ok {
+			return v
+		}
+	}
+	if !bo.Controllable() {
+		return Null
+	}
+	return bo.WithField(field)
+}
+
+func (e refEnv) storeField(base *jimple.Local, field string, value Origin) {
+	bo := e.localOrigin(base)
+	if key := refBaseFieldKey(base, bo, field); key != "" {
+		e[key] = value
+	}
+}
+
+func (e refEnv) localOrigin(l *jimple.Local) Origin {
+	if v, ok := e[refLocalKey(l)]; ok {
+		return v
+	}
+	return Null
+}
+
+// renderCell maps a slot-env cell back to the reference store's string
+// key, so the two stores can be compared binding for binding.
+func renderCell(ct *cellTable, d cellDesc) string {
+	switch d.kind {
+	case cellLocal:
+		return "L:" + d.name
+	case cellLocalField:
+		return "L:" + ct.cells[d.base].name + "." + d.name
+	case cellThisField:
+		return "@this." + d.name
+	case cellParamField:
+		return "@p" + strconv.Itoa(int(d.base)) + "." + d.name
+	case cellStatic:
+		return "S:" + d.name + "." + d.fld
+	}
+	return "?"
+}
+
+// slotSnapshot renders every present binding of a slot env under the
+// reference key scheme. Zero (absent) cells are skipped — the map store
+// never held them.
+func slotSnapshot(ct *cellTable, e env) map[string]Origin {
+	out := make(map[string]Origin)
+	for id, d := range ct.cells {
+		if v := e.at(int32(id)); v.Kind != 0 {
+			out[renderCell(ct, d)] = v
+		}
+	}
+	return out
+}
+
+// TestEnvCrossCheckQuick drives the slot-indexed env and the retained
+// map-backed reference through identical randomized transfer sequences
+// (seeded, deterministic) and demands bit-identical stores and results
+// after every operation: strong updates destroying field cells, alias
+// copies, field loads through the depth cap, static cells, and joins —
+// including the absent-vs-explicit-Null distinction the load/join rules
+// depend on.
+func TestEnvCrossCheckQuick(t *testing.T) {
+	m := &java.Method{
+		ClassName: "x.CrossCheck", Name: "f",
+		Params: []java.Type{java.ObjectType, java.ObjectType},
+		Return: java.ObjectType, Modifiers: java.ModPublic,
+	}
+	bb := jimple.NewBodyBuilder(m)
+	locals := []*jimple.Local{
+		bb.Local("a", java.ObjectType),
+		bb.Local("b", java.ObjectType),
+		bb.Local("c", java.ObjectType),
+		bb.Param(0),
+		bb.Param(1),
+	}
+	bb.Return(nil)
+	body := bb.Body()
+
+	fields := []string{"f", "g"}
+	statics := [][2]string{{"x.C", "sf"}, {"x.D", "sg"}}
+	rng := rand.New(rand.NewSource(0x7abb9))
+	randOrigin := func() Origin {
+		switch rng.Intn(6) {
+		case 0:
+			return Null
+		case 1:
+			return This
+		case 2:
+			return This.WithField(fields[rng.Intn(len(fields))])
+		case 3:
+			return Param(1 + rng.Intn(2))
+		case 4:
+			return Param(1 + rng.Intn(2)).WithField(fields[rng.Intn(len(fields))])
+		default:
+			return Origin{} // absent marker: callers treat as "skip binding"
+		}
+	}
+	pickLocal := func() *jimple.Local { return locals[rng.Intn(len(locals))] }
+	pickField := func() string { return fields[rng.Intn(len(fields))] }
+
+	ct := newCellTable()
+	var pool envPool
+	for round := 0; round < 60; round++ {
+		ct.reset(body)
+		se := pool.get(len(ct.cells))
+		re := make(refEnv)
+		// A second env accumulates divergent state to join from; its ref
+		// view is rendered via slotSnapshot at join time.
+		so := pool.get(len(ct.cells))
+
+		for step := 0; step < 80; step++ {
+			switch op := rng.Intn(7); op {
+			case 0: // strong local update (destroys field cells)
+				l, o := pickLocal(), randOrigin()
+				if o.Kind == 0 {
+					o = Null
+				}
+				ct.setLocal(&se, l, o)
+				re.setLocal(l, o)
+			case 1: // alias copy dst = src
+				dst, src := pickLocal(), pickLocal()
+				ct.copyLocalFields(&se, dst, src)
+				re.copyLocalFields(dst, src)
+			case 2: // field store
+				base, f, o := pickLocal(), pickField(), randOrigin()
+				if o.Kind == 0 {
+					o = Null
+				}
+				ct.storeField(&se, base, f, o)
+				re.storeField(base, f, o)
+			case 3: // field load must agree
+				base, f := pickLocal(), pickField()
+				if got, want := ct.loadField(se, base, f), re.loadField(base, f); got != want {
+					t.Fatalf("round %d step %d: loadField(%s.%s) = %v, reference %v", round, step, base.Name, f, got, want)
+				}
+			case 4: // local origin must agree
+				l := pickLocal()
+				if got, want := ct.localOrigin(se, l), re.localOrigin(l); got != want {
+					t.Fatalf("round %d step %d: localOrigin(%s) = %v, reference %v", round, step, l.Name, got, want)
+				}
+			case 5: // static cell store + load
+				s := statics[rng.Intn(len(statics))]
+				o := randOrigin()
+				if o.Kind == 0 {
+					o = Null
+				}
+				envSet(&se, ct.ensure(staticCell(s[0], s[1])), o)
+				re[refStaticKey(s[0], s[1])] = o
+				if c := ct.lookup(staticCell(s[0], s[1])); se.at(c) != re[refStaticKey(s[0], s[1])] {
+					t.Fatalf("round %d step %d: static %s.%s diverged", round, step, s[0], s[1])
+				}
+			case 6: // mutate the join source (including zero-Origin stores)
+				l, o := pickLocal(), randOrigin()
+				if o.Kind == 0 {
+					o = Null
+				}
+				ct.setLocal(&so, l, o)
+				ct.storeField(&so, pickLocal(), pickField(), randOrigin())
+			}
+			if snap, want := slotSnapshot(ct, se), map[string]Origin(re); !reflect.DeepEqual(snap, want) {
+				t.Fatalf("round %d step %d: stores diverged\nslot: %v\nref:  %v", round, step, snap, want)
+			}
+		}
+
+		// Join via pooled clones, as the fixpoint does on edge distribution.
+		sc := pool.copyOf(se)
+		rc := re.clone()
+		changedSlot := envJoin(&sc, so)
+		changedRef := rc.join(refEnv(slotSnapshot(ct, so)))
+		if changedSlot != changedRef {
+			t.Fatalf("round %d: join changed=%v, reference %v", round, changedSlot, changedRef)
+		}
+		if snap, want := slotSnapshot(ct, sc), map[string]Origin(rc); !reflect.DeepEqual(snap, want) {
+			t.Fatalf("round %d: joined stores diverged\nslot: %v\nref:  %v", round, snap, want)
+		}
+		pool.put(se)
+		pool.put(so)
+		pool.put(sc)
+	}
+}

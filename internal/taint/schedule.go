@@ -8,57 +8,84 @@ import (
 	"tabby/internal/parallel"
 )
 
+// callSite is one non-dynamic invoke discovered by the dependency scan,
+// with its sub-signature rendered once and its callee resolved once.
+// transferInvoke consults the site on every fixpoint visit instead of
+// re-rendering and re-resolving, and the summary-cache fingerprinter
+// replays the same resolutions.
+type callSite struct {
+	stmt   int32
+	class  string // statically referenced class
+	sub    string // callee sub-signature
+	target int32  // body index of the resolved callee with a body; -1 otherwise
+}
+
 // depGraph is the method-call dependency graph the wave scheduler runs
 // on: one node per method body, one edge per call site whose summary
 // Analyze will actually consult (statically resolvable, non-dynamic,
-// callee has a body). Edges follow calleeAction's resolution exactly, so
+// callee has a body). Edges follow calleeSummary's resolution exactly, so
 // "all dependencies scheduled earlier" implies "every summary a method
 // asks for is already memoized".
 type depGraph struct {
-	keys  []java.MethodKey // sorted; node i is keys[i]
-	succs [][]int          // succs[i]: callee node indices, ascending, deduped
-	// resolve is the memoized ResolveMethod cache the scan populated; the
-	// summary-cache fingerprinter reuses it so each call site is resolved
-	// once per run. Nil when DisableInterprocedural skipped the scan.
-	resolve *resolveCache
+	keys    []java.MethodKey       // sorted; node i is keys[i]
+	indexOf map[java.MethodKey]int // inverse of keys
+	bodies  []*jimple.Body         // bodies[i] = prog.Body(keys[i])
+	sites   [][]callSite           // sites[i]: body i's invokes in statement order
+	succs   [][]int                // succs[i]: callee node indices, ascending, deduped
 }
 
 // buildDepGraph scans every body for the invokes whose callee summaries
 // the analysis will request. With DisableInterprocedural set no summary
-// is ever consulted, so the graph has no edges and every method is its
-// own singleton component.
+// is ever consulted, so sites keep target -1, the graph has no edges and
+// every method is its own singleton component.
 func buildDepGraph(prog *jimple.Program, opts Options, keys []java.MethodKey) *depGraph {
-	g := &depGraph{keys: keys, succs: make([][]int, len(keys))}
-	if opts.DisableInterprocedural {
-		return g
+	g := &depGraph{
+		keys:    keys,
+		indexOf: make(map[java.MethodKey]int, len(keys)),
+		bodies:  make([]*jimple.Body, len(keys)),
+		sites:   make([][]callSite, len(keys)),
+		succs:   make([][]int, len(keys)),
 	}
-	indexOf := make(map[java.MethodKey]int, len(keys))
 	for i, k := range keys {
-		indexOf[k] = i
+		g.indexOf[k] = i
+		g.bodies[i] = prog.Body(k)
 	}
-	resolve := newResolveCache(prog)
-	g.resolve = resolve
+	var resolve *resolveCache
+	if !opts.DisableInterprocedural {
+		resolve = newResolveCache(prog)
+	}
 	parallel.ForEach(opts.Workers, len(keys), func(i int) {
-		body := prog.Body(keys[i])
-		seen := make(map[int]bool)
+		body := g.bodies[i]
+		if body == nil {
+			return
+		}
+		var sites []callSite
 		var out []int
-		for _, st := range body.Stmts {
+		var seen map[int]bool
+		for idx, st := range body.Stmts {
 			inv := invokeOf(st)
 			if inv == nil || inv.Kind == jimple.InvokeDynamic {
 				continue
 			}
-			m := resolve.method(inv.Class, inv.SubSignature())
-			if m == nil || prog.Body(m.Key()) == nil {
-				continue
+			s := callSite{stmt: int32(idx), class: inv.Class, sub: inv.SubSignature(), target: -1}
+			if resolve != nil {
+				if m := resolve.method(s.class, s.sub); m != nil {
+					if j, ok := g.indexOf[m.Key()]; ok && g.bodies[j] != nil {
+						s.target = int32(j)
+						if seen == nil {
+							seen = make(map[int]bool)
+						}
+						if !seen[j] {
+							seen[j] = true
+							out = append(out, j)
+						}
+					}
+				}
 			}
-			j, ok := indexOf[m.Key()]
-			if !ok || seen[j] {
-				continue
-			}
-			seen[j] = true
-			out = append(out, j)
+			sites = append(sites, s)
 		}
 		sortInts(out)
+		g.sites[i] = sites
 		g.succs[i] = out
 	})
 	return g
