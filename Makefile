@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet fmt race check bench bench-path bench-build bench-incr bench-query bench-snap bench-serve serve-smoke
+.PHONY: build test vet fmt race check check-reltypes bench bench-path bench-build bench-incr bench-query bench-snap bench-serve serve-smoke
 
 build:
 	$(GO) build ./...
@@ -19,10 +19,16 @@ test:
 race:
 	$(GO) test -race ./...
 
-# check is the pre-merge gate: formatting, compile everything, vet, and
-# run the full test suite under the race detector (the parallel
-# pipeline's determinism and safety contract).
-check: fmt
+# check-reltypes asserts every relationship type of the edge vocabulary
+# is handled by the provenance table, the cpg re-exports and the DOT
+# exporter (see scripts/check_reltypes.sh).
+check-reltypes:
+	sh scripts/check_reltypes.sh
+
+# check is the pre-merge gate: formatting, schema exhaustiveness,
+# compile everything, vet, and run the full test suite under the race
+# detector (the parallel pipeline's determinism and safety contract).
+check: fmt check-reltypes
 	$(GO) build ./... && $(GO) vet ./... && $(GO) test -race ./...
 
 bench:

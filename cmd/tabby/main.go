@@ -66,6 +66,7 @@ func main() {
 		maxDepth     = flag.Int("max-depth", 0, "maximum chain length (0 = default 12)")
 		maxCallDepth = flag.Int("max-call-depth", 0, "deprecated, no effect: the SCC scheduler removed the call-depth bound")
 		mechanism    = flag.String("mechanism", "native", "deserialization mechanism: native or xstream")
+		serDispatch  = flag.Bool("serialization-dispatch", false, "synthesize DISPATCH edges from a virtual deserialization driver to every hierarchy-derived JVM callback and accept those targets as chain entry points")
 		confirm      = flag.Bool("confirm", false, "concretely execute each chain to confirm it fires (§V-C extension)")
 		dot          = flag.String("dot", "", "write a Graphviz DOT rendering of the CPG (filtered to chain classes) to this file")
 		workers      = flag.Int("workers", 0, "worker count for every pipeline stage (0 = GOMAXPROCS, 1 = sequential; output is identical at any setting)")
@@ -84,7 +85,7 @@ func main() {
 		urldns: *urldns, list: *list, withRT: *withRT,
 		stats: *stats, chains: *chains, save: *save, maxDepth: *maxDepth,
 		mechanism: *mechanism, confirm: *confirm, dot: *dot,
-		workers: *workers, cacheDir: *cacheDir,
+		workers: *workers, cacheDir: *cacheDir, serDispatch: *serDispatch,
 	})
 	stopProfiles() // before any exit: os.Exit skips defers
 	if runErr != nil {
@@ -104,6 +105,7 @@ type options struct {
 	dot                   string
 	workers               int
 	cacheDir              string
+	serDispatch           bool
 }
 
 func run(o options) error {
@@ -127,7 +129,10 @@ func run(o options) error {
 	default:
 		return fmt.Errorf("unknown mechanism %q (want native or xstream)", o.mechanism)
 	}
-	engine := core.New(core.Options{MaxDepth: o.maxDepth, Sources: sources, Workers: o.workers})
+	engine := core.New(core.Options{
+		MaxDepth: o.maxDepth, Sources: sources, Workers: o.workers,
+		SerializationDispatch: o.serDispatch,
+	})
 	var rep *core.Report
 	var cache *core.AnalysisCache
 	if o.cacheDir != "" {

@@ -50,6 +50,16 @@ type Options struct {
 	// runtime.GOMAXPROCS(0); 1 runs the exact sequential path. Output is
 	// identical at every setting.
 	Workers int
+	// SerializationDispatch enables the serialization-aware analysis
+	// mode: the CPG gains a virtual deserialization driver wired by
+	// DISPATCH edges to every hierarchy-derived JVM callback (readObject/
+	// readResolve/readExternal of Serializable classes, and
+	// InvocationHandler.invoke), and the path search accepts those
+	// dispatch targets as chain entry points — so chains entering through
+	// nested callbacks are found without hand-declared sources. Off by
+	// default; with it off, output is byte-identical to a pipeline
+	// without the pass.
+	SerializationDispatch bool
 }
 
 // Engine runs the Tabby pipeline.
@@ -130,11 +140,12 @@ func (e *Engine) AnalyzeProgram(prog *jimple.Program) (*Report, error) {
 func (e *Engine) BuildCPG(prog *jimple.Program) (*cpg.Graph, time.Duration, error) {
 	start := time.Now()
 	g, err := cpg.Build(prog, cpg.Options{
-		Sinks:           e.opts.Sinks,
-		Sources:         e.opts.Sources,
-		Taint:           e.opts.TaintOptions,
-		KeepPrunedCalls: e.opts.KeepPrunedCalls,
-		Workers:         e.opts.Workers,
+		Sinks:                 e.opts.Sinks,
+		Sources:               e.opts.Sources,
+		Taint:                 e.opts.TaintOptions,
+		KeepPrunedCalls:       e.opts.KeepPrunedCalls,
+		Workers:               e.opts.Workers,
+		SerializationDispatch: e.opts.SerializationDispatch,
 	})
 	if err != nil {
 		return nil, 0, fmt.Errorf("tabby: build cpg: %w", err)
@@ -152,10 +163,11 @@ func (e *Engine) FindChains(g *cpg.Graph) (chains []pathfinder.Chain, truncated 
 	var res *pathfinder.Result
 	profiling.Stage("search", func() {
 		res, err = pathfinder.Find(g.DB, pathfinder.Options{
-			MaxDepth:    e.opts.MaxDepth,
-			MaxChains:   e.opts.MaxChains,
-			VisitBudget: e.opts.VisitBudget,
-			Workers:     e.opts.Workers,
+			MaxDepth:        e.opts.MaxDepth,
+			MaxChains:       e.opts.MaxChains,
+			VisitBudget:     e.opts.VisitBudget,
+			DispatchSources: e.opts.SerializationDispatch,
+			Workers:         e.opts.Workers,
 		})
 	})
 	if err != nil {
@@ -231,10 +243,11 @@ func (e *Engine) FindChainsIn(db *graphdb.DB) (chains []pathfinder.Chain, trunca
 	var res *pathfinder.Result
 	profiling.Stage("search", func() {
 		res, err = pathfinder.Find(db, pathfinder.Options{
-			MaxDepth:    e.opts.MaxDepth,
-			MaxChains:   e.opts.MaxChains,
-			VisitBudget: e.opts.VisitBudget,
-			Workers:     e.opts.Workers,
+			MaxDepth:        e.opts.MaxDepth,
+			MaxChains:       e.opts.MaxChains,
+			VisitBudget:     e.opts.VisitBudget,
+			DispatchSources: e.opts.SerializationDispatch,
+			Workers:         e.opts.Workers,
 		})
 	})
 	if err != nil {
@@ -247,12 +260,13 @@ func (e *Engine) FindChainsIn(db *graphdb.DB) (chains []pathfinder.Chain, trunca
 // source filter — the researcher-driven RQ4 workflow.
 func (e *Engine) FindChainsBetween(g *cpg.Graph, sinkNodes []graphdb.ID, sourceFilter func(*graphdb.DB, graphdb.ID) bool) ([]pathfinder.Chain, error) {
 	res, err := pathfinder.Find(g.DB, pathfinder.Options{
-		MaxDepth:     e.opts.MaxDepth,
-		MaxChains:    e.opts.MaxChains,
-		VisitBudget:  e.opts.VisitBudget,
-		SinkNodes:    sinkNodes,
-		SourceFilter: sourceFilter,
-		Workers:      e.opts.Workers,
+		MaxDepth:        e.opts.MaxDepth,
+		MaxChains:       e.opts.MaxChains,
+		VisitBudget:     e.opts.VisitBudget,
+		SinkNodes:       sinkNodes,
+		SourceFilter:    sourceFilter,
+		DispatchSources: e.opts.SerializationDispatch,
+		Workers:         e.opts.Workers,
 	})
 	if err != nil {
 		return nil, fmt.Errorf("tabby: find chains: %w", err)

@@ -22,8 +22,15 @@ type pipelineOutput struct {
 }
 
 func runPipeline(t *testing.T, archives []javasrc.ArchiveSource, workers int) pipelineOutput {
+	return runPipelineMode(t, archives, workers, false)
+}
+
+// runPipelineMode runs the pipeline with the serialization-dispatch pass
+// on or off. The dispatch-edge count rides along in the Stats string so
+// the determinism contract covers it too.
+func runPipelineMode(t *testing.T, archives []javasrc.ArchiveSource, workers int, dispatch bool) pipelineOutput {
 	t.Helper()
-	engine := New(Options{Workers: workers})
+	engine := New(Options{Workers: workers, SerializationDispatch: dispatch})
 	rep, err := engine.AnalyzeSources(archives)
 	if err != nil {
 		t.Fatalf("workers=%d: %v", workers, err)
@@ -31,7 +38,7 @@ func runPipeline(t *testing.T, archives []javasrc.ArchiveSource, workers int) pi
 	return pipelineOutput{
 		Chains:      rep.Chains,
 		Truncated:   rep.Truncated,
-		Stats:       fmt.Sprintf("%+v", rep.Graph.Stats),
+		Stats:       fmt.Sprintf("%+v dispatch=%d", rep.Graph.Stats, rep.Graph.DispatchEdges),
 		TotalCalls:  rep.Graph.Taint.TotalCalls,
 		PrunedCalls: rep.Graph.Taint.PrunedCalls,
 	}
@@ -88,20 +95,29 @@ func TestPipelineDeterministicAcrossWorkerCounts(t *testing.T) {
 		archives: append([]javasrc.ArchiveSource{corpus.RT()}, spring.Archives...),
 	})
 
+	// Both gate modes of the serialization-dispatch pass are under the
+	// same contract: worker count may never change output.
+	modes := []struct {
+		name     string
+		dispatch bool
+	}{{"gate-off", false}, {"gate-on", true}}
 	for _, sc := range scenarios {
 		sc := sc
-		t.Run(sc.name, func(t *testing.T) {
-			base := runPipeline(t, sc.archives, 1)
-			if len(base.Chains) == 0 && sc.name != "scene/Spring" {
-				// Components in the corpus are expected to yield chains;
-				// an empty baseline would make the comparison vacuous.
-				t.Logf("note: baseline found no chains for %s", sc.name)
-			}
-			for _, workers := range []int{2, 4} {
-				got := runPipeline(t, sc.archives, workers)
-				assertIdentical(t, sc.name, base, got, workers)
-			}
-		})
+		for _, mode := range modes {
+			mode := mode
+			t.Run(sc.name+"/"+mode.name, func(t *testing.T) {
+				base := runPipelineMode(t, sc.archives, 1, mode.dispatch)
+				if len(base.Chains) == 0 && sc.name != "scene/Spring" {
+					// Components in the corpus are expected to yield chains;
+					// an empty baseline would make the comparison vacuous.
+					t.Logf("note: baseline found no chains for %s", sc.name)
+				}
+				for _, workers := range []int{2, 4} {
+					got := runPipelineMode(t, sc.archives, workers, mode.dispatch)
+					assertIdentical(t, sc.name, base, got, workers)
+				}
+			})
+		}
 	}
 }
 

@@ -1,0 +1,273 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"tabby/internal/corpus"
+	"tabby/internal/cpg"
+	"tabby/internal/graphdb"
+	"tabby/internal/javasrc"
+	"tabby/internal/pathfinder"
+)
+
+// chainsHaveFrom reports whether some chain starts at the given method
+// key and ends in a method whose name contains sinkMethod.
+func chainsHaveFrom(chains []pathfinder.Chain, source, sinkMethod string) bool {
+	for _, c := range chains {
+		if c.Names[0] == source && strings.Contains(c.Names[len(c.Names)-1], sinkMethod) {
+			return true
+		}
+	}
+	return false
+}
+
+// TestCallbackChainRecall pins the recall the serialization-dispatch pass
+// exists to buy: the callback-only corpus chains (readResolve inherited
+// from a non-Serializable base; InvocationHandler.invoke) are found with
+// the pass on and invisible with it off.
+func TestCallbackChainRecall(t *testing.T) {
+	for _, comp := range corpus.CallbackComponents() {
+		comp := comp
+		t.Run(comp.Name, func(t *testing.T) {
+			archives := append([]javasrc.ArchiveSource{corpus.RT()}, comp.Archives...)
+			on := runPipelineMode(t, archives, 1, true)
+			off := runPipelineMode(t, archives, 1, false)
+			for _, spec := range comp.Chains {
+				src := string(spec.Source)
+				if !chainsHaveFrom(on.Chains, src, spec.SinkMethod) {
+					t.Errorf("gate-on: chain %s -> %s.%s not found; chains: %v",
+						src, spec.SinkClass, spec.SinkMethod, chainHeads(on))
+				}
+				if chainsHaveFrom(off.Chains, src, spec.SinkMethod) {
+					t.Errorf("gate-off: callback-only chain %s was found without the dispatch pass", src)
+				}
+			}
+			// Chains never traverse DISPATCH edges themselves: every step
+			// of every reported chain is CALL or ALIAS.
+			for _, c := range on.Chains {
+				if len(c.Edges) != len(c.Nodes)-1 {
+					t.Fatalf("chain %v: %d edges for %d nodes", c.Names, len(c.Edges), len(c.Nodes))
+				}
+				for _, e := range c.Edges {
+					if e != cpg.RelCall && e != cpg.RelAlias {
+						t.Errorf("chain %v steps across %s edge", c.Names, e)
+					}
+				}
+			}
+		})
+	}
+}
+
+func chainHeads(out pipelineOutput) []string {
+	heads := make([]string, 0, len(out.Chains))
+	for _, c := range out.Chains {
+		heads = append(heads, c.Names[0])
+	}
+	return heads
+}
+
+// TestDispatchCoversDeclaredSources checks the subsumption contract of
+// DESIGN.md §14: with the pass on, every method the source configuration
+// declares an entry point (every IS_SOURCE node) also has an incoming
+// DISPATCH edge from the virtual driver — the derived entry points
+// reproduce the hand-declared ones. finalize-named sources would be the
+// one admissible gap (a GC hook, not a stream callback), but the corpus
+// declares none.
+func TestDispatchCoversDeclaredSources(t *testing.T) {
+	type scenario struct {
+		name     string
+		archives []javasrc.ArchiveSource
+	}
+	var scenarios []scenario
+	comps := corpus.Components()
+	if testing.Short() {
+		comps = comps[:3]
+	}
+	for _, comp := range comps {
+		scenarios = append(scenarios, scenario{
+			name:     "component/" + comp.Name,
+			archives: append([]javasrc.ArchiveSource{corpus.RT()}, comp.Archives...),
+		})
+	}
+	for _, comp := range corpus.CallbackComponents() {
+		scenarios = append(scenarios, scenario{
+			name:     "callback/" + comp.Name,
+			archives: append([]javasrc.ArchiveSource{corpus.RT()}, comp.Archives...),
+		})
+	}
+	if !testing.Short() {
+		spring, err := corpus.SceneByName("Spring")
+		if err != nil {
+			t.Fatal(err)
+		}
+		scenarios = append(scenarios, scenario{
+			name:     "scene/" + spring.Name,
+			archives: append([]javasrc.ArchiveSource{corpus.RT()}, spring.Archives...),
+		})
+	}
+
+	engine := New(Options{Workers: 1, SerializationDispatch: true})
+	for _, sc := range scenarios {
+		sc := sc
+		t.Run(sc.name, func(t *testing.T) {
+			prog, err := javasrc.CompileArchives(sc.archives)
+			if err != nil {
+				t.Fatalf("compile: %v", err)
+			}
+			g, _, err := engine.BuildCPG(prog)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if g.DispatchEdges == 0 {
+				t.Fatal("gate-on build synthesized no DISPATCH edges")
+			}
+			sources := g.SourceNodes()
+			if len(sources) == 0 {
+				t.Fatal("no IS_SOURCE nodes: subsumption check is vacuous")
+			}
+			for _, id := range sources {
+				if len(g.DB.Rels(id, graphdb.DirIn, cpg.RelDispatch)) == 0 {
+					key, _ := g.MethodKeyOf(id)
+					t.Errorf("declared source %s has no incoming DISPATCH edge", key)
+				}
+			}
+		})
+	}
+}
+
+// TestDispatchGateOffParity: on ordinary corpus components every entry
+// point is a directly-declared readObject, so the gate must not change
+// what is found — chains are equal in both modes (the graph itself
+// differs only by the driver node and its DISPATCH edges).
+func TestDispatchGateOffParity(t *testing.T) {
+	comps := corpus.Components()
+	if testing.Short() {
+		comps = comps[:2]
+	} else {
+		comps = comps[:6]
+	}
+	for _, comp := range comps {
+		comp := comp
+		t.Run(comp.Name, func(t *testing.T) {
+			archives := append([]javasrc.ArchiveSource{corpus.RT()}, comp.Archives...)
+			off := runPipelineMode(t, archives, 1, false)
+			on := runPipelineMode(t, archives, 1, true)
+			if len(on.Chains) != len(off.Chains) {
+				t.Fatalf("gate-on found %d chains, gate-off %d", len(on.Chains), len(off.Chains))
+			}
+			for i := range off.Chains {
+				if off.Chains[i].Key() != on.Chains[i].Key() {
+					t.Errorf("chain %d differs across gate modes:\n gate-on  %v\n gate-off %v",
+						i, on.Chains[i].Names, off.Chains[i].Names)
+				}
+			}
+		})
+	}
+}
+
+// runIncrementalDispatch is runIncremental with the serialization gate
+// on, using the dispatch-aware Stats rendering of runPipelineMode.
+func runIncrementalDispatch(t *testing.T, cache *AnalysisCache, archives []javasrc.ArchiveSource) (pipelineOutput, *CacheStats) {
+	t.Helper()
+	engine := New(Options{Workers: 1, SerializationDispatch: true})
+	rep, err := engine.AnalyzeIncremental(cache, archives)
+	if err != nil {
+		t.Fatalf("incremental: %v", err)
+	}
+	return pipelineOutput{
+		Chains:      rep.Chains,
+		Truncated:   rep.Truncated,
+		Stats:       fmt.Sprintf("%+v dispatch=%d", rep.Graph.Stats, rep.Graph.DispatchEdges),
+		TotalCalls:  rep.Graph.Taint.TotalCalls,
+		PrunedCalls: rep.Graph.Taint.PrunedCalls,
+	}, rep.Timings.Cache
+}
+
+// dispatchEditArchives renders the edit-sequence fixture: Base's
+// readResolve relays into Runtime.exec; subDecl controls whether Sub is
+// Serializable (deciding whether Base#readResolve is a derived entry
+// point) and subBody lets a later edit add a readObject to Sub.
+func dispatchEditArchives(subDecl, subBody string) []javasrc.ArchiveSource {
+	src := `package cbinc;
+public class Base {
+    public String cmd;
+
+    protected Object readResolve() {
+        Relay.relay(this.cmd);
+        return this.cmd;
+    }
+}
+
+class Sub extends Base ` + subDecl + ` {
+` + subBody + `}
+
+class Relay {
+    static void relay(String c) {
+        java.lang.Process r = java.lang.Runtime.getRuntime().exec(c);
+    }
+}
+`
+	return []javasrc.ArchiveSource{corpus.RT(), {
+		Name:  "cbinc.jar",
+		Files: []javasrc.File{{Name: "cbinc/Base.java", Source: src}},
+	}}
+}
+
+// TestIncrementalSerializationEdits drives AnalyzeIncremental (gate on)
+// through edits that change the synthesized DISPATCH edges — a class
+// gaining Serializable, then gaining a readObject — and requires each
+// step byte-identical to a cold gate-on build of the same sources. The
+// graph layer must rebuild (or decline its delta); it may never serve
+// the previous run's dispatch edges.
+func TestIncrementalSerializationEdits(t *testing.T) {
+	v1 := dispatchEditArchives("", "    public int marker;\n")
+	v2 := dispatchEditArchives("implements java.io.Serializable", "    public int marker;\n")
+	v3 := dispatchEditArchives("implements java.io.Serializable",
+		"    public int marker;\n\n    private void readObject(java.io.ObjectInputStream s) {\n        Relay.relay(this.cmd);\n    }\n")
+
+	cache := NewAnalysisCache()
+
+	cold1 := runPipelineMode(t, v1, 1, true)
+	inc1, _ := runIncrementalDispatch(t, cache, v1)
+	assertIdentical(t, "v1/cold-cache", cold1, inc1, 1)
+	if chainsHaveFrom(inc1.Chains, "cbinc.Base#readResolve()", "exec") {
+		t.Error("v1: chain found while Sub is not Serializable")
+	}
+
+	// Warm rerun: the gate-on delta path must still detect "unchanged".
+	warm, stats := runIncrementalDispatch(t, cache, v1)
+	assertIdentical(t, "v1/warm", cold1, warm, 1)
+	if stats.GraphReuse != "unchanged" {
+		t.Errorf("warm gate-on rerun GraphReuse = %q, want unchanged", stats.GraphReuse)
+	}
+
+	// Sub gains Serializable: same method set, new dispatch target. The
+	// hierarchy fingerprint changes, so the graph is rebuilt.
+	cold2 := runPipelineMode(t, v2, 1, true)
+	inc2, stats := runIncrementalDispatch(t, cache, v2)
+	assertIdentical(t, "v2/serializable-gained", cold2, inc2, 1)
+	if stats.GraphReuse != "rebuilt" {
+		t.Errorf("Serializable edit GraphReuse = %q, want rebuilt", stats.GraphReuse)
+	}
+	if !chainsHaveFrom(inc2.Chains, "cbinc.Base#readResolve()", "exec") {
+		t.Errorf("v2: inherited-readResolve chain not found; heads: %v", chainHeads(inc2))
+	}
+
+	// Sub gains its own readObject: another dispatch target appears.
+	cold3 := runPipelineMode(t, v3, 1, true)
+	inc3, _ := runIncrementalDispatch(t, cache, v3)
+	assertIdentical(t, "v3/readobject-gained", cold3, inc3, 1)
+	if !chainsHaveFrom(inc3.Chains, "cbinc.Sub#readObject(java.io.ObjectInputStream)", "exec") {
+		t.Errorf("v3: gained readObject chain not found; heads: %v", chainHeads(inc3))
+	}
+
+	// And back: losing the readObject must drop its chain again.
+	cold4 := runPipelineMode(t, v2, 1, true)
+	inc4, _ := runIncrementalDispatch(t, cache, v2)
+	assertIdentical(t, "v4/readobject-lost", cold4, inc4, 1)
+	if chainsHaveFrom(inc4.Chains, "cbinc.Sub#readObject(java.io.ObjectInputStream)", "exec") {
+		t.Error("v4: stale chain from the removed readObject")
+	}
+}

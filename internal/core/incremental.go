@@ -92,11 +92,12 @@ func (e *Engine) AnalyzeIncremental(cache *AnalysisCache, archives []javasrc.Arc
 	}
 
 	cpgOpts := cpg.Options{
-		Sinks:           e.opts.Sinks,
-		Sources:         e.opts.Sources,
-		Taint:           e.opts.TaintOptions,
-		KeepPrunedCalls: e.opts.KeepPrunedCalls,
-		Workers:         e.opts.Workers,
+		Sinks:                 e.opts.Sinks,
+		Sources:               e.opts.Sources,
+		Taint:                 e.opts.TaintOptions,
+		KeepPrunedCalls:       e.opts.KeepPrunedCalls,
+		Workers:               e.opts.Workers,
+		SerializationDispatch: e.opts.SerializationDispatch,
 	}
 	cfgFP := e.configFP()
 	reuse := "rebuilt"
@@ -196,6 +197,10 @@ func (e *Engine) configFP() string {
 	h.Write([]byte{0})
 	if e.opts.KeepPrunedCalls {
 		h.Write([]byte("keep-pruned"))
+	}
+	h.Write([]byte{0})
+	if e.opts.SerializationDispatch {
+		h.Write([]byte("serialization-dispatch"))
 	}
 	h.Write([]byte{0})
 	h.Write([]byte(strconv.Itoa(e.opts.TaintOptions.MaxIterations)))

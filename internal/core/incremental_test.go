@@ -18,7 +18,7 @@ func runIncremental(t *testing.T, cache *AnalysisCache, archives []javasrc.Archi
 	return pipelineOutput{
 		Chains:      rep.Chains,
 		Truncated:   rep.Truncated,
-		Stats:       fmt.Sprintf("%+v", rep.Graph.Stats),
+		Stats:       fmt.Sprintf("%+v dispatch=%d", rep.Graph.Stats, rep.Graph.DispatchEdges),
 		TotalCalls:  rep.Graph.Taint.TotalCalls,
 		PrunedCalls: rep.Graph.Taint.PrunedCalls,
 	}, rep.Timings.Cache

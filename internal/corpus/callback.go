@@ -1,0 +1,120 @@
+package corpus
+
+import (
+	"tabby/internal/java"
+	"tabby/internal/javasrc"
+)
+
+// Callback-only patterns: chains whose entry point no hand-declared
+// source configuration matches, reachable only through the
+// serialization-dispatch pass's derived entry points (DESIGN.md §14).
+const (
+	// PatternCallbackResolve enters through a readResolve inherited from
+	// a non-Serializable base class: name-based source matching (which
+	// requires the declaring class to be Serializable) misses it, while
+	// hierarchy-driven dispatch derivation resolves it through the
+	// Serializable subclass.
+	PatternCallbackResolve Pattern = "callback-resolve"
+	// PatternCallbackProxy enters through InvocationHandler.invoke — a
+	// JVM callback outside the readObject-family name list entirely.
+	PatternCallbackProxy Pattern = "callback-proxy"
+)
+
+// CallbackComponents returns the components whose chains are reachable
+// only via derived dispatch entry points. They are deliberately NOT part
+// of Components() — the Table IX counts and goldens are pinned over that
+// set — and serve the serialization-dispatch recall tests: with the pass
+// on, every chain here is found; with it off, none is. ExpectTabby is
+// false because the paper's configuration (the gate off) cannot see them.
+func CallbackComponents() []Component {
+	return []Component{callbackResolveComponent(), callbackProxyComponent()}
+}
+
+// callbackResolveComponent plants Entry extends Base (Serializable only
+// at the subclass) where Base.readResolve relays this.cmd into
+// Runtime.exec. The dispatch pass resolves readResolve through Entry's
+// superclass chain to Base's declaration.
+func callbackResolveComponent() Component {
+	const pkg = "com.example.resolvecb"
+	src := `
+public class ResolveBase {
+    public String cmd;
+
+    protected Object readResolve() {
+        ResolveRelay.relay(this.cmd);
+        return this.cmd;
+    }
+}
+
+class ResolveEntry extends ResolveBase implements java.io.Serializable {
+    public int marker;
+}
+
+class ResolveRelay {
+    static void relay(String c) {
+        java.lang.Process r = java.lang.Runtime.getRuntime().exec(c);
+    }
+}
+`
+	return Component{
+		Name:    "Callback-ReadResolve",
+		Package: pkg,
+		Archives: []javasrc.ArchiveSource{{
+			Name:  "callback-readresolve.jar",
+			Files: []javasrc.File{{Name: "com/example/resolvecb/ResolveBase.java", Source: "package " + pkg + ";\n" + src}},
+		}},
+		Chains: []ChainSpec{{
+			ID:         "CB1",
+			Source:     java.MakeMethodKey(pkg+".ResolveBase", "readResolve", nil),
+			SinkClass:  "java.lang.Runtime",
+			SinkMethod: "exec",
+			Category:   CatUnknown,
+			Pattern:    PatternCallbackResolve,
+		}},
+	}
+}
+
+// callbackProxyComponent plants a serializable InvocationHandler whose
+// invoke relays this.cmd into a JNDI lookup. "invoke" is not in any
+// source name list; only the dispatch pass's InvocationHandler rule
+// marks it an entry point.
+func callbackProxyComponent() Component {
+	const pkg = "com.example.proxycb"
+	src := `
+public class ProxyHandler implements java.lang.reflect.InvocationHandler, java.io.Serializable {
+    public String cmd;
+
+    public Object invoke(Object proxy, java.lang.reflect.Method method, Object[] args) {
+        ProxyRelay.relay(this.cmd);
+        return this.cmd;
+    }
+}
+
+class ProxyRelay {
+    static void relay(String c) {
+        javax.naming.InitialContext ctx = new javax.naming.InitialContext();
+        Object r = ctx.lookup(c);
+    }
+}
+`
+	return Component{
+		Name:    "Callback-Proxy",
+		Package: pkg,
+		Archives: []javasrc.ArchiveSource{{
+			Name:  "callback-proxy.jar",
+			Files: []javasrc.File{{Name: "com/example/proxycb/ProxyHandler.java", Source: "package " + pkg + ";\n" + src}},
+		}},
+		Chains: []ChainSpec{{
+			ID: "CB2",
+			Source: java.MakeMethodKey(pkg+".ProxyHandler", "invoke", []java.Type{
+				java.ObjectType,
+				java.ClassType("java.lang.reflect.Method"),
+				java.ArrayOf(java.ObjectType),
+			}),
+			SinkClass:  "javax.naming.Context",
+			SinkMethod: "lookup",
+			Category:   CatUnknown,
+			Pattern:    PatternCallbackProxy,
+		}},
+	}
+}

@@ -3,6 +3,7 @@ package cpg
 import (
 	"fmt"
 
+	"tabby/internal/edges"
 	"tabby/internal/graphdb"
 	"tabby/internal/java"
 	"tabby/internal/jimple"
@@ -35,6 +36,13 @@ type Options struct {
 	// relationship is materialized through one batch filled in
 	// deterministic order.
 	Workers int
+	// SerializationDispatch enables the serialization-dispatch pass: a
+	// virtual deserialization-driver method wired by DISPATCH edges to
+	// every hierarchy-derived JVM deserialization callback (readObject/
+	// readResolve/readExternal of Serializable classes and
+	// InvocationHandler.invoke). The pass runs last, so with the gate off
+	// the graph is byte-identical to a build without the pass.
+	SerializationDispatch bool
 }
 
 // Stats counts what Build produced; the Table VIII experiment reports
@@ -62,6 +70,10 @@ type Graph struct {
 	Program *jimple.Program
 	Taint   *taint.Result
 	Stats   Stats
+	// DispatchEdges counts the DISPATCH edges the serialization pass
+	// synthesized (0 with the pass disabled). Kept out of Stats, whose
+	// rendering is pinned by the cold-build golden.
+	DispatchEdges int
 
 	classNode  map[string]graphdb.ID
 	methodNode map[java.MethodKey]graphdb.ID
@@ -184,14 +196,17 @@ func (b *builder) finish() (*Graph, error) {
 			err = fmt.Errorf("cpg: ORG: %w", err)
 			return
 		}
-		if err = b.buildPCG(); err != nil {
-			err = fmt.Errorf("cpg: PCG: %w", err)
-			return
+		var counts edges.Counts
+		for _, pass := range edges.Pipeline(b.opts.SerializationDispatch) {
+			if perr := pass.Synthesize(b, &counts); perr != nil {
+				err = fmt.Errorf("cpg: %s: %w", pass.Name(), perr)
+				return
+			}
 		}
-		if err = b.buildMAG(); err != nil {
-			err = fmt.Errorf("cpg: MAG: %w", err)
-			return
-		}
+		b.g.Stats.CallEdges = counts.CallEdges
+		b.g.Stats.PrunedCalls = counts.PrunedCalls
+		b.g.Stats.AliasEdges = counts.AliasEdges
+		b.g.DispatchEdges = counts.DispatchEdges
 		if err = b.batch.Flush(); err != nil {
 			err = fmt.Errorf("cpg: flush: %w", err)
 		}
@@ -439,70 +454,45 @@ func (b *builder) phantomMethodFor(class, sub string) (graphdb.ID, error) {
 	return b.methodNodeFor(m)
 }
 
-// buildPCG adds CALL edges for every non-pruned call site (§III-B2
-// "Precise Call Graph Extraction"), carrying the Polluted_Position.
-func (b *builder) buildPCG() error {
-	for _, key := range sortutil.SortedKeys(b.g.Taint.Calls) {
-		callerID, ok := b.g.methodNode[key]
-		if !ok {
-			return fmt.Errorf("caller %s has no node", key)
-		}
-		targets := b.callTargets[key]
-		for i, call := range b.g.Taint.Calls[key] {
-			if call.Pruned && !b.opts.KeepPrunedCalls {
-				b.g.Stats.PrunedCalls++
-				continue
-			}
-			var calleeID graphdb.ID
-			if m := targets[i]; m != nil {
-				id, err := b.methodNodeFor(m)
-				if err != nil {
-					return err
-				}
-				calleeID = id
-			} else {
-				id, err := b.phantomMethodFor(call.CalleeClass, call.CalleeSub)
-				if err != nil {
-					return err
-				}
-				calleeID = id
-			}
-			b.batch.CreateRelOwned(RelCall, callerID, calleeID, graphdb.Props{
-				PropPollutedPosition: call.PP.Ints(),
-				PropInvokeKind:       call.Kind.String(),
-				PropStmtIndex:        call.StmtIndex,
-				PropInvokeClass:      call.CalleeClass,
-			})
-			b.g.Stats.CallEdges++
-		}
-	}
-	return nil
+// The builder is the edges.Host of the synthesis pipeline: passes reach
+// node materialization and the precomputed resolution tables through
+// these methods, while ownership of batch order stays here.
+
+// Hierarchy implements edges.Host.
+func (b *builder) Hierarchy() *java.Hierarchy { return b.g.Program.Hierarchy }
+
+// Calls implements edges.Host.
+func (b *builder) Calls() map[java.MethodKey][]taint.CallEdge { return b.g.Taint.Calls }
+
+// Batch implements edges.Host.
+func (b *builder) Batch() *graphdb.Batch { return b.batch }
+
+// KeepPrunedCalls implements edges.Host.
+func (b *builder) KeepPrunedCalls() bool { return b.opts.KeepPrunedCalls }
+
+// MethodNode implements edges.Host.
+func (b *builder) MethodNode(m *java.Method) (graphdb.ID, error) { return b.methodNodeFor(m) }
+
+// PhantomNode implements edges.Host.
+func (b *builder) PhantomNode(class, sub string) (graphdb.ID, error) {
+	return b.phantomMethodFor(class, sub)
 }
 
-// buildMAG adds ALIAS edges from every method to the methods it overrides
-// or implements (§III-B2 "Method Alias Graph Extraction", Formula 1).
-func (b *builder) buildMAG() error {
-	h := b.g.Program.Hierarchy
-	for _, name := range h.SortedClassNames() {
-		c := h.Class(name)
-		for _, m := range c.Methods {
-			fromID, err := b.methodNodeFor(m)
-			if err != nil {
-				return err
-			}
-			supers, ok := b.aliasSupers[m.Key()]
-			if !ok {
-				supers = h.AliasSupers(m)
-			}
-			for _, super := range supers {
-				toID, err := b.methodNodeFor(super)
-				if err != nil {
-					return err
-				}
-				b.batch.CreateRel(RelAlias, fromID, toID, nil)
-				b.g.Stats.AliasEdges++
-			}
-		}
+// NodeByKey implements edges.Host.
+func (b *builder) NodeByKey(key java.MethodKey) (graphdb.ID, bool) {
+	id, ok := b.g.methodNode[key]
+	return id, ok
+}
+
+// ResolvedCallees implements edges.Host.
+func (b *builder) ResolvedCallees(caller java.MethodKey) []*java.Method {
+	return b.callTargets[caller]
+}
+
+// AliasTargets implements edges.Host.
+func (b *builder) AliasTargets(m *java.Method) []*java.Method {
+	if supers, ok := b.aliasSupers[m.Key()]; ok {
+		return supers
 	}
-	return nil
+	return b.g.Program.Hierarchy.AliasSupers(m)
 }

@@ -3,6 +3,7 @@ package cpg
 import (
 	"fmt"
 
+	"tabby/internal/edges"
 	"tabby/internal/graphdb"
 	"tabby/internal/java"
 	"tabby/internal/jimple"
@@ -41,6 +42,15 @@ func (g *Graph) ApplyDelta(prog *jimple.Program, newRes *taint.Result, opts Opti
 		}
 	}
 
+	// A delta never rewrites DISPATCH edges, so it is sound only when the
+	// serialization pass would derive exactly the edges already in the
+	// graph. A class gaining/losing Serializable or a readObject-family
+	// method normally changes the hierarchy fingerprint and never reaches
+	// here, but verify anyway: stale dispatch edges must be impossible.
+	if opts.SerializationDispatch && !g.dispatchCurrent(h) {
+		return false, nil
+	}
+
 	// Resolve every callee once against the new hierarchy, collecting the
 	// phantom demand set and the per-caller targets the edge pass reuses.
 	resolved := make(map[string]*java.Method)
@@ -69,7 +79,14 @@ func (g *Graph) ApplyDelta(prog *jimple.Program, newRes *taint.Result, opts Opti
 		}
 	}
 	phantoms := 0
+	driverKey := edges.DriverKey()
 	for key := range g.methodNode {
+		if key == driverKey {
+			// The virtual dispatch driver is synthetic: never declared in
+			// the hierarchy and never demanded by a call. dispatchCurrent
+			// above already vouched for it and its edges.
+			continue
+		}
 		if h.MethodByKey(key) == nil {
 			phantoms++
 			if !demanded[key] {
@@ -134,6 +151,39 @@ func (g *Graph) ApplyDelta(prog *jimple.Program, newRes *taint.Result, opts Opti
 	g.Program = prog
 	g.Taint = newRes
 	return true, nil
+}
+
+// dispatchCurrent reports whether the DISPATCH edges in the graph match
+// exactly what the serialization pass would derive from the (possibly
+// edited) hierarchy h.
+func (g *Graph) dispatchCurrent(h *java.Hierarchy) bool {
+	want := edges.DispatchTargets(h)
+	driverID, haveDriver := g.methodNode[edges.DriverKey()]
+	if !haveDriver {
+		return len(want) == 0
+	}
+	rels := g.DB.Rels(driverID, graphdb.DirOut, RelDispatch)
+	if len(rels) != len(want) {
+		return false
+	}
+	have := make(map[java.MethodKey]bool, len(rels))
+	for _, rid := range rels {
+		rel := g.DB.Rel(rid)
+		if rel == nil {
+			return false
+		}
+		key, ok := g.methodKey[rel.End]
+		if !ok {
+			return false
+		}
+		have[key] = true
+	}
+	for _, t := range want {
+		if !have[t.Method.Key()] {
+			return false
+		}
+	}
+	return true
 }
 
 func actionsEq(a, b taint.Action) bool {

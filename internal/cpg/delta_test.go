@@ -1,0 +1,126 @@
+package cpg
+
+import (
+	"testing"
+
+	"tabby/internal/javasrc"
+	"tabby/internal/jimple"
+	"tabby/internal/taint"
+)
+
+// deltaSrc renders the dispatch-delta fixture: Base declares a relaying
+// readResolve; whether Sub is Serializable decides whether the dispatch
+// pass derives Base#readResolve() as an entry point.
+func deltaSrc(subImplements string) string {
+	return `
+public class Base {
+    public String cmd;
+
+    protected Object readResolve() {
+        Relay.relay(this.cmd);
+        return this.cmd;
+    }
+}
+
+class Sub extends Base ` + subImplements + ` {
+    public int marker;
+}
+
+class Relay {
+    static void relay(String c) {
+        java.lang.Process r = java.lang.Runtime.getRuntime().exec(c);
+    }
+}
+`
+}
+
+func compileDelta(t *testing.T, subImplements string) (*jimple.Program, *taint.Result) {
+	t.Helper()
+	prog, err := javasrc.Compile("d", "package d;\n"+deltaSrc(subImplements))
+	if err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+	res, err := taint.Analyze(prog, taint.Options{})
+	if err != nil {
+		t.Fatalf("taint: %v", err)
+	}
+	return prog, res
+}
+
+// TestApplyDeltaDeclinesOnDispatchChange pins the defense-in-depth check
+// inside ApplyDelta: a hierarchy edit that changes the derived dispatch
+// targets but not the analyzed method set (Sub gaining Serializable) must
+// make the delta decline rather than serve stale DISPATCH edges. In the
+// engine this edit also changes the hierarchy fingerprint and never
+// reaches ApplyDelta — the check here is what makes staleness impossible
+// even for callers that skip that comparison.
+func TestApplyDeltaDeclinesOnDispatchChange(t *testing.T) {
+	prog1, res1 := compileDelta(t, "")
+	prog2, res2 := compileDelta(t, "implements java.io.Serializable")
+
+	opts := Options{SerializationDispatch: true}
+	g, err := BuildWithResult(prog1, res1, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.DispatchEdges != 0 {
+		t.Fatalf("non-Serializable fixture derived %d dispatch edges, want 0", g.DispatchEdges)
+	}
+
+	// Same program re-analyzed: targets unchanged, delta accepted.
+	ok, err := g.ApplyDelta(prog1, res1, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Error("delta for the unchanged program was declined")
+	}
+
+	// Sub gains Serializable with an identical method set: the action key
+	// sets match, so only the dispatch check can notice the new target.
+	ok, err = g.ApplyDelta(prog2, res2, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok {
+		t.Error("delta accepted across a dispatch-target change: stale DISPATCH edges served")
+	}
+
+	// The same edit under a gate-off graph is a legal delta — no DISPATCH
+	// edges exist to go stale.
+	gOff, err := BuildWithResult(prog1, res1, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ok, err = gOff.ApplyDelta(prog2, res2, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Error("gate-off delta declined for a Serializable-only edit")
+	}
+}
+
+// TestApplyDeltaDeclinesOnDispatchLoss is the reverse edit: a graph built
+// with a derived entry point must decline a delta to a program where the
+// target is gone (Sub losing Serializable).
+func TestApplyDeltaDeclinesOnDispatchLoss(t *testing.T) {
+	prog1, res1 := compileDelta(t, "implements java.io.Serializable")
+	prog2, res2 := compileDelta(t, "")
+
+	opts := Options{SerializationDispatch: true}
+	g, err := BuildWithResult(prog1, res1, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.DispatchEdges == 0 {
+		t.Fatal("Serializable fixture derived no dispatch edges")
+	}
+	ok, err := g.ApplyDelta(prog2, res2, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok {
+		t.Error("delta accepted after the dispatch target disappeared")
+	}
+}

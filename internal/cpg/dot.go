@@ -14,7 +14,8 @@ type DOTOptions struct {
 	// ClassPrefixes keeps only nodes whose NAME starts with one of the
 	// prefixes (empty keeps everything — beware on large graphs).
 	ClassPrefixes []string
-	// EdgeTypes keeps only these relationship types (nil = all five).
+	// EdgeTypes keeps only these relationship types (nil = every type in
+	// RelTypes()).
 	EdgeTypes []string
 	// MaxNodes aborts with an error when the filter still selects more
 	// nodes than this (default 500), preventing unreadable outputs.
@@ -108,8 +109,12 @@ func WriteDOT(w io.Writer, db *graphdb.DB, opts DOTOptions) error {
 		}
 		styleAttr := ""
 		switch rel.Type {
+		case RelCall:
+			// solid black default — the load-bearing edge of chain walks
 		case RelAlias:
 			styleAttr = ", style=dashed"
+		case RelDispatch:
+			styleAttr = `, style=dotted, color="#3d85c6"`
 		case RelHas, RelExtend, RelInterface:
 			styleAttr = ", color=gray"
 		}

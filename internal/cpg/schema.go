@@ -3,8 +3,12 @@
 // edges), the Precise Call Graph (CALL edges annotated with
 // Polluted_Position and pruned by the controllability analysis), and the
 // Method Alias Graph (ALIAS edges per Formula 1), merged into one property
-// graph stored in package graphdb.
+// graph stored in package graphdb. Edge construction itself runs as the
+// ordered pass pipeline of package edges, which optionally adds the
+// serialization-aware DISPATCH edges.
 package cpg
+
+import "tabby/internal/edges"
 
 // Node labels.
 const (
@@ -12,14 +16,21 @@ const (
 	LabelMethod = "Method"
 )
 
-// Relationship types — the five edges of Table II.
+// Relationship types — the five edges of Table II plus the synthesized
+// DISPATCH edge. The vocabulary is owned by internal/edges (the
+// synthesis passes); cpg re-exports it so graph consumers keep a single
+// import.
 const (
-	RelExtend    = "EXTEND"
-	RelInterface = "INTERFACE"
-	RelHas       = "HAS"
-	RelCall      = "CALL"
-	RelAlias     = "ALIAS"
+	RelExtend    = edges.RelExtend
+	RelInterface = edges.RelInterface
+	RelHas       = edges.RelHas
+	RelCall      = edges.RelCall
+	RelAlias     = edges.RelAlias
+	RelDispatch  = edges.RelDispatch
 )
+
+// RelTypes returns every relationship type of the schema, sorted.
+func RelTypes() []string { return edges.AllRelTypes() }
 
 // Class node properties.
 const (
@@ -48,10 +59,16 @@ const (
 	PropAction           = "ACTION"
 )
 
-// CALL edge properties.
+// CALL edge properties (owned by internal/edges, re-exported).
 const (
-	PropPollutedPosition = "POLLUTED_POSITION"
-	PropInvokeKind       = "INVOKE_KIND"
-	PropStmtIndex        = "STMT_INDEX"
-	PropInvokeClass      = "INVOKE_CLASS"
+	PropPollutedPosition = edges.PropPollutedPosition
+	PropInvokeKind       = edges.PropInvokeKind
+	PropStmtIndex        = edges.PropStmtIndex
+	PropInvokeClass      = edges.PropInvokeClass
+)
+
+// DISPATCH edge properties (owned by internal/edges, re-exported).
+const (
+	PropProvenance   = edges.PropProvenance
+	PropDispatchKind = edges.PropDispatchKind
 )

@@ -1,0 +1,32 @@
+package edges
+
+// overrideAliasPass adds ALIAS edges from every method to the methods it
+// overrides or implements (§III-B2 "Method Alias Graph Extraction",
+// Formula 1).
+type overrideAliasPass struct{}
+
+func (overrideAliasPass) Name() string { return ProvMAG }
+func (overrideAliasPass) Rel() string  { return RelAlias }
+
+func (overrideAliasPass) Synthesize(h Host, c *Counts) error {
+	hier := h.Hierarchy()
+	batch := h.Batch()
+	for _, name := range hier.SortedClassNames() {
+		cl := hier.Class(name)
+		for _, m := range cl.Methods {
+			fromID, err := h.MethodNode(m)
+			if err != nil {
+				return err
+			}
+			for _, super := range h.AliasTargets(m) {
+				toID, err := h.MethodNode(super)
+				if err != nil {
+					return err
+				}
+				batch.CreateRel(RelAlias, fromID, toID, nil)
+				c.AliasEdges++
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,134 @@
+package edges
+
+import (
+	"sort"
+
+	"tabby/internal/graphdb"
+	"tabby/internal/java"
+)
+
+// The virtual deserialization driver: a synthetic method node standing in
+// for the JVM's ObjectInputStream machinery. Every DISPATCH edge starts
+// here, modeling the call the runtime makes into user code when a stream
+// is deserialized (Seneca's serialization-induced edges).
+const (
+	DriverClass  = "java.io.ObjectInputStream"
+	DriverMethod = "<dispatch>"
+)
+
+// InvocationHandlerIface is the dynamic-proxy callback interface; any
+// class implementing it can have its invoke method triggered by a
+// deserialized proxy instance.
+const InvocationHandlerIface = "java.lang.reflect.InvocationHandler"
+
+// serializationCallbacks are the JVM-invoked private protocol methods of
+// java.io.Serializable types, in derivation order.
+var serializationCallbacks = []struct {
+	kind string
+	sub  string
+}{
+	{"readObject", "readObject(java.io.ObjectInputStream)"},
+	{"readResolve", "readResolve()"},
+	{"readExternal", "readExternal(java.io.ObjectInput)"},
+	{"readObjectNoData", "readObjectNoData()"},
+	{"validateObject", "validateObject()"},
+}
+
+// invokeSub is InvocationHandler.invoke's sub-signature.
+const invokeSub = "invoke(java.lang.Object,java.lang.reflect.Method,java.lang.Object[])"
+
+// DriverKey is the method key of the virtual deserialization driver.
+func DriverKey() java.MethodKey {
+	return java.MakeMethodKey(DriverClass, DriverMethod, nil)
+}
+
+func driverMethod() *java.Method {
+	return &java.Method{
+		ClassName: DriverClass,
+		Name:      DriverMethod,
+		Return:    java.Void,
+		Modifiers: java.ModPublic,
+	}
+}
+
+// DispatchTarget is one derived deserialization entry point.
+type DispatchTarget struct {
+	Method *java.Method
+	// Kind is the callback rule that derived the target: one of the
+	// serializationCallbacks kinds ("readObject", "readResolve",
+	// "readExternal", "readObjectNoData", "validateObject") or "invoke".
+	Kind string
+}
+
+// DispatchTargets derives every deserialization entry point of the
+// hierarchy: for each Serializable class, the readObject/readResolve/
+// readExternal methods it would dispatch to (resolution walks the
+// superclass chain, so a non-Serializable base class's readResolve
+// inherited by a Serializable subclass is found — the case name-based
+// source matching misses); and for each InvocationHandler implementor,
+// its invoke method. Targets are deduplicated by method key and returned
+// in key order.
+func DispatchTargets(h *java.Hierarchy) []DispatchTarget {
+	byKey := make(map[java.MethodKey]DispatchTarget)
+	add := func(m *java.Method, kind string) {
+		// Static methods are never JVM callbacks. Abstract declarations
+		// stay in: an interface's own callback declaration (for example
+		// Externalizable.readExternal) is a source node in the graph's
+		// model — ALIAS edges connect it to every concrete override, which
+		// is exactly how interface-dispatched chains are reported.
+		if m == nil || m.IsStatic() {
+			return
+		}
+		if _, ok := byKey[m.Key()]; !ok {
+			byKey[m.Key()] = DispatchTarget{Method: m, Kind: kind}
+		}
+	}
+	for _, name := range h.SerializableClasses() {
+		for _, cb := range serializationCallbacks {
+			add(h.ResolveMethod(name, cb.sub), cb.kind)
+		}
+	}
+	for _, name := range h.SortedClassNames() {
+		if h.Implements(name, InvocationHandlerIface) {
+			add(h.ResolveMethod(name, invokeSub), "invoke")
+		}
+	}
+	out := make([]DispatchTarget, 0, len(byKey))
+	for _, t := range byKey {
+		out = append(out, t)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Method.Key() < out[j].Method.Key() })
+	return out
+}
+
+// serializationDispatchPass materializes the virtual driver node and one
+// DISPATCH edge per derived entry point. It runs last so that a build
+// with the pass disabled produces a byte-identical node/edge sequence.
+type serializationDispatchPass struct{}
+
+func (serializationDispatchPass) Name() string { return ProvSerialization }
+func (serializationDispatchPass) Rel() string  { return RelDispatch }
+
+func (serializationDispatchPass) Synthesize(h Host, c *Counts) error {
+	targets := DispatchTargets(h.Hierarchy())
+	if len(targets) == 0 {
+		return nil
+	}
+	driverID, err := h.MethodNode(driverMethod())
+	if err != nil {
+		return err
+	}
+	batch := h.Batch()
+	for _, t := range targets {
+		id, err := h.MethodNode(t.Method)
+		if err != nil {
+			return err
+		}
+		batch.CreateRelOwned(RelDispatch, driverID, id, graphdb.Props{
+			PropProvenance:   ProvSerialization,
+			PropDispatchKind: t.Kind,
+		})
+		c.DispatchEdges++
+	}
+	return nil
+}

@@ -1,0 +1,117 @@
+// Package edges is the edge-synthesis pass pipeline of the code property
+// graph. Each pass contributes one typed, provenance-tagged relationship
+// family to the graph batch: call resolution emits CALL (the Precise Call
+// Graph), override aliasing emits ALIAS (the Method Alias Graph,
+// Formula 1), and the serialization-dispatch pass emits DISPATCH — edges
+// from a virtual deserialization driver to every JVM-invoked
+// deserialization callback, so chains that enter through callbacks are
+// found without hand-declared sources.
+//
+// The package also owns the relationship-type vocabulary and its edge
+// properties; package cpg re-exports them so graph consumers keep a
+// single import. edges deliberately depends only on the program model
+// (java/jimple/taint) and graphdb — never on cpg — which is what lets
+// cpg run the pipeline.
+package edges
+
+import (
+	"sort"
+)
+
+// Relationship types — the five edges of Table II plus the synthesized
+// DISPATCH edge of the serialization-aware pipeline.
+const (
+	RelExtend    = "EXTEND"
+	RelInterface = "INTERFACE"
+	RelHas       = "HAS"
+	RelCall      = "CALL"
+	RelAlias     = "ALIAS"
+	RelDispatch  = "DISPATCH"
+)
+
+// CALL edge properties.
+const (
+	PropPollutedPosition = "POLLUTED_POSITION"
+	PropInvokeKind       = "INVOKE_KIND"
+	PropStmtIndex        = "STMT_INDEX"
+	PropInvokeClass      = "INVOKE_CLASS"
+)
+
+// DISPATCH edge properties.
+const (
+	// PropProvenance names the synthesis pass that created the edge.
+	PropProvenance = "PROVENANCE"
+	// PropDispatchKind records which JVM callback rule derived the edge:
+	// a serialization callback name ("readObject", "readResolve",
+	// "readExternal", "readObjectNoData", "validateObject") or "invoke".
+	PropDispatchKind = "DISPATCH_KIND"
+)
+
+// Provenance tags: the pipeline stage each relationship type comes from.
+const (
+	ProvORG           = "org"           // object relationship graph assembly
+	ProvPCG           = "pcg"           // call-resolution pass
+	ProvMAG           = "mag"           // override-alias pass
+	ProvSerialization = "serialization" // serialization-dispatch pass
+)
+
+// provenanceByRel maps every relationship type of the schema to the
+// stage that synthesizes it. The rel-type exhaustiveness check
+// (scripts/check_reltypes.sh) and TestProvenanceCoversAllRelTypes keep
+// this table complete as the schema grows.
+var provenanceByRel = map[string]string{
+	RelExtend:    ProvORG,
+	RelInterface: ProvORG,
+	RelHas:       ProvORG,
+	RelCall:      ProvPCG,
+	RelAlias:     ProvMAG,
+	RelDispatch:  ProvSerialization,
+}
+
+// Provenance returns the name of the pipeline stage that synthesizes
+// edges of the given relationship type ("" for unknown types).
+func Provenance(relType string) string { return provenanceByRel[relType] }
+
+// AllRelTypes returns every relationship type of the schema, sorted.
+func AllRelTypes() []string {
+	out := make([]string, 0, len(provenanceByRel))
+	for t := range provenanceByRel {
+		out = append(out, t)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Counts accumulates what the passes produced; the graph builder copies
+// them into its stats.
+type Counts struct {
+	CallEdges     int
+	PrunedCalls   int
+	AliasEdges    int
+	DispatchEdges int
+}
+
+// Pass is one ordered stage of the edge-synthesis pipeline. A pass reads
+// the analyzed program through Host and appends its edges to the host's
+// batch; it must be deterministic — node and relationship creation order
+// may not depend on map iteration or worker count.
+type Pass interface {
+	// Name is the pass's provenance tag (see the Prov* constants).
+	Name() string
+	// Rel is the relationship type the pass emits.
+	Rel() string
+	// Synthesize appends the pass's edges to the host batch, counting
+	// them in c.
+	Synthesize(h Host, c *Counts) error
+}
+
+// Pipeline returns the ordered pass list. The serialization-dispatch
+// pass is gated and always runs last, so a gated-off build produces a
+// byte-identical node/edge sequence.
+func Pipeline(serializationDispatch bool) []Pass {
+	ps := []Pass{callResolutionPass{}, overrideAliasPass{}}
+	if serializationDispatch {
+		ps = append(ps, serializationDispatchPass{})
+	}
+	return ps
+}

@@ -1,0 +1,164 @@
+package edges_test
+
+import (
+	"reflect"
+	"testing"
+
+	"tabby/internal/cpg"
+	"tabby/internal/edges"
+	"tabby/internal/java"
+)
+
+// TestProvenanceCoversAllRelTypes pins the schema contract the rel-type
+// exhaustiveness check (scripts/check_reltypes.sh) enforces at the shell
+// level: every relationship type has a provenance tag, the vocabulary
+// cpg re-exports is exactly the one edges owns, and unknown types map to
+// "".
+func TestProvenanceCoversAllRelTypes(t *testing.T) {
+	all := edges.AllRelTypes()
+	want := []string{"ALIAS", "CALL", "DISPATCH", "EXTEND", "HAS", "INTERFACE"}
+	if !reflect.DeepEqual(all, want) {
+		t.Fatalf("AllRelTypes() = %v, want %v", all, want)
+	}
+	if !reflect.DeepEqual(cpg.RelTypes(), all) {
+		t.Errorf("cpg.RelTypes() = %v diverges from edges.AllRelTypes() = %v", cpg.RelTypes(), all)
+	}
+	for _, rt := range all {
+		if edges.Provenance(rt) == "" {
+			t.Errorf("Provenance(%q) = \"\": rel type has no pipeline stage", rt)
+		}
+	}
+	if got := edges.Provenance("NO_SUCH_REL"); got != "" {
+		t.Errorf("Provenance(unknown) = %q, want \"\"", got)
+	}
+	// The cpg aliases must be the same strings, not lookalikes.
+	aliases := map[string]string{
+		cpg.RelExtend:    edges.RelExtend,
+		cpg.RelInterface: edges.RelInterface,
+		cpg.RelHas:       edges.RelHas,
+		cpg.RelCall:      edges.RelCall,
+		cpg.RelAlias:     edges.RelAlias,
+		cpg.RelDispatch:  edges.RelDispatch,
+	}
+	for c, e := range aliases {
+		if c != e {
+			t.Errorf("cpg re-export %q != edges constant %q", c, e)
+		}
+	}
+	if edges.Provenance(edges.RelDispatch) != edges.ProvSerialization {
+		t.Errorf("DISPATCH provenance = %q, want %q", edges.Provenance(edges.RelDispatch), edges.ProvSerialization)
+	}
+}
+
+// dispatchUniverse builds a hierarchy exercising every derivation rule:
+//
+//	Base                      (not Serializable, declares readResolve)
+//	  └─ Entry  implements Serializable   (inherits Base.readResolve)
+//	Plain      implements Serializable    (private readObject, static helper)
+//	Handler    implements InvocationHandler, Serializable  (invoke; the interface declaration is a target too)
+//	Unrelated                 (readObject, but not Serializable: no target)
+func dispatchUniverse(t *testing.T) *java.Hierarchy {
+	t.Helper()
+	oisParam := []java.Type{java.ClassType("java.io.ObjectInputStream")}
+
+	base := &java.Class{Name: "com.example.Base", Modifiers: java.ModPublic, Super: java.ObjectClass}
+	base.AddMethod(&java.Method{Name: "readResolve", Return: java.ObjectType, Modifiers: java.ModProtected})
+
+	entry := &java.Class{
+		Name: "com.example.Entry", Modifiers: java.ModPublic,
+		Super: "com.example.Base", Interfaces: []string{java.SerializableIface},
+	}
+
+	plain := &java.Class{
+		Name: "com.example.Plain", Modifiers: java.ModPublic,
+		Super: java.ObjectClass, Interfaces: []string{java.SerializableIface},
+	}
+	plain.AddMethod(&java.Method{Name: "readObject", Params: oisParam, Return: java.Void, Modifiers: java.ModPrivate})
+	// A static method can never be a JVM callback, whatever its name.
+	plain.AddMethod(&java.Method{Name: "readResolve", Return: java.ObjectType, Modifiers: java.ModStatic})
+
+	ihandler := &java.Class{
+		Name:      edges.InvocationHandlerIface,
+		Modifiers: java.ModPublic | java.ModInterface | java.ModAbstract,
+	}
+	invokeParams := []java.Type{
+		java.ObjectType,
+		java.ClassType("java.lang.reflect.Method"),
+		java.ArrayOf(java.ObjectType),
+	}
+	ihandler.AddMethod(&java.Method{
+		Name: "invoke", Params: invokeParams, Return: java.ObjectType,
+		Modifiers: java.ModPublic | java.ModAbstract,
+	})
+
+	handler := &java.Class{
+		Name: "com.example.Handler", Modifiers: java.ModPublic,
+		Super:      java.ObjectClass,
+		Interfaces: []string{edges.InvocationHandlerIface, java.SerializableIface},
+	}
+	handler.AddMethod(&java.Method{
+		Name: "invoke", Params: invokeParams, Return: java.ObjectType, Modifiers: java.ModPublic,
+	})
+
+	unrelated := &java.Class{Name: "com.example.Unrelated", Modifiers: java.ModPublic, Super: java.ObjectClass}
+	unrelated.AddMethod(&java.Method{Name: "readObject", Params: oisParam, Return: java.Void, Modifiers: java.ModPrivate})
+
+	h, err := java.NewHierarchy([]*java.Class{base, entry, plain, ihandler, handler, unrelated})
+	if err != nil {
+		t.Fatalf("NewHierarchy: %v", err)
+	}
+	return h
+}
+
+func TestDispatchTargets(t *testing.T) {
+	h := dispatchUniverse(t)
+	targets := edges.DispatchTargets(h)
+
+	got := make(map[string]string, len(targets)) // method key -> kind
+	for i, tgt := range targets {
+		got[string(tgt.Method.Key())] = tgt.Kind
+		if i > 0 && !(targets[i-1].Method.Key() < tgt.Method.Key()) {
+			t.Errorf("targets not sorted by key: %q before %q",
+				targets[i-1].Method.Key(), tgt.Method.Key())
+		}
+	}
+	want := map[string]string{
+		// Inherited through the superclass chain: the declaring class is
+		// the non-Serializable base — the case name-based sources miss.
+		"com.example.Base#readResolve()":                                                           "readResolve",
+		"com.example.Plain#readObject(java.io.ObjectInputStream)":                                  "readObject",
+		"com.example.Handler#invoke(java.lang.Object,java.lang.reflect.Method,java.lang.Object[])": "invoke",
+		// The interface's own abstract declaration is a target too: ALIAS
+		// edges fan out from it to every concrete implementation.
+		"java.lang.reflect.InvocationHandler#invoke(java.lang.Object,java.lang.reflect.Method,java.lang.Object[])": "invoke",
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("DispatchTargets = %v, want %v", got, want)
+	}
+}
+
+// TestDispatchTargetsDedupe: two Serializable subclasses inheriting the
+// same base callback yield one target for the shared method.
+func TestDispatchTargetsDedupe(t *testing.T) {
+	base := &java.Class{Name: "p.Base", Modifiers: java.ModPublic, Super: java.ObjectClass}
+	base.AddMethod(&java.Method{Name: "readResolve", Return: java.ObjectType, Modifiers: java.ModProtected})
+	a := &java.Class{Name: "p.A", Modifiers: java.ModPublic, Super: "p.Base", Interfaces: []string{java.SerializableIface}}
+	b := &java.Class{Name: "p.B", Modifiers: java.ModPublic, Super: "p.Base", Interfaces: []string{java.SerializableIface}}
+	h, err := java.NewHierarchy([]*java.Class{base, a, b})
+	if err != nil {
+		t.Fatalf("NewHierarchy: %v", err)
+	}
+	targets := edges.DispatchTargets(h)
+	if len(targets) != 1 {
+		t.Fatalf("got %d targets, want 1 (deduped): %v", len(targets), targets)
+	}
+	if key := string(targets[0].Method.Key()); key != "p.Base#readResolve()" {
+		t.Errorf("target key = %q, want p.Base#readResolve()", key)
+	}
+}
+
+func TestDriverKey(t *testing.T) {
+	if got, want := string(edges.DriverKey()), "java.io.ObjectInputStream#<dispatch>()"; got != want {
+		t.Errorf("DriverKey() = %q, want %q", got, want)
+	}
+}

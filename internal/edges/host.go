@@ -1,0 +1,37 @@
+package edges
+
+import (
+	"tabby/internal/graphdb"
+	"tabby/internal/java"
+	"tabby/internal/taint"
+)
+
+// Host is the graph builder's face toward the passes: node
+// materialization, the analyzed program, and the batch the edges land
+// in. cpg's builder implements it; tests may substitute lighter hosts.
+type Host interface {
+	// Hierarchy returns the analyzed program's class hierarchy.
+	Hierarchy() *java.Hierarchy
+	// Calls returns the controllability analysis's call edges per caller.
+	Calls() map[java.MethodKey][]taint.CallEdge
+	// Batch is the graph batch every pass appends to.
+	Batch() *graphdb.Batch
+	// KeepPrunedCalls reports whether all-∞ call edges are retained
+	// (the MCG ablation mode).
+	KeepPrunedCalls() bool
+	// MethodNode returns (creating once) the node of a method.
+	MethodNode(m *java.Method) (graphdb.ID, error)
+	// PhantomNode returns (creating once) the node of an unresolvable
+	// callee.
+	PhantomNode(class, sub string) (graphdb.ID, error)
+	// NodeByKey looks up an already-materialized method node.
+	NodeByKey(key java.MethodKey) (graphdb.ID, bool)
+	// ResolvedCallees returns the precomputed resolution of a caller's
+	// call edges, aligned with Calls()[caller] (nil entries are phantom
+	// callees). A nil slice means no precomputation; the pass resolves
+	// through the hierarchy itself.
+	ResolvedCallees(caller java.MethodKey) []*java.Method
+	// AliasTargets returns the methods m overrides or implements
+	// (Formula 1).
+	AliasTargets(m *java.Method) []*java.Method
+}

@@ -208,6 +208,31 @@ func (h *Hierarchy) IsSerializable(name string) bool {
 	return v
 }
 
+// Implements reports whether the class (or interface) fqcn is, extends,
+// or transitively implements the interface iface. It is false whenever
+// iface is not a known interface — unlike IsSubtypeOf it never treats a
+// plain superclass as a match.
+func (h *Hierarchy) Implements(fqcn, iface string) bool {
+	c := h.classes[iface]
+	if c == nil || !c.IsInterface() {
+		return false
+	}
+	return h.IsSubtypeOf(fqcn, iface)
+}
+
+// SerializableClasses returns, in sorted order, the name of every class
+// and interface for which IsSerializable holds — the candidate set the
+// serialization-dispatch pass derives deserialization entry points from.
+func (h *Hierarchy) SerializableClasses() []string {
+	var out []string
+	for _, name := range h.SortedClassNames() {
+		if h.IsSerializable(name) {
+			out = append(out, name)
+		}
+	}
+	return out
+}
+
 // DirectSubclasses returns the classes whose superclass is name.
 func (h *Hierarchy) DirectSubclasses(name string) []string {
 	out := append([]string(nil), h.subclasses[name]...)

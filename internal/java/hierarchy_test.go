@@ -268,3 +268,61 @@ func TestClassAccessors(t *testing.T) {
 		t.Error("MethodsByName misbehaves")
 	}
 }
+
+func TestImplements(t *testing.T) {
+	h := buildTestHierarchy(t)
+	cases := []struct {
+		fqcn, iface string
+		want        bool
+	}{
+		// Direct and transitive interface implementation.
+		{"java.util.AbstractMap", "java.util.Map", true},
+		{"java.util.HashMap", "java.util.Map", true}, // via superclass
+		{"java.util.HashMap", SerializableIface, true},
+		{"java.net.URL", SerializableIface, true},
+		{"java.util.AbstractMap", SerializableIface, false},
+		// An interface "implements" itself and its super-interfaces.
+		{"java.util.Map", "java.util.Map", true},
+		// A superclass is not an interface: never a match.
+		{"java.util.HashMap", "java.util.AbstractMap", false},
+		{"java.util.HashMap", ObjectClass, false},
+		// Unknown interface names are never matched.
+		{"java.util.HashMap", "no.such.Iface", false},
+	}
+	for _, tc := range cases {
+		if got := h.Implements(tc.fqcn, tc.iface); got != tc.want {
+			t.Errorf("Implements(%q, %q) = %v, want %v", tc.fqcn, tc.iface, got, tc.want)
+		}
+	}
+}
+
+func TestSerializableClasses(t *testing.T) {
+	h := buildTestHierarchy(t)
+	got := h.SerializableClasses()
+	want := map[string]bool{
+		// The bootstrap interfaces themselves satisfy IsSerializable.
+		SerializableIface:   true,
+		ExternalizableIface: true,
+		"java.util.HashMap": true,
+		"java.util.EnumMap": true,
+		"java.net.URL":      true,
+	}
+	seen := make(map[string]bool, len(got))
+	for i, name := range got {
+		if i > 0 && got[i-1] >= name {
+			t.Fatalf("SerializableClasses not sorted-unique: %q before %q", got[i-1], name)
+		}
+		seen[name] = true
+		if !h.IsSerializable(name) {
+			t.Errorf("SerializableClasses includes %q but IsSerializable is false", name)
+		}
+		if !want[name] {
+			t.Errorf("SerializableClasses includes unexpected %q", name)
+		}
+	}
+	for name := range want {
+		if !seen[name] {
+			t.Errorf("SerializableClasses missing %q", name)
+		}
+	}
+}

@@ -18,6 +18,10 @@ var _javaLang = map[string]string{
 	"RuntimeException": "java.lang.RuntimeException", "Error": "java.lang.Error",
 	"Throwable": "java.lang.Throwable", "Integer": "java.lang.Integer",
 	"Long": "java.lang.Long", "Boolean": "java.lang.Boolean",
+	"Byte": "java.lang.Byte", "Short": "java.lang.Short",
+	"Float": "java.lang.Float", "Double": "java.lang.Double",
+	"Character": "java.lang.Character", "Number": "java.lang.Number",
+	"CharSequence": "java.lang.CharSequence", "Math": "java.lang.Math",
 	"StringBuilder": "java.lang.StringBuilder", "Comparable": "java.lang.Comparable",
 	"Iterable": "java.lang.Iterable", "Cloneable": "java.lang.Cloneable",
 	"IllegalStateException":         "java.lang.IllegalStateException",

@@ -1,0 +1,61 @@
+package javasrc
+
+import "testing"
+
+// TestJavaLangResolution pins the implicit java.lang.* table: every name
+// javac resolves without an import must resolve here too, and the
+// precedence order (imports, then same-package declarations, then
+// java.lang) must hold.
+func TestJavaLangResolution(t *testing.T) {
+	decls := indexDeclared(map[string]bool{
+		"com.example.Helper": true,
+		"com.example.Number": true, // shadows java.lang.Number in-package
+	})
+	r := newResolver(&Unit{
+		Package: "com.example",
+		Imports: []string{"java.util.HashMap", "other.pkg.Character"},
+	}, decls)
+
+	cases := []struct {
+		name string
+		want string
+	}{
+		// The boxed/common types of the implicit-import table.
+		{"Object", "java.lang.Object"},
+		{"String", "java.lang.String"},
+		{"Integer", "java.lang.Integer"},
+		{"Long", "java.lang.Long"},
+		{"Boolean", "java.lang.Boolean"},
+		{"Byte", "java.lang.Byte"},
+		{"Short", "java.lang.Short"},
+		{"Float", "java.lang.Float"},
+		{"Double", "java.lang.Double"},
+		{"Number", "com.example.Number"},     // same-package beats java.lang
+		{"Character", "other.pkg.Character"}, // import beats java.lang
+		{"CharSequence", "java.lang.CharSequence"},
+		{"Math", "java.lang.Math"},
+		{"Runtime", "java.lang.Runtime"},
+		// Precedence of the other tables.
+		{"Helper", "com.example.Helper"},
+		{"HashMap", "java.util.HashMap"},
+		// Qualified names pass through; unknown simple names fail.
+		{"java.io.File", "java.io.File"},
+		{"NoSuchClass", ""},
+	}
+	for _, tc := range cases {
+		if got := r.resolveClass(tc.name); got != tc.want {
+			t.Errorf("resolveClass(%q) = %q, want %q", tc.name, got, tc.want)
+		}
+	}
+
+	// A unit with no imports resolves Number/Character from java.lang.
+	bare := newResolver(&Unit{Package: "p"}, indexDeclared(map[string]bool{}))
+	for name, want := range map[string]string{
+		"Number":    "java.lang.Number",
+		"Character": "java.lang.Character",
+	} {
+		if got := bare.resolveClass(name); got != want {
+			t.Errorf("bare resolveClass(%q) = %q, want %q", name, got, want)
+		}
+	}
+}

@@ -32,7 +32,7 @@ func FindGeneric(db *graphdb.DB, opts Options) (*Result, error) {
 	budget := &visitBudget{limit: int64(opts.VisitBudget)}
 	outs := parallel.Map(opts.Workers, seeds, func(_ int, s seed) sinkSearch {
 		f := &finder{db: db, opts: opts, budget: budget, seen: make(map[string]bool), srcWant: sourceNameSet(opts)}
-		f.dfs([]graphdb.ID{s.sink}, map[graphdb.ID]bool{s.sink: true}, []TC{s.tc}, s.sinkType)
+		f.dfs([]graphdb.ID{s.sink}, map[graphdb.ID]bool{s.sink: true}, []TC{s.tc}, []string{""}, s.sinkType)
 		return sinkSearch{chains: f.chains, stopped: f.stopped}
 	})
 	return merge(outs, opts, budget), nil
@@ -50,6 +50,9 @@ type finder struct {
 
 // isSource is the Evaluator's source test.
 func (f *finder) isSource(node graphdb.ID) bool {
+	if f.opts.DispatchSources && len(f.db.Rels(node, graphdb.DirIn, cpg.RelDispatch)) > 0 {
+		return true
+	}
 	if f.srcWant != nil {
 		v, _ := f.db.NodeProp(node, cpg.PropMethodName)
 		name, _ := v.(string)
@@ -64,8 +67,10 @@ func (f *finder) isSource(node graphdb.ID) bool {
 }
 
 // dfs explores backwards from the sink. path[0] is the sink; the last
-// element is the current frontier node. tcs parallels path.
-func (f *finder) dfs(path []graphdb.ID, onPath map[graphdb.ID]bool, tcs []TC, sinkType string) {
+// element is the current frontier node. tcs and kinds parallel path
+// (kinds[i] is the edge type between path[i] and path[i-1]; kinds[0] is
+// unused).
+func (f *finder) dfs(path []graphdb.ID, onPath map[graphdb.ID]bool, tcs []TC, kinds []string, sinkType string) {
 	if f.stopped {
 		return
 	}
@@ -78,7 +83,7 @@ func (f *finder) dfs(path []graphdb.ID, onPath map[graphdb.ID]bool, tcs []TC, si
 	// parameters are framework-supplied deserialization state (the
 	// ObjectInputStream of Fig. 1), all attacker-derived.
 	if len(path) > 1 && f.isSource(node) {
-		f.record(path, tcs, sinkType)
+		f.record(path, tcs, kinds, sinkType)
 		return
 	}
 	if len(path) >= f.opts.MaxDepth {
@@ -107,7 +112,7 @@ func (f *finder) dfs(path []graphdb.ID, onPath map[graphdb.ID]bool, tcs []TC, si
 		if !ok {
 			continue // Expander rejected: a required position became ∞
 		}
-		f.step(path, onPath, tcs, caller, next, sinkType)
+		f.step(path, onPath, tcs, kinds, caller, next, cpg.RelCall, sinkType)
 	}
 
 	// Expander, ALIAS case: TC passes through unchanged, both directions
@@ -121,13 +126,13 @@ func (f *finder) dfs(path []graphdb.ID, onPath map[graphdb.ID]bool, tcs []TC, si
 		if onPath[other] {
 			continue
 		}
-		f.step(path, onPath, tcs, other, tc, sinkType)
+		f.step(path, onPath, tcs, kinds, other, tc, cpg.RelAlias, sinkType)
 	}
 }
 
-func (f *finder) step(path []graphdb.ID, onPath map[graphdb.ID]bool, tcs []TC, next graphdb.ID, nextTC TC, sinkType string) {
+func (f *finder) step(path []graphdb.ID, onPath map[graphdb.ID]bool, tcs []TC, kinds []string, next graphdb.ID, nextTC TC, kind string, sinkType string) {
 	onPath[next] = true
-	f.dfs(append(path, next), onPath, append(tcs, nextTC), sinkType)
+	f.dfs(append(path, next), onPath, append(tcs, nextTC), append(kinds, kind), sinkType)
 	delete(onPath, next)
 }
 
@@ -143,12 +148,13 @@ func (f *finder) spendBudget() bool {
 
 // record reverses the sink-rooted path into source-first order and
 // deduplicates.
-func (f *finder) record(path []graphdb.ID, tcs []TC, sinkType string) {
+func (f *finder) record(path []graphdb.ID, tcs []TC, kinds []string, sinkType string) {
 	n := len(path)
 	chain := Chain{
 		Nodes:    make([]graphdb.ID, n),
 		Names:    make([]string, n),
 		TCs:      make([]TC, n),
+		Edges:    make([]string, n-1),
 		SinkType: sinkType,
 	}
 	for i := 0; i < n; i++ {
@@ -158,6 +164,9 @@ func (f *finder) record(path []graphdb.ID, tcs []TC, sinkType string) {
 			if s, ok := v.(string); ok {
 				chain.Names[i] = s
 			}
+		}
+		if i < n-1 {
+			chain.Edges[i] = kinds[n-1-i]
 		}
 	}
 	key := chain.Key()

@@ -1,6 +1,7 @@
 package pathfinder
 
 import (
+	"tabby/internal/cpg"
 	"tabby/internal/graphdb"
 	"tabby/internal/searchindex"
 )
@@ -33,6 +34,7 @@ type indexedFinder struct {
 	onPath []uint64 // node-index bitset of the current path
 	path   []int32  // sink-rooted node stack (node indexes)
 	tcRefs []int32  // parallel TC pool refs
+	kinds  []int8   // parallel edge kinds: kinds[j] is the edge between path[j] and path[j-1]; kinds[0] unused
 
 	pool    searchindex.IntPool // finder-local: seed + derived TCs
 	scratch []int32             // reused by traverseInto
@@ -76,6 +78,7 @@ func (f *indexedFinder) search(s seed) sinkSearch {
 	f.setBit(v)
 	f.path = append(f.path[:0], v)
 	f.tcRefs = append(f.tcRefs[:0], ref)
+	f.kinds = append(f.kinds[:0], 0)
 	f.dfs(v, ref)
 	return sinkSearch{chains: f.chains, stopped: f.stopped}
 }
@@ -128,7 +131,7 @@ func (f *indexedFinder) dfs(v, tcRef int32) (found, tainted bool) {
 		if !ok {
 			continue // Expander rejected: a required position became ∞
 		}
-		fnd, tnt := f.step(caller, next)
+		fnd, tnt := f.step(caller, next, stepCall)
 		found = found || fnd
 		tainted = tainted || tnt
 	}
@@ -144,7 +147,7 @@ func (f *indexedFinder) dfs(v, tcRef int32) (found, tainted bool) {
 			tainted = true
 			continue
 		}
-		fnd, tnt := f.step(other, tcRef)
+		fnd, tnt := f.step(other, tcRef, stepAlias)
 		found = found || fnd
 		tainted = tainted || tnt
 	}
@@ -155,13 +158,23 @@ func (f *indexedFinder) dfs(v, tcRef int32) (found, tainted bool) {
 	return found, tainted
 }
 
-func (f *indexedFinder) step(next, tcRef int32) (found, tainted bool) {
+// Edge kinds the DFS steps across, indexing stepRel.
+const (
+	stepCall int8 = iota
+	stepAlias
+)
+
+var stepRel = [...]string{cpg.RelCall, cpg.RelAlias}
+
+func (f *indexedFinder) step(next, tcRef int32, kind int8) (found, tainted bool) {
 	f.setBit(next)
 	f.path = append(f.path, next)
 	f.tcRefs = append(f.tcRefs, tcRef)
+	f.kinds = append(f.kinds, kind)
 	found, tainted = f.dfs(next, tcRef)
 	f.path = f.path[:len(f.path)-1]
 	f.tcRefs = f.tcRefs[:len(f.tcRefs)-1]
+	f.kinds = f.kinds[:len(f.kinds)-1]
 	f.clearBit(next)
 	return found, tainted
 }
@@ -209,6 +222,9 @@ func insertSorted(dst []int32, v int32) []int32 {
 // mmap-viewed indexes); the callback-based SourceFilter needs the
 // generic store and is kept for embedders.
 func (f *indexedFinder) isSource(v int32) bool {
+	if f.opts.DispatchSources && f.ix.IsDispatchTarget(v) {
+		return true
+	}
 	if f.srcWant != nil {
 		return f.srcWant[f.ix.MethodName(v)]
 	}
@@ -248,6 +264,7 @@ func (f *indexedFinder) record() {
 		Nodes:    make([]graphdb.ID, n),
 		Names:    make([]string, n),
 		TCs:      make([]TC, n),
+		Edges:    make([]string, n-1),
 		SinkType: f.sinkType,
 	}
 	for i := 0; i < n; i++ {
@@ -260,6 +277,11 @@ func (f *indexedFinder) record() {
 			tc[j] = int(x)
 		}
 		chain.TCs[i] = tc
+		if i < n-1 {
+			// The edge between Nodes[i] and Nodes[i+1] is the one the DFS
+			// pushed path[n-1-i] across.
+			chain.Edges[i] = stepRel[f.kinds[n-1-i]]
+		}
 	}
 	key := chain.Key()
 	if f.seen[key] {

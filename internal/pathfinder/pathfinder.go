@@ -122,6 +122,10 @@ type Chain struct {
 	// TCs[i] is the Trigger_Condition required at Nodes[i] (same order as
 	// Nodes); TCs[len-1] is the sink's own TC.
 	TCs []TC
+	// Edges[i] is the relationship type the search stepped across between
+	// Nodes[i] and Nodes[i+1] — CALL or ALIAS (DISPATCH edges seed entry
+	// points but are never traversed). len(Edges) == len(Nodes)-1.
+	Edges []string
 }
 
 // Key returns a stable identity for deduplication.
@@ -168,6 +172,12 @@ type Options struct {
 	// METHOD_NAME column, so it works on database-free (mmap-viewed)
 	// indexes where a SourceFilter callback would have no store to read.
 	SourceMethodNames []string
+	// DispatchSources additionally accepts any node with an incoming
+	// DISPATCH edge as a chain source, OR-ed with the other source tests —
+	// the serialization-aware mode: entry points derived by the
+	// serialization-dispatch pass terminate chains without being tagged
+	// IS_SOURCE. No effect on graphs built without the pass.
+	DispatchSources bool
 	// SinkTC, when non-nil, overrides the Trigger_Condition of every
 	// selected sink seed — the researcher-driven "suppose this position
 	// were the dangerous one" workflow (RQ4) on stored graphs, which are

@@ -93,6 +93,12 @@ type Index struct {
 	hasMethodName []uint64 // METHOD_NAME present and string-typed
 	adj           map[string]*typeAdj
 	relTypes      []string // sorted keys of adj
+
+	// dispatchIn marks nodes with at least one incoming DISPATCH edge —
+	// the serialization pass's derived entry points. Derived from adj
+	// (never serialized), so the compile path and the zero-copy snapshot
+	// view share it; nil when the graph has no DISPATCH edges.
+	dispatchIn []uint64
 }
 
 // typeAdj is one relationship type's adjacency: for node v, rows
@@ -247,6 +253,7 @@ func (ix *Index) build(v graphdb.RawView) {
 	}
 
 	ix.buildQueryAdjacency(v, n)
+	ix.deriveDispatchBits()
 
 	// Intern label and relationship-type names now so serializing the
 	// index (AppendLayout) never mutates the shared string table — a
@@ -374,6 +381,34 @@ func (ix *Index) IsSource(v int32) bool {
 // IsSink reports the node's IS_SINK bit.
 func (ix *Index) IsSink(v int32) bool {
 	return ix.isSink[v>>6]&(1<<(uint(v)&63)) != 0
+}
+
+// IsDispatchTarget reports whether the node has an incoming DISPATCH
+// edge — a deserialization entry point derived by the serialization
+// pass. Always false on graphs built without the pass.
+func (ix *Index) IsDispatchTarget(v int32) bool {
+	if ix.dispatchIn == nil {
+		return false
+	}
+	return ix.dispatchIn[v>>6]&(1<<(uint(v)&63)) != 0
+}
+
+// deriveDispatchBits precomputes the dispatch-target bitset from the
+// generic per-type adjacency; runs at the end of both compilation paths
+// (build and FromLayout).
+func (ix *Index) deriveDispatchBits() {
+	a := ix.adj[cpg.RelDispatch]
+	if a == nil {
+		return
+	}
+	n := len(ix.ids)
+	bits := make([]uint64, (n+63)/64)
+	for v := 0; v < n; v++ {
+		if a.inStart[v+1] > a.inStart[v] {
+			bits[v>>6] |= 1 << (uint(v) & 63)
+		}
+	}
+	ix.dispatchIn = bits
 }
 
 // TCRef returns the pool ref of the node's normalized TRIGGER_CONDITION,

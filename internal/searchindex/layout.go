@@ -464,6 +464,7 @@ func FromLayout(data []byte, base int64) (*Index, error) {
 		ix.adj[name] = a
 		ix.relTypes = append(ix.relTypes, name)
 	}
+	ix.deriveDispatchBits()
 	return ix, nil
 }
 

@@ -52,6 +52,7 @@ import (
 	"tabby/internal/corpus"
 	"tabby/internal/cpg"
 	"tabby/internal/cypher"
+	"tabby/internal/edges"
 	"tabby/internal/graphdb"
 	"tabby/internal/javasrc"
 	"tabby/internal/pathfinder"
@@ -494,13 +495,25 @@ type chainsRequest struct {
 	// SourceNames accepts only sources with these METHOD_NAMEs; empty
 	// accepts every IS_SOURCE node.
 	SourceNames []string `json:"source_names"`
+	// DispatchSources additionally accepts any target of a DISPATCH edge
+	// as a chain entry point. Only meaningful on graphs built with the
+	// serialization-dispatch pass; on other graphs it has no effect.
+	DispatchSources bool `json:"dispatch_sources"`
+}
+
+// edgeJSON describes one step of a chain: the relationship type the
+// search walked and the synthesis pass that created it.
+type edgeJSON struct {
+	Kind       string `json:"kind"`
+	Provenance string `json:"provenance"`
 }
 
 type chainJSON struct {
-	Names    []string `json:"names"`
-	Nodes    []int64  `json:"nodes"`
-	SinkType string   `json:"sink_type"`
-	TCs      [][]int  `json:"tcs"`
+	Names    []string   `json:"names"`
+	Nodes    []int64    `json:"nodes"`
+	SinkType string     `json:"sink_type"`
+	TCs      [][]int    `json:"tcs"`
+	Edges    []edgeJSON `json:"edges"`
 }
 
 type chainsResponse struct {
@@ -525,10 +538,11 @@ func (s *Server) handleChains(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	opts := pathfinder.Options{
-		MaxDepth:    req.MaxDepth,
-		MaxChains:   req.MaxChains,
-		VisitBudget: req.VisitBudget,
-		Workers:     req.Workers,
+		MaxDepth:        req.MaxDepth,
+		MaxChains:       req.MaxChains,
+		VisitBudget:     req.VisitBudget,
+		Workers:         req.Workers,
+		DispatchSources: req.DispatchSources,
 	}
 	if opts.Workers == 0 {
 		opts.Workers = s.workers
@@ -559,12 +573,20 @@ func (s *Server) handleChains(w http.ResponseWriter, r *http.Request) {
 	}
 	out := chainsResponse{Graph: req.Graph, Chains: make([]chainJSON, 0, len(res.Chains)), Truncated: res.Truncated, Expansions: res.Expansions}
 	for _, c := range res.Chains {
-		cj := chainJSON{Names: c.Names, SinkType: c.SinkType, Nodes: make([]int64, len(c.Nodes)), TCs: make([][]int, len(c.TCs))}
+		cj := chainJSON{
+			Names: c.Names, SinkType: c.SinkType,
+			Nodes: make([]int64, len(c.Nodes)),
+			TCs:   make([][]int, len(c.TCs)),
+			Edges: make([]edgeJSON, len(c.Edges)),
+		}
 		for i, id := range c.Nodes {
 			cj.Nodes[i] = int64(id)
 		}
 		for i, tc := range c.TCs {
 			cj.TCs[i] = append(make([]int, 0, len(tc)), tc...)
+		}
+		for i, kind := range c.Edges {
+			cj.Edges[i] = edgeJSON{Kind: kind, Provenance: edges.Provenance(kind)}
 		}
 		out.Chains = append(out.Chains, cj)
 	}

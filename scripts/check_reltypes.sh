@@ -1,0 +1,50 @@
+#!/bin/sh
+# check_reltypes.sh — relationship-type exhaustiveness check.
+#
+# The edge vocabulary lives in internal/edges/edges.go. Every Rel*
+# constant declared there must be handled everywhere the schema fans
+# out; this script fails `make check` when a newly added relationship
+# type misses one of those spots:
+#
+#   1. the provenanceByRel table in internal/edges/edges.go
+#   2. the cpg alias re-exports in internal/cpg/schema.go
+#   3. the edge-style switch of the DOT exporter (internal/cpg/dot.go)
+#
+# The searchindex and the server need no per-type entries (their layouts
+# and encoders are rel-type generic), but the server must keep tagging
+# chain edges through edges.Provenance — checked last.
+set -eu
+
+cd "$(dirname "$0")/.."
+fail=0
+
+rels=$(sed -n 's/^\t\(Rel[A-Za-z]*\) *= *"[A-Z_]*"$/\1/p' internal/edges/edges.go)
+if [ -z "$rels" ]; then
+    echo "check_reltypes: found no Rel* constants in internal/edges/edges.go" >&2
+    exit 1
+fi
+
+for rel in $rels; do
+    if ! grep -q "^[[:space:]]*$rel:[[:space:]]*Prov" internal/edges/edges.go; then
+        echo "check_reltypes: $rel has no provenanceByRel entry in internal/edges/edges.go" >&2
+        fail=1
+    fi
+    if ! grep -q "$rel[[:space:]]*= edges.$rel" internal/cpg/schema.go; then
+        echo "check_reltypes: $rel is not re-exported by internal/cpg/schema.go" >&2
+        fail=1
+    fi
+    if ! grep -q "case .*$rel" internal/cpg/dot.go; then
+        echo "check_reltypes: $rel has no style case in internal/cpg/dot.go WriteDOT" >&2
+        fail=1
+    fi
+done
+
+if ! grep -q "edges.Provenance(" internal/server/server.go; then
+    echo "check_reltypes: internal/server no longer tags chain edges via edges.Provenance" >&2
+    fail=1
+fi
+
+if [ "$fail" -ne 0 ]; then
+    exit 1
+fi
+echo "check_reltypes: ok ($(echo "$rels" | wc -w | tr -d ' ') relationship types)"
